@@ -1,0 +1,52 @@
+//! Figure 7: datavector creation — the cheap path (projection of an
+//! oid-ordered BAT) vs. building from an unordered BAT (sort first), plus
+//! the tail reorder that follows in the load pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monet::accel::datavector::Datavector;
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 200_000;
+
+fn bench_datavector(c: &mut Criterion) {
+    let mut r = StdRng::seed_from_u64(11);
+    let oid_ordered = Bat::with_inferred_props(
+        Column::from_oids((0..N as u64).map(|i| 1000 + i).collect()),
+        Column::from_dbls((0..N).map(|_| r.gen_range(0.0..1e6)).collect()),
+    );
+    let shuffled = {
+        let perm: Vec<u32> = {
+            let mut p: Vec<u32> = (0..N as u32).collect();
+            for i in (1..p.len()).rev() {
+                p.swap(i, r.gen_range(0..=i));
+            }
+            p
+        };
+        Bat::new(oid_ordered.head().gather(&perm), oid_ordered.tail().gather(&perm))
+    };
+
+    let mut g = c.benchmark_group("fig7-datavector");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.bench_function("create from oid-ordered (projection)", |b| {
+        b.iter(|| Datavector::from_oid_ordered(&oid_ordered))
+    });
+    g.bench_function("create from unordered (sort + project)", |b| {
+        b.iter(|| Datavector::from_unordered(&shuffled))
+    });
+    g.bench_function("reorder attribute BAT on tail", |b| {
+        let ctx = ExecCtx::new();
+        b.iter(|| ops::sort_tail(&ctx, &oid_ordered.mirror().mirror()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datavector);
+criterion_main!(benches);

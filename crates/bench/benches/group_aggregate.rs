@@ -1,0 +1,75 @@
+//! Grouping and set-aggregation: the nest/groupby machinery (merge vs.
+//! hash variants, unary vs. refining binary group, `{sum}` vs `{avg}`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops;
+use monet::props::{ColProps, Props};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 200_000;
+const GROUPS: u64 = 1_000;
+
+fn bench_group(c: &mut Criterion) {
+    let ctx = ExecCtx::new();
+    let mut r = StdRng::seed_from_u64(3);
+    let head = Column::from_oids((0..N as u64).collect());
+    let unsorted_keys = Bat::new(
+        head.clone(),
+        Column::from_oids((0..N).map(|_| r.gen_range(0..GROUPS)).collect()),
+    );
+    let sorted_keys = {
+        let mut keys: Vec<u64> = (0..N).map(|_| r.gen_range(0..GROUPS)).collect();
+        keys.sort_unstable();
+        Bat::with_props(
+            head.clone(),
+            Column::from_oids(keys),
+            Props::new(ColProps::DENSE, ColProps::SORTED),
+        )
+    };
+    let second = Bat::new(
+        head.clone(),
+        Column::from_chrs((0..N).map(|_| r.gen_range(b'A'..=b'E')).collect()),
+    );
+    let grouped_vals = Bat::new(
+        Column::from_oids((0..N as u64).map(|i| i % GROUPS).collect()),
+        Column::from_dbls((0..N).map(|i| i as f64).collect()),
+    );
+
+    let mut g = c.benchmark_group("group-aggregate");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.bench_function("group1/hash", |b| b.iter(|| ops::group1(&ctx, &unsorted_keys).unwrap()));
+    g.bench_function("group1/merge (sorted tail)", |b| {
+        b.iter(|| ops::group1(&ctx, &sorted_keys).unwrap())
+    });
+    g.bench_function("group2/refine (synced)", |b| {
+        let g1 = ops::group1(&ctx, &unsorted_keys).unwrap();
+        let second_synced = Bat::new(g1.head().clone(), second.tail().clone());
+        b.iter(|| ops::group2(&ctx, &g1, &second_synced).unwrap())
+    });
+    g.bench_function("{sum}/hash-heads", |b| {
+        b.iter(|| ops::set_aggregate(&ctx, ops::AggFunc::Sum, &grouped_vals).unwrap())
+    });
+    g.bench_function("{avg}/hash-heads", |b| {
+        b.iter(|| ops::set_aggregate(&ctx, ops::AggFunc::Avg, &grouped_vals).unwrap())
+    });
+    g.bench_function("{sum}/merge-heads (sorted)", |b| {
+        let perm = grouped_vals.head().sort_perm();
+        let sorted = Bat::with_props(
+            grouped_vals.head().gather(&perm),
+            grouped_vals.tail().gather(&perm),
+            Props::new(ColProps::SORTED, ColProps::NONE),
+        );
+        b.iter(|| ops::set_aggregate(&ctx, ops::AggFunc::Sum, &sorted).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

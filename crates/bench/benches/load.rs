@@ -1,0 +1,23 @@
+//! The Section 6 load pipeline at a small scale factor: generation,
+//! decomposition + properties, extents + datavectors, tail reorder, and
+//! the n-ary baseline load for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpcd::{generate, load_bats, load_rowstore};
+
+fn bench_load(c: &mut Criterion) {
+    let data = generate(0.005, bench::SEED);
+
+    let mut g = c.benchmark_group("sec6-load");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(3000));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    g.bench_function("dbgen (generate rows)", |b| b.iter(|| generate(0.005, bench::SEED)));
+    g.bench_function("bat load (3 phases)", |b| b.iter(|| load_bats(&data)));
+    g.bench_function("rowstore load", |b| b.iter(|| load_rowstore(&data)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Q13 end to end (the paper's running example, Figures 5 and 10): the
+//! MOA translation + MIL execution against the n-ary reference plan, plus
+//! translation cost alone ("which takes no significant time", Section 6).
+
+use bench::world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use monet::ctx::ExecCtx;
+use tpcd_queries::q11_15::{q13_moa, q13_ref, q13_run};
+
+fn bench_q13(c: &mut Criterion) {
+    let w = world();
+    let ctx = ExecCtx::new();
+
+    let mut g = c.benchmark_group("q13");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(2000));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+
+    g.bench_function("moa translate only", |b| {
+        let q = q13_moa(&w.params);
+        b.iter(|| moa::translate::translate(&w.cat, &q).unwrap())
+    });
+    g.bench_function("moa translate + execute (Monet)", |b| {
+        b.iter(|| q13_run(&w.cat, &ctx, &w.params).unwrap())
+    });
+    g.bench_function("reference (n-ary baseline)", |b| {
+        b.iter(|| q13_ref(&w.rel, &w.params, None))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_q13);
+criterion_main!(benches);

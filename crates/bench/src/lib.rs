@@ -1,0 +1,53 @@
+//! Shared setup for the benchmark harness: one memoized TPC-D database per
+//! process, scale factor taken from `FLATALG_SF` (default 0.01 for
+//! Criterion micro benches; the figure binaries pick their own defaults).
+
+use std::sync::OnceLock;
+
+use moa::catalog::Catalog;
+use relstore::RelDb;
+use tpcd::{generate, load_bats, load_rowstore, LoadReport, TpcdData};
+use tpcd_queries::Params;
+
+/// The seed used by every harness, so numbers are reproducible.
+pub const SEED: u64 = 19980223; // ICDE 1998
+
+/// Read a scale factor from the environment.
+pub fn sf_from_env(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+/// A fully loaded benchmark world.
+pub struct World {
+    pub data: TpcdData,
+    pub cat: Catalog,
+    pub rel: RelDb,
+    pub params: Params,
+    pub report: LoadReport,
+}
+
+impl World {
+    pub fn build(sf: f64) -> World {
+        let data = generate(sf, SEED);
+        let (cat, report) = load_bats(&data);
+        let rel = load_rowstore(&data);
+        let params = Params::for_data(&data);
+        World { data, cat, rel, params, report }
+    }
+}
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+/// The process-wide world at `FLATALG_SF` (default 0.01).
+pub fn world() -> &'static World {
+    WORLD.get_or_init(|| World::build(sf_from_env("FLATALG_SF", 0.01)))
+}
+
+/// Format a byte count as MB with one decimal.
+pub fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}

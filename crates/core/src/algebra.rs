@@ -1,0 +1,473 @@
+//! The MOA query algebra (Section 4.1).
+//!
+//! A standard object algebra: `select`, `project`, `join`, set operations,
+//! `nest`/`unnest`, aggregates, attribute access on tuples and objects,
+//! operations on atomic types and (multiplexed) method invocation. The AST
+//! here is the translator's source language; the paper's example
+//!
+//! ```text
+//! project[<date : year, sum(project[revenue](%2)) : loss>](
+//!   nest[date](
+//!     project[<year(order.orderdate) : date,
+//!              *(extendedprice, -(1.0, discount)) : revenue>](
+//!       select[=(order.clerk, "Clerk#000000088"), =(returnflag, 'R')](Item))))
+//! ```
+//!
+//! is built with the constructors of this module (see `queries::q13`).
+
+use monet::atom::AtomValue;
+use monet::ops::{AggFunc, ScalarFunc};
+
+/// A set-producing MOA expression.
+#[derive(Debug, Clone)]
+pub enum SetExpr {
+    /// A class extent: the set of all instances of a class.
+    Extent(String),
+    /// `select[pred](input)`: `{x | x ∈ input ∧ pred(x)}`.
+    Select { input: Box<SetExpr>, pred: Pred },
+    /// `project[<e1 : n1, …>](input)`: map every element to a tuple.
+    Project { input: Box<SetExpr>, items: Vec<ProjItem> },
+    /// `nest[k1, …, kn](input)`: group elements by the key expressions;
+    /// each result element is the tuple `<k1, …, kn, rest>` where `rest`
+    /// (under [`SetExpr::nest_rest_name`]) is the set of grouped elements.
+    Nest { input: Box<SetExpr>, keys: Vec<ProjItem> },
+    /// Set union (by element identity).
+    Union(Box<SetExpr>, Box<SetExpr>),
+    /// Set difference (by element identity).
+    Diff(Box<SetExpr>, Box<SetExpr>),
+    /// Set intersection (by element identity).
+    Intersect(Box<SetExpr>, Box<SetExpr>),
+    /// The `n` elements with the largest (`desc`) or smallest value of
+    /// `by`. An ordering extension of the algebra for the TPC-D top-k
+    /// reports (Q3, Q10, Q15).
+    Top { input: Box<SetExpr>, by: Scalar, n: usize, desc: bool },
+    /// Equi-join: pairs `<l : lname, r : rname>` of elements with equal
+    /// key values.
+    JoinEq {
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+        lkey: Scalar,
+        rkey: Scalar,
+        lname: String,
+        rname: String,
+    },
+    /// Semijoin: elements of `left` whose `lkey` occurs among the `rkey`
+    /// values of `right`.
+    SemijoinEq {
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+        lkey: Scalar,
+        rkey: Scalar,
+    },
+    /// Unnest a set-valued field: `{<x, m> | x ∈ input ∧ m ∈ x.attr}` —
+    /// each result element is the tuple `<outer : oname, member : mname>`.
+    Unnest {
+        input: Box<SetExpr>,
+        attr: SetValued,
+        oname: String,
+        mname: String,
+    },
+}
+
+/// The field name under which [`SetExpr::Nest`] stores the grouped set.
+pub const NEST_REST: &str = "rest";
+
+/// One projection item: an expression and its result name.
+#[derive(Debug, Clone)]
+pub struct ProjItem {
+    pub name: String,
+    pub expr: Expr,
+}
+
+impl ProjItem {
+    pub fn new(name: &str, expr: impl Into<Expr>) -> ProjItem {
+        ProjItem { name: name.to_string(), expr: expr.into() }
+    }
+}
+
+/// An element-level expression: scalar- or set-valued.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Scalar(Scalar),
+    SetV(SetValued),
+}
+
+impl From<Scalar> for Expr {
+    fn from(s: Scalar) -> Expr {
+        Expr::Scalar(s)
+    }
+}
+
+impl From<SetValued> for Expr {
+    fn from(s: SetValued) -> Expr {
+        Expr::SetV(s)
+    }
+}
+
+/// A scalar expression over one element of a set.
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    /// Attribute access / navigation: `order.clerk` dereferences object
+    /// references; on tuple elements the first segment is a field name.
+    Attr(Vec<String>),
+    /// The element itself — its object identity for object elements, its
+    /// value for atomic elements.
+    This,
+    /// A literal.
+    Lit(AtomValue),
+    /// Binary operation on atomic values (`+ - * / = < …`).
+    Bin(ScalarFunc, Box<Scalar>, Box<Scalar>),
+    /// Unary operation (`year`, `month`, `not`, `neg`).
+    Un(ScalarFunc, Box<Scalar>),
+    /// Aggregate over a set-valued expression: `sum(project[e](%rest))`.
+    Agg(AggFunc, Box<SetValued>),
+}
+
+/// A set-valued expression over one element of a set (a nested set).
+#[derive(Debug, Clone)]
+pub enum SetValued {
+    /// Path to a set-valued attribute (`supplies`, or `rest` after nest).
+    Attr(Vec<String>),
+    /// `select[pred](s)` on a nested set — executed flat (Section 4.3.2).
+    SelectIn(Box<SetValued>, Box<Pred>),
+    /// `project[e](s)` on a nested set, single-item form.
+    ProjectIn(Box<SetValued>, Box<Scalar>),
+}
+
+/// A selection predicate.
+#[derive(Debug, Clone)]
+pub enum Pred {
+    /// Comparison of two scalars with `= != < <= > >=` or the string
+    /// predicates.
+    Cmp(ScalarFunc, Scalar, Scalar),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+// ---------------------------------------------------------------------------
+// Builders.
+// ---------------------------------------------------------------------------
+
+/// Attribute path: `attr("order.clerk")`.
+pub fn attr(path: &str) -> Scalar {
+    Scalar::Attr(path.split('.').map(str::to_string).collect())
+}
+
+/// Set-valued attribute path: `sattr("supplies")`.
+pub fn sattr(path: &str) -> SetValued {
+    SetValued::Attr(path.split('.').map(str::to_string).collect())
+}
+
+/// The element itself (object identity).
+pub fn this() -> Scalar {
+    Scalar::This
+}
+
+pub fn lit(v: AtomValue) -> Scalar {
+    Scalar::Lit(v)
+}
+
+pub fn lit_i(v: i32) -> Scalar {
+    Scalar::Lit(AtomValue::Int(v))
+}
+
+pub fn lit_d(v: f64) -> Scalar {
+    Scalar::Lit(AtomValue::Dbl(v))
+}
+
+pub fn lit_s(v: &str) -> Scalar {
+    Scalar::Lit(AtomValue::str(v))
+}
+
+pub fn lit_c(v: char) -> Scalar {
+    Scalar::Lit(AtomValue::Chr(v as u8))
+}
+
+pub fn lit_date(y: i32, m: u32, d: u32) -> Scalar {
+    Scalar::Lit(AtomValue::Date(monet::atom::Date::from_ymd(y, m, d)))
+}
+
+pub fn bin(op: ScalarFunc, l: Scalar, r: Scalar) -> Scalar {
+    Scalar::Bin(op, Box::new(l), Box::new(r))
+}
+
+pub fn un(op: ScalarFunc, x: Scalar) -> Scalar {
+    Scalar::Un(op, Box::new(x))
+}
+
+pub fn agg(f: AggFunc, s: SetValued) -> Scalar {
+    Scalar::Agg(f, Box::new(s))
+}
+
+/// `sum(project[item](set))` — the common aggregate-over-projection form.
+pub fn agg_over(f: AggFunc, set: SetValued, item: Scalar) -> Scalar {
+    Scalar::Agg(f, Box::new(SetValued::ProjectIn(Box::new(set), Box::new(item))))
+}
+
+pub fn cmp(op: ScalarFunc, l: Scalar, r: Scalar) -> Pred {
+    Pred::Cmp(op, l, r)
+}
+
+pub fn eq(l: Scalar, r: Scalar) -> Pred {
+    Pred::Cmp(ScalarFunc::Eq, l, r)
+}
+
+pub fn and(l: Pred, r: Pred) -> Pred {
+    Pred::And(Box::new(l), Box::new(r))
+}
+
+/// Conjunction of a list of predicates (panics on empty input).
+pub fn and_all(preds: Vec<Pred>) -> Pred {
+    let mut it = preds.into_iter();
+    let first = it.next().expect("and_all of empty list");
+    it.fold(first, and)
+}
+
+pub fn or(l: Pred, r: Pred) -> Pred {
+    Pred::Or(Box::new(l), Box::new(r))
+}
+
+pub fn not(p: Pred) -> Pred {
+    Pred::Not(Box::new(p))
+}
+
+impl SetExpr {
+    pub fn extent(class: &str) -> SetExpr {
+        SetExpr::Extent(class.to_string())
+    }
+
+    pub fn select(self, pred: Pred) -> SetExpr {
+        SetExpr::Select { input: Box::new(self), pred }
+    }
+
+    pub fn project(self, items: Vec<ProjItem>) -> SetExpr {
+        SetExpr::Project { input: Box::new(self), items }
+    }
+
+    /// `nest[keys](self)`; the grouped elements appear as the set-valued
+    /// field [`NEST_REST`].
+    pub fn nest(self, keys: Vec<ProjItem>) -> SetExpr {
+        SetExpr::Nest { input: Box::new(self), keys }
+    }
+
+    pub fn union(self, other: SetExpr) -> SetExpr {
+        SetExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    pub fn diff(self, other: SetExpr) -> SetExpr {
+        SetExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    pub fn intersect(self, other: SetExpr) -> SetExpr {
+        SetExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    pub fn top(self, by: Scalar, n: usize, desc: bool) -> SetExpr {
+        SetExpr::Top { input: Box::new(self), by, n, desc }
+    }
+
+    pub fn join_eq(
+        self,
+        right: SetExpr,
+        lkey: Scalar,
+        rkey: Scalar,
+        lname: &str,
+        rname: &str,
+    ) -> SetExpr {
+        SetExpr::JoinEq {
+            left: Box::new(self),
+            right: Box::new(right),
+            lkey,
+            rkey,
+            lname: lname.to_string(),
+            rname: rname.to_string(),
+        }
+    }
+
+    pub fn semijoin_eq(self, right: SetExpr, lkey: Scalar, rkey: Scalar) -> SetExpr {
+        SetExpr::SemijoinEq {
+            left: Box::new(self),
+            right: Box::new(right),
+            lkey,
+            rkey,
+        }
+    }
+
+    pub fn unnest(self, attr: SetValued, oname: &str, mname: &str) -> SetExpr {
+        SetExpr::Unnest {
+            input: Box::new(self),
+            attr,
+            oname: oname.to_string(),
+            mname: mname.to_string(),
+        }
+    }
+
+    /// Render in the paper's textual notation (for documentation and the
+    /// examples; not a parser round-trip).
+    pub fn render(&self) -> String {
+        match self {
+            SetExpr::Extent(c) => c.clone(),
+            SetExpr::Select { input, pred } => {
+                format!("select[{}]({})", pred.render(), input.render())
+            }
+            SetExpr::Project { input, items } => {
+                let inner: Vec<String> = items
+                    .iter()
+                    .map(|i| format!("{} : {}", render_expr(&i.expr), i.name))
+                    .collect();
+                format!("project[<{}>]({})", inner.join(", "), input.render())
+            }
+            SetExpr::Nest { input, keys } => {
+                let ks: Vec<String> = keys.iter().map(|k| k.name.clone()).collect();
+                format!("nest[{}]({})", ks.join(", "), input.render())
+            }
+            SetExpr::Union(a, b) => format!("union({}, {})", a.render(), b.render()),
+            SetExpr::Diff(a, b) => format!("difference({}, {})", a.render(), b.render()),
+            SetExpr::Intersect(a, b) => {
+                format!("intersection({}, {})", a.render(), b.render())
+            }
+            SetExpr::Top { input, by, n, desc } => format!(
+                "top[{} {}, {}]({})",
+                by.render(),
+                if *desc { "desc" } else { "asc" },
+                n,
+                input.render()
+            ),
+            SetExpr::JoinEq { left, right, lkey, rkey, .. } => format!(
+                "join[{} = {}]({}, {})",
+                lkey.render(),
+                rkey.render(),
+                left.render(),
+                right.render()
+            ),
+            SetExpr::SemijoinEq { left, right, lkey, rkey } => format!(
+                "semijoin[{} = {}]({}, {})",
+                lkey.render(),
+                rkey.render(),
+                left.render(),
+                right.render()
+            ),
+            SetExpr::Unnest { input, attr, .. } => {
+                format!("unnest[{}]({})", attr.render(), input.render())
+            }
+        }
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Scalar(s) => s.render(),
+        Expr::SetV(s) => s.render(),
+    }
+}
+
+impl Scalar {
+    pub fn render(&self) -> String {
+        match self {
+            Scalar::Attr(p) => format!("%{}", p.join(".")),
+            Scalar::This => "%self".to_string(),
+            Scalar::Lit(v) => v.to_string(),
+            Scalar::Bin(op, l, r) => {
+                format!("{}({}, {})", op.mil_name(), l.render(), r.render())
+            }
+            Scalar::Un(op, x) => format!("{}({})", op.mil_name(), x.render()),
+            Scalar::Agg(f, s) => format!("{}({})", f.name(), s.render()),
+        }
+    }
+}
+
+impl SetValued {
+    pub fn render(&self) -> String {
+        match self {
+            SetValued::Attr(p) => format!("%{}", p.join(".")),
+            SetValued::SelectIn(s, p) => {
+                format!("select[{}]({})", p.render(), s.render())
+            }
+            SetValued::ProjectIn(s, e) => {
+                format!("project[{}]({})", e.render(), s.render())
+            }
+        }
+    }
+}
+
+impl Pred {
+    pub fn render(&self) -> String {
+        match self {
+            Pred::Cmp(op, l, r) => {
+                format!("{}({}, {})", op.mil_name(), l.render(), r.render())
+            }
+            Pred::And(a, b) => format!("{}, {}", a.render(), b.render()),
+            Pred::Or(a, b) => format!("or({}, {})", a.render(), b.render()),
+            Pred::Not(p) => format!("not({})", p.render()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's MOA rendering of TPC-D Q13 (Section 4.1).
+    fn q13() -> SetExpr {
+        SetExpr::extent("Item")
+            .select(and(
+                eq(attr("order.clerk"), lit_s("Clerk#000000088")),
+                eq(attr("returnflag"), lit_c('R')),
+            ))
+            .project(vec![
+                ProjItem::new("date", un(ScalarFunc::Year, attr("order.orderdate"))),
+                ProjItem::new(
+                    "revenue",
+                    bin(
+                        ScalarFunc::Mul,
+                        attr("extendedprice"),
+                        bin(ScalarFunc::Sub, lit_d(1.0), attr("discount")),
+                    ),
+                ),
+            ])
+            .nest(vec![ProjItem::new("date", attr("date"))])
+            .project(vec![
+                ProjItem::new("date", attr("date")),
+                ProjItem::new(
+                    "loss",
+                    agg_over(AggFunc::Sum, sattr(NEST_REST), attr("revenue")),
+                ),
+            ])
+    }
+
+    #[test]
+    fn q13_renders_like_the_paper() {
+        let q = q13();
+        let text = q.render();
+        assert!(text.contains("select[=(%order.clerk, \"Clerk#000000088\"), =(%returnflag, 'R')](Item)"));
+        assert!(text.contains("nest[date]"));
+        assert!(text.contains("sum(project[%revenue](%rest)) : loss"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = SetExpr::extent("Supplier").project(vec![
+            ProjItem::new("name", attr("name")),
+            ProjItem::new(
+                "out_of_stock",
+                Expr::SetV(SetValued::SelectIn(
+                    Box::new(sattr("supplies")),
+                    Box::new(eq(attr("available"), lit_i(0))),
+                )),
+            ),
+        ]);
+        let text = e.render();
+        assert!(text.contains("select[=(%available, 0)](%supplies)"));
+    }
+
+    #[test]
+    fn and_all_folds() {
+        let p = and_all(vec![
+            eq(lit_i(1), lit_i(1)),
+            eq(lit_i(2), lit_i(2)),
+            eq(lit_i(3), lit_i(3)),
+        ]);
+        assert!(matches!(p, Pred::And(..)));
+    }
+}

@@ -1,0 +1,273 @@
+//! The MOA catalog: a schema bound to a Monet [`Db`] via the vertical
+//! decomposition naming convention of Figure 3.
+//!
+//! * class extent:           `Class`                 — `[oid, void]`
+//! * scalar/ref attribute:   `Class_attr`            — `[oid, τ]` / `[oid, oid]`
+//! * set-valued attribute:   `Class_attr` (index)    — `[element_id, owner_oid]`
+//! * set member field:       `Class_attr_field`      — `[element_id, τ]`
+//!
+//! The catalog resolves attribute paths to BATs and builds the structure
+//! expression (Figure 3) of any class on demand.
+
+use monet::atom::AtomType;
+use monet::bat::Bat;
+use monet::db::Db;
+
+use crate::error::{MoaError, Result};
+use crate::structure::{Structure, StructuredSet};
+use crate::types::{MoaType, Schema};
+
+/// Schema + BAT catalog.
+pub struct Catalog {
+    schema: Schema,
+    db: Db,
+}
+
+impl Catalog {
+    pub fn new(schema: Schema, db: Db) -> Catalog {
+        Catalog { schema, db }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    pub fn db_mut(&mut self) -> &mut Db {
+        &mut self.db
+    }
+
+    /// Name of the extent BAT of a class.
+    pub fn extent_name(class: &str) -> String {
+        class.to_string()
+    }
+
+    /// Name of an attribute BAT.
+    pub fn attr_name(class: &str, attr: &str) -> String {
+        format!("{class}_{attr}")
+    }
+
+    /// Name of a set-member field BAT.
+    pub fn member_name(class: &str, attr: &str, field: &str) -> String {
+        format!("{class}_{attr}_{field}")
+    }
+
+    /// The extent BAT `[oid, void]` of a class.
+    pub fn extent(&self, class: &str) -> Result<&Bat> {
+        self.schema.class(class)?; // validate the class exists
+        self.db
+            .get(&Self::extent_name(class))
+            .map_err(|_| MoaError::MissingBat(Self::extent_name(class)))
+    }
+
+    /// The BAT of a scalar or reference attribute.
+    pub fn attr(&self, class: &str, attr: &str) -> Result<&Bat> {
+        let def = self.schema.class(class)?;
+        def.field(attr).ok_or_else(|| MoaError::UnknownAttr {
+            class: class.into(),
+            attr: attr.into(),
+        })?;
+        self.db
+            .get(&Self::attr_name(class, attr))
+            .map_err(|_| MoaError::MissingBat(Self::attr_name(class, attr)))
+    }
+
+    /// The index BAT `[element_id, owner_oid]` of a set-valued attribute.
+    pub fn set_index(&self, class: &str, attr: &str) -> Result<&Bat> {
+        self.attr(class, attr)
+    }
+
+    /// A member-field BAT of a set-of-tuples attribute.
+    pub fn member_field(&self, class: &str, attr: &str, field: &str) -> Result<&Bat> {
+        self.db
+            .get(&Self::member_name(class, attr, field))
+            .map_err(|_| MoaError::MissingBat(Self::member_name(class, attr, field)))
+    }
+
+    /// Build the structure expression of a whole class, as in Figure 3:
+    /// `SET(Supplier, OBJECT(Supplier_name, …, SET(Supplier_supplies,
+    /// TUPLE(Supplier_supplies_part, …))))`.
+    pub fn class_structure(&self, class: &str) -> Result<StructuredSet> {
+        let def = self.schema.class(class)?.clone();
+        let mut fields = Vec::with_capacity(def.fields.len());
+        for f in &def.fields {
+            fields.push((f.name.clone(), self.field_structure(class, &f.name, &f.ty)?));
+        }
+        Ok(StructuredSet::new(
+            self.extent(class)?.clone(),
+            Structure::Object { class: class.to_string(), fields },
+        ))
+    }
+
+    fn field_structure(&self, class: &str, attr: &str, ty: &MoaType) -> Result<Structure> {
+        Ok(match ty {
+            MoaType::Base(_) => Structure::AtomBat(self.attr(class, attr)?.clone()),
+            MoaType::Object(target) => Structure::RefBat {
+                bat: self.attr(class, attr)?.clone(),
+                class: target.clone(),
+            },
+            MoaType::Set(inner) => {
+                let index = self.set_index(class, attr)?.clone();
+                match &**inner {
+                    MoaType::Base(AtomType::Void) => {
+                        return Err(MoaError::Type("set of void is not a type".into()))
+                    }
+                    MoaType::Tuple(fields) => {
+                        let mut members = Vec::with_capacity(fields.len());
+                        for mf in fields {
+                            let bat = self.member_field(class, attr, &mf.name)?.clone();
+                            members.push((
+                                mf.name.clone(),
+                                match &mf.ty {
+                                    MoaType::Object(c) => {
+                                        Structure::RefBat { bat, class: c.clone() }
+                                    }
+                                    MoaType::Base(_) => Structure::AtomBat(bat),
+                                    other => {
+                                        return Err(MoaError::Type(format!(
+                                            "unsupported member field type {other}"
+                                        )))
+                                    }
+                                },
+                            ));
+                        }
+                        Structure::Set {
+                            index,
+                            inner: Box::new(Structure::Tuple(members)),
+                        }
+                    }
+                    MoaType::Object(c) => Structure::Set {
+                        index: index.clone(),
+                        inner: Box::new(Structure::RefBat {
+                            bat: self.member_field(class, attr, "ref")?.clone(),
+                            class: c.clone(),
+                        }),
+                    },
+                    MoaType::Base(_) => {
+                        // SET(A) optimization: values live in the index BAT's
+                        // sibling "<attr>_val" BAT keyed by element id.
+                        Structure::Set {
+                            index,
+                            inner: Box::new(Structure::AtomBat(
+                                self.member_field(class, attr, "val")?.clone(),
+                            )),
+                        }
+                    }
+                    MoaType::Set(_) => {
+                        return Err(MoaError::Type(
+                            "directly nested set-of-set attributes are not supported".into(),
+                        ))
+                    }
+                }
+            }
+            MoaType::Tuple(_) => {
+                return Err(MoaError::Type(
+                    "top-level tuple attributes are stored flattened; declare the \
+                     fields individually"
+                        .into(),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassDef, Field};
+    use monet::column::Column;
+
+    fn mini_catalog() -> Catalog {
+        let mut schema = Schema::new();
+        schema.add_class(ClassDef::new(
+            "Nation",
+            vec![Field::new("name", MoaType::Base(AtomType::Str))],
+        ));
+        schema.add_class(ClassDef::new(
+            "Supplier",
+            vec![
+                Field::new("name", MoaType::Base(AtomType::Str)),
+                Field::new("nation", MoaType::Object("Nation".into())),
+                Field::new(
+                    "supplies",
+                    MoaType::set_of(MoaType::Tuple(vec![
+                        Field::new("cost", MoaType::Base(AtomType::Dbl)),
+                        Field::new("available", MoaType::Base(AtomType::Int)),
+                    ])),
+                ),
+            ],
+        ));
+        let mut db = Db::new();
+        db.register(
+            "Nation",
+            Bat::new(Column::from_oids(vec![50]), Column::void(0, 1)),
+        );
+        db.register(
+            "Nation_name",
+            Bat::new(Column::from_oids(vec![50]), Column::from_strs(["FRANCE"])),
+        );
+        db.register(
+            "Supplier",
+            Bat::new(Column::from_oids(vec![1, 2]), Column::void(0, 2)),
+        );
+        db.register(
+            "Supplier_name",
+            Bat::new(Column::from_oids(vec![1, 2]), Column::from_strs(["S1", "S2"])),
+        );
+        db.register(
+            "Supplier_nation",
+            Bat::new(Column::from_oids(vec![1, 2]), Column::from_oids(vec![50, 50])),
+        );
+        db.register(
+            "Supplier_supplies",
+            Bat::new(Column::from_oids(vec![100, 101]), Column::from_oids(vec![1, 1])),
+        );
+        db.register(
+            "Supplier_supplies_cost",
+            Bat::new(Column::from_oids(vec![100, 101]), Column::from_dbls(vec![1.5, 2.5])),
+        );
+        db.register(
+            "Supplier_supplies_available",
+            Bat::new(Column::from_oids(vec![100, 101]), Column::from_ints(vec![0, 7])),
+        );
+        Catalog::new(schema, db)
+    }
+
+    #[test]
+    fn resolves_bats() {
+        let cat = mini_catalog();
+        assert_eq!(cat.extent("Supplier").unwrap().len(), 2);
+        assert_eq!(cat.attr("Supplier", "name").unwrap().len(), 2);
+        assert!(cat.attr("Supplier", "bogus").is_err());
+        assert!(cat.extent("Bogus").is_err());
+        assert_eq!(cat.member_field("Supplier", "supplies", "cost").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn figure3_structure_expression() {
+        let cat = mini_catalog();
+        let s = cat.class_structure("Supplier").unwrap();
+        let rendered = s.inner.render();
+        assert!(rendered.contains("OBJECT[Supplier]"));
+        assert!(rendered.contains("SET(index, TUPLE(cost:"));
+        let vals = s.materialize().unwrap();
+        assert_eq!(vals.len(), 2);
+    }
+
+    #[test]
+    fn missing_bat_reported() {
+        let cat = mini_catalog();
+        // Remove a BAT by constructing a catalog without it.
+        let mut schema = Schema::new();
+        schema.add_class(ClassDef::new(
+            "Part",
+            vec![Field::new("name", MoaType::Base(AtomType::Str))],
+        ));
+        let cat2 = Catalog::new(schema, Db::new());
+        assert!(matches!(cat2.extent("Part"), Err(MoaError::MissingBat(_))));
+        let _ = cat;
+    }
+}

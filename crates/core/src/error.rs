@@ -1,0 +1,52 @@
+//! Error type for the MOA layer.
+
+use std::fmt;
+
+/// Errors raised while building, translating or evaluating MOA expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoaError {
+    /// Reference to a class the schema does not define.
+    UnknownClass(String),
+    /// Reference to an attribute a class does not define.
+    UnknownAttr { class: String, attr: String },
+    /// Attribute path navigated *through* a non-object attribute.
+    NotNavigable { class: String, attr: String },
+    /// The catalog is missing a BAT the decomposition requires.
+    MissingBat(String),
+    /// Expression is ill-typed for the operation.
+    Type(String),
+    /// Structure functions applied to non-synchronous value sets, a
+    /// non-head-unique IVS BAT, or similar representation violations.
+    Structure(String),
+    /// An error bubbled up from the Monet kernel.
+    Kernel(monet::error::MonetError),
+}
+
+impl fmt::Display for MoaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoaError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            MoaError::UnknownAttr { class, attr } => {
+                write!(f, "class {class} has no attribute {attr}")
+            }
+            MoaError::NotNavigable { class, attr } => {
+                write!(f, "attribute {class}.{attr} is not an object reference")
+            }
+            MoaError::MissingBat(n) => write!(f, "catalog is missing BAT {n}"),
+            MoaError::Type(s) => write!(f, "type error: {s}"),
+            MoaError::Structure(s) => write!(f, "structure error: {s}"),
+            MoaError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MoaError {}
+
+impl From<monet::error::MonetError> for MoaError {
+    fn from(e: monet::error::MonetError) -> MoaError {
+        MoaError::Kernel(e)
+    }
+}
+
+/// Result alias for the MOA layer.
+pub type Result<T> = std::result::Result<T, MoaError>;

@@ -1,0 +1,72 @@
+//! # moa — the Magnum Object Algebra, flattened onto a binary kernel
+//!
+//! Implementation of the paper's primary contribution: a structural
+//! object-oriented data model and query algebra (*MOA*) whose operations
+//! are implemented entirely by **translation to the binary relational
+//! algebra** of the [`monet`] kernel.
+//!
+//! * [`types`] — the logical data model: base types plus `SET`, `TUPLE`,
+//!   `OBJECT` (Section 3.1, Figure 1);
+//! * [`structure`] — the structure functions that map logical values onto
+//!   vertically decomposed BATs, with their formal IVS semantics
+//!   (Section 3.3, Figure 3);
+//! * [`catalog`] — schema ↔ BAT-name binding;
+//! * [`algebra`] — the MOA query algebra AST (Section 4.1);
+//! * [`translate`] — the term rewriter MOA → MIL (Section 4.3): each MOA
+//!   operation becomes a MIL program plus a structure function over the
+//!   result BATs;
+//! * [`eval`] — the denotational reference evaluator used to machine-check
+//!   the Figure 6 commutativity `S_Y(mil(X…)) = moa(X)`;
+//! * [`value`] — materialized values and identified value sets.
+//!
+//! ```
+//! use moa::prelude::*;
+//! use monet::prelude::*;
+//!
+//! // A one-class schema with one object.
+//! let mut schema = Schema::new();
+//! schema.add_class(ClassDef::new(
+//!     "Part",
+//!     vec![Field::new("size", MoaType::Base(AtomType::Int))],
+//! ));
+//! let mut db = Db::new();
+//! db.register("Part", Bat::new(Column::from_oids(vec![1]), Column::void(0, 1)));
+//! db.register(
+//!     "Part_size",
+//!     Bat::new(Column::from_oids(vec![1]), Column::from_ints(vec![7])),
+//! );
+//! let cat = Catalog::new(schema, db);
+//!
+//! // select[size = 7](Part), both evaluated and translated.
+//! let q = SetExpr::extent("Part").select(eq(attr("size"), lit_i(7)));
+//! let reference = Evaluator::new(&cat).eval_values(&q).unwrap();
+//! let translated = translate(&cat, &q).unwrap();
+//! let (result, _env) = translated.run(&ExecCtx::new(), cat.db()).unwrap();
+//! assert_eq!(result.materialize().unwrap(), reference);
+//! ```
+
+pub mod algebra;
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod structure;
+pub mod testkit;
+pub mod translate;
+pub mod types;
+pub mod value;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::algebra::{
+        agg, agg_over, and, and_all, attr, bin, cmp, eq, lit, lit_c, lit_d, lit_date, lit_i,
+        lit_s, not, or, sattr, this, un, Expr, Pred, ProjItem, Scalar, SetExpr, SetValued,
+        NEST_REST,
+    };
+    pub use crate::catalog::Catalog;
+    pub use crate::error::{MoaError, Result};
+    pub use crate::eval::Evaluator;
+    pub use crate::structure::{Structure, StructuredSet};
+    pub use crate::translate::{translate, Translated};
+    pub use crate::types::{ClassDef, Field, MoaType, Schema};
+    pub use crate::value::{Ivs, Value};
+}

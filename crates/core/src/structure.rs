@@ -1,0 +1,399 @@
+//! Structure functions: the formal physical-to-logical mapping (§3.3).
+//!
+//! The combination of BATs storing values and a *structure function* on
+//! those BATs forms the representation of a structured value. Because all
+//! structure functions take identified value sets (IVS) to identified value
+//! sets, they compose to arbitrary nesting, and any MOA type is
+//! representable as a set of BATs plus a composition of structure
+//! functions.
+//!
+//! **Orientation note.** The paper writes `SET(A, S)` with `A` serving as
+//! "an index into value set S". We fix the orientation of the index BAT as
+//! `[element_id, owner_id]` — heads are element ids — because that is the
+//! orientation the selection transformation rule needs:
+//! `select[f](SET(A,X)) → SET(semijoin(A, T(f(X))), X)` matches the
+//! qualifying element ids of `T(f(X))` against `A`'s *head*. A top-level
+//! set (class extent, query result) is a [`StructuredSet`]: its elements
+//! are the index heads and the owner column is immaterial.
+
+use std::collections::HashMap;
+
+use monet::atom::Oid;
+use monet::bat::Bat;
+
+use crate::error::{MoaError, Result};
+use crate::value::{Ivs, Value};
+
+/// A composition of structure functions over concrete BATs.
+#[derive(Debug, Clone)]
+pub enum Structure {
+    /// A head-unique `BAT[oid, τ]` representing an IVS of base values.
+    AtomBat(Bat),
+    /// A head-unique `BAT[oid, oid]` whose tail values refer to database
+    /// objects of the named class: `{<id_i, X_i> | oid_i = oid(X_i)}`.
+    RefBat { bat: Bat, class: String },
+    /// `TUPLE(S_1, …, S_n)` over mutually synchronous IVSes:
+    /// `{<id_i, <v_i1, …, v_in>>}`. Field names are carried for attribute
+    /// access; the formal semantics ignores them.
+    Tuple(Vec<(String, Structure)>),
+    /// `OBJECT(…)` — identical to `TUPLE`, but the identifiers are the
+    /// object identifiers of the named class.
+    Object { class: String, fields: Vec<(String, Structure)> },
+    /// `SET(A, S)`: `A = [element_id, owner_id]`, `S` an IVS keyed by
+    /// element id. Defines `{<owner, {S[e] | <e, owner> ∈ A}>}`.
+    Set { index: Bat, inner: Box<Structure> },
+    /// `SET(A)`: the optimization for simple element values — `A` holds
+    /// `[owner_id, value]` directly, saving the indirection.
+    SetSimple { bat: Bat },
+}
+
+impl Structure {
+    /// Pretty-print the composition, e.g.
+    /// `SET(Supplier, OBJECT(Supplier_name, …))` (Figure 3). BAT arguments
+    /// print as their signature since BATs carry no names here.
+    pub fn render(&self) -> String {
+        match self {
+            Structure::AtomBat(b) => format!("bat[oid,{}]", b.tail().atom_type()),
+            Structure::RefBat { class, .. } => format!("ref[{class}]"),
+            Structure::Tuple(fields) => {
+                let inner: Vec<String> =
+                    fields.iter().map(|(n, s)| format!("{n}:{}", s.render())).collect();
+                format!("TUPLE({})", inner.join(", "))
+            }
+            Structure::Object { class, fields } => {
+                let inner: Vec<String> =
+                    fields.iter().map(|(n, s)| format!("{n}:{}", s.render())).collect();
+                format!("OBJECT[{class}]({})", inner.join(", "))
+            }
+            Structure::Set { inner, .. } => format!("SET(index, {})", inner.render()),
+            Structure::SetSimple { bat } => {
+                format!("SET(bat[oid,{}])", bat.tail().atom_type())
+            }
+        }
+    }
+
+    /// Materialize into a map `id → value` (the IVS as a lookup table).
+    ///
+    /// Checks the representation invariants of Section 3.3: IVS BATs must
+    /// be head-unique, and the operands of `TUPLE`/`OBJECT` must be
+    /// synchronous — with the documented exception that set-valued fields
+    /// default to the empty set for owners without members (vertical
+    /// fragmentation stores "0 or more BUNs per set", so absence encodes
+    /// the empty set).
+    pub fn materialize_map(&self) -> Result<HashMap<Oid, Value>> {
+        match self {
+            Structure::AtomBat(bat) => {
+                let mut map = HashMap::with_capacity(bat.len());
+                for i in 0..bat.len() {
+                    let id = bat.head().oid_at(i);
+                    if map.insert(id, Value::Atom(bat.tail().get(i))).is_some() {
+                        return Err(MoaError::Structure(format!(
+                            "IVS BAT is not head-unique: duplicate id {id}"
+                        )));
+                    }
+                }
+                Ok(map)
+            }
+            Structure::RefBat { bat, .. } => {
+                let mut map = HashMap::with_capacity(bat.len());
+                for i in 0..bat.len() {
+                    let id = bat.head().oid_at(i);
+                    if map.insert(id, Value::Ref(bat.tail().oid_at(i))).is_some() {
+                        return Err(MoaError::Structure(format!(
+                            "IVS BAT is not head-unique: duplicate id {id}"
+                        )));
+                    }
+                }
+                Ok(map)
+            }
+            Structure::Tuple(fields) | Structure::Object { fields, .. } => {
+                let mut field_maps: Vec<(bool, HashMap<Oid, Value>)> =
+                    Vec::with_capacity(fields.len());
+                for (_, s) in fields {
+                    let is_set = matches!(s, Structure::Set { .. } | Structure::SetSimple { .. });
+                    field_maps.push((is_set, s.materialize_map()?));
+                }
+                // Ids come from the non-set fields, which must be
+                // synchronous; set fields default to {} when absent.
+                let Some((_, base)) = field_maps.iter().find(|(is_set, _)| !is_set) else {
+                    return Err(MoaError::Structure(
+                        "TUPLE of only set-valued fields is not identifiable".into(),
+                    ));
+                };
+                let ids: Vec<Oid> = base.keys().copied().collect();
+                for (is_set, m) in &field_maps {
+                    if !is_set && m.len() != ids.len() {
+                        return Err(MoaError::Structure(format!(
+                            "TUPLE operands are not synchronous: {} vs {} ids",
+                            m.len(),
+                            ids.len()
+                        )));
+                    }
+                }
+                let mut out = HashMap::with_capacity(ids.len());
+                for id in ids {
+                    let mut vals = Vec::with_capacity(fields.len());
+                    for (is_set, m) in &field_maps {
+                        match m.get(&id) {
+                            Some(v) => vals.push(v.clone()),
+                            None if *is_set => vals.push(Value::Set(Vec::new())),
+                            None => {
+                                return Err(MoaError::Structure(format!(
+                                    "TUPLE operands are not synchronous: id {id} missing"
+                                )))
+                            }
+                        }
+                    }
+                    out.insert(id, Value::Tuple(vals));
+                }
+                Ok(out)
+            }
+            Structure::Set { index, inner } => {
+                let members = inner.materialize_map()?;
+                let mut out: HashMap<Oid, Value> = HashMap::new();
+                for i in 0..index.len() {
+                    let elem = index.head().oid_at(i);
+                    let owner = index.tail().oid_at(i);
+                    let v = members.get(&elem).ok_or_else(|| {
+                        MoaError::Structure(format!(
+                            "set index references id {elem} missing from the inner IVS"
+                        ))
+                    })?;
+                    match out.entry(owner).or_insert_with(|| Value::Set(Vec::new())) {
+                        Value::Set(ms) => ms.push(v.clone()),
+                        _ => unreachable!(),
+                    }
+                }
+                Ok(out)
+            }
+            Structure::SetSimple { bat } => {
+                let mut out: HashMap<Oid, Value> = HashMap::new();
+                for i in 0..bat.len() {
+                    let owner = bat.head().oid_at(i);
+                    match out.entry(owner).or_insert_with(|| Value::Set(Vec::new())) {
+                        Value::Set(ms) => ms.push(Value::Atom(bat.tail().get(i))),
+                        _ => unreachable!(),
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Materialize as an IVS in id order (test convenience).
+    pub fn materialize_ivs(&self) -> Result<Ivs> {
+        let map = self.materialize_map()?;
+        let mut out: Ivs = map.into_iter().collect();
+        out.sort_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+}
+
+/// A top-level flattened set: the representation of a class extent or of a
+/// query result — "the query result BATs, which in turn are operands of
+/// another structure expression that represents the result" (Figure 6).
+#[derive(Debug, Clone)]
+pub struct StructuredSet {
+    /// `[element_id, _]`: the elements are the heads; the tail is only
+    /// meaningful for nested sets.
+    pub index: Bat,
+    /// Element values, keyed by element id.
+    pub inner: Structure,
+}
+
+impl StructuredSet {
+    pub fn new(index: Bat, inner: Structure) -> StructuredSet {
+        StructuredSet { index, inner }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Materialize the set's members (in index order).
+    pub fn materialize(&self) -> Result<Vec<Value>> {
+        let map = self.inner.materialize_map()?;
+        let mut out = Vec::with_capacity(self.index.len());
+        for i in 0..self.index.len() {
+            let id = self.index.head().oid_at(i);
+            let v = map.get(&id).ok_or_else(|| {
+                MoaError::Structure(format!(
+                    "set index references id {id} missing from the inner IVS"
+                ))
+            })?;
+            out.push(v.clone());
+        }
+        Ok(out)
+    }
+
+    /// Materialize as `(element_id, value)` pairs.
+    pub fn materialize_ivs(&self) -> Result<Ivs> {
+        let map = self.inner.materialize_map()?;
+        let mut out = Vec::with_capacity(self.index.len());
+        for i in 0..self.index.len() {
+            let id = self.index.head().oid_at(i);
+            let v = map.get(&id).ok_or_else(|| {
+                MoaError::Structure(format!("missing id {id} in inner IVS"))
+            })?;
+            out.push((id, v.clone()));
+        }
+        Ok(out)
+    }
+
+    /// The whole set as a single [`Value::Set`].
+    pub fn as_value(&self) -> Result<Value> {
+        Ok(Value::Set(self.materialize()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monet::atom::AtomValue;
+    use monet::column::Column;
+
+    #[test]
+    fn atom_bat_ivs() {
+        let s = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_strs(["a", "b"]),
+        ));
+        let ivs = s.materialize_ivs().unwrap();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0], (1, Value::Atom(AtomValue::str("a"))));
+    }
+
+    #[test]
+    fn head_uniqueness_enforced() {
+        let s = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![1, 1]),
+            Column::from_ints(vec![5, 6]),
+        ));
+        assert!(s.materialize_map().is_err());
+    }
+
+    #[test]
+    fn tuple_requires_synchronous() {
+        let a = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_ints(vec![10, 20]),
+        ));
+        let b_ok = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![2, 1]),
+            Column::from_strs(["y", "x"]),
+        ));
+        let t = Structure::Tuple(vec![("n".into(), a.clone()), ("s".into(), b_ok)]);
+        let map = t.materialize_map().unwrap();
+        assert_eq!(
+            map[&1],
+            Value::Tuple(vec![
+                Value::Atom(AtomValue::Int(10)),
+                Value::Atom(AtomValue::str("x"))
+            ])
+        );
+        let b_bad = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![3]),
+            Column::from_strs(["z"]),
+        ));
+        let t_bad = Structure::Tuple(vec![("n".into(), a), ("s".into(), b_bad)]);
+        assert!(t_bad.materialize_map().is_err());
+    }
+
+    #[test]
+    fn figure3_supplier_shape() {
+        // SET(Supplier, OBJECT(name, SET(supplies, TUPLE(part, cost)))).
+        let name = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_strs(["S1", "S2"]),
+        ));
+        let part = Structure::RefBat {
+            bat: Bat::new(Column::from_oids(vec![100, 101, 102]), Column::from_oids(vec![7, 8, 9])),
+            class: "Part".into(),
+        };
+        let cost = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![100, 101, 102]),
+            Column::from_dbls(vec![1.0, 2.0, 3.0]),
+        ));
+        // supplies index: supplier 1 has supplies {100, 101}, supplier 2 {102}
+        let index = Bat::new(
+            Column::from_oids(vec![100, 101, 102]),
+            Column::from_oids(vec![1, 1, 2]),
+        );
+        let supplies = Structure::Set {
+            index,
+            inner: Box::new(Structure::Tuple(vec![
+                ("part".into(), part),
+                ("cost".into(), cost),
+            ])),
+        };
+        let obj = Structure::Object {
+            class: "Supplier".into(),
+            fields: vec![("name".into(), name), ("supplies".into(), supplies)],
+        };
+        let extent = Bat::new(Column::from_oids(vec![1, 2]), Column::void(0, 2));
+        let set = StructuredSet::new(extent, obj);
+        assert!(set.render_contains("OBJECT"));
+        let vals = set.materialize().unwrap();
+        assert_eq!(vals.len(), 2);
+        match &vals[0] {
+            Value::Tuple(fs) => {
+                assert_eq!(fs[0], Value::Atom(AtomValue::str("S1")));
+                match &fs[1] {
+                    Value::Set(ms) => assert_eq!(ms.len(), 2),
+                    other => panic!("expected set, got {other}"),
+                }
+            }
+            other => panic!("expected tuple, got {other}"),
+        }
+    }
+
+    impl StructuredSet {
+        fn render_contains(&self, s: &str) -> bool {
+            self.inner.render().contains(s)
+        }
+    }
+
+    #[test]
+    fn empty_nested_sets_default() {
+        // Supplier 2 has no supplies: the set field defaults to {}.
+        let name = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_strs(["S1", "S2"]),
+        ));
+        let avail = Structure::AtomBat(Bat::new(
+            Column::from_oids(vec![100]),
+            Column::from_ints(vec![0]),
+        ));
+        let index = Bat::new(Column::from_oids(vec![100]), Column::from_oids(vec![1]));
+        let supplies = Structure::Set { index, inner: Box::new(avail) };
+        let obj = Structure::Object {
+            class: "Supplier".into(),
+            fields: vec![("name".into(), name), ("supplies".into(), supplies)],
+        };
+        let map = obj.materialize_map().unwrap();
+        match &map[&2] {
+            Value::Tuple(fs) => assert_eq!(fs[1], Value::Set(vec![])),
+            other => panic!("expected tuple, got {other}"),
+        }
+    }
+
+    #[test]
+    fn set_simple() {
+        let s = Structure::SetSimple {
+            bat: Bat::new(
+                Column::from_oids(vec![1, 1, 2]),
+                Column::from_ints(vec![10, 11, 20]),
+            ),
+        };
+        let map = s.materialize_map().unwrap();
+        match &map[&1] {
+            Value::Set(ms) => assert_eq!(ms.len(), 2),
+            other => panic!("expected set, got {other}"),
+        }
+    }
+}

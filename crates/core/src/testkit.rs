@@ -1,0 +1,171 @@
+//! Small hand-built databases for tests, examples and benchmarks.
+//!
+//! The fixture is a miniature of the TPC-D shape (Figure 1): `Item`
+//! navigates to `Order`, `Supplier` owns a nested `supplies` set of
+//! tuples referencing `Part`.
+
+use monet::atom::{AtomType, Date};
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::db::Db;
+
+use crate::catalog::Catalog;
+use crate::types::{ClassDef, Field, MoaType, Schema};
+
+/// Build the mini catalog:
+///
+/// * 2 orders (oids 1, 2) with clerks `c1`, `c2` and dates in 1995/1996;
+/// * 4 items (oids 10–13) referencing them, with prices, discounts, flags;
+/// * 2 suppliers (oids 20, 21); supplier 20 supplies parts 30, 31 (one out
+///   of stock), supplier 21 supplies nothing;
+/// * 2 parts (oids 30, 31).
+pub fn mini_catalog() -> Catalog {
+    let mut schema = Schema::new();
+    schema.add_class(ClassDef::new(
+        "Order",
+        vec![
+            Field::new("clerk", MoaType::Base(AtomType::Str)),
+            Field::new("orderdate", MoaType::Base(AtomType::Date)),
+        ],
+    ));
+    schema.add_class(ClassDef::new(
+        "Item",
+        vec![
+            Field::new("order", MoaType::Object("Order".into())),
+            Field::new("extendedprice", MoaType::Base(AtomType::Dbl)),
+            Field::new("discount", MoaType::Base(AtomType::Dbl)),
+            Field::new("returnflag", MoaType::Base(AtomType::Chr)),
+        ],
+    ));
+    schema.add_class(ClassDef::new(
+        "Part",
+        vec![Field::new("name", MoaType::Base(AtomType::Str))],
+    ));
+    schema.add_class(ClassDef::new(
+        "Supplier",
+        vec![
+            Field::new("name", MoaType::Base(AtomType::Str)),
+            Field::new(
+                "supplies",
+                MoaType::set_of(MoaType::Tuple(vec![
+                    Field::new("part", MoaType::Object("Part".into())),
+                    Field::new("cost", MoaType::Base(AtomType::Dbl)),
+                    Field::new("available", MoaType::Base(AtomType::Int)),
+                ])),
+            ),
+        ],
+    ));
+
+    let mut db = Db::new();
+    let reg = |db: &mut Db, name: &str, head: Vec<u64>, tail: Column| {
+        let h = Column::from_oids(head);
+        db.register(name, Bat::with_inferred_props(h, tail));
+    };
+
+    db.register(
+        "Order",
+        Bat::with_inferred_props(Column::from_oids(vec![1, 2]), Column::void(0, 2)),
+    );
+    reg(&mut db, "Order_clerk", vec![1, 2], Column::from_strs(["c1", "c2"]));
+    reg(
+        &mut db,
+        "Order_orderdate",
+        vec![1, 2],
+        Column::from_dates(vec![Date::from_ymd(1995, 3, 5), Date::from_ymd(1996, 7, 9)]),
+    );
+
+    db.register(
+        "Item",
+        Bat::with_inferred_props(Column::from_oids(vec![10, 11, 12, 13]), Column::void(0, 4)),
+    );
+    reg(
+        &mut db,
+        "Item_order",
+        vec![10, 11, 12, 13],
+        Column::from_oids(vec![1, 1, 2, 2]),
+    );
+    reg(
+        &mut db,
+        "Item_extendedprice",
+        vec![10, 11, 12, 13],
+        Column::from_dbls(vec![100.0, 200.0, 300.0, 400.0]),
+    );
+    reg(
+        &mut db,
+        "Item_discount",
+        vec![10, 11, 12, 13],
+        Column::from_dbls(vec![0.1, 0.0, 0.05, 0.2]),
+    );
+    reg(
+        &mut db,
+        "Item_returnflag",
+        vec![10, 11, 12, 13],
+        Column::from_chrs(vec![b'R', b'N', b'R', b'R']),
+    );
+
+    db.register(
+        "Part",
+        Bat::with_inferred_props(Column::from_oids(vec![30, 31]), Column::void(0, 2)),
+    );
+    reg(&mut db, "Part_name", vec![30, 31], Column::from_strs(["bolt", "nut"]));
+
+    db.register(
+        "Supplier",
+        Bat::with_inferred_props(Column::from_oids(vec![20, 21]), Column::void(0, 2)),
+    );
+    reg(&mut db, "Supplier_name", vec![20, 21], Column::from_strs(["S20", "S21"]));
+    // supplies index: [supply_id, supplier_oid]
+    reg(
+        &mut db,
+        "Supplier_supplies",
+        vec![100, 101],
+        Column::from_oids(vec![20, 20]),
+    );
+    reg(
+        &mut db,
+        "Supplier_supplies_part",
+        vec![100, 101],
+        Column::from_oids(vec![30, 31]),
+    );
+    reg(
+        &mut db,
+        "Supplier_supplies_cost",
+        vec![100, 101],
+        Column::from_dbls(vec![1.5, 2.5]),
+    );
+    reg(
+        &mut db,
+        "Supplier_supplies_available",
+        vec![100, 101],
+        Column::from_ints(vec![0, 9]),
+    );
+
+    Catalog::new(schema, db)
+}
+
+/// Compare the reference-evaluated and translated+executed results of a
+/// MOA expression on the given catalog as order-insensitive value sets.
+/// Panics with a readable message on mismatch.
+pub fn assert_commutes(cat: &Catalog, q: &crate::algebra::SetExpr) {
+    use crate::value::Value;
+    let reference = crate::eval::Evaluator::new(cat)
+        .eval_values(q)
+        .unwrap_or_else(|e| panic!("reference eval failed for {}: {e}", q.render()));
+    let translated = crate::translate::translate(cat, q)
+        .unwrap_or_else(|e| panic!("translation failed for {}: {e}", q.render()));
+    let ctx = monet::ctx::ExecCtx::new();
+    let (set, _env) = translated
+        .run(&ctx, cat.db())
+        .unwrap_or_else(|e| panic!("execution failed for {}: {e}", q.render()));
+    let got = set
+        .materialize()
+        .unwrap_or_else(|e| panic!("materialization failed for {}: {e}", q.render()));
+    let lhs = Value::Set(reference);
+    let rhs = Value::Set(got);
+    assert!(
+        lhs.approx_eq(&rhs, 1e-9),
+        "commutativity violated for {}:\n  reference: {lhs}\n  translated: {rhs}\nMIL:\n{}",
+        q.render(),
+        translated.prog
+    );
+}

@@ -1,0 +1,1079 @@
+//! The MOA → MIL term rewriter (Section 4.3).
+//!
+//! "The idea behind the algebra implementation is to translate a query on
+//! the representation of the structured operands into a representation of
+//! the structured query result": for MOA operation `moa` on value `X`
+//! stored in BATs `X_1…X_n` under structure function `S_X`, the translator
+//! emits a MIL program `mil` and a structure function `S_Y` with
+//! `S_Y(mil(X_1…X_n)) = moa(X)` (Figure 6).
+//!
+//! The rewriter works rule-per-operation. The flagship rules:
+//!
+//! * **selection** — `select[f](SET(A,X)) → SET(semijoin(A, T(f(X))), X)`;
+//!   conjunctions chain through candidate restriction (`semijoin` the next
+//!   attribute BAT with the previous qualifier, as in Figure 10), and
+//!   comparisons against literals push down to (range-)selects on the
+//!   attribute BATs with joins back along the reference path;
+//! * **nested selection** (§4.3.2) — the same rule applied to the inner
+//!   index: all nested sets are reduced *in one flat selection*;
+//! * **nest** — `group` on the key BATs, with the group BAT itself
+//!   becoming the index of the nested `rest` sets (Figure 10 lines 7–9);
+//! * **aggregation over nested sets** — `{g}(join(index.mirror, values))`,
+//!   one bulk set-aggregate instead of per-set iteration (lines 14–15);
+//! * **projection** — value attributes are `semijoin`ed with the selected
+//!   index (the datavector fast path) and combined with multiplexed `[f]`
+//!   operations.
+
+use std::collections::HashMap;
+
+use monet::atom::AtomValue;
+use monet::bat::Bat;
+use monet::ctx::ExecCtx;
+use monet::db::Db;
+use monet::mil::{execute, Env, MilArg, MilOp, MilProgram, Var};
+use monet::ops::{AggFunc, ScalarFunc};
+
+use crate::algebra::{Expr, Pred, Scalar, SetExpr, SetValued, NEST_REST};
+use crate::catalog::Catalog;
+use crate::error::{MoaError, Result};
+use crate::structure::{Structure, StructuredSet};
+use crate::types::MoaType;
+
+/// Element description of a translated set, keyed by element id.
+#[derive(Debug, Clone)]
+pub enum ElemInfo {
+    /// Elements are objects of the class; ids are their oids.
+    Obj(String),
+    /// Elements are atomic values: `bat` is `[elem_id, value]`; a
+    /// `ref_class` marks oid values that are object references.
+    Atom { bat: Var, ref_class: Option<String> },
+    /// Elements are tuples.
+    Tup(Vec<(String, FieldInfo)>),
+}
+
+/// One tuple field of a translated element.
+#[derive(Debug, Clone)]
+pub enum FieldInfo {
+    /// `[elem_id, value]`. `scope` names the index variable the BAT is
+    /// already restricted to (attribute access skips the redundant
+    /// restricting semijoin when the scope matches).
+    Scalar { bat: Var, scope: Option<Var> },
+    /// `[elem_id, target_oid]` reference to objects of `class`.
+    RefTo { bat: Var, class: String, scope: Option<Var> },
+    /// Nested set: `index` is `[child_id, elem_id]`, `elem` describes the
+    /// children.
+    Nested { index: Var, elem: Box<ElemInfo> },
+    /// Nested tuple (from joins/unnest).
+    TupF(Vec<(String, FieldInfo)>),
+}
+
+/// A translated set expression: the index BAT variable (heads are element
+/// ids) plus the element description.
+#[derive(Debug, Clone)]
+pub struct TransSet {
+    pub index: Var,
+    pub elem: ElemInfo,
+}
+
+/// Structure specification over MIL variables; instantiated against the
+/// interpreter environment to yield the result's [`StructuredSet`].
+#[derive(Debug, Clone)]
+pub enum StructSpec {
+    Atom(Var),
+    Ref { bat: Var, class: String },
+    Tuple(Vec<(String, StructSpec)>),
+    Set { index: Var, inner: Box<StructSpec> },
+}
+
+impl StructSpec {
+    fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            StructSpec::Atom(v) | StructSpec::Ref { bat: v, .. } => out.push(*v),
+            StructSpec::Tuple(fields) => fields.iter().for_each(|(_, s)| s.vars(out)),
+            StructSpec::Set { index, inner } => {
+                out.push(*index);
+                inner.vars(out);
+            }
+        }
+    }
+
+    fn instantiate(&self, env: &Env) -> Result<Structure> {
+        Ok(match self {
+            StructSpec::Atom(v) => Structure::AtomBat(env.bat(*v)?.clone()),
+            StructSpec::Ref { bat, class } => Structure::RefBat {
+                bat: env.bat(*bat)?.clone(),
+                class: class.clone(),
+            },
+            StructSpec::Tuple(fields) => Structure::Tuple(
+                fields
+                    .iter()
+                    .map(|(n, s)| Ok((n.clone(), s.instantiate(env)?)))
+                    .collect::<Result<_>>()?,
+            ),
+            StructSpec::Set { index, inner } => Structure::Set {
+                index: env.bat(*index)?.clone(),
+                inner: Box::new(inner.instantiate(env)?),
+            },
+        })
+    }
+}
+
+/// A fully translated query: MIL program + result structure function.
+pub struct Translated {
+    pub prog: MilProgram,
+    /// Variable of the result index BAT.
+    pub index: Var,
+    /// Structure function of the result elements.
+    pub spec: StructSpec,
+    /// Variables the interpreter must keep alive for the structure.
+    pub keep: Vec<Var>,
+}
+
+impl Translated {
+    /// Execute against a database and assemble the structured result.
+    pub fn run(&self, ctx: &ExecCtx, db: &Db) -> Result<(StructuredSet, Env)> {
+        let env = execute(ctx, db, &self.prog, &self.keep)?;
+        let set = self.build(&env)?;
+        Ok((set, env))
+    }
+
+    /// Assemble the structured result from an existing environment.
+    pub fn build(&self, env: &Env) -> Result<StructuredSet> {
+        Ok(StructuredSet::new(
+            env.bat(self.index)?.clone(),
+            self.spec.instantiate(env)?,
+        ))
+    }
+}
+
+/// Scalar translation result: a BAT variable or a constant.
+enum SVal {
+    Bat { var: Var, ref_class: Option<String> },
+    Const(AtomValue),
+}
+
+/// Translate a MOA set expression into a MIL program plus result structure
+/// (the entry point of the rewriter).
+pub fn translate(cat: &Catalog, expr: &SetExpr) -> Result<Translated> {
+    let mut t = Translator { cat, prog: MilProgram::new(), loaded: HashMap::new() };
+    let ts = t.tset(expr)?;
+    let spec = t.elem_spec(&ts.elem, ts.index)?;
+    let mut keep = vec![ts.index];
+    spec.vars(&mut keep);
+    keep.sort_unstable();
+    keep.dedup();
+    Ok(Translated { prog: t.prog, index: ts.index, spec, keep })
+}
+
+struct Translator<'a> {
+    cat: &'a Catalog,
+    prog: MilProgram,
+    loaded: HashMap<String, Var>,
+}
+
+impl<'a> Translator<'a> {
+    fn load(&mut self, name: &str) -> Result<Var> {
+        if let Some(v) = self.loaded.get(name) {
+            return Ok(*v);
+        }
+        // Validate at translation time so errors carry the BAT name.
+        let _: &Bat = self
+            .cat
+            .db()
+            .get(name)
+            .map_err(|_| MoaError::MissingBat(name.to_string()))?;
+        let v = self.prog.emit(name, MilOp::Load(name.to_string()));
+        self.loaded.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn emit(&mut self, name: &str, op: MilOp) -> Var {
+        self.prog.emit(name, op)
+    }
+
+    // -- set expressions ---------------------------------------------------
+
+    fn tset(&mut self, e: &SetExpr) -> Result<TransSet> {
+        match e {
+            SetExpr::Extent(class) => {
+                self.cat.schema().class(class)?;
+                let index = self.load(&Catalog::extent_name(class))?;
+                Ok(TransSet { index, elem: ElemInfo::Obj(class.clone()) })
+            }
+            SetExpr::Select { input, pred } => {
+                let ts = self.tset(input)?;
+                let q = self.quals(&ts, pred, None)?;
+                // The rule: SET(semijoin(A, T(f(X))), X).
+                let index = self.emit("selected", MilOp::Semijoin(ts.index, q));
+                Ok(TransSet { index, elem: ts.elem })
+            }
+            SetExpr::Project { input, items } => {
+                let ts = self.tset(input)?;
+                let mut fields = Vec::with_capacity(items.len());
+                for item in items {
+                    let fi = match &item.expr {
+                        Expr::Scalar(s) => {
+                            match self.scalar(&ts, s, Some(ts.index))? {
+                                SVal::Bat { var, ref_class: Some(c) } => FieldInfo::RefTo {
+                                    bat: var,
+                                    class: c,
+                                    scope: Some(ts.index),
+                                },
+                                SVal::Bat { var, ref_class: None } => {
+                                    FieldInfo::Scalar { bat: var, scope: Some(ts.index) }
+                                }
+                                SVal::Const(_) => {
+                                    return Err(MoaError::Type(
+                                        "projection of a bare constant is not supported; \
+                                         fold it into an expression over an attribute"
+                                            .into(),
+                                    ))
+                                }
+                            }
+                        }
+                        Expr::SetV(sv) => {
+                            let (idx, celem) = self.setvalued(&ts, sv)?;
+                            FieldInfo::Nested { index: idx, elem: Box::new(celem) }
+                        }
+                    };
+                    fields.push((item.name.clone(), fi));
+                }
+                Ok(TransSet { index: ts.index, elem: ElemInfo::Tup(fields) })
+            }
+            SetExpr::Nest { input, keys } => {
+                let ts = self.tset(input)?;
+                // Key BATs, restricted to the selected elements.
+                let mut kvars = Vec::with_capacity(keys.len());
+                for k in keys {
+                    let s = match &k.expr {
+                        Expr::Scalar(s) => s,
+                        Expr::SetV(_) => {
+                            return Err(MoaError::Type("nest keys must be scalar".into()))
+                        }
+                    };
+                    match self.scalar(&ts, s, Some(ts.index))? {
+                        SVal::Bat { var, ref_class } => kvars.push((var, ref_class)),
+                        SVal::Const(_) => {
+                            return Err(MoaError::Type(
+                                "nest key must depend on the element".into(),
+                            ))
+                        }
+                    }
+                }
+                // class := group(k1); class := group(class, ki)…  (Fig 10 l.7)
+                let mut class = self.emit("class", MilOp::Group1(kvars[0].0));
+                for (kv, _) in kvars.iter().skip(1) {
+                    class = self.emit("class", MilOp::Group2(class, *kv));
+                }
+                // One element per group: INDEX (Fig 10 l.8).
+                let cm = self.emit("", MilOp::Mirror(class));
+                let index = self.emit(
+                    "INDEX",
+                    MilOp::SetAgg { f: AggFunc::Count, src: cm },
+                );
+                // Key fields: KEY := join(class.mirror, k).unique (l.9).
+                let mut fields: Vec<(String, FieldInfo)> = Vec::new();
+                for (k, (kv, ref_class)) in keys.iter().zip(&kvars) {
+                    let j = self.emit("", MilOp::Join(cm, *kv));
+                    let u = self.emit(&k.name.to_uppercase(), MilOp::Unique(j));
+                    fields.push((
+                        k.name.clone(),
+                        match ref_class {
+                            Some(c) => FieldInfo::RefTo {
+                                bat: u,
+                                class: c.clone(),
+                                scope: Some(index),
+                            },
+                            None => FieldInfo::Scalar { bat: u, scope: Some(index) },
+                        },
+                    ));
+                }
+                // The grouped elements: class is exactly the nested index
+                // [child_elem, group_oid].
+                fields.push((
+                    NEST_REST.to_string(),
+                    FieldInfo::Nested { index: class, elem: Box::new(ts.elem) },
+                ));
+                Ok(TransSet { index, elem: ElemInfo::Tup(fields) })
+            }
+            SetExpr::Union(a, b) => {
+                let (ta, tb) = (self.tset(a)?, self.tset(b)?);
+                match (&ta.elem, &tb.elem) {
+                    (ElemInfo::Obj(ca), ElemInfo::Obj(cb)) if ca == cb => {}
+                    _ => {
+                        return Err(MoaError::Type(
+                            "union is supported on object sets of the same class".into(),
+                        ))
+                    }
+                }
+                let fresh = self.emit("", MilOp::Antijoin(tb.index, ta.index));
+                let index = self.emit("united", MilOp::Concat(ta.index, fresh));
+                Ok(TransSet { index, elem: ta.elem })
+            }
+            SetExpr::Diff(a, b) => {
+                let (ta, tb) = (self.tset(a)?, self.tset(b)?);
+                let index = self.emit("diffed", MilOp::Antijoin(ta.index, tb.index));
+                Ok(TransSet { index, elem: ta.elem })
+            }
+            SetExpr::Intersect(a, b) => {
+                let (ta, tb) = (self.tset(a)?, self.tset(b)?);
+                let index = self.emit("intersected", MilOp::Semijoin(ta.index, tb.index));
+                Ok(TransSet { index, elem: ta.elem })
+            }
+            SetExpr::Top { input, by, n, desc } => {
+                let ts = self.tset(input)?;
+                let k = match self.scalar(&ts, by, Some(ts.index))? {
+                    SVal::Bat { var, .. } => var,
+                    SVal::Const(_) => {
+                        return Err(MoaError::Type("top key must depend on the element".into()))
+                    }
+                };
+                let t = self.emit("topk", MilOp::TopN { src: k, n: *n, desc: *desc });
+                let index = self.emit("topped", MilOp::Semijoin(ts.index, t));
+                Ok(TransSet { index, elem: ts.elem })
+            }
+            SetExpr::JoinEq { left, right, lkey, rkey, lname, rname } => {
+                let tl = self.tset(left)?;
+                let tr = self.tset(right)?;
+                let lk = self.scalar_bat(&tl, lkey)?;
+                let rk = self.scalar_bat(&tr, rkey)?;
+                let rkm = self.emit("", MilOp::Mirror(rk));
+                let pairs = self.emit("pairs", MilOp::Join(lk, rkm));
+                let pm = self.emit("", MilOp::Mark(pairs));
+                let lmap = self.emit("lmap", MilOp::Mirror(pm));
+                let rmap = self.emit("rmap", MilOp::Zip(pm, pairs));
+                let lfield = self.rekey_elem(&tl.elem, lmap)?;
+                let rfield = self.rekey_elem(&tr.elem, rmap)?;
+                Ok(TransSet {
+                    index: lmap,
+                    elem: ElemInfo::Tup(vec![
+                        (lname.clone(), lfield),
+                        (rname.clone(), rfield),
+                    ]),
+                })
+            }
+            SetExpr::SemijoinEq { left, right, lkey, rkey } => {
+                let tl = self.tset(left)?;
+                let tr = self.tset(right)?;
+                let lk = self.scalar_bat(&tl, lkey)?;
+                let rk = self.scalar_bat(&tr, rkey)?;
+                let lkm = self.emit("", MilOp::Mirror(lk));
+                let rkm = self.emit("", MilOp::Mirror(rk));
+                let q = self.emit("", MilOp::Semijoin(lkm, rkm));
+                let qm = self.emit("", MilOp::Mirror(q));
+                let index = self.emit("semijoined", MilOp::Semijoin(tl.index, qm));
+                Ok(TransSet { index, elem: tl.elem })
+            }
+            SetExpr::Unnest { input, attr, oname, mname } => {
+                let ts = self.tset(input)?;
+                let (idx, celem) = self.setvalued(&ts, attr)?;
+                // idx = [child, owner]; child ids are unique, so they
+                // become the element ids of the unnested set.
+                let ofield = self.rekey_elem(&ts.elem, idx)?;
+                let mfield = self.elem_as_field(&celem, idx)?;
+                Ok(TransSet {
+                    index: idx,
+                    elem: ElemInfo::Tup(vec![
+                        (oname.clone(), ofield),
+                        (mname.clone(), mfield),
+                    ]),
+                })
+            }
+        }
+    }
+
+    // -- predicates ---------------------------------------------------------
+
+    /// Translate a predicate over the elements of `ts` into a qualifier BAT
+    /// `[elem_id, _]` (the `T(f(X))` of the selection rule). `cand`
+    /// restricts evaluation to a previous qualifier (conjunct chaining).
+    fn quals(&mut self, ts: &TransSet, pred: &Pred, cand: Option<Var>) -> Result<Var> {
+        match pred {
+            Pred::And(a, b) => {
+                let qa = self.quals(ts, a, cand)?;
+                self.quals(ts, b, Some(qa))
+            }
+            Pred::Or(a, b) => {
+                let qa = self.quals(ts, a, cand)?;
+                let qb = self.quals(ts, b, cand)?;
+                let ua = self.emit("", MilOp::Semijoin(ts.index, qa));
+                let ub = self.emit("", MilOp::Semijoin(ts.index, qb));
+                Ok(self.emit("", MilOp::Union(ua, ub)))
+            }
+            Pred::Not(p) => {
+                let q = self.quals(ts, p, None)?;
+                let base = cand.unwrap_or(ts.index);
+                Ok(self.emit("", MilOp::Antijoin(base, q)))
+            }
+            Pred::Cmp(op, l, r) => self.cmp_quals(ts, *op, l, r, cand),
+        }
+    }
+
+    fn cmp_quals(
+        &mut self,
+        ts: &TransSet,
+        op: ScalarFunc,
+        l: &Scalar,
+        r: &Scalar,
+        cand: Option<Var>,
+    ) -> Result<Var> {
+        // Normalize literal-on-the-left comparisons.
+        if matches!(l, Scalar::Lit(_)) && !matches!(r, Scalar::Lit(_)) {
+            if let Some(flipped) = flip_cmp(op) {
+                return self.cmp_quals(ts, flipped, r, l, cand);
+            }
+        }
+        // Push-down path: attribute compared against a literal with an
+        // order predicate — (range-)select on the attribute BAT, then join
+        // back along the reference chain (Fig 10 lines 1-5).
+        if let (Scalar::Attr(path), Scalar::Lit(v)) = (l, r) {
+            if matches!(
+                op,
+                ScalarFunc::Eq | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt | ScalarFunc::Ge
+            ) {
+                if let Some(q) = self.pushdown_select(ts, path, op, v, cand)? {
+                    return Ok(q);
+                }
+            }
+        }
+        // General fallback: multiplex the comparison to [elem, bool] and
+        // select the trues. Tuple-element value BATs ignore the `restrict`
+        // hint (they are keyed by construction), so the candidate
+        // restriction must be re-applied to the qualifier explicitly.
+        let base = cand.unwrap_or(ts.index);
+        let lb = self.scalar(ts, l, Some(base))?;
+        let rb = self.scalar(ts, r, Some(base))?;
+        let args = vec![sval_arg(lb), sval_arg(rb)];
+        let bools = self.emit("", MilOp::Multiplex { f: op, args });
+        let q = self.emit("", MilOp::SelectEq(bools, AtomValue::Bool(true)));
+        Ok(match cand {
+            Some(c) => self.emit("", MilOp::Semijoin(q, c)),
+            None => q,
+        })
+    }
+
+    /// Try the select-pushdown strategy for `path op literal`. Returns
+    /// `None` when the path shape does not support it.
+    fn pushdown_select(
+        &mut self,
+        ts: &TransSet,
+        path: &[String],
+        op: ScalarFunc,
+        v: &AtomValue,
+        cand: Option<Var>,
+    ) -> Result<Option<Var>> {
+        // Resolve the chain of hop BATs: hops[0..n-1] are reference BATs
+        // [cur, next], the final BAT holds the compared values.
+        let Some((hops, leaf)) = self.attr_hop_bats(&ts.elem, path)? else {
+            return Ok(None);
+        };
+        let selected = if hops.is_empty() {
+            // Single hop: restrict first (datavector semijoin), then select
+            // — exactly Figure 10 lines 3-4.
+            let base = match cand {
+                Some(c) => self.emit("", MilOp::Semijoin(leaf, c)),
+                None => leaf,
+            };
+            self.emit_select("", base, op, v)
+        } else {
+            // Select at the far end, then walk the reference chain back.
+            let mut cur = self.emit_select("", leaf, op, v);
+            for hop in hops.iter().rev() {
+                cur = self.emit("", MilOp::Join(*hop, cur));
+            }
+            match cand {
+                Some(c) => self.emit("", MilOp::Semijoin(cur, c)),
+                None => cur,
+            }
+        };
+        Ok(Some(selected))
+    }
+
+    fn emit_select(&mut self, name: &str, src: Var, op: ScalarFunc, v: &AtomValue) -> Var {
+        let op = match op {
+            ScalarFunc::Eq => MilOp::SelectEq(src, v.clone()),
+            ScalarFunc::Lt => MilOp::SelectRange {
+                src,
+                lo: None,
+                hi: Some(v.clone()),
+                inc_lo: true,
+                inc_hi: false,
+            },
+            ScalarFunc::Le => MilOp::SelectRange {
+                src,
+                lo: None,
+                hi: Some(v.clone()),
+                inc_lo: true,
+                inc_hi: true,
+            },
+            ScalarFunc::Gt => MilOp::SelectRange {
+                src,
+                lo: Some(v.clone()),
+                hi: None,
+                inc_lo: false,
+                inc_hi: true,
+            },
+            ScalarFunc::Ge => MilOp::SelectRange {
+                src,
+                lo: Some(v.clone()),
+                hi: None,
+                inc_lo: true,
+                inc_hi: true,
+            },
+            other => unreachable!("emit_select on non-order op {other:?}"),
+        };
+        self.emit(name, op)
+    }
+
+    /// The hop/leaf BATs of an attribute path, without restriction — the
+    /// raw material for select pushdown. `None` if the path enters
+    /// computed fields that have no backing chain.
+    fn attr_hop_bats(
+        &mut self,
+        elem: &ElemInfo,
+        path: &[String],
+    ) -> Result<Option<(Vec<Var>, Var)>> {
+        let mut hops: Vec<Var> = Vec::new();
+        let mut cursor: ElemCursor = ElemCursor::Elem(elem.clone());
+        for (i, seg) in path.iter().enumerate() {
+            let last = i + 1 == path.len();
+            match cursor {
+                ElemCursor::Elem(ElemInfo::Obj(ref class)) => {
+                    let def = self.cat.schema().class(class)?;
+                    let field = def.field(seg).ok_or_else(|| MoaError::UnknownAttr {
+                        class: class.clone(),
+                        attr: seg.clone(),
+                    })?;
+                    let bat = self.load(&Catalog::attr_name(class, seg))?;
+                    match &field.ty {
+                        MoaType::Base(_) if last => return Ok(Some((hops, bat))),
+                        MoaType::Base(_) => return Ok(None),
+                        MoaType::Object(c2) if last => return Ok(Some((hops, bat))),
+                        MoaType::Object(c2) => {
+                            hops.push(bat);
+                            cursor = ElemCursor::Elem(ElemInfo::Obj(c2.clone()));
+                        }
+                        _ => return Ok(None),
+                    }
+                }
+                ElemCursor::Elem(ElemInfo::Tup(ref fields)) => {
+                    let Some((_, fi)) = fields.iter().find(|(n, _)| n == seg) else {
+                        return Err(MoaError::Type(format!("tuple has no field {seg}")));
+                    };
+                    match fi {
+                        FieldInfo::Scalar { bat, .. } if last => {
+                            return Ok(Some((hops, *bat)))
+                        }
+                        FieldInfo::RefTo { bat, class, .. } => {
+                            if last {
+                                return Ok(Some((hops, *bat)));
+                            }
+                            hops.push(*bat);
+                            cursor = ElemCursor::Elem(ElemInfo::Obj(class.clone()));
+                        }
+                        FieldInfo::TupF(inner) => {
+                            cursor = ElemCursor::Elem(ElemInfo::Tup(inner.clone()));
+                        }
+                        _ => return Ok(None),
+                    }
+                }
+                ElemCursor::Elem(ElemInfo::Atom { .. }) => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    // -- scalar expressions --------------------------------------------------
+
+    fn scalar_bat(&mut self, ts: &TransSet, s: &Scalar) -> Result<Var> {
+        match self.scalar(ts, s, Some(ts.index))? {
+            SVal::Bat { var, .. } => Ok(var),
+            SVal::Const(_) => Err(MoaError::Type(
+                "expected an element-dependent expression, found a constant".into(),
+            )),
+        }
+    }
+
+    /// Translate a scalar expression to `[elem_id, value]` (or a constant).
+    /// `restrict` semijoins first-hop attribute BATs down to the given
+    /// index — the "computation phase" behaviour that engages the
+    /// datavector semijoin.
+    fn scalar(&mut self, ts: &TransSet, s: &Scalar, restrict: Option<Var>) -> Result<SVal> {
+        match s {
+            Scalar::Lit(v) => Ok(SVal::Const(v.clone())),
+            Scalar::This => match &ts.elem {
+                ElemInfo::Obj(c) => {
+                    let class = c.clone();
+                    let mut v = self.self_map(ts.index)?;
+                    if let Some(r) = restrict {
+                        if r != ts.index {
+                            v = self.emit("", MilOp::Semijoin(v, r));
+                        }
+                    }
+                    Ok(SVal::Bat { var: v, ref_class: Some(class) })
+                }
+                ElemInfo::Atom { bat, ref_class } => {
+                    let mut v = *bat;
+                    if let Some(r) = restrict {
+                        v = self.emit("", MilOp::Semijoin(v, r));
+                    }
+                    Ok(SVal::Bat { var: v, ref_class: ref_class.clone() })
+                }
+                ElemInfo::Tup(_) => Err(MoaError::Type(
+                    "%self of a tuple element is not scalar".into(),
+                )),
+            },
+            Scalar::Attr(path) => self.attr_value(ts, &ts.elem.clone(), path, restrict),
+            Scalar::Bin(op, l, r) => {
+                let lv = self.scalar(ts, l, restrict)?;
+                let rv = self.scalar(ts, r, restrict)?;
+                match (&lv, &rv) {
+                    (SVal::Const(a), SVal::Const(b)) => Ok(SVal::Const(
+                        monet::ops::apply_scalar(*op, &[a.clone(), b.clone()])?,
+                    )),
+                    _ => {
+                        let args = vec![sval_arg(lv), sval_arg(rv)];
+                        let v = self.emit("", MilOp::Multiplex { f: *op, args });
+                        Ok(SVal::Bat { var: v, ref_class: None })
+                    }
+                }
+            }
+            Scalar::Un(op, x) => {
+                let xv = self.scalar(ts, x, restrict)?;
+                match &xv {
+                    SVal::Const(a) => Ok(SVal::Const(monet::ops::apply_scalar(
+                        *op,
+                        &[a.clone()],
+                    )?)),
+                    _ => {
+                        let args = vec![sval_arg(xv)];
+                        let v = self.emit("", MilOp::Multiplex { f: *op, args });
+                        Ok(SVal::Bat { var: v, ref_class: None })
+                    }
+                }
+            }
+            Scalar::Agg(f, sv) => {
+                let (idx, celem) = self.setvalued(ts, sv)?;
+                let im = self.emit("", MilOp::Mirror(idx));
+                let v = match *f {
+                    AggFunc::Count => self.emit("", MilOp::SetAgg { f: AggFunc::Count, src: im }),
+                    _ => {
+                        let vals = match &celem {
+                            ElemInfo::Atom { bat, .. } => *bat,
+                            ElemInfo::Obj(_) | ElemInfo::Tup(_) => {
+                                return Err(MoaError::Type(format!(
+                                    "aggregate {} needs atomic members; project first",
+                                    f.name()
+                                )))
+                            }
+                        };
+                        // losses := join(class.mirror, values); {f}(losses)
+                        let owner_vals = self.emit("", MilOp::Join(im, vals));
+                        self.emit("", MilOp::SetAgg { f: *f, src: owner_vals })
+                    }
+                };
+                Ok(SVal::Bat { var: v, ref_class: None })
+            }
+        }
+    }
+
+    /// Attribute/navigation translation.
+    fn attr_value(
+        &mut self,
+        ts: &TransSet,
+        elem: &ElemInfo,
+        path: &[String],
+        restrict: Option<Var>,
+    ) -> Result<SVal> {
+        if path.is_empty() {
+            return Err(MoaError::Type("empty attribute path".into()));
+        }
+        let seg = &path[0];
+        match elem {
+            ElemInfo::Obj(class) => {
+                let def = self.cat.schema().class(class)?;
+                let field = def
+                    .field(seg)
+                    .ok_or_else(|| MoaError::UnknownAttr {
+                        class: class.clone(),
+                        attr: seg.clone(),
+                    })?
+                    .clone();
+                let mut cur = self.load(&Catalog::attr_name(class, seg))?;
+                if let Some(r) = restrict {
+                    cur = self.emit("", MilOp::Semijoin(cur, r));
+                }
+                match field.ty {
+                    MoaType::Base(_) => {
+                        if path.len() > 1 {
+                            return Err(MoaError::NotNavigable {
+                                class: class.clone(),
+                                attr: seg.clone(),
+                            });
+                        }
+                        Ok(SVal::Bat { var: cur, ref_class: None })
+                    }
+                    MoaType::Object(c2) => {
+                        self.chain_object(cur, &c2, &path[1..])
+                    }
+                    MoaType::Set(_) => Err(MoaError::Type(format!(
+                        "%{} is set-valued; use a set expression",
+                        path.join(".")
+                    ))),
+                    MoaType::Tuple(_) => Err(MoaError::Type(
+                        "direct tuple attributes are unsupported".into(),
+                    )),
+                }
+            }
+            ElemInfo::Tup(fields) => {
+                let Some((_, fi)) = fields.iter().find(|(n, _)| n == seg) else {
+                    return Err(MoaError::Type(format!("tuple has no field {seg}")));
+                };
+                // Tuple field BATs may cover a superset of the current
+                // elements (e.g. full member BATs after unnest); the
+                // restriction must be applied to the resolved value.
+                let field_scope;
+                let v = match fi {
+                    FieldInfo::Scalar { bat, scope } => {
+                        if path.len() > 1 {
+                            return Err(MoaError::Type(format!(
+                                "cannot navigate past scalar field {seg}"
+                            )));
+                        }
+                        field_scope = *scope;
+                        SVal::Bat { var: *bat, ref_class: None }
+                    }
+                    FieldInfo::RefTo { bat, class, scope } => {
+                        // Navigation joins preserve the key set, so the
+                        // field's scope carries through the chain.
+                        field_scope = *scope;
+                        self.chain_object(*bat, &class.clone(), &path[1..])?
+                    }
+                    FieldInfo::TupF(inner) => {
+                        return self.attr_value(
+                            ts,
+                            &ElemInfo::Tup(inner.clone()),
+                            &path[1..],
+                            restrict,
+                        )
+                    }
+                    FieldInfo::Nested { .. } => {
+                        return Err(MoaError::Type(format!(
+                            "%{} is set-valued; use a set expression",
+                            path.join(".")
+                        )))
+                    }
+                };
+                Ok(match (v, restrict) {
+                    (SVal::Bat { var, ref_class }, Some(r)) if field_scope != Some(r) => {
+                        SVal::Bat {
+                            var: self.emit("", MilOp::Semijoin(var, r)),
+                            ref_class,
+                        }
+                    }
+                    (v, _) => v,
+                })
+            }
+            ElemInfo::Atom { bat, ref_class } => {
+                // Navigation from an atomic element only makes sense when
+                // it is an object reference.
+                let Some(class) = ref_class.clone() else {
+                    return Err(MoaError::Type(format!(
+                        "cannot navigate .{seg} from an atomic element"
+                    )));
+                };
+                self.chain_object(*bat, &class, path)
+            }
+        }
+    }
+
+    /// Continue a navigation chain: `cur` is `[elem, oid-of-class]`, walk
+    /// the remaining path by joining attribute BATs.
+    fn chain_object(&mut self, cur: Var, class: &str, rest: &[String]) -> Result<SVal> {
+        if rest.is_empty() {
+            return Ok(SVal::Bat { var: cur, ref_class: Some(class.to_string()) });
+        }
+        let seg = &rest[0];
+        let def = self.cat.schema().class(class)?;
+        let field = def
+            .field(seg)
+            .ok_or_else(|| MoaError::UnknownAttr { class: class.into(), attr: seg.clone() })?
+            .clone();
+        let attr = self.load(&Catalog::attr_name(class, seg))?;
+        let joined = self.emit("", MilOp::Join(cur, attr));
+        match field.ty {
+            MoaType::Base(_) => {
+                if rest.len() > 1 {
+                    return Err(MoaError::NotNavigable {
+                        class: class.into(),
+                        attr: seg.clone(),
+                    });
+                }
+                Ok(SVal::Bat { var: joined, ref_class: None })
+            }
+            MoaType::Object(c2) => self.chain_object(joined, &c2, &rest[1..]),
+            _ => Err(MoaError::Type(format!(
+                "cannot navigate through {class}.{seg}"
+            ))),
+        }
+    }
+
+    // -- set-valued expressions ----------------------------------------------
+
+    /// Translate a set-valued expression in the context of `ts` into
+    /// `(index [child, elem], child ElemInfo)`.
+    fn setvalued(&mut self, ts: &TransSet, sv: &SetValued) -> Result<(Var, ElemInfo)> {
+        match sv {
+            SetValued::Attr(path) => {
+                if path.len() != 1 {
+                    return Err(MoaError::Type(
+                        "set-valued paths must be a single attribute".into(),
+                    ));
+                }
+                let seg = &path[0];
+                match &ts.elem {
+                    ElemInfo::Obj(class) => {
+                        let class = class.clone();
+                        let def = self.cat.schema().class(&class)?;
+                        let field = def
+                            .field(seg)
+                            .ok_or_else(|| MoaError::UnknownAttr {
+                                class: class.clone(),
+                                attr: seg.clone(),
+                            })?
+                            .clone();
+                        let MoaType::Set(member_ty) = field.ty else {
+                            return Err(MoaError::Type(format!(
+                                "%{seg} is not set-valued"
+                            )));
+                        };
+                        let full = self.load(&Catalog::attr_name(&class, seg))?;
+                        // Restrict owners to the current elements.
+                        let m = self.emit("", MilOp::Mirror(full));
+                        let ms = self.emit("", MilOp::Semijoin(m, ts.index));
+                        let idx = self.emit("", MilOp::Mirror(ms));
+                        let celem = self.member_elem(&class, seg, &member_ty)?;
+                        Ok((idx, celem))
+                    }
+                    ElemInfo::Tup(fields) => {
+                        let Some((_, fi)) = fields.iter().find(|(n, _)| n == seg) else {
+                            return Err(MoaError::Type(format!("tuple has no field {seg}")));
+                        };
+                        match fi {
+                            FieldInfo::Nested { index, elem } => {
+                                let (index, elem) = (*index, (**elem).clone());
+                                let m = self.emit("", MilOp::Mirror(index));
+                                let ms = self.emit("", MilOp::Semijoin(m, ts.index));
+                                let idx = self.emit("", MilOp::Mirror(ms));
+                                Ok((idx, elem))
+                            }
+                            _ => Err(MoaError::Type(format!("field {seg} is not a set"))),
+                        }
+                    }
+                    ElemInfo::Atom { .. } => {
+                        Err(MoaError::Type("atomic elements have no set attributes".into()))
+                    }
+                }
+            }
+            SetValued::SelectIn(inner, pred) => {
+                // §4.3.2: one flat selection over all nested sets at once.
+                let (idx, celem) = self.setvalued(ts, inner)?;
+                let child_ts = TransSet { index: idx, elem: celem.clone() };
+                let q = self.quals(&child_ts, pred, None)?;
+                let idx2 = self.emit("", MilOp::Semijoin(idx, q));
+                Ok((idx2, celem))
+            }
+            SetValued::ProjectIn(inner, item) => {
+                let (idx, celem) = self.setvalued(ts, inner)?;
+                let child_ts = TransSet { index: idx, elem: celem };
+                match self.scalar(&child_ts, item, Some(idx))? {
+                    SVal::Bat { var, ref_class } => {
+                        Ok((idx, ElemInfo::Atom { bat: var, ref_class }))
+                    }
+                    SVal::Const(_) => Err(MoaError::Type(
+                        "projection inside a set must depend on the member".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Child ElemInfo for a stored set-valued attribute.
+    fn member_elem(&mut self, class: &str, attr: &str, ty: &MoaType) -> Result<ElemInfo> {
+        Ok(match ty {
+            MoaType::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for f in fields {
+                    let bat = self.load(&Catalog::member_name(class, attr, &f.name))?;
+                    let fi = match &f.ty {
+                        MoaType::Object(c) => {
+                            FieldInfo::RefTo { bat, class: c.clone(), scope: None }
+                        }
+                        MoaType::Base(_) => FieldInfo::Scalar { bat, scope: None },
+                        other => {
+                            return Err(MoaError::Type(format!(
+                                "unsupported member field type {other}"
+                            )))
+                        }
+                    };
+                    out.push((f.name.clone(), fi));
+                }
+                ElemInfo::Tup(out)
+            }
+            MoaType::Object(c) => ElemInfo::Atom {
+                bat: self.load(&Catalog::member_name(class, attr, "ref"))?,
+                ref_class: Some(c.clone()),
+            },
+            MoaType::Base(_) => ElemInfo::Atom {
+                bat: self.load(&Catalog::member_name(class, attr, "val"))?,
+                ref_class: None,
+            },
+            other => return Err(MoaError::Type(format!("unsupported member type {other}"))),
+        })
+    }
+
+    // -- rekeying (joins, unnest) ---------------------------------------------
+
+    /// Re-key an element description through `map = [new_id, old_id]`,
+    /// emitting the joins that move every value BAT to the new ids.
+    fn rekey_elem(&mut self, elem: &ElemInfo, map: Var) -> Result<FieldInfo> {
+        Ok(match elem {
+            ElemInfo::Obj(c) => {
+                FieldInfo::RefTo { bat: map, class: c.clone(), scope: Some(map) }
+            }
+            ElemInfo::Atom { bat, ref_class } => {
+                let j = self.emit("", MilOp::Join(map, *bat));
+                match ref_class {
+                    Some(c) => {
+                        FieldInfo::RefTo { bat: j, class: c.clone(), scope: Some(map) }
+                    }
+                    None => FieldInfo::Scalar { bat: j, scope: Some(map) },
+                }
+            }
+            ElemInfo::Tup(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, fi) in fields {
+                    out.push((n.clone(), self.rekey_field(fi, map)?));
+                }
+                FieldInfo::TupF(out)
+            }
+        })
+    }
+
+    fn rekey_field(&mut self, fi: &FieldInfo, map: Var) -> Result<FieldInfo> {
+        Ok(match fi {
+            FieldInfo::Scalar { bat, .. } => FieldInfo::Scalar {
+                bat: self.emit("", MilOp::Join(map, *bat)),
+                scope: Some(map),
+            },
+            FieldInfo::RefTo { bat, class, .. } => FieldInfo::RefTo {
+                bat: self.emit("", MilOp::Join(map, *bat)),
+                class: class.clone(),
+                scope: Some(map),
+            },
+            FieldInfo::Nested { index, elem } => {
+                // [child, old] → [child, new]
+                let im = self.emit("", MilOp::Mirror(*index));
+                let j = self.emit("", MilOp::Join(map, im));
+                let idx = self.emit("", MilOp::Mirror(j));
+                FieldInfo::Nested { index: idx, elem: elem.clone() }
+            }
+            FieldInfo::TupF(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, f) in fields {
+                    out.push((n.clone(), self.rekey_field(f, map)?));
+                }
+                FieldInfo::TupF(out)
+            }
+        })
+    }
+
+    /// Wrap a child ElemInfo (keyed by the heads of `idx`) as a tuple
+    /// field of elements whose ids are exactly those heads.
+    fn elem_as_field(&mut self, elem: &ElemInfo, idx: Var) -> Result<FieldInfo> {
+        Ok(match elem {
+            ElemInfo::Obj(c) => {
+                let selfmap = self.self_map(idx)?;
+                FieldInfo::RefTo { bat: selfmap, class: c.clone(), scope: Some(idx) }
+            }
+            ElemInfo::Atom { bat, ref_class } => match ref_class {
+                Some(c) => FieldInfo::RefTo { bat: *bat, class: c.clone(), scope: None },
+                None => FieldInfo::Scalar { bat: *bat, scope: None },
+            },
+            ElemInfo::Tup(fields) => FieldInfo::TupF(fields.clone()),
+        })
+    }
+
+    /// `[elem, elem]` self-reference BAT for the heads of `idx`.
+    fn self_map(&mut self, idx: Var) -> Result<Var> {
+        let m = self.emit("", MilOp::Mirror(idx));
+        Ok(self.emit("", MilOp::Zip(m, m)))
+    }
+
+    // -- result structure -----------------------------------------------------
+
+    /// Build the result structure specification for the final element
+    /// description (emits self-maps for object elements).
+    fn elem_spec(&mut self, elem: &ElemInfo, index: Var) -> Result<StructSpec> {
+        Ok(match elem {
+            ElemInfo::Obj(c) => StructSpec::Ref {
+                bat: self.self_map(index)?,
+                class: c.clone(),
+            },
+            ElemInfo::Atom { bat, ref_class } => match ref_class {
+                Some(c) => StructSpec::Ref { bat: *bat, class: c.clone() },
+                None => StructSpec::Atom(*bat),
+            },
+            ElemInfo::Tup(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, fi) in fields {
+                    out.push((n.clone(), self.field_spec(fi)?));
+                }
+                StructSpec::Tuple(out)
+            }
+        })
+    }
+
+    fn field_spec(&mut self, fi: &FieldInfo) -> Result<StructSpec> {
+        Ok(match fi {
+            FieldInfo::Scalar { bat, .. } => StructSpec::Atom(*bat),
+            FieldInfo::RefTo { bat, class, .. } => {
+                StructSpec::Ref { bat: *bat, class: class.clone() }
+            }
+            FieldInfo::Nested { index, elem } => {
+                let inner = self.elem_spec(elem, *index)?;
+                StructSpec::Set { index: *index, inner: Box::new(inner) }
+            }
+            FieldInfo::TupF(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, f) in fields {
+                    out.push((n.clone(), self.field_spec(f)?));
+                }
+                StructSpec::Tuple(out)
+            }
+        })
+    }
+}
+
+enum ElemCursor {
+    Elem(ElemInfo),
+}
+
+fn sval_arg(v: SVal) -> MilArg {
+    match v {
+        SVal::Bat { var, .. } => MilArg::Var(var),
+        SVal::Const(c) => MilArg::Const(c),
+    }
+}
+
+fn flip_cmp(op: ScalarFunc) -> Option<ScalarFunc> {
+    Some(match op {
+        ScalarFunc::Eq => ScalarFunc::Eq,
+        ScalarFunc::Ne => ScalarFunc::Ne,
+        ScalarFunc::Lt => ScalarFunc::Gt,
+        ScalarFunc::Le => ScalarFunc::Ge,
+        ScalarFunc::Gt => ScalarFunc::Lt,
+        ScalarFunc::Ge => ScalarFunc::Le,
+        _ => return None,
+    })
+}

@@ -1,0 +1,231 @@
+//! The MOA logical data model (Section 3.1).
+//!
+//! MOA accepts all atomic types of Monet as base types (and inherits
+//! Monet's base-type extensibility). Base types combine orthogonally with
+//! the structure primitives `SET`, `TUPLE` and `OBJECT`. A MOA database is
+//! the collection of class extents — sets, one per object class, holding
+//! all instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use monet::atom::AtomType;
+
+use crate::error::{MoaError, Result};
+
+/// A MOA type (Section 3.3):
+/// base types, tuple types `<τ1,…,τn>`, set types `{τ}` and object
+/// references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoaType {
+    /// An atomic Monet type.
+    Base(AtomType),
+    /// Tuple of named fields.
+    Tuple(Vec<Field>),
+    /// Homogeneous set.
+    Set(Box<MoaType>),
+    /// Reference to an object of the named class.
+    Object(String),
+}
+
+impl MoaType {
+    pub fn set_of(inner: MoaType) -> MoaType {
+        MoaType::Set(Box::new(inner))
+    }
+
+    /// Look up a field type if this is a tuple.
+    pub fn field(&self, name: &str) -> Option<&MoaType> {
+        match self {
+            MoaType::Tuple(fields) => {
+                fields.iter().find(|f| f.name == name).map(|f| &f.ty)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MoaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoaType::Base(t) => write!(f, "{t}"),
+            MoaType::Tuple(fields) => {
+                write!(f, "<")?;
+                for (i, fld) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} : {}", fld.name, fld.ty)?;
+                }
+                write!(f, ">")
+            }
+            MoaType::Set(inner) => write!(f, "{{{inner}}}"),
+            MoaType::Object(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A named field of a tuple or class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub ty: MoaType,
+}
+
+impl Field {
+    pub fn new(name: &str, ty: MoaType) -> Field {
+        Field { name: name.to_string(), ty }
+    }
+}
+
+/// A class definition (Figure 1 shows the TPC-D classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    pub name: String,
+    pub fields: Vec<Field>,
+}
+
+impl ClassDef {
+    pub fn new(name: &str, fields: Vec<Field>) -> ClassDef {
+        ClassDef { name: name.to_string(), fields }
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "class {} <", self.name)?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            let sep = if i + 1 == self.fields.len() { " >;" } else { "," };
+            writeln!(f, "    {:<14}: {}{}", fld.name, fld.ty, sep)?;
+        }
+        Ok(())
+    }
+}
+
+/// A MOA schema: the set of class definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: BTreeMap<String, ClassDef>,
+}
+
+impl Schema {
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    pub fn add_class(&mut self, def: ClassDef) {
+        self.classes.insert(def.name.clone(), def);
+    }
+
+    pub fn class(&self, name: &str) -> Result<&ClassDef> {
+        self.classes
+            .get(name)
+            .ok_or_else(|| MoaError::UnknownClass(name.to_string()))
+    }
+
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Resolve an attribute path starting from a class: `order.clerk` from
+    /// `Item` navigates the `order` reference into `Order` and ends at the
+    /// base-typed `clerk`. Returns the sequence of visited field types.
+    pub fn resolve_path<'a>(&'a self, class: &str, path: &[String]) -> Result<Vec<&'a MoaType>> {
+        let mut out = Vec::with_capacity(path.len());
+        let mut cur_class = class.to_string();
+        for (i, seg) in path.iter().enumerate() {
+            let def = self.class(&cur_class)?;
+            let field = def.field(seg).ok_or_else(|| MoaError::UnknownAttr {
+                class: cur_class.clone(),
+                attr: seg.clone(),
+            })?;
+            out.push(&field.ty);
+            match &field.ty {
+                MoaType::Object(c) => cur_class = c.clone(),
+                _ if i + 1 < path.len() => {
+                    return Err(MoaError::NotNavigable {
+                        class: cur_class,
+                        attr: seg.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_class(ClassDef::new(
+            "Order",
+            vec![
+                Field::new("clerk", MoaType::Base(AtomType::Str)),
+                Field::new("orderdate", MoaType::Base(AtomType::Date)),
+            ],
+        ));
+        s.add_class(ClassDef::new(
+            "Item",
+            vec![
+                Field::new("order", MoaType::Object("Order".into())),
+                Field::new("extendedprice", MoaType::Base(AtomType::Dbl)),
+            ],
+        ));
+        s
+    }
+
+    #[test]
+    fn class_lookup() {
+        let s = mini_schema();
+        assert!(s.class("Item").is_ok());
+        assert!(s.class("Nope").is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn path_navigation() {
+        let s = mini_schema();
+        let tys = s
+            .resolve_path("Item", &["order".into(), "clerk".into()])
+            .unwrap();
+        assert_eq!(tys.len(), 2);
+        assert_eq!(tys[1], &MoaType::Base(AtomType::Str));
+    }
+
+    #[test]
+    fn path_through_base_type_fails() {
+        let s = mini_schema();
+        assert!(s
+            .resolve_path("Item", &["extendedprice".into(), "x".into()])
+            .is_err());
+        assert!(s.resolve_path("Item", &["missing".into()]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = mini_schema();
+        let printed = s.class("Item").unwrap().to_string();
+        assert!(printed.contains("class Item <"));
+        assert!(printed.contains("order"));
+        let set_ty = MoaType::set_of(MoaType::Tuple(vec![Field::new(
+            "part",
+            MoaType::Object("Part".into()),
+        )]));
+        assert_eq!(set_ty.to_string(), "{<part : Part>}");
+    }
+}

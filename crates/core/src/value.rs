@@ -1,0 +1,251 @@
+//! Materialized MOA values and identified value sets.
+//!
+//! Section 3.3 defines the semantics of the structure functions in terms of
+//! *identified value sets* (IVS): sets of `<id, value>` pairs with unique
+//! identifiers. This module provides the concrete value domain `V_τ` used
+//! by the reference evaluator and by the Figure 6 commutativity check —
+//! the structure functions of [`crate::structure`] materialize BATs into
+//! these values, and MOA operations have a direct denotational meaning on
+//! them.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use monet::atom::{AtomValue, Oid};
+
+/// A materialized MOA value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A base-type value.
+    Atom(AtomValue),
+    /// A tuple; field order is the declaration order.
+    Tuple(Vec<Value>),
+    /// A set of member values. Stored as a vector; *set equality* is
+    /// order-insensitive (see [`Value::canonicalize`]).
+    Set(Vec<Value>),
+    /// A reference to an object (its identity).
+    Ref(Oid),
+}
+
+impl Value {
+    pub fn atom(v: impl Into<AtomValue>) -> Value {
+        Value::Atom(v.into())
+    }
+
+    /// Total order over values of the same shape, used to canonicalize
+    /// sets for comparison. Sets compare by canonicalized members.
+    pub fn cmp_canonical(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Atom(a), Value::Atom(b)) => {
+                let ta = format!("{:?}", a.atom_type());
+                let tb = format!("{:?}", b.atom_type());
+                ta.cmp(&tb).then_with(|| {
+                    if a.atom_type() == b.atom_type() {
+                        a.cmp_same_type(b)
+                    } else {
+                        Ordering::Equal
+                    }
+                })
+            }
+            (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len().cmp(&b.len()).then_with(|| {
+                    for (x, y) in a.iter().zip(b) {
+                        let c = x.cmp_canonical(y);
+                        if c != Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    Ordering::Equal
+                })
+            }
+            (Value::Set(a), Value::Set(b)) => {
+                let mut ca = a.clone();
+                let mut cb = b.clone();
+                ca.sort_by(|x, y| x.cmp_canonical(y));
+                cb.sort_by(|x, y| x.cmp_canonical(y));
+                ca.len().cmp(&cb.len()).then_with(|| {
+                    for (x, y) in ca.iter().zip(&cb) {
+                        let c = x.cmp_canonical(y);
+                        if c != Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    Ordering::Equal
+                })
+            }
+            // Mixed shapes: order by an arbitrary but fixed shape rank.
+            _ => shape_rank(self).cmp(&shape_rank(other)),
+        }
+    }
+
+    /// Recursively sort all set members so that structurally equal values
+    /// compare equal with `==` regardless of member order.
+    pub fn canonicalize(&mut self) {
+        match self {
+            Value::Atom(_) | Value::Ref(_) => {}
+            Value::Tuple(fields) => fields.iter_mut().for_each(Value::canonicalize),
+            Value::Set(members) => {
+                members.iter_mut().for_each(Value::canonicalize);
+                members.sort_by(|a, b| a.cmp_canonical(b));
+            }
+        }
+    }
+
+    /// Equality up to set-member order and float tolerance `eps` on
+    /// doubles — the comparison the cross-checking tests use.
+    pub fn approx_eq(&self, other: &Value, eps: f64) -> bool {
+        match (self, other) {
+            (Value::Atom(AtomValue::Dbl(a)), Value::Atom(AtomValue::Dbl(b))) => {
+                (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+            }
+            (Value::Atom(a), Value::Atom(b)) => a == b,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(y, eps))
+            }
+            (Value::Set(a), Value::Set(b)) => {
+                if a.len() != b.len() {
+                    return false;
+                }
+                let mut ca = a.clone();
+                let mut cb = b.clone();
+                ca.iter_mut().for_each(Value::canonicalize);
+                cb.iter_mut().for_each(Value::canonicalize);
+                ca.sort_by(|x, y| x.cmp_canonical(y));
+                cb.sort_by(|x, y| x.cmp_canonical(y));
+                ca.iter().zip(&cb).all(|(x, y)| x.approx_eq(y, eps))
+            }
+            _ => false,
+        }
+    }
+}
+
+fn shape_rank(v: &Value) -> u8 {
+    match v {
+        Value::Atom(_) => 0,
+        Value::Ref(_) => 1,
+        Value::Tuple(_) => 2,
+        Value::Set(_) => 3,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Ref(o) => write!(f, "&{o}"),
+            Value::Tuple(fields) => {
+                write!(f, "<")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            Value::Set(members) => {
+                write!(f, "{{")?;
+                for (i, v) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// An identified value set: `<id, value>` pairs with unique ids (Section
+/// 3.3). Identifiers can be — and are — reused across different value
+/// sets; that reuse is what *synchronous* value sets are about.
+pub type Ivs = Vec<(Oid, Value)>;
+
+/// Check the IVS invariant: identifiers are unique within the set.
+pub fn ivs_ids_unique(ivs: &Ivs) -> bool {
+    let mut ids: Vec<Oid> = ivs.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Check that two IVSes are synchronous: each identifier in one has a
+/// counterpart in the other and vice versa.
+pub fn synchronous(a: &Ivs, b: &Ivs) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ia: Vec<Oid> = a.iter().map(|(id, _)| *id).collect();
+    let mut ib: Vec<Oid> = b.iter().map(|(id, _)| *id).collect();
+    ia.sort_unstable();
+    ib.sort_unstable();
+    ia == ib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_equality_is_order_insensitive() {
+        let a = Value::Set(vec![
+            Value::Atom(AtomValue::Int(1)),
+            Value::Atom(AtomValue::Int(2)),
+        ]);
+        let b = Value::Set(vec![
+            Value::Atom(AtomValue::Int(2)),
+            Value::Atom(AtomValue::Int(1)),
+        ]);
+        assert_ne!(a, b); // raw vectors differ...
+        let (mut ca, mut cb) = (a.clone(), b.clone());
+        ca.canonicalize();
+        cb.canonicalize();
+        assert_eq!(ca, cb); // ...canonicalized they agree
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        let a = Value::Tuple(vec![Value::Atom(AtomValue::Dbl(100.0))]);
+        let b = Value::Tuple(vec![Value::Atom(AtomValue::Dbl(100.0 + 1e-12))]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = Value::Tuple(vec![Value::Atom(AtomValue::Dbl(101.0))]);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn nested_set_canonicalization() {
+        let a = Value::Set(vec![
+            Value::Set(vec![Value::Atom(AtomValue::Int(3)), Value::Atom(AtomValue::Int(1))]),
+            Value::Set(vec![Value::Atom(AtomValue::Int(2))]),
+        ]);
+        let b = Value::Set(vec![
+            Value::Set(vec![Value::Atom(AtomValue::Int(2))]),
+            Value::Set(vec![Value::Atom(AtomValue::Int(1)), Value::Atom(AtomValue::Int(3))]),
+        ]);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn ivs_invariants() {
+        let good: Ivs = vec![(1, Value::Ref(10)), (2, Value::Ref(20))];
+        let bad: Ivs = vec![(1, Value::Ref(10)), (1, Value::Ref(20))];
+        assert!(ivs_ids_unique(&good));
+        assert!(!ivs_ids_unique(&bad));
+        let other: Ivs = vec![(2, Value::Ref(9)), (1, Value::Ref(8))];
+        assert!(synchronous(&good, &other));
+        let third: Ivs = vec![(3, Value::Ref(9)), (1, Value::Ref(8))];
+        assert!(!synchronous(&good, &third));
+    }
+
+    #[test]
+    fn display() {
+        let v = Value::Tuple(vec![
+            Value::Atom(AtomValue::Int(1995)),
+            Value::Set(vec![Value::Ref(7)]),
+        ]);
+        assert_eq!(v.to_string(), "<1995, {&7}>");
+    }
+}

@@ -1,0 +1,281 @@
+//! The datavector accelerator (Section 5.2, Figure 7).
+//!
+//! OLAP queries first *select* on selection-attributes, then *compute* on
+//! value-attributes of the selected objects. Selections want attribute BATs
+//! sorted on tail (an inverted list per attribute); the oid→value path then
+//! needs semijoins against the selection. The datavector resolves these
+//! conflicting clustering requirements: next to each tail-sorted attribute
+//! BAT, keep a fully vectorized representation — the class's sorted
+//! **extent** of oids plus a per-attribute **value vector** in oid order,
+//! positionally synced with the extent.
+//!
+//! The datavector semijoin (Section 5.2.1) looks every right-operand oid up
+//! in the extent with probe-based binary search, memoizes the found
+//! positions in a `LOOKUP` array keyed by the right operand's identity, and
+//! then fetches head/tail values positionally. The extent — and with it the
+//! memo — is **shared by all datavectors of a class** ("the MOA mapping of
+//! objects already gave us the unary vector of oids, as the extent BAT"),
+//! so subsequent semijoins of *any* attribute with the same selection skip
+//! the lookup: "the previous datavector-semijoin has already blazed the
+//! trail into the extent".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::atom::Oid;
+use crate::bat::Bat;
+use crate::column::{Column, ColumnIdentity};
+use crate::ctx::ExecCtx;
+use crate::pager;
+
+/// Memoized result of a LOOKUP pass: the extent positions of the right
+/// operand's oids, plus the *gathered head column*. Sharing the head column
+/// across semijoins with the same selection is what makes their results
+/// `synced` — "both stem from a semijoin with a 100% match with the small
+/// relation, so they again are synced" (Section 6.2.1).
+#[derive(Debug, Clone)]
+pub struct Lookup {
+    /// Positions into the extent (and every synced vector), in
+    /// right-operand order.
+    pub positions: Arc<Vec<u32>>,
+    /// `extent.gather(positions)`: the matched oids, shared by identity.
+    pub head: Column,
+}
+
+/// The sorted oid extent of a class, shared by all of its datavectors,
+/// carrying the memoized LOOKUP arrays.
+#[derive(Debug)]
+pub struct Extent {
+    oids: Column,
+    lookup_memo: Mutex<HashMap<ColumnIdentity, Lookup>>,
+}
+
+impl Extent {
+    /// Wrap a sorted, duplicate-free oid column (`extent[oid,void]` heads).
+    pub fn new(oids: Column) -> Arc<Extent> {
+        assert!(oids.is_oidlike(), "extent must hold oids");
+        debug_assert!(oids.check_sorted(), "extent must be sorted");
+        debug_assert!(oids.check_key(), "extent must be duplicate-free");
+        Arc::new(Extent { oids, lookup_memo: Mutex::new(HashMap::new()) })
+    }
+
+    /// The extent column.
+    pub fn oids(&self) -> &Column {
+        &self.oids
+    }
+
+    pub fn len(&self) -> usize {
+        self.oids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.oids.is_empty()
+    }
+
+    /// True when a memoized LOOKUP for this operand already exists — the
+    /// "trail has been blazed" fast path is available.
+    pub fn lookup_cached(&self, right_head: &Column) -> bool {
+        self.lookup_memo.lock().contains_key(&right_head.identity())
+    }
+
+    /// Positions in the extent of every right-operand head oid that exists
+    /// there, in right-operand order (lines 07-15 of the pseudo code).
+    /// Memoized per right-operand identity, so "subsequent semijoins with B
+    /// do not re-do the lookup effort".
+    pub fn lookup(&self, ctx: &ExecCtx, right_head: &Column) -> Lookup {
+        let key = right_head.identity();
+        if let Some(hit) = self.lookup_memo.lock().get(&key) {
+            return hit.clone();
+        }
+        let mut out = Vec::with_capacity(right_head.len());
+        let pgr = ctx.pager.as_deref();
+        if let Some(seq) = self.oids.void_seq() {
+            // Dense extent: direct positional computation.
+            for i in 0..right_head.len() {
+                if let Some(p) = pgr {
+                    pager::touch_fetch(p, right_head, i);
+                }
+                let o = right_head.oid_at(i);
+                if o >= seq && o < seq + self.oids.len() as Oid {
+                    out.push((o - seq) as u32);
+                }
+            }
+        } else {
+            let ext_oids = self.oids.as_oid_slice().expect("materialized oid extent");
+            for i in 0..right_head.len() {
+                if let Some(p) = pgr {
+                    pager::touch_fetch(p, right_head, i);
+                    pager::touch_binary_search(p, &self.oids);
+                }
+                let o = right_head.oid_at(i);
+                if let Ok(pos) = ext_oids.binary_search(&o) {
+                    out.push(pos as u32);
+                }
+            }
+        }
+        let head = self.oids.gather(&out);
+        let result = Lookup { positions: Arc::new(out), head };
+        self.lookup_memo.lock().insert(key, result.clone());
+        result
+    }
+
+    /// Drop all memoized lookups (after updates in a real system; exposed
+    /// here for benchmarks measuring cold vs. warm semijoins).
+    pub fn clear_lookup_memo(&self) {
+        self.lookup_memo.lock().clear();
+    }
+}
+
+/// A datavector: the class extent plus one attribute's value vector in oid
+/// order (`vector[i]` is the attribute value of object `extent[i]`).
+#[derive(Debug)]
+pub struct Datavector {
+    extent: Arc<Extent>,
+    vector: Column,
+}
+
+impl Datavector {
+    /// Pair a shared class extent with a value vector (must be positionally
+    /// aligned: `vector[i]` belongs to `extent.oids()[i]`).
+    pub fn new(extent: Arc<Extent>, vector: Column) -> Datavector {
+        assert_eq!(extent.len(), vector.len(), "vector must align with extent");
+        Datavector { extent, vector }
+    }
+
+    /// Create from an oid-ordered attribute BAT `[oid, T]` (head sorted),
+    /// building a private extent. This is the cheap creation path of
+    /// Section 6: freshly loaded BATs are oid-ordered, so the datavector is
+    /// just a projection (Figure 7 step 1). Loaders that decompose a whole
+    /// class should build one [`Extent`] and use [`Datavector::new`] so the
+    /// LOOKUP memo is shared.
+    pub fn from_oid_ordered(bat: &Bat) -> Datavector {
+        Datavector::new(Extent::new(bat.head().clone()), bat.tail().clone())
+    }
+
+    /// Create by explicitly sorting an arbitrary `[oid, T]` BAT on head.
+    pub fn from_unordered(bat: &Bat) -> Datavector {
+        assert!(bat.head().is_oidlike());
+        let perm = bat.head().sort_perm();
+        Datavector::new(
+            Extent::new(bat.head().gather(&perm)),
+            bat.tail().gather(&perm),
+        )
+    }
+
+    /// The shared class extent.
+    pub fn extent(&self) -> &Arc<Extent> {
+        &self.extent
+    }
+
+    /// The value vector, positionally synced with the extent.
+    pub fn vector(&self) -> &Column {
+        &self.vector
+    }
+
+    pub fn len(&self) -> usize {
+        self.vector.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vector.is_empty()
+    }
+
+    /// Heap bytes of the value vector (Figure 9 counts datavector space
+    /// separately from base data; the shared extent is counted once by the
+    /// loader).
+    pub fn bytes(&self) -> usize {
+        self.vector.bytes()
+    }
+
+    /// Memoized LOOKUP through the shared extent.
+    pub fn lookup(&self, ctx: &ExecCtx, right_head: &Column) -> Lookup {
+        self.extent.lookup(ctx, right_head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomValue;
+
+    fn customer_name_dv() -> (Bat, Datavector) {
+        // Figure 7: Customer_name with oids 101..106.
+        let oid_ordered = Bat::with_inferred_props(
+            Column::from_oids(vec![101, 102, 103, 104, 105, 106]),
+            Column::from_strs(["Annita", "Martin", "Peter", "Annita", "Peter", "Martin"]),
+        );
+        let dv = Datavector::from_oid_ordered(&oid_ordered);
+        (oid_ordered, dv)
+    }
+
+    #[test]
+    fn figure7_creation() {
+        let (bat, dv) = customer_name_dv();
+        assert_eq!(dv.len(), 6);
+        assert_eq!(dv.extent().oids().oid_at(0), 101);
+        assert_eq!(dv.vector().str_at(2), "Peter");
+        assert!(dv.bytes() > 0);
+        assert_eq!(dv.vector().str_at(5), bat.tail().str_at(5));
+    }
+
+    #[test]
+    fn lookup_finds_positions_and_memoizes() {
+        let (_, dv) = customer_name_dv();
+        let ctx = ExecCtx::new();
+        let probe = Column::from_oids(vec![103, 101, 999, 106]);
+        assert!(!dv.extent().lookup_cached(&probe));
+        let l1 = dv.lookup(&ctx, &probe);
+        assert_eq!(&*l1.positions, &vec![2, 0, 5]); // 999 misses
+        assert_eq!(l1.head.as_oid_slice().unwrap(), &[103, 101, 106]);
+        assert!(dv.extent().lookup_cached(&probe));
+        let l2 = dv.lookup(&ctx, &probe);
+        assert!(Arc::ptr_eq(&l1.positions, &l2.positions), "must reuse the memo");
+        // Shared head identity is what makes successive semijoin results synced.
+        assert_eq!(l1.head.identity(), l2.head.identity());
+    }
+
+    #[test]
+    fn extent_shared_across_attributes() {
+        let ctx = ExecCtx::new();
+        let extent = Extent::new(Column::from_oids(vec![10, 11, 12, 13]));
+        let price = Datavector::new(
+            Arc::clone(&extent),
+            Column::from_dbls(vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let disc = Datavector::new(
+            Arc::clone(&extent),
+            Column::from_dbls(vec![0.1, 0.2, 0.3, 0.4]),
+        );
+        let probe = Column::from_oids(vec![11, 13]);
+        let l1 = price.lookup(&ctx, &probe);
+        // The second attribute's lookup hits the shared memo.
+        assert!(disc.extent().lookup_cached(&probe));
+        let l2 = disc.lookup(&ctx, &probe);
+        assert!(Arc::ptr_eq(&l1.positions, &l2.positions));
+        assert_eq!(l1.head.identity(), l2.head.identity());
+    }
+
+    #[test]
+    fn dense_extent_positional_lookup() {
+        let bat = Bat::new(Column::void(50, 10), Column::from_ints((0..10).collect()));
+        let dv = Datavector::from_oid_ordered(&bat);
+        let ctx = ExecCtx::new();
+        let probe = Column::from_oids(vec![50, 59, 60, 49]);
+        let l = dv.lookup(&ctx, &probe);
+        assert_eq!(&*l.positions, &vec![0, 9]);
+    }
+
+    #[test]
+    fn from_unordered_sorts() {
+        let bat = Bat::new(
+            Column::from_oids(vec![5, 3, 4]),
+            Column::from_ints(vec![50, 30, 40]),
+        );
+        let dv = Datavector::from_unordered(&bat);
+        assert_eq!(dv.extent().oids().as_oid_slice().unwrap(), &[3, 4, 5]);
+        assert_eq!(dv.vector().as_int_slice().unwrap(), &[30, 40, 50]);
+        let _ = AtomValue::Int(0);
+    }
+}

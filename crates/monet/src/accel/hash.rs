@@ -1,0 +1,121 @@
+//! Chained hash index over one column of a BAT.
+//!
+//! Plays the role of the persistent `hash-table` heap of Figure 2: the
+//! presence of a hash table on an operand "might lead the join to choose a
+//! hashjoin implementation" (Section 5.2.1). The same structure is built
+//! ad hoc inside hash-join/semijoin when no persistent index exists.
+
+use crate::column::Column;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Bucket-chained hash index: `buckets[h & mask]` holds the first position
+/// of the chain, `next[pos]` the following one. Collisions are resolved by
+/// the caller re-checking value equality (hashes of equal values are equal;
+/// distinct values may share a bucket).
+#[derive(Debug)]
+pub struct HashIndex {
+    mask: u64,
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl HashIndex {
+    /// Build over all values of the column window.
+    pub fn build(col: &Column) -> HashIndex {
+        let n = col.len();
+        let nbuckets = (n.max(1) * 2).next_power_of_two();
+        let mask = (nbuckets - 1) as u64;
+        let mut buckets = vec![EMPTY; nbuckets];
+        let mut next = vec![EMPTY; n];
+        for i in 0..n {
+            let b = (col.hash_at(i) & mask) as usize;
+            next[i] = buckets[b];
+            buckets[b] = i as u32;
+        }
+        HashIndex { mask, buckets, next }
+    }
+
+    /// Iterate candidate positions whose values hash into the same bucket
+    /// as `hash` (most recently inserted first).
+    pub fn candidates(&self, hash: u64) -> Candidates<'_> {
+        Candidates {
+            next: &self.next,
+            cur: self.buckets[(hash & self.mask) as usize],
+        }
+    }
+
+    /// Approximate memory footprint in bytes (for accounting).
+    pub fn bytes(&self) -> usize {
+        (self.buckets.len() + self.next.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Iterator over one hash chain.
+pub struct Candidates<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == EMPTY {
+            return None;
+        }
+        let pos = self.cur as usize;
+        self.cur = self.next[pos];
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_duplicates() {
+        let col = Column::from_ints(vec![5, 7, 5, 9, 5]);
+        let idx = HashIndex::build(&col);
+        let h = col.hash_at(0);
+        let mut hits: Vec<usize> = idx
+            .candidates(h)
+            .filter(|&p| col.int_at(p) == 5)
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn absent_value_yields_no_verified_hits() {
+        let col = Column::from_ints(vec![1, 2, 3]);
+        let idx = HashIndex::build(&col);
+        let probe = Column::from_ints(vec![42]);
+        let hits: Vec<usize> = idx
+            .candidates(probe.hash_at(0))
+            .filter(|&p| col.eq_at(p, &probe, 0))
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let col = Column::from_strs(["x", "y", "x", "z"]);
+        let idx = HashIndex::build(&col);
+        let probe = Column::from_strs(["x"]);
+        let mut hits: Vec<usize> = idx
+            .candidates(probe.hash_at(0))
+            .filter(|&p| col.eq_at(p, &probe, 0))
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::from_ints(vec![]);
+        let idx = HashIndex::build(&col);
+        assert_eq!(idx.candidates(12345).count(), 0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Search accelerators (Figure 2 shows them as extra heaps of a BAT).
+//!
+//! Monet is run-time extensible with new accelerator structures; the two
+//! the TPC-D experiments rely on are the hash table and the *datavector*
+//! of Section 5.2.
+
+pub mod datavector;
+pub mod hash;

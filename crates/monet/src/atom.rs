@@ -1,0 +1,356 @@
+//! Atomic (base) types of the kernel.
+//!
+//! Monet's binary model stores pairs of *atoms*. The internal structure of a
+//! base type is not accessible to the algebra; it is only manipulated through
+//! operations (Section 3 of the paper). The base types here are the ones MOA
+//! inherits from Monet — `bool, chr, int, lng, dbl, str, oid` — plus `date`
+//! (the paper's `instant`, needed by the TPC-D schema) and the virtual `void`
+//! type used for dense object-identifier sequences.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Object identifier. Monet supports the base type `oid`; `V_oid` is the set
+/// of object identifiers (Section 3.3).
+pub type Oid = u64;
+
+/// The atom types supported by this kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomType {
+    /// Virtual dense sequence; occupies zero bytes of heap space.
+    Void,
+    /// Object identifier.
+    Oid,
+    /// Boolean.
+    Bool,
+    /// Single character (TPC-D `returnflag`, `linestatus`).
+    Chr,
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Lng,
+    /// 64-bit float.
+    Dbl,
+    /// Variable-length string, stored in a separate heap (Figure 2).
+    Str,
+    /// Calendar date, stored as days since 1970-01-01 (the paper's `instant`).
+    Date,
+}
+
+impl AtomType {
+    /// Width in bytes of one value in the fixed-size BUN heap. Strings count
+    /// their 4-byte heap offset; the variable part lives in the tail heap.
+    /// `void` is virtual and occupies no storage at all.
+    pub fn width(self) -> usize {
+        match self {
+            AtomType::Void => 0,
+            AtomType::Bool | AtomType::Chr => 1,
+            AtomType::Int | AtomType::Date | AtomType::Str => 4,
+            AtomType::Oid | AtomType::Lng | AtomType::Dbl => 8,
+        }
+    }
+
+    /// True for types whose column representation is an order-preserving
+    /// fixed-width array (everything except `str`, whose comparison goes
+    /// through the heap).
+    pub fn is_fixed(self) -> bool {
+        !matches!(self, AtomType::Str)
+    }
+}
+
+impl fmt::Display for AtomType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomType::Void => "void",
+            AtomType::Oid => "oid",
+            AtomType::Bool => "bool",
+            AtomType::Chr => "chr",
+            AtomType::Int => "int",
+            AtomType::Lng => "lng",
+            AtomType::Dbl => "dbl",
+            AtomType::Str => "str",
+            AtomType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A calendar date, stored as the number of days since 1970-01-01.
+///
+/// TPC-D predicates compare dates and extract years (the `[year]` multiplex
+/// of Figure 5/10), so the kernel supports `date` as a base type — an
+/// instance of Monet's base-type extensibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Construct from a civil calendar date. Uses the standard
+    /// days-from-civil algorithm, valid for all Gregorian dates.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Date {
+        let y = if m <= 2 { y - 1 } else { y };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = (y - era * 400) as i64; // [0, 399]
+        let mp = ((m + 9) % 12) as i64; // March -> 0
+        let doy = (153 * mp + 2) / 5 + (d as i64 - 1); // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        Date((era as i64 * 146_097 + doe - 719_468) as i32)
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = self.0 as i64 + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+    }
+
+    /// Calendar year, used by the `[year]` multiplex operator.
+    pub fn year(self) -> i32 {
+        self.to_ymd().0
+    }
+
+    /// Month of year in `[1, 12]`.
+    pub fn month(self) -> u32 {
+        self.to_ymd().1
+    }
+
+    /// Add a number of days (may be negative).
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Add (approximately) `months` months, clamping the day of month.
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.to_ymd();
+        let total = y * 12 + (m as i32 - 1) + months;
+        let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) as u32 + 1);
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range"),
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A single atomic value.
+///
+/// Scalar values appear as MIL constants (selection bounds, multiplex
+/// constant arguments like the `1.0` in `[-](1.0, discount)`) and as the
+/// result of whole-BAT aggregates.
+#[derive(Debug, Clone)]
+pub enum AtomValue {
+    Void(Oid),
+    Oid(Oid),
+    Bool(bool),
+    Chr(u8),
+    Int(i32),
+    Lng(i64),
+    Dbl(f64),
+    Str(Box<str>),
+    Date(Date),
+}
+
+impl AtomValue {
+    /// The type of this value.
+    pub fn atom_type(&self) -> AtomType {
+        match self {
+            AtomValue::Void(_) => AtomType::Void,
+            AtomValue::Oid(_) => AtomType::Oid,
+            AtomValue::Bool(_) => AtomType::Bool,
+            AtomValue::Chr(_) => AtomType::Chr,
+            AtomValue::Int(_) => AtomType::Int,
+            AtomValue::Lng(_) => AtomType::Lng,
+            AtomValue::Dbl(_) => AtomType::Dbl,
+            AtomValue::Str(_) => AtomType::Str,
+            AtomValue::Date(_) => AtomType::Date,
+        }
+    }
+
+    /// String constructor convenience.
+    pub fn str(s: impl Into<Box<str>>) -> AtomValue {
+        AtomValue::Str(s.into())
+    }
+
+    /// Interpret as an oid (void values are dense oids).
+    pub fn as_oid(&self) -> Option<Oid> {
+        match self {
+            AtomValue::Oid(o) | AtomValue::Void(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64 for cross-type arithmetic and aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AtomValue::Int(v) => Some(*v as f64),
+            AtomValue::Lng(v) => Some(*v as f64),
+            AtomValue::Dbl(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Total-order comparison between two values **of the same type**.
+    /// Doubles use IEEE total ordering so sorting is well defined.
+    pub fn cmp_same_type(&self, other: &AtomValue) -> Ordering {
+        use AtomValue::*;
+        match (self, other) {
+            (Void(a), Void(b)) | (Oid(a), Oid(b)) => a.cmp(b),
+            (Void(a), Oid(b)) | (Oid(a), Void(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Chr(a), Chr(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Lng(a), Lng(b)) => a.cmp(b),
+            (Dbl(a), Dbl(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => panic!(
+                "cmp_same_type on mixed types {:?} vs {:?}",
+                self.atom_type(),
+                other.atom_type()
+            ),
+        }
+    }
+}
+
+impl PartialEq for AtomValue {
+    fn eq(&self, other: &Self) -> bool {
+        let comparable = self.atom_type() == other.atom_type()
+            || (self.as_oid().is_some() && other.as_oid().is_some());
+        comparable && self.cmp_same_type(other) == Ordering::Equal
+    }
+}
+
+impl Eq for AtomValue {}
+
+impl Hash for AtomValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            AtomValue::Void(v) | AtomValue::Oid(v) => v.hash(state),
+            AtomValue::Bool(v) => v.hash(state),
+            AtomValue::Chr(v) => v.hash(state),
+            AtomValue::Int(v) => v.hash(state),
+            AtomValue::Lng(v) => v.hash(state),
+            AtomValue::Dbl(v) => v.to_bits().hash(state),
+            AtomValue::Str(v) => v.hash(state),
+            AtomValue::Date(v) => v.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for AtomValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomValue::Void(v) => write!(f, "{v}@void"),
+            AtomValue::Oid(v) => write!(f, "{v}@0"),
+            AtomValue::Bool(v) => write!(f, "{v}"),
+            AtomValue::Chr(v) => write!(f, "'{}'", *v as char),
+            AtomValue::Int(v) => write!(f, "{v}"),
+            AtomValue::Lng(v) => write!(f, "{v}L"),
+            AtomValue::Dbl(v) => write!(f, "{v}"),
+            AtomValue::Str(v) => write!(f, "\"{v}\""),
+            AtomValue::Date(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_epoch() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).0, 0);
+        assert_eq!(Date(0).to_ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn date_roundtrip_sweep() {
+        // Every 13 days across several decades including leap years.
+        let mut d = Date::from_ymd(1992, 1, 1);
+        let end = Date::from_ymd(1999, 1, 1);
+        while d < end {
+            let (y, m, dd) = d.to_ymd();
+            assert_eq!(Date::from_ymd(y, m, dd), d);
+            d = d.add_days(13);
+        }
+    }
+
+    #[test]
+    fn date_year_extraction() {
+        assert_eq!(Date::from_ymd(1995, 6, 17).year(), 1995);
+        assert_eq!(Date::from_ymd(1996, 12, 31).year(), 1996);
+        assert_eq!(Date::from_ymd(1996, 2, 29).month(), 2);
+    }
+
+    #[test]
+    fn date_add_months_clamps() {
+        let d = Date::from_ymd(1995, 1, 31);
+        assert_eq!(d.add_months(1).to_ymd(), (1995, 2, 28));
+        assert_eq!(d.add_months(3).to_ymd(), (1995, 4, 30));
+        assert_eq!(d.add_months(12).to_ymd(), (1996, 1, 31));
+        assert_eq!(d.add_months(-1).to_ymd(), (1994, 12, 31));
+    }
+
+    #[test]
+    fn date_ordering_matches_days() {
+        assert!(Date::from_ymd(1994, 3, 1) < Date::from_ymd(1994, 3, 2));
+        assert!(Date::from_ymd(1998, 12, 1) > Date::from_ymd(1995, 3, 2));
+    }
+
+    #[test]
+    fn atom_value_equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(AtomValue::Int(42));
+        set.insert(AtomValue::Int(42));
+        set.insert(AtomValue::str("abc"));
+        set.insert(AtomValue::str("abc"));
+        set.insert(AtomValue::Dbl(1.5));
+        set.insert(AtomValue::Dbl(1.5));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn atom_widths() {
+        assert_eq!(AtomType::Void.width(), 0);
+        assert_eq!(AtomType::Chr.width(), 1);
+        assert_eq!(AtomType::Int.width(), 4);
+        assert_eq!(AtomType::Str.width(), 4);
+        assert_eq!(AtomType::Dbl.width(), 8);
+    }
+
+    #[test]
+    fn cmp_void_vs_oid_interoperates() {
+        assert_eq!(
+            AtomValue::Void(5).cmp_same_type(&AtomValue::Oid(5)),
+            Ordering::Equal
+        );
+        assert_eq!(AtomValue::Void(5), AtomValue::Oid(5));
+    }
+}

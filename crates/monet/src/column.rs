@@ -1,0 +1,808 @@
+//! Typed, immutable, `Arc`-shared column arrays.
+//!
+//! A BAT (Figure 2) stores its BUNs in dense array-like heaps. This module
+//! provides the per-type heap representation. Columns are immutable and
+//! cheaply cloneable; `mirror` and zero-copy slicing are what make the MIL
+//! commands `mirror` and sorted-range selection "operations free of cost".
+//!
+//! Every distinct column allocation carries a [`ColumnId`]; two BATs are
+//! *synced* (Section 5.1) when their head columns have the same identity —
+//! the kernel can then use positional algorithms.
+
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use crate::atom::{AtomType, AtomValue, Date, Oid};
+use crate::strheap::{StrHeapBuilder, StrVec};
+
+/// Unique identity of a column allocation, used for `synced` detection and
+/// as the pager's heap identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u64);
+
+static NEXT_COLUMN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_column_id() -> ColumnId {
+    ColumnId(NEXT_COLUMN_ID.fetch_add(1, AtomicOrdering::Relaxed))
+}
+
+/// The typed storage of a column.
+#[derive(Debug, Clone)]
+pub enum ColumnVals {
+    /// Virtual dense sequence starting at `seq`: value at position `i` is
+    /// `seq + i`. Occupies zero bytes (the paper's `void` type).
+    Void { seq: Oid },
+    Oid(Arc<Vec<Oid>>),
+    Bool(Arc<Vec<bool>>),
+    Chr(Arc<Vec<u8>>),
+    Int(Arc<Vec<i32>>),
+    Lng(Arc<Vec<i64>>),
+    Dbl(Arc<Vec<f64>>),
+    Str(StrVec),
+    Date(Arc<Vec<i32>>),
+}
+
+/// An immutable column: shared storage plus a `[off, off+len)` view window.
+///
+/// Slicing produces a new `Column` sharing the same storage; the identity
+/// triple `(id, off, len)` distinguishes views for synced-ness.
+#[derive(Debug, Clone)]
+pub struct Column {
+    vals: ColumnVals,
+    id: ColumnId,
+    off: usize,
+    len: usize,
+}
+
+/// Identity of a column *view*: storage id plus window. Two synced columns
+/// expose identical values at identical positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnIdentity {
+    pub id: ColumnId,
+    pub off: usize,
+    pub len: usize,
+}
+
+impl Column {
+    fn new(vals: ColumnVals, len: usize) -> Column {
+        Column { vals, id: fresh_column_id(), off: 0, len }
+    }
+
+    /// Dense void column (`[void]`), the zero-space tail of extent BATs.
+    pub fn void(seq: Oid, len: usize) -> Column {
+        Column::new(ColumnVals::Void { seq }, len)
+    }
+
+    pub fn from_oids(v: Vec<Oid>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Oid(Arc::new(v)), len)
+    }
+
+    pub fn from_bools(v: Vec<bool>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Bool(Arc::new(v)), len)
+    }
+
+    pub fn from_chrs(v: Vec<u8>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Chr(Arc::new(v)), len)
+    }
+
+    pub fn from_ints(v: Vec<i32>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Int(Arc::new(v)), len)
+    }
+
+    pub fn from_lngs(v: Vec<i64>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Lng(Arc::new(v)), len)
+    }
+
+    pub fn from_dbls(v: Vec<f64>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Dbl(Arc::new(v)), len)
+    }
+
+    pub fn from_dates(v: Vec<Date>) -> Column {
+        let len = v.len();
+        Column::new(
+            ColumnVals::Date(Arc::new(v.into_iter().map(|d| d.0).collect())),
+            len,
+        )
+    }
+
+    pub fn from_date_days(v: Vec<i32>) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Date(Arc::new(v)), len)
+    }
+
+    pub fn from_strvec(v: StrVec) -> Column {
+        let len = v.len();
+        Column::new(ColumnVals::Str(v), len)
+    }
+
+    pub fn from_strs<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> Column {
+        let mut b = StrHeapBuilder::new();
+        for s in items {
+            b.push(s.as_ref());
+        }
+        Column::from_strvec(b.finish())
+    }
+
+    /// Build a column of the given type from generic atom values. Values
+    /// must all match `ty` (void accepts oids and becomes a materialized oid
+    /// column when non-dense).
+    pub fn from_atoms(ty: AtomType, items: impl IntoIterator<Item = AtomValue>) -> Column {
+        match ty {
+            AtomType::Void | AtomType::Oid => Column::from_oids(
+                items
+                    .into_iter()
+                    .map(|v| v.as_oid().expect("oid-typed atom"))
+                    .collect(),
+            ),
+            AtomType::Bool => Column::from_bools(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Bool(b) => b,
+                        other => panic!("expected bool, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Chr => Column::from_chrs(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Chr(c) => c,
+                        other => panic!("expected chr, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Int => Column::from_ints(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Int(i) => i,
+                        other => panic!("expected int, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Lng => Column::from_lngs(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Lng(i) => i,
+                        other => panic!("expected lng, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Dbl => Column::from_dbls(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Dbl(d) => d,
+                        other => panic!("expected dbl, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Date => Column::from_date_days(
+                items
+                    .into_iter()
+                    .map(|v| match v {
+                        AtomValue::Date(d) => d.0,
+                        other => panic!("expected date, got {other:?}"),
+                    })
+                    .collect(),
+            ),
+            AtomType::Str => {
+                let mut b = StrHeapBuilder::new();
+                for v in items {
+                    match v {
+                        AtomValue::Str(s) => b.push(&s),
+                        other => panic!("expected str, got {other:?}"),
+                    }
+                }
+                Column::from_strvec(b.finish())
+            }
+        }
+    }
+
+    /// The atom type stored in this column.
+    pub fn atom_type(&self) -> AtomType {
+        match &self.vals {
+            ColumnVals::Void { .. } => AtomType::Void,
+            ColumnVals::Oid(_) => AtomType::Oid,
+            ColumnVals::Bool(_) => AtomType::Bool,
+            ColumnVals::Chr(_) => AtomType::Chr,
+            ColumnVals::Int(_) => AtomType::Int,
+            ColumnVals::Lng(_) => AtomType::Lng,
+            ColumnVals::Dbl(_) => AtomType::Dbl,
+            ColumnVals::Str(_) => AtomType::Str,
+            ColumnVals::Date(_) => AtomType::Date,
+        }
+    }
+
+    /// Oid-compatible view: both `oid` and `void` columns yield oids.
+    pub fn is_oidlike(&self) -> bool {
+        matches!(self.atom_type(), AtomType::Oid | AtomType::Void)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Identity of this view (storage + window); equal identities imply
+    /// positionally identical values, the basis of the `synced` property.
+    pub fn identity(&self) -> ColumnIdentity {
+        ColumnIdentity { id: self.id, off: self.off, len: self.len }
+    }
+
+    /// Storage identity, ignoring the view window (pager heap id).
+    pub fn storage_id(&self) -> ColumnId {
+        self.id
+    }
+
+    /// Window `(offset, length)` into the shared storage, used by the pager
+    /// to compute byte addresses.
+    pub(crate) fn window(&self) -> (usize, usize) {
+        (self.off, self.len)
+    }
+
+    /// Zero-copy sub-window view: shares the storage (`ColumnVals` clones
+    /// are `Arc` bumps) and keeps the storage id, so slices of synced
+    /// columns remain comparable — the window tells them apart.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        assert!(start + len <= self.len, "slice out of bounds");
+        Column {
+            vals: self.vals.clone(),
+            id: self.id,
+            off: self.off + start,
+            len,
+        }
+    }
+
+    /// Generic accessor. Allocates for strings; bulk code should prefer the
+    /// typed slice accessors.
+    pub fn get(&self, i: usize) -> AtomValue {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let j = self.off + i;
+        match &self.vals {
+            ColumnVals::Void { seq } => AtomValue::Oid(seq + j as Oid),
+            ColumnVals::Oid(v) => AtomValue::Oid(v[j]),
+            ColumnVals::Bool(v) => AtomValue::Bool(v[j]),
+            ColumnVals::Chr(v) => AtomValue::Chr(v[j]),
+            ColumnVals::Int(v) => AtomValue::Int(v[j]),
+            ColumnVals::Lng(v) => AtomValue::Lng(v[j]),
+            ColumnVals::Dbl(v) => AtomValue::Dbl(v[j]),
+            ColumnVals::Str(v) => AtomValue::Str(v.get(j).into()),
+            ColumnVals::Date(v) => AtomValue::Date(Date(v[j])),
+        }
+    }
+
+    /// Oid at position `i`; works for both `oid` and `void` columns.
+    pub fn oid_at(&self, i: usize) -> Oid {
+        debug_assert!(i < self.len);
+        let j = self.off + i;
+        match &self.vals {
+            ColumnVals::Void { seq } => seq + j as Oid,
+            ColumnVals::Oid(v) => v[j],
+            other => panic!("oid_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn int_at(&self, i: usize) -> i32 {
+        match &self.vals {
+            ColumnVals::Int(v) => v[self.off + i],
+            other => panic!("int_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn lng_at(&self, i: usize) -> i64 {
+        match &self.vals {
+            ColumnVals::Lng(v) => v[self.off + i],
+            other => panic!("lng_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn dbl_at(&self, i: usize) -> f64 {
+        match &self.vals {
+            ColumnVals::Dbl(v) => v[self.off + i],
+            other => panic!("dbl_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn chr_at(&self, i: usize) -> u8 {
+        match &self.vals {
+            ColumnVals::Chr(v) => v[self.off + i],
+            other => panic!("chr_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn bool_at(&self, i: usize) -> bool {
+        match &self.vals {
+            ColumnVals::Bool(v) => v[self.off + i],
+            other => panic!("bool_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn date_at(&self, i: usize) -> Date {
+        match &self.vals {
+            ColumnVals::Date(v) => Date(v[self.off + i]),
+            other => panic!("date_at on {:?} column", type_of(other)),
+        }
+    }
+
+    pub fn str_at(&self, i: usize) -> &str {
+        match &self.vals {
+            ColumnVals::Str(v) => v.get(self.off + i),
+            other => panic!("str_at on {:?} column", type_of(other)),
+        }
+    }
+
+    /// Typed whole-window slice for fixed-width types (None for void/str).
+    pub fn as_oid_slice(&self) -> Option<&[Oid]> {
+        match &self.vals {
+            ColumnVals::Oid(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_int_slice(&self) -> Option<&[i32]> {
+        match &self.vals {
+            ColumnVals::Int(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_lng_slice(&self) -> Option<&[i64]> {
+        match &self.vals {
+            ColumnVals::Lng(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_dbl_slice(&self) -> Option<&[f64]> {
+        match &self.vals {
+            ColumnVals::Dbl(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_chr_slice(&self) -> Option<&[u8]> {
+        match &self.vals {
+            ColumnVals::Chr(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_date_slice(&self) -> Option<&[i32]> {
+        match &self.vals {
+            ColumnVals::Date(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    /// String storage view, if this is a string column.
+    pub fn as_strvec(&self) -> Option<StrVecView<'_>> {
+        match &self.vals {
+            ColumnVals::Str(v) => Some(StrVecView { sv: v, off: self.off, len: self.len }),
+            _ => None,
+        }
+    }
+
+    /// The dense start for void columns.
+    pub fn void_seq(&self) -> Option<Oid> {
+        match &self.vals {
+            ColumnVals::Void { seq } => Some(seq + self.off as Oid),
+            _ => None,
+        }
+    }
+
+    /// Compare values at positions `i` (self) and `j` (other). Columns must
+    /// hold the same atom type (oid/void interoperate).
+    pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        use ColumnVals::*;
+        match (&self.vals, &other.vals) {
+            (Int(a), Int(b)) => a[self.off + i].cmp(&b[other.off + j]),
+            (Lng(a), Lng(b)) => a[self.off + i].cmp(&b[other.off + j]),
+            (Dbl(a), Dbl(b)) => a[self.off + i].total_cmp(&b[other.off + j]),
+            (Chr(a), Chr(b)) => a[self.off + i].cmp(&b[other.off + j]),
+            (Bool(a), Bool(b)) => a[self.off + i].cmp(&b[other.off + j]),
+            (Date(a), Date(b)) => a[self.off + i].cmp(&b[other.off + j]),
+            (Str(a), Str(b)) => a.get(self.off + i).cmp(b.get(other.off + j)),
+            _ if self.is_oidlike() && other.is_oidlike() => {
+                self.oid_at(i).cmp(&other.oid_at(j))
+            }
+            _ => panic!(
+                "cmp_at on mixed column types {} vs {}",
+                self.atom_type(),
+                other.atom_type()
+            ),
+        }
+    }
+
+    /// Compare the value at position `i` against a scalar of the same type.
+    pub fn cmp_val(&self, i: usize, v: &AtomValue) -> Ordering {
+        use ColumnVals::*;
+        match (&self.vals, v) {
+            (Int(a), AtomValue::Int(b)) => a[self.off + i].cmp(b),
+            (Lng(a), AtomValue::Lng(b)) => a[self.off + i].cmp(b),
+            (Dbl(a), AtomValue::Dbl(b)) => a[self.off + i].total_cmp(b),
+            (Chr(a), AtomValue::Chr(b)) => a[self.off + i].cmp(b),
+            (Bool(a), AtomValue::Bool(b)) => a[self.off + i].cmp(b),
+            (Date(a), AtomValue::Date(b)) => crate::atom::Date(a[self.off + i]).cmp(b),
+            (Str(a), AtomValue::Str(b)) => a.get(self.off + i).cmp(&**b),
+            _ if self.is_oidlike() && v.as_oid().is_some() => {
+                self.oid_at(i).cmp(&v.as_oid().unwrap())
+            }
+            _ => panic!(
+                "cmp_val on mixed types {} vs {}",
+                self.atom_type(),
+                v.atom_type()
+            ),
+        }
+    }
+
+    /// Equality of values at positions `i` (self) and `j` (other).
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        self.cmp_at(i, other, j) == Ordering::Equal
+    }
+
+    /// 64-bit hash of the value at `i`, suitable for hash joins. Equal
+    /// values (per `cmp_at == Equal`) hash equally, including oid vs void.
+    pub fn hash_at(&self, i: usize) -> u64 {
+        use ColumnVals::*;
+        let j = self.off + i;
+        match &self.vals {
+            Void { seq } => fxhash64(seq + j as u64),
+            Oid(v) => fxhash64(v[j]),
+            Bool(v) => fxhash64(v[j] as u64),
+            Chr(v) => fxhash64(v[j] as u64),
+            Int(v) => fxhash64(v[j] as u64),
+            Lng(v) => fxhash64(v[j] as u64),
+            Dbl(v) => fxhash64(v[j].to_bits()),
+            Date(v) => fxhash64(v[j] as u64),
+            Str(v) => fnv1a(v.get(j).as_bytes()),
+        }
+    }
+
+    /// Materialize the values selected by `idx` (in order) into a fresh
+    /// column. Void columns materialize into oid columns.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        use ColumnVals::*;
+        match &self.vals {
+            Void { seq } => Column::from_oids(
+                idx.iter().map(|&i| seq + (self.off + i as usize) as u64).collect(),
+            ),
+            Oid(v) => Column::from_oids(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Bool(v) => Column::from_bools(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Chr(v) => Column::from_chrs(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Int(v) => Column::from_ints(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Lng(v) => Column::from_lngs(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Dbl(v) => Column::from_dbls(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
+            Date(v) => Column::from_date_days(
+                idx.iter().map(|&i| v[self.off + i as usize]).collect(),
+            ),
+            Str(v) => {
+                let adjusted: Vec<u32> =
+                    idx.iter().map(|&i| (self.off + i as usize) as u32).collect();
+                Column::from_strvec(v.gather(&adjusted))
+            }
+        }
+    }
+
+    /// Stable argsort of the window: returns positions in ascending value
+    /// order. Used for datavector creation ("Sort on Tail", Figure 7) and
+    /// the load-phase reordering of Section 6.
+    pub fn sort_perm(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.len as u32).collect();
+        use ColumnVals::*;
+        match &self.vals {
+            Void { .. } => {} // already sorted
+            Oid(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Bool(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Chr(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Int(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Lng(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Date(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
+            Dbl(v) => idx.sort_by(|&a, &b| {
+                v[self.off + a as usize].total_cmp(&v[self.off + b as usize])
+            }),
+            Str(v) => idx.sort_by(|&a, &b| {
+                v.get(self.off + a as usize).cmp(v.get(self.off + b as usize))
+            }),
+        }
+        idx
+    }
+
+    /// O(n) check: ascending (non-strict) order.
+    pub fn check_sorted(&self) -> bool {
+        if matches!(self.vals, ColumnVals::Void { .. }) {
+            return true;
+        }
+        (1..self.len).all(|i| self.cmp_at(i - 1, self, i) != Ordering::Greater)
+    }
+
+    /// Check that all values are distinct (key property).
+    pub fn check_key(&self) -> bool {
+        if matches!(self.vals, ColumnVals::Void { .. }) {
+            return true;
+        }
+        if self.check_sorted() {
+            return (1..self.len).all(|i| self.cmp_at(i - 1, self, i) == Ordering::Less);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.len);
+        (0..self.len).all(|i| seen.insert(OwnedKey::of(self, i)))
+    }
+
+    /// Check that the column is the dense sequence `start..start+len`.
+    pub fn check_dense(&self) -> bool {
+        match &self.vals {
+            ColumnVals::Void { .. } => true,
+            ColumnVals::Oid(v) => {
+                let w = &v[self.off..self.off + self.len];
+                w.windows(2).all(|p| p[1] == p[0] + 1)
+            }
+            _ => false,
+        }
+    }
+
+    /// First position whose value is `>= v` (requires ascending order).
+    pub fn lower_bound(&self, v: &AtomValue) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cmp_val(mid, v) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First position whose value is `> v` (requires ascending order).
+    pub fn upper_bound(&self, v: &AtomValue) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cmp_val(mid, v) != Ordering::Greater {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Bytes of heap storage attributable to this window: fixed part plus,
+    /// for strings, the shared variable heap (counted in full — consistent
+    /// with how Monet accounts a BAT's heaps).
+    pub fn bytes(&self) -> usize {
+        let fixed = self.atom_type().width() * self.len;
+        match &self.vals {
+            ColumnVals::Str(v) => fixed + v.heap_bytes(),
+            _ => fixed,
+        }
+    }
+
+    /// Iterate generically over the window.
+    pub fn iter(&self) -> impl Iterator<Item = AtomValue> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+/// Borrowed view over the string storage of a column window.
+pub struct StrVecView<'a> {
+    sv: &'a StrVec,
+    off: usize,
+    len: usize,
+}
+
+impl<'a> StrVecView<'a> {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, i: usize) -> &'a str {
+        assert!(i < self.len);
+        self.sv.get(self.off + i)
+    }
+
+    /// (heap offset, byte length) of value `i`, for pager accounting.
+    pub fn heap_offset(&self, i: usize) -> (u64, u64) {
+        self.sv.heap_offset(self.off + i)
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.sv.heap_bytes()
+    }
+}
+
+fn type_of(v: &ColumnVals) -> AtomType {
+    match v {
+        ColumnVals::Void { .. } => AtomType::Void,
+        ColumnVals::Oid(_) => AtomType::Oid,
+        ColumnVals::Bool(_) => AtomType::Bool,
+        ColumnVals::Chr(_) => AtomType::Chr,
+        ColumnVals::Int(_) => AtomType::Int,
+        ColumnVals::Lng(_) => AtomType::Lng,
+        ColumnVals::Dbl(_) => AtomType::Dbl,
+        ColumnVals::Str(_) => AtomType::Str,
+        ColumnVals::Date(_) => AtomType::Date,
+    }
+}
+
+/// Owned hashable key for deduplication across all atom types.
+#[derive(PartialEq, Eq, Hash)]
+enum OwnedKey {
+    U64(u64),
+    I64(i64),
+    Bits(u64),
+    Str(Box<str>),
+}
+
+impl OwnedKey {
+    fn of(c: &Column, i: usize) -> OwnedKey {
+        match c.get(i) {
+            AtomValue::Void(o) | AtomValue::Oid(o) => OwnedKey::U64(o),
+            AtomValue::Bool(b) => OwnedKey::U64(b as u64),
+            AtomValue::Chr(v) => OwnedKey::U64(v as u64),
+            AtomValue::Int(v) => OwnedKey::I64(v as i64),
+            AtomValue::Lng(v) => OwnedKey::I64(v),
+            AtomValue::Date(d) => OwnedKey::I64(d.0 as i64),
+            AtomValue::Dbl(v) => OwnedKey::Bits(v.to_bits()),
+            AtomValue::Str(s) => OwnedKey::Str(s),
+        }
+    }
+}
+
+/// Fast multiplicative hash for 64-bit keys (FxHash-style).
+#[inline]
+pub fn fxhash64(x: u64) -> u64 {
+    // Two rounds of the splitmix64 finalizer: cheap and well distributed.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes, for string hashing.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hash an [`AtomValue`] consistently with [`Column::hash_at`].
+pub fn hash_atom(v: &AtomValue) -> u64 {
+    match v {
+        AtomValue::Void(o) | AtomValue::Oid(o) => fxhash64(*o),
+        AtomValue::Bool(b) => fxhash64(*b as u64),
+        AtomValue::Chr(c) => fxhash64(*c as u64),
+        AtomValue::Int(i) => fxhash64(*i as u64),
+        AtomValue::Lng(i) => fxhash64(*i as u64),
+        AtomValue::Dbl(d) => fxhash64(d.to_bits()),
+        AtomValue::Date(d) => fxhash64(d.0 as u64),
+        AtomValue::Str(s) => fnv1a(s.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_column_values() {
+        let c = Column::void(100, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.oid_at(0), 100);
+        assert_eq!(c.oid_at(3), 103);
+        assert_eq!(c.get(2), AtomValue::Oid(102));
+        assert_eq!(c.bytes(), 0);
+        assert!(c.check_sorted() && c.check_key() && c.check_dense());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_keeps_identity() {
+        let c = Column::from_ints(vec![1, 2, 3, 4, 5]);
+        let s = c.slice(1, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.int_at(0), 2);
+        assert_eq!(s.int_at(2), 4);
+        assert_eq!(s.storage_id(), c.storage_id());
+        assert_ne!(s.identity(), c.identity());
+        let s2 = c.slice(1, 3);
+        assert_eq!(s.identity(), s2.identity()); // same window, same identity
+    }
+
+    #[test]
+    fn void_slice_shifts_seq() {
+        let c = Column::void(10, 6);
+        let s = c.slice(2, 3);
+        assert_eq!(s.void_seq(), Some(12));
+        assert_eq!(s.oid_at(0), 12);
+    }
+
+    #[test]
+    fn gather_all_types() {
+        let idx = vec![2u32, 0];
+        assert_eq!(
+            Column::from_ints(vec![10, 20, 30]).gather(&idx).as_int_slice().unwrap(),
+            &[30, 10]
+        );
+        let sc = Column::from_strs(["x", "y", "z"]).gather(&idx);
+        assert_eq!(sc.str_at(0), "z");
+        assert_eq!(sc.str_at(1), "x");
+        let vc = Column::void(5, 3).gather(&idx);
+        assert_eq!(vc.as_oid_slice().unwrap(), &[7, 5]);
+    }
+
+    #[test]
+    fn sort_perm_stable() {
+        let c = Column::from_ints(vec![3, 1, 3, 2]);
+        assert_eq!(c.sort_perm(), vec![1, 3, 0, 2]);
+        let s = Column::from_strs(["b", "a", "b"]);
+        assert_eq!(s.sort_perm(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn bounds_on_sorted() {
+        let c = Column::from_ints(vec![1, 3, 3, 3, 7, 9]);
+        assert_eq!(c.lower_bound(&AtomValue::Int(3)), 1);
+        assert_eq!(c.upper_bound(&AtomValue::Int(3)), 4);
+        assert_eq!(c.lower_bound(&AtomValue::Int(0)), 0);
+        assert_eq!(c.upper_bound(&AtomValue::Int(99)), 6);
+        assert_eq!(c.lower_bound(&AtomValue::Int(8)), 5);
+    }
+
+    #[test]
+    fn cmp_and_hash_consistency() {
+        let a = Column::from_strs(["alpha", "beta"]);
+        let b = Column::from_strs(["beta", "alpha"]);
+        assert!(a.eq_at(0, &b, 1));
+        assert!(!a.eq_at(0, &b, 0));
+        assert_eq!(a.hash_at(1), b.hash_at(0));
+        // oid/void interop
+        let o = Column::from_oids(vec![5, 6]);
+        let v = Column::void(5, 2);
+        assert!(o.eq_at(0, &v, 0));
+        assert_eq!(o.hash_at(1), v.hash_at(1));
+    }
+
+    #[test]
+    fn checks_detect_violations() {
+        assert!(Column::from_ints(vec![1, 2, 2, 3]).check_sorted());
+        assert!(!Column::from_ints(vec![1, 2, 2, 3]).check_key());
+        assert!(!Column::from_ints(vec![2, 1]).check_sorted());
+        assert!(Column::from_oids(vec![4, 5, 6]).check_dense());
+        assert!(!Column::from_oids(vec![4, 6]).check_dense());
+        assert!(Column::from_strs(["a", "b", "c"]).check_key());
+    }
+
+    #[test]
+    fn from_atoms_roundtrip() {
+        let vals = vec![AtomValue::Dbl(1.0), AtomValue::Dbl(2.5)];
+        let c = Column::from_atoms(AtomType::Dbl, vals.clone());
+        assert_eq!(c.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn dbl_total_order_sort() {
+        let c = Column::from_dbls(vec![2.0, -1.0, 0.5]);
+        assert_eq!(c.sort_perm(), vec![1, 2, 0]);
+    }
+}

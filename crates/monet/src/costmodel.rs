@@ -1,0 +1,181 @@
+//! The analytic IO cost model of Section 5.2.2.
+//!
+//! Expected number of `B`-byte disk pages retrieved (virtual-memory page
+//! faults) for a selection with selectivity `s` followed by a projection to
+//! `p` attributes of an `n`-ary table with `X` rows of uniform value width
+//! `w`:
+//!
+//! ```text
+//! E_rel(s) = ceil(sX / C_inv) + ceil(X / C_rel) * (1 - (1-s)^C_rel)
+//! E_dv(s)  = ceil(sX / C_bat) + (p+1) * ceil(X / C_dv) * (1 - (1-s)^C_dv)
+//! C_inv = floor(B / 2w)   C_rel = floor(B / (n+1)w)
+//! C_bat = floor(B / 2w)   C_dv  = floor(B / w)
+//! ```
+//!
+//! The first term of `E_rel` is the inverted-list scan discovering the
+//! qualifying tuples; the second is unclustered retrieval of the qualifying
+//! rows. For the Monet/datavector strategy the first term is the selection
+//! on the tail-sorted BAT and the second is `p` datavector semijoins plus
+//! one extent lookup. Figure 8 plots both for the 1 GB TPC-D Item table
+//! (`X = 6,000,000, n = 16, w = 4, B = 4096`).
+
+/// Parameters of the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Number of rows in the n-ary table (`X`).
+    pub rows: u64,
+    /// Number of attributes (`n`).
+    pub n_attrs: u32,
+    /// Uniform byte width of one value (`w`).
+    pub width: u32,
+    /// Page size in bytes (`B`).
+    pub page_size: u32,
+}
+
+impl CostParams {
+    /// The Figure 8 configuration: the 1 GB TPC-D Item table.
+    pub fn figure8() -> CostParams {
+        CostParams { rows: 6_000_000, n_attrs: 16, width: 4, page_size: 4096 }
+    }
+
+    /// Inverted-list entries per page: `C_inv = floor(B / 2w)`.
+    pub fn c_inv(&self) -> u64 {
+        (self.page_size / (2 * self.width)) as u64
+    }
+
+    /// Rows per page of the n-ary table: `C_rel = floor(B / (n+1)w)`.
+    pub fn c_rel(&self) -> u64 {
+        (self.page_size / ((self.n_attrs + 1) * self.width)) as u64
+    }
+
+    /// BUNs per BAT page: `C_bat = floor(B / 2w)`.
+    pub fn c_bat(&self) -> u64 {
+        (self.page_size / (2 * self.width)) as u64
+    }
+
+    /// Datavector values per page: `C_dv = floor(B / w)`.
+    pub fn c_dv(&self) -> u64 {
+        (self.page_size / self.width) as u64
+    }
+}
+
+fn ceil_div_f(x: f64, c: u64) -> f64 {
+    (x / c as f64).ceil()
+}
+
+/// Probability-weighted unclustered page count:
+/// `ceil(X/C) * (1 - (1-s)^C)`.
+fn unclustered(rows: u64, per_page: u64, s: f64) -> f64 {
+    ceil_div_f(rows as f64, per_page) * (1.0 - (1.0 - s).powi(per_page as i32))
+}
+
+/// Expected page faults of the relational (non-decomposed) strategy.
+pub fn e_rel(p: &CostParams, s: f64) -> f64 {
+    ceil_div_f(s * p.rows as f64, p.c_inv()) + unclustered(p.rows, p.c_rel(), s)
+}
+
+/// Expected page faults of the Monet datavector strategy projecting to
+/// `proj` attributes.
+pub fn e_dv(p: &CostParams, s: f64, proj: u32) -> f64 {
+    ceil_div_f(s * p.rows as f64, p.c_bat())
+        + (proj + 1) as f64 * unclustered(p.rows, p.c_dv(), s)
+}
+
+/// Find (by bisection) the selectivity below which the relational strategy
+/// is cheaper — the crossover point discussed in Section 5.2.2 ("the
+/// crossover point for n=16, p=3 is at s ≈ 0.004").
+pub fn crossover(p: &CostParams, proj: u32) -> Option<f64> {
+    let f = |s: f64| e_dv(p, s, proj) - e_rel(p, s);
+    // Scan for a sign change on (0, 0.5].
+    let mut prev_s = 1e-6;
+    let mut prev = f(prev_s);
+    let mut bracket = None;
+    for i in 1..=5000 {
+        let s = 1e-6 + i as f64 * 1e-4;
+        let cur = f(s);
+        if prev.signum() != cur.signum() {
+            bracket = Some((prev_s, s));
+            break;
+        }
+        prev_s = s;
+        prev = cur;
+    }
+    let (mut lo, mut hi) = bracket?;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if f(lo).signum() == f(mid).signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_page_counts() {
+        let p = CostParams::figure8();
+        assert_eq!(p.c_inv(), 512);
+        assert_eq!(p.c_rel(), 60); // 4096 / (17*4) = 60.2
+        assert_eq!(p.c_bat(), 512);
+        assert_eq!(p.c_dv(), 1024);
+    }
+
+    #[test]
+    fn zero_selectivity_costs_nothing_unclustered() {
+        let p = CostParams::figure8();
+        assert_eq!(e_rel(&p, 0.0), 0.0);
+        assert_eq!(e_dv(&p, 0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn full_selectivity_reads_everything() {
+        let p = CostParams::figure8();
+        // At s=1 the relational strategy reads the inverted list plus every
+        // data page once.
+        let expect = (6_000_000f64 / 512.0).ceil() + (6_000_000f64 / 60.0).ceil();
+        assert!((e_rel(&p, 1.0) - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn datavector_wins_at_moderate_selectivity() {
+        // The headline claim of Figure 8: Monet's strategy is generally
+        // more efficient apart from very low selectivities.
+        let p = CostParams::figure8();
+        for s in [0.01, 0.02, 0.03] {
+            assert!(
+                e_dv(&p, s, 3) < e_rel(&p, s),
+                "datavector should win at s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_wins_at_tiny_selectivity() {
+        let p = CostParams::figure8();
+        assert!(e_dv(&p, 0.0005, 3) > e_rel(&p, 0.0005));
+    }
+
+    #[test]
+    fn crossover_near_paper_value() {
+        // Paper: crossover for n=16, p=3 at s ≈ 0.004.
+        let p = CostParams::figure8();
+        let s = crossover(&p, 3).expect("crossover exists");
+        assert!(
+            (0.001..0.01).contains(&s),
+            "crossover {s} should be near 0.004"
+        );
+    }
+
+    #[test]
+    fn more_projected_attributes_cost_more() {
+        let p = CostParams::figure8();
+        let s = 0.01;
+        assert!(e_dv(&p, s, 1) < e_dv(&p, s, 3));
+        assert!(e_dv(&p, s, 3) < e_dv(&p, s, 12));
+    }
+}

@@ -1,0 +1,189 @@
+//! Execution context: pager, trace, memory accounting, oid generation.
+//!
+//! Every BAT-algebra operator takes an [`ExecCtx`]. The default context is
+//! entirely passive (no pager, no trace) and adds no measurable overhead;
+//! the benchmark harnesses install a pager and a trace sink to produce the
+//! page-fault and per-statement columns of Figures 8–10.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::atom::Oid;
+use crate::bat::Bat;
+use crate::pager::Pager;
+
+/// One trace record per executed kernel operation, mirroring the rows of
+/// the paper's Figure 10 (elapsed ms, page faults, and — our addition — the
+/// dynamically chosen implementation).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Operator name (`semijoin`, `join`, ...).
+    pub op: &'static str,
+    /// Implementation selected by dynamic optimization
+    /// (`merge`, `hash`, `sync`, `datavector`, `binary-search`, ...).
+    pub algo: &'static str,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+    /// Page faults caused by this operation (0 without a pager).
+    pub faults: u64,
+    /// Result size in BUNs.
+    pub result_len: usize,
+    /// Result heap bytes.
+    pub result_bytes: usize,
+}
+
+/// Aggregate memory accounting for the "total / max (MB)" columns of
+/// Figure 9.
+#[derive(Debug, Default)]
+pub struct MemTracker {
+    /// Sum of all intermediate-result bytes materialized so far.
+    total_bytes: AtomicU64,
+    /// High-water mark of the live set, maintained by the MIL interpreter.
+    max_live_bytes: AtomicU64,
+}
+
+impl MemTracker {
+    pub fn add_total(&self, bytes: u64) {
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn observe_live(&self, bytes: u64) {
+        self.max_live_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn max_live_bytes(&self) -> u64 {
+        self.max_live_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.total_bytes.store(0, Ordering::Relaxed);
+        self.max_live_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shared execution context.
+#[derive(Clone, Default)]
+pub struct ExecCtx {
+    /// Simulated pager; `None` disables fault accounting.
+    pub pager: Option<Arc<Pager>>,
+    /// Trace sink; `None` disables tracing.
+    pub trace: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    /// Memory accounting (always on; negligible cost).
+    pub mem: Arc<MemTracker>,
+    /// Generator for fresh oids (`unique_oid(..)` of the `group` operator).
+    oid_gen: Arc<AtomicU64>,
+}
+
+/// Fresh oids start far above any base-data oid so that generated group
+/// identifiers never collide with stored object identifiers.
+const FRESH_OID_BASE: Oid = 1 << 40;
+
+impl ExecCtx {
+    /// Passive context: no pager, no trace.
+    pub fn new() -> ExecCtx {
+        ExecCtx {
+            pager: None,
+            trace: None,
+            mem: Arc::new(MemTracker::default()),
+            oid_gen: Arc::new(AtomicU64::new(FRESH_OID_BASE)),
+        }
+    }
+
+    /// Attach a pager.
+    pub fn with_pager(mut self, pager: Arc<Pager>) -> ExecCtx {
+        self.pager = Some(pager);
+        self
+    }
+
+    /// Attach a trace sink; retrieve events with [`ExecCtx::take_trace`].
+    pub fn with_trace(mut self) -> ExecCtx {
+        self.trace = Some(Arc::new(Mutex::new(Vec::new())));
+        self
+    }
+
+    /// Drain collected trace events.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        match &self.trace {
+            Some(t) => std::mem::take(&mut *t.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reserve `n` fresh consecutive oids, returning the first.
+    pub fn fresh_oids(&self, n: usize) -> Oid {
+        self.oid_gen.fetch_add(n as u64, Ordering::Relaxed)
+    }
+
+    /// Current fault count (0 without a pager).
+    pub fn faults(&self) -> u64 {
+        self.pager.as_ref().map_or(0, |p| p.faults())
+    }
+
+    /// Record a completed operation: trace event + memory accounting.
+    /// `faults_before` should be sampled via [`ExecCtx::faults`] before the
+    /// operation ran.
+    pub fn record(
+        &self,
+        op: &'static str,
+        algo: &'static str,
+        started: std::time::Instant,
+        faults_before: u64,
+        result: &Bat,
+    ) {
+        let bytes = result.bytes();
+        self.mem.add_total(bytes as u64);
+        if let Some(t) = &self.trace {
+            t.lock().push(TraceEvent {
+                op,
+                algo,
+                ms: started.elapsed().as_secs_f64() * 1e3,
+                faults: self.faults().saturating_sub(faults_before),
+                result_len: result.len(),
+                result_bytes: bytes,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn fresh_oids_are_disjoint() {
+        let ctx = ExecCtx::new();
+        let a = ctx.fresh_oids(10);
+        let b = ctx.fresh_oids(5);
+        assert!(b >= a + 10);
+        assert!(a >= FRESH_OID_BASE);
+    }
+
+    #[test]
+    fn record_accumulates_total_and_trace() {
+        let ctx = ExecCtx::new().with_trace();
+        let bat = Bat::new(Column::void(0, 8), Column::from_ints(vec![1; 8]));
+        let before = ctx.faults();
+        ctx.record("test", "unit", std::time::Instant::now(), before, &bat);
+        assert_eq!(ctx.mem.total_bytes(), bat.bytes() as u64);
+        let trace = ctx.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].op, "test");
+        assert_eq!(trace[0].result_len, 8);
+    }
+
+    #[test]
+    fn mem_tracker_high_water() {
+        let m = MemTracker::default();
+        m.observe_live(100);
+        m.observe_live(50);
+        m.observe_live(200);
+        assert_eq!(m.max_live_bytes(), 200);
+    }
+}

@@ -1,0 +1,103 @@
+//! The persistent BAT catalog.
+//!
+//! A loaded database is a set of named BATs (the vertical decomposition of
+//! the MOA classes, Figure 3) plus their accelerators. The catalog is what
+//! MIL `load` statements resolve against.
+
+use std::collections::BTreeMap;
+
+use crate::bat::Bat;
+use crate::error::{MonetError, Result};
+
+/// Named collection of persistent BATs.
+#[derive(Default)]
+pub struct Db {
+    bats: BTreeMap<String, Bat>,
+}
+
+impl Db {
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Register (or replace) a persistent BAT under `name`.
+    pub fn register(&mut self, name: &str, bat: Bat) {
+        self.bats.insert(name.to_string(), bat);
+    }
+
+    /// Look up a BAT by name.
+    pub fn get(&self, name: &str) -> Result<&Bat> {
+        self.bats
+            .get(name)
+            .ok_or_else(|| MonetError::UnknownName(name.to_string()))
+    }
+
+    /// Mutable access, for attaching accelerators after load.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Bat> {
+        self.bats
+            .get_mut(name)
+            .ok_or_else(|| MonetError::UnknownName(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.bats.contains_key(name)
+    }
+
+    /// Iterate all (name, BAT) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Bat)> {
+        self.bats.iter().map(|(n, b)| (n.as_str(), b))
+    }
+
+    pub fn len(&self) -> usize {
+        self.bats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bats.is_empty()
+    }
+
+    /// Total base-data bytes (column heaps, without accelerators).
+    pub fn bytes(&self) -> usize {
+        self.bats.values().map(Bat::bytes).sum()
+    }
+
+    /// Total datavector bytes (Figure 9 reports them separately: "300MB in
+    /// data vectors, 1.3GB as base data").
+    pub fn datavector_bytes(&self) -> usize {
+        self.bats
+            .values()
+            .filter_map(|b| b.accel().datavector.as_ref())
+            .map(|dv| dv.bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut db = Db::new();
+        db.register(
+            "Supplier_name",
+            Bat::new(Column::from_oids(vec![1]), Column::from_strs(["Acme"])),
+        );
+        assert!(db.contains("Supplier_name"));
+        assert_eq!(db.get("Supplier_name").unwrap().len(), 1);
+        assert!(db.get("Supplier_phone").is_err());
+        assert_eq!(db.len(), 1);
+        assert!(db.bytes() > 0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut db = Db::new();
+        for name in ["b", "a", "c"] {
+            db.register(name, Bat::new(Column::void(0, 0), Column::void(0, 0)));
+        }
+        let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the Monet kernel.
+
+use std::fmt;
+
+use crate::atom::AtomType;
+
+/// Errors raised by kernel operations.
+///
+/// BAT-algebra operations have fixed expectations about the types found in
+/// the columns of their parameters (Section 4.2 of the paper); violating
+/// those expectations yields a [`MonetError`] rather than a panic so that
+/// the MIL interpreter can report which statement failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonetError {
+    /// An operation received a column of the wrong atom type.
+    TypeMismatch {
+        op: &'static str,
+        expected: AtomType,
+        found: AtomType,
+    },
+    /// Two columns that must have equal types differ.
+    IncompatibleColumns {
+        op: &'static str,
+        left: AtomType,
+        right: AtomType,
+    },
+    /// An operation is undefined for the given atom type.
+    Unsupported { op: &'static str, ty: AtomType },
+    /// A BAT failed its descriptor-property validation.
+    InvalidProperties(String),
+    /// A MIL program referenced an unknown variable or catalog name.
+    UnknownName(String),
+    /// A MIL variable held a scalar where a BAT was required (or vice versa).
+    KindMismatch { op: &'static str, detail: String },
+    /// Arithmetic error (division by zero, overflow in checked contexts).
+    Arithmetic(&'static str),
+    /// Malformed operand (e.g. aggregate over empty BAT with no identity).
+    Malformed { op: &'static str, detail: String },
+}
+
+impl fmt::Display for MonetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonetError::TypeMismatch { op, expected, found } => {
+                write!(f, "{op}: expected column of type {expected}, found {found}")
+            }
+            MonetError::IncompatibleColumns { op, left, right } => {
+                write!(f, "{op}: incompatible column types {left} vs {right}")
+            }
+            MonetError::Unsupported { op, ty } => {
+                write!(f, "{op}: unsupported for atom type {ty}")
+            }
+            MonetError::InvalidProperties(s) => write!(f, "invalid BAT properties: {s}"),
+            MonetError::UnknownName(s) => write!(f, "unknown name: {s}"),
+            MonetError::KindMismatch { op, detail } => write!(f, "{op}: {detail}"),
+            MonetError::Arithmetic(s) => write!(f, "arithmetic error: {s}"),
+            MonetError::Malformed { op, detail } => write!(f, "{op}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MonetError {}
+
+/// Convenience result alias used throughout the kernel.
+pub type Result<T> = std::result::Result<T, MonetError>;

@@ -1,0 +1,242 @@
+//! MIL program representation.
+
+use crate::atom::AtomValue;
+use crate::ops::{AggFunc, ScalarFunc};
+
+/// A MIL variable, indexing the interpreter environment.
+pub type Var = usize;
+
+/// An argument of a multiplexed operation: a variable or a constant
+/// (constants broadcast, as in `[-](1.0, discount)`).
+#[derive(Debug, Clone)]
+pub enum MilArg {
+    Var(Var),
+    Const(AtomValue),
+}
+
+/// One BAT-algebra command (Figure 4), plus the ordering/marking utilities
+/// the TPC-D plans need.
+#[derive(Debug, Clone)]
+pub enum MilOp {
+    /// Fetch a persistent BAT from the catalog.
+    Load(String),
+    /// Bind a scalar constant.
+    ConstScalar(AtomValue),
+    /// `v.mirror` — swap head and tail, free of cost.
+    Mirror(Var),
+    /// `v.select(T)` — point selection on the tail.
+    SelectEq(Var, AtomValue),
+    /// `v.select(Tl,Th)` — range selection on the tail; `None` = unbounded.
+    SelectRange {
+        src: Var,
+        lo: Option<AtomValue>,
+        hi: Option<AtomValue>,
+        inc_lo: bool,
+        inc_hi: bool,
+    },
+    /// `a.join(b)`.
+    Join(Var, Var),
+    /// `a.semijoin(b)`.
+    Semijoin(Var, Var),
+    /// `a.antijoin(b)` — BUNs of `a` whose head does *not* occur in `b`.
+    Antijoin(Var, Var),
+    /// `v.unique`.
+    Unique(Var),
+    /// `v.group` — unary grouping.
+    Group1(Var),
+    /// `a.group(b)` — refining (binary) grouping.
+    Group2(Var, Var),
+    /// `[f](args…)` — multiplexed scalar function.
+    Multiplex { f: ScalarFunc, args: Vec<MilArg> },
+    /// `{g}(v)` — set-aggregate over the head groups.
+    SetAgg { f: AggFunc, src: Var },
+    /// Whole-BAT scalar aggregate of the tail, producing a scalar variable.
+    AggrScalar { f: AggFunc, src: Var },
+    /// Pair-set union.
+    Union(Var, Var),
+    /// Pair-set difference.
+    Diff(Var, Var),
+    /// Pair-set intersection.
+    Intersect(Var, Var),
+    /// Bag concatenation.
+    Concat(Var, Var),
+    /// Positional tail combination of two synced BATs.
+    Zip(Var, Var),
+    /// Reorder ascending on tail.
+    SortTail(Var),
+    /// Reorder ascending on head.
+    SortHead(Var),
+    /// Largest/smallest `n` BUNs by tail.
+    TopN { src: Var, n: usize, desc: bool },
+    /// Fresh dense oid tail, synced with the operand.
+    Mark(Var),
+}
+
+impl MilOp {
+    /// Variables this operation reads (for liveness analysis).
+    pub fn operands(&self) -> Vec<Var> {
+        match self {
+            MilOp::Load(_) | MilOp::ConstScalar(_) => vec![],
+            MilOp::Mirror(v)
+            | MilOp::SelectEq(v, _)
+            | MilOp::Unique(v)
+            | MilOp::Group1(v)
+            | MilOp::SortTail(v)
+            | MilOp::SortHead(v)
+            | MilOp::Mark(v) => vec![*v],
+            MilOp::SelectRange { src, .. }
+            | MilOp::SetAgg { src, .. }
+            | MilOp::AggrScalar { src, .. }
+            | MilOp::TopN { src, .. } => vec![*src],
+            MilOp::Join(a, b)
+            | MilOp::Semijoin(a, b)
+            | MilOp::Antijoin(a, b)
+            | MilOp::Group2(a, b)
+            | MilOp::Union(a, b)
+            | MilOp::Diff(a, b)
+            | MilOp::Intersect(a, b)
+            | MilOp::Concat(a, b)
+            | MilOp::Zip(a, b) => vec![*a, *b],
+            MilOp::Multiplex { args, .. } => args
+                .iter()
+                .filter_map(|a| match a {
+                    MilArg::Var(v) => Some(*v),
+                    MilArg::Const(_) => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Operator name as it appears in printed programs.
+    pub fn name(&self) -> String {
+        match self {
+            MilOp::Load(n) => format!("load(\"{n}\")"),
+            MilOp::ConstScalar(_) => "const".into(),
+            MilOp::Mirror(_) => "mirror".into(),
+            MilOp::SelectEq(..) | MilOp::SelectRange { .. } => "select".into(),
+            MilOp::Join(..) => "join".into(),
+            MilOp::Semijoin(..) => "semijoin".into(),
+            MilOp::Antijoin(..) => "antijoin".into(),
+            MilOp::Unique(_) => "unique".into(),
+            MilOp::Group1(_) | MilOp::Group2(..) => "group".into(),
+            MilOp::Multiplex { f, .. } => format!("[{}]", f.mil_name()),
+            MilOp::SetAgg { f, .. } => format!("{{{}}}", f.name()),
+            MilOp::AggrScalar { f, .. } => f.name().into(),
+            MilOp::Union(..) => "union".into(),
+            MilOp::Diff(..) => "diff".into(),
+            MilOp::Intersect(..) => "intersect".into(),
+            MilOp::Concat(..) => "concat".into(),
+            MilOp::Zip(..) => "zip".into(),
+            MilOp::SortTail(_) => "sort".into(),
+            MilOp::SortHead(_) => "sort_head".into(),
+            MilOp::TopN { .. } => "topn".into(),
+            MilOp::Mark(_) => "mark".into(),
+        }
+    }
+}
+
+/// One statement: `name := op(...)`.
+#[derive(Debug, Clone)]
+pub struct MilStmt {
+    pub var: Var,
+    pub name: String,
+    pub op: MilOp,
+}
+
+/// A straight-line MIL program.
+#[derive(Debug, Clone, Default)]
+pub struct MilProgram {
+    pub stmts: Vec<MilStmt>,
+}
+
+impl MilProgram {
+    pub fn new() -> MilProgram {
+        MilProgram::default()
+    }
+
+    /// Append a statement, returning its variable. `name` is only used for
+    /// printing; unnamed intermediates can pass `""` and get `tmpN`.
+    pub fn emit(&mut self, name: &str, op: MilOp) -> Var {
+        let var = self.stmts.len();
+        let name = if name.is_empty() {
+            format!("tmp{var}")
+        } else {
+            name.to_string()
+        };
+        self.stmts.push(MilStmt { var, name, op });
+        var
+    }
+
+    /// Name of a variable (for printing).
+    pub fn name_of(&self, v: Var) -> &str {
+        &self.stmts[v].name
+    }
+
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// For each statement index, the set of variables whose *last* use is
+    /// that statement — the interpreter frees them afterwards ("algebraic
+    /// buffer management": materialized intermediates are released as soon
+    /// as no later statement needs them).
+    pub fn last_uses(&self) -> Vec<Vec<Var>> {
+        let mut last_use: Vec<Option<usize>> = vec![None; self.stmts.len()];
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            for v in stmt.op.operands() {
+                last_use[v] = Some(i);
+            }
+        }
+        let mut frees: Vec<Vec<Var>> = vec![Vec::new(); self.stmts.len()];
+        for (v, lu) in last_use.iter().enumerate() {
+            if let Some(i) = lu {
+                frees[*i].push(v);
+            }
+        }
+        frees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_names() {
+        let mut p = MilProgram::new();
+        let a = p.emit("orders", MilOp::Load("Order_clerk".into()));
+        let b = p.emit("", MilOp::Mirror(a));
+        assert_eq!(p.name_of(a), "orders");
+        assert_eq!(p.name_of(b), "tmp1");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn operand_extraction() {
+        let op = MilOp::Multiplex {
+            f: ScalarFunc::Mul,
+            args: vec![
+                MilArg::Var(3),
+                MilArg::Const(AtomValue::Dbl(1.0)),
+                MilArg::Var(7),
+            ],
+        };
+        assert_eq!(op.operands(), vec![3, 7]);
+    }
+
+    #[test]
+    fn last_uses_frees_dead_vars() {
+        let mut p = MilProgram::new();
+        let a = p.emit("a", MilOp::Load("x".into())); // used by b only
+        let b = p.emit("b", MilOp::Mirror(a)); // used by c
+        let _c = p.emit("c", MilOp::Unique(b));
+        let frees = p.last_uses();
+        assert_eq!(frees[1], vec![a]);
+        assert_eq!(frees[2], vec![b]);
+        assert!(frees[0].is_empty());
+    }
+}

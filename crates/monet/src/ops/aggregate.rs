@@ -1,0 +1,331 @@
+//! Aggregation: whole-BAT aggregates and the set-aggregate constructor
+//! `{g}` of Figure 4.
+//!
+//! `{g}(AB) = {a·g(S_a) | a ∈ A ∧ S_a = {b | ab ∈ AB}}`: group over the
+//! head of the BAT and compute an aggregate of each group's tail values.
+//! "With this construct we can execute nested aggregates in one go, rather
+//! than having to do iterative calls on nested collections" — this is what
+//! makes the flattened execution of MOA's nested `sum`s fast.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::atom::{AtomType, AtomValue};
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::ctx::ExecCtx;
+use crate::error::{MonetError, Result};
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+/// Aggregate functions, usable both as whole-BAT scalars and per-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// Whole-BAT aggregate over the tail column.
+///
+/// `sum` over int/lng tails yields `lng` (wide accumulator), over dbl
+/// yields `dbl`; `count` yields `lng`; `avg` yields `dbl`; `min`/`max`
+/// keep the tail type. `min`/`max`/`avg` over an empty BAT are errors.
+pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let t = ab.tail();
+    let n = ab.len();
+    match f {
+        AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
+        AggFunc::Sum => match t.atom_type() {
+            AtomType::Int => {
+                Ok(AtomValue::Lng((0..n).map(|i| t.int_at(i) as i64).sum()))
+            }
+            AtomType::Lng => Ok(AtomValue::Lng((0..n).map(|i| t.lng_at(i)).sum())),
+            AtomType::Dbl => Ok(AtomValue::Dbl((0..n).map(|i| t.dbl_at(i)).sum())),
+            ty => Err(MonetError::Unsupported { op: "sum", ty }),
+        },
+        AggFunc::Avg => match t.atom_type() {
+            AtomType::Int | AtomType::Lng | AtomType::Dbl => {
+                if n == 0 {
+                    return Err(MonetError::Malformed {
+                        op: "avg",
+                        detail: "average of empty BAT".into(),
+                    });
+                }
+                let s: f64 = (0..n)
+                    .map(|i| t.get(i).as_f64().expect("numeric tail"))
+                    .sum();
+                Ok(AtomValue::Dbl(s / n as f64))
+            }
+            ty => Err(MonetError::Unsupported { op: "avg", ty }),
+        },
+        AggFunc::Min | AggFunc::Max => {
+            if n == 0 {
+                return Err(MonetError::Malformed {
+                    op: f.name(),
+                    detail: "min/max of empty BAT".into(),
+                });
+            }
+            let mut best = 0usize;
+            for i in 1..n {
+                let c = t.cmp_at(i, t, best);
+                let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
+                if better {
+                    best = i;
+                }
+            }
+            Ok(t.get(best))
+        }
+    }
+}
+
+/// The set-aggregate constructor `{g}(AB)`: one result BUN per distinct
+/// head value. Uses streaming runs when the head is sorted, a hash table
+/// otherwise (first-occurrence output order).
+pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.head());
+        pager::touch_scan(p, ab.tail());
+    }
+    let tail_ty = ab.tail().atom_type();
+    if !matches!(f, AggFunc::Count | AggFunc::Min | AggFunc::Max)
+        && !matches!(tail_ty, AtomType::Int | AtomType::Lng | AtomType::Dbl)
+    {
+        return Err(MonetError::Unsupported { op: "set-aggregate", ty: tail_ty });
+    }
+
+    // Assign each BUN to a group; remember one representative position per
+    // group for building the result head (and for min/max gathering).
+    let h = ab.head();
+    let mut gid_of: Vec<u32> = Vec::with_capacity(ab.len());
+    let mut rep: Vec<u32> = Vec::new();
+    let algo;
+    if ab.props().head.sorted {
+        algo = "merge";
+        let mut g: u32 = 0;
+        for i in 0..ab.len() {
+            if i > 0 && !h.eq_at(i, h, i - 1) {
+                g += 1;
+            }
+            if rep.len() == g as usize {
+                rep.push(i as u32);
+            }
+            gid_of.push(g);
+        }
+    } else {
+        algo = "hash";
+        let mut seen: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
+        for i in 0..ab.len() {
+            let hh = h.hash_at(i);
+            let bucket = seen.entry(hh).or_default();
+            let found = bucket
+                .iter()
+                .find(|(k, _)| h.eq_at(*k as usize, h, i))
+                .map(|(_, g)| *g);
+            let g = match found {
+                Some(g) => g,
+                None => {
+                    let g = rep.len() as u32;
+                    rep.push(i as u32);
+                    bucket.push((i as u32, g));
+                    g
+                }
+            };
+            gid_of.push(g);
+        }
+    }
+
+    let ngroups = rep.len();
+    let t = ab.tail();
+    let tail: Column = match f {
+        AggFunc::Count => {
+            let mut counts = vec![0i64; ngroups];
+            for &g in &gid_of {
+                counts[g as usize] += 1;
+            }
+            Column::from_lngs(counts)
+        }
+        AggFunc::Sum => match tail_ty {
+            AtomType::Int | AtomType::Lng => {
+                let mut sums = vec![0i64; ngroups];
+                for (i, &g) in gid_of.iter().enumerate() {
+                    sums[g as usize] += if tail_ty == AtomType::Int {
+                        t.int_at(i) as i64
+                    } else {
+                        t.lng_at(i)
+                    };
+                }
+                Column::from_lngs(sums)
+            }
+            _ => {
+                let mut sums = vec![0f64; ngroups];
+                let slice = t.as_dbl_slice().expect("dbl tail");
+                for (i, &g) in gid_of.iter().enumerate() {
+                    sums[g as usize] += slice[i];
+                }
+                Column::from_dbls(sums)
+            }
+        },
+        AggFunc::Avg => {
+            let mut sums = vec![0f64; ngroups];
+            let mut counts = vec![0u64; ngroups];
+            for (i, &g) in gid_of.iter().enumerate() {
+                sums[g as usize] += t.get(i).as_f64().expect("numeric tail");
+                counts[g as usize] += 1;
+            }
+            Column::from_dbls(
+                sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect(),
+            )
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Vec<u32> = rep.clone();
+            for (i, &g) in gid_of.iter().enumerate() {
+                let b = &mut best[g as usize];
+                let c = t.cmp_at(i, t, *b as usize);
+                let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
+                if better {
+                    *b = i as u32;
+                }
+            }
+            t.gather(&best)
+        }
+    };
+
+    let head = h.gather(&rep);
+    let props = Props::new(
+        ColProps {
+            sorted: ab.props().head.sorted,
+            key: true, // one BUN per distinct head by construction
+            dense: false,
+        },
+        ColProps::NONE,
+    );
+    let result = Bat::with_props(head, tail, props);
+    ctx.record("set-aggregate", algo, started, faults0, &result);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn losses() -> Bat {
+        // [class_oid, revenue] as in Q13's final {sum}
+        Bat::new(
+            Column::from_oids(vec![70, 71, 70, 72, 71, 70]),
+            Column::from_dbls(vec![10.0, 5.0, 20.0, 1.0, 2.5, 30.0]),
+        )
+    }
+
+    #[test]
+    fn sum_groups() {
+        let ctx = ExecCtx::new();
+        let r = set_aggregate(&ctx, AggFunc::Sum, &losses()).unwrap();
+        assert_eq!(r.len(), 3);
+        let mut pairs: Vec<(u64, f64)> =
+            (0..3).map(|i| (r.head().oid_at(i), r.tail().dbl_at(i))).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(pairs[0], (70, 60.0));
+        assert_eq!(pairs[1], (71, 7.5));
+        assert_eq!(pairs[2], (72, 1.0));
+        assert!(r.props().head.key);
+    }
+
+    #[test]
+    fn merge_variant_on_sorted_head() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::with_props(
+            Column::from_oids(vec![1, 1, 2, 3, 3]),
+            Column::from_ints(vec![4, 6, 10, 1, 1]),
+            Props::new(ColProps::SORTED, ColProps::NONE),
+        );
+        let r = set_aggregate(&ctx, AggFunc::Sum, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "merge");
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.tail().as_lng_slice().unwrap(), &[10, 10, 2]);
+        assert!(r.props().head.sorted);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn count_min_max_avg() {
+        let ctx = ExecCtx::new();
+        let b = losses();
+        let c = set_aggregate(&ctx, AggFunc::Count, &b).unwrap();
+        let mn = set_aggregate(&ctx, AggFunc::Min, &b).unwrap();
+        let mx = set_aggregate(&ctx, AggFunc::Max, &b).unwrap();
+        let av = set_aggregate(&ctx, AggFunc::Avg, &b).unwrap();
+        let find = |bat: &Bat, oid: u64| -> AtomValue {
+            (0..bat.len())
+                .find(|&i| bat.head().oid_at(i) == oid)
+                .map(|i| bat.tail().get(i))
+                .unwrap()
+        };
+        assert_eq!(find(&c, 70), AtomValue::Lng(3));
+        assert_eq!(find(&mn, 70), AtomValue::Dbl(10.0));
+        assert_eq!(find(&mx, 70), AtomValue::Dbl(30.0));
+        assert_eq!(find(&av, 70), AtomValue::Dbl(20.0));
+    }
+
+    #[test]
+    fn min_max_on_strings_per_group() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![1, 1, 2]),
+            Column::from_strs(["pear", "apple", "fig"]),
+        );
+        let mn = set_aggregate(&ctx, AggFunc::Min, &b).unwrap();
+        let v: Vec<(u64, String)> = (0..mn.len())
+            .map(|i| (mn.head().oid_at(i), mn.tail().str_at(i).to_string()))
+            .collect();
+        assert!(v.contains(&(1, "apple".to_string())));
+        assert!(v.contains(&(2, "fig".to_string())));
+        // sum over strings is an error
+        assert!(set_aggregate(&ctx, AggFunc::Sum, &b).is_err());
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![5, 9, 2]),
+        );
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Sum).unwrap(), AtomValue::Lng(16));
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Count).unwrap(), AtomValue::Lng(3));
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Min).unwrap(), AtomValue::Int(2));
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Max).unwrap(), AtomValue::Int(9));
+        let avg = aggr_scalar(&ctx, &b, AggFunc::Avg).unwrap();
+        assert!(matches!(avg, AtomValue::Dbl(v) if (v - 16.0/3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_scalar_aggregates() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(Column::from_oids(vec![]), Column::from_ints(vec![]));
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Sum).unwrap(), AtomValue::Lng(0));
+        assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Count).unwrap(), AtomValue::Lng(0));
+        assert!(aggr_scalar(&ctx, &b, AggFunc::Min).is_err());
+        assert!(aggr_scalar(&ctx, &b, AggFunc::Avg).is_err());
+        assert_eq!(set_aggregate(&ctx, AggFunc::Sum, &b).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Grouping: `AB.group` and `AB.group(CD)` of Figure 4.
+//!
+//! The `group` operation introduces new oids for uniquely occurring values
+//! in a BAT column: `{a·o_b | ab ∈ AB ∧ o_b = unique_oid(b)}`. Groupings on
+//! one attribute use the unary version; multi-attribute groupings follow up
+//! with binary `group` invocations until all attributes are processed —
+//! this is how SQL `GROUP BY` and MOA `nest` are implemented.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::atom::Oid;
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::ctx::ExecCtx;
+use crate::error::{MonetError, Result};
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+/// Unary group: one new oid per distinct tail value. Group oids are dense,
+/// assigned in order of first appearance (or value order when the tail is
+/// sorted). The result head *shares* the operand's head column, so it is
+/// synced with the operand.
+pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let t = ab.tail();
+    let mut gids: Vec<Oid> = Vec::with_capacity(ab.len());
+    let (algo, ngroups) = if ab.props().tail.sorted {
+        // Merge grouping: adjacent comparison; group ids ascend with values.
+        let mut g: Oid = 0;
+        for i in 0..ab.len() {
+            if i > 0 && !t.eq_at(i, t, i - 1) {
+                g += 1;
+            }
+            gids.push(g);
+        }
+        ("merge", if ab.is_empty() { 0 } else { g + 1 })
+    } else {
+        let mut seen: HashMap<u64, Vec<(u32, Oid)>> = HashMap::new();
+        let mut next: Oid = 0;
+        for i in 0..ab.len() {
+            let h = t.hash_at(i);
+            let bucket = seen.entry(h).or_default();
+            let gid = bucket
+                .iter()
+                .find(|(k, _)| t.eq_at(*k as usize, t, i))
+                .map(|(_, g)| *g);
+            let g = match gid {
+                Some(g) => g,
+                None => {
+                    let g = next;
+                    next += 1;
+                    bucket.push((i as u32, g));
+                    g
+                }
+            };
+            gids.push(g);
+        }
+        ("hash", next)
+    };
+    let base = ctx.fresh_oids(ngroups as usize);
+    for g in &mut gids {
+        *g += base;
+    }
+    let tail_sorted = ab.props().tail.sorted;
+    let result = Bat::with_props(
+        ab.head().clone(),
+        Column::from_oids(gids),
+        Props::new(
+            ab.props().head,
+            ColProps { sorted: tail_sorted, key: false, dense: false },
+        ),
+    );
+    ctx.record("group", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Binary (refining) group: `{a·o_bd | ab ∈ AB ∧ cd ∈ CD ∧ a = c ∧
+/// o_bd = unique_oid(b, d)}`. `AB` is typically the group BAT of a previous
+/// `group` and `CD` the next grouping attribute. The fast path requires the
+/// operands to be synced; otherwise `CD` must have a key head and is
+/// aligned by hash.
+pub fn group2(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+        pager::touch_scan(p, cd.tail());
+    }
+    // Align: position i of AB corresponds to position align[i] of CD.
+    let (align, algo): (Vec<u32>, &'static str) = if ab.synced(cd) {
+        ((0..ab.len() as u32).collect(), "sync")
+    } else {
+        let idx = crate::accel::hash::HashIndex::build(cd.head());
+        let (ah, ch) = (ab.head(), cd.head());
+        let mut align = Vec::with_capacity(ab.len());
+        for i in 0..ab.len() {
+            let h = ah.hash_at(i);
+            let pos = idx.candidates(h).find(|&p| ch.eq_at(p, ah, i));
+            match pos {
+                Some(p) => align.push(p as u32),
+                None => {
+                    return Err(MonetError::Malformed {
+                        op: "group",
+                        detail: format!(
+                            "binary group: head value at position {i} of the group \
+                             BAT has no counterpart in the attribute BAT"
+                        ),
+                    })
+                }
+            }
+        }
+        (align, "hash-align")
+    };
+    let (bt, dt) = (ab.tail(), cd.tail());
+    let mut seen: HashMap<u64, Vec<(u32, Oid)>> = HashMap::new();
+    let mut gids: Vec<Oid> = Vec::with_capacity(ab.len());
+    let mut next: Oid = 0;
+    for i in 0..ab.len() {
+        let j = align[i] as usize;
+        let h = bt.hash_at(i).rotate_left(23) ^ dt.hash_at(j);
+        let bucket = seen.entry(h).or_default();
+        let found = bucket
+            .iter()
+            .find(|(k, _)| {
+                let k = *k as usize;
+                bt.eq_at(k, bt, i) && dt.eq_at(align[k] as usize, dt, j)
+            })
+            .map(|(_, g)| *g);
+        let g = match found {
+            Some(g) => g,
+            None => {
+                let g = next;
+                next += 1;
+                bucket.push((i as u32, g));
+                g
+            }
+        };
+        gids.push(g);
+    }
+    let base = ctx.fresh_oids(next as usize);
+    for g in &mut gids {
+        *g += base;
+    }
+    let result = Bat::with_props(
+        ab.head().clone(),
+        Column::from_oids(gids),
+        Props::new(ab.props().head, ColProps::NONE),
+    );
+    ctx.record("group", algo, started, faults0, &result);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_group_assigns_one_oid_per_value() {
+        let ctx = ExecCtx::new();
+        let years = Bat::new(
+            Column::from_oids(vec![1, 2, 3, 4, 5]),
+            Column::from_ints(vec![1995, 1996, 1995, 1997, 1996]),
+        );
+        let class = group1(&ctx, &years).unwrap();
+        assert_eq!(class.len(), 5);
+        assert!(class.synced(&years));
+        let g = class.tail();
+        assert_eq!(g.oid_at(0), g.oid_at(2)); // both 1995
+        assert_eq!(g.oid_at(1), g.oid_at(4)); // both 1996
+        assert_ne!(g.oid_at(0), g.oid_at(1));
+        assert_ne!(g.oid_at(3), g.oid_at(0));
+        // dense fresh oids: 3 distinct
+        let mut distinct: Vec<Oid> = (0..5).map(|i| g.oid_at(i)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+        assert_eq!(distinct[2] - distinct[0], 2);
+    }
+
+    #[test]
+    fn merge_group_on_sorted_tail() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::with_props(
+            Column::from_oids(vec![9, 8, 7]),
+            Column::from_ints(vec![1, 1, 2]),
+            Props::new(ColProps::NONE, ColProps::SORTED),
+        );
+        let r = group1(&ctx, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "merge");
+        assert!(r.props().tail.sorted);
+        assert_eq!(r.tail().oid_at(0), r.tail().oid_at(1));
+        assert_eq!(r.tail().oid_at(2), r.tail().oid_at(0) + 1);
+    }
+
+    #[test]
+    fn binary_group_refines_synced() {
+        let ctx = ExecCtx::new();
+        // group by (flag, status): Q1-style two-attribute grouping
+        let head = Column::from_oids(vec![1, 2, 3, 4]);
+        let flag = Bat::new(head.clone(), Column::from_chrs(vec![b'A', b'A', b'R', b'A']));
+        let status = Bat::new(head, Column::from_chrs(vec![b'F', b'O', b'F', b'F']));
+        let g1 = group1(&ctx, &flag).unwrap();
+        let g2 = group2(&ctx, &g1, &status).unwrap();
+        let g = g2.tail();
+        // (A,F) at 0 and 3; (A,O) at 1; (R,F) at 2
+        assert_eq!(g.oid_at(0), g.oid_at(3));
+        assert_ne!(g.oid_at(0), g.oid_at(1));
+        assert_ne!(g.oid_at(0), g.oid_at(2));
+        assert_ne!(g.oid_at(1), g.oid_at(2));
+    }
+
+    #[test]
+    fn binary_group_hash_align() {
+        let ctx = ExecCtx::new();
+        let g1 = Bat::new(
+            Column::from_oids(vec![4, 2, 3]),
+            Column::from_oids(vec![100, 100, 101]),
+        );
+        let attr = Bat::new(
+            Column::from_oids(vec![2, 3, 4]),
+            Column::from_ints(vec![7, 7, 8]),
+        );
+        let r = group2(&ctx, &g1, &attr).unwrap();
+        let g = r.tail();
+        // rows: (100,8)@4, (100,7)@2, (101,7)@3 => all distinct
+        assert_ne!(g.oid_at(0), g.oid_at(1));
+        assert_ne!(g.oid_at(1), g.oid_at(2));
+    }
+
+    #[test]
+    fn binary_group_missing_head_errors() {
+        let ctx = ExecCtx::new();
+        let g1 = Bat::new(Column::from_oids(vec![1]), Column::from_oids(vec![100]));
+        let attr = Bat::new(Column::from_oids(vec![2]), Column::from_ints(vec![7]));
+        assert!(group2(&ctx, &g1, &attr).is_err());
+    }
+
+    #[test]
+    fn group_on_strings() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_strs(["EUROPE", "ASIA", "EUROPE"]),
+        );
+        let r = group1(&ctx, &b).unwrap();
+        assert_eq!(r.tail().oid_at(0), r.tail().oid_at(2));
+        assert_ne!(r.tail().oid_at(0), r.tail().oid_at(1));
+    }
+
+    #[test]
+    fn empty_group() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(Column::from_oids(vec![]), Column::from_ints(vec![]));
+        assert_eq!(group1(&ctx, &b).unwrap().len(), 0);
+    }
+}

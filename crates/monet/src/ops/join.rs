@@ -1,0 +1,417 @@
+//! Equi-join: `AB.join(CD) = {ad | ab ∈ AB ∧ cd ∈ CD ∧ b = c}`.
+//!
+//! The equi-join projects out the join columns to keep the operation closed
+//! in the binary model (Section 4.2). Implementations, picked dynamically:
+//!
+//! * `fetch` — the right head is a dense (void) sequence: pure positional
+//!   array lookup;
+//! * `merge` — left tail and right head sorted: linear merge with
+//!   duplicate-group cross products;
+//! * `hash` — general fallback, building (or reusing) a hash table on the
+//!   right head.
+
+use std::time::Instant;
+
+use crate::atom::Oid;
+use crate::bat::Bat;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+use super::check_comparable;
+
+/// Dynamic-dispatch equi-join.
+pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let dense_right = cd.props().head.dense && cd.head().is_oidlike();
+    let (result, algo) = if dense_right && ab.tail().is_oidlike() {
+        (join_fetch(ctx, ab, cd), "fetch")
+    } else if ab.props().tail.sorted && cd.props().head.sorted {
+        (join_merge(ctx, ab, cd), "merge")
+    } else {
+        (join_hash(ctx, ab, cd), "hash")
+    };
+    ctx.record("join", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Theta-join: `{ad | ab ∈ AB ∧ cd ∈ CD ∧ b θ c}` for an order predicate
+/// θ ∈ {<, ≤, >, ≥, ≠}. Part of MIL ("the theta-join … omitted for
+/// brevity", Section 4.2). Sort-based when the right head is sorted
+/// (emitting prefix/suffix ranges), nested-loop otherwise.
+pub fn join_theta(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    cd: &Bat,
+    theta: crate::ops::ScalarFunc,
+) -> Result<Bat> {
+    use crate::ops::ScalarFunc as F;
+    check_comparable("theta-join", ab.tail().atom_type(), cd.head().atom_type())?;
+    if !matches!(theta, F::Lt | F::Le | F::Gt | F::Ge | F::Ne) {
+        return Err(crate::error::MonetError::Malformed {
+            op: "theta-join",
+            detail: format!("unsupported theta operator {:?}", theta),
+        });
+    }
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+        pager::touch_scan(p, cd.head());
+    }
+    let (bt, ch) = (ab.tail(), cd.head());
+    let keep = |o: std::cmp::Ordering| match theta {
+        F::Lt => o.is_lt(),
+        F::Le => o.is_le(),
+        F::Gt => o.is_gt(),
+        F::Ge => o.is_ge(),
+        F::Ne => !o.is_eq(),
+        _ => unreachable!(),
+    };
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    let algo = if cd.props().head.sorted && !matches!(theta, F::Ne) {
+        // Binary-search the boundary per left BUN, emit the matching
+        // prefix or suffix of CD.
+        for i in 0..ab.len() {
+            let v = bt.get(i);
+            let (start, end) = match theta {
+                F::Lt => (ch.upper_bound(&v), cd.len()),
+                F::Le => (ch.lower_bound(&v), cd.len()),
+                F::Gt => (0, ch.lower_bound(&v)),
+                F::Ge => (0, ch.upper_bound(&v)),
+                _ => unreachable!(),
+            };
+            for j in start..end {
+                left_idx.push(i as u32);
+                right_idx.push(j as u32);
+            }
+        }
+        "sorted-range"
+    } else {
+        for i in 0..ab.len() {
+            for j in 0..cd.len() {
+                if keep(bt.cmp_at(i, ch, j)) {
+                    left_idx.push(i as u32);
+                    right_idx.push(j as u32);
+                }
+            }
+        }
+        "nested-loop"
+    };
+    if let Some(p) = ctx.pager.as_deref() {
+        for &r in &right_idx {
+            pager::touch_fetch(p, cd.tail(), r as usize);
+        }
+    }
+    // One left BUN can match many rights, so only order survives (left
+    // positions emitted ascending).
+    let result = Bat::with_props(
+        ab.head().gather(&left_idx),
+        cd.tail().gather(&right_idx),
+        Props::new(
+            ColProps { sorted: ab.props().head.sorted, key: false, dense: false },
+            ColProps::NONE,
+        ),
+    );
+    ctx.record("theta-join", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Positional fetch join against a dense right head.
+fn join_fetch(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let seq: Oid = if cd.is_empty() { 0 } else { cd.head().oid_at(0) };
+    let n = cd.len() as Oid;
+    let bt = ab.tail();
+    let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
+    let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
+    for i in 0..ab.len() {
+        let b = bt.oid_at(i);
+        if b >= seq && b < seq + n {
+            left_idx.push(i as u32);
+            right_idx.push((b - seq) as u32);
+        }
+    }
+    if let Some(p) = ctx.pager.as_deref() {
+        for &r in &right_idx {
+            pager::touch_fetch(p, cd.tail(), r as usize);
+        }
+    }
+    // 100% match: the head column can be *shared* with the left operand,
+    // keeping the result synced with AB (and any other full-match joins).
+    let full = left_idx.len() == ab.len();
+    let head = if full { ab.head().clone() } else { ab.head().gather(&left_idx) };
+    let tail = cd.tail().gather(&right_idx);
+    let p = ab.props();
+    let props = Props::new(
+        ColProps {
+            sorted: p.head.sorted,
+            key: p.head.key,
+            dense: p.head.dense && full,
+        },
+        tail_props(ab, cd),
+    );
+    Bat::with_props(head, tail, props)
+}
+
+/// Merge join: left sorted on tail, right sorted on head.
+fn join_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+        pager::touch_scan(p, cd.head());
+    }
+    let (bt, ch) = (ab.tail(), cd.head());
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ab.len() && j < cd.len() {
+        match bt.cmp_at(i, ch, j) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Cross product of the equal groups.
+                let mut j2 = j;
+                while j2 < cd.len() && bt.cmp_at(i, ch, j2).is_eq() {
+                    left_idx.push(i as u32);
+                    right_idx.push(j2 as u32);
+                    j2 += 1;
+                }
+                i += 1;
+                // j stays at group start: the next equal b rescans it.
+            }
+        }
+    }
+    build_join(ctx, ab, cd, &left_idx, &right_idx)
+}
+
+/// Hash join: build on right head (reusing a persistent accelerator when
+/// present), probe left tails in order.
+fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, cd.head());
+        pager::touch_scan(p, ab.tail());
+    }
+    let rindex = cd
+        .accel()
+        .head_hash
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let (bt, ch) = (ab.tail(), cd.head());
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for i in 0..ab.len() {
+        let h = bt.hash_at(i);
+        // Chains iterate newest-first; collect then reverse for stable order.
+        let start = right_idx.len();
+        for p in rindex.candidates(h) {
+            if ch.eq_at(p, bt, i) {
+                left_idx.push(i as u32);
+                right_idx.push(p as u32);
+            }
+        }
+        right_idx[start..].reverse();
+    }
+    build_join(ctx, ab, cd, &left_idx, &right_idx)
+}
+
+fn tail_props(ab: &Bat, cd: &Bat) -> ColProps {
+    // Each right BUN is used at most once iff the left tail is key; result
+    // tail values are then a subsequence-like multiset of cd tails, which
+    // preserves key (not order, since emission follows the left operand).
+    ColProps {
+        sorted: false,
+        key: cd.props().tail.key && ab.props().tail.key,
+        dense: false,
+    }
+}
+
+fn build_join(ctx: &ExecCtx, ab: &Bat, cd: &Bat, li: &[u32], ri: &[u32]) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        for &r in ri {
+            pager::touch_fetch(p, cd.tail(), r as usize);
+        }
+    }
+    let head = ab.head().gather(li);
+    let tail = cd.tail().gather(ri);
+    let p = ab.props();
+    // All implementations emit left positions in ascending order, so a
+    // sorted left head stays sorted (duplicates may appear when the right
+    // head has duplicates — non-strict order survives that).
+    let props = Props::new(
+        ColProps {
+            sorted: p.head.sorted,
+            key: p.head.key && cd.props().head.key,
+            dense: false,
+        },
+        tail_props(ab, cd),
+    );
+    Bat::with_props(head, tail, props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomValue;
+    use crate::column::Column;
+
+    fn item_order() -> Bat {
+        // [item_oid, order_oid]
+        Bat::new(
+            Column::from_oids(vec![100, 101, 102, 103]),
+            Column::from_oids(vec![7, 5, 7, 6]),
+        )
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let ctx = ExecCtx::new();
+        let orders = Bat::new(
+            Column::from_oids(vec![5, 6, 7]),
+            Column::from_strs(["a", "b", "c"]),
+        );
+        let r = join(&ctx, &item_order(), &orders).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[100, 101, 102, 103]);
+        let tails: Vec<&str> = (0..4).map(|i| r.tail().str_at(i)).collect();
+        assert_eq!(tails, vec!["c", "a", "c", "b"]);
+    }
+
+    #[test]
+    fn fetch_join_on_dense_head() {
+        let ctx = ExecCtx::new().with_trace();
+        let io = item_order();
+        let dense = Bat::new(Column::void(5, 3), Column::from_ints(vec![50, 60, 70]));
+        let r = join(&ctx, &io, &dense).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "fetch");
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[70, 50, 70, 60]);
+        // 100% match keeps the head column shared: result synced with left.
+        assert!(r.synced(&io));
+    }
+
+    #[test]
+    fn fetch_join_partial_match() {
+        let ctx = ExecCtx::new();
+        let io = item_order(); // order oids 5..=7
+        let dense = Bat::new(Column::void(6, 2), Column::from_ints(vec![60, 70]));
+        let r = join(&ctx, &io, &dense).unwrap();
+        assert_eq!(r.len(), 3); // order 5 misses
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[100, 102, 103]);
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[70, 70, 60]);
+        assert!(!r.synced(&io));
+    }
+
+    #[test]
+    fn merge_join_with_duplicate_groups() {
+        let ctx = ExecCtx::new().with_trace();
+        let left = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![10, 10, 20]),
+        );
+        let right = Bat::with_inferred_props(
+            Column::from_ints(vec![10, 10, 20, 30]),
+            Column::from_chrs(vec![b'a', b'b', b'c', b'd']),
+        );
+        let r = join(&ctx, &left, &right).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "merge");
+        // 2 left tens x 2 right tens + 1 twenty = 5
+        assert_eq!(r.len(), 5);
+        let pairs: Vec<(u64, u8)> =
+            (0..r.len()).map(|i| (r.head().oid_at(i), r.tail().chr_at(i))).collect();
+        assert_eq!(
+            pairs,
+            vec![(1, b'a'), (1, b'b'), (2, b'a'), (2, b'b'), (3, b'c')]
+        );
+    }
+
+    #[test]
+    fn merge_and_hash_agree() {
+        let ctx = ExecCtx::new();
+        let left = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2, 3, 4]),
+            Column::from_ints(vec![5, 5, 7, 9]),
+        );
+        let right = Bat::with_inferred_props(
+            Column::from_ints(vec![5, 6, 7, 7]),
+            Column::from_oids(vec![50, 60, 70, 71]),
+        );
+        let m = join_merge(&ctx, &left, &right);
+        let h = join_hash(&ctx, &left, &right);
+        let norm = |b: &Bat| {
+            let mut v: Vec<(u64, u64)> =
+                (0..b.len()).map(|i| (b.head().oid_at(i), b.tail().oid_at(i))).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&m), norm(&h));
+        assert_eq!(m.len(), 4); // (1,50),(2,50),(3,70),(3,71)
+    }
+
+    #[test]
+    fn join_projects_out_join_columns() {
+        // result is [a, d] — heads from left, tails from right
+        let ctx = ExecCtx::new();
+        let l = Bat::new(Column::from_strs(["x"]), Column::from_oids(vec![1]));
+        let r = Bat::new(Column::from_oids(vec![1]), Column::from_dbls(vec![2.5]));
+        let j = join(&ctx, &l, &r).unwrap();
+        assert_eq!(j.bun(0), (AtomValue::str("x"), AtomValue::Dbl(2.5)));
+    }
+
+    #[test]
+    fn theta_join_lt_sorted_and_nested_agree() {
+        let ctx = ExecCtx::new();
+        let left = Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_ints(vec![5, 20]),
+        );
+        let right_sorted = Bat::with_inferred_props(
+            Column::from_ints(vec![1, 10, 30]),
+            Column::from_chrs(vec![b'a', b'b', b'c']),
+        );
+        let right_plain = Bat::new(
+            Column::from_ints(vec![30, 1, 10]),
+            Column::from_chrs(vec![b'c', b'a', b'b']),
+        );
+        for op in [
+            crate::ops::ScalarFunc::Lt,
+            crate::ops::ScalarFunc::Le,
+            crate::ops::ScalarFunc::Gt,
+            crate::ops::ScalarFunc::Ge,
+        ] {
+            let a = join_theta(&ctx, &left, &right_sorted, op).unwrap();
+            let b = join_theta(&ctx, &left, &right_plain, op).unwrap();
+            let norm = |x: &Bat| {
+                let mut v: Vec<(u64, u8)> =
+                    (0..x.len()).map(|i| (x.head().oid_at(i), x.tail().chr_at(i))).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(norm(&a), norm(&b), "theta {op:?}");
+            assert!(a.validate().is_ok());
+        }
+        // b=5: rights > 5 are {10, 30} → Lt gives 2 pairs for left oid 1.
+        let lt = join_theta(&ctx, &left, &right_sorted, crate::ops::ScalarFunc::Lt).unwrap();
+        assert_eq!(lt.len(), 2 + 1); // oid1 matches 10,30; oid2 matches 30
+        // Ne is nested-loop only
+        let ne = join_theta(&ctx, &left, &right_plain, crate::ops::ScalarFunc::Ne).unwrap();
+        assert_eq!(ne.len(), 6);
+        // Eq is rejected (that's the equi-join's job)
+        assert!(join_theta(&ctx, &left, &right_plain, crate::ops::ScalarFunc::Eq).is_err());
+    }
+
+    #[test]
+    fn empty_and_mismatched() {
+        let ctx = ExecCtx::new();
+        let l = Bat::new(Column::from_oids(vec![]), Column::from_oids(vec![]));
+        let r = Bat::new(Column::from_oids(vec![1]), Column::from_ints(vec![5]));
+        assert_eq!(join(&ctx, &l, &r).unwrap().len(), 0);
+        let bad = Bat::new(Column::from_oids(vec![1]), Column::from_strs(["s"]));
+        assert!(join(&ctx, &bad, &r).is_err());
+    }
+}

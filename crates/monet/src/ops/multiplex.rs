@@ -1,0 +1,523 @@
+//! The multiplex constructor `[f]` (Figure 4): bulk application of any
+//! scalar operation on all tail values of a BAT.
+//!
+//! `[f](AB, …, XY) = {a·f(b,…,y) | ab ∈ AB, …, xy ∈ XY ∧ a = … = x}` —
+//! multiple BAT parameters combine over the natural join on head values.
+//! This vectorizes expression computation and method invocation: the
+//! `(1-discount)*extendedprice` of Q13 becomes successive `[-]` and `[*]`
+//! multiplexes (Figure 5). Constant arguments broadcast, as in
+//! `[-](1.0, discount)`.
+//!
+//! When all BAT arguments are synced the kernel uses the positional fast
+//! path ("the two multiplex operations can be executed very efficiently,
+//! since the kernel knows that the BATs are synced" — Section 6.2.1).
+
+use std::time::Instant;
+
+use crate::atom::{AtomType, AtomValue};
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::ctx::ExecCtx;
+use crate::error::{MonetError, Result};
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+/// A scalar function liftable over BATs with `[f]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Extract the calendar year of a date.
+    Year,
+    /// Extract the month (1-12) of a date.
+    Month,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    /// `starts_with(string, prefix)`.
+    StrPrefix,
+    /// `contains(string, needle)`.
+    StrContains,
+    /// Arithmetic negation.
+    Neg,
+}
+
+impl ScalarFunc {
+    /// MIL spelling, for pretty-printing programs (`[*]`, `[year]`, ...).
+    pub fn mil_name(self) -> &'static str {
+        match self {
+            ScalarFunc::Add => "+",
+            ScalarFunc::Sub => "-",
+            ScalarFunc::Mul => "*",
+            ScalarFunc::Div => "/",
+            ScalarFunc::Year => "year",
+            ScalarFunc::Month => "month",
+            ScalarFunc::Eq => "=",
+            ScalarFunc::Ne => "!=",
+            ScalarFunc::Lt => "<",
+            ScalarFunc::Le => "<=",
+            ScalarFunc::Gt => ">",
+            ScalarFunc::Ge => ">=",
+            ScalarFunc::And => "and",
+            ScalarFunc::Or => "or",
+            ScalarFunc::Not => "not",
+            ScalarFunc::StrPrefix => "str_prefix",
+            ScalarFunc::StrContains => "str_contains",
+            ScalarFunc::Neg => "neg",
+        }
+    }
+
+    /// Number of arguments this function expects.
+    pub fn arity(self) -> usize {
+        match self {
+            ScalarFunc::Not | ScalarFunc::Neg | ScalarFunc::Year | ScalarFunc::Month => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// One argument of a multiplex: a BAT (per-object values) or a broadcast
+/// constant.
+#[derive(Debug, Clone)]
+pub enum MultArg {
+    Bat(Bat),
+    Const(AtomValue),
+}
+
+/// Apply a scalar function to concrete values — the single-value semantics
+/// that `[f]` lifts. Also used by the MOA reference evaluator, so the
+/// commutativity check of Figure 6 exercises one shared definition.
+pub fn apply_scalar(f: ScalarFunc, args: &[AtomValue]) -> Result<AtomValue> {
+    use AtomValue as V;
+    if args.len() != f.arity() {
+        return Err(MonetError::Malformed {
+            op: "multiplex",
+            detail: format!("{} expects {} args, got {}", f.mil_name(), f.arity(), args.len()),
+        });
+    }
+    let numeric_pair = |a: &V, b: &V| -> Option<(f64, f64)> { Some((a.as_f64()?, b.as_f64()?)) };
+    match f {
+        ScalarFunc::Add | ScalarFunc::Sub | ScalarFunc::Mul | ScalarFunc::Div => {
+            let (a, b) = (&args[0], &args[1]);
+            match (a, b) {
+                (V::Int(x), V::Int(y)) => Ok(match f {
+                    ScalarFunc::Add => V::Int(x.wrapping_add(*y)),
+                    ScalarFunc::Sub => V::Int(x.wrapping_sub(*y)),
+                    ScalarFunc::Mul => V::Int(x.wrapping_mul(*y)),
+                    ScalarFunc::Div => {
+                        if *y == 0 {
+                            return Err(MonetError::Arithmetic("division by zero"));
+                        }
+                        V::Int(x.wrapping_div(*y))
+                    }
+                    _ => unreachable!(),
+                }),
+                (V::Lng(x), V::Lng(y)) => Ok(match f {
+                    ScalarFunc::Add => V::Lng(x.wrapping_add(*y)),
+                    ScalarFunc::Sub => V::Lng(x.wrapping_sub(*y)),
+                    ScalarFunc::Mul => V::Lng(x.wrapping_mul(*y)),
+                    ScalarFunc::Div => {
+                        if *y == 0 {
+                            return Err(MonetError::Arithmetic("division by zero"));
+                        }
+                        V::Lng(x.wrapping_div(*y))
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => {
+                    let (x, y) = numeric_pair(a, b).ok_or(MonetError::Unsupported {
+                        op: "arith",
+                        ty: a.atom_type(),
+                    })?;
+                    Ok(V::Dbl(match f {
+                        ScalarFunc::Add => x + y,
+                        ScalarFunc::Sub => x - y,
+                        ScalarFunc::Mul => x * y,
+                        ScalarFunc::Div => x / y,
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+        ScalarFunc::Neg => match &args[0] {
+            V::Int(x) => Ok(V::Int(-x)),
+            V::Lng(x) => Ok(V::Lng(-x)),
+            V::Dbl(x) => Ok(V::Dbl(-x)),
+            other => Err(MonetError::Unsupported { op: "neg", ty: other.atom_type() }),
+        },
+        ScalarFunc::Year => match &args[0] {
+            V::Date(d) => Ok(V::Int(d.year())),
+            other => Err(MonetError::Unsupported { op: "year", ty: other.atom_type() }),
+        },
+        ScalarFunc::Month => match &args[0] {
+            V::Date(d) => Ok(V::Int(d.month() as i32)),
+            other => Err(MonetError::Unsupported { op: "month", ty: other.atom_type() }),
+        },
+        ScalarFunc::Eq | ScalarFunc::Ne | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt
+        | ScalarFunc::Ge => {
+            let (a, b) = (&args[0], &args[1]);
+            let ord = if a.atom_type() == b.atom_type() {
+                a.cmp_same_type(b)
+            } else if let Some((x, y)) = numeric_pair(a, b) {
+                x.total_cmp(&y)
+            } else {
+                return Err(MonetError::IncompatibleColumns {
+                    op: "compare",
+                    left: a.atom_type(),
+                    right: b.atom_type(),
+                });
+            };
+            Ok(V::Bool(match f {
+                ScalarFunc::Eq => ord.is_eq(),
+                ScalarFunc::Ne => !ord.is_eq(),
+                ScalarFunc::Lt => ord.is_lt(),
+                ScalarFunc::Le => ord.is_le(),
+                ScalarFunc::Gt => ord.is_gt(),
+                ScalarFunc::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        ScalarFunc::And | ScalarFunc::Or => match (&args[0], &args[1]) {
+            (V::Bool(x), V::Bool(y)) => Ok(V::Bool(if f == ScalarFunc::And {
+                *x && *y
+            } else {
+                *x || *y
+            })),
+            (a, _) => Err(MonetError::Unsupported { op: "bool", ty: a.atom_type() }),
+        },
+        ScalarFunc::Not => match &args[0] {
+            V::Bool(x) => Ok(V::Bool(!x)),
+            other => Err(MonetError::Unsupported { op: "not", ty: other.atom_type() }),
+        },
+        ScalarFunc::StrPrefix | ScalarFunc::StrContains => match (&args[0], &args[1]) {
+            (V::Str(s), V::Str(p)) => Ok(V::Bool(if f == ScalarFunc::StrPrefix {
+                s.starts_with(&**p)
+            } else {
+                s.contains(&**p)
+            })),
+            (a, _) => Err(MonetError::Unsupported { op: "str", ty: a.atom_type() }),
+        },
+    }
+}
+
+/// The multiplex operator `[f](arg, ...)`.
+pub fn multiplex(ctx: &ExecCtx, f: ScalarFunc, args: &[MultArg]) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let bats: Vec<&Bat> = args
+        .iter()
+        .filter_map(|a| match a {
+            MultArg::Bat(b) => Some(b),
+            MultArg::Const(_) => None,
+        })
+        .collect();
+    if bats.is_empty() {
+        return Err(MonetError::Malformed {
+            op: "multiplex",
+            detail: "at least one BAT argument required".into(),
+        });
+    }
+    if let Some(p) = ctx.pager.as_deref() {
+        for b in &bats {
+            pager::touch_scan(p, b.tail());
+        }
+    }
+    let first = bats[0];
+    let all_synced = bats.iter().all(|b| first.synced(b));
+    let (result, algo) = if all_synced {
+        (mux_synced(ctx, f, first, args)?, "sync")
+    } else {
+        (mux_aligned(ctx, f, first, args)?, "hash-align")
+    };
+    ctx.record("multiplex", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Positional fast path: all BAT args share the first BAT's head.
+fn mux_synced(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Result<Bat> {
+    let n = first.len();
+    if let Some(col) = numeric_fast_path(f, args, n) {
+        return Ok(Bat::with_props(
+            first.head().clone(),
+            col,
+            Props::new(first.props().head, ColProps::NONE),
+        ));
+    }
+    let mut out: Vec<AtomValue> = Vec::with_capacity(n);
+    let mut scratch: Vec<AtomValue> = Vec::with_capacity(args.len());
+    for i in 0..n {
+        scratch.clear();
+        for a in args {
+            scratch.push(match a {
+                MultArg::Bat(b) => b.tail().get(i),
+                MultArg::Const(v) => v.clone(),
+            });
+        }
+        out.push(apply_scalar(f, &scratch)?);
+    }
+    let ty = out.first().map(AtomValue::atom_type).unwrap_or(result_type_hint(f, args));
+    Ok(Bat::with_props(
+        first.head().clone(),
+        Column::from_atoms(ty, out),
+        Props::new(first.props().head, ColProps::NONE),
+    ))
+}
+
+/// General path: natural join on heads. Every non-driver BAT must have a
+/// key head; driver BUNs with no counterpart in some argument are dropped
+/// (inner-join semantics).
+fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Result<Bat> {
+    // Build a lookup per non-first BAT argument.
+    struct Aligned {
+        index: crate::accel::hash::HashIndex,
+    }
+    let mut lookups: Vec<Option<Aligned>> = Vec::with_capacity(args.len());
+    for a in args {
+        match a {
+            MultArg::Bat(b) if !first.synced(b) => lookups.push(Some(Aligned {
+                index: crate::accel::hash::HashIndex::build(b.head()),
+            })),
+            _ => lookups.push(None),
+        }
+    }
+    let mut keep: Vec<u32> = Vec::new();
+    let mut out: Vec<AtomValue> = Vec::new();
+    let mut scratch: Vec<AtomValue> = Vec::with_capacity(args.len());
+    let fh = first.head();
+    'row: for i in 0..first.len() {
+        scratch.clear();
+        for (a, l) in args.iter().zip(&lookups) {
+            match (a, l) {
+                (MultArg::Const(v), _) => scratch.push(v.clone()),
+                (MultArg::Bat(b), None) => scratch.push(b.tail().get(i)),
+                (MultArg::Bat(b), Some(al)) => {
+                    let h = fh.hash_at(i);
+                    match al.index.candidates(h).find(|&p| b.head().eq_at(p, fh, i)) {
+                        Some(p) => scratch.push(b.tail().get(p)),
+                        None => continue 'row,
+                    }
+                }
+            }
+        }
+        keep.push(i as u32);
+        out.push(apply_scalar(f, &scratch)?);
+    }
+    let ty = out.first().map(AtomValue::atom_type).unwrap_or(result_type_hint(f, args));
+    let head = fh.gather(&keep);
+    let p = first.props();
+    Ok(Bat::with_props(
+        head,
+        Column::from_atoms(ty, out),
+        Props::new(
+            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+            ColProps::NONE,
+        ),
+    ))
+}
+
+/// Result type when the output is empty (so empty BATs still carry a
+/// sensible column type).
+fn result_type_hint(f: ScalarFunc, args: &[MultArg]) -> AtomType {
+    match f {
+        ScalarFunc::Eq | ScalarFunc::Ne | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt
+        | ScalarFunc::Ge | ScalarFunc::And | ScalarFunc::Or | ScalarFunc::Not
+        | ScalarFunc::StrPrefix | ScalarFunc::StrContains => AtomType::Bool,
+        ScalarFunc::Year | ScalarFunc::Month => AtomType::Int,
+        _ => args
+            .iter()
+            .find_map(|a| match a {
+                MultArg::Bat(b) => Some(b.tail().atom_type()),
+                MultArg::Const(v) => Some(v.atom_type()),
+            })
+            .unwrap_or(AtomType::Dbl),
+    }
+}
+
+/// Specialized loops for the hot double-precision arithmetic multiplexes of
+/// the TPC-D plans (`[-](1.0, discount)`, `[*](price, factor)`).
+fn numeric_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Option<Column> {
+    if !matches!(f, ScalarFunc::Add | ScalarFunc::Sub | ScalarFunc::Mul | ScalarFunc::Div) {
+        return None;
+    }
+    if args.len() != 2 {
+        return None;
+    }
+    enum Src<'a> {
+        Slice(&'a [f64]),
+        Const(f64),
+    }
+    fn as_src(a: &MultArg) -> Option<Src<'_>> {
+        match a {
+            MultArg::Bat(b) => b.tail().as_dbl_slice().map(Src::Slice),
+            MultArg::Const(AtomValue::Dbl(v)) => Some(Src::Const(*v)),
+            _ => None,
+        }
+    }
+    let a0 = as_src(&args[0])?;
+    let a1 = as_src(&args[1])?;
+    let get = |s: &Src<'_>, i: usize| -> f64 {
+        match s {
+            Src::Slice(v) => v[i],
+            Src::Const(c) => *c,
+        }
+    };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, y) = (get(&a0, i), get(&a1, i));
+        out.push(match f {
+            ScalarFunc::Add => x + y,
+            ScalarFunc::Sub => x - y,
+            ScalarFunc::Mul => x * y,
+            ScalarFunc::Div => x / y,
+            _ => unreachable!(),
+        });
+    }
+    Some(Column::from_dbls(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Date;
+
+    fn synced_pair() -> (Bat, Bat) {
+        let head = Column::from_oids(vec![1, 2, 3]);
+        let price = Bat::new(head.clone(), Column::from_dbls(vec![100.0, 200.0, 300.0]));
+        let disc = Bat::new(head, Column::from_dbls(vec![0.1, 0.2, 0.3]));
+        (price, disc)
+    }
+
+    #[test]
+    fn q13_revenue_expression() {
+        // [*](price, [-](1.0, discount))
+        let ctx = ExecCtx::new().with_trace();
+        let (price, disc) = synced_pair();
+        let factor = multiplex(
+            &ctx,
+            ScalarFunc::Sub,
+            &[MultArg::Const(AtomValue::Dbl(1.0)), MultArg::Bat(disc)],
+        )
+        .unwrap();
+        let revenue = multiplex(
+            &ctx,
+            ScalarFunc::Mul,
+            &[MultArg::Bat(price.clone()), MultArg::Bat(factor.clone())],
+        )
+        .unwrap();
+        assert!(factor.synced(&price));
+        assert!(revenue.synced(&price));
+        let r = revenue.tail().as_dbl_slice().unwrap();
+        assert!((r[0] - 90.0).abs() < 1e-9);
+        assert!((r[1] - 160.0).abs() < 1e-9);
+        assert!((r[2] - 210.0).abs() < 1e-9);
+        let trace = ctx.take_trace();
+        assert!(trace.iter().all(|e| e.algo == "sync"));
+    }
+
+    #[test]
+    fn year_multiplex() {
+        let ctx = ExecCtx::new();
+        let dates = Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_dates(vec![Date::from_ymd(1994, 3, 1), Date::from_ymd(1996, 7, 4)]),
+        );
+        let years = multiplex(&ctx, ScalarFunc::Year, &[MultArg::Bat(dates)]).unwrap();
+        assert_eq!(years.tail().as_int_slice().unwrap(), &[1994, 1996]);
+    }
+
+    #[test]
+    fn unsynced_aligns_by_head() {
+        let ctx = ExecCtx::new().with_trace();
+        let a = Bat::new(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![10, 20, 30]),
+        );
+        let b = Bat::new(
+            Column::from_oids(vec![3, 1, 2]),
+            Column::from_ints(vec![3, 1, 2]),
+        );
+        let r = multiplex(&ctx, ScalarFunc::Add, &[MultArg::Bat(a), MultArg::Bat(b)]).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "hash-align");
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[11, 22, 33]);
+    }
+
+    #[test]
+    fn alignment_drops_missing_heads() {
+        let ctx = ExecCtx::new();
+        let a = Bat::new(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![10, 20, 30]),
+        );
+        let b = Bat::new(Column::from_oids(vec![3]), Column::from_ints(vec![3]));
+        let r = multiplex(&ctx, ScalarFunc::Add, &[MultArg::Bat(a), MultArg::Bat(b)]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.head().oid_at(0), 3);
+        assert_eq!(r.tail().int_at(0), 33);
+    }
+
+    #[test]
+    fn comparisons_produce_bools() {
+        let ctx = ExecCtx::new();
+        let a = Bat::new(
+            Column::from_oids(vec![1, 2]),
+            Column::from_ints(vec![5, 10]),
+        );
+        let r = multiplex(
+            &ctx,
+            ScalarFunc::Ge,
+            &[MultArg::Bat(a), MultArg::Const(AtomValue::Int(7))],
+        )
+        .unwrap();
+        assert_eq!(r.tail().as_chr_slice(), None);
+        assert!(!r.tail().bool_at(0));
+        assert!(r.tail().bool_at(1));
+    }
+
+    #[test]
+    fn string_prefix() {
+        let v = apply_scalar(
+            ScalarFunc::StrPrefix,
+            &[AtomValue::str("PROMO BURNISHED"), AtomValue::str("PROMO")],
+        )
+        .unwrap();
+        assert_eq!(v, AtomValue::Bool(true));
+    }
+
+    #[test]
+    fn scalar_errors() {
+        assert!(apply_scalar(ScalarFunc::Div, &[AtomValue::Int(1), AtomValue::Int(0)]).is_err());
+        assert!(apply_scalar(ScalarFunc::Year, &[AtomValue::Int(1)]).is_err());
+        assert!(apply_scalar(ScalarFunc::Add, &[AtomValue::Int(1)]).is_err());
+        assert!(
+            apply_scalar(ScalarFunc::And, &[AtomValue::Int(1), AtomValue::Bool(true)]).is_err()
+        );
+    }
+
+    #[test]
+    fn no_bat_argument_is_error() {
+        let ctx = ExecCtx::new();
+        assert!(multiplex(&ctx, ScalarFunc::Add, &[MultArg::Const(AtomValue::Int(1))]).is_err());
+    }
+
+    #[test]
+    fn empty_bats() {
+        let ctx = ExecCtx::new();
+        let a = Bat::new(Column::from_oids(vec![]), Column::from_dbls(vec![]));
+        let r = multiplex(
+            &ctx,
+            ScalarFunc::Mul,
+            &[MultArg::Bat(a), MultArg::Const(AtomValue::Dbl(2.0))],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.tail().atom_type(), AtomType::Dbl);
+    }
+}

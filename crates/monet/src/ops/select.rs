@@ -1,0 +1,325 @@
+//! Selection: `AB.select(T)` and `AB.select(Tl,Th)` of Figure 4.
+//!
+//! `select` returns the BUNs whose *tail* matches the predicate. When the
+//! tail is stored in ascending order — the load pipeline of Section 6 keeps
+//! every attribute BAT sorted on tail exactly for this — the operator uses
+//! probe-based binary search and returns a zero-copy slice of the operand.
+//! A persistent hash table enables point lookups; otherwise it scans.
+
+use std::time::Instant;
+
+use crate::atom::AtomValue;
+use crate::bat::Bat;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+use super::check_comparable;
+
+/// Point selection: `{ab | ab ∈ AB ∧ b = v}`.
+pub fn select_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
+    check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let (result, algo) = if ab.props().tail.sorted {
+        (select_sorted(ctx, ab, Some(v), Some(v), true, true), "binary-search")
+    } else if let Some(hash) = &ab.accel().tail_hash {
+        let hash = hash.clone();
+        (select_hash(ctx, ab, &hash, v), "hash")
+    } else {
+        (select_scan_eq(ctx, ab, v), "scan")
+    };
+    ctx.record("select", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Range selection: `{ab | ab ∈ AB ∧ lo ≤ b ≤ hi}` with configurable bound
+/// inclusivity; `None` leaves that side unbounded.
+pub fn select_range(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Result<Bat> {
+    for v in [lo, hi].into_iter().flatten() {
+        check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    }
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let (result, algo) = if ab.props().tail.sorted {
+        (select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi), "binary-search")
+    } else {
+        (select_scan_range(ctx, ab, lo, hi, inc_lo, inc_hi), "scan")
+    };
+    ctx.record("select", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Binary-search selection on a tail-sorted BAT: zero-copy slice.
+fn select_sorted(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_binary_search(p, ab.tail());
+    }
+    let start = match lo {
+        Some(v) if inc_lo => ab.tail().lower_bound(v),
+        Some(v) => ab.tail().upper_bound(v),
+        None => 0,
+    };
+    let end = match hi {
+        Some(v) if inc_hi => ab.tail().upper_bound(v),
+        Some(v) => ab.tail().lower_bound(v),
+        None => ab.len(),
+    };
+    let (start, end) = (start.min(ab.len()), end.min(ab.len()));
+    let result = if start >= end {
+        ab.slice(0, 0)
+    } else {
+        ab.slice(start, end - start)
+    };
+    if let Some(p) = ctx.pager.as_deref() {
+        // Reading the qualifying range of the inverted list touches both
+        // columns of the matching BUNs (the sX/C_inv term of the cost
+        // model in Section 5.2.2).
+        pager::touch_scan(p, result.head());
+        pager::touch_scan(p, result.tail());
+    }
+    result
+}
+
+fn select_hash(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    hash: &crate::accel::hash::HashIndex,
+    v: &AtomValue,
+) -> Bat {
+    let h = crate::column::hash_atom(v);
+    let mut idx: Vec<u32> = hash
+        .candidates(h)
+        .filter(|&p| ab.tail().cmp_val(p, v).is_eq())
+        .map(|p| p as u32)
+        .collect();
+    idx.reverse(); // chains iterate newest-first; restore BUN order
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in &idx {
+            pager::touch_fetch(p, ab.head(), i as usize);
+            pager::touch_fetch(p, ab.tail(), i as usize);
+        }
+    }
+    build_selected(ab, &idx, true)
+}
+
+fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let tail = ab.tail();
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| tail.cmp_val(i, v).is_eq())
+        .map(|i| i as u32)
+        .collect();
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in &idx {
+            pager::touch_fetch(p, ab.head(), i as usize);
+        }
+    }
+    build_selected(ab, &idx, true)
+}
+
+fn select_scan_range(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let tail = ab.tail();
+    let keep = |i: usize| -> bool {
+        if let Some(v) = lo {
+            let c = tail.cmp_val(i, v);
+            if c.is_lt() || (!inc_lo && c.is_eq()) {
+                return false;
+            }
+        }
+        if let Some(v) = hi {
+            let c = tail.cmp_val(i, v);
+            if c.is_gt() || (!inc_hi && c.is_eq()) {
+                return false;
+            }
+        }
+        true
+    };
+    let idx: Vec<u32> = (0..ab.len()).filter(|&i| keep(i)).map(|i| i as u32).collect();
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in &idx {
+            pager::touch_fetch(p, ab.head(), i as usize);
+        }
+    }
+    build_selected(ab, &idx, false)
+}
+
+/// Materialize a selection given matching positions in ascending order.
+/// Subsequences preserve `sorted`/`key` of both columns but not density;
+/// a point selection additionally makes the tail constant, hence sorted.
+fn build_selected(ab: &Bat, idx: &[u32], point: bool) -> Bat {
+    let head = ab.head().gather(idx);
+    let tail = ab.tail().gather(idx);
+    let p = ab.props();
+    let props = Props::new(
+        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+        ColProps {
+            sorted: p.tail.sorted || point,
+            key: p.tail.key || (point && idx.len() <= 1),
+            dense: false,
+        },
+    );
+    Bat::with_props(head, tail, props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomType;
+    use crate::column::Column;
+
+    fn clerk_bat() -> Bat {
+        // Tail-sorted, like a loaded attribute BAT.
+        Bat::with_inferred_props(
+            Column::from_oids(vec![4, 2, 7, 1, 5]),
+            Column::from_strs(["a", "b", "b", "c", "d"]),
+        )
+    }
+
+    #[test]
+    fn point_select_on_sorted_is_slice() {
+        let ctx = ExecCtx::new();
+        let b = clerk_bat();
+        assert!(b.props().tail.sorted);
+        let r = select_eq(&ctx, &b, &AtomValue::str("b")).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.bun(0), (AtomValue::Oid(2), AtomValue::str("b")));
+        assert_eq!(r.bun(1), (AtomValue::Oid(7), AtomValue::str("b")));
+        // zero copy: same storage identity as the operand
+        assert_eq!(r.head().storage_id(), b.head().storage_id());
+    }
+
+    #[test]
+    fn point_select_miss_is_empty() {
+        let ctx = ExecCtx::new();
+        let b = clerk_bat();
+        let r = select_eq(&ctx, &b, &AtomValue::str("zz")).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn scan_select_unsorted() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![1, 2, 3, 4]),
+            Column::from_ints(vec![9, 5, 9, 1]),
+        );
+        let r = select_eq(&ctx, &b, &AtomValue::Int(9)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 3]);
+        assert!(r.props().tail.sorted); // constant tail
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn hash_select_via_accelerator() {
+        let ctx = ExecCtx::new();
+        let mut b = Bat::new(
+            Column::from_oids(vec![1, 2, 3, 4]),
+            Column::from_ints(vec![9, 5, 9, 1]),
+        );
+        b.set_tail_hash(std::sync::Arc::new(crate::accel::hash::HashIndex::build(
+            b.tail(),
+        )));
+        let ctx2 = ctx.with_trace();
+        let r = select_eq(&ctx2, &b, &AtomValue::Int(9)).unwrap();
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 3]);
+        assert_eq!(ctx2.take_trace()[0].algo, "hash");
+    }
+
+    #[test]
+    fn range_select_sorted_and_unsorted_agree() {
+        let ctx = ExecCtx::new();
+        let vals = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let unsorted = Bat::new(
+            Column::from_oids((0..8).collect()),
+            Column::from_ints(vals.clone()),
+        );
+        let perm = unsorted.tail().sort_perm();
+        let sorted = Bat::with_inferred_props(
+            unsorted.head().gather(&perm),
+            unsorted.tail().gather(&perm),
+        );
+        for (lo, hi, il, ih) in [(2, 5, true, true), (2, 5, false, true), (1, 9, true, false)] {
+            let a = select_range(
+                &ctx,
+                &unsorted,
+                Some(&AtomValue::Int(lo)),
+                Some(&AtomValue::Int(hi)),
+                il,
+                ih,
+            )
+            .unwrap();
+            let b = select_range(
+                &ctx,
+                &sorted,
+                Some(&AtomValue::Int(lo)),
+                Some(&AtomValue::Int(hi)),
+                il,
+                ih,
+            )
+            .unwrap();
+            let mut av: Vec<_> = a.iter().collect();
+            let mut bv: Vec<_> = b.iter().collect();
+            av.sort_by(|x, y| x.0.cmp_same_type(&y.0));
+            bv.sort_by(|x, y| x.0.cmp_same_type(&y.0));
+            assert_eq!(av, bv, "range [{lo},{hi}] il={il} ih={ih}");
+        }
+    }
+
+    #[test]
+    fn half_open_ranges() {
+        let ctx = ExecCtx::new();
+        let b = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![10, 20, 30]),
+        );
+        let r = select_range(&ctx, &b, Some(&AtomValue::Int(20)), None, true, true).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = select_range(&ctx, &b, None, Some(&AtomValue::Int(20)), true, false).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let ctx = ExecCtx::new();
+        let b = clerk_bat();
+        assert!(select_eq(&ctx, &b, &AtomValue::Int(1)).is_err());
+        let _ = AtomType::Int;
+    }
+
+    #[test]
+    fn empty_bat_select() {
+        let ctx = ExecCtx::new();
+        let b = Bat::with_inferred_props(Column::from_oids(vec![]), Column::from_ints(vec![]));
+        let r = select_eq(&ctx, &b, &AtomValue::Int(5)).unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Semijoin: `AB.semijoin(CD) = {ab | ab ∈ AB ∧ ∃cd ∈ CD: a = c}`.
+//!
+//! "The semijoin operation is important, since it is heavily used for
+//! re-assembling vertically partitioned fragments" (Section 4.2). The
+//! kernel contains multiple implementations and chooses at run time
+//! (Section 5.1/5.2.1):
+//!
+//! * `sync` — the join columns are exactly equal: return a copy of the
+//!   left operand;
+//! * `merge` — both heads sorted: linear two-pointer pass;
+//! * `datavector` — the left operand carries a datavector and the right
+//!   head is a (duplicate-free) oid selection: positional fetch through the
+//!   memoized LOOKUP array;
+//! * `hash` — the general fallback.
+
+use std::time::Instant;
+
+use crate::bat::Bat;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+use super::check_comparable;
+
+/// Dynamic-dispatch semijoin.
+pub fn semijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_comparable("semijoin", ab.head().atom_type(), cd.head().atom_type())?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let (result, algo) = if ab.synced(cd) {
+        (semijoin_sync(ab), "sync")
+    } else if ab.props().head.sorted && cd.props().head.sorted {
+        (semijoin_merge(ctx, ab, cd), "merge")
+    } else if ab.accel().datavector.is_some() && cd.head().is_oidlike() && cd.props().head.key
+    {
+        let dv = ab.accel().datavector.clone().unwrap();
+        (semijoin_datavector(ctx, &dv, cd), "datavector")
+    } else {
+        (semijoin_hash(ctx, ab, cd), "hash")
+    };
+    ctx.record("semijoin", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Anti-semijoin (`kdiff`): `{ab | ab ∈ AB ∧ ¬∃cd ∈ CD: a = c}` — the
+/// building block for MOA `difference` on identified sets.
+pub fn antijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_comparable("antijoin", ab.head().atom_type(), cd.head().atom_type())?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let (result, algo) = if ab.synced(cd) {
+        (ab.slice(0, 0), "sync")
+    } else {
+        (antijoin_hash(ctx, ab, cd), "hash")
+    };
+    ctx.record("antijoin", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// `syncsemijoin`: join columns exactly equal — a copy of the left operand.
+fn semijoin_sync(ab: &Bat) -> Bat {
+    ab.clone()
+}
+
+/// Merge semijoin over two head-sorted operands; emits left BUNs in order.
+fn semijoin_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.head());
+        pager::touch_scan(p, cd.head());
+    }
+    let (ah, ch) = (ab.head(), cd.head());
+    let mut idx = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ab.len() && j < cd.len() {
+        match ah.cmp_at(i, ch, j) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                idx.push(i as u32);
+                i += 1;
+                // j stays: further equal a's match the same c.
+            }
+        }
+    }
+    build_subset(ctx, ab, &idx)
+}
+
+/// Datavector semijoin (pseudo code of Section 5.2.1): fetch head/tail
+/// positionally through the (memoized) LOOKUP array; result is in
+/// right-operand order and its head column is *shared* across semijoins
+/// with the same selection, making those results synced.
+fn semijoin_datavector(
+    ctx: &ExecCtx,
+    dv: &crate::accel::datavector::Datavector,
+    cd: &Bat,
+) -> Bat {
+    let lookup = dv.lookup(ctx, cd.head());
+    if let Some(p) = ctx.pager.as_deref() {
+        for &pos in lookup.positions.iter() {
+            pager::touch_fetch(p, dv.vector(), pos as usize);
+        }
+    }
+    let tail = dv.vector().gather(&lookup.positions);
+    let cp = cd.props();
+    // Positions follow right-operand order; the extent is ascending, so the
+    // result head is sorted/key exactly when the right head is.
+    let props = Props::new(
+        ColProps { sorted: cp.head.sorted, key: cp.head.key, dense: false },
+        ColProps::NONE,
+    );
+    Bat::with_props(lookup.head.clone(), tail, props)
+}
+
+/// Hash semijoin: hash the right heads, scan the left operand in order.
+fn semijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, cd.head());
+        pager::touch_scan(p, ab.head());
+    }
+    let rindex = cd
+        .accel()
+        .head_hash
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let (ah, ch) = (ab.head(), cd.head());
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| {
+            let h = ah.hash_at(i);
+            rindex.candidates(h).any(|p| ch.eq_at(p, ah, i))
+        })
+        .map(|i| i as u32)
+        .collect();
+    build_subset(ctx, ab, &idx)
+}
+
+fn antijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, cd.head());
+        pager::touch_scan(p, ab.head());
+    }
+    let rindex = cd
+        .accel()
+        .head_hash
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let (ah, ch) = (ab.head(), cd.head());
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| {
+            let h = ah.hash_at(i);
+            !rindex.candidates(h).any(|p| ch.eq_at(p, ah, i))
+        })
+        .map(|i| i as u32)
+        .collect();
+    build_subset(ctx, ab, &idx)
+}
+
+/// A subset of AB's BUNs in AB order: "a semijoin will propagate the key
+/// properties on both head and tail of its left operand onto the result"
+/// (Section 5.1) — and order survives subsequences too.
+fn build_subset(ctx: &ExecCtx, ab: &Bat, idx: &[u32]) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in idx {
+            pager::touch_fetch(p, ab.tail(), i as usize);
+        }
+    }
+    let head = ab.head().gather(idx);
+    let tail = ab.tail().gather(idx);
+    let p = ab.props();
+    let props = Props::new(
+        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+        ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
+    );
+    Bat::with_props(head, tail, props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::datavector::Datavector;
+    use crate::atom::AtomValue;
+    use crate::column::Column;
+
+    fn attr_bat() -> Bat {
+        Bat::new(
+            Column::from_oids(vec![10, 11, 12, 13, 14]),
+            Column::from_ints(vec![5, 3, 9, 3, 7]),
+        )
+    }
+
+    fn selection(oids: Vec<u64>) -> Bat {
+        Bat::with_inferred_props(Column::from_oids(oids), Column::void(0, 0).slice(0, 0))
+    }
+
+    fn sel(oids: Vec<u64>) -> Bat {
+        let n = oids.len();
+        Bat::with_inferred_props(Column::from_oids(oids), Column::void(0, n))
+    }
+
+    #[test]
+    fn hash_semijoin_filters_in_left_order() {
+        let ctx = ExecCtx::new();
+        let ab = attr_bat();
+        let cd = sel(vec![13, 10, 99]);
+        let r = semijoin(&ctx, &ab, &cd).unwrap();
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[10, 13]);
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[5, 3]);
+    }
+
+    #[test]
+    fn merge_semijoin_when_both_sorted() {
+        let ctx = ExecCtx::new().with_trace();
+        let ab = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2, 2, 5, 8]),
+            Column::from_ints(vec![10, 20, 21, 50, 80]),
+        );
+        let cd = sel(vec![2, 5, 9]);
+        let r = semijoin(&ctx, &ab, &cd).unwrap();
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[2, 2, 5]);
+        assert_eq!(ctx.take_trace()[0].algo, "merge");
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn sync_semijoin_returns_copy() {
+        let ctx = ExecCtx::new().with_trace();
+        let head = Column::from_oids(vec![3, 1, 2]);
+        let ab = Bat::new(head.clone(), Column::from_ints(vec![30, 10, 20]));
+        let cd = Bat::new(head, Column::from_dbls(vec![0.3, 0.1, 0.2]));
+        let r = semijoin(&ctx, &ab, &cd).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(ctx.take_trace()[0].algo, "sync");
+        assert!(r.synced(&ab));
+    }
+
+    #[test]
+    fn datavector_semijoin_and_synced_results() {
+        let ctx = ExecCtx::new().with_trace();
+        // Two attributes of the same class, both tail-unsorted w.r.t. oid,
+        // each with a datavector over the *shared* class extent (as after
+        // the Section 6 load).
+        let extent = crate::accel::datavector::Extent::new(crate::column::Column::from_oids(
+            vec![10, 11, 12, 13],
+        ));
+        let dv_price = Datavector::new(
+            std::sync::Arc::clone(&extent),
+            crate::column::Column::from_dbls(vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let dv_disc = Datavector::new(
+            std::sync::Arc::clone(&extent),
+            crate::column::Column::from_dbls(vec![0.1, 0.2, 0.3, 0.4]),
+        );
+        let mut price = Bat::new(
+            Column::from_oids(vec![12, 10, 13, 11]),
+            Column::from_dbls(vec![3.0, 1.0, 4.0, 2.0]),
+        );
+        price.set_datavector(std::sync::Arc::new(dv_price));
+        let mut disc = Bat::new(
+            Column::from_oids(vec![11, 13, 10, 12]),
+            Column::from_dbls(vec![0.2, 0.4, 0.1, 0.3]),
+        );
+        disc.set_datavector(std::sync::Arc::new(dv_disc));
+
+        let critems = sel(vec![11, 13]);
+        let prices = semijoin(&ctx, &price, &critems).unwrap();
+        let discounts = semijoin(&ctx, &disc, &critems).unwrap();
+        let trace = ctx.take_trace();
+        assert_eq!(trace[0].algo, "datavector");
+        assert_eq!(trace[1].algo, "datavector");
+        assert_eq!(prices.head().as_oid_slice().unwrap(), &[11, 13]);
+        assert_eq!(prices.tail().as_dbl_slice().unwrap(), &[2.0, 4.0]);
+        assert_eq!(discounts.tail().as_dbl_slice().unwrap(), &[0.2, 0.4]);
+        // The key effect of Section 6.2.1: results of successive datavector
+        // semijoins with the same selection are synced.
+        assert!(prices.synced(&discounts));
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let ctx = ExecCtx::new();
+        let ab = attr_bat();
+        let cd = sel(vec![14, 10, 12]);
+        let hash = semijoin_hash(&ctx, &ab, &cd);
+
+        // merge variant needs both sorted
+        let perm = ab.head().sort_perm();
+        let ab_sorted =
+            Bat::with_inferred_props(ab.head().gather(&perm), ab.tail().gather(&perm));
+        let cperm = cd.head().sort_perm();
+        let cd_sorted =
+            Bat::with_inferred_props(cd.head().gather(&cperm), cd.tail().gather(&cperm));
+        let merge = semijoin_merge(&ctx, &ab_sorted, &cd_sorted);
+
+        // datavector variant
+        let mut ab_dv = ab.clone();
+        ab_dv.set_datavector(std::sync::Arc::new(Datavector::from_unordered(&ab)));
+        let dvres =
+            semijoin_datavector(&ctx, &ab_dv.accel().datavector.clone().unwrap(), &cd);
+
+        let norm = |b: &Bat| {
+            let mut v: Vec<(u64, i32)> = (0..b.len())
+                .map(|i| (b.head().oid_at(i), b.tail().int_at(i)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&hash), norm(&merge));
+        assert_eq!(norm(&hash), norm(&dvres));
+    }
+
+    #[test]
+    fn antijoin_complements_semijoin() {
+        let ctx = ExecCtx::new();
+        let ab = attr_bat();
+        let cd = sel(vec![11, 13]);
+        let sj = semijoin(&ctx, &ab, &cd).unwrap();
+        let aj = antijoin(&ctx, &ab, &cd).unwrap();
+        assert_eq!(sj.len() + aj.len(), ab.len());
+        assert_eq!(aj.head().as_oid_slice().unwrap(), &[10, 12, 14]);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let ctx = ExecCtx::new();
+        let ab = attr_bat();
+        let empty = selection(vec![]);
+        assert_eq!(semijoin(&ctx, &ab, &empty).unwrap().len(), 0);
+        assert_eq!(antijoin(&ctx, &ab, &empty).unwrap().len(), ab.len());
+        assert_eq!(semijoin(&ctx, &empty, &ab).unwrap().len(), 0);
+        let _ = AtomValue::Int(0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Set operations on BATs viewed as sets of BUN pairs: union, difference,
+//! intersection. MOA's set operations on identified value sets translate to
+//! these plus the head-based `semijoin`/`antijoin` of [`super::semijoin`].
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::atom::AtomValue;
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+
+use super::check_comparable;
+
+fn check_both(op: &'static str, ab: &Bat, cd: &Bat) -> Result<()> {
+    check_comparable(op, ab.head().atom_type(), cd.head().atom_type())?;
+    check_comparable(op, ab.tail().atom_type(), cd.tail().atom_type())
+}
+
+/// Pair-set membership structure over a BAT.
+struct PairSet<'a> {
+    bat: &'a Bat,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl<'a> PairSet<'a> {
+    fn build(bat: &'a Bat) -> PairSet<'a> {
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for i in 0..bat.len() {
+            let key = pair_hash(bat, i);
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        PairSet { bat, buckets }
+    }
+
+    fn contains(&self, other: &Bat, i: usize) -> bool {
+        let key = pair_hash(other, i);
+        self.buckets.get(&key).is_some_and(|v| {
+            v.iter().any(|&p| {
+                self.bat.head().eq_at(p as usize, other.head(), i)
+                    && self.bat.tail().eq_at(p as usize, other.tail(), i)
+            })
+        })
+    }
+}
+
+fn pair_hash(b: &Bat, i: usize) -> u64 {
+    b.head().hash_at(i).rotate_left(17) ^ b.tail().hash_at(i)
+}
+
+fn touch_both(ctx: &ExecCtx, ab: &Bat, cd: &Bat) {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.head());
+        pager::touch_scan(p, ab.tail());
+        pager::touch_scan(p, cd.head());
+        pager::touch_scan(p, cd.tail());
+    }
+}
+
+/// Set union of the BUN pairs of both operands (duplicates eliminated,
+/// left-operand order first).
+pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_both("union", ab, cd)?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    touch_both(ctx, ab, cd);
+    let head_ty = ab.head().atom_type();
+    let tail_ty = ab.tail().atom_type();
+    let mut heads: Vec<AtomValue> = Vec::with_capacity(ab.len() + cd.len());
+    let mut tails: Vec<AtomValue> = Vec::with_capacity(ab.len() + cd.len());
+    // Dedup across the concatenation.
+    let mut seen: HashMap<u64, Vec<(u8, u32)>> = HashMap::new();
+    let push = |src: &Bat, tag: u8, i: usize,
+                    seen: &mut HashMap<u64, Vec<(u8, u32)>>,
+                    heads: &mut Vec<AtomValue>,
+                    tails: &mut Vec<AtomValue>| {
+        let key = pair_hash(src, i);
+        let bucket = seen.entry(key).or_default();
+        let dup = bucket.iter().any(|&(t, p)| {
+            let other = if t == 0 { ab } else { cd };
+            other.head().eq_at(p as usize, src.head(), i)
+                && other.tail().eq_at(p as usize, src.tail(), i)
+        });
+        if !dup {
+            bucket.push((tag, i as u32));
+            heads.push(src.head().get(i));
+            tails.push(src.tail().get(i));
+        }
+    };
+    for i in 0..ab.len() {
+        push(ab, 0, i, &mut seen, &mut heads, &mut tails);
+    }
+    for i in 0..cd.len() {
+        push(cd, 1, i, &mut seen, &mut heads, &mut tails);
+    }
+    let result = Bat::new(
+        Column::from_atoms(head_ty, heads),
+        Column::from_atoms(tail_ty, tails),
+    );
+    ctx.record("union", "hash", started, faults0, &result);
+    Ok(result)
+}
+
+/// Pairs of `AB` that do not occur in `CD` (set difference).
+pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_both("difference", ab, cd)?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    touch_both(ctx, ab, cd);
+    let set = PairSet::build(cd);
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| !set.contains(ab, i))
+        .map(|i| i as u32)
+        .collect();
+    let result = subset(ab, &idx);
+    ctx.record("difference", "hash", started, faults0, &result);
+    Ok(result)
+}
+
+/// Concatenate the BUNs of two BATs (bag semantics, left first). Column
+/// types must match; `void` and `oid` combine into a materialized `oid`
+/// column.
+pub fn concat_bats(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_both("concat", ab, cd)?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    touch_both(ctx, ab, cd);
+    let pick = |t: crate::atom::AtomType| {
+        if t == crate::atom::AtomType::Void {
+            crate::atom::AtomType::Oid
+        } else {
+            t
+        }
+    };
+    let head_ty = pick(ab.head().atom_type());
+    let tail_ty = pick(ab.tail().atom_type());
+    let head = Column::from_atoms(
+        head_ty,
+        ab.head().iter().chain(cd.head().iter()).map(|v| match v {
+            AtomValue::Void(o) => AtomValue::Oid(o),
+            other => other,
+        }),
+    );
+    let tail = Column::from_atoms(
+        tail_ty,
+        ab.tail().iter().chain(cd.tail().iter()).map(|v| match v {
+            AtomValue::Void(o) => AtomValue::Oid(o),
+            other => other,
+        }),
+    );
+    let result = Bat::new(head, tail);
+    ctx.record("concat", "copy", started, faults0, &result);
+    Ok(result)
+}
+
+/// Positional combination of two *synced* BATs: `{b_i · d_i}` — the tails
+/// of `AB` become the heads, the tails of `CD` the tails, pairing by
+/// position. The synced property guarantees the heads correspond, making
+/// this a zero-lookup join.
+pub fn zip(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    if !ab.synced(cd) {
+        return Err(crate::error::MonetError::Malformed {
+            op: "zip",
+            detail: "operands must be synced (identical head columns)".into(),
+        });
+    }
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+        pager::touch_scan(p, cd.tail());
+    }
+    use crate::props::{ColProps, Props};
+    let pa = ab.props();
+    let pc = cd.props();
+    let result = Bat::with_props(
+        ab.tail().clone(),
+        cd.tail().clone(),
+        Props::new(
+            ColProps { sorted: pa.tail.sorted, key: pa.tail.key, dense: pa.tail.dense },
+            ColProps { sorted: pc.tail.sorted, key: pc.tail.key, dense: pc.tail.dense },
+        ),
+    );
+    ctx.record("zip", "sync", started, faults0, &result);
+    Ok(result)
+}
+
+/// Pairs of `AB` that also occur in `CD` (set intersection, left order).
+pub fn intersect_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_both("intersect", ab, cd)?;
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    touch_both(ctx, ab, cd);
+    let set = PairSet::build(cd);
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| set.contains(ab, i))
+        .map(|i| i as u32)
+        .collect();
+    let result = subset(ab, &idx);
+    ctx.record("intersect", "hash", started, faults0, &result);
+    Ok(result)
+}
+
+fn subset(ab: &Bat, idx: &[u32]) -> Bat {
+    use crate::props::{ColProps, Props};
+    let p = ab.props();
+    Bat::with_props(
+        ab.head().gather(idx),
+        ab.tail().gather(idx),
+        Props::new(
+            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+            ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bat(pairs: &[(u64, i32)]) -> Bat {
+        Bat::new(
+            Column::from_oids(pairs.iter().map(|p| p.0).collect()),
+            Column::from_ints(pairs.iter().map(|p| p.1).collect()),
+        )
+    }
+
+    fn pairs(b: &Bat) -> Vec<(u64, i32)> {
+        let mut v: Vec<(u64, i32)> =
+            (0..b.len()).map(|i| (b.head().oid_at(i), b.tail().int_at(i))).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn union_dedups() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 10), (2, 20), (2, 20)]);
+        let b = bat(&[(2, 20), (3, 30)]);
+        let r = union_pairs(&ctx, &a, &b).unwrap();
+        assert_eq!(pairs(&r), vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn difference() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 10), (2, 20), (3, 30)]);
+        let b = bat(&[(2, 20), (3, 99)]);
+        let r = diff_pairs(&ctx, &a, &b).unwrap();
+        // (3,30) stays: the *pair* (3,30) is not in b
+        assert_eq!(pairs(&r), vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn intersection() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 10), (2, 20), (3, 30)]);
+        let b = bat(&[(3, 30), (1, 10), (4, 40)]);
+        let r = intersect_pairs(&ctx, &a, &b).unwrap();
+        assert_eq!(pairs(&r), vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 1), (2, 2), (5, 5)]);
+        let b = bat(&[(2, 2), (7, 7)]);
+        let u = union_pairs(&ctx, &a, &b).unwrap();
+        let i = intersect_pairs(&ctx, &a, &b).unwrap();
+        let da = diff_pairs(&ctx, &a, &b).unwrap();
+        let db = diff_pairs(&ctx, &b, &a).unwrap();
+        // |A ∪ B| = |A \ B| + |B \ A| + |A ∩ B|
+        assert_eq!(u.len(), da.len() + db.len() + i.len());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 10), (2, 20)]);
+        let b = bat(&[(2, 20), (3, 30)]);
+        let r = concat_bats(&ctx, &a, &b).unwrap();
+        assert_eq!(r.len(), 4); // bag semantics: no dedup
+        assert_eq!(pairs(&r), vec![(1, 10), (2, 20), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn concat_void_materializes() {
+        let ctx = ExecCtx::new();
+        let a = Bat::new(Column::from_oids(vec![5]), Column::void(9, 1));
+        let b = Bat::new(Column::from_oids(vec![6]), Column::void(3, 1));
+        let r = concat_bats(&ctx, &a, &b).unwrap();
+        assert_eq!(r.tail().as_oid_slice().unwrap(), &[9, 3]);
+    }
+
+    #[test]
+    fn zip_requires_synced() {
+        let ctx = ExecCtx::new();
+        let head = Column::from_oids(vec![1, 2]);
+        let a = Bat::new(head.clone(), Column::from_ints(vec![10, 20]));
+        let b = Bat::new(head, Column::from_strs(["x", "y"]));
+        let z = zip(&ctx, &a, &b).unwrap();
+        assert_eq!(z.head().as_int_slice().unwrap(), &[10, 20]);
+        assert_eq!(z.tail().str_at(1), "y");
+        let c = Bat::new(Column::from_oids(vec![1, 2]), Column::from_ints(vec![0, 0]));
+        assert!(zip(&ctx, &a, &c).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 1)]);
+        let b = Bat::new(Column::from_oids(vec![1]), Column::from_dbls(vec![1.0]));
+        assert!(union_pairs(&ctx, &a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_operands() {
+        let ctx = ExecCtx::new();
+        let a = bat(&[(1, 1)]);
+        let e = bat(&[]);
+        assert_eq!(pairs(&union_pairs(&ctx, &a, &e).unwrap()), vec![(1, 1)]);
+        assert_eq!(pairs(&diff_pairs(&ctx, &a, &e).unwrap()), vec![(1, 1)]);
+        assert_eq!(intersect_pairs(&ctx, &a, &e).unwrap().len(), 0);
+        assert_eq!(intersect_pairs(&ctx, &e, &a).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Ordering operators: `sort` (on head or tail), `topn`, and `mark`.
+//!
+//! Sorting is how the load pipeline of Section 6 prepares attribute BATs
+//! ("we then reordered all tables on tail values") and how datavectors come
+//! to be (Figure 7: project, then sort on tail). `topn` serves the TPC-D
+//! top-k reports (Q3's top-10 orders, Q10's top-20 customers); `mark`
+//! assigns fresh dense oids to a result set.
+
+use std::time::Instant;
+
+use crate::atom::Oid;
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+/// Reorder the BAT ascending on tail values (stable).
+pub fn sort_tail(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if ab.props().tail.sorted {
+        let r = ab.clone();
+        ctx.record("sort", "noop", started, faults0, &r);
+        return Ok(r);
+    }
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.head());
+        pager::touch_scan(p, ab.tail());
+    }
+    let perm = ab.tail().sort_perm();
+    let p = ab.props();
+    let result = Bat::with_props(
+        ab.head().gather(&perm),
+        ab.tail().gather(&perm),
+        Props::new(
+            ColProps { sorted: false, key: p.head.key, dense: false },
+            ColProps { sorted: true, key: p.tail.key, dense: false },
+        ),
+    );
+    ctx.record("sort", "tail", started, faults0, &result);
+    Ok(result)
+}
+
+/// Reorder the BAT ascending on head values (stable).
+pub fn sort_head(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    Ok(sort_tail(ctx, &ab.mirror())?.mirror())
+}
+
+/// The `n` BUNs with the largest (`descending`) or smallest tails, in that
+/// order. Ties broken by operand position (stable).
+pub fn topn(ctx: &ExecCtx, ab: &Bat, n: usize, descending: bool) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let mut perm = ab.tail().sort_perm();
+    if descending {
+        perm.reverse();
+    }
+    perm.truncate(n);
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in &perm {
+            pager::touch_fetch(p, ab.head(), i as usize);
+        }
+    }
+    let p = ab.props();
+    let result = Bat::with_props(
+        ab.head().gather(&perm),
+        ab.tail().gather(&perm),
+        Props::new(
+            ColProps { sorted: false, key: p.head.key, dense: false },
+            ColProps {
+                sorted: !descending,
+                key: p.tail.key,
+                dense: false,
+            },
+        ),
+    );
+    ctx.record("topn", if descending { "desc" } else { "asc" }, started, faults0, &result);
+    Ok(result)
+}
+
+/// `mark`: replace the tail with a fresh dense oid sequence, one per BUN.
+/// The head column is shared, so the result is synced with the operand.
+pub fn mark(ctx: &ExecCtx, ab: &Bat, base: Option<Oid>) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let seq = base.unwrap_or_else(|| ctx.fresh_oids(ab.len()));
+    let result = Bat::with_props(
+        ab.head().clone(),
+        Column::void(seq, ab.len()),
+        Props::new(ab.props().head, ColProps::DENSE),
+    );
+    ctx.record("mark", "void", started, faults0, &result);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unsorted() -> Bat {
+        Bat::new(
+            Column::from_oids(vec![1, 2, 3, 4]),
+            Column::from_ints(vec![30, 10, 40, 20]),
+        )
+    }
+
+    #[test]
+    fn sort_tail_orders_and_flags() {
+        let ctx = ExecCtx::new();
+        let r = sort_tail(&ctx, &unsorted()).unwrap();
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[10, 20, 30, 40]);
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[2, 4, 1, 3]);
+        assert!(r.props().tail.sorted);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn sort_noop_when_already_sorted() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2]),
+            Column::from_ints(vec![1, 2]),
+        );
+        let _ = sort_tail(&ctx, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "noop");
+    }
+
+    #[test]
+    fn sort_head_via_mirror() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![3, 1, 2]),
+            Column::from_ints(vec![30, 10, 20]),
+        );
+        let r = sort_head(&ctx, &b).unwrap();
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[10, 20, 30]);
+        assert!(r.props().head.sorted);
+    }
+
+    #[test]
+    fn topn_desc() {
+        let ctx = ExecCtx::new();
+        let r = topn(&ctx, &unsorted(), 2, true).unwrap();
+        assert_eq!(r.tail().as_int_slice().unwrap(), &[40, 30]);
+        assert_eq!(r.head().as_oid_slice().unwrap(), &[3, 1]);
+    }
+
+    #[test]
+    fn topn_asc_and_overlong() {
+        let ctx = ExecCtx::new();
+        let r = topn(&ctx, &unsorted(), 99, false).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.props().tail.sorted);
+    }
+
+    #[test]
+    fn mark_is_synced_and_dense() {
+        let ctx = ExecCtx::new();
+        let b = unsorted();
+        let r = mark(&ctx, &b, None).unwrap();
+        assert!(r.synced(&b));
+        assert!(r.props().tail.dense);
+        assert_eq!(r.tail().oid_at(1), r.tail().oid_at(0) + 1);
+        let r2 = mark(&ctx, &b, Some(500)).unwrap();
+        assert_eq!(r2.tail().oid_at(0), 500);
+    }
+}

@@ -1,0 +1,146 @@
+//! Duplicate elimination: `AB.unique = {ab | ab ∈ AB}` as a *set* — the
+//! first occurrence of every distinct BUN pair is kept, in operand order.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::bat::Bat;
+use crate::ctx::ExecCtx;
+use crate::error::Result;
+use crate::pager;
+use crate::props::{ColProps, Props};
+
+/// Remove duplicate BUNs.
+pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.head());
+        pager::touch_scan(p, ab.tail());
+    }
+    let (result, algo) = if ab.props().head.key || ab.props().tail.key {
+        // Either column being duplicate-free means all pairs are distinct.
+        (ab.clone(), "noop")
+    } else if ab.props().head.sorted {
+        (unique_grouped(ab), "merge")
+    } else {
+        (unique_hash(ab), "hash")
+    };
+    ctx.record("unique", algo, started, faults0, &result);
+    Ok(result)
+}
+
+/// Head sorted: duplicates can only occur inside runs of equal heads. Keep
+/// a per-run list of distinct tails (runs have few distinct values in the
+/// nest/group plans this op serves).
+fn unique_grouped(ab: &Bat) -> Bat {
+    let (h, t) = (ab.head(), ab.tail());
+    let mut idx: Vec<u32> = Vec::new();
+    let mut run_start = 0usize;
+    let mut kept_in_run: Vec<usize> = Vec::new();
+    for i in 0..ab.len() {
+        if i > 0 && !h.eq_at(i, h, i - 1) {
+            run_start = i;
+            kept_in_run.clear();
+        }
+        let _ = run_start;
+        if !kept_in_run.iter().any(|&k| t.eq_at(k, t, i)) {
+            kept_in_run.push(i);
+            idx.push(i as u32);
+        }
+    }
+    build_unique(ab, &idx)
+}
+
+fn unique_hash(ab: &Bat) -> Bat {
+    let (h, t) = (ab.head(), ab.tail());
+    // Pair-hash -> positions already kept with that hash (verify equality).
+    let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut idx: Vec<u32> = Vec::new();
+    for i in 0..ab.len() {
+        let key = h.hash_at(i).rotate_left(17) ^ t.hash_at(i);
+        let bucket = seen.entry(key).or_default();
+        let dup = bucket
+            .iter()
+            .any(|&k| h.eq_at(k as usize, h, i) && t.eq_at(k as usize, t, i));
+        if !dup {
+            bucket.push(i as u32);
+            idx.push(i as u32);
+        }
+    }
+    build_unique(ab, &idx)
+}
+
+fn build_unique(ab: &Bat, idx: &[u32]) -> Bat {
+    let p = ab.props();
+    let props = Props::new(
+        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+        ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
+    );
+    Bat::with_props(ab.head().gather(idx), ab.tail().gather(idx), props)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn removes_duplicate_pairs_keeps_distinct_tails() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_oids(vec![1, 1, 1, 2, 2]),
+            Column::from_ints(vec![5, 5, 6, 5, 5]),
+        );
+        let r = unique(&ctx, &b).unwrap();
+        let pairs: Vec<(u64, i32)> =
+            (0..r.len()).map(|i| (r.head().oid_at(i), r.tail().int_at(i))).collect();
+        assert_eq!(pairs, vec![(1, 5), (1, 6), (2, 5)]);
+    }
+
+    #[test]
+    fn merge_variant_on_sorted_head() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::with_props(
+            Column::from_oids(vec![1, 1, 2, 3, 3, 3]),
+            Column::from_ints(vec![9, 9, 9, 7, 8, 7]),
+            Props::new(ColProps::SORTED, ColProps::NONE),
+        );
+        let r = unique(&ctx, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "merge");
+        let pairs: Vec<(u64, i32)> =
+            (0..r.len()).map(|i| (r.head().oid_at(i), r.tail().int_at(i))).collect();
+        assert_eq!(pairs, vec![(1, 9), (2, 9), (3, 7), (3, 8)]);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn key_column_short_circuits() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::with_inferred_props(
+            Column::from_oids(vec![1, 2, 3]),
+            Column::from_ints(vec![5, 5, 5]),
+        );
+        let r = unique(&ctx, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "noop");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn empty() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(Column::from_oids(vec![]), Column::from_ints(vec![]));
+        assert_eq!(unique(&ctx, &b).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn string_pairs() {
+        let ctx = ExecCtx::new();
+        let b = Bat::new(
+            Column::from_strs(["x", "x", "y"]),
+            Column::from_strs(["1", "1", "1"]),
+        );
+        let r = unique(&ctx, &b).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

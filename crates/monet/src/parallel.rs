@@ -1,0 +1,135 @@
+//! Shared-memory parallelism (Section 2: "parallel iteration and parallel
+//! block execution").
+//!
+//! Monet's parallel primitives are coarse-grained to preserve efficiency.
+//! This module provides *parallel block execution* for the scan-shaped
+//! operators: the operand is cut into contiguous blocks, each block is
+//! processed on its own thread, and the per-block results are concatenated
+//! in block order (so operand order — and with it the property propagation
+//! rules — is preserved).
+
+use crate::atom::AtomValue;
+use crate::bat::Bat;
+use crate::column::Column;
+
+/// Cut `len` into at most `threads` contiguous blocks of near-equal size.
+pub fn blocks(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let sz = base + usize::from(t < extra);
+        if sz == 0 {
+            continue;
+        }
+        out.push((start, sz));
+        start += sz;
+    }
+    out
+}
+
+/// Parallel point-selection scan: positions whose tail equals `v`, in
+/// operand order. Equivalent to the sequential scan inside
+/// [`crate::ops::select_eq`]; benchmarked against it in `bench`.
+pub fn par_select_eq_positions(ab: &Bat, v: &AtomValue, threads: usize) -> Vec<u32> {
+    let blocks = blocks(ab.len(), threads);
+    if blocks.len() <= 1 {
+        let tail = ab.tail();
+        return (0..ab.len())
+            .filter(|&i| tail.cmp_val(i, v).is_eq())
+            .map(|i| i as u32)
+            .collect();
+    }
+    let mut results: Vec<Vec<u32>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .map(|&(start, len)| {
+                let tail = ab.tail();
+                scope.spawn(move |_| {
+                    (start..start + len)
+                        .filter(|&i| tail.cmp_val(i, v).is_eq())
+                        .map(|i| i as u32)
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    })
+    .expect("scope failed");
+    let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// Parallel fold over contiguous blocks of a column, combining per-block
+/// accumulators in block order. Used for parallel scalar aggregation.
+pub fn par_fold_dbl(col: &Column, threads: usize, init: f64, f: fn(f64, f64) -> f64) -> f64 {
+    let Some(slice) = col.as_dbl_slice() else {
+        // Non-dbl columns fold sequentially via the generic accessor.
+        return (0..col.len())
+            .filter_map(|i| col.get(i).as_f64())
+            .fold(init, f);
+    };
+    let blocks = blocks(slice.len(), threads);
+    if blocks.len() <= 1 {
+        return slice.iter().copied().fold(init, f);
+    }
+    let mut acc = init;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .map(|&(start, len)| {
+                let chunk = &slice[start..start + len];
+                scope.spawn(move |_| chunk.iter().copied().fold(init, f))
+            })
+            .collect();
+        for h in handles {
+            acc = f(acc, h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_exactly() {
+        for (len, t) in [(10, 3), (7, 7), (5, 16), (0, 4), (100, 1)] {
+            let b = blocks(len, t);
+            let total: usize = b.iter().map(|x| x.1).sum();
+            assert_eq!(total, len, "len={len} t={t}");
+            let mut pos = 0;
+            for (s, l) in b {
+                assert_eq!(s, pos);
+                pos += l;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_select_matches_sequential() {
+        let ab = Bat::new(
+            Column::from_oids((0..10_000).collect()),
+            Column::from_ints((0..10_000).map(|i| i % 7).collect()),
+        );
+        let seq = par_select_eq_positions(&ab, &AtomValue::Int(3), 1);
+        let par = par_select_eq_positions(&ab, &AtomValue::Int(3), 4);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 10_000 / 7 + usize::from(10_000 % 7 > 3));
+    }
+
+    #[test]
+    fn parallel_fold_sums() {
+        let col = Column::from_dbls((0..1000).map(|i| i as f64).collect());
+        let s = par_fold_dbl(&col, 8, 0.0, |a, b| a + b);
+        assert_eq!(s, 999.0 * 1000.0 / 2.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! BAT descriptor properties (Section 5.1).
+//!
+//! Monet keeps track of properties of permanent and intermediate BATs so
+//! that algebraic commands can make a run-time choice between alternative
+//! implementations. Each MIL command has a *propagation rule* carrying the
+//! properties of its parameters onto its result; the rules live with the
+//! operators in [`crate::ops`].
+
+/// Per-column properties.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColProps {
+    /// Values are in ascending (non-strict) order — `ordered(BAT)`.
+    pub sorted: bool,
+    /// Values contain no duplicates — `key(BAT)`.
+    pub key: bool,
+    /// Values form a dense consecutive sequence (implies `sorted` and
+    /// `key`); true for `void` columns and freshly marked oid ranges.
+    pub dense: bool,
+}
+
+impl ColProps {
+    /// No properties known.
+    pub const NONE: ColProps = ColProps { sorted: false, key: false, dense: false };
+
+    /// Sorted + key + dense (void columns, `mark` results).
+    pub const DENSE: ColProps = ColProps { sorted: true, key: true, dense: true };
+
+    /// Sorted and duplicate-free.
+    pub const SORTED_KEY: ColProps = ColProps { sorted: true, key: true, dense: false };
+
+    /// Sorted, possibly with duplicates.
+    pub const SORTED: ColProps = ColProps { sorted: true, key: false, dense: false };
+
+    /// Duplicate-free, unordered.
+    pub const KEY: ColProps = ColProps { sorted: false, key: true, dense: false };
+
+    /// Normalize: dense implies sorted and key.
+    pub fn normalized(mut self) -> ColProps {
+        if self.dense {
+            self.sorted = true;
+            self.key = true;
+        }
+        self
+    }
+
+    /// Intersection of guarantees (safe weakening when merging unknowns).
+    pub fn and(self, other: ColProps) -> ColProps {
+        ColProps {
+            sorted: self.sorted && other.sorted,
+            key: self.key && other.key,
+            dense: self.dense && other.dense,
+        }
+    }
+}
+
+/// Properties of a BAT: head column and tail column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Props {
+    pub head: ColProps,
+    pub tail: ColProps,
+}
+
+impl Props {
+    /// Nothing known about either column.
+    pub const NONE: Props = Props { head: ColProps::NONE, tail: ColProps::NONE };
+
+    pub fn new(head: ColProps, tail: ColProps) -> Props {
+        Props { head: head.normalized(), tail: tail.normalized() }
+    }
+
+    /// The mirrored BAT swaps the column roles — and so swaps the
+    /// properties (part of `mirror`'s propagation rule).
+    pub fn mirrored(self) -> Props {
+        Props { head: self.tail, tail: self.head }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_normalizes() {
+        let p = ColProps { dense: true, ..ColProps::NONE }.normalized();
+        assert!(p.sorted && p.key && p.dense);
+    }
+
+    #[test]
+    fn mirror_swaps() {
+        let p = Props::new(ColProps::DENSE, ColProps::SORTED);
+        let m = p.mirrored();
+        assert_eq!(m.head, ColProps::SORTED);
+        assert_eq!(m.tail, ColProps::DENSE);
+        assert_eq!(m.mirrored(), p);
+    }
+
+    #[test]
+    fn and_weakens() {
+        let a = ColProps::SORTED_KEY;
+        let b = ColProps::SORTED;
+        let c = a.and(b);
+        assert!(c.sorted && !c.key && !c.dense);
+    }
+}

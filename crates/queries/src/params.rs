@@ -1,0 +1,96 @@
+//! Substitution parameters of the TPC-D queries.
+//!
+//! TPC-D draws its predicate constants from fixed families; we pin one
+//! deterministic choice per query (the paper likewise ran one validated
+//! parameter set). The clerk for Q13 is `Clerk#000000088` when the scale
+//! factor provides that many clerks, else the highest-numbered clerk —
+//! keeping the "one clerk out of SF·1000" selectivity of Figure 9.
+
+use monet::atom::Date;
+use tpcd::gen::TpcdData;
+use tpcd::text;
+
+/// Bound query parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Q1: shipdate cutoff (`1998-12-01 - 90 days`).
+    pub q1_cutoff: Date,
+    /// Q2: region name and part filters.
+    pub q2_region: String,
+    pub q2_size: i32,
+    pub q2_type_contains: String,
+    /// Q3: market segment and pivot date.
+    pub q3_segment: String,
+    pub q3_date: Date,
+    /// Q4: order-date quarter start.
+    pub q4_date: Date,
+    /// Q5: region and year start.
+    pub q5_region: String,
+    pub q5_date: Date,
+    /// Q6: year start, discount band, quantity bound.
+    pub q6_date: Date,
+    pub q6_disc_lo: f64,
+    pub q6_disc_hi: f64,
+    pub q6_qty: i32,
+    /// Q7: the two trading nations.
+    pub q7_nation1: String,
+    pub q7_nation2: String,
+    /// Q8: region, nation whose share is measured, part-type filter.
+    pub q8_region: String,
+    pub q8_nation: String,
+    pub q8_type_contains: String,
+    /// Q9: part-name fragment.
+    pub q9_color: String,
+    /// Q10: quarter start.
+    pub q10_date: Date,
+    /// Q11: nation and "significant" fraction.
+    pub q11_nation: String,
+    pub q11_fraction: f64,
+    /// Q12: the two ship modes and the receipt year start.
+    pub q12_mode1: String,
+    pub q12_mode2: String,
+    pub q12_date: Date,
+    /// Q13: the clerk under scrutiny.
+    pub q13_clerk: String,
+    /// Q14: campaign month start.
+    pub q14_date: Date,
+    /// Q15: quarter start.
+    pub q15_date: Date,
+}
+
+impl Params {
+    /// The pinned parameter set, adapted to the generated database.
+    pub fn for_data(data: &TpcdData) -> Params {
+        Params {
+            q1_cutoff: Date::from_ymd(1998, 12, 1).add_days(-90),
+            q2_region: "EUROPE".into(),
+            q2_size: 15,
+            q2_type_contains: "BRASS".into(),
+            q3_segment: "BUILDING".into(),
+            q3_date: Date::from_ymd(1995, 3, 15),
+            q4_date: Date::from_ymd(1993, 7, 1),
+            q5_region: "ASIA".into(),
+            q5_date: Date::from_ymd(1994, 1, 1),
+            q6_date: Date::from_ymd(1994, 1, 1),
+            q6_disc_lo: 0.05,
+            q6_disc_hi: 0.07,
+            q6_qty: 24,
+            q7_nation1: "FRANCE".into(),
+            q7_nation2: "GERMANY".into(),
+            q8_region: "AMERICA".into(),
+            q8_nation: "BRAZIL".into(),
+            q8_type_contains: "STEEL".into(),
+            // A colour that occurs in the generator's part-name vocabulary.
+            q9_color: "blue".into(),
+            q10_date: Date::from_ymd(1993, 10, 1),
+            q11_nation: "GERMANY".into(),
+            q11_fraction: 0.0001 / data.sf.max(0.0001),
+            q12_mode1: "MAIL".into(),
+            q12_mode2: "SHIP".into(),
+            q12_date: Date::from_ymd(1994, 1, 1),
+            q13_clerk: text::clerk_name(88.min(data.clerk_count)),
+            q14_date: Date::from_ymd(1995, 9, 1),
+            q15_date: Date::from_ymd(1996, 1, 1),
+        }
+    }
+}

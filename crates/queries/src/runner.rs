@@ -1,0 +1,189 @@
+//! Execution helpers: run MOA plans on the kernel, flatten structured
+//! results to rows, compare row sets.
+
+use moa::catalog::Catalog;
+use moa::error::{MoaError, Result};
+use moa::prelude::{ProjItem, Scalar, SetExpr};
+use moa::translate::{translate, StructSpec};
+use moa::value::Value;
+use monet::atom::AtomValue;
+use monet::ctx::ExecCtx;
+use monet::mil::MilOp;
+use monet::ops::AggFunc;
+
+/// A query result: bag of rows of atoms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult(pub Vec<Vec<AtomValue>>);
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Sort rows canonically (for order-insensitive comparison).
+    pub fn sorted(mut self) -> QueryResult {
+        self.0.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = cmp_atoms(x, y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            a.len().cmp(&b.len())
+        });
+        self
+    }
+
+    /// Order-insensitive comparison with relative float tolerance.
+    pub fn approx_eq(&self, other: &QueryResult, eps: f64) -> bool {
+        if self.0.len() != other.0.len() {
+            return false;
+        }
+        let a = self.clone().sorted();
+        let b = other.clone().sorted();
+        a.0.iter().zip(&b.0).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(x, y)| {
+                    Value::Atom(x.clone()).approx_eq(&Value::Atom(y.clone()), eps)
+                })
+        })
+    }
+
+    /// Render the first rows as a small text table.
+    pub fn preview(&self, limit: usize) -> String {
+        let mut s = String::new();
+        for row in self.0.iter().take(limit) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            s.push_str(&cells.join(" | "));
+            s.push('\n');
+        }
+        if self.0.len() > limit {
+            s.push_str(&format!("... {} more rows\n", self.0.len() - limit));
+        }
+        s
+    }
+}
+
+fn cmp_atoms(a: &AtomValue, b: &AtomValue) -> std::cmp::Ordering {
+    if a.atom_type() == b.atom_type() {
+        a.cmp_same_type(b)
+    } else {
+        format!("{:?}", a.atom_type()).cmp(&format!("{:?}", b.atom_type()))
+    }
+}
+
+fn value_to_row(v: Value) -> Result<Vec<AtomValue>> {
+    match v {
+        Value::Tuple(fields) => fields
+            .into_iter()
+            .map(|f| match f {
+                Value::Atom(a) => Ok(a),
+                Value::Ref(o) => Ok(AtomValue::Oid(o)),
+                other => Err(MoaError::Type(format!(
+                    "cannot flatten nested value {other} into a row"
+                ))),
+            })
+            .collect(),
+        Value::Atom(a) => Ok(vec![a]),
+        Value::Ref(o) => Ok(vec![AtomValue::Oid(o)]),
+        other => Err(MoaError::Type(format!("cannot flatten {other} into a row"))),
+    }
+}
+
+/// Translate + execute a MOA set expression and flatten the structured
+/// result into rows.
+pub fn run_moa_rows(cat: &Catalog, ctx: &ExecCtx, q: &SetExpr) -> Result<QueryResult> {
+    let t = translate(cat, q)?;
+    let (set, _env) = t.run(ctx, cat.db())?;
+    let vals = set.materialize()?;
+    let rows: Result<Vec<Vec<AtomValue>>> = vals.into_iter().map(value_to_row).collect();
+    Ok(QueryResult(rows?))
+}
+
+/// Translate `project[<item : v>](input)`, then extend the MIL program
+/// with a whole-BAT scalar aggregate over the projected value BAT — the
+/// aggregation runs in MIL, not in the driver.
+pub fn run_moa_scalar(
+    cat: &Catalog,
+    ctx: &ExecCtx,
+    input: SetExpr,
+    item: Scalar,
+    f: AggFunc,
+) -> Result<AtomValue> {
+    let q = input.project(vec![ProjItem::new("v", item)]);
+    let mut t = translate(cat, &q)?;
+    let StructSpec::Tuple(fields) = &t.spec else {
+        return Err(MoaError::Type("scalar aggregate needs a projected input".into()));
+    };
+    let (StructSpec::Atom(var) | StructSpec::Ref { bat: var, .. }) = &fields[0].1 else {
+        return Err(MoaError::Type("scalar aggregate needs an atomic item".into()));
+    };
+    let agg_var = t.prog.emit("TOTAL", MilOp::AggrScalar { f, src: *var });
+    t.keep.push(agg_var);
+    let env = monet::mil::execute(ctx, cat.db(), &t.prog, &t.keep)?;
+    Ok(env.scalar(agg_var)?.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa::prelude::*;
+    use moa::testkit::mini_catalog;
+
+    #[test]
+    fn rows_roundtrip() {
+        let cat = mini_catalog();
+        let ctx = ExecCtx::new();
+        let q = SetExpr::extent("Item").project(vec![
+            ProjItem::new("o", attr("order")),
+            ProjItem::new("p", attr("extendedprice")),
+        ]);
+        let rows = run_moa_rows(&cat, &ctx, &q).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.0[0].len(), 2);
+    }
+
+    #[test]
+    fn scalar_aggregate_in_mil() {
+        let cat = mini_catalog();
+        let ctx = ExecCtx::new();
+        let total = run_moa_scalar(
+            &cat,
+            &ctx,
+            SetExpr::extent("Item"),
+            attr("extendedprice"),
+            AggFunc::Sum,
+        )
+        .unwrap();
+        assert_eq!(total, AtomValue::Dbl(1000.0));
+        let count = run_moa_scalar(
+            &cat,
+            &ctx,
+            SetExpr::extent("Item").select(eq(attr("returnflag"), lit_c('R'))),
+            attr("extendedprice"),
+            AggFunc::Count,
+        )
+        .unwrap();
+        assert_eq!(count, AtomValue::Lng(3));
+    }
+
+    #[test]
+    fn result_comparison() {
+        let a = QueryResult(vec![
+            vec![AtomValue::Int(1), AtomValue::Dbl(2.0)],
+            vec![AtomValue::Int(2), AtomValue::Dbl(3.0)],
+        ]);
+        let b = QueryResult(vec![
+            vec![AtomValue::Int(2), AtomValue::Dbl(3.0 + 1e-12)],
+            vec![AtomValue::Int(1), AtomValue::Dbl(2.0)],
+        ]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = QueryResult(vec![vec![AtomValue::Int(1), AtomValue::Dbl(2.0)]]);
+        assert!(!a.approx_eq(&c, 1e-9));
+        assert!(!a.preview(1).is_empty());
+    }
+}

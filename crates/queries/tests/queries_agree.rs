@@ -1,0 +1,65 @@
+//! Every TPC-D query's MOA-on-Monet result must equal the n-ary reference
+//! result — the end-to-end correctness gate of the reproduction.
+
+use monet::ctx::ExecCtx;
+use tpcd_queries::{all_queries, Params};
+
+#[test]
+fn all_fifteen_queries_agree_with_reference() {
+    let data = tpcd::generate(0.002, 20260610);
+    let (cat, _report) = tpcd::load_bats(&data);
+    let rel = tpcd::load_rowstore(&data);
+    let params = Params::for_data(&data);
+    let ctx = ExecCtx::new();
+    let mut checked = 0;
+    for q in all_queries() {
+        let moa_rows = (q.run_moa)(&cat, &ctx, &params)
+            .unwrap_or_else(|e| panic!("Q{} MOA failed: {e}", q.id));
+        let ref_out = (q.run_ref)(&rel, &params, None);
+        assert!(
+            moa_rows.approx_eq(&ref_out.rows, 1e-6),
+            "Q{} disagrees ({}):\nMOA ({} rows):\n{}\nreference ({} rows):\n{}",
+            q.id,
+            q.comment,
+            moa_rows.len(),
+            moa_rows.clone().sorted().preview(12),
+            ref_out.rows.len(),
+            ref_out.rows.clone().sorted().preview(12),
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 15);
+}
+
+#[test]
+fn q13_returns_per_year_losses() {
+    let data = tpcd::generate(0.002, 7);
+    let (cat, _) = tpcd::load_bats(&data);
+    let params = Params::for_data(&data);
+    let ctx = ExecCtx::new();
+    let rows = (all_queries()[12].run_moa)(&cat, &ctx, &params).unwrap();
+    // The clerk's returned orders span a handful of years; all losses > 0.
+    assert!(!rows.is_empty());
+    for row in &rows.0 {
+        assert_eq!(row.len(), 2);
+        match (&row[0], &row[1]) {
+            (monet::atom::AtomValue::Int(y), monet::atom::AtomValue::Dbl(l)) => {
+                assert!((1992..=1998).contains(y));
+                assert!(*l > 0.0);
+            }
+            other => panic!("unexpected Q13 row {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn queries_stable_across_runs() {
+    let data = tpcd::generate(0.001, 5);
+    let (cat, _) = tpcd::load_bats(&data);
+    let params = Params::for_data(&data);
+    let ctx = ExecCtx::new();
+    let q3 = &all_queries()[2];
+    let a = (q3.run_moa)(&cat, &ctx, &params).unwrap();
+    let b = (q3.run_moa)(&cat, &ctx, &params).unwrap();
+    assert!(a.approx_eq(&b, 0.0));
+}

@@ -1,0 +1,23 @@
+//! # relstore — the n-ary relational baseline
+//!
+//! A deliberately conventional, non-decomposed storage engine: rows stored
+//! contiguously (`(n+1)·w` bytes wide), inverted-list indexes per column,
+//! and a row-at-a-time executor. It plays two roles in this reproduction
+//! (DESIGN.md §5.2):
+//!
+//! 1. the **`E_rel` strategy** of the paper's IO cost model (Section
+//!    5.2.2/Figure 8): index probe + unclustered row retrieval, with page
+//!    faults accounted through the same simulated pager as the kernel;
+//! 2. the **comparison engine** standing in for the DB2 column of Figure 9
+//!    — and, since it is independent of the MOA/MIL path, the correctness
+//!    oracle for every TPC-D query.
+
+pub mod db;
+pub mod exec;
+pub mod index;
+pub mod table;
+
+pub use db::RelDb;
+pub use exec::{fetch, group_fold, hash_join, refine_rows, scan, select_rows, ColPred};
+pub use index::InvertedList;
+pub use table::Table;

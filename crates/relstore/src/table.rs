@@ -1,0 +1,178 @@
+//! N-ary (non-decomposed) table storage.
+//!
+//! This is the "relational strategy" the paper's cost model compares
+//! against (Section 5.2.2): tuples are stored contiguously, `(n+1)·w`
+//! bytes wide, so fetching one attribute of a row pages in the whole row.
+//! In memory we reuse the kernel's typed columns for the values, but the
+//! *pager* sees a single row-major heap: touching any attribute of row `i`
+//! touches the page containing byte `i × row_width` — which is exactly
+//! what makes unclustered retrieval expensive and gives `E_rel` its second
+//! term.
+
+use monet::atom::{AtomType, AtomValue, Date, Oid};
+use monet::column::{Column, ColumnId};
+use monet::pager::{HeapKind, Pager};
+
+/// A named, typed n-ary table.
+pub struct Table {
+    name: String,
+    cols: Vec<(String, Column)>,
+    rows: usize,
+    /// Identity of the simulated row-major heap.
+    heap: ColumnId,
+    /// Bytes per row: sum of column widths plus the row header word the
+    /// cost model's `(n+1)` accounts for.
+    row_width: usize,
+}
+
+impl Table {
+    /// Build from equally long columns.
+    pub fn new(name: &str, cols: Vec<(String, Column)>) -> Table {
+        assert!(!cols.is_empty(), "table needs at least one column");
+        let rows = cols[0].1.len();
+        assert!(
+            cols.iter().all(|(_, c)| c.len() == rows),
+            "all columns must have equal length"
+        );
+        // Mint a heap identity for the pager.
+        let heap = Column::void(0, 0).storage_id();
+        let width: usize = cols.iter().map(|(_, c)| c.atom_type().width().max(1)).sum();
+        // +--- one extra value width models the row header / oid slot, the
+        // `(n+1)·w` of the cost model.
+        let row_width = width + 8;
+        Table { name: name.to_string(), cols, rows, heap, row_width }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Total simulated heap bytes.
+    pub fn bytes(&self) -> usize {
+        self.rows * self.row_width
+    }
+
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.cols.iter().map(|(n, _)| n.as_str())
+    }
+
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(n, _)| n == name)
+    }
+
+    /// The backing column (for index building and typed scans).
+    pub fn col(&self, idx: usize) -> &Column {
+        &self.cols[idx].1
+    }
+
+    /// The backing column by name; panics on unknown names (schema bugs).
+    pub fn column(&self, name: &str) -> &Column {
+        let idx = self
+            .col_index(name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name));
+        self.col(idx)
+    }
+
+    /// Touch the row's page (unclustered row access).
+    pub fn touch_row(&self, pager: &Pager, row: usize) {
+        pager.touch_byte(self.heap, HeapKind::Fixed, (row * self.row_width) as u64);
+    }
+
+    /// Touch the pages of a full scan.
+    pub fn touch_scan(&self, pager: &Pager) {
+        if self.rows > 0 {
+            pager.touch_range(self.heap, HeapKind::Fixed, 0, (self.rows * self.row_width) as u64);
+        }
+    }
+
+    /// Generic accessor (fetches go through [`Table::touch_row`] by the
+    /// caller when fault accounting is on).
+    pub fn value(&self, col: usize, row: usize) -> AtomValue {
+        self.cols[col].1.get(row)
+    }
+
+    pub fn oid_v(&self, col: usize, row: usize) -> Oid {
+        self.cols[col].1.oid_at(row)
+    }
+
+    pub fn int_v(&self, col: usize, row: usize) -> i32 {
+        self.cols[col].1.int_at(row)
+    }
+
+    pub fn dbl_v(&self, col: usize, row: usize) -> f64 {
+        self.cols[col].1.dbl_at(row)
+    }
+
+    pub fn chr_v(&self, col: usize, row: usize) -> u8 {
+        self.cols[col].1.chr_at(row)
+    }
+
+    pub fn date_v(&self, col: usize, row: usize) -> Date {
+        self.cols[col].1.date_at(row)
+    }
+
+    pub fn str_v(&self, col: usize, row: usize) -> &str {
+        self.cols[col].1.str_at(row)
+    }
+
+    pub fn col_type(&self, col: usize) -> AtomType {
+        self.cols[col].1.atom_type()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "part",
+            vec![
+                ("oid".into(), Column::from_oids(vec![1, 2, 3])),
+                ("size".into(), Column::from_ints(vec![10, 20, 30])),
+                ("name".into(), Column::from_strs(["a", "b", "c"])),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let t = t();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.col_index("size"), Some(1));
+        assert_eq!(t.int_v(1, 2), 30);
+        assert_eq!(t.str_v(2, 0), "a");
+        assert_eq!(t.row_width(), 8 + 4 + 4 + 8);
+    }
+
+    #[test]
+    fn row_touch_is_row_major() {
+        let t = t();
+        let pager = Pager::new(16); // tiny pages: 24B rows span pages
+        t.touch_row(&pager, 0);
+        t.touch_row(&pager, 0);
+        assert_eq!(pager.faults(), 1);
+        t.touch_row(&pager, 2);
+        assert_eq!(pager.faults(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_columns_panic() {
+        Table::new(
+            "bad",
+            vec![
+                ("a".into(), Column::from_ints(vec![1])),
+                ("b".into(), Column::from_ints(vec![1, 2])),
+            ],
+        );
+    }
+}

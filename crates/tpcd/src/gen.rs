@@ -1,0 +1,497 @@
+//! The DBGEN-equivalent data generator (substitution for the TPC-D DBGEN
+//! tool; see DESIGN.md §5.1).
+//!
+//! Deterministic (seeded) and scale-factor parameterized, with the TPC-D
+//! cardinality ratios: per SF 1.0 — 200k parts, 10k suppliers, 800k
+//! supply (partsupp) entries, 150k customers, 1.5M orders, ~6M items,
+//! 25 nations, 5 regions. Object identifiers are allocated densely per
+//! class, so extents are dense oid ranges (which the loader exploits).
+
+use monet::atom::{Date, Oid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text;
+
+/// Generated database as plain rows, consumed by both the BAT loader and
+/// the n-ary baseline loader.
+#[derive(Debug)]
+pub struct TpcdData {
+    pub sf: f64,
+    pub regions: Vec<RegionRow>,
+    pub nations: Vec<NationRow>,
+    pub parts: Vec<PartRow>,
+    pub suppliers: Vec<SupplierRow>,
+    /// Supply (partsupp) entries, grouped by supplier (ascending oid).
+    pub supplies: Vec<SupplyRow>,
+    pub customers: Vec<CustomerRow>,
+    pub orders: Vec<OrderRow>,
+    pub items: Vec<ItemRow>,
+    /// Number of distinct clerks (`Clerk#000000001 ..`).
+    pub clerk_count: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct RegionRow {
+    pub oid: Oid,
+    pub name: String,
+    pub comment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct NationRow {
+    pub oid: Oid,
+    pub name: String,
+    pub region: Oid,
+}
+
+#[derive(Debug, Clone)]
+pub struct PartRow {
+    pub oid: Oid,
+    pub name: String,
+    pub manufacturer: String,
+    pub brand: String,
+    pub typ: String,
+    pub size: i32,
+    pub container: String,
+    pub retailprice: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct SupplierRow {
+    pub oid: Oid,
+    pub name: String,
+    pub address: String,
+    pub phone: String,
+    pub acctbal: f64,
+    pub nation: Oid,
+}
+
+#[derive(Debug, Clone)]
+pub struct SupplyRow {
+    /// Element id of the supply tuple inside the supplier's `supplies` set.
+    pub oid: Oid,
+    pub supplier: Oid,
+    pub part: Oid,
+    pub cost: f64,
+    pub available: i32,
+}
+
+#[derive(Debug, Clone)]
+pub struct CustomerRow {
+    pub oid: Oid,
+    pub name: String,
+    pub address: String,
+    pub phone: String,
+    pub acctbal: f64,
+    pub nation: Oid,
+    pub mktsegment: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct OrderRow {
+    pub oid: Oid,
+    pub cust: Oid,
+    pub status: u8,
+    pub totalprice: f64,
+    pub orderdate: Date,
+    pub orderpriority: String,
+    pub clerk: String,
+    pub shippriority: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemRow {
+    pub oid: Oid,
+    pub part: Oid,
+    pub supplier: Oid,
+    pub order: Oid,
+    pub quantity: i32,
+    pub returnflag: u8,
+    pub linestatus: u8,
+    pub extendedprice: f64,
+    pub discount: f64,
+    pub tax: f64,
+    pub shipdate: Date,
+    pub commitdate: Date,
+    pub receiptdate: Date,
+    pub shipmode: String,
+    pub shipinstruct: String,
+}
+
+/// The date window of TPC-D order dates: 1992-01-01 .. 1998-08-02.
+pub fn order_date_range() -> (Date, Date) {
+    (Date::from_ymd(1992, 1, 1), Date::from_ymd(1998, 8, 2))
+}
+
+/// The current-date constant the benchmark predicates use.
+pub fn tpcd_currentdate() -> Date {
+    Date::from_ymd(1995, 6, 17)
+}
+
+/// Generate a database at the given scale factor with a fixed seed.
+pub fn generate(sf: f64, seed: u64) -> TpcdData {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_parts = ((200_000.0 * sf) as usize).max(8);
+    let n_suppliers = ((10_000.0 * sf) as usize).max(4);
+    let n_customers = ((150_000.0 * sf) as usize).max(6);
+    let n_orders = ((1_500_000.0 * sf) as usize).max(12);
+    let clerk_count = ((1_000.0 * sf) as u32).max(2);
+
+    let mut next_oid: Oid = 1000;
+    let mut take = |n: usize| -> Oid {
+        let base = next_oid;
+        next_oid += n as Oid;
+        base
+    };
+
+    // Regions and nations.
+    let region_base = take(text::REGIONS.len());
+    let regions: Vec<RegionRow> = text::REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| RegionRow {
+            oid: region_base + i as Oid,
+            name: name.to_string(),
+            comment: format!("region {name}"),
+        })
+        .collect();
+    let nation_base = take(text::NATIONS.len());
+    let nations: Vec<NationRow> = text::NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, r))| NationRow {
+            oid: nation_base + i as Oid,
+            name: name.to_string(),
+            region: region_base + *r as Oid,
+        })
+        .collect();
+
+    // Parts.
+    let part_base = take(n_parts);
+    let parts: Vec<PartRow> = (0..n_parts)
+        .map(|i| {
+            let key = i as u64 + 1;
+            let mfgr = rng.gen_range(1..=5u32);
+            PartRow {
+                oid: part_base + i as Oid,
+                name: text::part_name(&mut rng),
+                manufacturer: format!("Manufacturer#{mfgr}"),
+                brand: text::part_brand(mfgr, &mut rng),
+                typ: text::part_type(&mut rng),
+                size: rng.gen_range(1..=50),
+                container: text::container(&mut rng),
+                // The spec's retail price formula, in dollars.
+                retailprice: (90_000.0
+                    + (key % 20_001) as f64 / 10.0
+                    + 100.0 * (key % 1_000) as f64)
+                    / 100.0,
+            }
+        })
+        .collect();
+
+    // Suppliers.
+    let supplier_base = take(n_suppliers);
+    let suppliers: Vec<SupplierRow> = (0..n_suppliers)
+        .map(|i| {
+            let nat = rng.gen_range(0..nations.len());
+            SupplierRow {
+                oid: supplier_base + i as Oid,
+                name: text::supplier_name(i as u64 + 1),
+                address: text::address(&mut rng),
+                phone: text::phone(nat, &mut rng),
+                acctbal: rng.gen_range(-999.99..9999.99),
+                nation: nations[nat].oid,
+            }
+        })
+        .collect();
+
+    // Supplies: 4 suppliers per part (the partsupp ratio), grouped by
+    // supplier so that set-index BATs load owner-sorted. ~2% of entries
+    // are out of stock (`available = 0`, the §4.3.2 example). Items later
+    // pick their supplier among the part's suppliers (TPC-D semantics,
+    // needed for Q9's item ⋈ partsupp profit computation).
+    let mut per_supplier: Vec<Vec<(Oid, f64, i32)>> = vec![Vec::new(); n_suppliers];
+    let mut suppliers_of_part: Vec<[usize; 4]> = Vec::with_capacity(n_parts);
+    for part in &parts {
+        // Four *distinct* suppliers per part (partsupp's compound key).
+        let mut chosen = [0usize; 4];
+        for i in 0..4 {
+            let s = loop {
+                let s = rng.gen_range(0..n_suppliers);
+                if !chosen[..i].contains(&s) {
+                    break s;
+                }
+            };
+            chosen[i] = s;
+            let cost = rng.gen_range(1.0..1000.0);
+            let available = if rng.gen_bool(0.02) {
+                0
+            } else {
+                rng.gen_range(1..=9999)
+            };
+            per_supplier[s].push((part.oid, cost, available));
+        }
+        suppliers_of_part.push(chosen);
+    }
+    let n_supplies: usize = per_supplier.iter().map(Vec::len).sum();
+    let supply_base = take(n_supplies);
+    let mut supplies = Vec::with_capacity(n_supplies);
+    for (s, entries) in per_supplier.into_iter().enumerate() {
+        for (part, cost, available) in entries {
+            supplies.push(SupplyRow {
+                oid: supply_base + supplies.len() as Oid,
+                supplier: supplier_base + s as Oid,
+                part,
+                cost,
+                available,
+            });
+        }
+    }
+
+    // Customers.
+    let customer_base = take(n_customers);
+    let customers: Vec<CustomerRow> = (0..n_customers)
+        .map(|i| {
+            let nat = rng.gen_range(0..nations.len());
+            CustomerRow {
+                oid: customer_base + i as Oid,
+                name: text::customer_name(i as u64 + 1),
+                address: text::address(&mut rng),
+                phone: text::phone(nat, &mut rng),
+                acctbal: rng.gen_range(-999.99..9999.99),
+                nation: nations[nat].oid,
+                mktsegment: text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())]
+                    .to_string(),
+            }
+        })
+        .collect();
+
+    // Orders and items.
+    let (dmin, dmax) = order_date_range();
+    let current = tpcd_currentdate();
+    let order_base = take(n_orders);
+    let mut orders = Vec::with_capacity(n_orders);
+    let mut item_rows: Vec<ItemRow> = Vec::with_capacity(n_orders * 4);
+    struct PendingItem {
+        part: usize,
+        supplier: Oid,
+        quantity: i32,
+        discount: f64,
+        tax: f64,
+        shipdate: Date,
+        commitdate: Date,
+        receiptdate: Date,
+    }
+    for i in 0..n_orders {
+        let oid = order_base + i as Oid;
+        // A third of the customers place no orders (TPC-D convention).
+        let cust_idx = loop {
+            let c = rng.gen_range(0..n_customers);
+            if c % 3 != 0 || n_customers < 3 {
+                break c;
+            }
+        };
+        let orderdate = Date(rng.gen_range(dmin.0..=dmax.0));
+        let n_items = rng.gen_range(1..=7);
+        let mut pending = Vec::with_capacity(n_items);
+        for _ in 0..n_items {
+            let part = rng.gen_range(0..n_parts);
+            // One of the part's four suppliers (TPC-D 4.2.3 semantics).
+            let supplier = supplier_base
+                + suppliers_of_part[part][rng.gen_range(0..4)] as Oid;
+            let shipdate = orderdate.add_days(rng.gen_range(1..=121));
+            pending.push(PendingItem {
+                part,
+                supplier,
+                quantity: rng.gen_range(1..=50),
+                discount: rng.gen_range(0..=10) as f64 / 100.0,
+                tax: rng.gen_range(0..=8) as f64 / 100.0,
+                shipdate,
+                commitdate: orderdate.add_days(rng.gen_range(30..=90)),
+                receiptdate: shipdate.add_days(rng.gen_range(1..=30)),
+            });
+        }
+        let mut totalprice = 0.0;
+        let mut all_f = true;
+        let mut all_o = true;
+        for p in &pending {
+            let extprice = p.quantity as f64 * parts[p.part].retailprice;
+            totalprice += extprice * (1.0 + p.tax) * (1.0 - p.discount);
+            let linestatus = if p.shipdate > current { b'O' } else { b'F' };
+            all_f &= linestatus == b'F';
+            all_o &= linestatus == b'O';
+            let returnflag = if p.receiptdate <= current {
+                if rng.gen_bool(0.5) {
+                    b'R'
+                } else {
+                    b'A'
+                }
+            } else {
+                b'N'
+            };
+            item_rows.push(ItemRow {
+                oid: 0, // assigned below
+                part: parts[p.part].oid,
+                supplier: p.supplier,
+                order: oid,
+                quantity: p.quantity,
+                returnflag,
+                linestatus,
+                extendedprice: extprice,
+                discount: p.discount,
+                tax: p.tax,
+                shipdate: p.shipdate,
+                commitdate: p.commitdate,
+                receiptdate: p.receiptdate,
+                shipmode: text::SHIP_MODES[rng.gen_range(0..text::SHIP_MODES.len())]
+                    .to_string(),
+                shipinstruct: text::SHIP_INSTRUCTIONS
+                    [rng.gen_range(0..text::SHIP_INSTRUCTIONS.len())]
+                .to_string(),
+            });
+        }
+        orders.push(OrderRow {
+            oid,
+            cust: customers[cust_idx].oid,
+            status: if all_f {
+                b'F'
+            } else if all_o {
+                b'O'
+            } else {
+                b'P'
+            },
+            totalprice,
+            orderdate,
+            orderpriority: text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())]
+                .to_string(),
+            clerk: text::clerk_name(rng.gen_range(1..=clerk_count)),
+            shippriority: "0".to_string(),
+        });
+    }
+    let item_base = take(item_rows.len());
+    let mut items = item_rows;
+    for (i, item) in items.iter_mut().enumerate() {
+        item.oid = item_base + i as Oid;
+    }
+
+    TpcdData {
+        sf,
+        regions,
+        nations,
+        parts,
+        suppliers,
+        supplies,
+        customers,
+        orders,
+        items,
+        clerk_count,
+    }
+}
+
+impl TpcdData {
+    /// Total logical rows, for reporting.
+    pub fn total_rows(&self) -> usize {
+        self.regions.len()
+            + self.nations.len()
+            + self.parts.len()
+            + self.suppliers.len()
+            + self.supplies.len()
+            + self.customers.len()
+            + self.orders.len()
+            + self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_ratios() {
+        let d = generate(0.01, 42);
+        assert_eq!(d.parts.len(), 2000);
+        assert_eq!(d.suppliers.len(), 100);
+        assert_eq!(d.customers.len(), 1500);
+        assert_eq!(d.orders.len(), 15_000);
+        assert_eq!(d.supplies.len(), 8000); // 4 per part
+        let avg_items = d.items.len() as f64 / d.orders.len() as f64;
+        assert!((3.0..5.0).contains(&avg_items), "avg items {avg_items}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(0.002, 7);
+        let b = generate(0.002, 7);
+        assert_eq!(a.items.len(), b.items.len());
+        assert_eq!(a.items[10].extendedprice, b.items[10].extendedprice);
+        assert_eq!(a.orders[5].clerk, b.orders[5].clerk);
+        let c = generate(0.002, 8);
+        assert!(a.orders[5].clerk != c.orders[5].clerk || a.items.len() != c.items.len()
+            || a.items[10].extendedprice != c.items[10].extendedprice);
+    }
+
+    #[test]
+    fn oids_dense_and_disjoint() {
+        let d = generate(0.002, 1);
+        // Extents are dense ranges.
+        for w in d.orders.windows(2) {
+            assert_eq!(w[1].oid, w[0].oid + 1);
+        }
+        for w in d.items.windows(2) {
+            assert_eq!(w[1].oid, w[0].oid + 1);
+        }
+        // Classes don't overlap.
+        let order_range = d.orders[0].oid..=d.orders.last().unwrap().oid;
+        assert!(!order_range.contains(&d.items[0].oid));
+        assert!(!order_range.contains(&d.customers[0].oid));
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let d = generate(0.002, 3);
+        let parts: std::collections::HashSet<Oid> = d.parts.iter().map(|p| p.oid).collect();
+        let sups: std::collections::HashSet<Oid> = d.suppliers.iter().map(|s| s.oid).collect();
+        let ords: std::collections::HashSet<Oid> = d.orders.iter().map(|o| o.oid).collect();
+        assert!(d.items.iter().all(|i| parts.contains(&i.part)));
+        assert!(d.items.iter().all(|i| sups.contains(&i.supplier)));
+        assert!(d.items.iter().all(|i| ords.contains(&i.order)));
+        assert!(d.supplies.iter().all(|s| parts.contains(&s.part)));
+        assert!(d.supplies.iter().all(|s| sups.contains(&s.supplier)));
+    }
+
+    #[test]
+    fn supplies_grouped_by_supplier() {
+        let d = generate(0.002, 3);
+        for w in d.supplies.windows(2) {
+            assert!(w[0].supplier <= w[1].supplier, "supplies must be owner-sorted");
+            assert_eq!(w[1].oid, w[0].oid + 1);
+        }
+    }
+
+    #[test]
+    fn date_semantics() {
+        let d = generate(0.002, 9);
+        let current = tpcd_currentdate();
+        for it in &d.items {
+            assert!(it.shipdate > Date::from_ymd(1992, 1, 1));
+            assert!(it.receiptdate > it.shipdate);
+            if it.linestatus == b'O' {
+                assert!(it.shipdate > current);
+            }
+            if it.returnflag == b'R' || it.returnflag == b'A' {
+                assert!(it.receiptdate <= current);
+            }
+        }
+    }
+
+    #[test]
+    fn one_third_of_customers_have_no_orders() {
+        let d = generate(0.01, 11);
+        let with_orders: std::collections::HashSet<Oid> =
+            d.orders.iter().map(|o| o.cust).collect();
+        let frac = with_orders.len() as f64 / d.customers.len() as f64;
+        assert!((0.55..0.72).contains(&frac), "fraction {frac}");
+    }
+}

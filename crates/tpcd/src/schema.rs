@@ -1,0 +1,153 @@
+//! The MOA data model for the TPC-D database (Figure 1).
+
+use moa::types::{ClassDef, Field, MoaType, Schema};
+use monet::atom::AtomType;
+
+fn base(t: AtomType) -> MoaType {
+    MoaType::Base(t)
+}
+
+fn obj(c: &str) -> MoaType {
+    MoaType::Object(c.to_string())
+}
+
+/// Build the schema of Figure 1. The `groupby` SQL statement maps to the
+/// OO concepts of nesting and aggregation; the set-valued attributes
+/// (`Customer.orders`, `Order.items`, `Supplier.supplies`) carry the
+/// nesting.
+pub fn tpcd_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_class(ClassDef::new(
+        "Region",
+        vec![
+            Field::new("name", base(AtomType::Str)),
+            Field::new("comment", base(AtomType::Str)),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Nation",
+        vec![
+            Field::new("name", base(AtomType::Str)),
+            Field::new("region", obj("Region")),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Part",
+        vec![
+            Field::new("name", base(AtomType::Str)),
+            Field::new("manufacturer", base(AtomType::Str)),
+            Field::new("brand", base(AtomType::Str)),
+            Field::new("type", base(AtomType::Str)),
+            Field::new("size", base(AtomType::Int)),
+            Field::new("container", base(AtomType::Str)),
+            Field::new("retailprice", base(AtomType::Dbl)),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Supplier",
+        vec![
+            Field::new("name", base(AtomType::Str)),
+            Field::new("address", base(AtomType::Str)),
+            Field::new("phone", base(AtomType::Str)),
+            Field::new("acctbal", base(AtomType::Dbl)),
+            Field::new("nation", obj("Nation")),
+            Field::new(
+                "supplies",
+                MoaType::set_of(MoaType::Tuple(vec![
+                    Field::new("part", obj("Part")),
+                    Field::new("cost", base(AtomType::Dbl)),
+                    Field::new("available", base(AtomType::Int)),
+                ])),
+            ),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Customer",
+        vec![
+            Field::new("name", base(AtomType::Str)),
+            Field::new("address", base(AtomType::Str)),
+            Field::new("phone", base(AtomType::Str)),
+            Field::new("acctbal", base(AtomType::Dbl)),
+            Field::new("nation", obj("Nation")),
+            Field::new("mktsegment", base(AtomType::Str)),
+            Field::new("orders", MoaType::set_of(obj("Order"))),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Order",
+        vec![
+            Field::new("cust", obj("Customer")),
+            Field::new("items", MoaType::set_of(obj("Item"))),
+            Field::new("status", base(AtomType::Chr)),
+            Field::new("totalprice", base(AtomType::Dbl)),
+            Field::new("orderdate", base(AtomType::Date)),
+            Field::new("orderpriority", base(AtomType::Str)),
+            Field::new("clerk", base(AtomType::Str)),
+            Field::new("shippriority", base(AtomType::Str)),
+        ],
+    ));
+    s.add_class(ClassDef::new(
+        "Item",
+        vec![
+            Field::new("part", obj("Part")),
+            Field::new("supplier", obj("Supplier")),
+            Field::new("order", obj("Order")),
+            Field::new("quantity", base(AtomType::Int)),
+            Field::new("returnflag", base(AtomType::Chr)),
+            Field::new("linestatus", base(AtomType::Chr)),
+            Field::new("extendedprice", base(AtomType::Dbl)),
+            Field::new("discount", base(AtomType::Dbl)),
+            Field::new("tax", base(AtomType::Dbl)),
+            Field::new("shipdate", base(AtomType::Date)),
+            Field::new("commitdate", base(AtomType::Date)),
+            Field::new("receiptdate", base(AtomType::Date)),
+            Field::new("shipmode", base(AtomType::Str)),
+            Field::new("shipinstruct", base(AtomType::Str)),
+        ],
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_classes() {
+        let s = tpcd_schema();
+        assert_eq!(s.len(), 7);
+        for c in ["Region", "Nation", "Part", "Supplier", "Customer", "Order", "Item"] {
+            assert!(s.class(c).is_ok(), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn navigation_paths_resolve() {
+        let s = tpcd_schema();
+        assert!(s.resolve_path("Item", &["order".into(), "clerk".into()]).is_ok());
+        assert!(s
+            .resolve_path(
+                "Item",
+                &["supplier".into(), "nation".into(), "region".into(), "name".into()]
+            )
+            .is_ok());
+        assert!(s.resolve_path("Customer", &["nation".into(), "name".into()]).is_ok());
+    }
+
+    #[test]
+    fn nested_attributes_have_set_types() {
+        let s = tpcd_schema();
+        let sup = s.class("Supplier").unwrap();
+        assert!(matches!(sup.field("supplies").unwrap().ty, MoaType::Set(_)));
+        let ord = s.class("Order").unwrap();
+        assert!(matches!(ord.field("items").unwrap().ty, MoaType::Set(_)));
+    }
+
+    #[test]
+    fn figure1_renders() {
+        let s = tpcd_schema();
+        let printed = s.class("Supplier").unwrap().to_string();
+        assert!(printed.contains("supplies"));
+        assert!(printed.contains("{<part : Part, cost : dbl, available : int>}"));
+    }
+}

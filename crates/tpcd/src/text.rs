@@ -1,0 +1,167 @@
+//! Text pools and name generators of the DBGEN equivalent.
+//!
+//! The value families follow the TPC-D specification closely enough that
+//! the benchmark predicates (segments, priorities, ship modes, brand/type
+//! prefixes, clerk names) have the same selectivities as in the paper's
+//! runs; the free-text comment grammar is simplified.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-D nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const SHIP_INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+pub const CONTAINERS_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINERS_2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+pub const TYPES_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPES_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPES_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const NAME_PARTS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "coral", "cornflower", "cream", "cyan",
+];
+
+/// `Clerk#000000NNN`, NNN in `1..=count` — the paper's Q13 selects one of
+/// these, giving the 0.1% Item selectivity of Figure 9.
+pub fn clerk_name(n: u32) -> String {
+    format!("Clerk#{n:09}")
+}
+
+pub fn supplier_name(key: u64) -> String {
+    format!("Supplier#{key:09}")
+}
+
+pub fn customer_name(key: u64) -> String {
+    format!("Customer#{key:09}")
+}
+
+/// Part names are a few space-joined colour words (deterministic per key).
+pub fn part_name(rng: &mut StdRng) -> String {
+    let mut words = Vec::with_capacity(3);
+    for _ in 0..3 {
+        words.push(NAME_PARTS[rng.gen_range(0..NAME_PARTS.len())]);
+    }
+    words.join(" ")
+}
+
+pub fn part_type(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        TYPES_1[rng.gen_range(0..TYPES_1.len())],
+        TYPES_2[rng.gen_range(0..TYPES_2.len())],
+        TYPES_3[rng.gen_range(0..TYPES_3.len())]
+    )
+}
+
+pub fn part_brand(mfgr: u32, rng: &mut StdRng) -> String {
+    format!("Brand#{}{}", mfgr, rng.gen_range(1..=5))
+}
+
+pub fn container(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        CONTAINERS_1[rng.gen_range(0..CONTAINERS_1.len())],
+        CONTAINERS_2[rng.gen_range(0..CONTAINERS_2.len())]
+    )
+}
+
+pub fn phone(nation: usize, rng: &mut StdRng) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        10 + nation,
+        rng.gen_range(100..=999),
+        rng.gen_range(100..=999),
+        rng.gen_range(1000..=9999)
+    )
+}
+
+pub fn address(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(10..=30);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        s.push((b'a' + rng.gen_range(0..26u8)) as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clerk_names_match_paper_format() {
+        assert_eq!(clerk_name(88), "Clerk#000000088");
+        assert_eq!(clerk_name(1), "Clerk#000000001");
+    }
+
+    #[test]
+    fn nations_cover_all_regions() {
+        let mut seen = [false; 5];
+        for (_, r) in NATIONS {
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(NATIONS.len(), 25);
+    }
+
+    #[test]
+    fn text_generators_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(part_name(&mut a), part_name(&mut b));
+        assert_eq!(part_type(&mut a), part_type(&mut b));
+        assert_eq!(phone(3, &mut a), phone(3, &mut b));
+    }
+
+    #[test]
+    fn promo_types_exist() {
+        // Q14 relies on the PROMO prefix appearing in ~1/6 of types.
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = (0..6000).filter(|_| part_type(&mut rng).starts_with("PROMO")).count();
+        assert!((600..1500).contains(&n), "got {n} PROMO of 6000");
+    }
+}

@@ -1,0 +1,39 @@
+//! The Section 5.2.2 IO cost model (Figure 8): expected page faults of a
+//! select-project for the relational vs. the Monet/datavector strategy,
+//! printed as the paper's series, plus the crossover points.
+//!
+//! Run: `cargo run --example cost_model`
+
+use monet::costmodel::{crossover, e_dv, e_rel, CostParams};
+
+fn main() {
+    let p = CostParams::figure8();
+    println!(
+        "select-project IO cost (X={} rows, n={} attrs, w={}B, B={}B pages)\n",
+        p.rows, p.n_attrs, p.width, p.page_size
+    );
+    println!(
+        "{:>12} {:>10} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "selectivity", "E_rel", "E_dv(p=1)", "E_dv(p=3)", "E_dv(p=6)", "E_dv(p=9)", "E_dv(p=12)"
+    );
+    for i in 0..=12 {
+        let s = i as f64 * 0.0025;
+        println!(
+            "{:>12.4} {:>10.0} {:>11.0} {:>11.0} {:>11.0} {:>11.0} {:>11.0}",
+            s,
+            e_rel(&p, s),
+            e_dv(&p, s, 1),
+            e_dv(&p, s, 3),
+            e_dv(&p, s, 6),
+            e_dv(&p, s, 9),
+            e_dv(&p, s, 12),
+        );
+    }
+    println!();
+    for proj in [1, 3, 6, 9, 12] {
+        if let Some(s) = crossover(&p, proj) {
+            println!("E_dv(p={proj}) beats E_rel above s ≈ {s:.4}");
+        }
+    }
+    println!("\npaper: \"the crossover point for n=16, p=3 is at s ≈ 0.004\"");
+}

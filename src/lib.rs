@@ -1,0 +1,20 @@
+//! # flatalg — Flattening an Object Algebra to Provide Performance
+//!
+//! Umbrella crate of the reproduction of *Boncz, Wilschut, Kersten (ICDE
+//! 1998)*. It re-exports the workspace crates and hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! * [`monet`] — the binary-relational kernel (BATs, BAT algebra, MIL,
+//!   accelerators, simulated pager, cost model);
+//! * [`moa`] — the MOA object data model, structure functions, query
+//!   algebra, MOA→MIL translator and reference evaluator;
+//! * [`tpcd`] — DBGEN-equivalent generator and the Section 6 load pipeline;
+//! * [`relstore`] — the n-ary relational baseline;
+//! * [`tpcd_queries`] — the TPC-D queries Q1–Q15 in MOA and as reference
+//!   plans, with the Figure 9 statistics harness.
+
+pub use moa;
+pub use monet;
+pub use relstore;
+pub use tpcd;
+pub use tpcd_queries;

@@ -1,0 +1,118 @@
+//! §4.3.2 on generated TPC-D data: nested-set operations execute flat and
+//! agree with row-level recomputation.
+
+use std::collections::HashMap;
+
+use moa::prelude::*;
+use monet::atom::Oid;
+use monet::ctx::ExecCtx;
+use monet::ops::{AggFunc, ScalarFunc};
+
+#[test]
+fn out_of_stock_supplies_match_rows() {
+    let data = tpcd::generate(0.004, 777);
+    let (cat, _) = tpcd::load_bats(&data);
+
+    // project[<%name, select[%available = 0](%supplies)>](Supplier)
+    let q = SetExpr::extent("Supplier").project(vec![
+        ProjItem::new("name", attr("name")),
+        ProjItem::new(
+            "oos",
+            Expr::SetV(SetValued::SelectIn(
+                Box::new(sattr("supplies")),
+                Box::new(eq(attr("available"), lit_i(0))),
+            )),
+        ),
+    ]);
+    let t = translate(&cat, &q).unwrap();
+    let (set, _) = t.run(&ExecCtx::new(), cat.db()).unwrap();
+    let vals = set.materialize().unwrap();
+    assert_eq!(vals.len(), data.suppliers.len());
+
+    // Row-level truth: out-of-stock count per supplier.
+    let mut expected: HashMap<&str, usize> = HashMap::new();
+    let by_oid: HashMap<Oid, &str> =
+        data.suppliers.iter().map(|s| (s.oid, s.name.as_str())).collect();
+    for s in &data.supplies {
+        if s.available == 0 {
+            *expected.entry(by_oid[&s.supplier]).or_insert(0) += 1;
+        }
+    }
+    let mut total_from_moa = 0usize;
+    for v in &vals {
+        let Value::Tuple(fields) = v else { panic!("tuple expected") };
+        let Value::Atom(monet::atom::AtomValue::Str(name)) = &fields[0] else {
+            panic!("name expected")
+        };
+        let Value::Set(members) = &fields[1] else { panic!("set expected") };
+        assert_eq!(
+            members.len(),
+            expected.get(name.as_ref()).copied().unwrap_or(0),
+            "out-of-stock count for {name}"
+        );
+        total_from_moa += members.len();
+    }
+    let total_rows = data.supplies.iter().filter(|s| s.available == 0).count();
+    assert_eq!(total_from_moa, total_rows);
+    assert!(total_rows > 0, "fixture should contain out-of-stock supplies");
+}
+
+#[test]
+fn nested_aggregates_match_rows() {
+    let data = tpcd::generate(0.004, 778);
+    let (cat, _) = tpcd::load_bats(&data);
+    let ctx = ExecCtx::new();
+
+    // Stock value per supplier, aggregated flat over all nested sets.
+    let q = SetExpr::extent("Supplier")
+        .select(cmp(
+            ScalarFunc::Gt,
+            agg(AggFunc::Count, sattr("supplies")),
+            lit(monet::atom::AtomValue::Lng(0)),
+        ))
+        .project(vec![
+            ProjItem::new("name", attr("name")),
+            ProjItem::new(
+                "value",
+                agg_over(
+                    AggFunc::Sum,
+                    sattr("supplies"),
+                    bin(ScalarFunc::Mul, attr("cost"), attr("available")),
+                ),
+            ),
+        ]);
+    let rows = tpcd_queries::run_moa_rows(&cat, &ctx, &q).unwrap();
+
+    let mut expected: HashMap<&str, f64> = HashMap::new();
+    let by_oid: HashMap<Oid, &str> =
+        data.suppliers.iter().map(|s| (s.oid, s.name.as_str())).collect();
+    for s in &data.supplies {
+        *expected.entry(by_oid[&s.supplier]).or_insert(0.0) +=
+            s.cost * s.available as f64;
+    }
+    assert_eq!(rows.len(), expected.len());
+    for row in &rows.0 {
+        let monet::atom::AtomValue::Str(name) = &row[0] else { panic!() };
+        let monet::atom::AtomValue::Dbl(v) = &row[1] else { panic!() };
+        let want = expected[name.as_ref()];
+        assert!((v - want).abs() <= 1e-6 * (1.0 + want.abs()), "{name}: {v} vs {want}");
+    }
+}
+
+#[test]
+fn unnest_count_matches_rows() {
+    let data = tpcd::generate(0.003, 779);
+    let (cat, _) = tpcd::load_bats(&data);
+    let ctx = ExecCtx::new();
+    let q = SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp");
+    let rows = tpcd_queries::run_moa_rows(
+        &cat,
+        &ctx,
+        &q.project(vec![
+            ProjItem::new("s", attr("sup.name")),
+            ProjItem::new("p", attr("sp.part")),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(rows.len(), data.supplies.len());
+}

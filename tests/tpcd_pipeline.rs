@@ -1,0 +1,147 @@
+//! Cross-crate integration: the full TPC-D pipeline — generate, load
+//! (decompose + extents + datavectors + reorder), decomposition invariants
+//! (Figure 3), query execution, and pager behaviour end to end.
+
+use std::sync::Arc;
+
+use moa::prelude::*;
+use monet::ctx::ExecCtx;
+use monet::pager::Pager;
+use tpcd_queries::{all_queries, Params};
+
+fn world() -> (tpcd::TpcdData, Catalog, relstore::RelDb, Params) {
+    let data = tpcd::generate(0.003, 4242);
+    let (cat, _) = tpcd::load_bats(&data);
+    let rel = tpcd::load_rowstore(&data);
+    let params = Params::for_data(&data);
+    (data, cat, rel, params)
+}
+
+#[test]
+fn figure3_decomposition_roundtrip() {
+    let (data, cat, _, _) = world();
+    // The structure expression of Supplier reassembles the objects.
+    let s = cat.class_structure("Supplier").unwrap();
+    assert_eq!(s.len(), data.suppliers.len());
+    let vals = s.materialize().unwrap();
+    // Cross-check one supplier's nested supplies against the rows.
+    let first_oid = data.suppliers[0].oid;
+    let expected: usize = data.supplies.iter().filter(|x| x.supplier == first_oid).count();
+    match &vals[0] {
+        Value::Tuple(fields) => {
+            // field order follows the schema: name, address, phone,
+            // acctbal, nation, supplies
+            match &fields[5] {
+                Value::Set(ms) => assert_eq!(ms.len(), expected),
+                other => panic!("supplies should be a set, got {other}"),
+            }
+        }
+        other => panic!("supplier should be a tuple, got {other}"),
+    }
+}
+
+#[test]
+fn translated_q13_equals_reference_and_evaluator() {
+    let (_, cat, rel, params) = world();
+    let ctx = ExecCtx::new();
+    let q = tpcd_queries::q11_15::q13_moa(&params);
+    // Three independent executions of the same query:
+    let translated = tpcd_queries::run_moa_rows(&cat, &ctx, &q).unwrap();
+    let reference = tpcd_queries::q11_15::q13_ref(&rel, &params, None);
+    assert!(translated.approx_eq(&reference.rows, 1e-6));
+    // ... and the denotational evaluator agrees as well.
+    let eval_vals = Evaluator::new(&cat).eval_values(&q).unwrap();
+    assert_eq!(eval_vals.len(), translated.len());
+}
+
+#[test]
+fn query_page_faults_reasonable() {
+    let (data, cat, _, params) = world();
+    // Q13 (tiny selectivity) must touch far fewer pages than Q1 (98%).
+    let run = |qid: usize| -> u64 {
+        let pager = Arc::new(Pager::new(4096));
+        let ctx = ExecCtx::new().with_pager(Arc::clone(&pager));
+        let q = &all_queries()[qid - 1];
+        let _ = (q.run_moa)(&cat, &ctx, &params).unwrap();
+        pager.faults()
+    };
+    let f1 = run(1);
+    let f13 = run(13);
+    assert!(
+        f13 * 4 < f1,
+        "Q13 ({f13} faults) should touch far fewer pages than Q1 ({f1}); items={}",
+        data.items.len()
+    );
+}
+
+#[test]
+fn mil_programs_print_and_replay() {
+    let (_, cat, _, params) = world();
+    let q = tpcd_queries::q11_15::q13_moa(&params);
+    let t = translate(&cat, &q).unwrap();
+    let text = t.prog.to_string();
+    // The canonical Figure 5/10 plan pieces must be present.
+    assert!(text.contains("select(Order_clerk"));
+    assert!(text.contains("join(Item_order"));
+    assert!(text.contains("semijoin(Item_extendedprice"));
+    assert!(text.contains("[year]"));
+    assert!(text.contains("{sum}"));
+    assert!(text.contains("group("));
+    // Executing twice yields identical results (operators never mutate
+    // their operands).
+    let ctx = ExecCtx::new();
+    let (a, _) = t.run(&ctx, cat.db()).unwrap();
+    let (b, _) = t.run(&ctx, cat.db()).unwrap();
+    let (mut va, mut vb) = (Value::Set(a.materialize().unwrap()), Value::Set(b.materialize().unwrap()));
+    va.canonicalize();
+    vb.canonicalize();
+    assert!(va.approx_eq(&vb, 0.0));
+}
+
+#[test]
+fn memory_accounting_tracks_intermediates() {
+    let (_, cat, _, params) = world();
+    let ctx = ExecCtx::new();
+    ctx.mem.reset();
+    let q = tpcd_queries::q11_15::q13_moa(&params);
+    let _ = tpcd_queries::run_moa_rows(&cat, &ctx, &q).unwrap();
+    assert!(ctx.mem.total_bytes() > 0, "intermediates must be accounted");
+    assert!(ctx.mem.max_live_bytes() > 0);
+}
+
+#[test]
+fn bounded_resident_set_still_correct() {
+    // The Q1 hot-set experiment: a tiny resident set changes fault counts,
+    // never results.
+    let (_, cat, rel, params) = world();
+    let q1 = &all_queries()[0];
+    let reference = (q1.run_ref)(&rel, &params, None);
+
+    let unbounded = Arc::new(Pager::new(4096));
+    let ctx1 = ExecCtx::new().with_pager(Arc::clone(&unbounded));
+    let r1 = (q1.run_moa)(&cat, &ctx1, &params).unwrap();
+
+    let bounded = Arc::new(Pager::with_capacity(4096, 256));
+    let ctx2 = ExecCtx::new().with_pager(Arc::clone(&bounded));
+    let r2 = (q1.run_moa)(&cat, &ctx2, &params).unwrap();
+
+    assert!(r1.approx_eq(&reference.rows, 1e-6));
+    assert!(r2.approx_eq(&reference.rows, 1e-6));
+    assert!(
+        bounded.faults() > unbounded.faults(),
+        "thrashing resident set must fault more ({} vs {})",
+        bounded.faults(),
+        unbounded.faults()
+    );
+}
+
+#[test]
+fn load_report_phases_accounted() {
+    let data = tpcd::generate(0.002, 99);
+    let (_, report) = tpcd::load_bats(&data);
+    assert!(report.bulk_ms >= 0.0);
+    assert!(report.base_bytes > 0);
+    assert!(report.dv_bytes > 0);
+    assert!(report.bat_count > 40);
+    assert!(report.total_ms() >= report.reorder_ms);
+}
