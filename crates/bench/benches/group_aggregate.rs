@@ -17,10 +17,8 @@ fn bench_group(c: &mut Criterion) {
     let ctx = ExecCtx::new();
     let mut r = StdRng::seed_from_u64(3);
     let head = Column::from_oids((0..N as u64).collect());
-    let unsorted_keys = Bat::new(
-        head.clone(),
-        Column::from_oids((0..N).map(|_| r.gen_range(0..GROUPS)).collect()),
-    );
+    let unsorted_keys =
+        Bat::new(head.clone(), Column::from_oids((0..N).map(|_| r.gen_range(0..GROUPS)).collect()));
     let sorted_keys = {
         let mut keys: Vec<u64> = (0..N).map(|_| r.gen_range(0..GROUPS)).collect();
         keys.sort_unstable();

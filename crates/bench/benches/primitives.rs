@@ -75,9 +75,7 @@ fn bench_primitives(c: &mut Criterion) {
             .unwrap()
         })
     });
-    g.bench_function("semijoin/hash", |b| {
-        b.iter(|| ops::semijoin(&ctx, &unsorted, &sel).unwrap())
-    });
+    g.bench_function("semijoin/hash", |b| b.iter(|| ops::semijoin(&ctx, &unsorted, &sel).unwrap()));
     g.bench_function("join/hash", |b| {
         let right = Bat::new(
             Column::from_ints((0..10_000).collect()),

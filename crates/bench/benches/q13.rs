@@ -23,9 +23,7 @@ fn bench_q13(c: &mut Criterion) {
     g.bench_function("moa translate + execute (Monet)", |b| {
         b.iter(|| q13_run(&w.cat, &ctx, &w.params).unwrap())
     });
-    g.bench_function("reference (n-ary baseline)", |b| {
-        b.iter(|| q13_ref(&w.rel, &w.params, None))
-    });
+    g.bench_function("reference (n-ary baseline)", |b| b.iter(|| q13_ref(&w.rel, &w.params, None)));
     g.finish();
 }
 

@@ -54,13 +54,7 @@ fn bench_semijoin(c: &mut Criterion) {
     });
     g.bench_function("datavector cold (lookup + fetch)", |b| {
         b.iter(|| {
-            with_dv
-                .accel()
-                .datavector
-                .as_ref()
-                .unwrap()
-                .extent()
-                .clear_lookup_memo();
+            with_dv.accel().datavector.as_ref().unwrap().extent().clear_lookup_memo();
             ops::semijoin(&ctx, &with_dv, &sel).unwrap()
         })
     });

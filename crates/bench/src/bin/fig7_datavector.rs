@@ -20,11 +20,7 @@ fn main() {
     let dv = name.accel().datavector.as_ref().expect("datavector");
     println!("\nEXTENT (sorted oids) ++ VECTOR (values in oid order), synced:");
     for i in 0..4.min(dv.len()) {
-        println!(
-            "  [ {} ]  [ {} ]",
-            dv.extent().oids().get(i),
-            dv.vector().get(i)
-        );
+        println!("  [ {} ]  [ {} ]", dv.extent().oids().get(i), dv.vector().get(i));
     }
 
     println!("\nper-attribute timings on Item ({} BUNs):", w.data.items.len());

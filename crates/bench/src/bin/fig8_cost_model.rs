@@ -18,7 +18,10 @@ use std::sync::Arc;
 
 fn analytic() {
     let p = CostParams::figure8();
-    println!("# Figure 8 (analytic) — X={} n={} w={} B={}", p.rows, p.n_attrs, p.width, p.page_size);
+    println!(
+        "# Figure 8 (analytic) — X={} n={} w={} B={}",
+        p.rows, p.n_attrs, p.width, p.page_size
+    );
     println!(
         "{:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "selectivity", "E_rel", "E_dv(p=1)", "E_dv(p=3)", "E_dv(p=6)", "E_dv(p=9)", "E_dv(p=12)"
@@ -54,10 +57,8 @@ fn empirical() {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    let rows: usize = std::env::var("FLATALG_FIG8_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600_000);
+    let rows: usize =
+        std::env::var("FLATALG_FIG8_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(600_000);
     let n_attrs = 16usize;
     let mut rng = StdRng::seed_from_u64(bench::SEED);
 
@@ -83,10 +84,7 @@ fn empirical() {
     let mut sel_bat = monet::bat::Bat::with_props(
         extent.oids().gather(&perm),
         sel_vals.gather(&perm),
-        monet::props::Props::new(
-            monet::props::ColProps::KEY,
-            monet::props::ColProps::SORTED,
-        ),
+        monet::props::Props::new(monet::props::ColProps::KEY, monet::props::ColProps::SORTED),
     );
     sel_bat.set_datavector(Arc::new(monet::accel::datavector::Datavector::new(
         Arc::clone(&extent),
@@ -122,8 +120,7 @@ fn empirical() {
             },
             Some(&pager),
         );
-        let _vals =
-            relstore::fetch(&rel, "t", &rows_sel, Some(&pager), |t, r| t.int_v(1, r));
+        let _vals = relstore::fetch(&rel, "t", &rows_sel, Some(&pager), |t, r| t.int_v(1, r));
         let faults_rel = pager.faults();
 
         // Decomposed: binary-search select + 3 datavector semijoins.

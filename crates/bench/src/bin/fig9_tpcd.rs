@@ -36,8 +36,19 @@ fn main() {
         w.data.total_rows(),
     );
     let item_total = w.data.items.len();
-    println!("\n{:>3} {:>10} {:>10} {:>9} {:>8} {:>9} {:>10} {:>10} {:>7}  {}",
-        "Qx", "ref(ms)", "monet(ms)", "total MB", "max MB", "Item sel%", "ref-faults", "mnt-faults", "rows", "comment");
+    println!(
+        "\n{:>3} {:>10} {:>10} {:>9} {:>8} {:>9} {:>10} {:>10} {:>7}  {}",
+        "Qx",
+        "ref(ms)",
+        "monet(ms)",
+        "total MB",
+        "max MB",
+        "Item sel%",
+        "ref-faults",
+        "mnt-faults",
+        "rows",
+        "comment"
+    );
 
     let mut ratios: Vec<f64> = Vec::new();
     let mut fault_ratios: Vec<f64> = Vec::new();
@@ -80,9 +91,7 @@ fn main() {
             q.comment,
         );
         ratios.push((ref_ms.max(0.01)) / (monet_ms.max(0.01)));
-        fault_ratios.push(
-            (ref_pager.faults().max(1) as f64) / (pager.faults().max(1) as f64),
-        );
+        fault_ratios.push((ref_pager.faults().max(1) as f64) / (pager.faults().max(1) as f64));
     }
     let geo = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     let geo_f = fault_ratios.iter().map(|r| r.ln()).sum::<f64>() / fault_ratios.len() as f64;

@@ -53,20 +53,10 @@ pub enum SetExpr {
     },
     /// Semijoin: elements of `left` whose `lkey` occurs among the `rkey`
     /// values of `right`.
-    SemijoinEq {
-        left: Box<SetExpr>,
-        right: Box<SetExpr>,
-        lkey: Scalar,
-        rkey: Scalar,
-    },
+    SemijoinEq { left: Box<SetExpr>, right: Box<SetExpr>, lkey: Scalar, rkey: Scalar },
     /// Unnest a set-valued field: `{<x, m> | x ∈ input ∧ m ∈ x.attr}` —
     /// each result element is the tuple `<outer : oname, member : mname>`.
-    Unnest {
-        input: Box<SetExpr>,
-        attr: SetValued,
-        oname: String,
-        mname: String,
-    },
+    Unnest { input: Box<SetExpr>, attr: SetValued, oname: String, mname: String },
 }
 
 /// The field name under which [`SetExpr::Nest`] stores the grouped set.
@@ -286,12 +276,7 @@ impl SetExpr {
     }
 
     pub fn semijoin_eq(self, right: SetExpr, lkey: Scalar, rkey: Scalar) -> SetExpr {
-        SetExpr::SemijoinEq {
-            left: Box::new(self),
-            right: Box::new(right),
-            lkey,
-            rkey,
-        }
+        SetExpr::SemijoinEq { left: Box::new(self), right: Box::new(right), lkey, rkey }
     }
 
     pub fn unnest(self, attr: SetValued, oname: &str, mname: &str) -> SetExpr {
@@ -429,10 +414,7 @@ mod tests {
             .nest(vec![ProjItem::new("date", attr("date"))])
             .project(vec![
                 ProjItem::new("date", attr("date")),
-                ProjItem::new(
-                    "loss",
-                    agg_over(AggFunc::Sum, sattr(NEST_REST), attr("revenue")),
-                ),
+                ProjItem::new("loss", agg_over(AggFunc::Sum, sattr(NEST_REST), attr("revenue"))),
             ])
     }
 
@@ -440,7 +422,8 @@ mod tests {
     fn q13_renders_like_the_paper() {
         let q = q13();
         let text = q.render();
-        assert!(text.contains("select[=(%order.clerk, \"Clerk#000000088\"), =(%returnflag, 'R')](Item)"));
+        assert!(text
+            .contains("select[=(%order.clerk, \"Clerk#000000088\"), =(%returnflag, 'R')](Item)"));
         assert!(text.contains("nest[date]"));
         assert!(text.contains("sum(project[%revenue](%rest)) : loss"));
     }
@@ -463,11 +446,8 @@ mod tests {
 
     #[test]
     fn and_all_folds() {
-        let p = and_all(vec![
-            eq(lit_i(1), lit_i(1)),
-            eq(lit_i(2), lit_i(2)),
-            eq(lit_i(3), lit_i(3)),
-        ]);
+        let p =
+            and_all(vec![eq(lit_i(1), lit_i(1)), eq(lit_i(2), lit_i(2)), eq(lit_i(3), lit_i(3))]);
         assert!(matches!(p, Pred::And(..)));
     }
 }

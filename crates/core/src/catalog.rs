@@ -66,10 +66,8 @@ impl Catalog {
     /// The BAT of a scalar or reference attribute.
     pub fn attr(&self, class: &str, attr: &str) -> Result<&Bat> {
         let def = self.schema.class(class)?;
-        def.field(attr).ok_or_else(|| MoaError::UnknownAttr {
-            class: class.into(),
-            attr: attr.into(),
-        })?;
+        def.field(attr)
+            .ok_or_else(|| MoaError::UnknownAttr { class: class.into(), attr: attr.into() })?;
         self.db
             .get(&Self::attr_name(class, attr))
             .map_err(|_| MoaError::MissingBat(Self::attr_name(class, attr)))
@@ -105,10 +103,9 @@ impl Catalog {
     fn field_structure(&self, class: &str, attr: &str, ty: &MoaType) -> Result<Structure> {
         Ok(match ty {
             MoaType::Base(_) => Structure::AtomBat(self.attr(class, attr)?.clone()),
-            MoaType::Object(target) => Structure::RefBat {
-                bat: self.attr(class, attr)?.clone(),
-                class: target.clone(),
-            },
+            MoaType::Object(target) => {
+                Structure::RefBat { bat: self.attr(class, attr)?.clone(), class: target.clone() }
+            }
             MoaType::Set(inner) => {
                 let index = self.set_index(class, attr)?.clone();
                 match &**inner {
@@ -134,10 +131,7 @@ impl Catalog {
                                 },
                             ));
                         }
-                        Structure::Set {
-                            index,
-                            inner: Box::new(Structure::Tuple(members)),
-                        }
+                        Structure::Set { index, inner: Box::new(Structure::Tuple(members)) }
                     }
                     MoaType::Object(c) => Structure::Set {
                         index: index.clone(),
@@ -201,18 +195,12 @@ mod tests {
             ],
         ));
         let mut db = Db::new();
-        db.register(
-            "Nation",
-            Bat::new(Column::from_oids(vec![50]), Column::void(0, 1)),
-        );
+        db.register("Nation", Bat::new(Column::from_oids(vec![50]), Column::void(0, 1)));
         db.register(
             "Nation_name",
             Bat::new(Column::from_oids(vec![50]), Column::from_strs(["FRANCE"])),
         );
-        db.register(
-            "Supplier",
-            Bat::new(Column::from_oids(vec![1, 2]), Column::void(0, 2)),
-        );
+        db.register("Supplier", Bat::new(Column::from_oids(vec![1, 2]), Column::void(0, 2)));
         db.register(
             "Supplier_name",
             Bat::new(Column::from_oids(vec![1, 2]), Column::from_strs(["S1", "S2"])),

@@ -40,9 +40,7 @@ impl EV {
             EV::Atom(a) => Value::Atom(a.clone()),
             EV::Obj { oid, .. } => Value::Ref(*oid),
             EV::Tup(fields) => Value::Tuple(fields.iter().map(|(_, v)| v.to_value()).collect()),
-            EV::Set(members) => {
-                Value::Set(members.iter().map(|(_, v)| v.to_value()).collect())
-            }
+            EV::Set(members) => Value::Set(members.iter().map(|(_, v)| v.to_value()).collect()),
         }
     }
 
@@ -53,9 +51,7 @@ impl EV {
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| MoaError::Type(format!("tuple has no field {name}"))),
-            other => Err(MoaError::Type(format!(
-                "field access .{name} on non-tuple {other:?}"
-            ))),
+            other => Err(MoaError::Type(format!("field access .{name} on non-tuple {other:?}"))),
         }
     }
 }
@@ -112,10 +108,7 @@ impl<'a> Evaluator<'a> {
             }
             SetExpr::Project { input, items } => {
                 let elems = self.eval(input)?;
-                elems
-                    .into_iter()
-                    .map(|(id, ev)| Ok((id, self.project_one(&ev, items)?)))
-                    .collect()
+                elems.into_iter().map(|(id, ev)| Ok((id, self.project_one(&ev, items)?))).collect()
             }
             SetExpr::Nest { input, keys } => {
                 let elems = self.eval(input)?;
@@ -128,9 +121,7 @@ impl<'a> Evaluator<'a> {
                         match &k.expr {
                             Expr::Scalar(s) => kv.push(self.eval_scalar(&ev, s)?),
                             Expr::SetV(_) => {
-                                return Err(MoaError::Type(
-                                    "nest keys must be scalar".into(),
-                                ))
+                                return Err(MoaError::Type("nest keys must be scalar".into()))
                             }
                         }
                     }
@@ -157,8 +148,7 @@ impl<'a> Evaluator<'a> {
             SetExpr::Union(a, b) => {
                 let mut left = self.eval(a)?;
                 let right = self.eval(b)?;
-                let seen: std::collections::HashSet<Oid> =
-                    left.iter().map(|(id, _)| *id).collect();
+                let seen: std::collections::HashSet<Oid> = left.iter().map(|(id, _)| *id).collect();
                 for (id, ev) in right {
                     if !seen.contains(&id) {
                         left.push((id, ev));
@@ -243,10 +233,7 @@ impl<'a> Evaluator<'a> {
                     for (_, mem) in members {
                         out.push((
                             self.fresh_id(),
-                            EV::Tup(vec![
-                                (oname.clone(), ev.clone()),
-                                (mname.clone(), mem),
-                            ]),
+                            EV::Tup(vec![(oname.clone(), ev.clone()), (mname.clone(), mem)]),
                         ));
                     }
                 }
@@ -331,10 +318,9 @@ impl<'a> Evaluator<'a> {
         match sv {
             SetValued::Attr(path) => match self.walk_path(ev, path)? {
                 EV::Set(members) => Ok(members),
-                other => Err(MoaError::Type(format!(
-                    "%{} is not set-valued: {other:?}",
-                    path.join(".")
-                ))),
+                other => {
+                    Err(MoaError::Type(format!("%{} is not set-valued: {other:?}", path.join("."))))
+                }
             },
             SetValued::SelectIn(inner, pred) => {
                 let members = self.eval_setvalued(ev, inner)?;
@@ -363,9 +349,9 @@ impl<'a> Evaluator<'a> {
                 let rv = self.eval_scalar(ev, r)?;
                 match apply_scalar(*op, &[lv, rv])? {
                     AtomValue::Bool(b) => Ok(b),
-                    other => Err(MoaError::Type(format!(
-                        "predicate did not evaluate to bool: {other}"
-                    ))),
+                    other => {
+                        Err(MoaError::Type(format!("predicate did not evaluate to bool: {other}")))
+                    }
                 }
             }
             Pred::And(a, b) => Ok(self.eval_pred(ev, a)? && self.eval_pred(ev, b)?),
@@ -381,9 +367,7 @@ impl<'a> Evaluator<'a> {
                 EV::Obj { class, oid } => self.object_attr(&class, oid, seg)?,
                 EV::Tup(_) => cur.field(seg)?.clone(),
                 other => {
-                    return Err(MoaError::Type(format!(
-                        "cannot navigate .{seg} into {other:?}"
-                    )))
+                    return Err(MoaError::Type(format!("cannot navigate .{seg} into {other:?}")))
                 }
             };
         }
@@ -408,9 +392,9 @@ impl<'a> Evaluator<'a> {
                 let v = map.get(&oid).ok_or_else(|| {
                     MoaError::Structure(format!("object {oid} missing ref {class}.{attr}"))
                 })?;
-                let t = v.as_oid().ok_or_else(|| {
-                    MoaError::Type(format!("{class}.{attr} is not an oid"))
-                })?;
+                let t = v
+                    .as_oid()
+                    .ok_or_else(|| MoaError::Type(format!("{class}.{attr} is not an oid")))?;
                 Ok(EV::Obj { class: target, oid: t })
             }
             MoaType::Set(inner) => {
@@ -422,9 +406,9 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 Ok(EV::Set(out?))
             }
-            MoaType::Tuple(_) => Err(MoaError::Type(format!(
-                "direct tuple attribute {class}.{attr} unsupported"
-            ))),
+            MoaType::Tuple(_) => {
+                Err(MoaError::Type(format!("direct tuple attribute {class}.{attr} unsupported")))
+            }
         }
     }
 
@@ -441,9 +425,9 @@ impl<'a> Evaluator<'a> {
                     let ev = match &f.ty {
                         MoaType::Object(c) => EV::Obj {
                             class: c.clone(),
-                            oid: v.as_oid().ok_or_else(|| {
-                                MoaError::Type(format!("{key} is not an oid"))
-                            })?,
+                            oid: v
+                                .as_oid()
+                                .ok_or_else(|| MoaError::Type(format!("{key} is not an oid")))?,
                         },
                         _ => EV::Atom(v.clone()),
                     };
@@ -454,20 +438,17 @@ impl<'a> Evaluator<'a> {
             MoaType::Object(c) => {
                 let key = format!("{class}.{attr}.ref");
                 let map = self.member_map(&key, class, attr, "ref")?;
-                let v = map.get(&mid).ok_or_else(|| {
-                    MoaError::Structure(format!("member {mid} missing {key}"))
-                })?;
-                Ok(EV::Obj {
-                    class: c.clone(),
-                    oid: v.as_oid().unwrap_or_default(),
-                })
+                let v = map
+                    .get(&mid)
+                    .ok_or_else(|| MoaError::Structure(format!("member {mid} missing {key}")))?;
+                Ok(EV::Obj { class: c.clone(), oid: v.as_oid().unwrap_or_default() })
             }
             MoaType::Base(_) => {
                 let key = format!("{class}.{attr}.val");
                 let map = self.member_map(&key, class, attr, "val")?;
-                let v = map.get(&mid).ok_or_else(|| {
-                    MoaError::Structure(format!("member {mid} missing {key}"))
-                })?;
+                let v = map
+                    .get(&mid)
+                    .ok_or_else(|| MoaError::Structure(format!("member {mid} missing {key}")))?;
                 Ok(EV::Atom(v.clone()))
             }
             other => Err(MoaError::Type(format!("unsupported member type {other}"))),
@@ -536,9 +517,7 @@ pub fn aggregate_atoms(f: AggFunc, atoms: &[AtomValue]) -> Result<AtomValue> {
                     s += match a {
                         AtomValue::Int(v) => *v as i64,
                         AtomValue::Lng(v) => *v,
-                        other => {
-                            return Err(MoaError::Type(format!("sum over {other}")))
-                        }
+                        other => return Err(MoaError::Type(format!("sum over {other}"))),
                     };
                 }
                 Ok(AtomValue::Lng(s))
@@ -578,8 +557,7 @@ pub fn aggregate_atoms(f: AggFunc, atoms: &[AtomValue]) -> Result<AtomValue> {
                     }
                 });
             }
-            best.cloned()
-                .ok_or_else(|| MoaError::Type("min/max of empty set".into()))
+            best.cloned().ok_or_else(|| MoaError::Type("min/max of empty set".into()))
         }
     }
 }
@@ -590,10 +568,10 @@ mod tests {
     use crate::algebra::*;
     use crate::types::{ClassDef, Field, Schema};
     use monet::atom::AtomType;
-    use monet::ops::ScalarFunc;
     use monet::bat::Bat;
     use monet::column::Column;
     use monet::db::Db;
+    use monet::ops::ScalarFunc;
 
     fn catalog() -> Catalog {
         let mut schema = Schema::new();
@@ -622,16 +600,10 @@ mod tests {
             "Order_total",
             Bat::new(Column::from_oids(vec![1, 2]), Column::from_dbls(vec![10.0, 20.0])),
         );
-        db.register(
-            "Item",
-            Bat::new(Column::from_oids(vec![10, 11, 12, 13]), Column::void(0, 4)),
-        );
+        db.register("Item", Bat::new(Column::from_oids(vec![10, 11, 12, 13]), Column::void(0, 4)));
         db.register(
             "Item_order",
-            Bat::new(
-                Column::from_oids(vec![10, 11, 12, 13]),
-                Column::from_oids(vec![1, 1, 2, 2]),
-            ),
+            Bat::new(Column::from_oids(vec![10, 11, 12, 13]), Column::from_oids(vec![1, 1, 2, 2])),
         );
         db.register(
             "Item_price",
@@ -679,10 +651,7 @@ mod tests {
         ]);
         let vals = ev.eval_values(&q).unwrap();
         assert_eq!(vals.len(), 4);
-        assert_eq!(
-            vals[0],
-            Value::Tuple(vec![Value::Atom(AtomValue::Dbl(10.0)), Value::Ref(1)])
-        );
+        assert_eq!(vals[0], Value::Tuple(vec![Value::Atom(AtomValue::Dbl(10.0)), Value::Ref(1)]));
     }
 
     #[test]

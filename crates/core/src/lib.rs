@@ -58,9 +58,8 @@ pub mod value;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::algebra::{
-        agg, agg_over, and, and_all, attr, bin, cmp, eq, lit, lit_c, lit_d, lit_date, lit_i,
-        lit_s, not, or, sattr, this, un, Expr, Pred, ProjItem, Scalar, SetExpr, SetValued,
-        NEST_REST,
+        agg, agg_over, and, and_all, attr, bin, cmp, eq, lit, lit_c, lit_d, lit_date, lit_i, lit_s,
+        not, or, sattr, this, un, Expr, Pred, ProjItem, Scalar, SetExpr, SetValued, NEST_REST,
     };
     pub use crate::catalog::Catalog;
     pub use crate::error::{MoaError, Result};

@@ -237,9 +237,9 @@ impl StructuredSet {
         let mut out = Vec::with_capacity(self.index.len());
         for i in 0..self.index.len() {
             let id = self.index.head().oid_at(i);
-            let v = map.get(&id).ok_or_else(|| {
-                MoaError::Structure(format!("missing id {id} in inner IVS"))
-            })?;
+            let v = map
+                .get(&id)
+                .ok_or_else(|| MoaError::Structure(format!("missing id {id} in inner IVS")))?;
             out.push((id, v.clone()));
         }
         Ok(out)
@@ -291,15 +291,10 @@ mod tests {
         let map = t.materialize_map().unwrap();
         assert_eq!(
             map[&1],
-            Value::Tuple(vec![
-                Value::Atom(AtomValue::Int(10)),
-                Value::Atom(AtomValue::str("x"))
-            ])
+            Value::Tuple(vec![Value::Atom(AtomValue::Int(10)), Value::Atom(AtomValue::str("x"))])
         );
-        let b_bad = Structure::AtomBat(Bat::new(
-            Column::from_oids(vec![3]),
-            Column::from_strs(["z"]),
-        ));
+        let b_bad =
+            Structure::AtomBat(Bat::new(Column::from_oids(vec![3]), Column::from_strs(["z"])));
         let t_bad = Structure::Tuple(vec![("n".into(), a), ("s".into(), b_bad)]);
         assert!(t_bad.materialize_map().is_err());
     }
@@ -320,16 +315,11 @@ mod tests {
             Column::from_dbls(vec![1.0, 2.0, 3.0]),
         ));
         // supplies index: supplier 1 has supplies {100, 101}, supplier 2 {102}
-        let index = Bat::new(
-            Column::from_oids(vec![100, 101, 102]),
-            Column::from_oids(vec![1, 1, 2]),
-        );
+        let index =
+            Bat::new(Column::from_oids(vec![100, 101, 102]), Column::from_oids(vec![1, 1, 2]));
         let supplies = Structure::Set {
             index,
-            inner: Box::new(Structure::Tuple(vec![
-                ("part".into(), part),
-                ("cost".into(), cost),
-            ])),
+            inner: Box::new(Structure::Tuple(vec![("part".into(), part), ("cost".into(), cost)])),
         };
         let obj = Structure::Object {
             class: "Supplier".into(),
@@ -365,10 +355,8 @@ mod tests {
             Column::from_oids(vec![1, 2]),
             Column::from_strs(["S1", "S2"]),
         ));
-        let avail = Structure::AtomBat(Bat::new(
-            Column::from_oids(vec![100]),
-            Column::from_ints(vec![0]),
-        ));
+        let avail =
+            Structure::AtomBat(Bat::new(Column::from_oids(vec![100]), Column::from_ints(vec![0])));
         let index = Bat::new(Column::from_oids(vec![100]), Column::from_oids(vec![1]));
         let supplies = Structure::Set { index, inner: Box::new(avail) };
         let obj = Structure::Object {
@@ -385,10 +373,7 @@ mod tests {
     #[test]
     fn set_simple() {
         let s = Structure::SetSimple {
-            bat: Bat::new(
-                Column::from_oids(vec![1, 1, 2]),
-                Column::from_ints(vec![10, 11, 20]),
-            ),
+            bat: Bat::new(Column::from_oids(vec![1, 1, 2]), Column::from_ints(vec![10, 11, 20])),
         };
         let map = s.materialize_map().unwrap();
         match &map[&1] {

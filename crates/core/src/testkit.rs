@@ -37,10 +37,7 @@ pub fn mini_catalog() -> Catalog {
             Field::new("returnflag", MoaType::Base(AtomType::Chr)),
         ],
     ));
-    schema.add_class(ClassDef::new(
-        "Part",
-        vec![Field::new("name", MoaType::Base(AtomType::Str))],
-    ));
+    schema.add_class(ClassDef::new("Part", vec![Field::new("name", MoaType::Base(AtomType::Str))]));
     schema.add_class(ClassDef::new(
         "Supplier",
         vec![
@@ -78,12 +75,7 @@ pub fn mini_catalog() -> Catalog {
         "Item",
         Bat::with_inferred_props(Column::from_oids(vec![10, 11, 12, 13]), Column::void(0, 4)),
     );
-    reg(
-        &mut db,
-        "Item_order",
-        vec![10, 11, 12, 13],
-        Column::from_oids(vec![1, 1, 2, 2]),
-    );
+    reg(&mut db, "Item_order", vec![10, 11, 12, 13], Column::from_oids(vec![1, 1, 2, 2]));
     reg(
         &mut db,
         "Item_extendedprice",
@@ -115,30 +107,10 @@ pub fn mini_catalog() -> Catalog {
     );
     reg(&mut db, "Supplier_name", vec![20, 21], Column::from_strs(["S20", "S21"]));
     // supplies index: [supply_id, supplier_oid]
-    reg(
-        &mut db,
-        "Supplier_supplies",
-        vec![100, 101],
-        Column::from_oids(vec![20, 20]),
-    );
-    reg(
-        &mut db,
-        "Supplier_supplies_part",
-        vec![100, 101],
-        Column::from_oids(vec![30, 31]),
-    );
-    reg(
-        &mut db,
-        "Supplier_supplies_cost",
-        vec![100, 101],
-        Column::from_dbls(vec![1.5, 2.5]),
-    );
-    reg(
-        &mut db,
-        "Supplier_supplies_available",
-        vec![100, 101],
-        Column::from_ints(vec![0, 9]),
-    );
+    reg(&mut db, "Supplier_supplies", vec![100, 101], Column::from_oids(vec![20, 20]));
+    reg(&mut db, "Supplier_supplies_part", vec![100, 101], Column::from_oids(vec![30, 31]));
+    reg(&mut db, "Supplier_supplies_cost", vec![100, 101], Column::from_dbls(vec![1.5, 2.5]));
+    reg(&mut db, "Supplier_supplies_available", vec![100, 101], Column::from_ints(vec![0, 9]));
 
     Catalog::new(schema, db)
 }

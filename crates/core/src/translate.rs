@@ -100,10 +100,9 @@ impl StructSpec {
     fn instantiate(&self, env: &Env) -> Result<Structure> {
         Ok(match self {
             StructSpec::Atom(v) => Structure::AtomBat(env.bat(*v)?.clone()),
-            StructSpec::Ref { bat, class } => Structure::RefBat {
-                bat: env.bat(*bat)?.clone(),
-                class: class.clone(),
-            },
+            StructSpec::Ref { bat, class } => {
+                Structure::RefBat { bat: env.bat(*bat)?.clone(), class: class.clone() }
+            }
             StructSpec::Tuple(fields) => Structure::Tuple(
                 fields
                     .iter()
@@ -139,10 +138,7 @@ impl Translated {
 
     /// Assemble the structured result from an existing environment.
     pub fn build(&self, env: &Env) -> Result<StructuredSet> {
-        Ok(StructuredSet::new(
-            env.bat(self.index)?.clone(),
-            self.spec.instantiate(env)?,
-        ))
+        Ok(StructuredSet::new(env.bat(self.index)?.clone(), self.spec.instantiate(env)?))
     }
 }
 
@@ -177,11 +173,8 @@ impl<'a> Translator<'a> {
             return Ok(*v);
         }
         // Validate at translation time so errors carry the BAT name.
-        let _: &Bat = self
-            .cat
-            .db()
-            .get(name)
-            .map_err(|_| MoaError::MissingBat(name.to_string()))?;
+        let _: &Bat =
+            self.cat.db().get(name).map_err(|_| MoaError::MissingBat(name.to_string()))?;
         let v = self.prog.emit(name, MilOp::Load(name.to_string()));
         self.loaded.insert(name.to_string(), v);
         Ok(v)
@@ -212,25 +205,21 @@ impl<'a> Translator<'a> {
                 let mut fields = Vec::with_capacity(items.len());
                 for item in items {
                     let fi = match &item.expr {
-                        Expr::Scalar(s) => {
-                            match self.scalar(&ts, s, Some(ts.index))? {
-                                SVal::Bat { var, ref_class: Some(c) } => FieldInfo::RefTo {
-                                    bat: var,
-                                    class: c,
-                                    scope: Some(ts.index),
-                                },
-                                SVal::Bat { var, ref_class: None } => {
-                                    FieldInfo::Scalar { bat: var, scope: Some(ts.index) }
-                                }
-                                SVal::Const(_) => {
-                                    return Err(MoaError::Type(
-                                        "projection of a bare constant is not supported; \
-                                         fold it into an expression over an attribute"
-                                            .into(),
-                                    ))
-                                }
+                        Expr::Scalar(s) => match self.scalar(&ts, s, Some(ts.index))? {
+                            SVal::Bat { var, ref_class: Some(c) } => {
+                                FieldInfo::RefTo { bat: var, class: c, scope: Some(ts.index) }
                             }
-                        }
+                            SVal::Bat { var, ref_class: None } => {
+                                FieldInfo::Scalar { bat: var, scope: Some(ts.index) }
+                            }
+                            SVal::Const(_) => {
+                                return Err(MoaError::Type(
+                                    "projection of a bare constant is not supported; \
+                                         fold it into an expression over an attribute"
+                                        .into(),
+                                ))
+                            }
+                        },
                         Expr::SetV(sv) => {
                             let (idx, celem) = self.setvalued(&ts, sv)?;
                             FieldInfo::Nested { index: idx, elem: Box::new(celem) }
@@ -267,10 +256,7 @@ impl<'a> Translator<'a> {
                 }
                 // One element per group: INDEX (Fig 10 l.8).
                 let cm = self.emit("", MilOp::Mirror(class));
-                let index = self.emit(
-                    "INDEX",
-                    MilOp::SetAgg { f: AggFunc::Count, src: cm },
-                );
+                let index = self.emit("INDEX", MilOp::SetAgg { f: AggFunc::Count, src: cm });
                 // Key fields: KEY := join(class.mirror, k).unique (l.9).
                 let mut fields: Vec<(String, FieldInfo)> = Vec::new();
                 for (k, (kv, ref_class)) in keys.iter().zip(&kvars) {
@@ -279,11 +265,9 @@ impl<'a> Translator<'a> {
                     fields.push((
                         k.name.clone(),
                         match ref_class {
-                            Some(c) => FieldInfo::RefTo {
-                                bat: u,
-                                class: c.clone(),
-                                scope: Some(index),
-                            },
+                            Some(c) => {
+                                FieldInfo::RefTo { bat: u, class: c.clone(), scope: Some(index) }
+                            }
                             None => FieldInfo::Scalar { bat: u, scope: Some(index) },
                         },
                     ));
@@ -346,10 +330,7 @@ impl<'a> Translator<'a> {
                 let rfield = self.rekey_elem(&tr.elem, rmap)?;
                 Ok(TransSet {
                     index: lmap,
-                    elem: ElemInfo::Tup(vec![
-                        (lname.clone(), lfield),
-                        (rname.clone(), rfield),
-                    ]),
+                    elem: ElemInfo::Tup(vec![(lname.clone(), lfield), (rname.clone(), rfield)]),
                 })
             }
             SetExpr::SemijoinEq { left, right, lkey, rkey } => {
@@ -373,10 +354,7 @@ impl<'a> Translator<'a> {
                 let mfield = self.elem_as_field(&celem, idx)?;
                 Ok(TransSet {
                     index: idx,
-                    elem: ElemInfo::Tup(vec![
-                        (oname.clone(), ofield),
-                        (mname.clone(), mfield),
-                    ]),
+                    elem: ElemInfo::Tup(vec![(oname.clone(), ofield), (mname.clone(), mfield)]),
                 })
             }
         }
@@ -561,9 +539,7 @@ impl<'a> Translator<'a> {
                         return Err(MoaError::Type(format!("tuple has no field {seg}")));
                     };
                     match fi {
-                        FieldInfo::Scalar { bat, .. } if last => {
-                            return Ok(Some((hops, *bat)))
-                        }
+                        FieldInfo::Scalar { bat, .. } if last => return Ok(Some((hops, *bat))),
                         FieldInfo::RefTo { bat, class, .. } => {
                             if last {
                                 return Ok(Some((hops, *bat)));
@@ -619,18 +595,18 @@ impl<'a> Translator<'a> {
                     }
                     Ok(SVal::Bat { var: v, ref_class: ref_class.clone() })
                 }
-                ElemInfo::Tup(_) => Err(MoaError::Type(
-                    "%self of a tuple element is not scalar".into(),
-                )),
+                ElemInfo::Tup(_) => {
+                    Err(MoaError::Type("%self of a tuple element is not scalar".into()))
+                }
             },
             Scalar::Attr(path) => self.attr_value(ts, &ts.elem.clone(), path, restrict),
             Scalar::Bin(op, l, r) => {
                 let lv = self.scalar(ts, l, restrict)?;
                 let rv = self.scalar(ts, r, restrict)?;
                 match (&lv, &rv) {
-                    (SVal::Const(a), SVal::Const(b)) => Ok(SVal::Const(
-                        monet::ops::apply_scalar(*op, &[a.clone(), b.clone()])?,
-                    )),
+                    (SVal::Const(a), SVal::Const(b)) => {
+                        Ok(SVal::Const(monet::ops::apply_scalar(*op, &[a.clone(), b.clone()])?))
+                    }
                     _ => {
                         let args = vec![sval_arg(lv), sval_arg(rv)];
                         let v = self.emit("", MilOp::Multiplex { f: *op, args });
@@ -641,10 +617,7 @@ impl<'a> Translator<'a> {
             Scalar::Un(op, x) => {
                 let xv = self.scalar(ts, x, restrict)?;
                 match &xv {
-                    SVal::Const(a) => Ok(SVal::Const(monet::ops::apply_scalar(
-                        *op,
-                        &[a.clone()],
-                    )?)),
+                    SVal::Const(a) => Ok(SVal::Const(monet::ops::apply_scalar(*op, &[a.clone()])?)),
                     _ => {
                         let args = vec![sval_arg(xv)];
                         let v = self.emit("", MilOp::Multiplex { f: *op, args });
@@ -713,16 +686,14 @@ impl<'a> Translator<'a> {
                         }
                         Ok(SVal::Bat { var: cur, ref_class: None })
                     }
-                    MoaType::Object(c2) => {
-                        self.chain_object(cur, &c2, &path[1..])
-                    }
+                    MoaType::Object(c2) => self.chain_object(cur, &c2, &path[1..]),
                     MoaType::Set(_) => Err(MoaError::Type(format!(
                         "%{} is set-valued; use a set expression",
                         path.join(".")
                     ))),
-                    MoaType::Tuple(_) => Err(MoaError::Type(
-                        "direct tuple attributes are unsupported".into(),
-                    )),
+                    MoaType::Tuple(_) => {
+                        Err(MoaError::Type("direct tuple attributes are unsupported".into()))
+                    }
                 }
             }
             ElemInfo::Tup(fields) => {
@@ -766,10 +737,7 @@ impl<'a> Translator<'a> {
                 };
                 Ok(match (v, restrict) {
                     (SVal::Bat { var, ref_class }, Some(r)) if field_scope != Some(r) => {
-                        SVal::Bat {
-                            var: self.emit("", MilOp::Semijoin(var, r)),
-                            ref_class,
-                        }
+                        SVal::Bat { var: self.emit("", MilOp::Semijoin(var, r)), ref_class }
                     }
                     (v, _) => v,
                 })
@@ -804,17 +772,12 @@ impl<'a> Translator<'a> {
         match field.ty {
             MoaType::Base(_) => {
                 if rest.len() > 1 {
-                    return Err(MoaError::NotNavigable {
-                        class: class.into(),
-                        attr: seg.clone(),
-                    });
+                    return Err(MoaError::NotNavigable { class: class.into(), attr: seg.clone() });
                 }
                 Ok(SVal::Bat { var: joined, ref_class: None })
             }
             MoaType::Object(c2) => self.chain_object(joined, &c2, &rest[1..]),
-            _ => Err(MoaError::Type(format!(
-                "cannot navigate through {class}.{seg}"
-            ))),
+            _ => Err(MoaError::Type(format!("cannot navigate through {class}.{seg}"))),
         }
     }
 
@@ -843,9 +806,7 @@ impl<'a> Translator<'a> {
                             })?
                             .clone();
                         let MoaType::Set(member_ty) = field.ty else {
-                            return Err(MoaError::Type(format!(
-                                "%{seg} is not set-valued"
-                            )));
+                            return Err(MoaError::Type(format!("%{seg} is not set-valued")));
                         };
                         let full = self.load(&Catalog::attr_name(&class, seg))?;
                         // Restrict owners to the current elements.
@@ -938,15 +899,11 @@ impl<'a> Translator<'a> {
     /// emitting the joins that move every value BAT to the new ids.
     fn rekey_elem(&mut self, elem: &ElemInfo, map: Var) -> Result<FieldInfo> {
         Ok(match elem {
-            ElemInfo::Obj(c) => {
-                FieldInfo::RefTo { bat: map, class: c.clone(), scope: Some(map) }
-            }
+            ElemInfo::Obj(c) => FieldInfo::RefTo { bat: map, class: c.clone(), scope: Some(map) },
             ElemInfo::Atom { bat, ref_class } => {
                 let j = self.emit("", MilOp::Join(map, *bat));
                 match ref_class {
-                    Some(c) => {
-                        FieldInfo::RefTo { bat: j, class: c.clone(), scope: Some(map) }
-                    }
+                    Some(c) => FieldInfo::RefTo { bat: j, class: c.clone(), scope: Some(map) },
                     None => FieldInfo::Scalar { bat: j, scope: Some(map) },
                 }
             }
@@ -962,10 +919,9 @@ impl<'a> Translator<'a> {
 
     fn rekey_field(&mut self, fi: &FieldInfo, map: Var) -> Result<FieldInfo> {
         Ok(match fi {
-            FieldInfo::Scalar { bat, .. } => FieldInfo::Scalar {
-                bat: self.emit("", MilOp::Join(map, *bat)),
-                scope: Some(map),
-            },
+            FieldInfo::Scalar { bat, .. } => {
+                FieldInfo::Scalar { bat: self.emit("", MilOp::Join(map, *bat)), scope: Some(map) }
+            }
             FieldInfo::RefTo { bat, class, .. } => FieldInfo::RefTo {
                 bat: self.emit("", MilOp::Join(map, *bat)),
                 class: class.clone(),
@@ -1016,10 +972,7 @@ impl<'a> Translator<'a> {
     /// description (emits self-maps for object elements).
     fn elem_spec(&mut self, elem: &ElemInfo, index: Var) -> Result<StructSpec> {
         Ok(match elem {
-            ElemInfo::Obj(c) => StructSpec::Ref {
-                bat: self.self_map(index)?,
-                class: c.clone(),
-            },
+            ElemInfo::Obj(c) => StructSpec::Ref { bat: self.self_map(index)?, class: c.clone() },
             ElemInfo::Atom { bat, ref_class } => match ref_class {
                 Some(c) => StructSpec::Ref { bat: *bat, class: c.clone() },
                 None => StructSpec::Atom(*bat),

@@ -36,9 +36,7 @@ impl MoaType {
     /// Look up a field type if this is a tuple.
     pub fn field(&self, name: &str) -> Option<&MoaType> {
         match self {
-            MoaType::Tuple(fields) => {
-                fields.iter().find(|f| f.name == name).map(|f| &f.ty)
-            }
+            MoaType::Tuple(fields) => fields.iter().find(|f| f.name == name).map(|f| &f.ty),
             _ => None,
         }
     }
@@ -121,9 +119,7 @@ impl Schema {
     }
 
     pub fn class(&self, name: &str) -> Result<&ClassDef> {
-        self.classes
-            .get(name)
-            .ok_or_else(|| MoaError::UnknownClass(name.to_string()))
+        self.classes.get(name).ok_or_else(|| MoaError::UnknownClass(name.to_string()))
     }
 
     pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
@@ -154,10 +150,7 @@ impl Schema {
             match &field.ty {
                 MoaType::Object(c) => cur_class = c.clone(),
                 _ if i + 1 < path.len() => {
-                    return Err(MoaError::NotNavigable {
-                        class: cur_class,
-                        attr: seg.clone(),
-                    });
+                    return Err(MoaError::NotNavigable { class: cur_class, attr: seg.clone() });
                 }
                 _ => {}
             }
@@ -200,9 +193,7 @@ mod tests {
     #[test]
     fn path_navigation() {
         let s = mini_schema();
-        let tys = s
-            .resolve_path("Item", &["order".into(), "clerk".into()])
-            .unwrap();
+        let tys = s.resolve_path("Item", &["order".into(), "clerk".into()]).unwrap();
         assert_eq!(tys.len(), 2);
         assert_eq!(tys[1], &MoaType::Base(AtomType::Str));
     }
@@ -210,9 +201,7 @@ mod tests {
     #[test]
     fn path_through_base_type_fails() {
         let s = mini_schema();
-        assert!(s
-            .resolve_path("Item", &["extendedprice".into(), "x".into()])
-            .is_err());
+        assert!(s.resolve_path("Item", &["extendedprice".into(), "x".into()]).is_err());
         assert!(s.resolve_path("Item", &["missing".into()]).is_err());
     }
 

@@ -48,17 +48,15 @@ impl Value {
                 })
             }
             (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
-            (Value::Tuple(a), Value::Tuple(b)) => {
-                a.len().cmp(&b.len()).then_with(|| {
-                    for (x, y) in a.iter().zip(b) {
-                        let c = x.cmp_canonical(y);
-                        if c != Ordering::Equal {
-                            return c;
-                        }
+            (Value::Tuple(a), Value::Tuple(b)) => a.len().cmp(&b.len()).then_with(|| {
+                for (x, y) in a.iter().zip(b) {
+                    let c = x.cmp_canonical(y);
+                    if c != Ordering::Equal {
+                        return c;
                     }
-                    Ordering::Equal
-                })
-            }
+                }
+                Ordering::Equal
+            }),
             (Value::Set(a), Value::Set(b)) => {
                 let mut ca = a.clone();
                 let mut cb = b.clone();
@@ -190,14 +188,8 @@ mod tests {
 
     #[test]
     fn set_equality_is_order_insensitive() {
-        let a = Value::Set(vec![
-            Value::Atom(AtomValue::Int(1)),
-            Value::Atom(AtomValue::Int(2)),
-        ]);
-        let b = Value::Set(vec![
-            Value::Atom(AtomValue::Int(2)),
-            Value::Atom(AtomValue::Int(1)),
-        ]);
+        let a = Value::Set(vec![Value::Atom(AtomValue::Int(1)), Value::Atom(AtomValue::Int(2))]);
+        let b = Value::Set(vec![Value::Atom(AtomValue::Int(2)), Value::Atom(AtomValue::Int(1))]);
         assert_ne!(a, b); // raw vectors differ...
         let (mut ca, mut cb) = (a.clone(), b.clone());
         ca.canonicalize();
@@ -242,10 +234,8 @@ mod tests {
 
     #[test]
     fn display() {
-        let v = Value::Tuple(vec![
-            Value::Atom(AtomValue::Int(1995)),
-            Value::Set(vec![Value::Ref(7)]),
-        ]);
+        let v =
+            Value::Tuple(vec![Value::Atom(AtomValue::Int(1995)), Value::Set(vec![Value::Ref(7)])]);
         assert_eq!(v.to_string(), "<1995, {&7}>");
     }
 }

@@ -26,11 +26,11 @@ fn select_point_on_attribute() {
 #[test]
 fn select_range() {
     let cat = mini_catalog();
-    let q = SetExpr::extent("Item")
-        .select(cmp(ScalarFunc::Ge, attr("extendedprice"), lit_d(200.0)));
+    let q =
+        SetExpr::extent("Item").select(cmp(ScalarFunc::Ge, attr("extendedprice"), lit_d(200.0)));
     assert_commutes(&cat, &q);
-    let q2 = SetExpr::extent("Item")
-        .select(cmp(ScalarFunc::Lt, attr("extendedprice"), lit_d(200.0)));
+    let q2 =
+        SetExpr::extent("Item").select(cmp(ScalarFunc::Lt, attr("extendedprice"), lit_d(200.0)));
     assert_commutes(&cat, &q2);
 }
 
@@ -44,10 +44,8 @@ fn select_through_navigation() {
 #[test]
 fn select_conjunction_chains_semijoins() {
     let cat = mini_catalog();
-    let q = SetExpr::extent("Item").select(and(
-        eq(attr("order.clerk"), lit_s("c1")),
-        eq(attr("returnflag"), lit_c('R')),
-    ));
+    let q = SetExpr::extent("Item")
+        .select(and(eq(attr("order.clerk"), lit_s("c1")), eq(attr("returnflag"), lit_c('R'))));
     assert_commutes(&cat, &q);
     // The rendered MIL should show the Figure-10 shape: select on the
     // clerk BAT, join back through Item_order, then a semijoin before the
@@ -109,10 +107,8 @@ fn project_scalars_refs_and_arith() {
 #[test]
 fn project_year_multiplex() {
     let cat = mini_catalog();
-    let q = SetExpr::extent("Item").project(vec![ProjItem::new(
-        "year",
-        un(ScalarFunc::Year, attr("order.orderdate")),
-    )]);
+    let q = SetExpr::extent("Item")
+        .project(vec![ProjItem::new("year", un(ScalarFunc::Year, attr("order.orderdate")))]);
     assert_commutes(&cat, &q);
 }
 
@@ -137,10 +133,7 @@ fn nest_multi_key() {
             ProjItem::new("flag", attr("returnflag")),
             ProjItem::new("price", attr("extendedprice")),
         ])
-        .nest(vec![
-            ProjItem::new("clerk", attr("clerk")),
-            ProjItem::new("flag", attr("flag")),
-        ]);
+        .nest(vec![ProjItem::new("clerk", attr("clerk")), ProjItem::new("flag", attr("flag"))]);
     assert_commutes(&cat, &q);
 }
 
@@ -169,10 +162,7 @@ fn nest_then_aggregate() {
 fn q13_shape() {
     let cat = mini_catalog();
     let q = SetExpr::extent("Item")
-        .select(and(
-            eq(attr("order.clerk"), lit_s("c1")),
-            eq(attr("returnflag"), lit_c('R')),
-        ))
+        .select(and(eq(attr("order.clerk"), lit_s("c1")), eq(attr("returnflag"), lit_c('R'))))
         .project(vec![
             ProjItem::new("date", un(ScalarFunc::Year, attr("order.orderdate"))),
             ProjItem::new(
@@ -197,10 +187,7 @@ fn q13_shape() {
     let vals = set.materialize().unwrap();
     assert_eq!(vals.len(), 1);
     assert!(vals[0].approx_eq(
-        &Value::Tuple(vec![
-            Value::Atom(AtomValue::Int(1995)),
-            Value::Atom(AtomValue::Dbl(90.0)),
-        ]),
+        &Value::Tuple(vec![Value::Atom(AtomValue::Int(1995)), Value::Atom(AtomValue::Dbl(90.0)),]),
         1e-9,
     ));
 }
@@ -232,19 +219,18 @@ fn nested_set_projection_and_aggregate() {
     let cat = mini_catalog();
     let q = SetExpr::extent("Supplier").project(vec![
         ProjItem::new("name", attr("name")),
-        ProjItem::new(
-            "total_cost",
-            agg_over(AggFunc::Sum, sattr("supplies"), attr("cost")),
-        ),
+        ProjItem::new("total_cost", agg_over(AggFunc::Sum, sattr("supplies"), attr("cost"))),
     ]);
     // Caveat (documented in translate.rs): suppliers with no supplies get
     // no aggregate BUN, so the tuple is not representable for them. Select
     // the suppliers that do supply first.
     let q = match q {
         SetExpr::Project { input, items } => SetExpr::Project {
-            input: Box::new(
-                input.select(cmp(ScalarFunc::Gt, agg(AggFunc::Count, sattr("supplies")), lit(AtomValue::Lng(0)))),
-            ),
+            input: Box::new(input.select(cmp(
+                ScalarFunc::Gt,
+                agg(AggFunc::Count, sattr("supplies")),
+                lit(AtomValue::Lng(0)),
+            ))),
             items,
         },
         _ => unreachable!(),
@@ -318,13 +304,11 @@ fn unnest_supplies() {
     let q = SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp");
     assert_commutes(&cat, &q);
     // Navigate into both sides after unnesting.
-    let q2 = SetExpr::extent("Supplier")
-        .unnest(sattr("supplies"), "sup", "sp")
-        .project(vec![
-            ProjItem::new("sname", attr("sup.name")),
-            ProjItem::new("pname", attr("sp.part.name")),
-            ProjItem::new("cost", attr("sp.cost")),
-        ]);
+    let q2 = SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp").project(vec![
+        ProjItem::new("sname", attr("sup.name")),
+        ProjItem::new("pname", attr("sp.part.name")),
+        ProjItem::new("cost", attr("sp.cost")),
+    ]);
     assert_commutes(&cat, &q2);
 }
 

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::atom::Oid;
 use crate::bat::Bat;
@@ -158,10 +158,7 @@ impl Datavector {
     pub fn from_unordered(bat: &Bat) -> Datavector {
         assert!(bat.head().is_oidlike());
         let perm = bat.head().sort_perm();
-        Datavector::new(
-            Extent::new(bat.head().gather(&perm)),
-            bat.tail().gather(&perm),
-        )
+        Datavector::new(Extent::new(bat.head().gather(&perm)), bat.tail().gather(&perm))
     }
 
     /// The shared class extent.
@@ -240,14 +237,10 @@ mod tests {
     fn extent_shared_across_attributes() {
         let ctx = ExecCtx::new();
         let extent = Extent::new(Column::from_oids(vec![10, 11, 12, 13]));
-        let price = Datavector::new(
-            Arc::clone(&extent),
-            Column::from_dbls(vec![1.0, 2.0, 3.0, 4.0]),
-        );
-        let disc = Datavector::new(
-            Arc::clone(&extent),
-            Column::from_dbls(vec![0.1, 0.2, 0.3, 0.4]),
-        );
+        let price =
+            Datavector::new(Arc::clone(&extent), Column::from_dbls(vec![1.0, 2.0, 3.0, 4.0]));
+        let disc =
+            Datavector::new(Arc::clone(&extent), Column::from_dbls(vec![0.1, 0.2, 0.3, 0.4]));
         let probe = Column::from_oids(vec![11, 13]);
         let l1 = price.lookup(&ctx, &probe);
         // The second attribute's lookup hits the shared memo.
@@ -269,10 +262,7 @@ mod tests {
 
     #[test]
     fn from_unordered_sorts() {
-        let bat = Bat::new(
-            Column::from_oids(vec![5, 3, 4]),
-            Column::from_ints(vec![50, 30, 40]),
-        );
+        let bat = Bat::new(Column::from_oids(vec![5, 3, 4]), Column::from_ints(vec![50, 30, 40]));
         let dv = Datavector::from_unordered(&bat);
         assert_eq!(dv.extent().oids().as_oid_slice().unwrap(), &[3, 4, 5]);
         assert_eq!(dv.vector().as_int_slice().unwrap(), &[30, 40, 50]);

@@ -39,10 +39,7 @@ impl HashIndex {
     /// Iterate candidate positions whose values hash into the same bucket
     /// as `hash` (most recently inserted first).
     pub fn candidates(&self, hash: u64) -> Candidates<'_> {
-        Candidates {
-            next: &self.next,
-            cur: self.buckets[(hash & self.mask) as usize],
-        }
+        Candidates { next: &self.next, cur: self.buckets[(hash & self.mask) as usize] }
     }
 
     /// Approximate memory footprint in bytes (for accounting).
@@ -79,10 +76,7 @@ mod tests {
         let col = Column::from_ints(vec![5, 7, 5, 9, 5]);
         let idx = HashIndex::build(&col);
         let h = col.hash_at(0);
-        let mut hits: Vec<usize> = idx
-            .candidates(h)
-            .filter(|&p| col.int_at(p) == 5)
-            .collect();
+        let mut hits: Vec<usize> = idx.candidates(h).filter(|&p| col.int_at(p) == 5).collect();
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 2, 4]);
     }
@@ -92,10 +86,8 @@ mod tests {
         let col = Column::from_ints(vec![1, 2, 3]);
         let idx = HashIndex::build(&col);
         let probe = Column::from_ints(vec![42]);
-        let hits: Vec<usize> = idx
-            .candidates(probe.hash_at(0))
-            .filter(|&p| col.eq_at(p, &probe, 0))
-            .collect();
+        let hits: Vec<usize> =
+            idx.candidates(probe.hash_at(0)).filter(|&p| col.eq_at(p, &probe, 0)).collect();
         assert!(hits.is_empty());
     }
 
@@ -104,10 +96,8 @@ mod tests {
         let col = Column::from_strs(["x", "y", "x", "z"]);
         let idx = HashIndex::build(&col);
         let probe = Column::from_strs(["x"]);
-        let mut hits: Vec<usize> = idx
-            .candidates(probe.hash_at(0))
-            .filter(|&p| col.eq_at(p, &probe, 0))
-            .collect();
+        let mut hits: Vec<usize> =
+            idx.candidates(probe.hash_at(0)).filter(|&p| col.eq_at(p, &probe, 0)).collect();
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 2]);
     }

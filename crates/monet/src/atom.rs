@@ -347,10 +347,7 @@ mod tests {
 
     #[test]
     fn cmp_void_vs_oid_interoperates() {
-        assert_eq!(
-            AtomValue::Void(5).cmp_same_type(&AtomValue::Oid(5)),
-            Ordering::Equal
-        );
+        assert_eq!(AtomValue::Void(5).cmp_same_type(&AtomValue::Oid(5)), Ordering::Equal);
         assert_eq!(AtomValue::Void(5), AtomValue::Oid(5));
     }
 }

@@ -342,10 +342,7 @@ mod tests {
         let b = Bat::from_pairs(
             AtomType::Oid,
             AtomType::Int,
-            &[
-                (AtomValue::Oid(1), AtomValue::Int(5)),
-                (AtomValue::Oid(2), AtomValue::Int(3)),
-            ],
+            &[(AtomValue::Oid(1), AtomValue::Int(5)), (AtomValue::Oid(2), AtomValue::Int(3))],
         );
         assert_eq!(b.len(), 2);
         assert!(b.props().head.key);

@@ -32,7 +32,9 @@ fn fresh_column_id() -> ColumnId {
 pub enum ColumnVals {
     /// Virtual dense sequence starting at `seq`: value at position `i` is
     /// `seq + i`. Occupies zero bytes (the paper's `void` type).
-    Void { seq: Oid },
+    Void {
+        seq: Oid,
+    },
     Oid(Arc<Vec<Oid>>),
     Bool(Arc<Vec<bool>>),
     Chr(Arc<Vec<u8>>),
@@ -106,10 +108,7 @@ impl Column {
 
     pub fn from_dates(v: Vec<Date>) -> Column {
         let len = v.len();
-        Column::new(
-            ColumnVals::Date(Arc::new(v.into_iter().map(|d| d.0).collect())),
-            len,
-        )
+        Column::new(ColumnVals::Date(Arc::new(v.into_iter().map(|d| d.0).collect())), len)
     }
 
     pub fn from_date_days(v: Vec<i32>) -> Column {
@@ -136,10 +135,7 @@ impl Column {
     pub fn from_atoms(ty: AtomType, items: impl IntoIterator<Item = AtomValue>) -> Column {
         match ty {
             AtomType::Void | AtomType::Oid => Column::from_oids(
-                items
-                    .into_iter()
-                    .map(|v| v.as_oid().expect("oid-typed atom"))
-                    .collect(),
+                items.into_iter().map(|v| v.as_oid().expect("oid-typed atom")).collect(),
             ),
             AtomType::Bool => Column::from_bools(
                 items
@@ -258,12 +254,7 @@ impl Column {
     /// columns remain comparable — the window tells them apart.
     pub fn slice(&self, start: usize, len: usize) -> Column {
         assert!(start + len <= self.len, "slice out of bounds");
-        Column {
-            vals: self.vals.clone(),
-            id: self.id,
-            off: self.off + start,
-            len,
-        }
+        Column { vals: self.vals.clone(), id: self.id, off: self.off + start, len }
     }
 
     /// Generic accessor. Allocates for strings; bulk code should prefer the
@@ -415,14 +406,10 @@ impl Column {
             (Bool(a), Bool(b)) => a[self.off + i].cmp(&b[other.off + j]),
             (Date(a), Date(b)) => a[self.off + i].cmp(&b[other.off + j]),
             (Str(a), Str(b)) => a.get(self.off + i).cmp(b.get(other.off + j)),
-            _ if self.is_oidlike() && other.is_oidlike() => {
-                self.oid_at(i).cmp(&other.oid_at(j))
+            _ if self.is_oidlike() && other.is_oidlike() => self.oid_at(i).cmp(&other.oid_at(j)),
+            _ => {
+                panic!("cmp_at on mixed column types {} vs {}", self.atom_type(), other.atom_type())
             }
-            _ => panic!(
-                "cmp_at on mixed column types {} vs {}",
-                self.atom_type(),
-                other.atom_type()
-            ),
         }
     }
 
@@ -440,11 +427,7 @@ impl Column {
             _ if self.is_oidlike() && v.as_oid().is_some() => {
                 self.oid_at(i).cmp(&v.as_oid().unwrap())
             }
-            _ => panic!(
-                "cmp_val on mixed types {} vs {}",
-                self.atom_type(),
-                v.atom_type()
-            ),
+            _ => panic!("cmp_val on mixed types {} vs {}", self.atom_type(), v.atom_type()),
         }
     }
 
@@ -485,9 +468,9 @@ impl Column {
             Int(v) => Column::from_ints(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
             Lng(v) => Column::from_lngs(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
             Dbl(v) => Column::from_dbls(idx.iter().map(|&i| v[self.off + i as usize]).collect()),
-            Date(v) => Column::from_date_days(
-                idx.iter().map(|&i| v[self.off + i as usize]).collect(),
-            ),
+            Date(v) => {
+                Column::from_date_days(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+            }
             Str(v) => {
                 let adjusted: Vec<u32> =
                     idx.iter().map(|&i| (self.off + i as usize) as u32).collect();
@@ -510,12 +493,12 @@ impl Column {
             Int(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
             Lng(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
             Date(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Dbl(v) => idx.sort_by(|&a, &b| {
-                v[self.off + a as usize].total_cmp(&v[self.off + b as usize])
-            }),
-            Str(v) => idx.sort_by(|&a, &b| {
-                v.get(self.off + a as usize).cmp(v.get(self.off + b as usize))
-            }),
+            Dbl(v) => {
+                idx.sort_by(|&a, &b| v[self.off + a as usize].total_cmp(&v[self.off + b as usize]))
+            }
+            Str(v) => {
+                idx.sort_by(|&a, &b| v.get(self.off + a as usize).cmp(v.get(self.off + b as usize)))
+            }
         }
         idx
     }

@@ -77,8 +77,7 @@ pub fn e_rel(p: &CostParams, s: f64) -> f64 {
 /// Expected page faults of the Monet datavector strategy projecting to
 /// `proj` attributes.
 pub fn e_dv(p: &CostParams, s: f64, proj: u32) -> f64 {
-    ceil_div_f(s * p.rows as f64, p.c_bat())
-        + (proj + 1) as f64 * unclustered(p.rows, p.c_dv(), s)
+    ceil_div_f(s * p.rows as f64, p.c_bat()) + (proj + 1) as f64 * unclustered(p.rows, p.c_dv(), s)
 }
 
 /// Find (by bisection) the selectivity below which the relational strategy
@@ -147,10 +146,7 @@ mod tests {
         // more efficient apart from very low selectivities.
         let p = CostParams::figure8();
         for s in [0.01, 0.02, 0.03] {
-            assert!(
-                e_dv(&p, s, 3) < e_rel(&p, s),
-                "datavector should win at s={s}"
-            );
+            assert!(e_dv(&p, s, 3) < e_rel(&p, s), "datavector should win at s={s}");
         }
     }
 
@@ -165,10 +161,7 @@ mod tests {
         // Paper: crossover for n=16, p=3 at s ≈ 0.004.
         let p = CostParams::figure8();
         let s = crossover(&p, 3).expect("crossover exists");
-        assert!(
-            (0.001..0.01).contains(&s),
-            "crossover {s} should be near 0.004"
-        );
+        assert!((0.001..0.01).contains(&s), "crossover {s} should be near 0.004");
     }
 
     #[test]

@@ -27,16 +27,12 @@ impl Db {
 
     /// Look up a BAT by name.
     pub fn get(&self, name: &str) -> Result<&Bat> {
-        self.bats
-            .get(name)
-            .ok_or_else(|| MonetError::UnknownName(name.to_string()))
+        self.bats.get(name).ok_or_else(|| MonetError::UnknownName(name.to_string()))
     }
 
     /// Mutable access, for attaching accelerators after load.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Bat> {
-        self.bats
-            .get_mut(name)
-            .ok_or_else(|| MonetError::UnknownName(name.to_string()))
+        self.bats.get_mut(name).ok_or_else(|| MonetError::UnknownName(name.to_string()))
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -64,11 +60,7 @@ impl Db {
     /// Total datavector bytes (Figure 9 reports them separately: "300MB in
     /// data vectors, 1.3GB as base data").
     pub fn datavector_bytes(&self) -> usize {
-        self.bats
-            .values()
-            .filter_map(|b| b.accel().datavector.as_ref())
-            .map(|dv| dv.bytes())
-            .sum()
+        self.bats.values().filter_map(|b| b.accel().datavector.as_ref()).map(|dv| dv.bytes()).sum()
     }
 }
 

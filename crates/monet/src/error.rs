@@ -13,17 +13,9 @@ use crate::atom::AtomType;
 #[derive(Debug, Clone, PartialEq)]
 pub enum MonetError {
     /// An operation received a column of the wrong atom type.
-    TypeMismatch {
-        op: &'static str,
-        expected: AtomType,
-        found: AtomType,
-    },
+    TypeMismatch { op: &'static str, expected: AtomType, found: AtomType },
     /// Two columns that must have equal types differ.
-    IncompatibleColumns {
-        op: &'static str,
-        left: AtomType,
-        right: AtomType,
-    },
+    IncompatibleColumns { op: &'static str, left: AtomType, right: AtomType },
     /// An operation is undefined for the given atom type.
     Unsupported { op: &'static str, ty: AtomType },
     /// A BAT failed its descriptor-property validation.

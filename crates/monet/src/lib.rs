@@ -56,6 +56,7 @@ pub mod pager;
 pub mod parallel;
 pub mod props;
 pub mod strheap;
+pub(crate) mod sync;
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -158,11 +158,7 @@ impl MilProgram {
     /// printing; unnamed intermediates can pass `""` and get `tmpN`.
     pub fn emit(&mut self, name: &str, op: MilOp) -> Var {
         let var = self.stmts.len();
-        let name = if name.is_empty() {
-            format!("tmp{var}")
-        } else {
-            name.to_string()
-        };
+        let name = if name.is_empty() { format!("tmp{var}") } else { name.to_string() };
         self.stmts.push(MilStmt { var, name, op });
         var
     }
@@ -219,11 +215,7 @@ mod tests {
     fn operand_extraction() {
         let op = MilOp::Multiplex {
             f: ScalarFunc::Mul,
-            args: vec![
-                MilArg::Var(3),
-                MilArg::Const(AtomValue::Dbl(1.0)),
-                MilArg::Var(7),
-            ],
+            args: vec![MilArg::Var(3), MilArg::Const(AtomValue::Dbl(1.0)), MilArg::Var(7)],
         };
         assert_eq!(op.operands(), vec![3, 7]);
     }

@@ -160,12 +160,7 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
     Ok(Env { values, trace })
 }
 
-fn eval_op(
-    ctx: &ExecCtx,
-    db: &Db,
-    env: &[Option<MilValue>],
-    op: &MilOp,
-) -> Result<MilValue> {
+fn eval_op(ctx: &ExecCtx, db: &Db, env: &[Option<MilValue>], op: &MilOp) -> Result<MilValue> {
     let bat = |v: Var| -> Result<&Bat> {
         env.get(v)
             .and_then(|x| x.as_ref())
@@ -177,9 +172,14 @@ fn eval_op(
         MilOp::ConstScalar(v) => MilValue::Scalar(v.clone()),
         MilOp::Mirror(v) => MilValue::Bat(bat(*v)?.mirror()),
         MilOp::SelectEq(v, val) => MilValue::Bat(ops::select_eq(ctx, bat(*v)?, val)?),
-        MilOp::SelectRange { src, lo, hi, inc_lo, inc_hi } => MilValue::Bat(
-            ops::select_range(ctx, bat(*src)?, lo.as_ref(), hi.as_ref(), *inc_lo, *inc_hi)?,
-        ),
+        MilOp::SelectRange { src, lo, hi, inc_lo, inc_hi } => MilValue::Bat(ops::select_range(
+            ctx,
+            bat(*src)?,
+            lo.as_ref(),
+            hi.as_ref(),
+            *inc_lo,
+            *inc_hi,
+        )?),
         MilOp::Join(a, b) => MilValue::Bat(ops::join(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::Semijoin(a, b) => MilValue::Bat(ops::semijoin(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::Antijoin(a, b) => MilValue::Bat(ops::antijoin(ctx, bat(*a)?, bat(*b)?)?),
@@ -204,14 +204,10 @@ fn eval_op(
             MilValue::Bat(ops::multiplex(ctx, *f, &margs)?)
         }
         MilOp::SetAgg { f, src } => MilValue::Bat(ops::set_aggregate(ctx, *f, bat(*src)?)?),
-        MilOp::AggrScalar { f, src } => {
-            MilValue::Scalar(ops::aggr_scalar(ctx, bat(*src)?, *f)?)
-        }
+        MilOp::AggrScalar { f, src } => MilValue::Scalar(ops::aggr_scalar(ctx, bat(*src)?, *f)?),
         MilOp::Union(a, b) => MilValue::Bat(ops::union_pairs(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::Diff(a, b) => MilValue::Bat(ops::diff_pairs(ctx, bat(*a)?, bat(*b)?)?),
-        MilOp::Intersect(a, b) => {
-            MilValue::Bat(ops::intersect_pairs(ctx, bat(*a)?, bat(*b)?)?)
-        }
+        MilOp::Intersect(a, b) => MilValue::Bat(ops::intersect_pairs(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::Concat(a, b) => MilValue::Bat(ops::concat_bats(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::Zip(a, b) => MilValue::Bat(ops::zip(ctx, bat(*a)?, bat(*b)?)?),
         MilOp::SortTail(v) => MilValue::Bat(ops::sort_tail(ctx, bat(*v)?)?),
@@ -237,10 +233,7 @@ mod tests {
         );
         db.register(
             "Item_order",
-            Bat::new(
-                Column::from_oids(vec![100, 101, 102]),
-                Column::from_oids(vec![2, 7, 1]),
-            ),
+            Bat::new(Column::from_oids(vec![100, 101, 102]), Column::from_oids(vec![2, 7, 1])),
         );
         db
     }
@@ -292,10 +285,7 @@ mod tests {
     fn scalar_aggregate_statement() {
         let ctx = ExecCtx::new();
         let mut db = Db::new();
-        db.register(
-            "nums",
-            Bat::new(Column::from_oids(vec![1, 2]), Column::from_ints(vec![4, 6])),
-        );
+        db.register("nums", Bat::new(Column::from_oids(vec![1, 2]), Column::from_ints(vec![4, 6])));
         let mut p = MilProgram::new();
         let v = p.emit("nums", MilOp::Load("nums".into()));
         let s = p.emit("total", MilOp::AggrScalar { f: ops::AggFunc::Sum, src: v });

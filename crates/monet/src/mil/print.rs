@@ -85,10 +85,7 @@ mod tests {
     fn renders_like_figure10() {
         let mut p = MilProgram::new();
         let clerk = p.emit("Order_clerk", MilOp::Load("Order_clerk".into()));
-        let orders = p.emit(
-            "orders",
-            MilOp::SelectEq(clerk, AtomValue::str("Clerk#000000088")),
-        );
+        let orders = p.emit("orders", MilOp::SelectEq(clerk, AtomValue::str("Clerk#000000088")));
         let io = p.emit("Item_order", MilOp::Load("Item_order".into()));
         let items = p.emit("items", MilOp::Join(io, orders));
         let disc = p.emit("discount", MilOp::Mirror(items));

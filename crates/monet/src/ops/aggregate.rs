@@ -54,9 +54,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
     match f {
         AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
         AggFunc::Sum => match t.atom_type() {
-            AtomType::Int => {
-                Ok(AtomValue::Lng((0..n).map(|i| t.int_at(i) as i64).sum()))
-            }
+            AtomType::Int => Ok(AtomValue::Lng((0..n).map(|i| t.int_at(i) as i64).sum())),
             AtomType::Lng => Ok(AtomValue::Lng((0..n).map(|i| t.lng_at(i)).sum())),
             AtomType::Dbl => Ok(AtomValue::Dbl((0..n).map(|i| t.dbl_at(i)).sum())),
             ty => Err(MonetError::Unsupported { op: "sum", ty }),
@@ -69,9 +67,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                         detail: "average of empty BAT".into(),
                     });
                 }
-                let s: f64 = (0..n)
-                    .map(|i| t.get(i).as_f64().expect("numeric tail"))
-                    .sum();
+                let s: f64 = (0..n).map(|i| t.get(i).as_f64().expect("numeric tail")).sum();
                 Ok(AtomValue::Dbl(s / n as f64))
             }
             ty => Err(MonetError::Unsupported { op: "avg", ty }),
@@ -137,10 +133,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         for i in 0..ab.len() {
             let hh = h.hash_at(i);
             let bucket = seen.entry(hh).or_default();
-            let found = bucket
-                .iter()
-                .find(|(k, _)| h.eq_at(*k as usize, h, i))
-                .map(|(_, g)| *g);
+            let found = bucket.iter().find(|(k, _)| h.eq_at(*k as usize, h, i)).map(|(_, g)| *g);
             let g = match found {
                 Some(g) => g,
                 None => {
@@ -168,11 +161,8 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             AtomType::Int | AtomType::Lng => {
                 let mut sums = vec![0i64; ngroups];
                 for (i, &g) in gid_of.iter().enumerate() {
-                    sums[g as usize] += if tail_ty == AtomType::Int {
-                        t.int_at(i) as i64
-                    } else {
-                        t.lng_at(i)
-                    };
+                    sums[g as usize] +=
+                        if tail_ty == AtomType::Int { t.int_at(i) as i64 } else { t.lng_at(i) };
                 }
                 Column::from_lngs(sums)
             }
@@ -192,9 +182,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                 sums[g as usize] += t.get(i).as_f64().expect("numeric tail");
                 counts[g as usize] += 1;
             }
-            Column::from_dbls(
-                sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect(),
-            )
+            Column::from_dbls(sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect())
         }
         AggFunc::Min | AggFunc::Max => {
             let mut best: Vec<u32> = rep.clone();
@@ -289,14 +277,11 @@ mod tests {
     #[test]
     fn min_max_on_strings_per_group() {
         let ctx = ExecCtx::new();
-        let b = Bat::new(
-            Column::from_oids(vec![1, 1, 2]),
-            Column::from_strs(["pear", "apple", "fig"]),
-        );
+        let b =
+            Bat::new(Column::from_oids(vec![1, 1, 2]), Column::from_strs(["pear", "apple", "fig"]));
         let mn = set_aggregate(&ctx, AggFunc::Min, &b).unwrap();
-        let v: Vec<(u64, String)> = (0..mn.len())
-            .map(|i| (mn.head().oid_at(i), mn.tail().str_at(i).to_string()))
-            .collect();
+        let v: Vec<(u64, String)> =
+            (0..mn.len()).map(|i| (mn.head().oid_at(i), mn.tail().str_at(i).to_string())).collect();
         assert!(v.contains(&(1, "apple".to_string())));
         assert!(v.contains(&(2, "fig".to_string())));
         // sum over strings is an error
@@ -306,10 +291,7 @@ mod tests {
     #[test]
     fn scalar_aggregates() {
         let ctx = ExecCtx::new();
-        let b = Bat::new(
-            Column::from_oids(vec![1, 2, 3]),
-            Column::from_ints(vec![5, 9, 2]),
-        );
+        let b = Bat::new(Column::from_oids(vec![1, 2, 3]), Column::from_ints(vec![5, 9, 2]));
         assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Sum).unwrap(), AtomValue::Lng(16));
         assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Count).unwrap(), AtomValue::Lng(3));
         assert_eq!(aggr_scalar(&ctx, &b, AggFunc::Min).unwrap(), AtomValue::Int(2));

@@ -45,10 +45,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
         for i in 0..ab.len() {
             let h = t.hash_at(i);
             let bucket = seen.entry(h).or_default();
-            let gid = bucket
-                .iter()
-                .find(|(k, _)| t.eq_at(*k as usize, t, i))
-                .map(|(_, g)| *g);
+            let gid = bucket.iter().find(|(k, _)| t.eq_at(*k as usize, t, i)).map(|(_, g)| *g);
             let g = match gid {
                 Some(g) => g,
                 None => {
@@ -70,10 +67,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
     let result = Bat::with_props(
         ab.head().clone(),
         Column::from_oids(gids),
-        Props::new(
-            ab.props().head,
-            ColProps { sorted: tail_sorted, key: false, dense: false },
-        ),
+        Props::new(ab.props().head, ColProps { sorted: tail_sorted, key: false, dense: false }),
     );
     ctx.record("group", algo, started, faults0, &result);
     Ok(result)
@@ -217,14 +211,8 @@ mod tests {
     #[test]
     fn binary_group_hash_align() {
         let ctx = ExecCtx::new();
-        let g1 = Bat::new(
-            Column::from_oids(vec![4, 2, 3]),
-            Column::from_oids(vec![100, 100, 101]),
-        );
-        let attr = Bat::new(
-            Column::from_oids(vec![2, 3, 4]),
-            Column::from_ints(vec![7, 7, 8]),
-        );
+        let g1 = Bat::new(Column::from_oids(vec![4, 2, 3]), Column::from_oids(vec![100, 100, 101]));
+        let attr = Bat::new(Column::from_oids(vec![2, 3, 4]), Column::from_ints(vec![7, 7, 8]));
         let r = group2(&ctx, &g1, &attr).unwrap();
         let g = r.tail();
         // rows: (100,8)@4, (100,7)@2, (101,7)@3 => all distinct

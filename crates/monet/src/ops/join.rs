@@ -42,12 +42,7 @@ pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
 /// θ ∈ {<, ≤, >, ≥, ≠}. Part of MIL ("the theta-join … omitted for
 /// brevity", Section 4.2). Sort-based when the right head is sorted
 /// (emitting prefix/suffix ranges), nested-loop otherwise.
-pub fn join_theta(
-    ctx: &ExecCtx,
-    ab: &Bat,
-    cd: &Bat,
-    theta: crate::ops::ScalarFunc,
-) -> Result<Bat> {
+pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFunc) -> Result<Bat> {
     use crate::ops::ScalarFunc as F;
     check_comparable("theta-join", ab.tail().atom_type(), cd.head().atom_type())?;
     if !matches!(theta, F::Lt | F::Le | F::Gt | F::Ge | F::Ne) {
@@ -150,11 +145,7 @@ fn join_fetch(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     let tail = cd.tail().gather(&right_idx);
     let p = ab.props();
     let props = Props::new(
-        ColProps {
-            sorted: p.head.sorted,
-            key: p.head.key,
-            dense: p.head.dense && full,
-        },
+        ColProps { sorted: p.head.sorted, key: p.head.key, dense: p.head.dense && full },
         tail_props(ab, cd),
     );
     Bat::with_props(head, tail, props)
@@ -197,11 +188,10 @@ fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         pager::touch_scan(p, cd.head());
         pager::touch_scan(p, ab.tail());
     }
-    let rindex = cd
-        .accel()
-        .head_hash
-        .clone()
-        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let rindex =
+        cd.accel().head_hash.clone().unwrap_or_else(|| {
+            std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
+        });
     let (bt, ch) = (ab.tail(), cd.head());
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
@@ -224,11 +214,7 @@ fn tail_props(ab: &Bat, cd: &Bat) -> ColProps {
     // Each right BUN is used at most once iff the left tail is key; result
     // tail values are then a subsequence-like multiset of cd tails, which
     // preserves key (not order, since emission follows the left operand).
-    ColProps {
-        sorted: false,
-        key: cd.props().tail.key && ab.props().tail.key,
-        dense: false,
-    }
+    ColProps { sorted: false, key: cd.props().tail.key && ab.props().tail.key, dense: false }
 }
 
 fn build_join(ctx: &ExecCtx, ab: &Bat, cd: &Bat, li: &[u32], ri: &[u32]) -> Bat {
@@ -244,11 +230,7 @@ fn build_join(ctx: &ExecCtx, ab: &Bat, cd: &Bat, li: &[u32], ri: &[u32]) -> Bat 
     // sorted left head stays sorted (duplicates may appear when the right
     // head has duplicates — non-strict order survives that).
     let props = Props::new(
-        ColProps {
-            sorted: p.head.sorted,
-            key: p.head.key && cd.props().head.key,
-            dense: false,
-        },
+        ColProps { sorted: p.head.sorted, key: p.head.key && cd.props().head.key, dense: false },
         tail_props(ab, cd),
     );
     Bat::with_props(head, tail, props)
@@ -262,19 +244,13 @@ mod tests {
 
     fn item_order() -> Bat {
         // [item_oid, order_oid]
-        Bat::new(
-            Column::from_oids(vec![100, 101, 102, 103]),
-            Column::from_oids(vec![7, 5, 7, 6]),
-        )
+        Bat::new(Column::from_oids(vec![100, 101, 102, 103]), Column::from_oids(vec![7, 5, 7, 6]))
     }
 
     #[test]
     fn hash_join_basic() {
         let ctx = ExecCtx::new();
-        let orders = Bat::new(
-            Column::from_oids(vec![5, 6, 7]),
-            Column::from_strs(["a", "b", "c"]),
-        );
+        let orders = Bat::new(Column::from_oids(vec![5, 6, 7]), Column::from_strs(["a", "b", "c"]));
         let r = join(&ctx, &item_order(), &orders).unwrap();
         assert_eq!(r.len(), 4);
         assert_eq!(r.head().as_oid_slice().unwrap(), &[100, 101, 102, 103]);
@@ -324,10 +300,7 @@ mod tests {
         assert_eq!(r.len(), 5);
         let pairs: Vec<(u64, u8)> =
             (0..r.len()).map(|i| (r.head().oid_at(i), r.tail().chr_at(i))).collect();
-        assert_eq!(
-            pairs,
-            vec![(1, b'a'), (1, b'b'), (2, b'a'), (2, b'b'), (3, b'c')]
-        );
+        assert_eq!(pairs, vec![(1, b'a'), (1, b'b'), (2, b'a'), (2, b'b'), (3, b'c')]);
     }
 
     #[test]
@@ -366,18 +339,13 @@ mod tests {
     #[test]
     fn theta_join_lt_sorted_and_nested_agree() {
         let ctx = ExecCtx::new();
-        let left = Bat::new(
-            Column::from_oids(vec![1, 2]),
-            Column::from_ints(vec![5, 20]),
-        );
+        let left = Bat::new(Column::from_oids(vec![1, 2]), Column::from_ints(vec![5, 20]));
         let right_sorted = Bat::with_inferred_props(
             Column::from_ints(vec![1, 10, 30]),
             Column::from_chrs(vec![b'a', b'b', b'c']),
         );
-        let right_plain = Bat::new(
-            Column::from_ints(vec![30, 1, 10]),
-            Column::from_chrs(vec![b'c', b'a', b'b']),
-        );
+        let right_plain =
+            Bat::new(Column::from_ints(vec![30, 1, 10]), Column::from_chrs(vec![b'c', b'a', b'b']));
         for op in [
             crate::ops::ScalarFunc::Lt,
             crate::ops::ScalarFunc::Le,
@@ -398,7 +366,7 @@ mod tests {
         // b=5: rights > 5 are {10, 30} → Lt gives 2 pairs for left oid 1.
         let lt = join_theta(&ctx, &left, &right_sorted, crate::ops::ScalarFunc::Lt).unwrap();
         assert_eq!(lt.len(), 2 + 1); // oid1 matches 10,30; oid2 matches 30
-        // Ne is nested-loop only
+                                     // Ne is nested-loop only
         let ne = join_theta(&ctx, &left, &right_plain, crate::ops::ScalarFunc::Ne).unwrap();
         assert_eq!(ne.len(), 6);
         // Eq is rejected (that's the equi-join's job)

@@ -34,11 +34,7 @@ use crate::error::{MonetError, Result};
 
 /// Check that two columns can be compared for a join (same type; oid and
 /// void interoperate).
-pub(crate) fn check_comparable(
-    op: &'static str,
-    left: AtomType,
-    right: AtomType,
-) -> Result<()> {
+pub(crate) fn check_comparable(op: &'static str, left: AtomType, right: AtomType) -> Result<()> {
     let ok = left == right
         || matches!(
             (left, right),

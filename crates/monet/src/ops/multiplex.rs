@@ -133,10 +133,8 @@ pub fn apply_scalar(f: ScalarFunc, args: &[AtomValue]) -> Result<AtomValue> {
                     _ => unreachable!(),
                 }),
                 _ => {
-                    let (x, y) = numeric_pair(a, b).ok_or(MonetError::Unsupported {
-                        op: "arith",
-                        ty: a.atom_type(),
-                    })?;
+                    let (x, y) = numeric_pair(a, b)
+                        .ok_or(MonetError::Unsupported { op: "arith", ty: a.atom_type() })?;
                     Ok(V::Dbl(match f {
                         ScalarFunc::Add => x + y,
                         ScalarFunc::Sub => x - y,
@@ -161,7 +159,11 @@ pub fn apply_scalar(f: ScalarFunc, args: &[AtomValue]) -> Result<AtomValue> {
             V::Date(d) => Ok(V::Int(d.month() as i32)),
             other => Err(MonetError::Unsupported { op: "month", ty: other.atom_type() }),
         },
-        ScalarFunc::Eq | ScalarFunc::Ne | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt
+        ScalarFunc::Eq
+        | ScalarFunc::Ne
+        | ScalarFunc::Lt
+        | ScalarFunc::Le
+        | ScalarFunc::Gt
         | ScalarFunc::Ge => {
             let (a, b) = (&args[0], &args[1]);
             let ord = if a.atom_type() == b.atom_type() {
@@ -186,11 +188,9 @@ pub fn apply_scalar(f: ScalarFunc, args: &[AtomValue]) -> Result<AtomValue> {
             }))
         }
         ScalarFunc::And | ScalarFunc::Or => match (&args[0], &args[1]) {
-            (V::Bool(x), V::Bool(y)) => Ok(V::Bool(if f == ScalarFunc::And {
-                *x && *y
-            } else {
-                *x || *y
-            })),
+            (V::Bool(x), V::Bool(y)) => {
+                Ok(V::Bool(if f == ScalarFunc::And { *x && *y } else { *x || *y }))
+            }
             (a, _) => Err(MonetError::Unsupported { op: "bool", ty: a.atom_type() }),
         },
         ScalarFunc::Not => match &args[0] {
@@ -282,9 +282,8 @@ fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> 
     let mut lookups: Vec<Option<Aligned>> = Vec::with_capacity(args.len());
     for a in args {
         match a {
-            MultArg::Bat(b) if !first.synced(b) => lookups.push(Some(Aligned {
-                index: crate::accel::hash::HashIndex::build(b.head()),
-            })),
+            MultArg::Bat(b) if !first.synced(b) => lookups
+                .push(Some(Aligned { index: crate::accel::hash::HashIndex::build(b.head()) })),
             _ => lookups.push(None),
         }
     }
@@ -327,9 +326,17 @@ fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> 
 /// sensible column type).
 fn result_type_hint(f: ScalarFunc, args: &[MultArg]) -> AtomType {
     match f {
-        ScalarFunc::Eq | ScalarFunc::Ne | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt
-        | ScalarFunc::Ge | ScalarFunc::And | ScalarFunc::Or | ScalarFunc::Not
-        | ScalarFunc::StrPrefix | ScalarFunc::StrContains => AtomType::Bool,
+        ScalarFunc::Eq
+        | ScalarFunc::Ne
+        | ScalarFunc::Lt
+        | ScalarFunc::Le
+        | ScalarFunc::Gt
+        | ScalarFunc::Ge
+        | ScalarFunc::And
+        | ScalarFunc::Or
+        | ScalarFunc::Not
+        | ScalarFunc::StrPrefix
+        | ScalarFunc::StrContains => AtomType::Bool,
         ScalarFunc::Year | ScalarFunc::Month => AtomType::Int,
         _ => args
             .iter()
@@ -436,14 +443,8 @@ mod tests {
     #[test]
     fn unsynced_aligns_by_head() {
         let ctx = ExecCtx::new().with_trace();
-        let a = Bat::new(
-            Column::from_oids(vec![1, 2, 3]),
-            Column::from_ints(vec![10, 20, 30]),
-        );
-        let b = Bat::new(
-            Column::from_oids(vec![3, 1, 2]),
-            Column::from_ints(vec![3, 1, 2]),
-        );
+        let a = Bat::new(Column::from_oids(vec![1, 2, 3]), Column::from_ints(vec![10, 20, 30]));
+        let b = Bat::new(Column::from_oids(vec![3, 1, 2]), Column::from_ints(vec![3, 1, 2]));
         let r = multiplex(&ctx, ScalarFunc::Add, &[MultArg::Bat(a), MultArg::Bat(b)]).unwrap();
         assert_eq!(ctx.take_trace()[0].algo, "hash-align");
         assert_eq!(r.tail().as_int_slice().unwrap(), &[11, 22, 33]);
@@ -452,10 +453,7 @@ mod tests {
     #[test]
     fn alignment_drops_missing_heads() {
         let ctx = ExecCtx::new();
-        let a = Bat::new(
-            Column::from_oids(vec![1, 2, 3]),
-            Column::from_ints(vec![10, 20, 30]),
-        );
+        let a = Bat::new(Column::from_oids(vec![1, 2, 3]), Column::from_ints(vec![10, 20, 30]));
         let b = Bat::new(Column::from_oids(vec![3]), Column::from_ints(vec![3]));
         let r = multiplex(&ctx, ScalarFunc::Add, &[MultArg::Bat(a), MultArg::Bat(b)]).unwrap();
         assert_eq!(r.len(), 1);
@@ -466,16 +464,10 @@ mod tests {
     #[test]
     fn comparisons_produce_bools() {
         let ctx = ExecCtx::new();
-        let a = Bat::new(
-            Column::from_oids(vec![1, 2]),
-            Column::from_ints(vec![5, 10]),
-        );
-        let r = multiplex(
-            &ctx,
-            ScalarFunc::Ge,
-            &[MultArg::Bat(a), MultArg::Const(AtomValue::Int(7))],
-        )
-        .unwrap();
+        let a = Bat::new(Column::from_oids(vec![1, 2]), Column::from_ints(vec![5, 10]));
+        let r =
+            multiplex(&ctx, ScalarFunc::Ge, &[MultArg::Bat(a), MultArg::Const(AtomValue::Int(7))])
+                .unwrap();
         assert_eq!(r.tail().as_chr_slice(), None);
         assert!(!r.tail().bool_at(0));
         assert!(r.tail().bool_at(1));
@@ -496,9 +488,7 @@ mod tests {
         assert!(apply_scalar(ScalarFunc::Div, &[AtomValue::Int(1), AtomValue::Int(0)]).is_err());
         assert!(apply_scalar(ScalarFunc::Year, &[AtomValue::Int(1)]).is_err());
         assert!(apply_scalar(ScalarFunc::Add, &[AtomValue::Int(1)]).is_err());
-        assert!(
-            apply_scalar(ScalarFunc::And, &[AtomValue::Int(1), AtomValue::Bool(true)]).is_err()
-        );
+        assert!(apply_scalar(ScalarFunc::And, &[AtomValue::Int(1), AtomValue::Bool(true)]).is_err());
     }
 
     #[test]

@@ -81,11 +81,7 @@ fn select_sorted(
         None => ab.len(),
     };
     let (start, end) = (start.min(ab.len()), end.min(ab.len()));
-    let result = if start >= end {
-        ab.slice(0, 0)
-    } else {
-        ab.slice(start, end - start)
-    };
+    let result = if start >= end { ab.slice(0, 0) } else { ab.slice(start, end - start) };
     if let Some(p) = ctx.pager.as_deref() {
         // Reading the qualifying range of the inverted list touches both
         // columns of the matching BUNs (the sX/C_inv term of the cost
@@ -103,11 +99,8 @@ fn select_hash(
     v: &AtomValue,
 ) -> Bat {
     let h = crate::column::hash_atom(v);
-    let mut idx: Vec<u32> = hash
-        .candidates(h)
-        .filter(|&p| ab.tail().cmp_val(p, v).is_eq())
-        .map(|p| p as u32)
-        .collect();
+    let mut idx: Vec<u32> =
+        hash.candidates(h).filter(|&p| ab.tail().cmp_val(p, v).is_eq()).map(|p| p as u32).collect();
     idx.reverse(); // chains iterate newest-first; restore BUN order
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
@@ -123,10 +116,8 @@ fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Bat {
         pager::touch_scan(p, ab.tail());
     }
     let tail = ab.tail();
-    let idx: Vec<u32> = (0..ab.len())
-        .filter(|&i| tail.cmp_val(i, v).is_eq())
-        .map(|i| i as u32)
-        .collect();
+    let idx: Vec<u32> =
+        (0..ab.len()).filter(|&i| tail.cmp_val(i, v).is_eq()).map(|i| i as u32).collect();
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
             pager::touch_fetch(p, ab.head(), i as usize);
@@ -227,10 +218,7 @@ mod tests {
     #[test]
     fn scan_select_unsorted() {
         let ctx = ExecCtx::new();
-        let b = Bat::new(
-            Column::from_oids(vec![1, 2, 3, 4]),
-            Column::from_ints(vec![9, 5, 9, 1]),
-        );
+        let b = Bat::new(Column::from_oids(vec![1, 2, 3, 4]), Column::from_ints(vec![9, 5, 9, 1]));
         let r = select_eq(&ctx, &b, &AtomValue::Int(9)).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 3]);
@@ -241,13 +229,9 @@ mod tests {
     #[test]
     fn hash_select_via_accelerator() {
         let ctx = ExecCtx::new();
-        let mut b = Bat::new(
-            Column::from_oids(vec![1, 2, 3, 4]),
-            Column::from_ints(vec![9, 5, 9, 1]),
-        );
-        b.set_tail_hash(std::sync::Arc::new(crate::accel::hash::HashIndex::build(
-            b.tail(),
-        )));
+        let mut b =
+            Bat::new(Column::from_oids(vec![1, 2, 3, 4]), Column::from_ints(vec![9, 5, 9, 1]));
+        b.set_tail_hash(std::sync::Arc::new(crate::accel::hash::HashIndex::build(b.tail())));
         let ctx2 = ctx.with_trace();
         let r = select_eq(&ctx2, &b, &AtomValue::Int(9)).unwrap();
         assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 3]);
@@ -258,15 +242,11 @@ mod tests {
     fn range_select_sorted_and_unsorted_agree() {
         let ctx = ExecCtx::new();
         let vals = vec![3, 1, 4, 1, 5, 9, 2, 6];
-        let unsorted = Bat::new(
-            Column::from_oids((0..8).collect()),
-            Column::from_ints(vals.clone()),
-        );
+        let unsorted =
+            Bat::new(Column::from_oids((0..8).collect()), Column::from_ints(vals.clone()));
         let perm = unsorted.tail().sort_perm();
-        let sorted = Bat::with_inferred_props(
-            unsorted.head().gather(&perm),
-            unsorted.tail().gather(&perm),
-        );
+        let sorted =
+            Bat::with_inferred_props(unsorted.head().gather(&perm), unsorted.tail().gather(&perm));
         for (lo, hi, il, ih) in [(2, 5, true, true), (2, 5, false, true), (1, 9, true, false)] {
             let a = select_range(
                 &ctx,

@@ -32,8 +32,7 @@ pub fn semijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
         (semijoin_sync(ab), "sync")
     } else if ab.props().head.sorted && cd.props().head.sorted {
         (semijoin_merge(ctx, ab, cd), "merge")
-    } else if ab.accel().datavector.is_some() && cd.head().is_oidlike() && cd.props().head.key
-    {
+    } else if ab.accel().datavector.is_some() && cd.head().is_oidlike() && cd.props().head.key {
         let dv = ab.accel().datavector.clone().unwrap();
         (semijoin_datavector(ctx, &dv, cd), "datavector")
     } else {
@@ -49,11 +48,8 @@ pub fn antijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     check_comparable("antijoin", ab.head().atom_type(), cd.head().atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
-    let (result, algo) = if ab.synced(cd) {
-        (ab.slice(0, 0), "sync")
-    } else {
-        (antijoin_hash(ctx, ab, cd), "hash")
-    };
+    let (result, algo) =
+        if ab.synced(cd) { (ab.slice(0, 0), "sync") } else { (antijoin_hash(ctx, ab, cd), "hash") };
     ctx.record("antijoin", algo, started, faults0, &result);
     Ok(result)
 }
@@ -90,11 +86,7 @@ fn semijoin_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
 /// positionally through the (memoized) LOOKUP array; result is in
 /// right-operand order and its head column is *shared* across semijoins
 /// with the same selection, making those results synced.
-fn semijoin_datavector(
-    ctx: &ExecCtx,
-    dv: &crate::accel::datavector::Datavector,
-    cd: &Bat,
-) -> Bat {
+fn semijoin_datavector(ctx: &ExecCtx, dv: &crate::accel::datavector::Datavector, cd: &Bat) -> Bat {
     let lookup = dv.lookup(ctx, cd.head());
     if let Some(p) = ctx.pager.as_deref() {
         for &pos in lookup.positions.iter() {
@@ -118,11 +110,10 @@ fn semijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         pager::touch_scan(p, cd.head());
         pager::touch_scan(p, ab.head());
     }
-    let rindex = cd
-        .accel()
-        .head_hash
-        .clone()
-        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let rindex =
+        cd.accel().head_hash.clone().unwrap_or_else(|| {
+            std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
+        });
     let (ah, ch) = (ab.head(), cd.head());
     let idx: Vec<u32> = (0..ab.len())
         .filter(|&i| {
@@ -139,11 +130,10 @@ fn antijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         pager::touch_scan(p, cd.head());
         pager::touch_scan(p, ab.head());
     }
-    let rindex = cd
-        .accel()
-        .head_hash
-        .clone()
-        .unwrap_or_else(|| std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head())));
+    let rindex =
+        cd.accel().head_hash.clone().unwrap_or_else(|| {
+            std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
+        });
     let (ah, ch) = (ab.head(), cd.head());
     let idx: Vec<u32> = (0..ab.len())
         .filter(|&i| {
@@ -239,9 +229,9 @@ mod tests {
         // Two attributes of the same class, both tail-unsorted w.r.t. oid,
         // each with a datavector over the *shared* class extent (as after
         // the Section 6 load).
-        let extent = crate::accel::datavector::Extent::new(crate::column::Column::from_oids(
-            vec![10, 11, 12, 13],
-        ));
+        let extent = crate::accel::datavector::Extent::new(crate::column::Column::from_oids(vec![
+            10, 11, 12, 13,
+        ]));
         let dv_price = Datavector::new(
             std::sync::Arc::clone(&extent),
             crate::column::Column::from_dbls(vec![1.0, 2.0, 3.0, 4.0]),
@@ -284,8 +274,7 @@ mod tests {
 
         // merge variant needs both sorted
         let perm = ab.head().sort_perm();
-        let ab_sorted =
-            Bat::with_inferred_props(ab.head().gather(&perm), ab.tail().gather(&perm));
+        let ab_sorted = Bat::with_inferred_props(ab.head().gather(&perm), ab.tail().gather(&perm));
         let cperm = cd.head().sort_perm();
         let cd_sorted =
             Bat::with_inferred_props(cd.head().gather(&cperm), cd.tail().gather(&cperm));
@@ -294,13 +283,11 @@ mod tests {
         // datavector variant
         let mut ab_dv = ab.clone();
         ab_dv.set_datavector(std::sync::Arc::new(Datavector::from_unordered(&ab)));
-        let dvres =
-            semijoin_datavector(&ctx, &ab_dv.accel().datavector.clone().unwrap(), &cd);
+        let dvres = semijoin_datavector(&ctx, &ab_dv.accel().datavector.clone().unwrap(), &cd);
 
         let norm = |b: &Bat| {
-            let mut v: Vec<(u64, i32)> = (0..b.len())
-                .map(|i| (b.head().oid_at(i), b.tail().int_at(i)))
-                .collect();
+            let mut v: Vec<(u64, i32)> =
+                (0..b.len()).map(|i| (b.head().oid_at(i), b.tail().int_at(i))).collect();
             v.sort_unstable();
             v
         };

@@ -72,10 +72,12 @@ pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let mut tails: Vec<AtomValue> = Vec::with_capacity(ab.len() + cd.len());
     // Dedup across the concatenation.
     let mut seen: HashMap<u64, Vec<(u8, u32)>> = HashMap::new();
-    let push = |src: &Bat, tag: u8, i: usize,
-                    seen: &mut HashMap<u64, Vec<(u8, u32)>>,
-                    heads: &mut Vec<AtomValue>,
-                    tails: &mut Vec<AtomValue>| {
+    let push = |src: &Bat,
+                tag: u8,
+                i: usize,
+                seen: &mut HashMap<u64, Vec<(u8, u32)>>,
+                heads: &mut Vec<AtomValue>,
+                tails: &mut Vec<AtomValue>| {
         let key = pair_hash(src, i);
         let bucket = seen.entry(key).or_default();
         let dup = bucket.iter().any(|&(t, p)| {
@@ -95,10 +97,7 @@ pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     for i in 0..cd.len() {
         push(cd, 1, i, &mut seen, &mut heads, &mut tails);
     }
-    let result = Bat::new(
-        Column::from_atoms(head_ty, heads),
-        Column::from_atoms(tail_ty, tails),
-    );
+    let result = Bat::new(Column::from_atoms(head_ty, heads), Column::from_atoms(tail_ty, tails));
     ctx.record("union", "hash", started, faults0, &result);
     Ok(result)
 }
@@ -110,10 +109,7 @@ pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
     let set = PairSet::build(cd);
-    let idx: Vec<u32> = (0..ab.len())
-        .filter(|&i| !set.contains(ab, i))
-        .map(|i| i as u32)
-        .collect();
+    let idx: Vec<u32> = (0..ab.len()).filter(|&i| !set.contains(ab, i)).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
     ctx.record("difference", "hash", started, faults0, &result);
     Ok(result)
@@ -194,10 +190,7 @@ pub fn intersect_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
     let set = PairSet::build(cd);
-    let idx: Vec<u32> = (0..ab.len())
-        .filter(|&i| set.contains(ab, i))
-        .map(|i| i as u32)
-        .collect();
+    let idx: Vec<u32> = (0..ab.len()).filter(|&i| set.contains(ab, i)).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
     ctx.record("intersect", "hash", started, faults0, &result);
     Ok(result)

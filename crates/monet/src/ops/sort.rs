@@ -72,11 +72,7 @@ pub fn topn(ctx: &ExecCtx, ab: &Bat, n: usize, descending: bool) -> Result<Bat> 
         ab.tail().gather(&perm),
         Props::new(
             ColProps { sorted: false, key: p.head.key, dense: false },
-            ColProps {
-                sorted: !descending,
-                key: p.tail.key,
-                dense: false,
-            },
+            ColProps { sorted: !descending, key: p.tail.key, dense: false },
         ),
     );
     ctx.record("topn", if descending { "desc" } else { "asc" }, started, faults0, &result);
@@ -103,10 +99,7 @@ mod tests {
     use super::*;
 
     fn unsorted() -> Bat {
-        Bat::new(
-            Column::from_oids(vec![1, 2, 3, 4]),
-            Column::from_ints(vec![30, 10, 40, 20]),
-        )
+        Bat::new(Column::from_oids(vec![1, 2, 3, 4]), Column::from_ints(vec![30, 10, 40, 20]))
     }
 
     #[test]
@@ -122,10 +115,8 @@ mod tests {
     #[test]
     fn sort_noop_when_already_sorted() {
         let ctx = ExecCtx::new().with_trace();
-        let b = Bat::with_inferred_props(
-            Column::from_oids(vec![1, 2]),
-            Column::from_ints(vec![1, 2]),
-        );
+        let b =
+            Bat::with_inferred_props(Column::from_oids(vec![1, 2]), Column::from_ints(vec![1, 2]));
         let _ = sort_tail(&ctx, &b).unwrap();
         assert_eq!(ctx.take_trace()[0].algo, "noop");
     }
@@ -133,10 +124,7 @@ mod tests {
     #[test]
     fn sort_head_via_mirror() {
         let ctx = ExecCtx::new();
-        let b = Bat::new(
-            Column::from_oids(vec![3, 1, 2]),
-            Column::from_ints(vec![30, 10, 20]),
-        );
+        let b = Bat::new(Column::from_oids(vec![3, 1, 2]), Column::from_ints(vec![30, 10, 20]));
         let r = sort_head(&ctx, &b).unwrap();
         assert_eq!(r.head().as_oid_slice().unwrap(), &[1, 2, 3]);
         assert_eq!(r.tail().as_int_slice().unwrap(), &[10, 20, 30]);

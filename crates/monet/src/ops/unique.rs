@@ -60,9 +60,7 @@ fn unique_hash(ab: &Bat) -> Bat {
     for i in 0..ab.len() {
         let key = h.hash_at(i).rotate_left(17) ^ t.hash_at(i);
         let bucket = seen.entry(key).or_default();
-        let dup = bucket
-            .iter()
-            .any(|&k| h.eq_at(k as usize, h, i) && t.eq_at(k as usize, t, i));
+        let dup = bucket.iter().any(|&k| h.eq_at(k as usize, h, i) && t.eq_at(k as usize, t, i));
         if !dup {
             bucket.push(i as u32);
             idx.push(i as u32);
@@ -136,10 +134,7 @@ mod tests {
     #[test]
     fn string_pairs() {
         let ctx = ExecCtx::new();
-        let b = Bat::new(
-            Column::from_strs(["x", "x", "y"]),
-            Column::from_strs(["1", "1", "1"]),
-        );
+        let b = Bat::new(Column::from_strs(["x", "x", "y"]), Column::from_strs(["1", "1", "1"]));
         let r = unique(&ctx, &b).unwrap();
         assert_eq!(r.len(), 2);
     }

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::column::{Column, ColumnId};
 
@@ -57,11 +57,7 @@ impl Pager {
 
     pub fn new(page_size: usize) -> Pager {
         assert!(page_size > 0);
-        Pager {
-            page_size,
-            capacity_pages: None,
-            inner: Mutex::new(PagerInner::default()),
-        }
+        Pager { page_size, capacity_pages: None, inner: Mutex::new(PagerInner::default()) }
     }
 
     /// Pager with a bounded resident set (in pages).

@@ -37,18 +37,15 @@ pub fn par_select_eq_positions(ab: &Bat, v: &AtomValue, threads: usize) -> Vec<u
     let blocks = blocks(ab.len(), threads);
     if blocks.len() <= 1 {
         let tail = ab.tail();
-        return (0..ab.len())
-            .filter(|&i| tail.cmp_val(i, v).is_eq())
-            .map(|i| i as u32)
-            .collect();
+        return (0..ab.len()).filter(|&i| tail.cmp_val(i, v).is_eq()).map(|i| i as u32).collect();
     }
     let mut results: Vec<Vec<u32>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .iter()
             .map(|&(start, len)| {
                 let tail = ab.tail();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     (start..start + len)
                         .filter(|&i| tail.cmp_val(i, v).is_eq())
                         .map(|i| i as u32)
@@ -57,8 +54,7 @@ pub fn par_select_eq_positions(ab: &Bat, v: &AtomValue, threads: usize) -> Vec<u
             })
             .collect();
         results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-    })
-    .expect("scope failed");
+    });
     let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
     for r in results {
         out.extend(r);
@@ -68,31 +64,32 @@ pub fn par_select_eq_positions(ab: &Bat, v: &AtomValue, threads: usize) -> Vec<u
 
 /// Parallel fold over contiguous blocks of a column, combining per-block
 /// accumulators in block order. Used for parallel scalar aggregation.
+/// `f` must be associative; `init` enters the fold exactly once, so the
+/// result is independent of `threads`.
 pub fn par_fold_dbl(col: &Column, threads: usize, init: f64, f: fn(f64, f64) -> f64) -> f64 {
     let Some(slice) = col.as_dbl_slice() else {
         // Non-dbl columns fold sequentially via the generic accessor.
-        return (0..col.len())
-            .filter_map(|i| col.get(i).as_f64())
-            .fold(init, f);
+        return (0..col.len()).filter_map(|i| col.get(i).as_f64()).fold(init, f);
     };
     let blocks = blocks(slice.len(), threads);
     if blocks.len() <= 1 {
         return slice.iter().copied().fold(init, f);
     }
     let mut acc = init;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .iter()
             .map(|&(start, len)| {
                 let chunk = &slice[start..start + len];
-                scope.spawn(move |_| chunk.iter().copied().fold(init, f))
+                scope.spawn(move || chunk.iter().copied().reduce(f))
             })
             .collect();
         for h in handles {
-            acc = f(acc, h.join().expect("worker panicked"));
+            if let Some(partial) = h.join().expect("worker panicked") {
+                acc = f(acc, partial);
+            }
         }
-    })
-    .expect("scope failed");
+    });
     acc
 }
 
@@ -131,5 +128,14 @@ mod tests {
         let col = Column::from_dbls((0..1000).map(|i| i as f64).collect());
         let s = par_fold_dbl(&col, 8, 0.0, |a, b| a + b);
         assert_eq!(s, 999.0 * 1000.0 / 2.0);
+    }
+
+    #[test]
+    fn parallel_fold_counts_init_once() {
+        let col = Column::from_dbls((0..1000).map(|i| i as f64).collect());
+        for threads in [1, 2, 8, 16] {
+            let s = par_fold_dbl(&col, threads, 10.0, |a, b| a + b);
+            assert_eq!(s, 10.0 + 999.0 * 1000.0 / 2.0, "threads={threads}");
+        }
     }
 }

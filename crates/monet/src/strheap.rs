@@ -66,22 +66,14 @@ impl StrVec {
             offsets.push(self.offsets[i as usize]);
             lens.push(self.lens[i as usize]);
         }
-        StrVec {
-            offsets: Arc::new(offsets),
-            lens: Arc::new(lens),
-            heap: Arc::clone(&self.heap),
-        }
+        StrVec { offsets: Arc::new(offsets), lens: Arc::new(lens), heap: Arc::clone(&self.heap) }
     }
 
     /// Zero-copy sub-range view (shares all three heaps).
     pub fn slice(&self, start: usize, len: usize) -> StrVec {
         let offsets = self.offsets[start..start + len].to_vec();
         let lens = self.lens[start..start + len].to_vec();
-        StrVec {
-            offsets: Arc::new(offsets),
-            lens: Arc::new(lens),
-            heap: Arc::clone(&self.heap),
-        }
+        StrVec { offsets: Arc::new(offsets), lens: Arc::new(lens), heap: Arc::clone(&self.heap) }
     }
 }
 

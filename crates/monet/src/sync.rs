@@ -1,0 +1,19 @@
+//! Minimal mutex with `parking_lot`'s infallible `lock()` shape, backed by
+//! `std::sync::Mutex`. Kept local so the kernel builds without external
+//! crates; a poisoned lock (a worker panicked while holding it) is treated
+//! as fatal.
+
+use std::sync::MutexGuard;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+}

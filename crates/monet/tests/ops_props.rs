@@ -1,0 +1,253 @@
+//! Randomized property tests of the kernel operators against naive
+//! reference implementations on plain `Vec<(oid, int)>` pairs.
+//!
+//! Deterministic by construction: every test draws from a `StdRng` with a
+//! fixed seed, so failures reproduce exactly and the suite never flakes.
+//! Complements `tests/kernel_properties.rs` (which checks that the
+//! *alternative implementations* of each operator agree with each other):
+//! here each operator is checked against an independent model.
+
+use std::collections::{HashMap, HashSet};
+
+use monet::atom::AtomValue;
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 40;
+const SEED: u64 = 0x1CDE_1998;
+
+/// Random association list: oids drawn with duplicates, small int alphabet
+/// so selections and joins hit plenty of matches.
+fn random_pairs(rng: &mut StdRng, max_len: usize) -> Vec<(u64, i32)> {
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| (rng.gen_range(0..60u64), rng.gen_range(-25..25i32))).collect()
+}
+
+fn bat_of(pairs: &[(u64, i32)]) -> Bat {
+    Bat::new(
+        Column::from_oids(pairs.iter().map(|p| p.0).collect()),
+        Column::from_ints(pairs.iter().map(|p| p.1).collect()),
+    )
+}
+
+/// The (head, tail) multiset of an `[oid, int]` BAT, in canonical order.
+fn pairs_of(b: &Bat) -> Vec<(u64, i32)> {
+    let mut v: Vec<(u64, i32)> =
+        (0..b.len()).map(|i| (b.head().oid_at(i), b.tail().int_at(i))).collect();
+    v.sort_unstable();
+    v
+}
+
+fn canon(mut pairs: Vec<(u64, i32)>) -> Vec<(u64, i32)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn select_eq_matches_reference_and_partitions() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 80);
+        let b = bat_of(&pairs);
+        // Reference agreement for an arbitrary probe value.
+        let v = rng.gen_range(-25..25i32);
+        let got = ops::select_eq(&ctx, &b, &AtomValue::Int(v)).unwrap();
+        let expect: Vec<(u64, i32)> = canon(pairs.iter().copied().filter(|p| p.1 == v).collect());
+        assert_eq!(pairs_of(&got), expect, "case {case}: select_eq({v})");
+        assert!(got.validate().is_ok(), "case {case}: claimed props unsound");
+        // Round-trip: selecting every distinct value partitions the BAT.
+        let mut distinct: Vec<i32> = pairs.iter().map(|p| p.1).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut reassembled = Vec::new();
+        for v in distinct {
+            let part = ops::select_eq(&ctx, &b, &AtomValue::Int(v)).unwrap();
+            reassembled.extend(pairs_of(&part));
+        }
+        assert_eq!(canon(reassembled), canon(pairs), "case {case}: partition");
+    }
+}
+
+#[test]
+fn select_range_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 80);
+        let b = bat_of(&pairs);
+        let lo = rng.gen_range(-30..30i32);
+        let hi = rng.gen_range(lo..=30i32);
+        let (lo_in, hi_in) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+        let got = ops::select_range(
+            &ctx,
+            &b,
+            Some(&AtomValue::Int(lo)),
+            Some(&AtomValue::Int(hi)),
+            lo_in,
+            hi_in,
+        )
+        .unwrap();
+        let keep = |t: i32| {
+            (if lo_in { t >= lo } else { t > lo }) && (if hi_in { t <= hi } else { t < hi })
+        };
+        let expect: Vec<(u64, i32)> = canon(pairs.iter().copied().filter(|p| keep(p.1)).collect());
+        assert_eq!(
+            pairs_of(&got),
+            expect,
+            "case {case}: select_range({lo}{}..{hi}{})",
+            if lo_in { "=" } else { "" },
+            if hi_in { "=" } else { "" },
+        );
+        // One-sided ranges degenerate to the same model.
+        let ge = ops::select_range(&ctx, &b, Some(&AtomValue::Int(lo)), None, true, true).unwrap();
+        let expect_ge: Vec<(u64, i32)> =
+            canon(pairs.iter().copied().filter(|p| p.1 >= lo).collect());
+        assert_eq!(pairs_of(&ge), expect_ge, "case {case}: select_range({lo}=..)");
+    }
+}
+
+#[test]
+fn join_matches_nested_loop_reference() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        // left: [oid, oid] referencing right's head domain; right: [oid, int].
+        let left_pairs: Vec<(u64, u64)> = (0..rng.gen_range(0..60usize))
+            .map(|_| (rng.gen_range(0..40u64), rng.gen_range(0..40u64)))
+            .collect();
+        let right_pairs = random_pairs(&mut rng, 60);
+        let left = Bat::new(
+            Column::from_oids(left_pairs.iter().map(|p| p.0).collect()),
+            Column::from_oids(left_pairs.iter().map(|p| p.1).collect()),
+        );
+        let right = bat_of(&right_pairs);
+        let got = ops::join(&ctx, &left, &right).unwrap();
+        // Nested-loop model: match left tail against right head.
+        let mut expect: Vec<(u64, i32)> = Vec::new();
+        for &(h, t) in &left_pairs {
+            for &(h2, t2) in &right_pairs {
+                if t == h2 {
+                    expect.push((h, t2));
+                }
+            }
+        }
+        assert_eq!(pairs_of(&got), canon(expect), "case {case}: join");
+        assert!(got.validate().is_ok(), "case {case}: claimed props unsound");
+    }
+}
+
+#[test]
+fn semijoin_antijoin_match_reference_and_partition() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 80);
+        let b = bat_of(&pairs);
+        // Selection BAT: unique oids with void tail, as produced by selects.
+        let mut sel_oids: Vec<u64> =
+            (0..rng.gen_range(0..30usize)).map(|_| rng.gen_range(0..60u64)).collect();
+        sel_oids.sort_unstable();
+        sel_oids.dedup();
+        let n = sel_oids.len();
+        let sel = Bat::with_inferred_props(Column::from_oids(sel_oids.clone()), Column::void(0, n));
+        let keep: HashSet<u64> = sel_oids.into_iter().collect();
+        let semi = ops::semijoin(&ctx, &b, &sel).unwrap();
+        let anti = ops::antijoin(&ctx, &b, &sel).unwrap();
+        let expect_semi: Vec<(u64, i32)> =
+            canon(pairs.iter().copied().filter(|p| keep.contains(&p.0)).collect());
+        let expect_anti: Vec<(u64, i32)> =
+            canon(pairs.iter().copied().filter(|p| !keep.contains(&p.0)).collect());
+        assert_eq!(pairs_of(&semi), expect_semi, "case {case}: semijoin");
+        assert_eq!(pairs_of(&anti), expect_anti, "case {case}: antijoin");
+        // Round-trip: the two halves reassemble the operand exactly.
+        let mut whole = pairs_of(&semi);
+        whole.extend(pairs_of(&anti));
+        assert_eq!(canon(whole), canon(pairs), "case {case}: partition");
+    }
+}
+
+#[test]
+fn unique_matches_reference_and_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 4);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        // Small alphabets force plenty of duplicate (head, tail) pairs.
+        let n = rng.gen_range(0..80usize);
+        let pairs: Vec<(u64, i32)> =
+            (0..n).map(|_| (rng.gen_range(0..10u64), rng.gen_range(-4..4i32))).collect();
+        let b = bat_of(&pairs);
+        let u = ops::unique(&ctx, &b).unwrap();
+        let mut expect = canon(pairs.clone());
+        expect.dedup();
+        assert_eq!(pairs_of(&u), expect, "case {case}: unique");
+        let uu = ops::unique(&ctx, &u).unwrap();
+        assert_eq!(pairs_of(&uu), pairs_of(&u), "case {case}: idempotence");
+        assert!(u.validate().is_ok(), "case {case}: claimed props unsound");
+    }
+}
+
+#[test]
+fn group_assignment_and_counts_match_reference() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 5);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 80);
+        let b = bat_of(&pairs);
+        let g = ops::group1(&ctx, &b).unwrap();
+        assert!(g.synced(&b), "case {case}: group result must stay synced");
+        // Two rows share a group oid iff they share a tail value.
+        let mut group_value: HashMap<u64, i32> = HashMap::new();
+        let mut value_group: HashMap<i32, u64> = HashMap::new();
+        for i in 0..b.len() {
+            let gid = g.tail().oid_at(i);
+            let val = b.tail().int_at(i);
+            assert_eq!(
+                *group_value.entry(gid).or_insert(val),
+                val,
+                "case {case}: group {gid} spans values"
+            );
+            assert_eq!(
+                *value_group.entry(val).or_insert(gid),
+                gid,
+                "case {case}: value {val} split across groups"
+            );
+        }
+        // Per-group counts match the value histogram.
+        let mut histogram: HashMap<i32, i64> = HashMap::new();
+        for &(_, v) in &pairs {
+            *histogram.entry(v).or_insert(0) += 1;
+        }
+        let counts = ops::set_aggregate(&ctx, ops::AggFunc::Count, &g.mirror()).unwrap();
+        assert_eq!(counts.len(), histogram.len(), "case {case}: group count");
+        for i in 0..counts.len() {
+            let gid = counts.head().oid_at(i);
+            let cnt = counts.tail().lng_at(i);
+            let val = group_value[&gid];
+            assert_eq!(cnt, histogram[&val], "case {case}: count of value {val}");
+        }
+    }
+}
+
+#[test]
+fn sort_tail_is_an_ordered_permutation() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 6);
+    let ctx = ExecCtx::new();
+    for case in 0..CASES {
+        let pairs = random_pairs(&mut rng, 80);
+        let b = bat_of(&pairs);
+        let s = ops::sort_tail(&ctx, &b).unwrap();
+        assert_eq!(pairs_of(&s), canon(pairs), "case {case}: sort permutes");
+        for i in 1..s.len() {
+            assert!(
+                s.tail().int_at(i - 1) <= s.tail().int_at(i),
+                "case {case}: tail not ordered at {i}"
+            );
+        }
+        assert!(s.validate().is_ok(), "case {case}: claimed props unsound");
+    }
+}

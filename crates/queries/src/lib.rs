@@ -40,8 +40,7 @@ pub struct RefOutput {
 pub struct Query {
     pub id: usize,
     pub comment: &'static str,
-    pub run_moa:
-        fn(&Catalog, &ExecCtx, &Params) -> moa::error::Result<QueryResult>,
+    pub run_moa: fn(&Catalog, &ExecCtx, &Params) -> moa::error::Result<QueryResult>,
     pub run_ref: fn(&RelDb, &Params, Option<&Pager>) -> RefOutput,
 }
 

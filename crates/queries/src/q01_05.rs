@@ -18,19 +18,11 @@ use crate::RefOutput;
 
 /// The discounted-price expression `extendedprice * (1 - discount)`.
 pub fn revenue_expr() -> Scalar {
-    bin(
-        ScalarFunc::Mul,
-        attr("extendedprice"),
-        bin(ScalarFunc::Sub, lit_d(1.0), attr("discount")),
-    )
+    bin(ScalarFunc::Mul, attr("extendedprice"), bin(ScalarFunc::Sub, lit_d(1.0), attr("discount")))
 }
 
 fn charge_expr() -> Scalar {
-    bin(
-        ScalarFunc::Mul,
-        revenue_expr(),
-        bin(ScalarFunc::Add, lit_d(1.0), attr("tax")),
-    )
+    bin(ScalarFunc::Mul, revenue_expr(), bin(ScalarFunc::Add, lit_d(1.0), attr("tax")))
 }
 
 // ---------------------------------------------------------------------------
@@ -49,10 +41,7 @@ pub fn q1_moa(p: &Params) -> SetExpr {
             ProjItem::new("charge", charge_expr()),
             ProjItem::new("discount", attr("discount")),
         ])
-        .nest(vec![
-            ProjItem::new("flag", attr("flag")),
-            ProjItem::new("status", attr("status")),
-        ])
+        .nest(vec![ProjItem::new("flag", attr("flag")), ProjItem::new("status", attr("status"))])
         .project(vec![
             ProjItem::new("flag", attr("flag")),
             ProjItem::new("status", attr("status")),
@@ -143,21 +132,14 @@ pub fn q1_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 // ---------------------------------------------------------------------------
 
 pub fn q2_moa(p: &Params) -> SetExpr {
-    let candidates = SetExpr::extent("Supplier")
-        .unnest(sattr("supplies"), "sup", "sp")
-        .select(and_all(vec![
+    let candidates =
+        SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp").select(and_all(vec![
             eq(attr("sup.nation.region.name"), lit_s(&p.q2_region)),
             eq(attr("sp.part.size"), lit_i(p.q2_size)),
-            cmp(
-                ScalarFunc::StrContains,
-                attr("sp.part.type"),
-                lit_s(&p.q2_type_contains),
-            ),
+            cmp(ScalarFunc::StrContains, attr("sp.part.type"), lit_s(&p.q2_type_contains)),
         ]));
-    let min_per_part = candidates
-        .clone()
-        .nest(vec![ProjItem::new("part", attr("sp.part"))])
-        .project(vec![
+    let min_per_part =
+        candidates.clone().nest(vec![ProjItem::new("part", attr("sp.part"))]).project(vec![
             ProjItem::new("part", attr("part")),
             ProjItem::new("mincost", agg_over(AggFunc::Min, sattr(NEST_REST), attr("sp.cost"))),
         ]);
@@ -219,11 +201,7 @@ pub fn q2_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
         for (c, s) in entries {
             if c == min {
                 touch(db, "supplier", sup_rows[&s], pager);
-                out.push(vec![
-                    AtomValue::Oid(poid),
-                    AtomValue::str(good_sup[&s].as_str()),
-                    dbl(c),
-                ]);
+                out.push(vec![AtomValue::Oid(poid), AtomValue::str(good_sup[&s].as_str()), dbl(c)]);
             }
         }
     }
@@ -353,16 +331,15 @@ pub fn q3_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 // ---------------------------------------------------------------------------
 
 pub fn q4_moa(p: &Params) -> SetExpr {
-    let late_items = SetExpr::extent("Item")
-        .select(cmp(ScalarFunc::Lt, attr("commitdate"), attr("receiptdate")));
+    let late_items = SetExpr::extent("Item").select(cmp(
+        ScalarFunc::Lt,
+        attr("commitdate"),
+        attr("receiptdate"),
+    ));
     SetExpr::extent("Order")
         .select(and(
             cmp(ScalarFunc::Ge, attr("orderdate"), lit(AtomValue::Date(p.q4_date))),
-            cmp(
-                ScalarFunc::Lt,
-                attr("orderdate"),
-                lit(AtomValue::Date(p.q4_date.add_months(3))),
-            ),
+            cmp(ScalarFunc::Lt, attr("orderdate"), lit(AtomValue::Date(p.q4_date.add_months(3)))),
         ))
         .semijoin_eq(late_items, this(), attr("order"))
         .nest(vec![ProjItem::new("priority", attr("orderpriority"))])
@@ -413,10 +390,7 @@ pub fn q4_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
             *counts.entry(orders.str_v(op, r).to_string()).or_insert(0) += 1;
         }
     }
-    let out = counts
-        .into_iter()
-        .map(|(k, v)| vec![AtomValue::str(k.as_str()), lng(v)])
-        .collect();
+    let out = counts.into_iter().map(|(k, v)| vec![AtomValue::str(k.as_str()), lng(v)]).collect();
     RefOutput { rows: QueryResult(out), item_rows }
 }
 
@@ -476,11 +450,10 @@ pub fn q5_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
     );
     let orders = db.table("orders");
     let (oo, oc) = (orders.col_index("oid").unwrap(), orders.col_index("cust").unwrap());
-    let order_cust: HashMap<Oid, Oid> = fetch(db, "orders", &orows, pager, |t, r| {
-        (t.oid_v(oo, r), t.oid_v(oc, r))
-    })
-    .into_iter()
-    .collect();
+    let order_cust: HashMap<Oid, Oid> =
+        fetch(db, "orders", &orows, pager, |t, r| (t.oid_v(oo, r), t.oid_v(oc, r)))
+            .into_iter()
+            .collect();
     let li = db.table("lineitem");
     let (lo, lsup, le, ld) = (
         li.col_index("order").unwrap(),
@@ -502,10 +475,8 @@ pub fn q5_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
         item_rows += 1;
         *rev.entry(snat).or_insert(0.0) += li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
     }
-    let out = rev
-        .into_iter()
-        .map(|(n, v)| vec![AtomValue::str(names[&n].as_str()), dbl(v)])
-        .collect();
+    let out =
+        rev.into_iter().map(|(n, v)| vec![AtomValue::str(names[&n].as_str()), dbl(v)]).collect();
     RefOutput { rows: QueryResult(out), item_rows }
 }
 

@@ -24,11 +24,7 @@ use crate::RefOutput;
 fn q6_selection(p: &Params) -> SetExpr {
     SetExpr::extent("Item").select(and_all(vec![
         cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q6_date))),
-        cmp(
-            ScalarFunc::Lt,
-            attr("shipdate"),
-            lit(AtomValue::Date(p.q6_date.add_months(12))),
-        ),
+        cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q6_date.add_months(12)))),
         cmp(ScalarFunc::Ge, attr("discount"), lit_d(p.q6_disc_lo - 0.001)),
         cmp(ScalarFunc::Le, attr("discount"), lit_d(p.q6_disc_hi + 0.001)),
         cmp(ScalarFunc::Lt, attr("quantity"), lit_i(p.q6_qty)),
@@ -103,10 +99,7 @@ pub fn q7_moa(p: &Params) -> SetExpr {
                 attr("shipdate"),
                 lit(AtomValue::Date(monet::atom::Date::from_ymd(1996, 12, 31))),
             ),
-            or(
-                pair(&p.q7_nation1, &p.q7_nation2),
-                pair(&p.q7_nation2, &p.q7_nation1),
-            ),
+            or(pair(&p.q7_nation1, &p.q7_nation2), pair(&p.q7_nation2, &p.q7_nation1)),
         ]))
         .project(vec![
             ProjItem::new("supp_nation", attr("supplier.nation.name")),
@@ -183,8 +176,7 @@ pub fn q7_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
         }
         item_rows += 1;
         let year = li.date_v(ls, r).year();
-        *rev.entry((sn, cn, year)).or_insert(0.0) +=
-            li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
+        *rev.entry((sn, cn, year)).or_insert(0.0) += li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
     }
     let out = rev
         .into_iter()
@@ -239,9 +231,7 @@ pub fn q8_run(cat: &Catalog, ctx: &ExecCtx, p: &Params) -> moa::error::Result<Qu
     let nat = run_moa_rows(
         cat,
         ctx,
-        &yearly_revenue(
-            q8_base(p).select(eq(attr("supplier.nation.name"), lit_s(&p.q8_nation))),
-        ),
+        &yearly_revenue(q8_base(p).select(eq(attr("supplier.nation.name"), lit_s(&p.q8_nation)))),
     )?;
     // share(year) = nation revenue / total revenue (0 when absent).
     let nat_by_year: HashMap<i32, f64> = nat
@@ -373,10 +363,7 @@ pub fn q9_moa(p: &Params) -> SetExpr {
                 ),
             ),
         ])
-        .nest(vec![
-            ProjItem::new("nation", attr("nation")),
-            ProjItem::new("year", attr("year")),
-        ])
+        .nest(vec![ProjItem::new("nation", attr("nation")), ProjItem::new("year", attr("year"))])
         .project(vec![
             ProjItem::new("nation", attr("nation")),
             ProjItem::new("year", attr("year")),
@@ -410,9 +397,7 @@ pub fn q9_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
             t.col_index("part").unwrap(),
             t.col_index("cost").unwrap(),
         );
-        (0..t.rows())
-            .map(|r| ((t.oid_v(cp, r), t.oid_v(cs, r)), t.dbl_v(cc, r)))
-            .collect()
+        (0..t.rows()).map(|r| ((t.oid_v(cp, r), t.oid_v(cs, r)), t.dbl_v(cc, r))).collect()
     };
     let order_year: HashMap<Oid, i32> = {
         let t = db.table("orders");
@@ -511,13 +496,8 @@ pub fn q10_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
             (orders.oid_v(oo, r as usize), orders.oid_v(oc, r as usize))
         })
         .collect();
-    let rrows = select_rows(
-        db,
-        "lineitem",
-        "returnflag",
-        &ColPred::Eq(&AtomValue::Chr(b'R')),
-        pager,
-    );
+    let rrows =
+        select_rows(db, "lineitem", "returnflag", &ColPred::Eq(&AtomValue::Chr(b'R')), pager);
     let li = db.table("lineitem");
     let (lo, le, ld) = (
         li.col_index("order").unwrap(),

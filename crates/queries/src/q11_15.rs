@@ -22,9 +22,11 @@ use crate::RefOutput;
 // ---------------------------------------------------------------------------
 
 fn q11_base(p: &Params) -> SetExpr {
-    SetExpr::extent("Supplier")
-        .select(eq(attr("nation.name"), lit_s(&p.q11_nation)))
-        .unnest(sattr("supplies"), "sup", "sp")
+    SetExpr::extent("Supplier").select(eq(attr("nation.name"), lit_s(&p.q11_nation))).unnest(
+        sattr("supplies"),
+        "sup",
+        "sp",
+    )
 }
 
 fn q11_value() -> Scalar {
@@ -61,10 +63,7 @@ pub fn q11_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
     let german_sup: std::collections::HashSet<Oid> = {
         let t = db.table("supplier");
         let (co, cn) = (t.col_index("oid").unwrap(), t.col_index("nation").unwrap());
-        (0..t.rows())
-            .filter(|&r| t.oid_v(cn, r) == nation)
-            .map(|r| t.oid_v(co, r))
-            .collect()
+        (0..t.rows()).filter(|&r| t.oid_v(cn, r) == nation).map(|r| t.oid_v(co, r)).collect()
     };
     let ps = db.table("partsupp");
     let (cs, cp, cc, ca) = (
@@ -240,10 +239,7 @@ pub fn q13_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
         item_rows += 1;
         *loss.entry(year).or_insert(0.0) += li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
     }
-    let out = loss
-        .into_iter()
-        .map(|(y, v)| vec![AtomValue::Int(y), dbl(v)])
-        .collect();
+    let out = loss.into_iter().map(|(y, v)| vec![AtomValue::Int(y), dbl(v)]).collect();
     RefOutput { rows: QueryResult(out), item_rows }
 }
 
@@ -254,11 +250,7 @@ pub fn q13_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 fn q14_month(p: &Params) -> Pred {
     and(
         cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q14_date))),
-        cmp(
-            ScalarFunc::Lt,
-            attr("shipdate"),
-            lit(AtomValue::Date(p.q14_date.add_months(1))),
-        ),
+        cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q14_date.add_months(1)))),
     )
 }
 
@@ -325,10 +317,7 @@ pub fn q14_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
             promo += v;
         }
     }
-    RefOutput {
-        rows: QueryResult(vec![vec![dbl(100.0 * promo / total)]]),
-        item_rows: rows.len(),
-    }
+    RefOutput { rows: QueryResult(vec![vec![dbl(100.0 * promo / total)]]), item_rows: rows.len() }
 }
 
 // ---------------------------------------------------------------------------
@@ -339,11 +328,7 @@ pub fn q15_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and(
             cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q15_date))),
-            cmp(
-                ScalarFunc::Lt,
-                attr("shipdate"),
-                lit(AtomValue::Date(p.q15_date.add_months(3))),
-            ),
+            cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q15_date.add_months(3)))),
         ))
         .project(vec![
             ProjItem::new("sup", attr("supplier")),
@@ -385,8 +370,7 @@ pub fn q15_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
     for r in &rows {
         touch(db, "lineitem", *r, pager);
         let r = *r as usize;
-        *rev.entry(li.oid_v(lsup, r)).or_insert(0.0) +=
-            li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
+        *rev.entry(li.oid_v(lsup, r)).or_insert(0.0) += li.dbl_v(le, r) * (1.0 - li.dbl_v(ld, r));
     }
     let best = rev.iter().max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)));
     let out = match best {

@@ -38,10 +38,7 @@ pub fn nations_of_region(db: &RelDb, region: &str) -> std::collections::HashSet<
     let rid = region_oid(db, region);
     let t = db.table("nation");
     let (co, cr) = (t.col_index("oid").unwrap(), t.col_index("region").unwrap());
-    (0..t.rows())
-        .filter(|&r| t.oid_v(cr, r) == rid)
-        .map(|r| t.oid_v(co, r))
-        .collect()
+    (0..t.rows()).filter(|&r| t.oid_v(cr, r) == rid).map(|r| t.oid_v(co, r)).collect()
 }
 
 /// `nation oid -> name` map.

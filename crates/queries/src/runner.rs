@@ -47,9 +47,10 @@ impl QueryResult {
         let b = other.clone().sorted();
         a.0.iter().zip(&b.0).all(|(ra, rb)| {
             ra.len() == rb.len()
-                && ra.iter().zip(rb).all(|(x, y)| {
-                    Value::Atom(x.clone()).approx_eq(&Value::Atom(y.clone()), eps)
-                })
+                && ra
+                    .iter()
+                    .zip(rb)
+                    .all(|(x, y)| Value::Atom(x.clone()).approx_eq(&Value::Atom(y.clone()), eps))
         })
     }
 
@@ -83,9 +84,9 @@ fn value_to_row(v: Value) -> Result<Vec<AtomValue>> {
             .map(|f| match f {
                 Value::Atom(a) => Ok(a),
                 Value::Ref(o) => Ok(AtomValue::Oid(o)),
-                other => Err(MoaError::Type(format!(
-                    "cannot flatten nested value {other} into a row"
-                ))),
+                other => {
+                    Err(MoaError::Type(format!("cannot flatten nested value {other} into a row")))
+                }
             })
             .collect(),
         Value::Atom(a) => Ok(vec![a]),

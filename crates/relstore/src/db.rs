@@ -23,9 +23,7 @@ impl RelDb {
 
     /// Panics on unknown table names (schema bugs, not data errors).
     pub fn table(&self, name: &str) -> &Table {
-        self.tables
-            .get(name)
-            .unwrap_or_else(|| panic!("no table named {name}"))
+        self.tables.get(name).unwrap_or_else(|| panic!("no table named {name}"))
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -35,9 +33,7 @@ impl RelDb {
     /// Build (or rebuild) an inverted list on a column.
     pub fn build_index(&mut self, table: &str, col: &str) {
         let t = self.table(table);
-        let ci = t
-            .col_index(col)
-            .unwrap_or_else(|| panic!("table {table} has no column {col}"));
+        let ci = t.col_index(col).unwrap_or_else(|| panic!("table {table} has no column {col}"));
         let idx = InvertedList::build(t.col(ci));
         self.indexes.insert((table.to_string(), col.to_string()), idx);
     }
@@ -69,10 +65,7 @@ mod tests {
     #[test]
     fn tables_and_indexes() {
         let mut db = RelDb::new();
-        db.add_table(Table::new(
-            "t",
-            vec![("k".into(), Column::from_ints(vec![3, 1, 2]))],
-        ));
+        db.add_table(Table::new("t", vec![("k".into(), Column::from_ints(vec![3, 1, 2]))]));
         assert!(db.has_table("t"));
         assert!(db.index("t", "k").is_none());
         db.build_index("t", "k");

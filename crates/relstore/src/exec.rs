@@ -16,12 +16,7 @@ use crate::table::Table;
 /// Selection predicate over one column.
 pub enum ColPred<'a> {
     Eq(&'a AtomValue),
-    Range {
-        lo: Option<&'a AtomValue>,
-        hi: Option<&'a AtomValue>,
-        inc_lo: bool,
-        inc_hi: bool,
-    },
+    Range { lo: Option<&'a AtomValue>, hi: Option<&'a AtomValue>, inc_lo: bool, inc_hi: bool },
 }
 
 /// Select row ids of `table` matching `pred` on `col`, using an inverted
@@ -227,8 +222,7 @@ mod tests {
     #[test]
     fn select_with_and_without_index() {
         let db = db();
-        let via_index =
-            select_rows(&db, "item", "flag", &ColPred::Eq(&AtomValue::Chr(b'R')), None);
+        let via_index = select_rows(&db, "item", "flag", &ColPred::Eq(&AtomValue::Chr(b'R')), None);
         let mut vi = via_index.clone();
         vi.sort_unstable();
         assert_eq!(vi, vec![0, 2, 3]);

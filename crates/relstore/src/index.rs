@@ -167,14 +167,10 @@ mod tests {
 
     #[test]
     fn faults_scale_with_selectivity() {
-        let big = Table::new(
-            "big",
-            vec![("k".into(), Column::from_ints((0..100_000).collect()))],
-        );
+        let big = Table::new("big", vec![("k".into(), Column::from_ints((0..100_000).collect()))]);
         let idx = InvertedList::build(big.col(0));
         let pager = Pager::new(4096);
-        let few =
-            idx.lookup_eq(&big, 0, &AtomValue::Int(5), Some(&pager));
+        let few = idx.lookup_eq(&big, 0, &AtomValue::Int(5), Some(&pager));
         assert_eq!(few.len(), 1);
         let probe_faults = pager.faults();
         pager.reset();

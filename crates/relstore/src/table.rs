@@ -30,10 +30,7 @@ impl Table {
     pub fn new(name: &str, cols: Vec<(String, Column)>) -> Table {
         assert!(!cols.is_empty(), "table needs at least one column");
         let rows = cols[0].1.len();
-        assert!(
-            cols.iter().all(|(_, c)| c.len() == rows),
-            "all columns must have equal length"
-        );
+        assert!(cols.iter().all(|(_, c)| c.len() == rows), "all columns must have equal length");
         // Mint a heap identity for the pager.
         let heap = Column::void(0, 0).storage_id();
         let width: usize = cols.iter().map(|(_, c)| c.atom_type().width().max(1)).sum();

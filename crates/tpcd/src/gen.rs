@@ -226,11 +226,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
             };
             chosen[i] = s;
             let cost = rng.gen_range(1.0..1000.0);
-            let available = if rng.gen_bool(0.02) {
-                0
-            } else {
-                rng.gen_range(1..=9999)
-            };
+            let available = if rng.gen_bool(0.02) { 0 } else { rng.gen_range(1..=9999) };
             per_supplier[s].push((part.oid, cost, available));
         }
         suppliers_of_part.push(chosen);
@@ -262,8 +258,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
                 phone: text::phone(nat, &mut rng),
                 acctbal: rng.gen_range(-999.99..9999.99),
                 nation: nations[nat].oid,
-                mktsegment: text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())]
-                    .to_string(),
+                mktsegment: text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())].to_string(),
             }
         })
         .collect();
@@ -299,8 +294,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
         for _ in 0..n_items {
             let part = rng.gen_range(0..n_parts);
             // One of the part's four suppliers (TPC-D 4.2.3 semantics).
-            let supplier = supplier_base
-                + suppliers_of_part[part][rng.gen_range(0..4)] as Oid;
+            let supplier = supplier_base + suppliers_of_part[part][rng.gen_range(0..4usize)] as Oid;
             let shipdate = orderdate.add_days(rng.gen_range(1..=121));
             pending.push(PendingItem {
                 part,
@@ -345,8 +339,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
                 shipdate: p.shipdate,
                 commitdate: p.commitdate,
                 receiptdate: p.receiptdate,
-                shipmode: text::SHIP_MODES[rng.gen_range(0..text::SHIP_MODES.len())]
-                    .to_string(),
+                shipmode: text::SHIP_MODES[rng.gen_range(0..text::SHIP_MODES.len())].to_string(),
                 shipinstruct: text::SHIP_INSTRUCTIONS
                     [rng.gen_range(0..text::SHIP_INSTRUCTIONS.len())]
                 .to_string(),
@@ -364,8 +357,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
             },
             totalprice,
             orderdate,
-            orderpriority: text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())]
-                .to_string(),
+            orderpriority: text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())].to_string(),
             clerk: text::clerk_name(rng.gen_range(1..=clerk_count)),
             shippriority: "0".to_string(),
         });
@@ -428,8 +420,11 @@ mod tests {
         assert_eq!(a.items[10].extendedprice, b.items[10].extendedprice);
         assert_eq!(a.orders[5].clerk, b.orders[5].clerk);
         let c = generate(0.002, 8);
-        assert!(a.orders[5].clerk != c.orders[5].clerk || a.items.len() != c.items.len()
-            || a.items[10].extendedprice != c.items[10].extendedprice);
+        assert!(
+            a.orders[5].clerk != c.orders[5].clerk
+                || a.items.len() != c.items.len()
+                || a.items[10].extendedprice != c.items[10].extendedprice
+        );
     }
 
     #[test]
@@ -489,8 +484,7 @@ mod tests {
     #[test]
     fn one_third_of_customers_have_no_orders() {
         let d = generate(0.01, 11);
-        let with_orders: std::collections::HashSet<Oid> =
-            d.orders.iter().map(|o| o.cust).collect();
+        let with_orders: std::collections::HashSet<Oid> = d.orders.iter().map(|o| o.cust).collect();
         let frac = with_orders.len() as f64 / d.customers.len() as f64;
         assert!((0.55..0.72).contains(&frac), "fraction {frac}");
     }

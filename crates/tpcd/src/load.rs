@@ -74,8 +74,8 @@ fn tail_props(tail: &Column) -> ColProps {
     let sorted = tail.check_sorted();
     // Key detection is only cheap on sorted columns; claim nothing
     // otherwise (claims must be sound, not complete).
-    let key = sorted
-        && (1..tail.len()).all(|i| tail.cmp_at(i - 1, tail, i) == std::cmp::Ordering::Less);
+    let key =
+        sorted && (1..tail.len()).all(|i| tail.cmp_at(i - 1, tail, i) == std::cmp::Ordering::Less);
     ColProps { sorted, key, dense: false }
 }
 
@@ -132,7 +132,11 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
                 ),
                 ("brand".into(), str_col(data.parts.iter().map(|p| p.brand.as_str()), true), true),
                 ("type".into(), str_col(data.parts.iter().map(|p| p.typ.as_str()), true), true),
-                ("size".into(), Column::from_ints(data.parts.iter().map(|p| p.size).collect()), true),
+                (
+                    "size".into(),
+                    Column::from_ints(data.parts.iter().map(|p| p.size).collect()),
+                    true,
+                ),
                 (
                     "container".into(),
                     str_col(data.parts.iter().map(|p| p.container.as_str()), true),
@@ -152,13 +156,21 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
             class: "Supplier".into(),
             head,
             attrs: vec![
-                ("name".into(), str_col(data.suppliers.iter().map(|s| s.name.as_str()), false), true),
+                (
+                    "name".into(),
+                    str_col(data.suppliers.iter().map(|s| s.name.as_str()), false),
+                    true,
+                ),
                 (
                     "address".into(),
                     str_col(data.suppliers.iter().map(|s| s.address.as_str()), false),
                     true,
                 ),
-                ("phone".into(), str_col(data.suppliers.iter().map(|s| s.phone.as_str()), false), true),
+                (
+                    "phone".into(),
+                    str_col(data.suppliers.iter().map(|s| s.phone.as_str()), false),
+                    true,
+                ),
                 (
                     "acctbal".into(),
                     Column::from_dbls(data.suppliers.iter().map(|s| s.acctbal).collect()),
@@ -180,8 +192,16 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
             class: "Supplier_supplies".into(),
             head,
             attrs: vec![
-                ("part".into(), Column::from_oids(data.supplies.iter().map(|s| s.part).collect()), true),
-                ("cost".into(), Column::from_dbls(data.supplies.iter().map(|s| s.cost).collect()), true),
+                (
+                    "part".into(),
+                    Column::from_oids(data.supplies.iter().map(|s| s.part).collect()),
+                    true,
+                ),
+                (
+                    "cost".into(),
+                    Column::from_dbls(data.supplies.iter().map(|s| s.cost).collect()),
+                    true,
+                ),
                 (
                     "available".into(),
                     Column::from_ints(data.supplies.iter().map(|s| s.available).collect()),
@@ -196,13 +216,21 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
             class: "Customer".into(),
             head,
             attrs: vec![
-                ("name".into(), str_col(data.customers.iter().map(|c| c.name.as_str()), false), true),
+                (
+                    "name".into(),
+                    str_col(data.customers.iter().map(|c| c.name.as_str()), false),
+                    true,
+                ),
                 (
                     "address".into(),
                     str_col(data.customers.iter().map(|c| c.address.as_str()), false),
                     true,
                 ),
-                ("phone".into(), str_col(data.customers.iter().map(|c| c.phone.as_str()), false), true),
+                (
+                    "phone".into(),
+                    str_col(data.customers.iter().map(|c| c.phone.as_str()), false),
+                    true,
+                ),
                 (
                     "acctbal".into(),
                     Column::from_dbls(data.customers.iter().map(|c| c.acctbal).collect()),
@@ -227,7 +255,11 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
             class: "Order".into(),
             head,
             attrs: vec![
-                ("cust".into(), Column::from_oids(data.orders.iter().map(|o| o.cust).collect()), true),
+                (
+                    "cust".into(),
+                    Column::from_oids(data.orders.iter().map(|o| o.cust).collect()),
+                    true,
+                ),
                 (
                     "status".into(),
                     Column::from_chrs(data.orders.iter().map(|o| o.status).collect()),
@@ -266,13 +298,21 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
             class: "Item".into(),
             head,
             attrs: vec![
-                ("part".into(), Column::from_oids(data.items.iter().map(|i| i.part).collect()), true),
+                (
+                    "part".into(),
+                    Column::from_oids(data.items.iter().map(|i| i.part).collect()),
+                    true,
+                ),
                 (
                     "supplier".into(),
                     Column::from_oids(data.items.iter().map(|i| i.supplier).collect()),
                     true,
                 ),
-                ("order".into(), Column::from_oids(data.items.iter().map(|i| i.order).collect()), true),
+                (
+                    "order".into(),
+                    Column::from_oids(data.items.iter().map(|i| i.order).collect()),
+                    true,
+                ),
                 (
                     "quantity".into(),
                     Column::from_ints(data.items.iter().map(|i| i.quantity).collect()),
@@ -401,11 +441,7 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
         db.register("Customer_orders", Bat::with_props(head.clone(), tail, props));
         db.register(
             "Customer_orders_ref",
-            Bat::with_props(
-                head.clone(),
-                head,
-                Props::new(ColProps::DENSE, ColProps::DENSE),
-            ),
+            Bat::with_props(head.clone(), head, Props::new(ColProps::DENSE, ColProps::DENSE)),
         );
     }
     // Order.items: index [item_oid, order_oid] + self-reference.
@@ -416,11 +452,7 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
         db.register("Order_items", Bat::with_props(head.clone(), tail, props));
         db.register(
             "Order_items_ref",
-            Bat::with_props(
-                head.clone(),
-                head,
-                Props::new(ColProps::DENSE, ColProps::DENSE),
-            ),
+            Bat::with_props(head.clone(), head, Props::new(ColProps::DENSE, ColProps::DENSE)),
         );
     }
     report.reorder_ms = t2.elapsed().as_secs_f64() * 1e3;
@@ -487,7 +519,10 @@ pub fn load_rowstore(data: &TpcdData) -> RelDb {
         "partsupp",
         vec![
             ("oid".into(), Column::from_oids(data.supplies.iter().map(|s| s.oid).collect())),
-            ("supplier".into(), Column::from_oids(data.supplies.iter().map(|s| s.supplier).collect())),
+            (
+                "supplier".into(),
+                Column::from_oids(data.supplies.iter().map(|s| s.supplier).collect()),
+            ),
             ("part".into(), Column::from_oids(data.supplies.iter().map(|s| s.part).collect())),
             ("cost".into(), Column::from_dbls(data.supplies.iter().map(|s| s.cost).collect())),
             (
@@ -561,7 +596,10 @@ pub fn load_rowstore(data: &TpcdData) -> RelDb {
             ),
             ("discount".into(), Column::from_dbls(data.items.iter().map(|i| i.discount).collect())),
             ("tax".into(), Column::from_dbls(data.items.iter().map(|i| i.tax).collect())),
-            ("shipdate".into(), Column::from_dates(data.items.iter().map(|i| i.shipdate).collect())),
+            (
+                "shipdate".into(),
+                Column::from_dates(data.items.iter().map(|i| i.shipdate).collect()),
+            ),
             (
                 "commitdate".into(),
                 Column::from_dates(data.items.iter().map(|i| i.commitdate).collect()),
@@ -648,10 +686,8 @@ mod tests {
         let (cat, _) = load_bats(&data);
         let a = cat.db().get("Item_extendedprice").unwrap();
         let b = cat.db().get("Item_discount").unwrap();
-        let (da, db_) = (
-            a.accel().datavector.as_ref().unwrap(),
-            b.accel().datavector.as_ref().unwrap(),
-        );
+        let (da, db_) =
+            (a.accel().datavector.as_ref().unwrap(), b.accel().datavector.as_ref().unwrap());
         assert!(Arc::ptr_eq(da.extent(), db_.extent()), "extents must be shared");
     }
 

@@ -19,17 +19,11 @@ pub fn tpcd_schema() -> Schema {
     let mut s = Schema::new();
     s.add_class(ClassDef::new(
         "Region",
-        vec![
-            Field::new("name", base(AtomType::Str)),
-            Field::new("comment", base(AtomType::Str)),
-        ],
+        vec![Field::new("name", base(AtomType::Str)), Field::new("comment", base(AtomType::Str))],
     ));
     s.add_class(ClassDef::new(
         "Nation",
-        vec![
-            Field::new("name", base(AtomType::Str)),
-            Field::new("region", obj("Region")),
-        ],
+        vec![Field::new("name", base(AtomType::Str)), Field::new("region", obj("Region"))],
     ));
     s.add_class(ClassDef::new(
         "Part",

@@ -62,11 +62,14 @@ fn main() {
         ))
         .project(vec![
             ProjItem::new("name", attr("name")),
-            ProjItem::new("stock_value", agg_over(
-                AggFunc::Sum,
-                sattr("supplies"),
-                bin(monet::ops::ScalarFunc::Mul, attr("cost"), attr("available")),
-            )),
+            ProjItem::new(
+                "stock_value",
+                agg_over(
+                    AggFunc::Sum,
+                    sattr("supplies"),
+                    bin(monet::ops::ScalarFunc::Mul, attr("cost"), attr("available")),
+                ),
+            ),
         ]);
     let rows = tpcd_queries::run_moa_rows(&cat, &ctx, &totals).expect("totals");
     println!("\nper-supplier stock value (bulk {{sum}} over all nested sets at once):");

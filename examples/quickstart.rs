@@ -23,10 +23,8 @@ fn main() {
 
     // --- a small schema, decomposed over BATs (Figure 3 style) ---------
     let mut schema = Schema::new();
-    schema.add_class(ClassDef::new(
-        "Nation",
-        vec![Field::new("name", MoaType::Base(AtomType::Str))],
-    ));
+    schema
+        .add_class(ClassDef::new("Nation", vec![Field::new("name", MoaType::Base(AtomType::Str))]));
     schema.add_class(ClassDef::new(
         "Customer",
         vec![
@@ -52,10 +50,7 @@ fn main() {
     db.register("Customer_name", customer_name);
     db.register(
         "Customer_nation",
-        Bat::new(
-            Column::from_oids(vec![101, 102, 103, 104]),
-            Column::from_oids(vec![1, 2, 1, 2]),
-        ),
+        Bat::new(Column::from_oids(vec![101, 102, 103, 104]), Column::from_oids(vec![1, 2, 1, 2])),
     );
     let cat = Catalog::new(schema, db);
 
@@ -79,8 +74,14 @@ fn main() {
     let (result, _env) = t.run(&ctx, cat.db()).unwrap();
     let via_kernel = result.materialize().unwrap();
     let via_reference = Evaluator::new(&cat).eval_values(&q).unwrap();
-    println!("\nresult (via kernel):    {:?}", via_kernel.iter().map(|v| v.to_string()).collect::<Vec<_>>());
-    println!("result (via reference): {:?}", via_reference.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "\nresult (via kernel):    {:?}",
+        via_kernel.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
+    println!(
+        "result (via reference): {:?}",
+        via_reference.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
     assert_eq!(via_kernel.len(), via_reference.len());
     println!("\nS_Y(mil(X…)) = moa(X) — the Figure 6 diagram commutes.");
 }

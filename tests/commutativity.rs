@@ -17,10 +17,10 @@ use proptest::prelude::*;
 /// referencing them with prices.
 #[derive(Debug, Clone)]
 struct RandomDb {
-    clerks: Vec<u8>,       // clerk tag per order (small alphabet)
-    item_order: Vec<u8>,   // order index per item
-    prices: Vec<i32>,      // price per item
-    flags: Vec<bool>,      // flag per item
+    clerks: Vec<u8>,     // clerk tag per order (small alphabet)
+    item_order: Vec<u8>, // order index per item
+    prices: Vec<i32>,    // price per item
+    flags: Vec<bool>,    // flag per item
 }
 
 fn random_db() -> impl Strategy<Value = RandomDb> {
@@ -42,10 +42,8 @@ fn random_db() -> impl Strategy<Value = RandomDb> {
 
 fn build_catalog(r: &RandomDb) -> Catalog {
     let mut schema = Schema::new();
-    schema.add_class(ClassDef::new(
-        "Order",
-        vec![Field::new("clerk", MoaType::Base(AtomType::Str))],
-    ));
+    schema
+        .add_class(ClassDef::new("Order", vec![Field::new("clerk", MoaType::Base(AtomType::Str))]));
     schema.add_class(ClassDef::new(
         "Item",
         vec![

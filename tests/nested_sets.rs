@@ -87,8 +87,7 @@ fn nested_aggregates_match_rows() {
     let by_oid: HashMap<Oid, &str> =
         data.suppliers.iter().map(|s| (s.oid, s.name.as_str())).collect();
     for s in &data.supplies {
-        *expected.entry(by_oid[&s.supplier]).or_insert(0.0) +=
-            s.cost * s.available as f64;
+        *expected.entry(by_oid[&s.supplier]).or_insert(0.0) += s.cost * s.available as f64;
     }
     assert_eq!(rows.len(), expected.len());
     for row in &rows.0 {
@@ -108,10 +107,7 @@ fn unnest_count_matches_rows() {
     let rows = tpcd_queries::run_moa_rows(
         &cat,
         &ctx,
-        &q.project(vec![
-            ProjItem::new("s", attr("sup.name")),
-            ProjItem::new("p", attr("sp.part")),
-        ]),
+        &q.project(vec![ProjItem::new("s", attr("sup.name")), ProjItem::new("p", attr("sp.part"))]),
     )
     .unwrap();
     assert_eq!(rows.len(), data.supplies.len());

@@ -92,7 +92,8 @@ fn mil_programs_print_and_replay() {
     let ctx = ExecCtx::new();
     let (a, _) = t.run(&ctx, cat.db()).unwrap();
     let (b, _) = t.run(&ctx, cat.db()).unwrap();
-    let (mut va, mut vb) = (Value::Set(a.materialize().unwrap()), Value::Set(b.materialize().unwrap()));
+    let (mut va, mut vb) =
+        (Value::Set(a.materialize().unwrap()), Value::Set(b.materialize().unwrap()));
     va.canonicalize();
     vb.canonicalize();
     assert!(va.approx_eq(&vb, 0.0));

@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of Criterion's API the benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `Bencher::iter`, `black_box` — backed by a simple wall-clock measurement
+//! loop that reports the median per-iteration time. It honors
+//! `--list`/`--test`/`--no-run`-style invocation well enough for
+//! `cargo bench` and `cargo bench --no-run` to work.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter: None,
+            list_only: false,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the benchmark-harness CLI arguments Cargo forwards.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--profile-time" => {
+                    // --profile-time takes a value; skip it.
+                    if a == "--profile-time" {
+                        args.next();
+                    }
+                }
+                "--list" => self.list_only = true,
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        self.sample_size = v;
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        self.measurement_time = Duration::from_secs_f64(v);
+                    }
+                }
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            c: self,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = GroupSettings {
+            name: self.name.clone(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        run_one(self.c, Some(&group), id, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+struct GroupSettings {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+}
+
+enum BenchMode {
+    /// Run once to check the closure doesn't panic (`cargo bench --test`).
+    Test,
+    /// Measure: (sample count, time budget, warm-up budget).
+    Measure(usize, Duration, Duration),
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Test => {
+                black_box(f());
+            }
+            BenchMode::Measure(samples, budget, warm_up) => {
+                let warm_start = Instant::now();
+                let mut iters_per_sample = 1u64;
+                // Warm up and estimate how many iterations fit a sample.
+                let mut est = Duration::ZERO;
+                while warm_start.elapsed() < warm_up {
+                    let t = Instant::now();
+                    black_box(f());
+                    est = t.elapsed();
+                }
+                if est > Duration::ZERO {
+                    let per_sample = budget.as_nanos() / samples.max(1) as u128;
+                    iters_per_sample =
+                        ((per_sample / est.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+                }
+                let mut times: Vec<f64> = Vec::with_capacity(samples);
+                let run_start = Instant::now();
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    times.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+                    // Never exceed ~4x the requested budget even if the
+                    // closure is much slower than the warm-up estimated.
+                    if run_start.elapsed() > budget * 4 {
+                        break;
+                    }
+                }
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.result_ns = times[times.len() / 2];
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{:.4} ns", ns)
+    }
+}
+
+fn run_one<F>(c: &Criterion, group: Option<&GroupSettings>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full = match group {
+        Some(g) => format!("{}/{}", g.name, id),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.list_only {
+        println!("{full}: benchmark");
+        return;
+    }
+    let (samples, budget, warm_up) = match group {
+        Some(g) => (g.sample_size, g.measurement_time, g.warm_up_time),
+        None => (c.sample_size, c.measurement_time, c.warm_up_time),
+    };
+    let mode =
+        if c.test_mode { BenchMode::Test } else { BenchMode::Measure(samples, budget, warm_up) };
+    let mut b = Bencher { mode, result_ns: 0.0 };
+    f(&mut b);
+    if c.test_mode {
+        println!("{full}: test ok");
+    } else {
+        println!("{full:<50} time: [{}]", format_ns(b.result_ns));
+    }
+}
+
+/// Define a group of benchmark functions, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut hits = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of proptest used by the workspace's property
+//! tests: the `proptest!` macro with `#![proptest_config(..)]` and
+//! `pat in strategy` arguments, `prop_assert!`/`prop_assert_eq!`,
+//! integer-range and tuple strategies, `prop_map`/`prop_flat_map`,
+//! `collection::{vec, btree_set}`, and `any::<bool>()`.
+//!
+//! Differences from upstream: generation is driven by a fixed seed (so
+//! runs are reproducible and never flaky), there is **no shrinking**, and
+//! failure reports print the case number plus generated-value `Debug` only
+//! through the assertion message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// `base.prop_map(f)`.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// `base.prop_flat_map(f)`.
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Strategy for a value that always equals `self.0`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy of a type.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Element-count specification: an exact count or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            SizeRange { lo, hi: hi + 1 }
+        }
+    }
+
+    /// `vec(element, size)` — a Vec with `size` elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `btree_set(element, size)` — up to `size` distinct elements
+    /// (duplicates drawn from the element strategy collapse, as upstream).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts, as upstream: stop growing when the element
+            // domain is too small to reach the target size.
+            let mut misses = 0;
+            while out.len() < n && misses < 64 {
+                if !out.insert(self.element.generate(rng)) {
+                    misses += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Why a test case failed; carried from `prop_assert*` to the runner.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Fixed base seed; override with `PROPTEST_SEED` to explore other
+    /// streams. Each case advances the one RNG, so cases differ.
+    pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x1CDE_1998);
+        // Stable per-test offset so tests draw distinct streams.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        rand::rngs::StdRng::seed_from_u64(base ^ h)
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a proptest case; failure aborts only this case's closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+/// The proptest test-definition macro: each `pat in strategy` argument is
+/// drawn fresh per case; the body may `prop_assert*` or `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let rng = $crate::test_runner::rng_for(stringify!($name));
+                $crate::__proptest_run(config, rng, |rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                }, stringify!($name));
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                #[test]
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __proptest_run<F>(
+    config: test_runner::Config,
+    mut rng: rand::rngs::StdRng,
+    mut case: F,
+    name: &str,
+) where
+    F: FnMut(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest `{name}` failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(v in collection::vec((0u64..40, -20i32..20), 0..40),
+                                  k in 1usize..8) {
+            prop_assert!(v.len() < 40);
+            prop_assert!(k >= 1 && k < 8);
+            for (a, b) in &v {
+                prop_assert!(*a < 40);
+                prop_assert!((-20..20).contains(b));
+            }
+        }
+
+        #[test]
+        fn flat_map_composes(pair in (1usize..6).prop_flat_map(|n| {
+            (Just(n), collection::vec(0u8..4, n))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn early_return_ok(b in any::<bool>()) {
+            if b {
+                return Ok(());
+            }
+            prop_assert!(!b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0i32..100, 5usize);
+        let mut r1 = crate::test_runner::rng_for("x");
+        let mut r2 = crate::test_runner::rng_for("x");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
