@@ -1,0 +1,250 @@
+//! Machine-readable kernel performance report.
+//!
+//! Runs the core kernels of the four Criterion bench groups (`primitives`,
+//! `semijoin`, `group_aggregate`, `q13`) with a plain `Instant` harness and
+//! writes `BENCH_kernels.json` — op name → ns/row and rows/s — so successive
+//! PRs have a perf trajectory to compare against. The JSON format is
+//! documented in the repository README under "Performance tracking".
+//!
+//! Scale comes from `FLATALG_SF` (default 0.01): synthetic kernel inputs are
+//! sized like the scale factor's lineitem table, and the `q13` entry runs
+//! the full query against the memoized `bench::World`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{sf_from_env, world};
+use monet::accel::datavector::{Datavector, Extent};
+use monet::accel::hash::HashIndex;
+use monet::atom::{AtomValue, Date};
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured kernel.
+struct Rec {
+    name: &'static str,
+    rows: usize,
+    ns_per_row: f64,
+    rows_per_sec: f64,
+}
+
+/// Time `f` with one warm-up call, then as many timed repetitions as fit in
+/// the measurement window (at least 3).
+fn measure(name: &'static str, rows: usize, mut f: impl FnMut()) -> Rec {
+    f(); // warm-up
+    let window = Duration::from_millis(240);
+    let started = Instant::now();
+    let mut reps = 0u32;
+    while reps < 3 || started.elapsed() < window {
+        f();
+        reps += 1;
+        if reps >= 10_000 {
+            break; // cap repetitions for very fast kernels
+        }
+    }
+    let ns = started.elapsed().as_nanos() as f64 / reps as f64;
+    let ns_per_row = ns / rows.max(1) as f64;
+    let rows_per_sec = rows.max(1) as f64 / (ns / 1e9);
+    eprintln!("{name:<32} {rows:>9} rows  {ns_per_row:>9.2} ns/row  {rows_per_sec:>14.0} rows/s");
+    Rec { name, rows, ns_per_row, rows_per_sec }
+}
+
+fn main() {
+    let sf = sf_from_env("FLATALG_SF", 0.01);
+    // Synthetic inputs sized like the scale factor's lineitem table.
+    let n: usize = ((sf * 6_000_000.0) as usize).max(10_000);
+    let mut r = StdRng::seed_from_u64(42);
+    let ctx = ExecCtx::new();
+
+    // --- primitives group inputs -----------------------------------------
+    let unsorted = Bat::new(
+        Column::from_oids((0..n as u64).map(|i| 1000 + i).collect()),
+        Column::from_ints((0..n).map(|_| r.gen_range(0..10_000)).collect()),
+    );
+    let sorted = {
+        let perm = unsorted.tail().sort_perm();
+        Bat::with_inferred_props(unsorted.head().gather(&perm), unsorted.tail().gather(&perm))
+    };
+    let sel = {
+        let mut oids: Vec<u64> = (0..n / 20).map(|_| 1000 + r.gen_range(0..n as u64)).collect();
+        oids.sort_unstable();
+        oids.dedup();
+        let k = oids.len();
+        Bat::with_inferred_props(Column::from_oids(oids), Column::void(0, k))
+    };
+    let join_right = Bat::new(
+        Column::from_ints((0..10_000).collect()),
+        Column::from_oids((0..10_000).collect()),
+    );
+    let fetch_right = Bat::new(Column::void(0, 10_000), Column::from_dbls(vec![1.0; 10_000]));
+    let fetch_left = Bat::new(
+        Column::from_oids((0..n as u64).collect()),
+        Column::from_oids((0..n as u64).map(|i| i % 10_000).collect()),
+    );
+    let dup = Bat::new(
+        Column::from_oids((0..n as u64).map(|i| i % 1000).collect()),
+        Column::from_ints((0..n).map(|i| (i % 17) as i32).collect()),
+    );
+    let head = Column::from_oids((0..n as u64).collect());
+    let dbl_x = Bat::new(head.clone(), Column::from_dbls((0..n).map(|i| i as f64 * 0.5).collect()));
+    let dbl_y = Bat::new(head.clone(), Column::from_dbls(vec![3.0; n]));
+    let int_x = Bat::new(head.clone(), Column::from_ints((0..n).map(|i| i as i32 % 997).collect()));
+    let dates = Bat::new(
+        head.clone(),
+        Column::from_dates(
+            (0..n).map(|i| Date::from_ymd(1992, 1, 1).add_days((i % 2400) as i32)).collect(),
+        ),
+    );
+    let grouped_vals = Bat::new(
+        Column::from_oids((0..n as u64).map(|i| i % 500).collect()),
+        Column::from_dbls((0..n).map(|i| i as f64).collect()),
+    );
+    let strs = Bat::new(
+        head.clone(),
+        Column::from_strs((0..n).map(|i| format!("Clerk#{:09}", i % 1000)).collect::<Vec<_>>()),
+    );
+
+    // --- semijoin group inputs (datavector path) -------------------------
+    let extent = Extent::new(Column::from_oids((0..n as u64).map(|i| 1000 + i).collect()));
+    let dv_vals = Column::from_dbls((0..n).map(|_| r.gen_range(0.0..1000.0)).collect());
+    let dv = Datavector::new(Arc::clone(&extent), dv_vals.clone());
+    let mut with_dv = {
+        let perm = dv_vals.sort_perm();
+        Bat::new(extent.oids().gather(&perm), dv_vals.gather(&perm))
+    };
+    with_dv.set_datavector(Arc::new(dv));
+
+    // --- group_aggregate group inputs ------------------------------------
+    let unsorted_keys = Bat::new(
+        head.clone(),
+        Column::from_oids((0..n).map(|_| r.gen_range(0..1000u64)).collect()),
+    );
+    let second = Bat::new(
+        head.clone(),
+        Column::from_chrs((0..n).map(|_| r.gen_range(b'A'..=b'E')).collect()),
+    );
+    let g1 = ops::group1(&ctx, &unsorted_keys).unwrap();
+    let second_synced = Bat::new(g1.head().clone(), second.tail().clone());
+
+    let mut recs: Vec<Rec> = Vec::new();
+
+    // primitives
+    recs.push(measure("select/scan", n, || {
+        ops::select_eq(&ctx, &unsorted, &AtomValue::Int(5000)).unwrap();
+    }));
+    recs.push(measure("select/range-scan", n, || {
+        ops::select_range(
+            &ctx,
+            &unsorted,
+            Some(&AtomValue::Int(1000)),
+            Some(&AtomValue::Int(2000)),
+            true,
+            false,
+        )
+        .unwrap();
+    }));
+    recs.push(measure("select/binary-search", n, || {
+        ops::select_eq(&ctx, &sorted, &AtomValue::Int(5000)).unwrap();
+    }));
+    recs.push(measure("join/hash-probe", n, || {
+        ops::join(&ctx, &unsorted, &join_right).unwrap();
+    }));
+    recs.push(measure("join/fetch-dense", n, || {
+        ops::join(&ctx, &fetch_left, &fetch_right).unwrap();
+    }));
+    recs.push(measure("semijoin/hash", n, || {
+        ops::semijoin(&ctx, &unsorted, &sel).unwrap();
+    }));
+    recs.push(measure("unique/hash", n, || {
+        ops::unique(&ctx, &dup).unwrap();
+    }));
+    recs.push(measure("group1/hash", n, || {
+        ops::group1(&ctx, &unsorted).unwrap();
+    }));
+    recs.push(measure("multiplex/mul-dbl", n, || {
+        ops::multiplex(
+            &ctx,
+            ops::ScalarFunc::Mul,
+            &[ops::MultArg::Bat(dbl_x.clone()), ops::MultArg::Bat(dbl_y.clone())],
+        )
+        .unwrap();
+    }));
+    recs.push(measure("multiplex/sub-int-const", n, || {
+        ops::multiplex(
+            &ctx,
+            ops::ScalarFunc::Sub,
+            &[ops::MultArg::Const(AtomValue::Int(100)), ops::MultArg::Bat(int_x.clone())],
+        )
+        .unwrap();
+    }));
+    recs.push(measure("multiplex/year-date", n, || {
+        ops::multiplex(&ctx, ops::ScalarFunc::Year, &[ops::MultArg::Bat(dates.clone())]).unwrap();
+    }));
+    recs.push(measure("multiplex/ge-dbl-const", n, || {
+        ops::multiplex(
+            &ctx,
+            ops::ScalarFunc::Ge,
+            &[ops::MultArg::Bat(dbl_x.clone()), ops::MultArg::Const(AtomValue::Dbl(1000.0))],
+        )
+        .unwrap();
+    }));
+    recs.push(measure("multiplex/str-prefix-const", n, || {
+        ops::multiplex(
+            &ctx,
+            ops::ScalarFunc::StrPrefix,
+            &[ops::MultArg::Bat(strs.clone()), ops::MultArg::Const(AtomValue::str("Clerk#00000"))],
+        )
+        .unwrap();
+    }));
+    recs.push(measure("set-aggregate/sum-dbl", n, || {
+        ops::set_aggregate(&ctx, ops::AggFunc::Sum, &grouped_vals).unwrap();
+    }));
+    recs.push(measure("sort/tail-int", n, || {
+        ops::sort_tail(&ctx, &unsorted).unwrap();
+    }));
+    recs.push(measure("hashindex/build-oid", n, || {
+        HashIndex::build(unsorted_keys.tail());
+    }));
+
+    // semijoin group: warm datavector path (LOOKUP memoized once)
+    recs.push(measure("semijoin/datavector-warm", sel.len(), || {
+        ops::semijoin(&ctx, &with_dv, &sel).unwrap();
+    }));
+
+    // group_aggregate group
+    recs.push(measure("group2/refine-synced", n, || {
+        ops::group2(&ctx, &g1, &second_synced).unwrap();
+    }));
+
+    // q13 end to end over the memoized world
+    let w = world();
+    let q13_rows = w.data.items.len();
+    recs.push(measure("q13/moa-execute", q13_rows, || {
+        tpcd_queries::q11_15::q13_run(&w.cat, &ctx, &w.params).unwrap();
+    }));
+
+    // --- write BENCH_kernels.json (format documented in README) ----------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"sf\": {sf},\n"));
+    json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, rec) in recs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"ns_per_row\": {:.3}, \"rows_per_sec\": {:.0}}}{}\n",
+            rec.name,
+            rec.rows,
+            rec.ns_per_row,
+            rec.rows_per_sec,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("FLATALG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {path}");
+}

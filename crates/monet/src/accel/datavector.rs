@@ -89,32 +89,43 @@ impl Extent {
         if let Some(hit) = self.lookup_memo.lock().get(&key) {
             return hit.clone();
         }
-        let mut out = Vec::with_capacity(right_head.len());
         let pgr = ctx.pager.as_deref();
-        if let Some(seq) = self.oids.void_seq() {
-            // Dense extent: direct positional computation.
-            for i in 0..right_head.len() {
-                if let Some(p) = pgr {
-                    pager::touch_fetch(p, right_head, i);
+        let out: Vec<u32> = if let Some(seq) = self.oids.void_seq() {
+            // Dense extent: direct positional computation, one typed
+            // dispatch over the probe column.
+            let n = self.oids.len() as Oid;
+            crate::for_each_oidlike!(right_head, |rh| {
+                use crate::typed::TypedVals;
+                let mut out = Vec::with_capacity(rh.len());
+                for i in 0..rh.len() {
+                    if let Some(p) = pgr {
+                        pager::touch_fetch(p, right_head, i);
+                    }
+                    let o = rh.value(i);
+                    if o >= seq && o < seq + n {
+                        out.push((o - seq) as u32);
+                    }
                 }
-                let o = right_head.oid_at(i);
-                if o >= seq && o < seq + self.oids.len() as Oid {
-                    out.push((o - seq) as u32);
-                }
-            }
+                out
+            })
         } else {
             let ext_oids = self.oids.as_oid_slice().expect("materialized oid extent");
-            for i in 0..right_head.len() {
-                if let Some(p) = pgr {
-                    pager::touch_fetch(p, right_head, i);
-                    pager::touch_binary_search(p, &self.oids);
+            crate::for_each_oidlike!(right_head, |rh| {
+                use crate::typed::TypedVals;
+                let mut out = Vec::with_capacity(rh.len());
+                for i in 0..rh.len() {
+                    if let Some(p) = pgr {
+                        pager::touch_fetch(p, right_head, i);
+                        pager::touch_binary_search(p, &self.oids);
+                    }
+                    let o = rh.value(i);
+                    if let Ok(pos) = ext_oids.binary_search(&o) {
+                        out.push(pos as u32);
+                    }
                 }
-                let o = right_head.oid_at(i);
-                if let Ok(pos) = ext_oids.binary_search(&o) {
-                    out.push(pos as u32);
-                }
-            }
-        }
+                out
+            })
+        };
         let head = self.oids.gather(&out);
         let result = Lookup { positions: Arc::new(out), head };
         self.lookup_memo.lock().insert(key, result.clone());

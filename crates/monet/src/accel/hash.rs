@@ -6,6 +6,7 @@
 //! ad hoc inside hash-join/semijoin when no persistent index exists.
 
 use crate::column::Column;
+use crate::typed::TypedVals;
 
 const EMPTY: u32 = u32::MAX;
 
@@ -21,18 +22,21 @@ pub struct HashIndex {
 }
 
 impl HashIndex {
-    /// Build over all values of the column window.
+    /// Build over all values of the column window. One typed dispatch, then
+    /// a monomorphic hash-and-chain loop.
     pub fn build(col: &Column) -> HashIndex {
         let n = col.len();
         let nbuckets = (n.max(1) * 2).next_power_of_two();
         let mask = (nbuckets - 1) as u64;
         let mut buckets = vec![EMPTY; nbuckets];
         let mut next = vec![EMPTY; n];
-        for i in 0..n {
-            let b = (col.hash_at(i) & mask) as usize;
-            next[i] = buckets[b];
-            buckets[b] = i as u32;
-        }
+        crate::for_each_typed!(col, |t| {
+            for i in 0..n {
+                let b = (t.hash_one(t.value(i)) & mask) as usize;
+                next[i] = buckets[b];
+                buckets[b] = i as u32;
+            }
+        });
         HashIndex { mask, buckets, next }
     }
 

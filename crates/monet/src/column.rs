@@ -335,6 +335,29 @@ impl Column {
         }
     }
 
+    /// Resolve this window to a [`crate::typed::TypedSlice`] **once** — the
+    /// entry point of the dispatch-once kernel layer (see [`crate::typed`]
+    /// and the `for_each_typed!` family of macros). Bulk code must prefer
+    /// this over the per-element `get`/`cmp_at`/`hash_at` accessors.
+    pub fn typed(&self) -> crate::typed::TypedSlice<'_> {
+        use crate::typed::{StrVals, TypedSlice, VoidVals};
+        let (off, len) = (self.off, self.len);
+        match &self.vals {
+            ColumnVals::Void { seq } => TypedSlice::Void(VoidVals { seq: seq + off as Oid, len }),
+            ColumnVals::Oid(v) => TypedSlice::Oid(&v[off..off + len]),
+            ColumnVals::Bool(v) => TypedSlice::Bool(&v[off..off + len]),
+            ColumnVals::Chr(v) => TypedSlice::Chr(&v[off..off + len]),
+            ColumnVals::Int(v) => TypedSlice::Int(&v[off..off + len]),
+            ColumnVals::Lng(v) => TypedSlice::Lng(&v[off..off + len]),
+            ColumnVals::Dbl(v) => TypedSlice::Dbl(&v[off..off + len]),
+            ColumnVals::Date(v) => TypedSlice::Date(&v[off..off + len]),
+            ColumnVals::Str(v) => {
+                let (offsets, lens, heap) = v.parts(off, len);
+                TypedSlice::Str(StrVals::new(offsets, lens, heap))
+            }
+        }
+    }
+
     /// Typed whole-window slice for fixed-width types (None for void/str).
     pub fn as_oid_slice(&self) -> Option<&[Oid]> {
         match &self.vals {
@@ -367,6 +390,13 @@ impl Column {
     pub fn as_chr_slice(&self) -> Option<&[u8]> {
         match &self.vals {
             ColumnVals::Chr(v) => Some(&v[self.off..self.off + self.len]),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool_slice(&self) -> Option<&[bool]> {
+        match &self.vals {
+            ColumnVals::Bool(v) => Some(&v[self.off..self.off + self.len]),
             _ => None,
         }
     }
@@ -479,45 +509,116 @@ impl Column {
         }
     }
 
+    /// Typed concatenation of two columns holding the same atom type.
+    /// `void` and `oid` operands combine into a materialized oid column;
+    /// genuinely mixed types panic (operators type-check first).
+    pub fn concat(a: &Column, b: &Column) -> Column {
+        use ColumnVals::*;
+        fn win<T: Clone>(v: &[T], off: usize, len: usize) -> &[T] {
+            &v[off..off + len]
+        }
+        match (&a.vals, &b.vals) {
+            (Bool(x), Bool(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_bools(out)
+            }
+            (Chr(x), Chr(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_chrs(out)
+            }
+            (Int(x), Int(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_ints(out)
+            }
+            (Lng(x), Lng(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_lngs(out)
+            }
+            (Dbl(x), Dbl(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_dbls(out)
+            }
+            (Date(x), Date(y)) => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                out.extend_from_slice(win(x, a.off, a.len));
+                out.extend_from_slice(win(y, b.off, b.len));
+                Column::from_date_days(out)
+            }
+            (Str(_), Str(_)) => {
+                let (av, bv) = (a.as_strvec().unwrap(), b.as_strvec().unwrap());
+                let mut builder = StrHeapBuilder::with_capacity(
+                    a.len + b.len,
+                    (av.heap_bytes() + bv.heap_bytes()) / (a.len + b.len).max(1),
+                );
+                for i in 0..a.len {
+                    builder.push(av.get(i));
+                }
+                for i in 0..b.len {
+                    builder.push(bv.get(i));
+                }
+                Column::from_strvec(builder.finish())
+            }
+            _ if a.is_oidlike() && b.is_oidlike() => {
+                let mut out = Vec::with_capacity(a.len + b.len);
+                for i in 0..a.len {
+                    out.push(a.oid_at(i));
+                }
+                for i in 0..b.len {
+                    out.push(b.oid_at(i));
+                }
+                Column::from_oids(out)
+            }
+            _ => panic!("concat on mixed column types {} vs {}", a.atom_type(), b.atom_type()),
+        }
+    }
+
     /// Stable argsort of the window: returns positions in ascending value
     /// order. Used for datavector creation ("Sort on Tail", Figure 7) and
-    /// the load-phase reordering of Section 6.
+    /// the load-phase reordering of Section 6. One typed dispatch, then a
+    /// monomorphic comparator.
     pub fn sort_perm(&self) -> Vec<u32> {
+        use crate::typed::TypedVals;
         let mut idx: Vec<u32> = (0..self.len as u32).collect();
-        use ColumnVals::*;
-        match &self.vals {
-            Void { .. } => {} // already sorted
-            Oid(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Bool(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Chr(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Int(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Lng(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Date(v) => idx.sort_by_key(|&i| v[self.off + i as usize]),
-            Dbl(v) => {
-                idx.sort_by(|&a, &b| v[self.off + a as usize].total_cmp(&v[self.off + b as usize]))
-            }
-            Str(v) => {
-                idx.sort_by(|&a, &b| v.get(self.off + a as usize).cmp(v.get(self.off + b as usize)))
-            }
+        if matches!(self.vals, ColumnVals::Void { .. }) {
+            return idx; // already sorted
         }
+        crate::for_each_typed!(self, |t| {
+            idx.sort_by(|&a, &b| t.cmp_one(t.value(a as usize), t.value(b as usize)))
+        });
         idx
     }
 
     /// O(n) check: ascending (non-strict) order.
     pub fn check_sorted(&self) -> bool {
+        use crate::typed::TypedVals;
         if matches!(self.vals, ColumnVals::Void { .. }) {
             return true;
         }
-        (1..self.len).all(|i| self.cmp_at(i - 1, self, i) != Ordering::Greater)
+        crate::for_each_typed!(self, |t| {
+            (1..t.len()).all(|i| !t.cmp_one(t.value(i - 1), t.value(i)).is_gt())
+        })
     }
 
     /// Check that all values are distinct (key property).
     pub fn check_key(&self) -> bool {
+        use crate::typed::TypedVals;
         if matches!(self.vals, ColumnVals::Void { .. }) {
             return true;
         }
         if self.check_sorted() {
-            return (1..self.len).all(|i| self.cmp_at(i - 1, self, i) == Ordering::Less);
+            return crate::for_each_typed!(self, |t| {
+                (1..t.len()).all(|i| t.cmp_one(t.value(i - 1), t.value(i)).is_lt())
+            });
         }
         let mut seen = std::collections::HashSet::with_capacity(self.len);
         (0..self.len).all(|i| seen.insert(OwnedKey::of(self, i)))
@@ -537,30 +638,36 @@ impl Column {
 
     /// First position whose value is `>= v` (requires ascending order).
     pub fn lower_bound(&self, v: &AtomValue) -> usize {
-        let (mut lo, mut hi) = (0usize, self.len);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.cmp_val(mid, v) == Ordering::Less {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+        use crate::typed::TypedVals;
+        crate::for_each_typed!(self, |t| {
+            let (mut lo, mut hi) = (0usize, t.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if t.cmp_atom(t.value(mid), v).is_lt() {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
             }
-        }
-        lo
+            lo
+        })
     }
 
     /// First position whose value is `> v` (requires ascending order).
     pub fn upper_bound(&self, v: &AtomValue) -> usize {
-        let (mut lo, mut hi) = (0usize, self.len);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.cmp_val(mid, v) != Ordering::Greater {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+        use crate::typed::TypedVals;
+        crate::for_each_typed!(self, |t| {
+            let (mut lo, mut hi) = (0usize, t.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if t.cmp_atom(t.value(mid), v).is_gt() {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
             }
-        }
-        lo
+            lo
+        })
     }
 
     /// Bytes of heap storage attributable to this window: fixed part plus,

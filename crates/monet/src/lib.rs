@@ -19,6 +19,9 @@
 //! * [`bat`], [`props`] — the BAT descriptor and its guarded properties;
 //! * [`ops`] — the BAT algebra: select, join, semijoin, unique, group,
 //!   multiplex `[f]`, set-aggregate `{g}`, set ops, sort/topn/mark;
+//! * [`typed`] — the typed-kernel layer: resolve a column's element type
+//!   **once per operator call** and monomorphize the loop body
+//!   (`for_each_typed!`), so hot loops run over plain `&[T]` slices;
 //! * [`accel`] — search accelerators: hash tables and the **datavector**
 //!   (Section 5.2) with its memoized positional LOOKUP;
 //! * [`mil`] — MIL programs: the straight-line execution language emitted
@@ -57,6 +60,7 @@ pub mod parallel;
 pub mod props;
 pub mod strheap;
 pub(crate) mod sync;
+pub mod typed;
 
 /// Convenient glob-import surface.
 pub mod prelude {

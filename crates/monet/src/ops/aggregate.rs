@@ -7,7 +7,6 @@
 //! than having to do iterative calls on nested collections" — this is what
 //! makes the flattened execution of MOA's nested `sum`s fast.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::atom::{AtomType, AtomValue};
@@ -17,6 +16,7 @@ use crate::ctx::ExecCtx;
 use crate::error::{MonetError, Result};
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::{GroupTable, TypedVals};
 
 /// Aggregate functions, usable both as whole-BAT scalars and per-group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,24 +54,31 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
     match f {
         AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
         AggFunc::Sum => match t.atom_type() {
-            AtomType::Int => Ok(AtomValue::Lng((0..n).map(|i| t.int_at(i) as i64).sum())),
-            AtomType::Lng => Ok(AtomValue::Lng((0..n).map(|i| t.lng_at(i)).sum())),
-            AtomType::Dbl => Ok(AtomValue::Dbl((0..n).map(|i| t.dbl_at(i)).sum())),
+            AtomType::Int => {
+                let s = t.as_int_slice().expect("int tail");
+                Ok(AtomValue::Lng(s.iter().map(|&x| x as i64).sum()))
+            }
+            AtomType::Lng => Ok(AtomValue::Lng(t.as_lng_slice().expect("lng tail").iter().sum())),
+            AtomType::Dbl => Ok(AtomValue::Dbl(t.as_dbl_slice().expect("dbl tail").iter().sum())),
             ty => Err(MonetError::Unsupported { op: "sum", ty }),
         },
-        AggFunc::Avg => match t.atom_type() {
-            AtomType::Int | AtomType::Lng | AtomType::Dbl => {
-                if n == 0 {
-                    return Err(MonetError::Malformed {
-                        op: "avg",
-                        detail: "average of empty BAT".into(),
-                    });
-                }
-                let s: f64 = (0..n).map(|i| t.get(i).as_f64().expect("numeric tail")).sum();
-                Ok(AtomValue::Dbl(s / n as f64))
+        AggFunc::Avg => {
+            if !matches!(t.atom_type(), AtomType::Int | AtomType::Lng | AtomType::Dbl) {
+                return Err(MonetError::Unsupported { op: "avg", ty: t.atom_type() });
             }
-            ty => Err(MonetError::Unsupported { op: "avg", ty }),
-        },
+            if n == 0 {
+                return Err(MonetError::Malformed {
+                    op: "avg",
+                    detail: "average of empty BAT".into(),
+                });
+            }
+            let s: f64 = match t.atom_type() {
+                AtomType::Int => t.as_int_slice().unwrap().iter().map(|&x| x as f64).sum(),
+                AtomType::Lng => t.as_lng_slice().unwrap().iter().map(|&x| x as f64).sum(),
+                _ => t.as_dbl_slice().unwrap().iter().sum(),
+            };
+            Ok(AtomValue::Dbl(s / n as f64))
+        }
         AggFunc::Min | AggFunc::Max => {
             if n == 0 {
                 return Err(MonetError::Malformed {
@@ -79,14 +86,17 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     detail: "min/max of empty BAT".into(),
                 });
             }
-            let mut best = 0usize;
-            for i in 1..n {
-                let c = t.cmp_at(i, t, best);
-                let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
-                if better {
-                    best = i;
+            let best = crate::for_each_typed!(t, |tv| {
+                let mut best = 0usize;
+                for i in 1..tv.len() {
+                    let c = tv.cmp_one(tv.value(i), tv.value(best));
+                    let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
+                    if better {
+                        best = i;
+                    }
                 }
-            }
+                best
+            });
             Ok(t.get(best))
         }
     }
@@ -112,40 +122,36 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
     // Assign each BUN to a group; remember one representative position per
     // group for building the result head (and for min/max gathering).
     let h = ab.head();
-    let mut gid_of: Vec<u32> = Vec::with_capacity(ab.len());
-    let mut rep: Vec<u32> = Vec::new();
-    let algo;
-    if ab.props().head.sorted {
-        algo = "merge";
-        let mut g: u32 = 0;
-        for i in 0..ab.len() {
-            if i > 0 && !h.eq_at(i, h, i - 1) {
-                g += 1;
-            }
-            if rep.len() == g as usize {
-                rep.push(i as u32);
-            }
-            gid_of.push(g);
-        }
-    } else {
-        algo = "hash";
-        let mut seen: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
-        for i in 0..ab.len() {
-            let hh = h.hash_at(i);
-            let bucket = seen.entry(hh).or_default();
-            let found = bucket.iter().find(|(k, _)| h.eq_at(*k as usize, h, i)).map(|(_, g)| *g);
-            let g = match found {
-                Some(g) => g,
-                None => {
-                    let g = rep.len() as u32;
-                    rep.push(i as u32);
-                    bucket.push((i as u32, g));
-                    g
+    let sorted = ab.props().head.sorted;
+    let algo = if sorted { "merge" } else { "hash" };
+    let (gid_of, rep): (Vec<u32>, Vec<u32>) = crate::for_each_typed!(h, |hv| {
+        let n = hv.len();
+        let mut gid_of: Vec<u32> = Vec::with_capacity(n);
+        let mut rep: Vec<u32> = Vec::new();
+        if sorted {
+            let mut g: u32 = 0;
+            for i in 0..n {
+                if i > 0 && !hv.eq_one(hv.value(i), hv.value(i - 1)) {
+                    g += 1;
                 }
-            };
-            gid_of.push(g);
+                if rep.len() == g as usize {
+                    rep.push(i as u32);
+                }
+                gid_of.push(g);
+            }
+        } else {
+            let mut table = GroupTable::with_capacity(n);
+            for i in 0..n {
+                let v = hv.value(i);
+                let hh = hv.hash_one(v);
+                let (g, _) =
+                    table.find_or_insert(hh, i as u32, |r| hv.eq_one(hv.value(r as usize), v));
+                gid_of.push(g);
+            }
+            rep = table.reps().to_vec();
         }
-    }
+        (gid_of, rep)
+    });
 
     let ngroups = rep.len();
     let t = ab.tail();
@@ -158,11 +164,19 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             Column::from_lngs(counts)
         }
         AggFunc::Sum => match tail_ty {
-            AtomType::Int | AtomType::Lng => {
+            AtomType::Int => {
+                let slice = t.as_int_slice().expect("int tail");
                 let mut sums = vec![0i64; ngroups];
                 for (i, &g) in gid_of.iter().enumerate() {
-                    sums[g as usize] +=
-                        if tail_ty == AtomType::Int { t.int_at(i) as i64 } else { t.lng_at(i) };
+                    sums[g as usize] += slice[i] as i64;
+                }
+                Column::from_lngs(sums)
+            }
+            AtomType::Lng => {
+                let slice = t.as_lng_slice().expect("lng tail");
+                let mut sums = vec![0i64; ngroups];
+                for (i, &g) in gid_of.iter().enumerate() {
+                    sums[g as usize] += slice[i];
                 }
                 Column::from_lngs(sums)
             }
@@ -178,22 +192,43 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         AggFunc::Avg => {
             let mut sums = vec![0f64; ngroups];
             let mut counts = vec![0u64; ngroups];
-            for (i, &g) in gid_of.iter().enumerate() {
-                sums[g as usize] += t.get(i).as_f64().expect("numeric tail");
-                counts[g as usize] += 1;
+            match tail_ty {
+                AtomType::Int => {
+                    let slice = t.as_int_slice().expect("int tail");
+                    for (i, &g) in gid_of.iter().enumerate() {
+                        sums[g as usize] += slice[i] as f64;
+                        counts[g as usize] += 1;
+                    }
+                }
+                AtomType::Lng => {
+                    let slice = t.as_lng_slice().expect("lng tail");
+                    for (i, &g) in gid_of.iter().enumerate() {
+                        sums[g as usize] += slice[i] as f64;
+                        counts[g as usize] += 1;
+                    }
+                }
+                _ => {
+                    let slice = t.as_dbl_slice().expect("dbl tail");
+                    for (i, &g) in gid_of.iter().enumerate() {
+                        sums[g as usize] += slice[i];
+                        counts[g as usize] += 1;
+                    }
+                }
             }
             Column::from_dbls(sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect())
         }
         AggFunc::Min | AggFunc::Max => {
             let mut best: Vec<u32> = rep.clone();
-            for (i, &g) in gid_of.iter().enumerate() {
-                let b = &mut best[g as usize];
-                let c = t.cmp_at(i, t, *b as usize);
-                let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
-                if better {
-                    *b = i as u32;
+            crate::for_each_typed!(t, |tv| {
+                for (i, &g) in gid_of.iter().enumerate() {
+                    let b = &mut best[g as usize];
+                    let c = tv.cmp_one(tv.value(i), tv.value(*b as usize));
+                    let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
+                    if better {
+                        *b = i as u32;
+                    }
                 }
-            }
+            });
             t.gather(&best)
         }
     };

@@ -5,8 +5,11 @@
 //! one attribute use the unary version; multi-attribute groupings follow up
 //! with binary `group` invocations until all attributes are processed —
 //! this is how SQL `GROUP BY` and MOA `nest` are implemented.
+//!
+//! Hash grouping uses the presized bucket-chained [`GroupTable`] (the same
+//! layout as `accel::hash::HashIndex`) inside a monomorphized typed loop —
+//! no per-row type dispatch, no per-bucket allocations.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::atom::Oid;
@@ -16,6 +19,7 @@ use crate::ctx::ExecCtx;
 use crate::error::{MonetError, Result};
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::{GroupTable, TypedVals};
 
 /// Unary group: one new oid per distinct tail value. Group oids are dense,
 /// assigned in order of first appearance (or value order when the tail is
@@ -27,47 +31,43 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
-    let t = ab.tail();
-    let mut gids: Vec<Oid> = Vec::with_capacity(ab.len());
-    let (algo, ngroups) = if ab.props().tail.sorted {
-        // Merge grouping: adjacent comparison; group ids ascend with values.
-        let mut g: Oid = 0;
-        for i in 0..ab.len() {
-            if i > 0 && !t.eq_at(i, t, i - 1) {
-                g += 1;
-            }
-            gids.push(g);
-        }
-        ("merge", if ab.is_empty() { 0 } else { g + 1 })
-    } else {
-        let mut seen: HashMap<u64, Vec<(u32, Oid)>> = HashMap::new();
-        let mut next: Oid = 0;
-        for i in 0..ab.len() {
-            let h = t.hash_at(i);
-            let bucket = seen.entry(h).or_default();
-            let gid = bucket.iter().find(|(k, _)| t.eq_at(*k as usize, t, i)).map(|(_, g)| *g);
-            let g = match gid {
-                Some(g) => g,
-                None => {
-                    let g = next;
-                    next += 1;
-                    bucket.push((i as u32, g));
-                    g
+    let sorted = ab.props().tail.sorted;
+    let algo = if sorted { "merge" } else { "hash" };
+    let (mut gids, ngroups): (Vec<Oid>, usize) = crate::for_each_typed!(ab.tail(), |t| {
+        let n = t.len();
+        let mut gids: Vec<Oid> = Vec::with_capacity(n);
+        if sorted {
+            // Merge grouping: adjacent comparison; ids ascend with values.
+            let mut g: Oid = 0;
+            for i in 0..n {
+                if i > 0 && !t.eq_one(t.value(i), t.value(i - 1)) {
+                    g += 1;
                 }
-            };
-            gids.push(g);
+                gids.push(g);
+            }
+            let ngroups = if n == 0 { 0 } else { g as usize + 1 };
+            (gids, ngroups)
+        } else {
+            let mut table = GroupTable::with_capacity(n);
+            for i in 0..n {
+                let v = t.value(i);
+                let h = t.hash_one(v);
+                let (g, _) =
+                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
+                gids.push(g as Oid);
+            }
+            let ngroups = table.len();
+            (gids, ngroups)
         }
-        ("hash", next)
-    };
-    let base = ctx.fresh_oids(ngroups as usize);
+    });
+    let base = ctx.fresh_oids(ngroups);
     for g in &mut gids {
         *g += base;
     }
-    let tail_sorted = ab.props().tail.sorted;
     let result = Bat::with_props(
         ab.head().clone(),
         Column::from_oids(gids),
-        Props::new(ab.props().head, ColProps { sorted: tail_sorted, key: false, dense: false }),
+        Props::new(ab.props().head, ColProps { sorted, key: false, dense: false }),
     );
     ctx.record("group", algo, started, faults0, &result);
     Ok(result)
@@ -90,53 +90,57 @@ pub fn group2(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
         ((0..ab.len() as u32).collect(), "sync")
     } else {
         let idx = crate::accel::hash::HashIndex::build(cd.head());
-        let (ah, ch) = (ab.head(), cd.head());
-        let mut align = Vec::with_capacity(ab.len());
-        for i in 0..ab.len() {
-            let h = ah.hash_at(i);
-            let pos = idx.candidates(h).find(|&p| ch.eq_at(p, ah, i));
-            match pos {
-                Some(p) => align.push(p as u32),
-                None => {
-                    return Err(MonetError::Malformed {
-                        op: "group",
-                        detail: format!(
-                            "binary group: head value at position {i} of the group \
-                             BAT has no counterpart in the attribute BAT"
-                        ),
-                    })
+        let align: std::result::Result<Vec<u32>, usize> =
+            crate::for_each_typed2!(ab.head(), cd.head(), |ah, ch| {
+                'align: {
+                    let mut align = Vec::with_capacity(ab.len());
+                    for i in 0..ah.len() {
+                        let v = ah.value(i);
+                        let h = ah.hash_one(v);
+                        match idx.candidates(h).find(|&p| ch.eq_one(ch.value(p), v)) {
+                            Some(p) => align.push(p as u32),
+                            None => break 'align Err(i),
+                        }
+                    }
+                    Ok(align)
                 }
+            });
+        match align {
+            Ok(a) => (a, "hash-align"),
+            Err(i) => {
+                return Err(MonetError::Malformed {
+                    op: "group",
+                    detail: format!(
+                        "binary group: head value at position {i} of the group \
+                         BAT has no counterpart in the attribute BAT"
+                    ),
+                })
             }
         }
-        (align, "hash-align")
     };
-    let (bt, dt) = (ab.tail(), cd.tail());
-    let mut seen: HashMap<u64, Vec<(u32, Oid)>> = HashMap::new();
-    let mut gids: Vec<Oid> = Vec::with_capacity(ab.len());
-    let mut next: Oid = 0;
-    for i in 0..ab.len() {
-        let j = align[i] as usize;
-        let h = bt.hash_at(i).rotate_left(23) ^ dt.hash_at(j);
-        let bucket = seen.entry(h).or_default();
-        let found = bucket
-            .iter()
-            .find(|(k, _)| {
-                let k = *k as usize;
-                bt.eq_at(k, bt, i) && dt.eq_at(align[k] as usize, dt, j)
-            })
-            .map(|(_, g)| *g);
-        let g = match found {
-            Some(g) => g,
-            None => {
-                let g = next;
-                next += 1;
-                bucket.push((i as u32, g));
-                g
+    // Pair grouping over (b, d): nested typed dispatch monomorphizes the
+    // loop for every tail-type combination.
+    let (mut gids, ngroups): (Vec<Oid>, usize) = crate::for_each_typed!(ab.tail(), |bt| {
+        crate::for_each_typed!(cd.tail(), |dt| {
+            let n = bt.len();
+            let mut table = GroupTable::with_capacity(n);
+            let mut gids: Vec<Oid> = Vec::with_capacity(n);
+            for i in 0..n {
+                let j = align[i] as usize;
+                let bv = bt.value(i);
+                let dv = dt.value(j);
+                let h = bt.hash_one(bv).rotate_left(23) ^ dt.hash_one(dv);
+                let (g, _) = table.find_or_insert(h, i as u32, |rep| {
+                    let k = rep as usize;
+                    bt.eq_one(bt.value(k), bv) && dt.eq_one(dt.value(align[k] as usize), dv)
+                });
+                gids.push(g as Oid);
             }
-        };
-        gids.push(g);
-    }
-    let base = ctx.fresh_oids(next as usize);
+            let ngroups = table.len();
+            (gids, ngroups)
+        })
+    });
+    let base = ctx.fresh_oids(ngroups);
     for g in &mut gids {
         *g += base;
     }

@@ -18,6 +18,7 @@ use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::TypedVals;
 
 use super::check_comparable;
 
@@ -57,7 +58,6 @@ pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFu
         pager::touch_scan(p, ab.tail());
         pager::touch_scan(p, cd.head());
     }
-    let (bt, ch) = (ab.tail(), cd.head());
     let keep = |o: std::cmp::Ordering| match theta {
         F::Lt => o.is_lt(),
         F::Le => o.is_le(),
@@ -66,37 +66,41 @@ pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFu
         F::Ne => !o.is_eq(),
         _ => unreachable!(),
     };
-    let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
-    let algo = if cd.props().head.sorted && !matches!(theta, F::Ne) {
-        // Binary-search the boundary per left BUN, emit the matching
-        // prefix or suffix of CD.
-        for i in 0..ab.len() {
-            let v = bt.get(i);
-            let (start, end) = match theta {
-                F::Lt => (ch.upper_bound(&v), cd.len()),
-                F::Le => (ch.lower_bound(&v), cd.len()),
-                F::Gt => (0, ch.lower_bound(&v)),
-                F::Ge => (0, ch.upper_bound(&v)),
-                _ => unreachable!(),
-            };
-            for j in start..end {
-                left_idx.push(i as u32);
-                right_idx.push(j as u32);
-            }
-        }
-        "sorted-range"
-    } else {
-        for i in 0..ab.len() {
-            for j in 0..cd.len() {
-                if keep(bt.cmp_at(i, ch, j)) {
+    let sorted_range = cd.props().head.sorted && !matches!(theta, F::Ne);
+    let algo = if sorted_range { "sorted-range" } else { "nested-loop" };
+    let (left_idx, right_idx) = crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+        let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        if sorted_range {
+            // Binary-search the boundary per left BUN, emit the matching
+            // prefix or suffix of CD.
+            for i in 0..bt.len() {
+                let v = bt.value(i);
+                let (start, end) = match theta {
+                    F::Lt => (crate::typed::upper_bound_by(ch, v), ch.len()),
+                    F::Le => (crate::typed::lower_bound_by(ch, v), ch.len()),
+                    F::Gt => (0, crate::typed::lower_bound_by(ch, v)),
+                    F::Ge => (0, crate::typed::upper_bound_by(ch, v)),
+                    _ => unreachable!(),
+                };
+                for j in start..end {
                     left_idx.push(i as u32);
                     right_idx.push(j as u32);
                 }
             }
+        } else {
+            for i in 0..bt.len() {
+                let v = bt.value(i);
+                for j in 0..ch.len() {
+                    if keep(bt.cmp_one(v, ch.value(j))) {
+                        left_idx.push(i as u32);
+                        right_idx.push(j as u32);
+                    }
+                }
+            }
         }
-        "nested-loop"
-    };
+        (left_idx, right_idx)
+    });
     if let Some(p) = ctx.pager.as_deref() {
         for &r in &right_idx {
             pager::touch_fetch(p, cd.tail(), r as usize);
@@ -123,16 +127,18 @@ fn join_fetch(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     }
     let seq: Oid = if cd.is_empty() { 0 } else { cd.head().oid_at(0) };
     let n = cd.len() as Oid;
-    let bt = ab.tail();
-    let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
-    let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
-    for i in 0..ab.len() {
-        let b = bt.oid_at(i);
-        if b >= seq && b < seq + n {
-            left_idx.push(i as u32);
-            right_idx.push((b - seq) as u32);
+    let (left_idx, right_idx) = crate::for_each_oidlike!(ab.tail(), |bt| {
+        let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        for i in 0..bt.len() {
+            let b = bt.value(i);
+            if b >= seq && b < seq + n {
+                left_idx.push(i as u32);
+                right_idx.push((b - seq) as u32);
+            }
         }
-    }
+        (left_idx, right_idx)
+    });
     if let Some(p) = ctx.pager.as_deref() {
         for &r in &right_idx {
             pager::touch_fetch(p, cd.tail(), r as usize);
@@ -157,27 +163,30 @@ fn join_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         pager::touch_scan(p, ab.tail());
         pager::touch_scan(p, cd.head());
     }
-    let (bt, ch) = (ab.tail(), cd.head());
-    let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ab.len() && j < cd.len() {
-        match bt.cmp_at(i, ch, j) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // Cross product of the equal groups.
-                let mut j2 = j;
-                while j2 < cd.len() && bt.cmp_at(i, ch, j2).is_eq() {
-                    left_idx.push(i as u32);
-                    right_idx.push(j2 as u32);
-                    j2 += 1;
+    let (left_idx, right_idx) = crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+        let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < bt.len() && j < ch.len() {
+            let v = bt.value(i);
+            match bt.cmp_one(v, ch.value(j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Cross product of the equal groups.
+                    let mut j2 = j;
+                    while j2 < ch.len() && bt.cmp_one(v, ch.value(j2)).is_eq() {
+                        left_idx.push(i as u32);
+                        right_idx.push(j2 as u32);
+                        j2 += 1;
+                    }
+                    i += 1;
+                    // j stays at group start: the next equal b rescans it.
                 }
-                i += 1;
-                // j stays at group start: the next equal b rescans it.
             }
         }
-    }
+        (left_idx, right_idx)
+    });
     build_join(ctx, ab, cd, &left_idx, &right_idx)
 }
 
@@ -192,21 +201,25 @@ fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         cd.accel().head_hash.clone().unwrap_or_else(|| {
             std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
         });
-    let (bt, ch) = (ab.tail(), cd.head());
-    let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
-    for i in 0..ab.len() {
-        let h = bt.hash_at(i);
-        // Chains iterate newest-first; collect then reverse for stable order.
-        let start = right_idx.len();
-        for p in rindex.candidates(h) {
-            if ch.eq_at(p, bt, i) {
-                left_idx.push(i as u32);
-                right_idx.push(p as u32);
+    let (left_idx, right_idx) = crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+        let mut left_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let mut right_idx: Vec<u32> = Vec::with_capacity(ab.len());
+        for i in 0..bt.len() {
+            let v = bt.value(i);
+            let h = bt.hash_one(v);
+            // Chains iterate newest-first; collect then reverse for stable
+            // order.
+            let start = right_idx.len();
+            for p in rindex.candidates(h) {
+                if ch.eq_one(ch.value(p), v) {
+                    left_idx.push(i as u32);
+                    right_idx.push(p as u32);
+                }
             }
+            right_idx[start..].reverse();
         }
-        right_idx[start..].reverse();
-    }
+        (left_idx, right_idx)
+    });
     build_join(ctx, ab, cd, &left_idx, &right_idx)
 }
 

@@ -8,11 +8,18 @@
 //! e.g. `semijoin` chooses between `sync`, `merge`, `datavector` and `hash`
 //! variants. The chosen algorithm is recorded in the trace so that the
 //! detailed execution breakdowns of Figure 10 can show it.
+//!
+//! Hot loops are **monomorphized** through the typed-kernel layer
+//! ([`crate::typed`]): the column type is resolved once per operator call
+//! (`for_each_typed!`), never per row. New operators must follow the same
+//! rule; the per-row generic forms live on only in [`reference`], the
+//! oracle of the specialized-vs-generic property suite.
 
 pub mod aggregate;
 pub mod group;
 pub mod join;
 pub mod multiplex;
+pub mod reference;
 pub mod select;
 pub mod semijoin;
 pub mod setops;

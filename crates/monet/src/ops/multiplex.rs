@@ -10,7 +10,12 @@
 //!
 //! When all BAT arguments are synced the kernel uses the positional fast
 //! path ("the two multiplex operations can be executed very efficiently,
-//! since the kernel knows that the BATs are synced" — Section 6.2.1).
+//! since the kernel knows that the BATs are synced" — Section 6.2.1). The
+//! synced numeric/date/bool/string shapes used by the TPC-D plans (Q1-Q15)
+//! run as monomorphized slice loops — e.g. both halves of the
+//! `(1-discount)*extendedprice` revenue expression compile to straight-line
+//! `f64` kernels; only mixed or unsynced argument shapes fall back to the
+//! generic row-at-a-time `AtomValue` path.
 
 use std::time::Instant;
 
@@ -244,7 +249,7 @@ pub fn multiplex(ctx: &ExecCtx, f: ScalarFunc, args: &[MultArg]) -> Result<Bat> 
 /// Positional fast path: all BAT args share the first BAT's head.
 fn mux_synced(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Result<Bat> {
     let n = first.len();
-    if let Some(col) = numeric_fast_path(f, args, n) {
+    if let Some(col) = typed_fast_path(f, args, n)? {
         return Ok(Bat::with_props(
             first.head().clone(),
             col,
@@ -287,8 +292,8 @@ fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> 
             _ => lookups.push(None),
         }
     }
-    let mut keep: Vec<u32> = Vec::new();
-    let mut out: Vec<AtomValue> = Vec::new();
+    let mut keep: Vec<u32> = Vec::with_capacity(first.len());
+    let mut out: Vec<AtomValue> = Vec::with_capacity(first.len());
     let mut scratch: Vec<AtomValue> = Vec::with_capacity(args.len());
     let fh = first.head();
     'row: for i in 0..first.len() {
@@ -324,7 +329,7 @@ fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> 
 
 /// Result type when the output is empty (so empty BATs still carry a
 /// sensible column type).
-fn result_type_hint(f: ScalarFunc, args: &[MultArg]) -> AtomType {
+pub(crate) fn result_type_hint(f: ScalarFunc, args: &[MultArg]) -> AtomType {
     match f {
         ScalarFunc::Eq
         | ScalarFunc::Ne
@@ -348,46 +353,323 @@ fn result_type_hint(f: ScalarFunc, args: &[MultArg]) -> AtomType {
     }
 }
 
-/// Specialized loops for the hot double-precision arithmetic multiplexes of
-/// the TPC-D plans (`[-](1.0, discount)`, `[*](price, factor)`).
-fn numeric_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Option<Column> {
-    if !matches!(f, ScalarFunc::Add | ScalarFunc::Sub | ScalarFunc::Mul | ScalarFunc::Div) {
-        return None;
+/// One side of a specialized binary loop: a typed slice or a broadcast
+/// constant. The `Src` trait monomorphizes the loop for every shape — no
+/// per-row branch on slice-vs-const.
+trait Src<T: Copy>: Copy {
+    fn at(&self, i: usize) -> T;
+}
+
+impl<'a, T: Copy> Src<T> for &'a [T] {
+    #[inline(always)]
+    fn at(&self, i: usize) -> T {
+        self[i]
     }
-    if args.len() != 2 {
-        return None;
+}
+
+impl<'a> Src<&'a str> for crate::typed::StrVals<'a> {
+    #[inline(always)]
+    fn at(&self, i: usize) -> &'a str {
+        use crate::typed::TypedVals;
+        self.value(i)
     }
-    enum Src<'a> {
-        Slice(&'a [f64]),
-        Const(f64),
+}
+
+/// Broadcast constant source.
+#[derive(Clone, Copy)]
+struct Cst<T: Copy>(T);
+
+impl<T: Copy> Src<T> for Cst<T> {
+    #[inline(always)]
+    fn at(&self, _i: usize) -> T {
+        self.0
     }
-    fn as_src(a: &MultArg) -> Option<Src<'_>> {
-        match a {
-            MultArg::Bat(b) => b.tail().as_dbl_slice().map(Src::Slice),
-            MultArg::Const(AtomValue::Dbl(v)) => Some(Src::Const(*v)),
-            _ => None,
-        }
-    }
-    let a0 = as_src(&args[0])?;
-    let a1 = as_src(&args[1])?;
-    let get = |s: &Src<'_>, i: usize| -> f64 {
-        match s {
-            Src::Slice(v) => v[i],
-            Src::Const(c) => *c,
-        }
-    };
+}
+
+#[inline]
+fn map2<T: Copy, R, A: Src<T>, B: Src<T>>(n: usize, a: A, b: B, f: impl Fn(T, T) -> R) -> Vec<R> {
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let (x, y) = (get(&a0, i), get(&a1, i));
-        out.push(match f {
-            ScalarFunc::Add => x + y,
-            ScalarFunc::Sub => x - y,
-            ScalarFunc::Mul => x * y,
-            ScalarFunc::Div => x / y,
-            _ => unreachable!(),
-        });
+        out.push(f(a.at(i), b.at(i)));
     }
-    Some(Column::from_dbls(out))
+    out
+}
+
+/// Slice-or-constant view of one multiplex argument.
+enum SC<'a, T: Copy> {
+    S(&'a [T]),
+    C(T),
+}
+
+/// Instantiate `$e` for the four slice/const shape combinations of a binary
+/// argument pair — each arm binds monomorphic [`Src`] values.
+macro_rules! with_src2 {
+    ($a:expr, $b:expr, |$x:ident, $y:ident| $e:expr) => {
+        match ($a, $b) {
+            (SC::S($x), SC::S($y)) => $e,
+            (SC::S($x), SC::C(c)) => {
+                let $y = Cst(c);
+                $e
+            }
+            (SC::C(c), SC::S($y)) => {
+                let $x = Cst(c);
+                $e
+            }
+            (SC::C(ca), SC::C(cb)) => {
+                let $x = Cst(ca);
+                let $y = Cst(cb);
+                $e
+            }
+        }
+    };
+}
+
+fn int_sc(a: &MultArg) -> Option<SC<'_, i32>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_int_slice().map(SC::S),
+        MultArg::Const(AtomValue::Int(v)) => Some(SC::C(*v)),
+        _ => None,
+    }
+}
+
+fn lng_sc(a: &MultArg) -> Option<SC<'_, i64>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_lng_slice().map(SC::S),
+        MultArg::Const(AtomValue::Lng(v)) => Some(SC::C(*v)),
+        _ => None,
+    }
+}
+
+fn dbl_sc(a: &MultArg) -> Option<SC<'_, f64>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_dbl_slice().map(SC::S),
+        MultArg::Const(AtomValue::Dbl(v)) => Some(SC::C(*v)),
+        _ => None,
+    }
+}
+
+fn date_sc(a: &MultArg) -> Option<SC<'_, i32>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_date_slice().map(SC::S),
+        MultArg::Const(AtomValue::Date(d)) => Some(SC::C(d.0)),
+        _ => None,
+    }
+}
+
+fn chr_sc(a: &MultArg) -> Option<SC<'_, u8>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_chr_slice().map(SC::S),
+        MultArg::Const(AtomValue::Chr(c)) => Some(SC::C(*c)),
+        _ => None,
+    }
+}
+
+fn bool_sc(a: &MultArg) -> Option<SC<'_, bool>> {
+    match a {
+        MultArg::Bat(b) => b.tail().as_bool_slice().map(SC::S),
+        MultArg::Const(AtomValue::Bool(v)) => Some(SC::C(*v)),
+        _ => None,
+    }
+}
+
+/// Boolean column from a monomorphic comparison loop.
+fn cmp_col<T: Copy, A: Src<T>, B: Src<T>>(
+    f: ScalarFunc,
+    n: usize,
+    a: A,
+    b: B,
+    cmp: impl Fn(T, T) -> std::cmp::Ordering,
+) -> Column {
+    use ScalarFunc as F;
+    Column::from_bools(match f {
+        F::Eq => map2(n, a, b, |x, y| cmp(x, y).is_eq()),
+        F::Ne => map2(n, a, b, |x, y| !cmp(x, y).is_eq()),
+        F::Lt => map2(n, a, b, |x, y| cmp(x, y).is_lt()),
+        F::Le => map2(n, a, b, |x, y| cmp(x, y).is_le()),
+        F::Gt => map2(n, a, b, |x, y| cmp(x, y).is_gt()),
+        F::Ge => map2(n, a, b, |x, y| cmp(x, y).is_ge()),
+        _ => unreachable!(),
+    })
+}
+
+/// Monomorphized loops for the synced argument shapes the TPC-D plans use:
+/// same-type numeric arithmetic, same-type comparisons (int/lng/dbl/date/
+/// chr/bool, plus string vs constant), boolean connectives, `not`/`neg`,
+/// `year`/`month`, and constant-pattern string predicates. Returns
+/// `Ok(None)` for every other shape — the generic row-wise path handles
+/// those.
+fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<Column>> {
+    use crate::typed::TypedSlice;
+    use ScalarFunc as F;
+    match f {
+        F::Add | F::Sub | F::Mul | F::Div => {
+            if args.len() != 2 {
+                return Ok(None);
+            }
+            if let (Some(a), Some(b)) = (int_sc(&args[0]), int_sc(&args[1])) {
+                return with_src2!(a, b, |x, y| {
+                    Ok(Some(Column::from_ints(match f {
+                        F::Add => map2(n, x, y, |p, q| p.wrapping_add(q)),
+                        F::Sub => map2(n, x, y, |p, q| p.wrapping_sub(q)),
+                        F::Mul => map2(n, x, y, |p, q| p.wrapping_mul(q)),
+                        F::Div => {
+                            let mut out = Vec::with_capacity(n);
+                            for i in 0..n {
+                                let q = y.at(i);
+                                if q == 0 {
+                                    return Err(MonetError::Arithmetic("division by zero"));
+                                }
+                                out.push(x.at(i).wrapping_div(q));
+                            }
+                            out
+                        }
+                        _ => unreachable!(),
+                    })))
+                });
+            }
+            if let (Some(a), Some(b)) = (lng_sc(&args[0]), lng_sc(&args[1])) {
+                return with_src2!(a, b, |x, y| {
+                    Ok(Some(Column::from_lngs(match f {
+                        F::Add => map2(n, x, y, |p, q| p.wrapping_add(q)),
+                        F::Sub => map2(n, x, y, |p, q| p.wrapping_sub(q)),
+                        F::Mul => map2(n, x, y, |p, q| p.wrapping_mul(q)),
+                        F::Div => {
+                            let mut out = Vec::with_capacity(n);
+                            for i in 0..n {
+                                let q = y.at(i);
+                                if q == 0 {
+                                    return Err(MonetError::Arithmetic("division by zero"));
+                                }
+                                out.push(x.at(i).wrapping_div(q));
+                            }
+                            out
+                        }
+                        _ => unreachable!(),
+                    })))
+                });
+            }
+            if let (Some(a), Some(b)) = (dbl_sc(&args[0]), dbl_sc(&args[1])) {
+                return with_src2!(a, b, |x, y| {
+                    Ok(Some(Column::from_dbls(match f {
+                        F::Add => map2(n, x, y, |p, q| p + q),
+                        F::Sub => map2(n, x, y, |p, q| p - q),
+                        F::Mul => map2(n, x, y, |p, q| p * q),
+                        F::Div => map2(n, x, y, |p, q| p / q),
+                        _ => unreachable!(),
+                    })))
+                });
+            }
+            Ok(None)
+        }
+        F::Eq | F::Ne | F::Lt | F::Le | F::Gt | F::Ge => {
+            if args.len() != 2 {
+                return Ok(None);
+            }
+            if let (Some(a), Some(b)) = (int_sc(&args[0]), int_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
+            }
+            if let (Some(a), Some(b)) = (lng_sc(&args[0]), lng_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
+            }
+            if let (Some(a), Some(b)) = (dbl_sc(&args[0]), dbl_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| {
+                    p.total_cmp(&q)
+                }))));
+            }
+            if let (Some(a), Some(b)) = (date_sc(&args[0]), date_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
+            }
+            if let (Some(a), Some(b)) = (chr_sc(&args[0]), chr_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
+            }
+            if let (Some(a), Some(b)) = (bool_sc(&args[0]), bool_sc(&args[1])) {
+                return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
+            }
+            // String column versus constant (either side).
+            if let (MultArg::Bat(b), MultArg::Const(AtomValue::Str(c))) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.tail().typed() {
+                    return Ok(Some(cmp_col(f, n, sv, Cst(&**c), |p, q| p.cmp(q))));
+                }
+            }
+            if let (MultArg::Const(AtomValue::Str(c)), MultArg::Bat(b)) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.tail().typed() {
+                    return Ok(Some(cmp_col(f, n, Cst(&**c), sv, |p, q| p.cmp(q))));
+                }
+            }
+            Ok(None)
+        }
+        F::And | F::Or => {
+            if args.len() != 2 {
+                return Ok(None);
+            }
+            if let (Some(a), Some(b)) = (bool_sc(&args[0]), bool_sc(&args[1])) {
+                return with_src2!(a, b, |x, y| {
+                    Ok(Some(Column::from_bools(if f == F::And {
+                        map2(n, x, y, |p, q| p && q)
+                    } else {
+                        map2(n, x, y, |p, q| p || q)
+                    })))
+                });
+            }
+            Ok(None)
+        }
+        // Unary functions: over-supplied arguments must fall through to the
+        // generic path, which rejects them with the arity error.
+        F::Not if args.len() == 1 => match bool_sc(&args[0]) {
+            Some(SC::S(v)) => Ok(Some(Column::from_bools(v.iter().map(|&b| !b).collect()))),
+            _ => Ok(None),
+        },
+        F::Not => Ok(None),
+        F::Neg if args.len() == 1 => match &args[0] {
+            MultArg::Bat(b) => {
+                if let Some(v) = b.tail().as_int_slice() {
+                    Ok(Some(Column::from_ints(v.iter().map(|&x| -x).collect())))
+                } else if let Some(v) = b.tail().as_lng_slice() {
+                    Ok(Some(Column::from_lngs(v.iter().map(|&x| -x).collect())))
+                } else if let Some(v) = b.tail().as_dbl_slice() {
+                    Ok(Some(Column::from_dbls(v.iter().map(|&x| -x).collect())))
+                } else {
+                    Ok(None)
+                }
+            }
+            _ => Ok(None),
+        },
+        F::Neg => Ok(None),
+        F::Year | F::Month if args.len() == 1 => match &args[0] {
+            MultArg::Bat(b) => match b.tail().as_date_slice() {
+                Some(v) if f == F::Year => Ok(Some(Column::from_ints(
+                    v.iter().map(|&d| crate::atom::Date(d).year()).collect(),
+                ))),
+                Some(v) => Ok(Some(Column::from_ints(
+                    v.iter().map(|&d| crate::atom::Date(d).month() as i32).collect(),
+                ))),
+                None => Ok(None),
+            },
+            _ => Ok(None),
+        },
+        F::Year | F::Month => Ok(None),
+        F::StrPrefix | F::StrContains => {
+            if args.len() != 2 {
+                return Ok(None);
+            }
+            if let (MultArg::Bat(b), MultArg::Const(AtomValue::Str(pat))) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.tail().typed() {
+                    use crate::typed::TypedVals;
+                    let mut out = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let s = sv.value(i);
+                        out.push(if f == F::StrPrefix {
+                            s.starts_with(&**pat)
+                        } else {
+                            s.contains(&**pat)
+                        });
+                    }
+                    return Ok(Some(Column::from_bools(out)));
+                }
+            }
+            Ok(None)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +771,33 @@ mod tests {
         assert!(apply_scalar(ScalarFunc::Year, &[AtomValue::Int(1)]).is_err());
         assert!(apply_scalar(ScalarFunc::Add, &[AtomValue::Int(1)]).is_err());
         assert!(apply_scalar(ScalarFunc::And, &[AtomValue::Int(1), AtomValue::Bool(true)]).is_err());
+    }
+
+    #[test]
+    fn unary_over_supplied_args_are_rejected() {
+        // The typed fast path must not swallow extra arguments the generic
+        // path rejects with an arity error.
+        let ctx = ExecCtx::new();
+        let head = Column::from_oids(vec![1, 2]);
+        let bools = Bat::new(head.clone(), Column::from_bools(vec![true, false]));
+        let extra = Bat::new(head.clone(), Column::from_bools(vec![false, true]));
+        assert!(multiplex(
+            &ctx,
+            ScalarFunc::Not,
+            &[MultArg::Bat(bools), MultArg::Bat(extra.clone())]
+        )
+        .is_err());
+        let ints = Bat::new(head.clone(), Column::from_ints(vec![1, 2]));
+        assert!(
+            multiplex(&ctx, ScalarFunc::Neg, &[MultArg::Bat(ints), MultArg::Bat(extra)]).is_err()
+        );
+        let dates = Bat::new(head, Column::from_date_days(vec![100, 200]));
+        assert!(multiplex(
+            &ctx,
+            ScalarFunc::Year,
+            &[MultArg::Bat(dates), MultArg::Const(AtomValue::Int(1))]
+        )
+        .is_err());
     }
 
     #[test]

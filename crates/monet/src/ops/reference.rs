@@ -1,0 +1,410 @@
+//! Generic row-wise **reference implementations** of the BAT operators.
+//!
+//! These are the pre-typed-kernel forms of each operator: every element
+//! access goes through the generic `Column` accessors (`get`, `cmp_val`,
+//! `cmp_at`, `hash_at`), paying one type dispatch per row. They are kept
+//! alive — deliberately slow and obviously correct — as the oracle that the
+//! `specialized-vs-generic` property suite (`tests/ops_props.rs`) compares
+//! the monomorphized kernels in the sibling modules against, on random
+//! inputs across every atom type.
+//!
+//! Output *order* mirrors the specialized operators exactly (left-operand
+//! order, ascending positions, first-occurrence grouping), so tests can
+//! compare results pair-for-pair instead of as multisets. Reference ops
+//! take no `ExecCtx` and claim no properties.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::atom::{AtomType, AtomValue, Oid};
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{MonetError, Result};
+use crate::ops::multiplex::{apply_scalar, MultArg};
+use crate::ops::{AggFunc, ScalarFunc};
+
+fn gather_pair(ab: &Bat, idx: &[u32]) -> Bat {
+    Bat::new(ab.head().gather(idx), ab.tail().gather(idx))
+}
+
+/// Point selection by scanning with per-row `cmp_val`.
+pub fn select_eq(ab: &Bat, v: &AtomValue) -> Bat {
+    let tail = ab.tail();
+    let idx: Vec<u32> =
+        (0..ab.len()).filter(|&i| tail.cmp_val(i, v).is_eq()).map(|i| i as u32).collect();
+    gather_pair(ab, &idx)
+}
+
+/// Range selection by scanning with per-row `cmp_val`.
+pub fn select_range(
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Bat {
+    let tail = ab.tail();
+    let keep = |i: usize| -> bool {
+        if let Some(v) = lo {
+            let c = tail.cmp_val(i, v);
+            if c.is_lt() || (!inc_lo && c.is_eq()) {
+                return false;
+            }
+        }
+        if let Some(v) = hi {
+            let c = tail.cmp_val(i, v);
+            if c.is_gt() || (!inc_hi && c.is_eq()) {
+                return false;
+            }
+        }
+        true
+    };
+    let idx: Vec<u32> = (0..ab.len()).filter(|&i| keep(i)).map(|i| i as u32).collect();
+    gather_pair(ab, &idx)
+}
+
+/// Nested-loop equi-join (left order, right positions ascending).
+pub fn join(ab: &Bat, cd: &Bat) -> Bat {
+    let (bt, ch) = (ab.tail(), cd.head());
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    for i in 0..ab.len() {
+        for j in 0..cd.len() {
+            if bt.eq_at(i, ch, j) {
+                li.push(i as u32);
+                ri.push(j as u32);
+            }
+        }
+    }
+    Bat::new(ab.head().gather(&li), cd.tail().gather(&ri))
+}
+
+/// Nested-loop theta-join for θ ∈ {<, ≤, >, ≥, ≠}.
+pub fn join_theta(ab: &Bat, cd: &Bat, theta: ScalarFunc) -> Bat {
+    let keep = |o: Ordering| match theta {
+        ScalarFunc::Lt => o.is_lt(),
+        ScalarFunc::Le => o.is_le(),
+        ScalarFunc::Gt => o.is_gt(),
+        ScalarFunc::Ge => o.is_ge(),
+        ScalarFunc::Ne => !o.is_eq(),
+        _ => panic!("not a theta operator: {theta:?}"),
+    };
+    let (bt, ch) = (ab.tail(), cd.head());
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    for i in 0..ab.len() {
+        for j in 0..cd.len() {
+            if keep(bt.cmp_at(i, ch, j)) {
+                li.push(i as u32);
+                ri.push(j as u32);
+            }
+        }
+    }
+    Bat::new(ab.head().gather(&li), cd.tail().gather(&ri))
+}
+
+/// Scan semijoin: keep left BUNs whose head occurs in the right heads.
+pub fn semijoin(ab: &Bat, cd: &Bat) -> Bat {
+    let (ah, ch) = (ab.head(), cd.head());
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| (0..cd.len()).any(|j| ah.eq_at(i, ch, j)))
+        .map(|i| i as u32)
+        .collect();
+    gather_pair(ab, &idx)
+}
+
+/// Scan anti-semijoin.
+pub fn antijoin(ab: &Bat, cd: &Bat) -> Bat {
+    let (ah, ch) = (ab.head(), cd.head());
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| !(0..cd.len()).any(|j| ah.eq_at(i, ch, j)))
+        .map(|i| i as u32)
+        .collect();
+    gather_pair(ab, &idx)
+}
+
+/// Unary group ids in canonical (first-appearance, 0-based) numbering.
+pub fn group1_gids(ab: &Bat) -> Vec<Oid> {
+    let t = ab.tail();
+    let mut seen: HashMap<u64, Vec<(u32, Oid)>> = HashMap::new();
+    let mut gids = Vec::with_capacity(ab.len());
+    let mut next: Oid = 0;
+    for i in 0..ab.len() {
+        let h = t.hash_at(i);
+        let bucket = seen.entry(h).or_default();
+        let gid = bucket.iter().find(|(k, _)| t.eq_at(*k as usize, t, i)).map(|(_, g)| *g);
+        let g = gid.unwrap_or_else(|| {
+            let g = next;
+            next += 1;
+            bucket.push((i as u32, g));
+            g
+        });
+        gids.push(g);
+    }
+    gids
+}
+
+/// Binary (refining) group ids in canonical numbering; `Err` when a head of
+/// `ab` has no counterpart in `cd`.
+pub fn group2_gids(ab: &Bat, cd: &Bat) -> Result<Vec<Oid>> {
+    let (ah, ch) = (ab.head(), cd.head());
+    let mut align = Vec::with_capacity(ab.len());
+    for i in 0..ab.len() {
+        match (0..cd.len()).find(|&j| ch.eq_at(j, ah, i)) {
+            Some(j) => align.push(j),
+            None => {
+                return Err(MonetError::Malformed {
+                    op: "group",
+                    detail: format!("reference group2: no counterpart for row {i}"),
+                })
+            }
+        }
+    }
+    let (bt, dt) = (ab.tail(), cd.tail());
+    let mut key_of: Vec<(AtomValue, AtomValue)> = Vec::new();
+    let mut gids = Vec::with_capacity(ab.len());
+    for i in 0..ab.len() {
+        let key = (bt.get(i), dt.get(align[i]));
+        let g = match key_of.iter().position(|k| *k == key) {
+            Some(g) => g,
+            None => {
+                key_of.push(key);
+                key_of.len() - 1
+            }
+        };
+        gids.push(g as Oid);
+    }
+    Ok(gids)
+}
+
+/// First occurrence of every distinct BUN pair, in operand order.
+pub fn unique(ab: &Bat) -> Bat {
+    let (h, t) = (ab.head(), ab.tail());
+    let mut idx: Vec<u32> = Vec::new();
+    for i in 0..ab.len() {
+        let dup = idx.iter().any(|&k| h.eq_at(k as usize, h, i) && t.eq_at(k as usize, t, i));
+        if !dup {
+            idx.push(i as u32);
+        }
+    }
+    gather_pair(ab, &idx)
+}
+
+/// Stable reorder ascending on tail values.
+pub fn sort_tail(ab: &Bat) -> Bat {
+    let mut idx: Vec<u32> = (0..ab.len() as u32).collect();
+    let t = ab.tail();
+    idx.sort_by(|&a, &b| t.cmp_at(a as usize, t, b as usize));
+    gather_pair(ab, &idx)
+}
+
+/// Whole-BAT aggregate over the tail, row order, generic accessors.
+pub fn aggr_scalar(ab: &Bat, f: AggFunc) -> Result<AtomValue> {
+    let t = ab.tail();
+    let n = ab.len();
+    match f {
+        AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
+        AggFunc::Sum => match t.atom_type() {
+            AtomType::Int => Ok(AtomValue::Lng((0..n).map(|i| t.int_at(i) as i64).sum())),
+            AtomType::Lng => Ok(AtomValue::Lng((0..n).map(|i| t.lng_at(i)).sum())),
+            AtomType::Dbl => Ok(AtomValue::Dbl((0..n).map(|i| t.dbl_at(i)).sum())),
+            ty => Err(MonetError::Unsupported { op: "sum", ty }),
+        },
+        AggFunc::Avg => {
+            if n == 0 {
+                return Err(MonetError::Malformed { op: "avg", detail: "empty".into() });
+            }
+            let mut s = 0.0;
+            for i in 0..n {
+                s += t
+                    .get(i)
+                    .as_f64()
+                    .ok_or(MonetError::Unsupported { op: "avg", ty: t.atom_type() })?;
+            }
+            Ok(AtomValue::Dbl(s / n as f64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            if n == 0 {
+                return Err(MonetError::Malformed { op: f.name(), detail: "empty".into() });
+            }
+            let mut best = 0usize;
+            for i in 1..n {
+                let c = t.cmp_at(i, t, best);
+                if if f == AggFunc::Min { c.is_lt() } else { c.is_gt() } {
+                    best = i;
+                }
+            }
+            Ok(t.get(best))
+        }
+    }
+}
+
+/// Set-aggregate `{g}`: group over heads in first-occurrence order, then
+/// aggregate each group's tail values in row order.
+pub fn set_aggregate(f: AggFunc, ab: &Bat) -> Result<Bat> {
+    let tail_ty = ab.tail().atom_type();
+    if !matches!(f, AggFunc::Count | AggFunc::Min | AggFunc::Max)
+        && !matches!(tail_ty, AtomType::Int | AtomType::Lng | AtomType::Dbl)
+    {
+        return Err(MonetError::Unsupported { op: "set-aggregate", ty: tail_ty });
+    }
+    let h = ab.head();
+    let mut rep: Vec<u32> = Vec::new();
+    let mut gid_of: Vec<u32> = Vec::with_capacity(ab.len());
+    for i in 0..ab.len() {
+        let g = match rep.iter().position(|&r| h.eq_at(r as usize, h, i)) {
+            Some(g) => g,
+            None => {
+                rep.push(i as u32);
+                rep.len() - 1
+            }
+        };
+        gid_of.push(g as u32);
+    }
+    let ngroups = rep.len();
+    let t = ab.tail();
+    let tail: Column = match f {
+        AggFunc::Count => {
+            let mut counts = vec![0i64; ngroups];
+            for &g in &gid_of {
+                counts[g as usize] += 1;
+            }
+            Column::from_lngs(counts)
+        }
+        AggFunc::Sum => match tail_ty {
+            AtomType::Int | AtomType::Lng => {
+                let mut sums = vec![0i64; ngroups];
+                for (i, &g) in gid_of.iter().enumerate() {
+                    sums[g as usize] +=
+                        if tail_ty == AtomType::Int { t.int_at(i) as i64 } else { t.lng_at(i) };
+                }
+                Column::from_lngs(sums)
+            }
+            _ => {
+                let mut sums = vec![0f64; ngroups];
+                for (i, &g) in gid_of.iter().enumerate() {
+                    sums[g as usize] += t.dbl_at(i);
+                }
+                Column::from_dbls(sums)
+            }
+        },
+        AggFunc::Avg => {
+            let mut sums = vec![0f64; ngroups];
+            let mut counts = vec![0u64; ngroups];
+            for (i, &g) in gid_of.iter().enumerate() {
+                sums[g as usize] += t.get(i).as_f64().expect("numeric tail");
+                counts[g as usize] += 1;
+            }
+            Column::from_dbls(sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect())
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Vec<u32> = rep.clone();
+            for (i, &g) in gid_of.iter().enumerate() {
+                let b = &mut best[g as usize];
+                let c = t.cmp_at(i, t, *b as usize);
+                if if f == AggFunc::Min { c.is_lt() } else { c.is_gt() } {
+                    *b = i as u32;
+                }
+            }
+            t.gather(&best)
+        }
+    };
+    Ok(Bat::new(h.gather(&rep), tail))
+}
+
+/// Row-at-a-time synced multiplex: the original generic loop — a boxed
+/// `AtomValue` scratch vector and `apply_scalar` per row.
+pub fn multiplex_synced(f: ScalarFunc, args: &[MultArg]) -> Result<Bat> {
+    let first = args
+        .iter()
+        .find_map(|a| match a {
+            MultArg::Bat(b) => Some(b),
+            MultArg::Const(_) => None,
+        })
+        .ok_or_else(|| MonetError::Malformed {
+            op: "multiplex",
+            detail: "at least one BAT argument required".into(),
+        })?;
+    let n = first.len();
+    let mut out: Vec<AtomValue> = Vec::with_capacity(n);
+    let mut scratch: Vec<AtomValue> = Vec::with_capacity(args.len());
+    for i in 0..n {
+        scratch.clear();
+        for a in args {
+            scratch.push(match a {
+                MultArg::Bat(b) => b.tail().get(i),
+                MultArg::Const(v) => v.clone(),
+            });
+        }
+        out.push(apply_scalar(f, &scratch)?);
+    }
+    let ty = out
+        .first()
+        .map(AtomValue::atom_type)
+        .unwrap_or_else(|| crate::ops::multiplex::result_type_hint(f, args));
+    Ok(Bat::new(first.head().clone(), Column::from_atoms(ty, out)))
+}
+
+fn pair_eq(a: &Bat, i: usize, b: &Bat, j: usize) -> bool {
+    a.head().eq_at(i, b.head(), j) && a.tail().eq_at(i, b.tail(), j)
+}
+
+/// Set union of BUN pairs (left first, first-occurrence dedup).
+pub fn union_pairs(ab: &Bat, cd: &Bat) -> Bat {
+    let mut heads: Vec<AtomValue> = Vec::new();
+    let mut tails: Vec<AtomValue> = Vec::new();
+    let mut kept: Vec<(u8, u32)> = Vec::new();
+    for (tag, src) in [(0u8, ab), (1u8, cd)] {
+        for i in 0..src.len() {
+            let dup = kept.iter().any(|&(t, p)| {
+                let other = if t == 0 { ab } else { cd };
+                pair_eq(other, p as usize, src, i)
+            });
+            if !dup {
+                kept.push((tag, i as u32));
+                heads.push(src.head().get(i));
+                tails.push(src.tail().get(i));
+            }
+        }
+    }
+    Bat::new(
+        Column::from_atoms(ab.head().atom_type(), heads),
+        Column::from_atoms(ab.tail().atom_type(), tails),
+    )
+}
+
+/// Pairs of `AB` not occurring in `CD`.
+pub fn diff_pairs(ab: &Bat, cd: &Bat) -> Bat {
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| !(0..cd.len()).any(|j| pair_eq(cd, j, ab, i)))
+        .map(|i| i as u32)
+        .collect();
+    gather_pair(ab, &idx)
+}
+
+/// Pairs of `AB` also occurring in `CD`.
+pub fn intersect_pairs(ab: &Bat, cd: &Bat) -> Bat {
+    let idx: Vec<u32> = (0..ab.len())
+        .filter(|&i| (0..cd.len()).any(|j| pair_eq(cd, j, ab, i)))
+        .map(|i| i as u32)
+        .collect();
+    gather_pair(ab, &idx)
+}
+
+/// Row-wise concatenation via generic atom values.
+pub fn concat_bats(ab: &Bat, cd: &Bat) -> Bat {
+    let pick = |t: AtomType| if t == AtomType::Void { AtomType::Oid } else { t };
+    let devoid = |v: AtomValue| match v {
+        AtomValue::Void(o) => AtomValue::Oid(o),
+        other => other,
+    };
+    let head = Column::from_atoms(
+        pick(ab.head().atom_type()),
+        ab.head().iter().chain(cd.head().iter()).map(devoid),
+    );
+    let tail = Column::from_atoms(
+        pick(ab.tail().atom_type()),
+        ab.tail().iter().chain(cd.tail().iter()).map(devoid),
+    );
+    Bat::new(head, tail)
+}

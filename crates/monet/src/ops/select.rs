@@ -14,6 +14,7 @@ use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::TypedVals;
 
 use super::check_comparable;
 
@@ -99,8 +100,12 @@ fn select_hash(
     v: &AtomValue,
 ) -> Bat {
     let h = crate::column::hash_atom(v);
-    let mut idx: Vec<u32> =
-        hash.candidates(h).filter(|&p| ab.tail().cmp_val(p, v).is_eq()).map(|p| p as u32).collect();
+    let mut idx: Vec<u32> = crate::for_each_typed!(ab.tail(), |t| {
+        hash.candidates(h)
+            .filter(|&p| t.cmp_atom(t.value(p), v).is_eq())
+            .map(|p| p as u32)
+            .collect()
+    });
     idx.reverse(); // chains iterate newest-first; restore BUN order
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
@@ -115,9 +120,16 @@ fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Bat {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
-    let tail = ab.tail();
-    let idx: Vec<u32> =
-        (0..ab.len()).filter(|&i| tail.cmp_val(i, v).is_eq()).map(|i| i as u32).collect();
+    // Monomorphic scan: one typed dispatch, then a tight loop over `&[T]`.
+    let idx: Vec<u32> = crate::for_each_typed!(ab.tail(), |t| {
+        let mut idx = Vec::with_capacity(ab.len());
+        for i in 0..t.len() {
+            if t.cmp_atom(t.value(i), v).is_eq() {
+                idx.push(i as u32);
+            }
+        }
+        idx
+    });
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
             pager::touch_fetch(p, ab.head(), i as usize);
@@ -137,23 +149,26 @@ fn select_scan_range(
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
-    let tail = ab.tail();
-    let keep = |i: usize| -> bool {
-        if let Some(v) = lo {
-            let c = tail.cmp_val(i, v);
-            if c.is_lt() || (!inc_lo && c.is_eq()) {
-                return false;
+    let idx: Vec<u32> = crate::for_each_typed!(ab.tail(), |t| {
+        let mut idx = Vec::with_capacity(ab.len());
+        'row: for i in 0..t.len() {
+            let x = t.value(i);
+            if let Some(v) = lo {
+                let c = t.cmp_atom(x, v);
+                if c.is_lt() || (!inc_lo && c.is_eq()) {
+                    continue 'row;
+                }
             }
-        }
-        if let Some(v) = hi {
-            let c = tail.cmp_val(i, v);
-            if c.is_gt() || (!inc_hi && c.is_eq()) {
-                return false;
+            if let Some(v) = hi {
+                let c = t.cmp_atom(x, v);
+                if c.is_gt() || (!inc_hi && c.is_eq()) {
+                    continue 'row;
+                }
             }
+            idx.push(i as u32);
         }
-        true
-    };
-    let idx: Vec<u32> = (0..ab.len()).filter(|&i| keep(i)).map(|i| i as u32).collect();
+        idx
+    });
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
             pager::touch_fetch(p, ab.head(), i as usize);

@@ -20,6 +20,7 @@ use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::TypedVals;
 
 use super::check_comparable;
 
@@ -65,20 +66,22 @@ fn semijoin_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         pager::touch_scan(p, ab.head());
         pager::touch_scan(p, cd.head());
     }
-    let (ah, ch) = (ab.head(), cd.head());
-    let mut idx = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ab.len() && j < cd.len() {
-        match ah.cmp_at(i, ch, j) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                idx.push(i as u32);
-                i += 1;
-                // j stays: further equal a's match the same c.
+    let idx = crate::for_each_typed2!(ab.head(), cd.head(), |ah, ch| {
+        let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ah.len() && j < ch.len() {
+            match ah.cmp_one(ah.value(i), ch.value(j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    idx.push(i as u32);
+                    i += 1;
+                    // j stays: further equal a's match the same c.
+                }
             }
         }
-    }
+        idx
+    });
     build_subset(ctx, ab, &idx)
 }
 
@@ -114,14 +117,17 @@ fn semijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         cd.accel().head_hash.clone().unwrap_or_else(|| {
             std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
         });
-    let (ah, ch) = (ab.head(), cd.head());
-    let idx: Vec<u32> = (0..ab.len())
-        .filter(|&i| {
-            let h = ah.hash_at(i);
-            rindex.candidates(h).any(|p| ch.eq_at(p, ah, i))
-        })
-        .map(|i| i as u32)
-        .collect();
+    let idx = crate::for_each_typed2!(ab.head(), cd.head(), |ah, ch| {
+        let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+        for i in 0..ah.len() {
+            let v = ah.value(i);
+            let h = ah.hash_one(v);
+            if rindex.candidates(h).any(|p| ch.eq_one(ch.value(p), v)) {
+                idx.push(i as u32);
+            }
+        }
+        idx
+    });
     build_subset(ctx, ab, &idx)
 }
 
@@ -134,14 +140,17 @@ fn antijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         cd.accel().head_hash.clone().unwrap_or_else(|| {
             std::sync::Arc::new(crate::accel::hash::HashIndex::build(cd.head()))
         });
-    let (ah, ch) = (ab.head(), cd.head());
-    let idx: Vec<u32> = (0..ab.len())
-        .filter(|&i| {
-            let h = ah.hash_at(i);
-            !rindex.candidates(h).any(|p| ch.eq_at(p, ah, i))
-        })
-        .map(|i| i as u32)
-        .collect();
+    let idx = crate::for_each_typed2!(ab.head(), cd.head(), |ah, ch| {
+        let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+        for i in 0..ah.len() {
+            let v = ah.value(i);
+            let h = ah.hash_one(v);
+            if !rindex.candidates(h).any(|p| ch.eq_one(ch.value(p), v)) {
+                idx.push(i as u32);
+            }
+        }
+        idx
+    });
     build_subset(ctx, ab, &idx)
 }
 

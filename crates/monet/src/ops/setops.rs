@@ -2,15 +2,14 @@
 //! intersection. MOA's set operations on identified value sets translate to
 //! these plus the head-based `semijoin`/`antijoin` of [`super::semijoin`].
 
-use std::collections::HashMap;
 use std::time::Instant;
 
-use crate::atom::AtomValue;
 use crate::bat::Bat;
 use crate::column::Column;
 use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
+use crate::typed::{hash_column, GroupTable};
 
 use super::check_comparable;
 
@@ -19,35 +18,45 @@ fn check_both(op: &'static str, ab: &Bat, cd: &Bat) -> Result<()> {
     check_comparable(op, ab.tail().atom_type(), cd.tail().atom_type())
 }
 
-/// Pair-set membership structure over a BAT.
+/// Per-row (head, tail) pair hashes of a BAT, computed in two bulk typed
+/// passes — no per-row type dispatch.
+fn pair_hashes(b: &Bat) -> Vec<u64> {
+    let hh = hash_column(b.head());
+    let th = hash_column(b.tail());
+    hh.iter().zip(&th).map(|(&h, &t)| h.rotate_left(17) ^ t).collect()
+}
+
+/// Pair-set membership structure over a BAT: a [`GroupTable`] keyed on the
+/// full 64-bit pair hash (duplicate pairs collapse — membership is all
+/// that's asked); value equality is only re-checked on true hash matches,
+/// so the generic compare runs once per *matching* row, not per probe.
 struct PairSet<'a> {
     bat: &'a Bat,
-    buckets: HashMap<u64, Vec<u32>>,
+    table: GroupTable,
 }
 
 impl<'a> PairSet<'a> {
     fn build(bat: &'a Bat) -> PairSet<'a> {
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for i in 0..bat.len() {
-            let key = pair_hash(bat, i);
-            buckets.entry(key).or_default().push(i as u32);
+        let hashes = pair_hashes(bat);
+        let mut table = GroupTable::with_capacity(bat.len());
+        for (i, &h) in hashes.iter().enumerate() {
+            table.find_or_insert(h, i as u32, |rep| {
+                let p = rep as usize;
+                bat.head().eq_at(p, bat.head(), i) && bat.tail().eq_at(p, bat.tail(), i)
+            });
         }
-        PairSet { bat, buckets }
+        PairSet { bat, table }
     }
 
-    fn contains(&self, other: &Bat, i: usize) -> bool {
-        let key = pair_hash(other, i);
-        self.buckets.get(&key).is_some_and(|v| {
-            v.iter().any(|&p| {
-                self.bat.head().eq_at(p as usize, other.head(), i)
-                    && self.bat.tail().eq_at(p as usize, other.tail(), i)
+    fn contains(&self, other: &Bat, i: usize, key: u64) -> bool {
+        self.table
+            .find(key, |rep| {
+                let p = rep as usize;
+                self.bat.head().eq_at(p, other.head(), i)
+                    && self.bat.tail().eq_at(p, other.tail(), i)
             })
-        })
+            .is_some()
     }
-}
-
-fn pair_hash(b: &Bat, i: usize) -> u64 {
-    b.head().hash_at(i).rotate_left(17) ^ b.tail().hash_at(i)
 }
 
 fn touch_both(ctx: &ExecCtx, ab: &Bat, cd: &Bat) {
@@ -66,38 +75,39 @@ pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let started = Instant::now();
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
-    let head_ty = ab.head().atom_type();
-    let tail_ty = ab.tail().atom_type();
-    let mut heads: Vec<AtomValue> = Vec::with_capacity(ab.len() + cd.len());
-    let mut tails: Vec<AtomValue> = Vec::with_capacity(ab.len() + cd.len());
-    // Dedup across the concatenation.
-    let mut seen: HashMap<u64, Vec<(u8, u32)>> = HashMap::new();
-    let push = |src: &Bat,
-                tag: u8,
-                i: usize,
-                seen: &mut HashMap<u64, Vec<(u8, u32)>>,
-                heads: &mut Vec<AtomValue>,
-                tails: &mut Vec<AtomValue>| {
-        let key = pair_hash(src, i);
-        let bucket = seen.entry(key).or_default();
-        let dup = bucket.iter().any(|&(t, p)| {
-            let other = if t == 0 { ab } else { cd };
-            other.head().eq_at(p as usize, src.head(), i)
-                && other.tail().eq_at(p as usize, src.tail(), i)
-        });
-        if !dup {
-            bucket.push((tag, i as u32));
-            heads.push(src.head().get(i));
-            tails.push(src.tail().get(i));
+    // Dedup across the concatenation: one [`GroupTable`] over the pair
+    // hashes of both operands (ab rows at entry i, cd rows at entry
+    // ab.len() + i), generic equality only on full-hash matches.
+    let (na, nc) = (ab.len(), cd.len());
+    let mut hashes = pair_hashes(ab);
+    hashes.extend(pair_hashes(cd));
+    let mut keep_a: Vec<u32> = Vec::with_capacity(na);
+    let mut keep_c: Vec<u32> = Vec::with_capacity(nc);
+    let row_of = |e: usize| -> (&Bat, usize) {
+        if e < na {
+            (ab, e)
+        } else {
+            (cd, e - na)
         }
     };
-    for i in 0..ab.len() {
-        push(ab, 0, i, &mut seen, &mut heads, &mut tails);
+    let mut table = GroupTable::with_capacity(na + nc);
+    for e in 0..na + nc {
+        let (src, i) = row_of(e);
+        let (_, inserted) = table.find_or_insert(hashes[e], e as u32, |rep| {
+            let (kb, kj) = row_of(rep as usize);
+            kb.head().eq_at(kj, src.head(), i) && kb.tail().eq_at(kj, src.tail(), i)
+        });
+        if inserted {
+            if e < na {
+                keep_a.push(i as u32);
+            } else {
+                keep_c.push(i as u32);
+            }
+        }
     }
-    for i in 0..cd.len() {
-        push(cd, 1, i, &mut seen, &mut heads, &mut tails);
-    }
-    let result = Bat::new(Column::from_atoms(head_ty, heads), Column::from_atoms(tail_ty, tails));
+    let head = Column::concat(&ab.head().gather(&keep_a), &cd.head().gather(&keep_c));
+    let tail = Column::concat(&ab.tail().gather(&keep_a), &cd.tail().gather(&keep_c));
+    let result = Bat::new(head, tail);
     ctx.record("union", "hash", started, faults0, &result);
     Ok(result)
 }
@@ -109,7 +119,9 @@ pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
     let set = PairSet::build(cd);
-    let idx: Vec<u32> = (0..ab.len()).filter(|&i| !set.contains(ab, i)).map(|i| i as u32).collect();
+    let keys = pair_hashes(ab);
+    let idx: Vec<u32> =
+        (0..ab.len()).filter(|&i| !set.contains(ab, i, keys[i])).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
     ctx.record("difference", "hash", started, faults0, &result);
     Ok(result)
@@ -123,29 +135,8 @@ pub fn concat_bats(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let started = Instant::now();
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
-    let pick = |t: crate::atom::AtomType| {
-        if t == crate::atom::AtomType::Void {
-            crate::atom::AtomType::Oid
-        } else {
-            t
-        }
-    };
-    let head_ty = pick(ab.head().atom_type());
-    let tail_ty = pick(ab.tail().atom_type());
-    let head = Column::from_atoms(
-        head_ty,
-        ab.head().iter().chain(cd.head().iter()).map(|v| match v {
-            AtomValue::Void(o) => AtomValue::Oid(o),
-            other => other,
-        }),
-    );
-    let tail = Column::from_atoms(
-        tail_ty,
-        ab.tail().iter().chain(cd.tail().iter()).map(|v| match v {
-            AtomValue::Void(o) => AtomValue::Oid(o),
-            other => other,
-        }),
-    );
+    let head = Column::concat(ab.head(), cd.head());
+    let tail = Column::concat(ab.tail(), cd.tail());
     let result = Bat::new(head, tail);
     ctx.record("concat", "copy", started, faults0, &result);
     Ok(result)
@@ -190,7 +181,9 @@ pub fn intersect_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let faults0 = ctx.faults();
     touch_both(ctx, ab, cd);
     let set = PairSet::build(cd);
-    let idx: Vec<u32> = (0..ab.len()).filter(|&i| set.contains(ab, i)).map(|i| i as u32).collect();
+    let keys = pair_hashes(ab);
+    let idx: Vec<u32> =
+        (0..ab.len()).filter(|&i| set.contains(ab, i, keys[i])).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
     ctx.record("intersect", "hash", started, faults0, &result);
     Ok(result)

@@ -1,7 +1,10 @@
 //! Duplicate elimination: `AB.unique = {ab | ab ∈ AB}` as a *set* — the
 //! first occurrence of every distinct BUN pair is kept, in operand order.
+//!
+//! Both variants run under nested typed dispatch: the (head, tail) type
+//! pair is resolved once and the per-row work — pair hash, chain walk,
+//! pair equality — is fully monomorphic.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::bat::Bat;
@@ -9,6 +12,7 @@ use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
 use crate::props::{ColProps, Props};
+use crate::typed::{GroupTable, TypedVals};
 
 /// Remove duplicate BUNs.
 pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
@@ -34,38 +38,47 @@ pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
 /// a per-run list of distinct tails (runs have few distinct values in the
 /// nest/group plans this op serves).
 fn unique_grouped(ab: &Bat) -> Bat {
-    let (h, t) = (ab.head(), ab.tail());
-    let mut idx: Vec<u32> = Vec::new();
-    let mut run_start = 0usize;
-    let mut kept_in_run: Vec<usize> = Vec::new();
-    for i in 0..ab.len() {
-        if i > 0 && !h.eq_at(i, h, i - 1) {
-            run_start = i;
-            kept_in_run.clear();
-        }
-        let _ = run_start;
-        if !kept_in_run.iter().any(|&k| t.eq_at(k, t, i)) {
-            kept_in_run.push(i);
-            idx.push(i as u32);
-        }
-    }
+    let idx: Vec<u32> = crate::for_each_typed!(ab.head(), |h| {
+        crate::for_each_typed!(ab.tail(), |t| {
+            let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+            let mut kept_in_run: Vec<u32> = Vec::new();
+            for i in 0..h.len() {
+                if i > 0 && !h.eq_one(h.value(i), h.value(i - 1)) {
+                    kept_in_run.clear();
+                }
+                let tv = t.value(i);
+                if !kept_in_run.iter().any(|&k| t.eq_one(t.value(k as usize), tv)) {
+                    kept_in_run.push(i as u32);
+                    idx.push(i as u32);
+                }
+            }
+            idx
+        })
+    });
     build_unique(ab, &idx)
 }
 
 fn unique_hash(ab: &Bat) -> Bat {
-    let (h, t) = (ab.head(), ab.tail());
-    // Pair-hash -> positions already kept with that hash (verify equality).
-    let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
-    let mut idx: Vec<u32> = Vec::new();
-    for i in 0..ab.len() {
-        let key = h.hash_at(i).rotate_left(17) ^ t.hash_at(i);
-        let bucket = seen.entry(key).or_default();
-        let dup = bucket.iter().any(|&k| h.eq_at(k as usize, h, i) && t.eq_at(k as usize, t, i));
-        if !dup {
-            bucket.push(i as u32);
-            idx.push(i as u32);
-        }
-    }
+    let idx: Vec<u32> = crate::for_each_typed!(ab.head(), |h| {
+        crate::for_each_typed!(ab.tail(), |t| {
+            // Pair-hash chains; equality only on full-hash matches.
+            let mut table = GroupTable::with_capacity(ab.len());
+            let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+            for i in 0..h.len() {
+                let hv = h.value(i);
+                let tv = t.value(i);
+                let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
+                let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
+                    let k = rep as usize;
+                    h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
+                });
+                if inserted {
+                    idx.push(i as u32);
+                }
+            }
+            idx
+        })
+    });
     build_unique(ab, &idx)
 }
 

@@ -69,6 +69,12 @@ impl StrVec {
         StrVec { offsets: Arc::new(offsets), lens: Arc::new(lens), heap: Arc::clone(&self.heap) }
     }
 
+    /// Windowed raw parts `(offsets, lens, heap)` for the typed kernel
+    /// layer ([`crate::typed::StrVals`]).
+    pub(crate) fn parts(&self, off: usize, len: usize) -> (&[u32], &[u32], &[u8]) {
+        (&self.offsets[off..off + len], &self.lens[off..off + len], &self.heap)
+    }
+
     /// Zero-copy sub-range view (shares all three heaps).
     pub fn slice(&self, start: usize, len: usize) -> StrVec {
         let offsets = self.offsets[start..start + len].to_vec();

@@ -1,0 +1,594 @@
+//! Typed column views: dispatch **once per operator call**, not once per row.
+//!
+//! The paper's central performance claim is that bulk BAT primitives beat
+//! tuple-at-a-time interpretation because every MIL operator runs a
+//! type-expanded tight loop over dense arrays (Sections 4.2, 5.1). The
+//! generic accessors on [`Column`] (`get`, `cmp_at`, `hash_at`, ...) decide
+//! the column type again for *every element* — exactly the per-row
+//! interpretation overhead the flattened algebra exists to avoid.
+//!
+//! This module is the kernel's answer: a [`TypedSlice`] is resolved from a
+//! column *once*, and the [`for_each_typed!`]/[`for_each_typed2!`] macros
+//! monomorphize an operator body over the concrete element type, so the
+//! per-row work is a plain slice index plus an inlined compare/hash with no
+//! enum dispatch. Every new operator must go through these macros — the
+//! generic row-wise forms survive only in [`crate::ops::reference`], as the
+//! oracle that property tests compare the specialized kernels against.
+//!
+//! # The dispatch-once contract, by example
+//!
+//! A selection scan written against the generic layer pays one
+//! `ColumnVals` match (and for strings a UTF-8 revalidation) per row:
+//!
+//! ```ignore
+//! let idx: Vec<u32> =
+//!     (0..ab.len()).filter(|&i| tail.cmp_val(i, v).is_eq()).map(|i| i as u32).collect();
+//! ```
+//!
+//! The typed form resolves the tail type a single time; the nine
+//! monomorphized loop bodies compile down to branch-free scans over `&[T]`:
+//!
+//! ```
+//! use monet::atom::AtomValue;
+//! use monet::column::Column;
+//! use monet::for_each_typed;
+//! use monet::typed::TypedVals;
+//!
+//! let tail = Column::from_ints(vec![3, 7, 3, 9]);
+//! let v = AtomValue::Int(3);
+//! let idx: Vec<u32> = for_each_typed!(&tail, |t| {
+//!     let mut idx = Vec::with_capacity(t.len());
+//!     for i in 0..t.len() {
+//!         if t.cmp_atom(t.value(i), &v).is_eq() {
+//!             idx.push(i as u32);
+//!         }
+//!     }
+//!     idx
+//! });
+//! assert_eq!(idx, vec![0, 2]);
+//! ```
+//!
+//! `t` is bound to a different concrete [`TypedVals`] implementor in each
+//! macro arm — `&[i32]` here — so `t.value(i)` is a slice index and
+//! `t.cmp_atom` an integer compare, both inlined.
+
+use std::cmp::Ordering;
+
+use crate::atom::{AtomValue, Oid};
+use crate::column::{fnv1a, fxhash64, Column};
+
+/// Uniform element-level interface of one typed column window. Implementors
+/// are `Copy` views (slices or tiny structs), so operator bodies can pass
+/// them around freely; all methods are trivially inlinable.
+///
+/// Hashing and comparison agree exactly with the generic
+/// [`Column::hash_at`]/[`Column::cmp_at`], so typed and generic code can
+/// cooperate on the same hash tables.
+pub trait TypedVals: Copy {
+    /// Element type of the window (`i32`, `&str`, ...). `Copy` so values can
+    /// be hoisted out of probe loops.
+    type Elem: Copy;
+
+    /// Number of elements in the window.
+    fn len(&self) -> usize;
+
+    /// True when the window is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at position `i` (a slice index; no type dispatch).
+    fn value(&self, i: usize) -> Self::Elem;
+
+    /// Hash of one element, consistent with [`Column::hash_at`].
+    fn hash_one(&self, v: Self::Elem) -> u64;
+
+    /// Total-order comparison of two elements, consistent with
+    /// [`Column::cmp_at`] (doubles use IEEE total ordering).
+    fn cmp_one(&self, a: Self::Elem, b: Self::Elem) -> Ordering;
+
+    /// Equality of two elements.
+    #[inline]
+    fn eq_one(&self, a: Self::Elem, b: Self::Elem) -> bool {
+        self.cmp_one(a, b).is_eq()
+    }
+
+    /// Compare one element against a scalar constant, consistent with
+    /// [`Column::cmp_val`]. Panics on incomparable types — operators have
+    /// already type-checked their arguments.
+    fn cmp_atom(&self, v: Self::Elem, atom: &AtomValue) -> Ordering;
+}
+
+/// The virtual dense sequence (`void` columns): value at `i` is `seq + i`.
+#[derive(Debug, Clone, Copy)]
+pub struct VoidVals {
+    pub seq: Oid,
+    pub len: usize,
+}
+
+impl TypedVals for VoidVals {
+    type Elem = Oid;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> Oid {
+        debug_assert!(i < self.len);
+        self.seq + i as Oid
+    }
+
+    #[inline]
+    fn hash_one(&self, v: Oid) -> u64 {
+        fxhash64(v)
+    }
+
+    #[inline]
+    fn cmp_one(&self, a: Oid, b: Oid) -> Ordering {
+        a.cmp(&b)
+    }
+
+    #[inline]
+    fn cmp_atom(&self, v: Oid, atom: &AtomValue) -> Ordering {
+        match atom.as_oid() {
+            Some(o) => v.cmp(&o),
+            None => panic!("cmp_atom: oid column vs {} constant", atom.atom_type()),
+        }
+    }
+}
+
+macro_rules! impl_fixed_vals {
+    ($ty:ty, |$v:ident| $hash:expr, |$a:ident, $b:ident| $cmp:expr,
+     |$x:ident, $atom:ident| $cmp_atom:expr) => {
+        impl<'a> TypedVals for &'a [$ty] {
+            type Elem = $ty;
+
+            #[inline]
+            fn len(&self) -> usize {
+                <[$ty]>::len(self)
+            }
+
+            #[inline]
+            fn value(&self, i: usize) -> $ty {
+                self[i]
+            }
+
+            #[inline]
+            fn hash_one(&self, $v: $ty) -> u64 {
+                $hash
+            }
+
+            #[inline]
+            fn cmp_one(&self, $a: $ty, $b: $ty) -> Ordering {
+                $cmp
+            }
+
+            #[inline]
+            fn cmp_atom(&self, $x: $ty, $atom: &AtomValue) -> Ordering {
+                $cmp_atom
+            }
+        }
+    };
+}
+
+impl_fixed_vals!(Oid, |v| fxhash64(v), |a, b| a.cmp(&b), |x, atom| match atom.as_oid() {
+    Some(o) => x.cmp(&o),
+    None => panic!("cmp_atom: oid column vs {} constant", atom.atom_type()),
+});
+
+impl_fixed_vals!(bool, |v| fxhash64(v as u64), |a, b| a.cmp(&b), |x, atom| match atom {
+    AtomValue::Bool(b) => x.cmp(b),
+    other => panic!("cmp_atom: bool column vs {} constant", other.atom_type()),
+});
+
+impl_fixed_vals!(u8, |v| fxhash64(v as u64), |a, b| a.cmp(&b), |x, atom| match atom {
+    AtomValue::Chr(c) => x.cmp(c),
+    other => panic!("cmp_atom: chr column vs {} constant", other.atom_type()),
+});
+
+// `&[i32]` backs both `int` and `date` columns (dates are day counts); the
+// scalar compare accepts either constant kind, the operator layer has
+// already rejected genuinely mixed comparisons.
+impl_fixed_vals!(i32, |v| fxhash64(v as u64), |a, b| a.cmp(&b), |x, atom| match atom {
+    AtomValue::Int(b) => x.cmp(b),
+    AtomValue::Date(d) => x.cmp(&d.0),
+    other => panic!("cmp_atom: int/date column vs {} constant", other.atom_type()),
+});
+
+impl_fixed_vals!(i64, |v| fxhash64(v as u64), |a, b| a.cmp(&b), |x, atom| match atom {
+    AtomValue::Lng(b) => x.cmp(b),
+    other => panic!("cmp_atom: lng column vs {} constant", other.atom_type()),
+});
+
+impl_fixed_vals!(f64, |v| fxhash64(v.to_bits()), |a, b| a.total_cmp(&b), |x, atom| match atom {
+    AtomValue::Dbl(b) => x.total_cmp(b),
+    other => panic!("cmp_atom: dbl column vs {} constant", other.atom_type()),
+});
+
+/// Borrowed view of a string column window: per-value byte windows into the
+/// shared heap. `value(i)` skips the UTF-8 revalidation of the generic path
+/// (the heap invariant guarantees validity — see [`crate::strheap`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StrVals<'a> {
+    offsets: &'a [u32],
+    lens: &'a [u32],
+    heap: &'a [u8],
+}
+
+impl<'a> StrVals<'a> {
+    pub(crate) fn new(offsets: &'a [u32], lens: &'a [u32], heap: &'a [u8]) -> StrVals<'a> {
+        debug_assert_eq!(offsets.len(), lens.len());
+        StrVals { offsets, lens, heap }
+    }
+}
+
+impl<'a> TypedVals for StrVals<'a> {
+    type Elem = &'a str;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> &'a str {
+        let off = self.offsets[i] as usize;
+        let bytes = &self.heap[off..off + self.lens[i] as usize];
+        debug_assert!(std::str::from_utf8(bytes).is_ok());
+        // SAFETY: the heap is only ever written by `StrHeapBuilder`, which
+        // copies whole `&str` values and records their exact byte windows in
+        // (offsets, lens) — so every addressed window is valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    #[inline]
+    fn hash_one(&self, v: &'a str) -> u64 {
+        fnv1a(v.as_bytes())
+    }
+
+    #[inline]
+    fn cmp_one(&self, a: &'a str, b: &'a str) -> Ordering {
+        a.cmp(b)
+    }
+
+    #[inline]
+    fn cmp_atom(&self, x: &'a str, atom: &AtomValue) -> Ordering {
+        match atom {
+            AtomValue::Str(s) => x.cmp(&&**s),
+            other => panic!("cmp_atom: str column vs {} constant", other.atom_type()),
+        }
+    }
+}
+
+/// A column window resolved to its concrete element type — the input of the
+/// dispatch macros. Obtained via [`Column::typed`] (or [`TypedSlice::of`]).
+#[derive(Debug, Clone, Copy)]
+pub enum TypedSlice<'a> {
+    Void(VoidVals),
+    Oid(&'a [Oid]),
+    Bool(&'a [bool]),
+    Chr(&'a [u8]),
+    Int(&'a [i32]),
+    Lng(&'a [i64]),
+    Dbl(&'a [f64]),
+    Date(&'a [i32]),
+    Str(StrVals<'a>),
+}
+
+impl<'a> TypedSlice<'a> {
+    /// Resolve a column window once.
+    pub fn of(col: &'a Column) -> TypedSlice<'a> {
+        col.typed()
+    }
+
+    /// The atom type of the window (for error messages).
+    pub fn atom_type(&self) -> crate::atom::AtomType {
+        use crate::atom::AtomType as T;
+        match self {
+            TypedSlice::Void(_) => T::Void,
+            TypedSlice::Oid(_) => T::Oid,
+            TypedSlice::Bool(_) => T::Bool,
+            TypedSlice::Chr(_) => T::Chr,
+            TypedSlice::Int(_) => T::Int,
+            TypedSlice::Lng(_) => T::Lng,
+            TypedSlice::Dbl(_) => T::Dbl,
+            TypedSlice::Date(_) => T::Date,
+            TypedSlice::Str(_) => T::Str,
+        }
+    }
+}
+
+/// Monomorphize `$body` over the element type of one column.
+///
+/// `$col` is a `&Column`; `$v` is bound to a [`TypedVals`] implementor in
+/// each arm, so the body is compiled once per atom type with all element
+/// accesses fully inlined. All arms must yield the same result type.
+#[macro_export]
+macro_rules! for_each_typed {
+    ($col:expr, |$v:ident| $body:expr) => {{
+        match $crate::typed::TypedSlice::of($col) {
+            $crate::typed::TypedSlice::Void($v) => $body,
+            $crate::typed::TypedSlice::Oid($v) => $body,
+            $crate::typed::TypedSlice::Bool($v) => $body,
+            $crate::typed::TypedSlice::Chr($v) => $body,
+            $crate::typed::TypedSlice::Int($v) => $body,
+            $crate::typed::TypedSlice::Lng($v) => $body,
+            $crate::typed::TypedSlice::Dbl($v) => $body,
+            $crate::typed::TypedSlice::Date($v) => $body,
+            $crate::typed::TypedSlice::Str($v) => $body,
+        }
+    }};
+}
+
+/// Monomorphize `$body` over a *pair* of columns holding the same atom type
+/// (`oid` and `void` interoperate, as in joins). The two bindings may be
+/// different [`TypedVals`] implementors but always share `Elem`, so values
+/// flow freely between them (`a.eq_one(a.value(i), b.value(j))`).
+///
+/// Panics on genuinely mixed types — operators type-check first via
+/// `check_comparable`.
+#[macro_export]
+macro_rules! for_each_typed2 {
+    ($ca:expr, $cb:expr, |$a:ident, $b:ident| $body:expr) => {{
+        use $crate::typed::TypedSlice as TS;
+        match (TS::of($ca), TS::of($cb)) {
+            (TS::Void($a), TS::Void($b)) => $body,
+            (TS::Void($a), TS::Oid($b)) => $body,
+            (TS::Oid($a), TS::Void($b)) => $body,
+            (TS::Oid($a), TS::Oid($b)) => $body,
+            (TS::Bool($a), TS::Bool($b)) => $body,
+            (TS::Chr($a), TS::Chr($b)) => $body,
+            (TS::Int($a), TS::Int($b)) => $body,
+            (TS::Lng($a), TS::Lng($b)) => $body,
+            (TS::Dbl($a), TS::Dbl($b)) => $body,
+            (TS::Date($a), TS::Date($b)) => $body,
+            (TS::Str($a), TS::Str($b)) => $body,
+            (a, b) => {
+                panic!(
+                    "typed dispatch on mixed column types {} vs {}",
+                    a.atom_type(),
+                    b.atom_type()
+                )
+            }
+        }
+    }};
+}
+
+/// Monomorphize `$body` over an oid-like column (`oid` or `void`); the
+/// binding always has `Elem = Oid`. Used by positional fetch paths.
+#[macro_export]
+macro_rules! for_each_oidlike {
+    ($col:expr, |$v:ident| $body:expr) => {{
+        match $crate::typed::TypedSlice::of($col) {
+            $crate::typed::TypedSlice::Void($v) => $body,
+            $crate::typed::TypedSlice::Oid($v) => $body,
+            other => panic!("expected oid-like column, got {}", other.atom_type()),
+        }
+    }};
+}
+
+/// First position in the (ascending) window whose value is `>= x`.
+#[inline]
+pub fn lower_bound_by<V: TypedVals>(vals: V, x: V::Elem) -> usize {
+    let (mut lo, mut hi) = (0usize, vals.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if vals.cmp_one(vals.value(mid), x).is_lt() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First position in the (ascending) window whose value is `> x`.
+#[inline]
+pub fn upper_bound_by<V: TypedVals>(vals: V, x: V::Elem) -> usize {
+    let (mut lo, mut hi) = (0usize, vals.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if vals.cmp_one(vals.value(mid), x).is_gt() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Bulk-hash a whole column window in one typed pass (consistent with
+/// [`Column::hash_at`]). Used by pair-keyed operators (set ops) to get the
+/// per-row dispatch out of their probe loops.
+pub fn hash_column(col: &Column) -> Vec<u64> {
+    for_each_typed!(col, |v| (0..v.len()).map(|i| v.hash_one(v.value(i))).collect())
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Bucket-chained grouping table, the same presized layout as
+/// [`crate::accel::hash::HashIndex`] but with incremental insertion: one
+/// entry per distinct key, entry id == group id. No per-bucket allocations;
+/// chains store the full 64-bit hash so the caller-supplied equality check
+/// only runs on true hash matches.
+pub struct GroupTable {
+    mask: u64,
+    buckets: Vec<u32>,
+    /// `next[gid]`: next entry in the same bucket chain.
+    next: Vec<u32>,
+    /// `rows[gid]`: representative row of the group.
+    rows: Vec<u32>,
+    /// `hashes[gid]`: full hash of the representative.
+    hashes: Vec<u64>,
+}
+
+impl GroupTable {
+    /// Presize for `n` input rows (buckets at 2x rows, like `HashIndex`).
+    pub fn with_capacity(n: usize) -> GroupTable {
+        let nbuckets = (n.max(1) * 2).next_power_of_two();
+        let est = (n / 8).max(16);
+        GroupTable {
+            mask: (nbuckets - 1) as u64,
+            buckets: vec![EMPTY; nbuckets],
+            next: Vec::with_capacity(est),
+            rows: Vec::with_capacity(est),
+            hashes: Vec::with_capacity(est),
+        }
+    }
+
+    /// Find the group whose representative row satisfies `eq` (called only
+    /// on entries whose full hash equals `h`) without inserting.
+    #[inline]
+    pub fn find(&self, h: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut cur = self.buckets[(h & self.mask) as usize];
+        while cur != EMPTY {
+            let g = cur as usize;
+            if self.hashes[g] == h && eq(self.rows[g]) {
+                return Some(cur);
+            }
+            cur = self.next[g];
+        }
+        None
+    }
+
+    /// Find the group whose representative row satisfies `eq`, or insert
+    /// `row` as a new group. Returns `(group id, inserted)`.
+    #[inline]
+    pub fn find_or_insert(&mut self, h: u64, row: u32, eq: impl FnMut(u32) -> bool) -> (u32, bool) {
+        if let Some(g) = self.find(h, eq) {
+            return (g, false);
+        }
+        let b = (h & self.mask) as usize;
+        let gid = self.rows.len() as u32;
+        self.rows.push(row);
+        self.hashes.push(h);
+        self.next.push(self.buckets[b]);
+        self.buckets[b] = gid;
+        (gid, true)
+    }
+
+    /// Number of groups discovered so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no group has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Representative row per group, in group-id order.
+    pub fn reps(&self) -> &[u32] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Date;
+
+    #[test]
+    fn typed_matches_generic_accessors() {
+        let cols = [
+            Column::from_ints(vec![3, -1, 7]),
+            Column::from_dbls(vec![1.5, -0.0, 2.0]),
+            Column::from_strs(["b", "a", "b"]),
+            Column::from_oids(vec![9, 2, 5]),
+            Column::void(40, 3),
+            Column::from_dates(vec![Date::from_ymd(1994, 1, 1), Date(0), Date(77)]),
+            Column::from_bools(vec![true, false, true]),
+            Column::from_chrs(vec![b'x', b'a', b'x']),
+            Column::from_lngs(vec![5, -9, 5]),
+        ];
+        for col in &cols {
+            for i in 0..col.len() {
+                let h = for_each_typed!(col, |t| t.hash_one(t.value(i)));
+                assert_eq!(h, col.hash_at(i), "hash mismatch on {}", col.atom_type());
+                for j in 0..col.len() {
+                    let c = for_each_typed!(col, |t| t.cmp_one(t.value(i), t.value(j)));
+                    assert_eq!(c, col.cmp_at(i, col, j), "cmp mismatch on {}", col.atom_type());
+                }
+                let atom = col.get(i);
+                let c = for_each_typed!(col, |t| t.cmp_atom(t.value(i), &atom));
+                assert!(c.is_eq(), "cmp_atom self mismatch on {}", col.atom_type());
+            }
+        }
+    }
+
+    #[test]
+    fn typed_respects_windows() {
+        let col = Column::from_ints(vec![10, 20, 30, 40, 50]).slice(1, 3);
+        let n = for_each_typed!(&col, |t| t.len());
+        assert_eq!(n, 3);
+        let direct: Vec<u64> = (0..3).map(|i| col.hash_at(i)).collect();
+        assert_eq!(direct, hash_column(&col));
+        let sc = Column::from_strs(["aa", "bb", "cc", "dd"]).slice(1, 2);
+        let first = for_each_typed!(&sc, |t| t.hash_one(t.value(0)));
+        assert_eq!(first, sc.hash_at(0));
+        let void = Column::void(100, 6).slice(2, 2);
+        assert_eq!(hash_column(&void), vec![fxhash64(102), fxhash64(103)]);
+    }
+
+    #[test]
+    fn typed2_interoperates_oid_and_void() {
+        let o = Column::from_oids(vec![7, 8, 9]);
+        let v = Column::void(7, 3);
+        let all_eq = for_each_typed2!(&o, &v, |a, b| {
+            (0..a.len()).all(|i| a.eq_one(a.value(i), b.value(i)))
+        });
+        assert!(all_eq);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed column types")]
+    fn typed2_rejects_mixed() {
+        let a = Column::from_ints(vec![1]);
+        let b = Column::from_dbls(vec![1.0]);
+        for_each_typed2!(&a, &b, |x, y| {
+            let _ = (x.len(), y.len());
+        });
+    }
+
+    #[test]
+    fn bounds_match_column_bounds() {
+        let col = Column::from_ints(vec![1, 3, 3, 3, 7, 9]);
+        for probe in [-1, 1, 3, 5, 9, 12] {
+            let atom = AtomValue::Int(probe);
+            let (lo, hi) = for_each_typed!(&col, |t| {
+                // resolve the probe to an element via a binary-searchable pair
+                let lo =
+                    (0..t.len()).take_while(|&i| t.cmp_atom(t.value(i), &atom).is_lt()).count();
+                let hi =
+                    (0..t.len()).take_while(|&i| !t.cmp_atom(t.value(i), &atom).is_gt()).count();
+                (lo, hi)
+            });
+            assert_eq!(lo, col.lower_bound(&atom), "lower_bound({probe})");
+            assert_eq!(hi, col.upper_bound(&atom), "upper_bound({probe})");
+        }
+        let s = Column::from_ints(vec![2, 4, 6, 8]);
+        let ts = TypedSlice::of(&s);
+        if let TypedSlice::Int(v) = ts {
+            assert_eq!(lower_bound_by(v, 5), 2);
+            assert_eq!(upper_bound_by(v, 6), 3);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn group_table_groups_by_key() {
+        let keys = [5u64, 9, 5, 5, 9, 1];
+        let mut t = GroupTable::with_capacity(keys.len());
+        let gids: Vec<u32> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| t.find_or_insert(fxhash64(k), i as u32, |r| keys[r as usize] == k).0)
+            .collect();
+        assert_eq!(gids, vec![0, 1, 0, 0, 1, 2]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.reps(), &[0, 1, 5]);
+    }
+}

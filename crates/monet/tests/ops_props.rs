@@ -6,6 +6,12 @@
 //! Complements `tests/kernel_properties.rs` (which checks that the
 //! *alternative implementations* of each operator agree with each other):
 //! here each operator is checked against an independent model.
+//!
+//! The second half of the file is the **specialized-vs-generic** suite: the
+//! monomorphized typed kernels (`monet::typed`) are compared against the
+//! row-wise generic reference implementations (`monet::ops::reference`) on
+//! random inputs across *every* atom type — including `void`, `str`, and
+//! sliced/offset column windows.
 
 use std::collections::{HashMap, HashSet};
 
@@ -249,5 +255,520 @@ fn sort_tail_is_an_ordered_permutation() {
             );
         }
         assert!(s.validate().is_ok(), "case {case}: claimed props unsound");
+    }
+}
+
+// ======================================================================
+// Specialized-vs-generic suite: typed kernels against `ops::reference`.
+// ======================================================================
+
+use monet::atom::{AtomType, Date};
+use monet::ops::reference;
+
+const ALL_TYPES: &[AtomType] = &[
+    AtomType::Void,
+    AtomType::Oid,
+    AtomType::Bool,
+    AtomType::Chr,
+    AtomType::Int,
+    AtomType::Lng,
+    AtomType::Dbl,
+    AtomType::Str,
+    AtomType::Date,
+];
+
+/// A random scalar of `ty` from a small alphabet (so selections and joins
+/// hit plenty of matches and duplicates).
+fn random_value(rng: &mut StdRng, ty: AtomType) -> AtomValue {
+    match ty {
+        AtomType::Void | AtomType::Oid => AtomValue::Oid(rng.gen_range(0..24u64)),
+        AtomType::Bool => AtomValue::Bool(rng.gen_bool(0.5)),
+        AtomType::Chr => AtomValue::Chr(rng.gen_range(b'a'..=b'e')),
+        AtomType::Int => AtomValue::Int(rng.gen_range(-8..8i32)),
+        AtomType::Lng => AtomValue::Lng(rng.gen_range(-9..9i64)),
+        AtomType::Dbl => {
+            let vals = [-2.5, -1.0, -0.0, 0.0, 0.5, 1.0, 3.25, 7.5];
+            AtomValue::Dbl(vals[rng.gen_range(0..vals.len())])
+        }
+        AtomType::Str => {
+            let vocab = ["", "a", "ab", "b", "ba", "zz", "EUROPE", "ASIA"];
+            AtomValue::str(vocab[rng.gen_range(0..vocab.len())])
+        }
+        AtomType::Date => AtomValue::Date(Date(rng.gen_range(8000..8020i32))),
+    }
+}
+
+/// A random column of `ty`, optionally presented as an offset window into a
+/// larger allocation (exercising `off != 0` in every typed kernel).
+fn random_column(rng: &mut StdRng, ty: AtomType, n: usize) -> Column {
+    let windowed = rng.gen_bool(0.5);
+    let (pre, post) =
+        if windowed { (rng.gen_range(0..4usize), rng.gen_range(0..4usize)) } else { (0, 0) };
+    let total = n + pre + post;
+    let col = if ty == AtomType::Void {
+        Column::void(rng.gen_range(0..30u64), total)
+    } else {
+        Column::from_atoms(ty, (0..total).map(|_| random_value(rng, ty)))
+    };
+    col.slice(pre, n)
+}
+
+/// Exact (head, tail) value sequence — order matters.
+fn rows_of(b: &Bat) -> Vec<(AtomValue, AtomValue)> {
+    b.iter().collect()
+}
+
+/// Canonical first-appearance relabeling of a group-id column.
+fn canon_gids(tail: &Column) -> Vec<u64> {
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    let mut out = Vec::with_capacity(tail.len());
+    for i in 0..tail.len() {
+        let g = tail.oid_at(i);
+        let next = map.len() as u64;
+        out.push(*map.entry(g).or_insert(next));
+    }
+    out
+}
+
+#[test]
+fn typed_select_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x10);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..10 {
+            let n = rng.gen_range(0..50usize);
+            let head = random_column(&mut rng, AtomType::Oid, n);
+            let tail = random_column(&mut rng, ty, n);
+            let b = Bat::new(head, tail);
+            let v = random_value(&mut rng, ty);
+            let got = ops::select_eq(&ctx, &b, &v).unwrap();
+            assert_eq!(
+                rows_of(&got),
+                rows_of(&reference::select_eq(&b, &v)),
+                "{ty} case {case}: select_eq"
+            );
+            let (a, c) = (random_value(&mut rng, ty), random_value(&mut rng, ty));
+            let (lo, hi) = if a.cmp_same_type(&c).is_le() { (a, c) } else { (c, a) };
+            let (il, ih) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+            let got = ops::select_range(&ctx, &b, Some(&lo), Some(&hi), il, ih).unwrap();
+            let expect = reference::select_range(&b, Some(&lo), Some(&hi), il, ih);
+            assert_eq!(rows_of(&got), rows_of(&expect), "{ty} case {case}: select_range");
+            // Sorted operand takes the binary-search path; same window.
+            let perm = b.tail().sort_perm();
+            let sorted = Bat::with_inferred_props(b.head().gather(&perm), b.tail().gather(&perm));
+            let got = ops::select_eq(&ctx, &sorted, &v).unwrap();
+            assert_eq!(
+                rows_of(&got),
+                rows_of(&reference::select_eq(&sorted, &v)),
+                "{ty} case {case}: select_eq sorted"
+            );
+        }
+    }
+}
+
+#[test]
+fn typed_join_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x11);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..40usize);
+            let m = rng.gen_range(0..40usize);
+            let left =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let right =
+                Bat::new(random_column(&mut rng, ty, m), random_column(&mut rng, AtomType::Int, m));
+            // Hash path (no props claimed).
+            let got = ops::join(&ctx, &left, &right).unwrap();
+            assert_eq!(
+                rows_of(&got),
+                rows_of(&reference::join(&left, &right)),
+                "{ty} case {case}: join hash"
+            );
+            // Merge path: sort left tail and right head.
+            let lp = left.tail().sort_perm();
+            let ls = Bat::with_inferred_props(left.head().gather(&lp), left.tail().gather(&lp));
+            let rp = right.head().sort_perm();
+            let rs = Bat::with_inferred_props(right.head().gather(&rp), right.tail().gather(&rp));
+            let got = ops::join(&ctx, &ls, &rs).unwrap();
+            assert_eq!(
+                rows_of(&got),
+                rows_of(&reference::join(&ls, &rs)),
+                "{ty} case {case}: join merge"
+            );
+            // Theta joins against both sorted and unsorted right heads.
+            if !matches!(ty, AtomType::Void) {
+                for theta in [ops::ScalarFunc::Lt, ops::ScalarFunc::Ge, ops::ScalarFunc::Ne] {
+                    let got = ops::join_theta(&ctx, &left, &right, theta).unwrap();
+                    let expect = reference::join_theta(&left, &right, theta);
+                    let mut g = rows_of(&got);
+                    let mut e = rows_of(&expect);
+                    let key = |p: &(AtomValue, AtomValue)| format!("{}|{}", p.0, p.1);
+                    g.sort_by_key(key);
+                    e.sort_by_key(key);
+                    assert_eq!(g, e, "{ty} case {case}: theta {theta:?}");
+                }
+            }
+        }
+    }
+    // Fetch path: dense (void) right head.
+    for case in 0..8 {
+        let n = rng.gen_range(0..40usize);
+        let m = rng.gen_range(1..20usize);
+        let left = Bat::new(
+            random_column(&mut rng, AtomType::Oid, n),
+            random_column(&mut rng, AtomType::Oid, n),
+        );
+        let right = Bat::new(Column::void(5, m), random_column(&mut rng, AtomType::Dbl, m));
+        let got = ops::join(&ctx, &left, &right).unwrap();
+        assert_eq!(
+            rows_of(&got),
+            rows_of(&reference::join(&left, &right)),
+            "case {case}: join fetch"
+        );
+    }
+}
+
+#[test]
+fn typed_semijoin_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x12);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..50usize);
+            let m = rng.gen_range(0..20usize);
+            let ab =
+                Bat::new(random_column(&mut rng, ty, n), random_column(&mut rng, AtomType::Int, n));
+            let cd =
+                Bat::new(random_column(&mut rng, ty, m), random_column(&mut rng, AtomType::Oid, m));
+            let semi = ops::semijoin(&ctx, &ab, &cd).unwrap();
+            let anti = ops::antijoin(&ctx, &ab, &cd).unwrap();
+            assert_eq!(
+                rows_of(&semi),
+                rows_of(&reference::semijoin(&ab, &cd)),
+                "{ty} case {case}: semijoin"
+            );
+            assert_eq!(
+                rows_of(&anti),
+                rows_of(&reference::antijoin(&ab, &cd)),
+                "{ty} case {case}: antijoin"
+            );
+            // Merge path over sorted heads.
+            let ap = ab.head().sort_perm();
+            let abs = Bat::with_inferred_props(ab.head().gather(&ap), ab.tail().gather(&ap));
+            let cp = cd.head().sort_perm();
+            let cds = Bat::with_inferred_props(cd.head().gather(&cp), cd.tail().gather(&cp));
+            let semi = ops::semijoin(&ctx, &abs, &cds).unwrap();
+            assert_eq!(
+                rows_of(&semi),
+                rows_of(&reference::semijoin(&abs, &cds)),
+                "{ty} case {case}: semijoin merge"
+            );
+        }
+    }
+}
+
+#[test]
+fn typed_group_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x13);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..50usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let g = ops::group1(&ctx, &b).unwrap();
+            assert_eq!(
+                canon_gids(g.tail()),
+                reference::group1_gids(&b),
+                "{ty} case {case}: group1 hash"
+            );
+            // Merge path over a sorted tail: ids are assigned in value order
+            // but partition the rows identically.
+            let perm = b.tail().sort_perm();
+            let bs = Bat::with_inferred_props(b.head().gather(&perm), b.tail().gather(&perm));
+            let gs = ops::group1(&ctx, &bs).unwrap();
+            assert_eq!(
+                canon_gids(gs.tail()),
+                reference::group1_gids(&bs),
+                "{ty} case {case}: group1 merge"
+            );
+        }
+    }
+    // group2: every tail-type pair, synced heads (key head in cd).
+    for &t1 in ALL_TYPES {
+        for &t2 in ALL_TYPES {
+            let n = rng.gen_range(1..30usize);
+            let head = random_column(&mut rng, AtomType::Void, n);
+            let ab = Bat::new(head.clone(), random_column(&mut rng, t1, n));
+            let cd = Bat::new(head, random_column(&mut rng, t2, n));
+            let g = ops::group2(&ctx, &ab, &cd).unwrap();
+            let expect = reference::group2_gids(&ab, &cd).unwrap();
+            let expect_canon = {
+                let mut map: HashMap<u64, u64> = HashMap::new();
+                expect
+                    .iter()
+                    .map(|&g| {
+                        let next = map.len() as u64;
+                        *map.entry(g).or_insert(next)
+                    })
+                    .collect::<Vec<u64>>()
+            };
+            assert_eq!(canon_gids(g.tail()), expect_canon, "group2 ({t1}, {t2})");
+        }
+    }
+}
+
+#[test]
+fn typed_unique_matches_generic_across_type_pairs() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x14);
+    let ctx = ExecCtx::new();
+    for &t1 in ALL_TYPES {
+        for &t2 in ALL_TYPES {
+            let n = rng.gen_range(0..40usize);
+            let b = Bat::new(random_column(&mut rng, t1, n), random_column(&mut rng, t2, n));
+            let u = ops::unique(&ctx, &b).unwrap();
+            assert_eq!(rows_of(&u), rows_of(&reference::unique(&b)), "unique ({t1}, {t2}) hash");
+            // Merge path over a sorted head.
+            let perm = b.head().sort_perm();
+            let bs = Bat::with_inferred_props(b.head().gather(&perm), b.tail().gather(&perm));
+            let us = ops::unique(&ctx, &bs).unwrap();
+            assert_eq!(rows_of(&us), rows_of(&reference::unique(&bs)), "unique ({t1}, {t2}) merge");
+        }
+    }
+}
+
+#[test]
+fn typed_sort_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x15);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..50usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let s = ops::sort_tail(&ctx, &b).unwrap();
+            assert_eq!(
+                rows_of(&s),
+                rows_of(&reference::sort_tail(&b)),
+                "{ty} case {case}: sort_tail"
+            );
+        }
+    }
+}
+
+#[test]
+fn typed_aggregate_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x16);
+    let ctx = ExecCtx::new();
+    let aggs = [
+        ops::AggFunc::Count,
+        ops::AggFunc::Sum,
+        ops::AggFunc::Min,
+        ops::AggFunc::Max,
+        ops::AggFunc::Avg,
+    ];
+    for &ty in ALL_TYPES {
+        for case in 0..6 {
+            let n = rng.gen_range(0..40usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            for f in aggs {
+                let got = ops::set_aggregate(&ctx, f, &b);
+                let expect = reference::set_aggregate(f, &b);
+                match (got, expect) {
+                    (Ok(g), Ok(e)) => {
+                        assert_eq!(rows_of(&g), rows_of(&e), "{ty} case {case}: {{{}}}", f.name())
+                    }
+                    (Err(_), Err(_)) => {}
+                    (g, e) => panic!(
+                        "{ty} case {case}: {{{}}} disagree on error: {g:?} vs {e:?}",
+                        f.name()
+                    ),
+                }
+                let got = ops::aggr_scalar(&ctx, &b, f);
+                let expect = reference::aggr_scalar(&b, f);
+                match (got, expect) {
+                    (Ok(g), Ok(e)) => assert_eq!(g, e, "{ty} case {case}: scalar {}", f.name()),
+                    (Err(_), Err(_)) => {}
+                    (g, e) => panic!(
+                        "{ty} case {case}: scalar {} disagree on error: {g:?} vs {e:?}",
+                        f.name()
+                    ),
+                }
+            }
+            // Merge path over sorted heads.
+            let perm = b.head().sort_perm();
+            let bs = Bat::with_inferred_props(b.head().gather(&perm), b.tail().gather(&perm));
+            for f in aggs {
+                match (ops::set_aggregate(&ctx, f, &bs), reference::set_aggregate(f, &bs)) {
+                    (Ok(g), Ok(e)) => assert_eq!(
+                        rows_of(&g),
+                        rows_of(&e),
+                        "{ty} case {case}: sorted {{{}}}",
+                        f.name()
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (g, e) => panic!("{ty} case {case}: sorted {{{}}}: {g:?} vs {e:?}", f.name()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn typed_multiplex_matches_generic() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x17);
+    let ctx = ExecCtx::new();
+    use ops::{MultArg, ScalarFunc as F};
+    let value_types = [
+        AtomType::Int,
+        AtomType::Lng,
+        AtomType::Dbl,
+        AtomType::Date,
+        AtomType::Chr,
+        AtomType::Bool,
+        AtomType::Str,
+    ];
+    for case in 0..30 {
+        let n = rng.gen_range(0..40usize);
+        let head = random_column(&mut rng, AtomType::Oid, n);
+        for &ty in &value_types {
+            let x = Bat::new(head.clone(), random_column(&mut rng, ty, n));
+            let arg2 = if rng.gen_bool(0.4) {
+                MultArg::Const(random_value(&mut rng, ty))
+            } else {
+                MultArg::Bat(Bat::new(head.clone(), random_column(&mut rng, ty, n)))
+            };
+            let funcs: Vec<F> = match ty {
+                AtomType::Int | AtomType::Lng | AtomType::Dbl => {
+                    vec![F::Add, F::Sub, F::Mul, F::Div, F::Eq, F::Lt, F::Ge, F::Ne]
+                }
+                AtomType::Date | AtomType::Chr => vec![F::Eq, F::Ne, F::Lt, F::Le, F::Gt, F::Ge],
+                AtomType::Bool => vec![F::And, F::Or, F::Eq, F::Ne],
+                _ => vec![F::Eq, F::Ne, F::Lt, F::Gt],
+            };
+            for f in funcs {
+                let args = [MultArg::Bat(x.clone()), arg2.clone()];
+                let got = ops::multiplex(&ctx, f, &args);
+                let expect = reference::multiplex_synced(f, &args);
+                match (got, expect) {
+                    (Ok(g), Ok(e)) => {
+                        assert_eq!(rows_of(&g), rows_of(&e), "case {case}: [{:?}] over {ty}", f)
+                    }
+                    (Err(_), Err(_)) => {}
+                    (g, e) => {
+                        panic!("case {case}: [{f:?}] over {ty} disagree on error: {g:?} vs {e:?}")
+                    }
+                }
+            }
+        }
+        // Unary shapes.
+        let dates = Bat::new(head.clone(), random_column(&mut rng, AtomType::Date, n));
+        for f in [F::Year, F::Month] {
+            let args = [MultArg::Bat(dates.clone())];
+            let g = ops::multiplex(&ctx, f, &args).unwrap();
+            let e = reference::multiplex_synced(f, &args).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "case {case}: [{f:?}]");
+        }
+        let bools = Bat::new(head.clone(), random_column(&mut rng, AtomType::Bool, n));
+        let args = [MultArg::Bat(bools)];
+        assert_eq!(
+            rows_of(&ops::multiplex(&ctx, F::Not, &args).unwrap()),
+            rows_of(&reference::multiplex_synced(F::Not, &args).unwrap()),
+            "case {case}: [not]"
+        );
+        for ty in [AtomType::Int, AtomType::Lng, AtomType::Dbl] {
+            let xs = Bat::new(head.clone(), random_column(&mut rng, ty, n));
+            let args = [MultArg::Bat(xs)];
+            assert_eq!(
+                rows_of(&ops::multiplex(&ctx, F::Neg, &args).unwrap()),
+                rows_of(&reference::multiplex_synced(F::Neg, &args).unwrap()),
+                "case {case}: [neg] {ty}"
+            );
+        }
+        // Constant-pattern string predicates.
+        let strs = Bat::new(head.clone(), random_column(&mut rng, AtomType::Str, n));
+        for f in [F::StrPrefix, F::StrContains] {
+            let args =
+                [MultArg::Bat(strs.clone()), MultArg::Const(random_value(&mut rng, AtomType::Str))];
+            assert_eq!(
+                rows_of(&ops::multiplex(&ctx, f, &args).unwrap()),
+                rows_of(&reference::multiplex_synced(f, &args).unwrap()),
+                "case {case}: [{f:?}]"
+            );
+        }
+        // Mixed shapes fall back to the generic path; results must agree.
+        let ints = Bat::new(head.clone(), random_column(&mut rng, AtomType::Int, n));
+        let args = [MultArg::Bat(ints), MultArg::Const(AtomValue::Dbl(2.5))];
+        assert_eq!(
+            rows_of(&ops::multiplex(&ctx, F::Mul, &args).unwrap()),
+            rows_of(&reference::multiplex_synced(F::Mul, &args).unwrap()),
+            "case {case}: mixed [*]"
+        );
+    }
+}
+
+#[test]
+fn typed_setops_match_generic() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x18);
+    let ctx = ExecCtx::new();
+    for &(t1, t2) in &[
+        (AtomType::Oid, AtomType::Int),
+        (AtomType::Str, AtomType::Str),
+        (AtomType::Dbl, AtomType::Chr),
+        (AtomType::Date, AtomType::Bool),
+    ] {
+        for case in 0..10 {
+            let n = rng.gen_range(0..30usize);
+            let m = rng.gen_range(0..30usize);
+            let a = Bat::new(random_column(&mut rng, t1, n), random_column(&mut rng, t2, n));
+            let b = Bat::new(random_column(&mut rng, t1, m), random_column(&mut rng, t2, m));
+            let u = ops::union_pairs(&ctx, &a, &b).unwrap();
+            assert_eq!(
+                rows_of(&u),
+                rows_of(&reference::union_pairs(&a, &b)),
+                "({t1},{t2}) case {case}: union"
+            );
+            let d = ops::diff_pairs(&ctx, &a, &b).unwrap();
+            assert_eq!(
+                rows_of(&d),
+                rows_of(&reference::diff_pairs(&a, &b)),
+                "({t1},{t2}) case {case}: diff"
+            );
+            let i = ops::intersect_pairs(&ctx, &a, &b).unwrap();
+            assert_eq!(
+                rows_of(&i),
+                rows_of(&reference::intersect_pairs(&a, &b)),
+                "({t1},{t2}) case {case}: intersect"
+            );
+            let c = ops::concat_bats(&ctx, &a, &b).unwrap();
+            assert_eq!(
+                rows_of(&c),
+                rows_of(&reference::concat_bats(&a, &b)),
+                "({t1},{t2}) case {case}: concat"
+            );
+        }
+    }
+}
+
+#[test]
+fn typed_hashindex_finds_all_positions() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x19);
+    for &ty in ALL_TYPES {
+        for _ in 0..6 {
+            let n = rng.gen_range(0..40usize);
+            let col = random_column(&mut rng, ty, n);
+            let idx = monet::accel::hash::HashIndex::build(&col);
+            for probe in 0..n {
+                let mut hits: Vec<usize> = idx
+                    .candidates(col.hash_at(probe))
+                    .filter(|&p| col.eq_at(p, &col, probe))
+                    .collect();
+                hits.sort_unstable();
+                let expect: Vec<usize> = (0..n).filter(|&p| col.eq_at(p, &col, probe)).collect();
+                assert_eq!(hits, expect, "{ty}: hash index probe {probe}");
+            }
+        }
     }
 }
