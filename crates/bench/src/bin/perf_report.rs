@@ -32,9 +32,49 @@ struct Rec {
     rows_per_sec: f64,
 }
 
+/// The checked-in perf trajectory: kernel name → baseline ns/row, parsed
+/// from a previous `BENCH_kernels.json` (the repo root holds a committed
+/// SF 0.01 baseline). Hand-rolled scan of the format this binary writes —
+/// no JSON dependency in the container.
+struct Baseline {
+    sf: f64,
+    ns_per_row: std::collections::HashMap<String, f64>,
+}
+
+fn read_baseline(path: &str) -> Option<Baseline> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\":"))?;
+        let rest = line[at..].split_once(':')?.1;
+        let rest = rest.trim_start();
+        Some(if let Some(s) = rest.strip_prefix('"') {
+            s.split_once('"')?.0.to_string()
+        } else {
+            rest.split(|c: char| c == ',' || c == '}' || c.is_whitespace()).next()?.to_string()
+        })
+    };
+    let mut sf = 0.0f64;
+    let mut ns_per_row = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(v) = field(line, "sf") {
+            sf = v.parse().unwrap_or(0.0);
+        }
+        if let (Some(name), Some(ns)) = (field(line, "name"), field(line, "ns_per_row")) {
+            if let Ok(ns) = ns.parse::<f64>() {
+                ns_per_row.insert(name, ns);
+            }
+        }
+    }
+    if ns_per_row.is_empty() {
+        return None;
+    }
+    Some(Baseline { sf, ns_per_row })
+}
+
 /// Time `f` with one warm-up call, then as many timed repetitions as fit in
-/// the measurement window (at least 3).
-fn measure(name: &'static str, rows: usize, mut f: impl FnMut()) -> Rec {
+/// the measurement window (at least 3). Prints a delta-vs-baseline column
+/// when the kernel exists in the checked-in baseline.
+fn measure(base: Option<&Baseline>, name: &'static str, rows: usize, mut f: impl FnMut()) -> Rec {
     f(); // warm-up
     let window = Duration::from_millis(240);
     let started = Instant::now();
@@ -49,12 +89,32 @@ fn measure(name: &'static str, rows: usize, mut f: impl FnMut()) -> Rec {
     let ns = started.elapsed().as_nanos() as f64 / reps as f64;
     let ns_per_row = ns / rows.max(1) as f64;
     let rows_per_sec = rows.max(1) as f64 / (ns / 1e9);
-    eprintln!("{name:<32} {rows:>9} rows  {ns_per_row:>9.2} ns/row  {rows_per_sec:>14.0} rows/s");
+    let delta = match base.and_then(|b| b.ns_per_row.get(name)) {
+        Some(&was) if was > 0.0 => format!("  {:>+7.1}% vs base", (ns_per_row / was - 1.0) * 100.0),
+        _ => String::new(),
+    };
+    eprintln!(
+        "{name:<32} {rows:>9} rows  {ns_per_row:>9.2} ns/row  {rows_per_sec:>14.0} rows/s{delta}"
+    );
     Rec { name, rows, ns_per_row, rows_per_sec }
 }
 
 fn main() {
     let sf = sf_from_env("FLATALG_SF", 0.01);
+    // Delta column against the committed trajectory baseline (read before
+    // the default output path overwrites it).
+    let base_path =
+        std::env::var("FLATALG_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    let base = read_baseline(&base_path);
+    match &base {
+        Some(b) if (b.sf - sf).abs() > f64::EPSILON => eprintln!(
+            "baseline {base_path} is at sf {} but this run is at sf {sf}; \
+             deltas compare across scales",
+            b.sf
+        ),
+        Some(b) => eprintln!("deltas vs baseline {base_path} (sf {})", b.sf),
+        None => eprintln!("no baseline at {base_path}; delta column suppressed"),
+    }
     // Synthetic inputs sized like the scale factor's lineitem table.
     let n: usize = ((sf * 6_000_000.0) as usize).max(10_000);
     let mut r = StdRng::seed_from_u64(42);
@@ -79,6 +139,25 @@ fn main() {
     let join_right = Bat::new(
         Column::from_ints((0..10_000).collect()),
         Column::from_oids((0..10_000).collect()),
+    );
+    // Partitioned-join regime: probe 16n rows into a build side of 4n rows
+    // whose chain table overflows L2 (960k x 240k at SF 0.01), with a ~6%
+    // match rate (an FK probe after a selective filter). Both the
+    // partitioned kernel and the monolithic kernel are measured on this
+    // same input so the trajectory records the comparison.
+    let part_build_n = 4 * n;
+    let part_probe_n = 16 * n;
+    // Probe domain 16x the build keys (~6% match); clamp in i64 so huge
+    // scale factors do not overflow the i32 key space (the match rate just
+    // rises instead).
+    let part_domain = (16i64 * part_build_n as i64).min(i32::MAX as i64) as i32;
+    let part_left = Bat::new(
+        Column::from_oids((0..part_probe_n as u64).collect()),
+        Column::from_ints((0..part_probe_n).map(|_| r.gen_range(0..part_domain)).collect()),
+    );
+    let part_right = Bat::new(
+        Column::from_ints((0..part_build_n as i32).collect()),
+        Column::from_oids((0..part_build_n as u64).collect()),
     );
     let fetch_right = Bat::new(Column::void(0, 10_000), Column::from_dbls(vec![1.0; 10_000]));
     let fetch_left = Bat::new(
@@ -133,10 +212,10 @@ fn main() {
     let mut recs: Vec<Rec> = Vec::new();
 
     // primitives
-    recs.push(measure("select/scan", n, || {
+    recs.push(measure(base.as_ref(), "select/scan", n, || {
         ops::select_eq(&ctx, &unsorted, &AtomValue::Int(5000)).unwrap();
     }));
-    recs.push(measure("select/range-scan", n, || {
+    recs.push(measure(base.as_ref(), "select/range-scan", n, || {
         ops::select_range(
             &ctx,
             &unsorted,
@@ -147,25 +226,31 @@ fn main() {
         )
         .unwrap();
     }));
-    recs.push(measure("select/binary-search", n, || {
+    recs.push(measure(base.as_ref(), "select/binary-search", n, || {
         ops::select_eq(&ctx, &sorted, &AtomValue::Int(5000)).unwrap();
     }));
-    recs.push(measure("join/hash-probe", n, || {
+    recs.push(measure(base.as_ref(), "join/hash-probe", n, || {
         ops::join(&ctx, &unsorted, &join_right).unwrap();
     }));
-    recs.push(measure("join/fetch-dense", n, || {
+    recs.push(measure(base.as_ref(), "join/fetch-dense", n, || {
         ops::join(&ctx, &fetch_left, &fetch_right).unwrap();
     }));
-    recs.push(measure("semijoin/hash", n, || {
+    recs.push(measure(base.as_ref(), "join/partitioned-probe", part_probe_n, || {
+        ops::join_partitioned(&ctx, &part_left, &part_right);
+    }));
+    recs.push(measure(base.as_ref(), "join/monolithic-probe-big", part_probe_n, || {
+        ops::join::join_hash(&ctx, &part_left, &part_right);
+    }));
+    recs.push(measure(base.as_ref(), "semijoin/hash", n, || {
         ops::semijoin(&ctx, &unsorted, &sel).unwrap();
     }));
-    recs.push(measure("unique/hash", n, || {
+    recs.push(measure(base.as_ref(), "unique/hash", n, || {
         ops::unique(&ctx, &dup).unwrap();
     }));
-    recs.push(measure("group1/hash", n, || {
+    recs.push(measure(base.as_ref(), "group1/hash", n, || {
         ops::group1(&ctx, &unsorted).unwrap();
     }));
-    recs.push(measure("multiplex/mul-dbl", n, || {
+    recs.push(measure(base.as_ref(), "multiplex/mul-dbl", n, || {
         ops::multiplex(
             &ctx,
             ops::ScalarFunc::Mul,
@@ -173,7 +258,7 @@ fn main() {
         )
         .unwrap();
     }));
-    recs.push(measure("multiplex/sub-int-const", n, || {
+    recs.push(measure(base.as_ref(), "multiplex/sub-int-const", n, || {
         ops::multiplex(
             &ctx,
             ops::ScalarFunc::Sub,
@@ -181,10 +266,10 @@ fn main() {
         )
         .unwrap();
     }));
-    recs.push(measure("multiplex/year-date", n, || {
+    recs.push(measure(base.as_ref(), "multiplex/year-date", n, || {
         ops::multiplex(&ctx, ops::ScalarFunc::Year, &[ops::MultArg::Bat(dates.clone())]).unwrap();
     }));
-    recs.push(measure("multiplex/ge-dbl-const", n, || {
+    recs.push(measure(base.as_ref(), "multiplex/ge-dbl-const", n, || {
         ops::multiplex(
             &ctx,
             ops::ScalarFunc::Ge,
@@ -192,7 +277,7 @@ fn main() {
         )
         .unwrap();
     }));
-    recs.push(measure("multiplex/str-prefix-const", n, || {
+    recs.push(measure(base.as_ref(), "multiplex/str-prefix-const", n, || {
         ops::multiplex(
             &ctx,
             ops::ScalarFunc::StrPrefix,
@@ -200,30 +285,33 @@ fn main() {
         )
         .unwrap();
     }));
-    recs.push(measure("set-aggregate/sum-dbl", n, || {
+    recs.push(measure(base.as_ref(), "set-aggregate/sum-dbl", n, || {
         ops::set_aggregate(&ctx, ops::AggFunc::Sum, &grouped_vals).unwrap();
     }));
-    recs.push(measure("sort/tail-int", n, || {
+    recs.push(measure(base.as_ref(), "sort/tail-int", n, || {
         ops::sort_tail(&ctx, &unsorted).unwrap();
     }));
-    recs.push(measure("hashindex/build-oid", n, || {
+    recs.push(measure(base.as_ref(), "topn/desc-100", n, || {
+        ops::topn(&ctx, &unsorted, 100, true).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "hashindex/build-oid", n, || {
         HashIndex::build(unsorted_keys.tail());
     }));
 
     // semijoin group: warm datavector path (LOOKUP memoized once)
-    recs.push(measure("semijoin/datavector-warm", sel.len(), || {
+    recs.push(measure(base.as_ref(), "semijoin/datavector-warm", sel.len(), || {
         ops::semijoin(&ctx, &with_dv, &sel).unwrap();
     }));
 
     // group_aggregate group
-    recs.push(measure("group2/refine-synced", n, || {
+    recs.push(measure(base.as_ref(), "group2/refine-synced", n, || {
         ops::group2(&ctx, &g1, &second_synced).unwrap();
     }));
 
     // q13 end to end over the memoized world
     let w = world();
     let q13_rows = w.data.items.len();
-    recs.push(measure("q13/moa-execute", q13_rows, || {
+    recs.push(measure(base.as_ref(), "q13/moa-execute", q13_rows, || {
         tpcd_queries::q11_15::q13_run(&w.cat, &ctx, &w.params).unwrap();
     }));
 
@@ -244,7 +332,12 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = std::env::var("FLATALG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    // Default output is deliberately NOT the committed baseline path: a
+    // casual local run must not clobber BENCH_kernels.json (and thereby
+    // make the next run's delta column compare against itself). Point
+    // FLATALG_BENCH_OUT at BENCH_kernels.json explicitly to re-baseline.
+    let path =
+        std::env::var("FLATALG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.local.json".into());
+    std::fs::write(&path, &json).expect("write kernel perf report");
     eprintln!("wrote {path}");
 }

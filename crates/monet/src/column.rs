@@ -584,18 +584,88 @@ impl Column {
 
     /// Stable argsort of the window: returns positions in ascending value
     /// order. Used for datavector creation ("Sort on Tail", Figure 7) and
-    /// the load-phase reordering of Section 6. One typed dispatch, then a
-    /// monomorphic comparator.
+    /// the load-phase reordering of Section 6. Typed **direct** sort: the
+    /// fixed-width types map to order-preserving `u64` keys sorted by an
+    /// adaptive counting/LSD-radix pass (O(n), no comparisons) directly on
+    /// the primitive slice — no per-compare indirection through the
+    /// permutation.
     pub fn sort_perm(&self) -> Vec<u32> {
-        use crate::typed::TypedVals;
-        let mut idx: Vec<u32> = (0..self.len as u32).collect();
-        if matches!(self.vals, ColumnVals::Void { .. }) {
-            return idx; // already sorted
+        self.sort_typed(false).1
+    }
+
+    /// Typed direct sort of the window: the stable ascending permutation
+    /// *and* the sorted column in one pass — `sort_tail` consumes both,
+    /// skipping the tail re-gather of the old argsort+gather path. The
+    /// sorted values fall out of the key sort itself (un-mapped from the
+    /// order-preserving keys), so the tail column is built sequentially.
+    pub fn sort_direct(&self) -> (Column, Vec<u32>) {
+        let (col, perm) = self.sort_typed(true);
+        (col.expect("sort_typed(true) returns the sorted column"), perm)
+    }
+
+    fn sort_typed(&self, want_column: bool) -> (Option<Column>, Vec<u32>) {
+        let n = self.len;
+        let col_of = |perm: &[u32]| if want_column { Some(self.gather(perm)) } else { None };
+        match &self.vals {
+            ColumnVals::Void { .. } => {
+                let perm: Vec<u32> = (0..n as u32).collect(); // already sorted
+                (want_column.then(|| self.clone()), perm)
+            }
+            ColumnVals::Oid(v) => {
+                let w = &v[self.off..self.off + n];
+                let (keys, perm) = radix_sort_keys(w.to_vec());
+                (want_column.then(|| Column::from_oids(keys)), perm)
+            }
+            ColumnVals::Int(v) => {
+                let w = &v[self.off..self.off + n];
+                let (keys, perm) = radix_sort_keys(w.iter().map(|&x| i32_key(x)).collect());
+                let col = want_column
+                    .then(|| Column::from_ints(keys.into_iter().map(i32_from_key).collect()));
+                (col, perm)
+            }
+            ColumnVals::Lng(v) => {
+                let w = &v[self.off..self.off + n];
+                let (keys, perm) = radix_sort_keys(w.iter().map(|&x| i64_key(x)).collect());
+                let col = want_column
+                    .then(|| Column::from_lngs(keys.into_iter().map(i64_from_key).collect()));
+                (col, perm)
+            }
+            ColumnVals::Dbl(v) => {
+                // Order-preserving bit transform: integer order of the keys
+                // is exactly IEEE total order, matching `cmp_at`. The
+                // un-map is bit-exact, so NaN payloads survive the round
+                // trip.
+                let w = &v[self.off..self.off + n];
+                let (keys, perm) = radix_sort_keys(w.iter().map(|&x| f64_total_key(x)).collect());
+                let col = want_column
+                    .then(|| Column::from_dbls(keys.into_iter().map(f64_from_total_key).collect()));
+                (col, perm)
+            }
+            ColumnVals::Chr(v) => {
+                let w = &v[self.off..self.off + n];
+                let perm = counting_sort_perm(w.iter().map(|&c| c as usize), n, 1 << 8);
+                (col_of(&perm), perm)
+            }
+            ColumnVals::Bool(v) => {
+                let w = &v[self.off..self.off + n];
+                let perm = counting_sort_perm(w.iter().map(|&b| b as usize), n, 2);
+                (col_of(&perm), perm)
+            }
+            ColumnVals::Date(v) => {
+                let w = &v[self.off..self.off + n];
+                let (keys, perm) = radix_sort_keys(w.iter().map(|&x| i32_key(x)).collect());
+                let col = want_column
+                    .then(|| Column::from_date_days(keys.into_iter().map(i32_from_key).collect()));
+                (col, perm)
+            }
+            ColumnVals::Str(sv) => {
+                let mut pairs: Vec<(&str, u32)> =
+                    (0..n).map(|i| (sv.get(self.off + i), i as u32)).collect();
+                pairs.sort_unstable();
+                let perm: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+                (col_of(&perm), perm)
+            }
         }
-        crate::for_each_typed!(self, |t| {
-            idx.sort_by(|&a, &b| t.cmp_one(t.value(a as usize), t.value(b as usize)))
-        });
-        idx
     }
 
     /// O(n) check: ascending (non-strict) order.
@@ -716,6 +786,151 @@ impl<'a> StrVecView<'a> {
     pub fn heap_bytes(&self) -> usize {
         self.sv.heap_bytes()
     }
+}
+
+/// Map an `f64` to a `u64` whose unsigned integer order equals IEEE total
+/// order (the order of [`f64::total_cmp`]): flip all bits of negatives, the
+/// sign bit of non-negatives.
+#[inline]
+fn f64_total_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Exact inverse of [`f64_total_key`] (bit-identical round trip).
+#[inline]
+fn f64_from_total_key(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
+}
+
+/// Order-preserving `i32 → u64` key (sign-bit flip) and its inverse.
+#[inline]
+fn i32_key(v: i32) -> u64 {
+    (v as u32 ^ 0x8000_0000) as u64
+}
+
+#[inline]
+fn i32_from_key(k: u64) -> i32 {
+    (k as u32 ^ 0x8000_0000) as i32
+}
+
+/// Order-preserving `i64 → u64` key (sign-bit flip) and its inverse.
+#[inline]
+fn i64_key(v: i64) -> u64 {
+    v as u64 ^ (1 << 63)
+}
+
+#[inline]
+fn i64_from_key(k: u64) -> i64 {
+    (k ^ (1 << 63)) as i64
+}
+
+/// Stable ascending sort of order-preserving `u64` keys without a single
+/// comparison: a counting sort over `key - min` when the range is narrow
+/// (at most `max(4n, 2^16)` distinct buckets), else LSD byte-radix passes
+/// where a one-scan histogram detects constant bytes so only significant
+/// bytes pay a scatter. Returns the sorted keys (the input buffer, reused)
+/// and the stable permutation.
+fn radix_sort_keys(mut keys: Vec<u64>) -> (Vec<u64>, Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return (keys, (0..n as u32).collect());
+    }
+    let (mut min, mut max) = (u64::MAX, 0u64);
+    for &k in &keys {
+        min = min.min(k);
+        max = max.max(k);
+    }
+    let range = max - min;
+    if range < (4 * n as u64).max(1 << 16) {
+        // Counting sort: one histogram, one perm scatter, then the sorted
+        // keys are rebuilt by sequential run expansion — no value gather.
+        let domain = range as usize + 1;
+        let mut offs = vec![0u32; domain];
+        for &k in &keys {
+            offs[(k - min) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for o in offs.iter_mut() {
+            let c = *o;
+            *o = sum;
+            sum += c;
+        }
+        let mut perm = vec![0u32; n];
+        for (i, &k) in keys.iter().enumerate() {
+            let dst = &mut offs[(k - min) as usize];
+            perm[*dst as usize] = i as u32;
+            *dst += 1;
+        }
+        // Post-scatter, `offs[d]` is the end offset of bucket `d`.
+        let mut at = 0usize;
+        for (d, &end) in offs.iter().enumerate() {
+            keys[at..end as usize].fill(min + d as u64);
+            at = end as usize;
+        }
+        return (keys, perm);
+    }
+    // LSD radix over the bytes of `key - min`; bytes above the range's
+    // width are zero for every key and never even histogrammed.
+    let passes = ((64 - range.leading_zeros() as usize) + 7) / 8;
+    let mut hist = vec![[0u32; 256]; passes];
+    for &k in &keys {
+        let b = k - min;
+        for (p, h) in hist.iter_mut().enumerate() {
+            h[((b >> (8 * p)) & 255) as usize] += 1;
+        }
+    }
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut keys2 = vec![0u64; n];
+    let mut perm2 = vec![0u32; n];
+    for (p, h) in hist.iter_mut().enumerate() {
+        if h.iter().any(|&c| c as usize == n) {
+            continue; // every key agrees on this byte
+        }
+        let mut sum = 0u32;
+        for c in h.iter_mut() {
+            let x = *c;
+            *c = sum;
+            sum += x;
+        }
+        for i in 0..n {
+            let k = keys[i];
+            let dst = &mut h[(((k - min) >> (8 * p)) & 255) as usize];
+            keys2[*dst as usize] = k;
+            perm2[*dst as usize] = perm[i];
+            *dst += 1;
+        }
+        std::mem::swap(&mut keys, &mut keys2);
+        std::mem::swap(&mut perm, &mut perm2);
+    }
+    (keys, perm)
+}
+
+/// Stable counting sort for keys from a small domain (`chr`, `bool`, narrow
+/// `date` ranges): O(n + domain) with no comparisons at all.
+fn counting_sort_perm(
+    keys: impl Iterator<Item = usize> + Clone,
+    n: usize,
+    domain: usize,
+) -> Vec<u32> {
+    let mut starts = vec![0u32; domain + 1];
+    for k in keys.clone() {
+        starts[k + 1] += 1;
+    }
+    for d in 0..domain {
+        starts[d + 1] += starts[d];
+    }
+    let mut perm = vec![0u32; n];
+    for (i, k) in keys.enumerate() {
+        let dst = &mut starts[k];
+        perm[*dst as usize] = i as u32;
+        *dst += 1;
+    }
+    perm
 }
 
 fn type_of(v: &ColumnVals) -> AtomType {

@@ -32,6 +32,12 @@ pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
         (join_fetch(ctx, ab, cd), "fetch")
     } else if ab.props().tail.sorted && cd.props().head.sorted {
         (join_merge(ctx, ab, cd), "merge")
+    } else if cd.accel().head_hash.is_none()
+        && crate::costmodel::join_prefers_partitioned(ab.len(), cd.len())
+    {
+        // No persistent accelerator to reuse and the build side overflows
+        // the cache: radix-partition so each build+probe is cache-resident.
+        (join_partitioned(ctx, ab, cd), "partition")
     } else {
         (join_hash(ctx, ab, cd), "hash")
     };
@@ -192,7 +198,7 @@ fn join_merge(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
 
 /// Hash join: build on right head (reusing a persistent accelerator when
 /// present), probe left tails in order.
-fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+pub fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, cd.head());
         pager::touch_scan(p, ab.tail());
@@ -221,6 +227,149 @@ fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
         (left_idx, right_idx)
     });
     build_join(ctx, ab, cd, &left_idx, &right_idx)
+}
+
+/// Radix-partitioned hash join: cluster both inputs on the same high hash
+/// bits so that every per-cluster build table stays cache-resident
+/// ([`crate::typed::radix_cluster`]), then build+probe cluster by cluster.
+/// The probe walks packed `(hash, pos)` pairs sequentially and compares 32
+/// retained hash bits first, touching actual column values only on a hash
+/// match — so the monolithic path's per-candidate random value reads are
+/// replaced by streaming access over cache-sized windows.
+///
+/// The output is re-emitted in left-BUN order (left positions ascending,
+/// right positions ascending per left BUN), bit-identical to [`join_hash`]
+/// and [`super::reference::join`]: each left BUN lands in exactly one
+/// cluster with its matches contiguous and right-ascending, so a stable
+/// radix sort of packed `(left, right)` pairs on the left half
+/// ([`crate::typed::sort_pairs_by_hi`]) restores the global order with
+/// streaming passes.
+pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, cd.head());
+        pager::touch_scan(p, ab.tail());
+    }
+    const EMPTY: u32 = u32::MAX;
+    // Cluster count is sized to the *build* side: its per-cluster table is
+    // what must stay cache-resident. The probe side only streams through
+    // its clusters, whatever their size.
+    let bits = crate::typed::radix_bits(cd.len());
+    // Matches as packed `left << 32 | right`, in cluster order.
+    let mut matches: Vec<u64> = crate::typed::take_u64(ab.len());
+    crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+        let lc = crate::typed::radix_cluster_typed(bt, bits);
+        let rc = crate::typed::radix_cluster_typed(ch, bits);
+        // Per-cluster chain table, presized once for the largest build
+        // cluster and reused across clusters. Bucket entries carry the
+        // cluster id in their top bits (epoch tags), so entries left by a
+        // previous cluster are self-invalidating: the table is filled once
+        // per join, never reset between clusters. (`next` needs no reset
+        // either — a chain only references slots the current cluster's
+        // build just wrote.)
+        const SLOT_BITS: u32 = 21;
+        const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+        let max_build = rc.max_cluster_rows();
+        // 4x buckets: ~25% occupancy keeps the chain-entry branch
+        // predictably not-taken (at 2x it is a coin flip, and the
+        // mispredicts cost more than the extra — still L1-resident — rows).
+        let nbuckets = (max_build.max(1) * 4).next_power_of_two();
+        let mask = (nbuckets - 1) as u32;
+        let mut buckets: Vec<u32> = crate::typed::take_u32(nbuckets);
+        let mut next: Vec<u32> = crate::typed::take_u32(max_build);
+        next.resize(max_build, EMPTY);
+        if max_build <= SLOT_MASK as usize {
+            buckets.resize(nbuckets, u32::MAX); // tag no cluster id can match
+            for c in 0..lc.num_clusters() {
+                let (lr, rr) = (lc.cluster(c), rc.cluster(c));
+                if lr.is_empty() || rr.is_empty() {
+                    continue;
+                }
+                let tag = (c as u32) << SLOT_BITS;
+                let rpairs = &rc.pairs[rr.clone()];
+                // Build on the right cluster, newest-first chains: inserting
+                // in reverse makes each chain iterate in ascending right
+                // position.
+                for (slot, &rp) in rpairs.iter().enumerate().rev() {
+                    let b = (crate::typed::pair_hash(rp) & mask) as usize;
+                    let head = buckets[b];
+                    next[slot] =
+                        if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
+                    buckets[b] = tag | slot as u32;
+                }
+                // Probe the left cluster in (stable, ascending-position)
+                // order: sequential pair reads, cache-resident chain walks,
+                // and value fetches only on a 32-bit hash match.
+                for &lp in &lc.pairs[lr] {
+                    let h = crate::typed::pair_hash(lp);
+                    let head = buckets[(h & mask) as usize];
+                    let mut cur =
+                        if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
+                    while cur != EMPTY {
+                        let rp = rpairs[cur as usize];
+                        if crate::typed::pair_hash(rp) == h {
+                            let li = crate::typed::pair_pos(lp);
+                            let ri = crate::typed::pair_pos(rp);
+                            if ch.eq_one(ch.value(ri as usize), bt.value(li as usize)) {
+                                matches.push(((li as u64) << 32) | ri as u64);
+                            }
+                        }
+                        cur = next[cur as usize];
+                    }
+                }
+            }
+        } else {
+            // Pathological skew: one cluster exceeds the 2^21 rows the slot
+            // field of an epoch-tagged entry can address (duplicate-heavy
+            // build sides hash-collapse into one cluster). Same algorithm
+            // with full-width slot entries and a per-cluster bucket reset —
+            // correct for any cluster size, just without the no-reset trick.
+            buckets.resize(nbuckets, EMPTY);
+            for c in 0..lc.num_clusters() {
+                let (lr, rr) = (lc.cluster(c), rc.cluster(c));
+                if lr.is_empty() || rr.is_empty() {
+                    continue;
+                }
+                let rpairs = &rc.pairs[rr.clone()];
+                for (slot, &rp) in rpairs.iter().enumerate().rev() {
+                    let b = (crate::typed::pair_hash(rp) & mask) as usize;
+                    next[slot] = buckets[b];
+                    buckets[b] = slot as u32;
+                }
+                for &lp in &lc.pairs[lr] {
+                    let h = crate::typed::pair_hash(lp);
+                    let mut cur = buckets[(h & mask) as usize];
+                    while cur != EMPTY {
+                        let rp = rpairs[cur as usize];
+                        if crate::typed::pair_hash(rp) == h {
+                            let li = crate::typed::pair_pos(lp);
+                            let ri = crate::typed::pair_pos(rp);
+                            if ch.eq_one(ch.value(ri as usize), bt.value(li as usize)) {
+                                matches.push(((li as u64) << 32) | ri as u64);
+                            }
+                        }
+                        cur = next[cur as usize];
+                    }
+                }
+                buckets.fill(EMPTY);
+            }
+        }
+        crate::typed::put_u32(buckets);
+        crate::typed::put_u32(next);
+        lc.recycle();
+        rc.recycle();
+    });
+    // Restore global left-BUN order: stable streaming sort on the left
+    // half; equal left positions keep their (right-ascending) probe order.
+    let matches = crate::typed::sort_pairs_by_hi(matches);
+    let mut left_idx: Vec<u32> = crate::typed::take_u32(matches.len());
+    let mut right_idx: Vec<u32> = crate::typed::take_u32(matches.len());
+    left_idx.extend(matches.iter().map(|&m| (m >> 32) as u32));
+    right_idx.extend(matches.iter().map(|&m| m as u32));
+    crate::typed::put_u64(matches);
+    let out = build_join(ctx, ab, cd, &left_idx, &right_idx);
+    crate::typed::put_u32(left_idx);
+    crate::typed::put_u32(right_idx);
+    out
 }
 
 fn tail_props(ab: &Bat, cd: &Bat) -> ColProps {
@@ -337,6 +486,50 @@ mod tests {
         };
         assert_eq!(norm(&m), norm(&h));
         assert_eq!(m.len(), 4); // (1,50),(2,50),(3,70),(3,71)
+    }
+
+    #[test]
+    fn partitioned_join_agrees_with_hash_and_dispatches_above_threshold() {
+        let ctx = ExecCtx::new().with_trace();
+        // Build side large enough that its chain table overflows the cache
+        // budget (costmodel::join_prefers_partitioned) and duplicates exist
+        // on both sides.
+        let m = crate::costmodel::JOIN_CACHE_BYTES / crate::costmodel::JOIN_BUILD_BYTES_PER_ROW + 1;
+        let n = m + 1000;
+        let left = Bat::new(
+            Column::from_oids((0..n as u64).collect()),
+            Column::from_ints((0..n).map(|i| ((i * 7) % (m + 500)) as i32).collect()),
+        );
+        let right = Bat::new(
+            Column::from_ints((0..m).map(|i| (i % (m - 100)) as i32).collect()),
+            Column::from_oids((0..m as u64).map(|i| 10_000 + i).collect()),
+        );
+        let p = join_partitioned(&ctx, &left, &right);
+        let h = join_hash(&ctx, &left, &right);
+        assert_eq!(p.len(), h.len());
+        for i in 0..p.len() {
+            assert_eq!(p.head().oid_at(i), h.head().oid_at(i), "head order differs at {i}");
+            assert_eq!(p.tail().oid_at(i), h.tail().oid_at(i), "tail order differs at {i}");
+        }
+        // The dynamic dispatch picks the partitioned path at this size...
+        let _ = ctx.take_trace();
+        let _ = join(&ctx, &left, &right).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "partition");
+        // ...but reuses a persistent hash accelerator when one exists.
+        let mut right_accel = right.clone();
+        right_accel
+            .set_head_hash(std::sync::Arc::new(crate::accel::hash::HashIndex::build(right.head())));
+        let _ = join(&ctx, &left, &right_accel).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "hash");
+    }
+
+    #[test]
+    fn partitioned_join_empty_operands() {
+        let ctx = ExecCtx::new();
+        let l = Bat::new(Column::from_oids(vec![]), Column::from_ints(vec![]));
+        let r = Bat::new(Column::from_ints(vec![1, 2]), Column::from_oids(vec![5, 6]));
+        assert_eq!(join_partitioned(&ctx, &l, &r).len(), 0);
+        assert_eq!(join_partitioned(&ctx, &r.mirror(), &l.mirror()).len(), 0);
     }
 
     #[test]

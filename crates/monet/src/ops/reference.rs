@@ -198,6 +198,20 @@ pub fn sort_tail(ab: &Bat) -> Bat {
     gather_pair(ab, &idx)
 }
 
+/// The `n` extreme-tail BUNs: full stable sort by (tail value in the
+/// requested direction, then operand position), truncate to `n`.
+pub fn topn(ab: &Bat, n: usize, descending: bool) -> Bat {
+    let t = ab.tail();
+    let mut idx: Vec<u32> = (0..ab.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        let c = t.cmp_at(a as usize, t, b as usize);
+        let c = if descending { c.reverse() } else { c };
+        c.then(a.cmp(&b))
+    });
+    idx.truncate(n);
+    gather_pair(ab, &idx)
+}
+
 /// Whole-BAT aggregate over the tail, row order, generic accessors.
 pub fn aggr_scalar(ab: &Bat, f: AggFunc) -> Result<AtomValue> {
     let t = ab.tail();

@@ -408,6 +408,385 @@ pub fn hash_column(col: &Column) -> Vec<u64> {
 
 const EMPTY: u32 = u32::MAX;
 
+// ---------------------------------------------------------------------------
+// Thread-local scratch pool: the presized-buffer discipline for kernels.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SCRATCH_U64: std::cell::RefCell<Vec<Vec<u64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    static SCRATCH_U32: std::cell::RefCell<Vec<Vec<u32>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Buffers kept per pool; excess returns are dropped so scratch memory
+/// stays bounded by a few working sets.
+const SCRATCH_POOL_CAP: usize = 4;
+
+macro_rules! scratch_pool {
+    ($take:ident, $take_zeroed:ident, $put:ident, $pool:ident, $ty:ty) => {
+        /// Take an empty scratch vector with at least `cap` capacity from
+        /// the thread-local pool. Freshly-mapped pages fault on first touch,
+        /// which costs more than the kernel work writing them — pooling
+        /// keeps the pages committed across calls. Return with the matching
+        /// `put` once done.
+        pub fn $take(cap: usize) -> Vec<$ty> {
+            let mut v = $pool
+                .with(|p| {
+                    let pool = &mut *p.borrow_mut();
+                    let best = (0..pool.len()).max_by_key(|&i| pool[i].capacity())?;
+                    Some(pool.swap_remove(best))
+                })
+                .unwrap_or_default();
+            v.clear();
+            v.reserve(cap);
+            v
+        }
+
+        /// [`$take`], but zero-filled to length `n` (scatter targets).
+        pub fn $take_zeroed(n: usize) -> Vec<$ty> {
+            let mut v = $take(n);
+            v.resize(n, 0);
+            v
+        }
+
+        /// Return a scratch vector to the thread-local pool.
+        pub fn $put(v: Vec<$ty>) {
+            if v.capacity() == 0 {
+                return;
+            }
+            $pool.with(|p| {
+                let pool = &mut *p.borrow_mut();
+                if pool.len() < SCRATCH_POOL_CAP {
+                    pool.push(v);
+                } else if let Some(min) = (0..pool.len()).min_by_key(|&i| pool[i].capacity()) {
+                    if pool[min].capacity() < v.capacity() {
+                        pool[min] = v;
+                    }
+                }
+            });
+        }
+    };
+}
+
+scratch_pool!(take_u64, take_u64_zeroed, put_u64, SCRATCH_U64, u64);
+scratch_pool!(take_u32, take_u32_zeroed, put_u32, SCRATCH_U32, u32);
+
+// ---------------------------------------------------------------------------
+// Radix clustering: the partition kernel of the partitioned hash join.
+// ---------------------------------------------------------------------------
+
+/// Maximum radix bits consumed per clustering pass. Each pass is a stable
+/// counting sort with `2^RADIX_PASS_BITS` output runs; bounding the fan-out
+/// keeps the scatter targets within the TLB/cache reach, which is the whole
+/// point of multi-pass radix clustering.
+pub const RADIX_PASS_BITS: u32 = 8;
+
+/// Rows per cluster the partitioner aims for: small enough that a
+/// bucket-chained table over one cluster (buckets + chain links + the pair
+/// window, ~20 bytes/row) stays L1-resident during the build+probe of that
+/// cluster. Inputs past `2^RADIX_PASS_BITS` times this target take a
+/// second clustering pass, but that pass splits on only the leftover bits
+/// (2-run/4-run streaming splits), far cheaper than the probe stalls the
+/// bigger clusters would cost.
+pub const RADIX_TARGET_CLUSTER_ROWS: usize = 1024;
+
+/// Number of cluster bits for a build side of `rows`, so that the expected
+/// cluster size is at most [`RADIX_TARGET_CLUSTER_ROWS`]. Capped at the
+/// counting-free fan-out limit: past ~1M rows clusters grow beyond the
+/// target (gently degrading the probe toward L2) rather than paying a
+/// second scatter pass, which measures worse up to the tens of millions.
+pub fn radix_bits(rows: usize) -> u32 {
+    let mut bits = 0u32;
+    while bits < COUNTING_FREE_MAX_BITS && (rows >> bits) > RADIX_TARGET_CLUSTER_ROWS {
+        bits += 1;
+    }
+    bits
+}
+
+/// `(hash, position)` pairs clustered on the **top** `bits` of the hash and
+/// packed into one `u64` per row (high hash half | pos): one scatter
+/// stream during clustering, one sequential stream during the probe.
+///
+/// The retained half is the hash's *high* 32 bits, so the cluster id (top
+/// `bits ≤ 16`) stays inside the packed word — multi-pass clustering and
+/// cluster-id checks never need the original hash again. In-cluster bucket
+/// masks use the *low* bits of the retained half; for typical cluster
+/// sizes these stay below the cluster-id bits (an extreme-skew cluster can
+/// push the mask into them, wasting bucket slots on constant bits — an
+/// occupancy cost, never a correctness one). A false bucket match on the
+/// retained half still fails value equality, so the 32-bit truncation is a
+/// perf trade only. Clustering is stable: within a cluster, positions
+/// ascend.
+pub struct RadixClusters {
+    /// Packed `(hash >> 32) << 32 | pos`, cluster-windowed. Windows may be
+    /// padded apart (the counting-free scatter leaves headroom per
+    /// cluster); always address through [`RadixClusters::cluster`].
+    pub pairs: Vec<u64>,
+    /// Start offset of each cluster's window in `pairs`.
+    starts: Vec<usize>,
+    /// End offset (exclusive) of each cluster's window in `pairs`.
+    ends: Vec<usize>,
+    bits: u32,
+}
+
+/// The retained (high) 32 hash bits of a packed cluster pair.
+#[inline]
+pub fn pair_hash(p: u64) -> u32 {
+    (p >> 32) as u32
+}
+
+/// The original row position of a packed cluster pair.
+#[inline]
+pub fn pair_pos(p: u64) -> u32 {
+    p as u32
+}
+
+#[inline]
+fn pack_pair(h: u64, pos: usize) -> u64 {
+    (h & 0xFFFF_FFFF_0000_0000) | pos as u64 // keeps hash bits 32..64
+}
+
+impl RadixClusters {
+    /// Return the pair buffer to the scratch pool. Call when the clusters
+    /// are no longer needed (the join does, once matches are emitted).
+    pub fn recycle(self) {
+        put_u64(self.pairs);
+    }
+
+    /// The window of cluster `c` into `pairs`.
+    #[inline]
+    pub fn cluster(&self, c: usize) -> std::ops::Range<usize> {
+        self.starts[c]..self.ends[c]
+    }
+
+    /// Number of clusters (`2^bits`).
+    pub fn num_clusters(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Rows in the largest cluster (presizing per-cluster tables).
+    pub fn max_cluster_rows(&self) -> usize {
+        (0..self.num_clusters()).map(|c| self.cluster(c).len()).max().unwrap_or(0)
+    }
+
+    /// The cluster a full 64-bit hash belongs to.
+    #[inline]
+    pub fn cluster_of(&self, h: u64) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (h >> (64 - self.bits)) as usize
+        }
+    }
+}
+
+/// Cluster bits up to which the counting-free scatter applies (fan-out of
+/// `2^10` padded write streams stays within TLB/cache reach).
+const COUNTING_FREE_MAX_BITS: u32 = 10;
+
+/// Cluster a column window on the top `bits` of each row's hash, hashing
+/// on the fly (a few ALU ops per pass beat materializing — and re-reading
+/// — a full-width hash array).
+///
+/// The fast path is **counting-free**: one scatter pass into padded
+/// per-cluster regions sized `2×` the expected cluster plus slack, no
+/// histogram pass at all. Hash-distributed inputs essentially never
+/// overflow the padding; skewed inputs (a handful of distinct values) spill
+/// and fall back to the counted two-pass scatter, costing one wasted pass
+/// but never correctness. Inputs needing more than [`RADIX_PASS_BITS`]
+/// cluster bits run extra LSD passes over pooled scratch so one scatter
+/// never exceeds the cache/TLB reach.
+pub fn radix_cluster_typed<V: TypedVals>(t: V, bits: u32) -> RadixClusters {
+    assert!(bits <= 16, "radix_cluster: {bits} cluster bits (max 16)");
+    let n = t.len();
+    if bits == 0 {
+        let mut pairs = take_u64_zeroed(n);
+        for (i, p) in pairs.iter_mut().enumerate() {
+            *p = pack_pair(t.hash_one(t.value(i)), i);
+        }
+        return RadixClusters { pairs, starts: vec![0], ends: vec![n], bits };
+    }
+    let field_shift = 64 - bits; // cluster id = h >> field_shift
+    let nclusters = 1usize << bits;
+    if bits <= COUNTING_FREE_MAX_BITS {
+        // 1.5x the expected cluster plus slack: hash-distributed cluster
+        // sizes concentrate tightly around the mean, so overflow odds are
+        // astronomically small; skew spills to the counted path below.
+        let cap = (n / nclusters) + (n / nclusters) / 2 + 16;
+        let mut pairs = take_u64_zeroed(nclusters * cap);
+        let mut ends: Vec<usize> = (0..nclusters).map(|c| c * cap).collect();
+        let mut spilled = false;
+        for i in 0..n {
+            let h = t.hash_one(t.value(i));
+            let c = (h >> field_shift) as usize;
+            let dst = ends[c];
+            if dst < (c + 1) * cap {
+                pairs[dst] = pack_pair(h, i);
+                ends[c] = dst + 1;
+            } else {
+                spilled = true;
+                break;
+            }
+        }
+        if !spilled {
+            let starts = (0..nclusters).map(|c| c * cap).collect();
+            return RadixClusters { pairs, starts, ends, bits };
+        }
+        put_u64(pairs); // skew overflowed the padding: redo counted
+    }
+    // Counted path: one fused histogram pass over the full cluster-id
+    // field, then stable LSD scatter passes of at most [`RADIX_PASS_BITS`]
+    // bits, lowest chunk first (chunk histograms are derived from the
+    // full-field histogram without touching the input again). The cluster
+    // id lives inside the packed pair (hash bits 48..64 are retained), so
+    // after the first scatter packs the pairs from the source, later
+    // passes stream pairs → pairs directly.
+    let mut field_hist = vec![0usize; nclusters];
+    for i in 0..n {
+        field_hist[(t.hash_one(t.value(i)) >> field_shift) as usize] += 1;
+    }
+    let mut starts = vec![0usize; nclusters];
+    let mut ends = vec![0usize; nclusters];
+    let mut at = 0usize;
+    for c in 0..nclusters {
+        starts[c] = at;
+        at += field_hist[c];
+        ends[c] = at;
+    }
+    let mut pairs = take_u64_zeroed(n);
+    if bits <= RADIX_PASS_BITS {
+        // Single pass: scatter the packed pairs straight from the input.
+        let mut offs = starts.clone();
+        for i in 0..n {
+            let h = t.hash_one(t.value(i));
+            let dst = &mut offs[(h >> field_shift) as usize];
+            pairs[*dst] = pack_pair(h, i);
+            *dst += 1;
+        }
+        return RadixClusters { pairs, starts, ends, bits };
+    }
+    let mut out = take_u64_zeroed(n);
+    let mut done = 0u32;
+    let mut first = true;
+    while done < bits {
+        let pass_bits = RADIX_PASS_BITS.min(bits - done);
+        let mask = (1usize << pass_bits) - 1;
+        let nruns = 1usize << pass_bits;
+        // Chunk histogram: aggregate the full-field histogram over the
+        // other bits of the field.
+        let mut offs = vec![0usize; nruns];
+        for (f, &c) in field_hist.iter().enumerate() {
+            offs[(f >> done) & mask] += c;
+        }
+        let mut sum = 0usize;
+        for o in offs.iter_mut() {
+            let here = *o;
+            *o = sum;
+            sum += here;
+        }
+        if first {
+            let shift = field_shift + done;
+            for i in 0..n {
+                let h = t.hash_one(t.value(i));
+                let dst = &mut offs[(h >> shift) as usize & mask];
+                out[*dst] = pack_pair(h, i);
+                *dst += 1;
+            }
+            first = false;
+        } else {
+            // Field chunk straight from the pair: hash bit k (k ≥ 32) sits
+            // at pair bit k, so the same shift applies.
+            let shift = field_shift + done;
+            for &p in pairs.iter() {
+                let dst = &mut offs[(p >> shift) as usize & mask];
+                out[*dst] = p;
+                *dst += 1;
+            }
+        }
+        std::mem::swap(&mut pairs, &mut out);
+        done += pass_bits;
+    }
+    put_u64(out);
+    RadixClusters { pairs, starts, ends, bits }
+}
+
+/// [`radix_cluster_typed`] over a precomputed hash slice (kept as the
+/// kernel-level entry point for callers that already hold bulk hashes).
+pub fn radix_cluster(hashes: &[u64], bits: u32) -> RadixClusters {
+    radix_cluster_typed(HashSliceVals(hashes), bits)
+}
+
+/// Adapter treating a `&[u64]` of precomputed hashes as a [`TypedVals`]
+/// whose elements hash to themselves.
+#[derive(Clone, Copy)]
+struct HashSliceVals<'a>(&'a [u64]);
+
+impl TypedVals for HashSliceVals<'_> {
+    type Elem = u64;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    #[inline]
+    fn hash_one(&self, v: u64) -> u64 {
+        v
+    }
+
+    fn cmp_one(&self, a: u64, b: u64) -> Ordering {
+        a.cmp(&b)
+    }
+
+    fn cmp_atom(&self, _v: u64, _atom: &AtomValue) -> Ordering {
+        unreachable!("hash-slice adapter has no atom comparisons")
+    }
+}
+
+/// Stable ascending sort of packed `u64` pairs by their **high 32 bits**:
+/// LSD byte-radix passes with constant bytes detected from a one-scan
+/// histogram and skipped. The partitioned join uses this to restore
+/// left-BUN order over `(left << 32) | right` match pairs with streaming
+/// scatters (256 write runs) instead of one random scatter per match.
+pub fn sort_pairs_by_hi(mut pairs: Vec<u64>) -> Vec<u64> {
+    let n = pairs.len();
+    if n <= 1 {
+        return pairs;
+    }
+    let mut hist = [[0u32; 256]; 4];
+    for &p in &pairs {
+        for (b, h) in hist.iter_mut().enumerate() {
+            h[((p >> (32 + 8 * b)) & 255) as usize] += 1;
+        }
+    }
+    let mut out = take_u64_zeroed(n);
+    for (b, h) in hist.iter_mut().enumerate() {
+        if h.iter().any(|&c| c as usize == n) {
+            continue; // every pair agrees on this byte
+        }
+        let mut sum = 0u32;
+        for c in h.iter_mut() {
+            let x = *c;
+            *c = sum;
+            sum += x;
+        }
+        for i in 0..n {
+            let p = pairs[i];
+            let dst = &mut h[((p >> (32 + 8 * b)) & 255) as usize];
+            out[*dst as usize] = p;
+            *dst += 1;
+        }
+        std::mem::swap(&mut pairs, &mut out);
+    }
+    put_u64(out);
+    pairs
+}
+
 /// Bucket-chained grouping table, the same presized layout as
 /// [`crate::accel::hash::HashIndex`] but with incremental insertion: one
 /// entry per distinct key, entry id == group id. No per-bucket allocations;
@@ -576,6 +955,71 @@ mod tests {
         } else {
             unreachable!()
         }
+    }
+
+    #[test]
+    fn radix_cluster_is_a_stable_partition() {
+        // Hashes chosen so several values share a cluster; multi-pass is
+        // exercised by asking for more bits than one pass covers.
+        for bits in [0u32, 3, RADIX_PASS_BITS + 2] {
+            let hashes: Vec<u64> = (0..500u64).map(|i| fxhash64(i % 97)).collect();
+            let rc = radix_cluster(&hashes, bits);
+            assert_eq!(rc.num_clusters(), 1 << bits);
+            // Windows cover every row exactly once (the padded layout may
+            // hold more backing slots than rows).
+            let total: usize = (0..rc.num_clusters()).map(|c| rc.cluster(c).len()).sum();
+            assert_eq!(total, hashes.len());
+            let mut seen = vec![false; hashes.len()];
+            for c in 0..rc.num_clusters() {
+                let range = rc.cluster(c);
+                let mut prev: Option<u32> = None;
+                for k in range {
+                    let p = pair_pos(rc.pairs[k]) as usize;
+                    assert!(!seen[p], "bits {bits}: position {p} clustered twice");
+                    seen[p] = true;
+                    assert_eq!(
+                        pair_hash(rc.pairs[k]),
+                        (hashes[p] >> 32) as u32,
+                        "bits {bits}: retained hash half not parallel"
+                    );
+                    assert_eq!(rc.cluster_of(hashes[p]), c, "bits {bits}: wrong cluster");
+                    // Stability: positions ascend within a cluster.
+                    if let Some(q) = prev {
+                        assert!(q < pair_pos(rc.pairs[k]), "bits {bits}: cluster {c} not stable");
+                    }
+                    prev = Some(pair_pos(rc.pairs[k]));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "bits {bits}: rows lost");
+        }
+    }
+
+    #[test]
+    fn sort_pairs_by_hi_is_stable_on_low_bits() {
+        // Same high key → low halves keep insertion order (they ride along
+        // untouched); distinct high keys sort ascending.
+        let pairs: Vec<u64> = vec![
+            (7 << 32) | 3,
+            (2 << 32) | 9,
+            (7 << 32) | 1,
+            (2 << 32) | 2,
+            (0x01_0000 << 32) | 5, // exercises a second byte pass
+            (2 << 32) | 7,
+        ];
+        let sorted = sort_pairs_by_hi(pairs);
+        let key_lo: Vec<(u64, u64)> = sorted.iter().map(|&p| (p >> 32, p & 0xffff_ffff)).collect();
+        assert_eq!(key_lo, vec![(2, 9), (2, 2), (2, 7), (7, 3), (7, 1), (0x01_0000, 5)]);
+    }
+
+    #[test]
+    fn radix_bits_targets_cluster_size() {
+        assert_eq!(radix_bits(0), 0);
+        assert_eq!(radix_bits(RADIX_TARGET_CLUSTER_ROWS), 0);
+        assert_eq!(radix_bits(RADIX_TARGET_CLUSTER_ROWS + 1), 1);
+        let bits = radix_bits(1 << 20);
+        assert!((1 << 20 >> bits) <= RADIX_TARGET_CLUSTER_ROWS);
+        // Capped at the counting-free fan-out even for absurd inputs.
+        assert_eq!(radix_bits(usize::MAX), COUNTING_FREE_MAX_BITS);
     }
 
     #[test]

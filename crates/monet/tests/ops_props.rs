@@ -554,6 +554,63 @@ fn typed_sort_matches_generic_across_types() {
                 "{ty} case {case}: sort_tail"
             );
         }
+        // Explicit sliced/offset window: the typed direct sort must respect
+        // the view, not the backing allocation.
+        let n = 24;
+        let head = random_column(&mut rng, AtomType::Oid, n);
+        let tail = random_column(&mut rng, ty, n + 9).slice(6, n);
+        let b = Bat::new(head, tail);
+        let s = ops::sort_tail(&ctx, &b).unwrap();
+        assert_eq!(rows_of(&s), rows_of(&reference::sort_tail(&b)), "{ty}: sort_tail windowed");
+    }
+}
+
+#[test]
+fn typed_topn_matches_reference_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1A);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..50usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            // Small alphabets guarantee duplicate tails: the stability of
+            // ties (operand order, both directions) is what's under test.
+            for descending in [false, true] {
+                let k = rng.gen_range(0..n + 3);
+                let got = ops::topn(&ctx, &b, k, descending).unwrap();
+                assert_eq!(
+                    rows_of(&got),
+                    rows_of(&reference::topn(&b, k, descending)),
+                    "{ty} case {case}: topn({k}, desc={descending})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_join_matches_generic_across_types() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1B);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..8 {
+            let n = rng.gen_range(0..40usize);
+            let m = rng.gen_range(0..40usize);
+            let left =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let right =
+                Bat::new(random_column(&mut rng, ty, m), random_column(&mut rng, AtomType::Int, m));
+            // Forced partitioned path (the dispatcher only picks it above
+            // the cache threshold); output must be bit-identical to the
+            // generic reference, including pair order.
+            let got = ops::join_partitioned(&ctx, &left, &right);
+            assert_eq!(
+                rows_of(&got),
+                rows_of(&reference::join(&left, &right)),
+                "{ty} case {case}: join partitioned"
+            );
+        }
     }
 }
 
