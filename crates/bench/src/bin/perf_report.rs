@@ -38,6 +38,9 @@ struct Rec {
 /// no JSON dependency in the container.
 struct Baseline {
     sf: f64,
+    /// Thread count of the recording (0 for pre-parallel baselines that
+    /// lack the field).
+    threads: usize,
     ns_per_row: std::collections::HashMap<String, f64>,
 }
 
@@ -54,10 +57,18 @@ fn read_baseline(path: &str) -> Option<Baseline> {
         })
     };
     let mut sf = 0.0f64;
+    let mut threads = 0usize;
     let mut ns_per_row = std::collections::HashMap::new();
     for line in text.lines() {
         if let Some(v) = field(line, "sf") {
             sf = v.parse().unwrap_or(0.0);
+        }
+        // Top-level field only: kernel lines carry "name", the header does
+        // not.
+        if field(line, "name").is_none() {
+            if let Some(v) = field(line, "threads") {
+                threads = v.parse().unwrap_or(0);
+            }
         }
         if let (Some(name), Some(ns)) = (field(line, "name"), field(line, "ns_per_row")) {
             if let Ok(ns) = ns.parse::<f64>() {
@@ -68,7 +79,7 @@ fn read_baseline(path: &str) -> Option<Baseline> {
     if ns_per_row.is_empty() {
         return None;
     }
-    Some(Baseline { sf, ns_per_row })
+    Some(Baseline { sf, threads, ns_per_row })
 }
 
 /// Time `f` with one warm-up call, then as many timed repetitions as fit in
@@ -101,20 +112,45 @@ fn measure(base: Option<&Baseline>, name: &'static str, rows: usize, mut f: impl
 
 fn main() {
     let sf = sf_from_env("FLATALG_SF", 0.01);
+    // Thread count of the threaded (`par/*-par`) kernel lines, recorded in
+    // the JSON header so runs at different counts are never compared.
+    // `configured_threads` resolves exactly what the kernels themselves
+    // would use (`FLATALG_THREADS`, else available parallelism), so any
+    // line that parallelizes through the dispatcher runs at the same
+    // count the header records.
+    let par_threads: usize = monet::par::configured_threads();
     // Delta column against the committed trajectory baseline (read before
-    // the default output path overwrites it).
+    // the default output path overwrites it). A baseline recorded at a
+    // different scale factor or thread count is *refused* — a delta
+    // column against incomparable numbers is worse than none.
     let base_path =
         std::env::var("FLATALG_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".into());
-    let base = read_baseline(&base_path);
-    match &base {
-        Some(b) if (b.sf - sf).abs() > f64::EPSILON => eprintln!(
-            "baseline {base_path} is at sf {} but this run is at sf {sf}; \
-             deltas compare across scales",
-            b.sf
-        ),
-        Some(b) => eprintln!("deltas vs baseline {base_path} (sf {})", b.sf),
-        None => eprintln!("no baseline at {base_path}; delta column suppressed"),
-    }
+    let base = match read_baseline(&base_path) {
+        Some(b) if (b.sf - sf).abs() > f64::EPSILON => {
+            eprintln!(
+                "refusing to compare: baseline {base_path} was recorded at sf {} but this \
+                 run is at sf {sf}; delta column suppressed",
+                b.sf
+            );
+            None
+        }
+        Some(b) if b.threads != par_threads => {
+            eprintln!(
+                "refusing to compare: baseline {base_path} was recorded at {} threads but \
+                 this run uses {par_threads}; delta column suppressed",
+                b.threads
+            );
+            None
+        }
+        Some(b) => {
+            eprintln!("deltas vs baseline {base_path} (sf {}, {} threads)", b.sf, b.threads);
+            Some(b)
+        }
+        None => {
+            eprintln!("no baseline at {base_path}; delta column suppressed");
+            None
+        }
+    };
     // Synthetic inputs sized like the scale factor's lineitem table.
     let n: usize = ((sf * 6_000_000.0) as usize).max(10_000);
     let mut r = StdRng::seed_from_u64(42);
@@ -236,7 +272,9 @@ fn main() {
         ops::join(&ctx, &fetch_left, &fetch_right).unwrap();
     }));
     recs.push(measure(base.as_ref(), "join/partitioned-probe", part_probe_n, || {
-        ops::join_partitioned(&ctx, &part_left, &part_right);
+        // Pinned serial: this is the single-thread trajectory line; the
+        // threaded comparison lives in par/join-partitioned-{serial,par}.
+        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right));
     }));
     recs.push(measure(base.as_ref(), "join/monolithic-probe-big", part_probe_n, || {
         ops::join::join_hash(&ctx, &part_left, &part_right);
@@ -308,6 +346,59 @@ fn main() {
         ops::group2(&ctx, &g1, &second_synced).unwrap();
     }));
 
+    // Parallel kernels: serial-vs-threaded pairs on the same big operands
+    // (the partitioned-join input size: 16n-row scans, 4n-row build). The
+    // `-par` lines run at `par_threads` workers via the scoped override;
+    // `-serial` forces the single-thread path. Both are in the committed
+    // baseline so the speedup at the recording's thread count is part of
+    // the perf trajectory.
+    let big_ints = Bat::new(
+        Column::from_oids((0..part_probe_n as u64).collect()),
+        Column::from_ints((0..part_probe_n).map(|_| r.gen_range(0..10_000)).collect()),
+    );
+    let big_dbls = Bat::new(
+        Column::from_oids((0..part_probe_n as u64).collect()),
+        Column::from_dbls((0..part_probe_n).map(|_| r.gen_range(0.0..1000.0)).collect()),
+    );
+    let big_keys = Bat::new(
+        Column::from_oids((0..part_probe_n as u64).collect()),
+        Column::from_oids((0..part_probe_n).map(|_| r.gen_range(0..1000u64)).collect()),
+    );
+    recs.push(measure(base.as_ref(), "par/select-scan-serial", part_probe_n, || {
+        monet::par::with_threads(1, || ops::select_eq(&ctx, &big_ints, &AtomValue::Int(5000)))
+            .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/select-scan-par", part_probe_n, || {
+        monet::par::with_threads(par_threads, || {
+            ops::select_eq(&ctx, &big_ints, &AtomValue::Int(5000))
+        })
+        .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/sum-dbl-serial", part_probe_n, || {
+        monet::par::with_threads(1, || ops::aggr_scalar(&ctx, &big_dbls, ops::AggFunc::Sum))
+            .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/sum-dbl-par", part_probe_n, || {
+        monet::par::with_threads(par_threads, || {
+            ops::aggr_scalar(&ctx, &big_dbls, ops::AggFunc::Sum)
+        })
+        .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/group1-serial", part_probe_n, || {
+        monet::par::with_threads(1, || ops::group1(&ctx, &big_keys)).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/group1-par", part_probe_n, || {
+        monet::par::with_threads(par_threads, || ops::group1(&ctx, &big_keys)).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "par/join-partitioned-serial", part_probe_n, || {
+        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right));
+    }));
+    recs.push(measure(base.as_ref(), "par/join-partitioned-par", part_probe_n, || {
+        monet::par::with_threads(par_threads, || {
+            ops::join_partitioned(&ctx, &part_left, &part_right)
+        });
+    }));
+
     // q13 end to end over the memoized world
     let w = world();
     let q13_rows = w.data.items.len();
@@ -320,6 +411,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!("  \"sf\": {sf},\n"));
     json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str(&format!("  \"threads\": {par_threads},\n"));
     json.push_str("  \"kernels\": [\n");
     for (i, rec) in recs.iter().enumerate() {
         json.push_str(&format!(

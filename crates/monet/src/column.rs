@@ -582,6 +582,69 @@ impl Column {
         }
     }
 
+    /// Concatenate many same-typed columns in order with a single output
+    /// allocation (pairwise [`Column::concat`] would re-copy the prefix for
+    /// every part). This is how the morsel executor stitches per-morsel
+    /// output columns back together; part order is the determinism
+    /// contract, so callers pass parts in morsel order.
+    pub fn concat_all(parts: &[Column]) -> Column {
+        use ColumnVals::*;
+        let total: usize = parts.iter().map(Column::len).sum();
+        let first = parts.first().expect("concat_all of zero columns");
+        macro_rules! splice_fixed {
+            ($variant:ident, $ty:ty, $build:path) => {{
+                let mut out: Vec<$ty> = Vec::with_capacity(total);
+                for p in parts {
+                    match &p.vals {
+                        $variant(v) => out.extend_from_slice(&v[p.off..p.off + p.len]),
+                        _ => panic!(
+                            "concat_all on mixed column types {} vs {}",
+                            first.atom_type(),
+                            p.atom_type()
+                        ),
+                    }
+                }
+                $build(out)
+            }};
+        }
+        match &first.vals {
+            Bool(_) => splice_fixed!(Bool, bool, Column::from_bools),
+            Chr(_) => splice_fixed!(Chr, u8, Column::from_chrs),
+            Int(_) => splice_fixed!(Int, i32, Column::from_ints),
+            Lng(_) => splice_fixed!(Lng, i64, Column::from_lngs),
+            Dbl(_) => splice_fixed!(Dbl, f64, Column::from_dbls),
+            Date(_) => splice_fixed!(Date, i32, Column::from_date_days),
+            Str(_) => {
+                let bytes: usize =
+                    parts.iter().filter_map(|p| p.as_strvec()).map(|v| v.heap_bytes()).sum();
+                let mut builder = StrHeapBuilder::with_capacity(total, bytes / total.max(1));
+                for p in parts {
+                    let v = p.as_strvec().unwrap_or_else(|| {
+                        panic!(
+                            "concat_all on mixed column types {} vs {}",
+                            first.atom_type(),
+                            p.atom_type()
+                        )
+                    });
+                    for i in 0..p.len {
+                        builder.push(v.get(i));
+                    }
+                }
+                Column::from_strvec(builder.finish())
+            }
+            Void { .. } | Oid(_) => {
+                let mut out: Vec<crate::atom::Oid> = Vec::with_capacity(total);
+                for p in parts {
+                    assert!(p.is_oidlike(), "concat_all on mixed column types");
+                    for i in 0..p.len {
+                        out.push(p.oid_at(i));
+                    }
+                }
+                Column::from_oids(out)
+            }
+        }
+    }
+
     /// Stable argsort of the window: returns positions in ascending value
     /// order. Used for datavector creation ("Sort on Tail", Figure 7) and
     /// the load-phase reordering of Section 6. Typed **direct** sort: the

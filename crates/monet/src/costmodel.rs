@@ -85,6 +85,39 @@ pub fn join_prefers_partitioned(probe_rows: usize, build_rows: usize) -> bool {
     build_rows * JOIN_BUILD_BYTES_PER_ROW > JOIN_CACHE_BYTES && probe_rows >= build_rows
 }
 
+// ---------------------------------------------------------------------------
+// Intra-query parallelism: when to cut morsels.
+// ---------------------------------------------------------------------------
+
+/// Row threshold below which scan-shaped kernels stay serial. Dispatching a
+/// parallel batch costs a few microseconds (channel sends, one atomic
+/// cursor, result collection); the typed scans run at ~0.5-10 ns/row, so
+/// well under ~10^5 rows the dispatch overhead eats the speedup and the
+/// morsel executor only adds variance. Measured on the reference box:
+/// below ~10^5 rows threading was a wash or a regression for every ported
+/// kernel; above it the scan kernels scale with memory bandwidth.
+/// `FLATALG_PAR_MIN_ROWS` (or a scoped [`crate::par::with_par_config`])
+/// overrides, which is how the determinism tests force the parallel path
+/// onto small inputs.
+pub const PAR_MIN_ROWS: usize = 128 * 1024;
+
+/// The effective parallelism threshold (override, else [`PAR_MIN_ROWS`]).
+pub fn par_min_rows() -> usize {
+    crate::par::min_rows_override().unwrap_or(PAR_MIN_ROWS)
+}
+
+/// Threads a kernel over a `rows`-row operand should use: 1 (serial)
+/// below the row threshold or when `FLATALG_THREADS=1`, the configured
+/// thread count otherwise. Every parallelized operator routes its
+/// dispatch decision through here so the threshold lives in one place.
+pub fn par_threads(rows: usize) -> usize {
+    if rows < par_min_rows() {
+        1
+    } else {
+        crate::par::configured_threads()
+    }
+}
+
 fn ceil_div_f(x: f64, c: u64) -> f64 {
     (x / c as f64).ceil()
 }
@@ -204,6 +237,66 @@ mod tests {
         let fits = JOIN_CACHE_BYTES / JOIN_BUILD_BYTES_PER_ROW;
         assert!(!join_prefers_partitioned(1 << 24, fits));
         assert!(join_prefers_partitioned(1 << 24, fits + 1));
+    }
+
+    #[test]
+    fn partition_threshold_exact_cut_points() {
+        // The build-side chain table crosses the 2 MiB budget at exactly
+        // `fits + 1` rows; probe amortization flips at probe == build.
+        // Pinning both edges (± one row) means a threshold edit cannot
+        // silently flip dispatch for inputs near the cut.
+        let fits = JOIN_CACHE_BYTES / JOIN_BUILD_BYTES_PER_ROW;
+        for (probe, build, expect) in [
+            // Cache edge, huge probe: only the build size decides.
+            (usize::MAX / 2, fits - 1, false),
+            (usize::MAX / 2, fits, false),
+            (usize::MAX / 2, fits + 1, true),
+            // Probe edge, build safely past the cache budget.
+            (fits + 1, fits + 1, true), // probe_rows == build_rows
+            (fits, fits + 1, false),    // probe one row short
+            (fits + 2, fits + 1, true), // probe one row past
+            // Both at the edge simultaneously.
+            (fits, fits, false),
+        ] {
+            assert_eq!(
+                join_prefers_partitioned(probe, build),
+                expect,
+                "probe={probe} build={build}"
+            );
+        }
+        // Property sweep around the cache edge: for every build size within
+        // ±16 rows of the cut, dispatch must agree with the analytic rule.
+        for d in 0..32usize {
+            let build = fits - 16 + d;
+            let expect = build * JOIN_BUILD_BYTES_PER_ROW > JOIN_CACHE_BYTES;
+            assert_eq!(join_prefers_partitioned(build, build), expect, "build={build}");
+            // And one probe row below the build side always stays monolithic.
+            assert!(!join_prefers_partitioned(build - 1, build), "build={build}");
+        }
+    }
+
+    #[test]
+    fn par_threshold_exact_cut_points() {
+        // Pin the threshold itself and the behavior one row either side,
+        // under a scoped thread count so the test is machine-independent.
+        crate::par::with_par_config(Some(4), None, None, || {
+            assert_eq!(par_min_rows(), PAR_MIN_ROWS);
+            assert_eq!(par_threads(PAR_MIN_ROWS - 1), 1);
+            assert_eq!(par_threads(PAR_MIN_ROWS), 4);
+            assert_eq!(par_threads(PAR_MIN_ROWS + 1), 4);
+            assert_eq!(par_threads(0), 1);
+        });
+        // FLATALG_THREADS=1 (here: the scoped equivalent) forces serial
+        // even far above the row threshold.
+        crate::par::with_par_config(Some(1), None, None, || {
+            assert_eq!(par_threads(PAR_MIN_ROWS * 64), 1);
+        });
+        // A scoped row-threshold override moves the cut exactly.
+        crate::par::with_par_config(Some(4), Some(100), None, || {
+            assert_eq!(par_min_rows(), 100);
+            assert_eq!(par_threads(99), 1);
+            assert_eq!(par_threads(100), 4);
+        });
     }
 
     #[test]

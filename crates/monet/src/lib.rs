@@ -28,8 +28,12 @@
 //!   by the MOA translator, with interpreter and Figure-10-style tracing;
 //! * [`db`] — the persistent BAT catalog;
 //! * [`pager`] — the simulated virtual-memory pager counting page faults;
-//! * [`costmodel`] — the analytic IO cost model of Section 5.2.2 (Fig 8);
-//! * [`parallel`] — coarse-grained parallel block execution.
+//! * [`costmodel`] — the analytic IO cost model of Section 5.2.2 (Fig 8),
+//!   plus the main-memory dispatch thresholds (partitioned join, morsel
+//!   parallelism);
+//! * [`par`] — intra-query parallelism: the persistent worker pool and the
+//!   morsel executor the hot kernels fan out over (`FLATALG_THREADS`),
+//!   with results bit-identical to the serial paths.
 //!
 //! ```
 //! use monet::prelude::*;
@@ -56,7 +60,7 @@ pub mod error;
 pub mod mil;
 pub mod ops;
 pub mod pager;
-pub mod parallel;
+pub mod par;
 pub mod props;
 pub mod strheap;
 pub(crate) mod sync;

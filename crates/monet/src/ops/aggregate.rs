@@ -7,6 +7,7 @@
 //! than having to do iterative calls on nested collections" — this is what
 //! makes the flattened execution of MOA's nested `sum`s fast.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::atom::{AtomType, AtomValue};
@@ -16,7 +17,7 @@ use crate::ctx::ExecCtx;
 use crate::error::{MonetError, Result};
 use crate::pager;
 use crate::props::{ColProps, Props};
-use crate::typed::{GroupTable, TypedVals};
+use crate::typed::TypedVals;
 
 /// Aggregate functions, usable both as whole-BAT scalars and per-group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,21 +46,44 @@ impl AggFunc {
 /// `sum` over int/lng tails yields `lng` (wide accumulator), over dbl
 /// yields `dbl`; `count` yields `lng`; `avg` yields `dbl`; `min`/`max`
 /// keep the tail type. `min`/`max`/`avg` over an empty BAT are errors.
+///
+/// Sums and averages are **morsel-decomposed**: one partial per fixed
+/// [`crate::par::morsel_rows`] window, partials combined in morsel order.
+/// The morsel grid is a property of the operand, never of the thread
+/// count, so the floating-point association — and with it the result bits
+/// — is identical whether the partials are computed serially or on the
+/// worker pool ([`crate::costmodel::par_threads`] decides).
 pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
     let t = ab.tail();
     let n = ab.len();
+    let threads = super::par_threads(ctx, n);
     match f {
         AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
         AggFunc::Sum => match t.atom_type() {
             AtomType::Int => {
-                let s = t.as_int_slice().expect("int tail");
-                Ok(AtomValue::Lng(s.iter().map(|&x| x as i64).sum()))
+                let col = t.clone();
+                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                    col.as_int_slice().expect("int tail")[r].iter().map(|&x| x as i64).sum::<i64>()
+                });
+                Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
-            AtomType::Lng => Ok(AtomValue::Lng(t.as_lng_slice().expect("lng tail").iter().sum())),
-            AtomType::Dbl => Ok(AtomValue::Dbl(t.as_dbl_slice().expect("dbl tail").iter().sum())),
+            AtomType::Lng => {
+                let col = t.clone();
+                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                    col.as_lng_slice().expect("lng tail")[r].iter().sum::<i64>()
+                });
+                Ok(AtomValue::Lng(parts.into_iter().sum()))
+            }
+            AtomType::Dbl => {
+                let col = t.clone();
+                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                    col.as_dbl_slice().expect("dbl tail")[r].iter().sum::<f64>()
+                });
+                Ok(AtomValue::Dbl(parts.into_iter().sum()))
+            }
             ty => Err(MonetError::Unsupported { op: "sum", ty }),
         },
         AggFunc::Avg => {
@@ -72,12 +96,17 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     detail: "average of empty BAT".into(),
                 });
             }
-            let s: f64 = match t.atom_type() {
-                AtomType::Int => t.as_int_slice().unwrap().iter().map(|&x| x as f64).sum(),
-                AtomType::Lng => t.as_lng_slice().unwrap().iter().map(|&x| x as f64).sum(),
-                _ => t.as_dbl_slice().unwrap().iter().sum(),
-            };
-            Ok(AtomValue::Dbl(s / n as f64))
+            let col = t.clone();
+            let parts = crate::par::for_each_morsel(n, threads, move |r| match col.atom_type() {
+                AtomType::Int => {
+                    col.as_int_slice().unwrap()[r].iter().map(|&x| x as f64).sum::<f64>()
+                }
+                AtomType::Lng => {
+                    col.as_lng_slice().unwrap()[r].iter().map(|&x| x as f64).sum::<f64>()
+                }
+                _ => col.as_dbl_slice().unwrap()[r].iter().sum::<f64>(),
+            });
+            Ok(AtomValue::Dbl(parts.into_iter().sum::<f64>() / n as f64))
         }
         AggFunc::Min | AggFunc::Max => {
             if n == 0 {
@@ -86,13 +115,30 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     detail: "min/max of empty BAT".into(),
                 });
             }
+            // Per-morsel first-winner extremes, combined in morsel order
+            // with the same strict-improvement rule: the global winner is
+            // the earliest row holding the extreme value — identical to
+            // the serial scan.
+            let col = t.clone();
+            let minimize = f == AggFunc::Min;
+            let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                crate::for_each_typed!(&col, |tv| {
+                    let mut best = r.start;
+                    for i in r {
+                        let c = tv.cmp_one(tv.value(i), tv.value(best));
+                        if if minimize { c.is_lt() } else { c.is_gt() } {
+                            best = i;
+                        }
+                    }
+                    best
+                })
+            });
             let best = crate::for_each_typed!(t, |tv| {
-                let mut best = 0usize;
-                for i in 1..tv.len() {
-                    let c = tv.cmp_one(tv.value(i), tv.value(best));
-                    let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
-                    if better {
-                        best = i;
+                let mut best = parts[0];
+                for &cand in &parts[1..] {
+                    let c = tv.cmp_one(tv.value(cand), tv.value(best));
+                    if if minimize { c.is_lt() } else { c.is_gt() } {
+                        best = cand;
                     }
                 }
                 best
@@ -100,6 +146,74 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
             Ok(t.get(best))
         }
     }
+}
+
+/// Combine-in-morsel-order runner for per-group partial accumulators: one
+/// `ngroups`-wide buffer per fixed morsel, filled by `fill` and folded
+/// into the result by `merge`, **in morsel order**.
+///
+/// `exact` marks aggregates whose combine is associative and
+/// order-insensitive bit-for-bit (count, integer sums, first-winner
+/// min/max): for those the serial path is one streaming `fill` over the
+/// whole operand — no per-morsel buffers — because any morsel regrouping
+/// provably yields the same bits. Only inexact (float) merges pay the
+/// morsel-streamed serial pass, which reproduces the parallel combine
+/// sequence exactly, so result bits match at every thread count.
+///
+/// The parallel fan-out is additionally footprint-bounded: past ~4M
+/// partial slots (`ngroups x morsels`, ≈ 32 MB of f64 at the default
+/// morsel size) the group cardinality approaches the row count and
+/// per-morsel buffers would dwarf the operand, so the kernel streams
+/// serially instead. The bound depends only on the operand and the
+/// morsel grid — never the thread count — so thread-count invariance
+/// holds on both sides of it (above it, *every* thread count streams).
+fn group_partials<A, F, M>(
+    n: usize,
+    threads: usize,
+    ngroups: usize,
+    init: A,
+    exact: bool,
+    fill: F,
+    mut merge: M,
+) -> Vec<A>
+where
+    A: Clone + Send + Sync + 'static,
+    F: Fn(std::ops::Range<usize>, &mut [A]) + Send + Sync + 'static,
+    M: FnMut(&mut [A], &[A]),
+{
+    let ms = crate::par::morsels(n);
+    let mut total = vec![init.clone(); ngroups];
+    let fits = ngroups.saturating_mul(ms.len()) <= (1 << 22);
+    if threads > 1 && fits {
+        let ms2 = ms.clone();
+        let parts = crate::par::run_tasks(ms.len(), threads, move |k| {
+            let mut buf = vec![init.clone(); ngroups];
+            fill(ms2[k].clone(), &mut buf);
+            buf
+        });
+        for p in &parts {
+            merge(&mut total, p);
+        }
+    } else if exact || !fits {
+        // One streaming pass. Exact merges are association-free; inexact
+        // merges only reach here when the footprint bound disables the
+        // parallel path for this operand at *every* thread count.
+        fill(0..n, &mut total);
+    } else {
+        // Inexact serial under the footprint bound: stream the same
+        // morsel partials the parallel path would compute, in order.
+        let mut buf = vec![init.clone(); ngroups];
+        for (k, m) in ms.into_iter().enumerate() {
+            if k > 0 {
+                for b in buf.iter_mut() {
+                    *b = init.clone();
+                }
+            }
+            fill(m, &mut buf);
+            merge(&mut total, &buf);
+        }
+    }
+    total
 }
 
 /// The set-aggregate constructor `{g}(AB)`: one result BUN per distinct
@@ -122,13 +236,20 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
     // Assign each BUN to a group; remember one representative position per
     // group for building the result head (and for min/max gathering).
     let h = ab.head();
+    let n = ab.len();
     let sorted = ab.props().head.sorted;
-    let algo = if sorted { "merge" } else { "hash" };
-    let (gid_of, rep): (Vec<u32>, Vec<u32>) = crate::for_each_typed!(h, |hv| {
-        let n = hv.len();
-        let mut gid_of: Vec<u32> = Vec::with_capacity(n);
-        let mut rep: Vec<u32> = Vec::new();
-        if sorted {
+    let threads = if sorted { 1 } else { super::par_threads(ctx, n) };
+    let algo = if sorted {
+        "merge"
+    } else if threads > 1 {
+        "par-hash"
+    } else {
+        "hash"
+    };
+    let (gid_of, rep): (Vec<u32>, Vec<u32>) = if sorted {
+        crate::for_each_typed!(h, |hv| {
+            let mut gid_of: Vec<u32> = Vec::with_capacity(n);
+            let mut rep: Vec<u32> = Vec::new();
             let mut g: u32 = 0;
             for i in 0..n {
                 if i > 0 && !hv.eq_one(hv.value(i), hv.value(i - 1)) {
@@ -139,96 +260,189 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                 }
                 gid_of.push(g);
             }
-        } else {
-            let mut table = GroupTable::with_capacity(n);
-            for i in 0..n {
-                let v = hv.value(i);
-                let hh = hv.hash_one(v);
-                let (g, _) =
-                    table.find_or_insert(hh, i as u32, |r| hv.eq_one(hv.value(r as usize), v));
-                gid_of.push(g);
-            }
-            rep = table.reps().to_vec();
-        }
-        (gid_of, rep)
-    });
+            (gid_of, rep)
+        })
+    } else {
+        super::group::hash_group_column(h, threads)
+    };
 
+    // Aggregate each group's tail values through per-morsel partial
+    // accumulators combined in morsel order (see `group_partials` for the
+    // determinism argument); the gid vector is shared read-only with the
+    // workers.
     let ngroups = rep.len();
     let t = ab.tail();
+    let threads = super::par_threads(ctx, n);
+    let gid: Arc<Vec<u32>> = Arc::new(gid_of);
     let tail: Column = match f {
         AggFunc::Count => {
-            let mut counts = vec![0i64; ngroups];
-            for &g in &gid_of {
-                counts[g as usize] += 1;
-            }
+            let g = Arc::clone(&gid);
+            let counts = group_partials(
+                n,
+                threads,
+                ngroups,
+                0i64,
+                true,
+                move |r, buf| {
+                    for i in r {
+                        buf[g[i] as usize] += 1;
+                    }
+                },
+                |total, part| {
+                    for (tg, &p) in total.iter_mut().zip(part) {
+                        *tg += p;
+                    }
+                },
+            );
             Column::from_lngs(counts)
         }
         AggFunc::Sum => match tail_ty {
-            AtomType::Int => {
-                let slice = t.as_int_slice().expect("int tail");
-                let mut sums = vec![0i64; ngroups];
-                for (i, &g) in gid_of.iter().enumerate() {
-                    sums[g as usize] += slice[i] as i64;
-                }
-                Column::from_lngs(sums)
-            }
-            AtomType::Lng => {
-                let slice = t.as_lng_slice().expect("lng tail");
-                let mut sums = vec![0i64; ngroups];
-                for (i, &g) in gid_of.iter().enumerate() {
-                    sums[g as usize] += slice[i];
-                }
+            AtomType::Int | AtomType::Lng => {
+                let g = Arc::clone(&gid);
+                let col = t.clone();
+                let wide = tail_ty == AtomType::Lng;
+                let sums = group_partials(
+                    n,
+                    threads,
+                    ngroups,
+                    0i64,
+                    true,
+                    move |r, buf| {
+                        if wide {
+                            let slice = col.as_lng_slice().expect("lng tail");
+                            for i in r {
+                                buf[g[i] as usize] += slice[i];
+                            }
+                        } else {
+                            let slice = col.as_int_slice().expect("int tail");
+                            for i in r {
+                                buf[g[i] as usize] += slice[i] as i64;
+                            }
+                        }
+                    },
+                    |total, part| {
+                        for (tg, &p) in total.iter_mut().zip(part) {
+                            *tg += p;
+                        }
+                    },
+                );
                 Column::from_lngs(sums)
             }
             _ => {
-                let mut sums = vec![0f64; ngroups];
-                let slice = t.as_dbl_slice().expect("dbl tail");
-                for (i, &g) in gid_of.iter().enumerate() {
-                    sums[g as usize] += slice[i];
-                }
+                let g = Arc::clone(&gid);
+                let col = t.clone();
+                let sums = group_partials(
+                    n,
+                    threads,
+                    ngroups,
+                    0f64,
+                    false,
+                    move |r, buf| {
+                        let slice = col.as_dbl_slice().expect("dbl tail");
+                        for i in r {
+                            buf[g[i] as usize] += slice[i];
+                        }
+                    },
+                    |total, part| {
+                        for (tg, &p) in total.iter_mut().zip(part) {
+                            *tg += p;
+                        }
+                    },
+                );
                 Column::from_dbls(sums)
             }
         },
         AggFunc::Avg => {
-            let mut sums = vec![0f64; ngroups];
-            let mut counts = vec![0u64; ngroups];
-            match tail_ty {
-                AtomType::Int => {
-                    let slice = t.as_int_slice().expect("int tail");
-                    for (i, &g) in gid_of.iter().enumerate() {
-                        sums[g as usize] += slice[i] as f64;
-                        counts[g as usize] += 1;
+            let g = Arc::clone(&gid);
+            let col = t.clone();
+            let acc = group_partials(
+                n,
+                threads,
+                ngroups,
+                (0f64, 0u64),
+                false,
+                move |r, buf| match col.atom_type() {
+                    AtomType::Int => {
+                        let slice = col.as_int_slice().expect("int tail");
+                        for i in r {
+                            let b = &mut buf[g[i] as usize];
+                            b.0 += slice[i] as f64;
+                            b.1 += 1;
+                        }
                     }
-                }
-                AtomType::Lng => {
-                    let slice = t.as_lng_slice().expect("lng tail");
-                    for (i, &g) in gid_of.iter().enumerate() {
-                        sums[g as usize] += slice[i] as f64;
-                        counts[g as usize] += 1;
+                    AtomType::Lng => {
+                        let slice = col.as_lng_slice().expect("lng tail");
+                        for i in r {
+                            let b = &mut buf[g[i] as usize];
+                            b.0 += slice[i] as f64;
+                            b.1 += 1;
+                        }
                     }
-                }
-                _ => {
-                    let slice = t.as_dbl_slice().expect("dbl tail");
-                    for (i, &g) in gid_of.iter().enumerate() {
-                        sums[g as usize] += slice[i];
-                        counts[g as usize] += 1;
+                    _ => {
+                        let slice = col.as_dbl_slice().expect("dbl tail");
+                        for i in r {
+                            let b = &mut buf[g[i] as usize];
+                            b.0 += slice[i];
+                            b.1 += 1;
+                        }
                     }
-                }
-            }
-            Column::from_dbls(sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect())
+                },
+                |total, part| {
+                    for (tg, p) in total.iter_mut().zip(part) {
+                        tg.0 += p.0;
+                        tg.1 += p.1;
+                    }
+                },
+            );
+            Column::from_dbls(acc.iter().map(|(s, c)| s / *c as f64).collect())
         }
         AggFunc::Min | AggFunc::Max => {
-            let mut best: Vec<u32> = rep.clone();
-            crate::for_each_typed!(t, |tv| {
-                for (i, &g) in gid_of.iter().enumerate() {
-                    let b = &mut best[g as usize];
-                    let c = tv.cmp_one(tv.value(i), tv.value(*b as usize));
-                    let better = if f == AggFunc::Min { c.is_lt() } else { c.is_gt() };
-                    if better {
-                        *b = i as u32;
-                    }
-                }
-            });
+            // Per-morsel first-winner rows per group; merged in morsel
+            // order with the same strict-improvement rule, so each group's
+            // winner is its earliest extreme row — identical to the serial
+            // scan seeded with the group representatives.
+            let g = Arc::clone(&gid);
+            let col = t.clone();
+            let minimize = f == AggFunc::Min;
+            let best = group_partials(
+                n,
+                threads,
+                ngroups,
+                u32::MAX,
+                true,
+                move |r, buf| {
+                    crate::for_each_typed!(&col, |tv| {
+                        for i in r.clone() {
+                            let b = &mut buf[g[i] as usize];
+                            if *b == u32::MAX {
+                                *b = i as u32;
+                                continue;
+                            }
+                            let c = tv.cmp_one(tv.value(i), tv.value(*b as usize));
+                            if if minimize { c.is_lt() } else { c.is_gt() } {
+                                *b = i as u32;
+                            }
+                        }
+                    })
+                },
+                |total, part| {
+                    crate::for_each_typed!(t, |tv| {
+                        for (tg, &p) in total.iter_mut().zip(part) {
+                            if p == u32::MAX {
+                                continue;
+                            }
+                            if *tg == u32::MAX {
+                                *tg = p;
+                                continue;
+                            }
+                            let c = tv.cmp_one(tv.value(p as usize), tv.value(*tg as usize));
+                            if if minimize { c.is_lt() } else { c.is_gt() } {
+                                *tg = p;
+                            }
+                        }
+                    })
+                },
+            );
             t.gather(&best)
         }
     };

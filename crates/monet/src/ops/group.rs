@@ -21,6 +21,76 @@ use crate::pager;
 use crate::props::{ColProps, Props};
 use crate::typed::{GroupTable, TypedVals};
 
+/// First-occurrence hash grouping of one column: `(gid per row, one
+/// representative row per group)`, gids dense in order of first
+/// appearance. This is the shared core of `group1` and the hash path of
+/// `set_aggregate`.
+///
+/// With `threads > 1` the rows are grouped morsel-parallel with one
+/// per-worker [`GroupTable`] per morsel (buffers from the bounded
+/// thread-local scratch pool), then merged by a final serial pass: each
+/// morsel's representatives are folded into a global table **in morsel
+/// order**, which reproduces the serial first-occurrence numbering
+/// exactly — a value's global representative is its first row in the
+/// first morsel that contains it, i.e. its globally first row. The
+/// per-morsel gids are then relabeled through the local→global map and
+/// concatenated in morsel order, so the output is bit-identical to the
+/// serial single-table pass at every thread count.
+pub(crate) fn hash_group_column(col: &Column, threads: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = col.len();
+    if threads <= 1 {
+        return crate::for_each_typed!(col, |t| {
+            let mut table = GroupTable::with_capacity(n);
+            let mut gid_of: Vec<u32> = Vec::with_capacity(n);
+            for i in 0..n {
+                let v = t.value(i);
+                let h = t.hash_one(v);
+                let (g, _) =
+                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
+                gid_of.push(g);
+            }
+            (gid_of, table.reps().to_vec())
+        });
+    }
+    let c = col.clone();
+    let parts: Vec<(Vec<u32>, Vec<u32>)> = crate::par::for_each_morsel(n, threads, move |r| {
+        crate::for_each_typed!(&c, |t| {
+            let mut table = GroupTable::pooled(r.len());
+            let mut lgids: Vec<u32> = Vec::with_capacity(r.len());
+            for i in r {
+                let v = t.value(i);
+                let h = t.hash_one(v);
+                let (g, _) =
+                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
+                lgids.push(g);
+            }
+            let reps = table.reps().to_vec();
+            table.recycle();
+            (lgids, reps)
+        })
+    });
+    crate::for_each_typed!(col, |t| {
+        let est: usize = parts.iter().map(|p| p.1.len()).sum();
+        let mut table = GroupTable::with_capacity(est);
+        let mut maps: Vec<Vec<u32>> = Vec::with_capacity(parts.len());
+        for (_, reps) in &parts {
+            let mut map = Vec::with_capacity(reps.len());
+            for &rep in reps {
+                let v = t.value(rep as usize);
+                let h = t.hash_one(v);
+                let (g, _) = table.find_or_insert(h, rep, |rr| t.eq_one(t.value(rr as usize), v));
+                map.push(g);
+            }
+            maps.push(map);
+        }
+        let mut gid_of: Vec<u32> = Vec::with_capacity(n);
+        for ((lgids, _), map) in parts.iter().zip(&maps) {
+            gid_of.extend(lgids.iter().map(|&lg| map[lg as usize]));
+        }
+        (gid_of, table.reps().to_vec())
+    })
+}
+
 /// Unary group: one new oid per distinct tail value. Group oids are dense,
 /// assigned in order of first appearance (or value order when the tail is
 /// sorted). The result head *shares* the operand's head column, so it is
@@ -32,11 +102,18 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
         pager::touch_scan(p, ab.tail());
     }
     let sorted = ab.props().tail.sorted;
-    let algo = if sorted { "merge" } else { "hash" };
-    let (mut gids, ngroups): (Vec<Oid>, usize) = crate::for_each_typed!(ab.tail(), |t| {
-        let n = t.len();
-        let mut gids: Vec<Oid> = Vec::with_capacity(n);
-        if sorted {
+    let threads = if sorted { 1 } else { super::par_threads(ctx, ab.len()) };
+    let algo = if sorted {
+        "merge"
+    } else if threads > 1 {
+        "par-hash"
+    } else {
+        "hash"
+    };
+    let (mut gids, ngroups): (Vec<Oid>, usize) = if sorted {
+        crate::for_each_typed!(ab.tail(), |t| {
+            let n = t.len();
+            let mut gids: Vec<Oid> = Vec::with_capacity(n);
             // Merge grouping: adjacent comparison; ids ascend with values.
             let mut g: Oid = 0;
             for i in 0..n {
@@ -47,19 +124,11 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
             }
             let ngroups = if n == 0 { 0 } else { g as usize + 1 };
             (gids, ngroups)
-        } else {
-            let mut table = GroupTable::with_capacity(n);
-            for i in 0..n {
-                let v = t.value(i);
-                let h = t.hash_one(v);
-                let (g, _) =
-                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
-                gids.push(g as Oid);
-            }
-            let ngroups = table.len();
-            (gids, ngroups)
-        }
-    });
+        })
+    } else {
+        let (gid_of, rep) = hash_group_column(ab.tail(), threads);
+        (gid_of.into_iter().map(|g| g as Oid).collect(), rep.len())
+    };
     let base = ctx.fresh_oids(ngroups);
     for g in &mut gids {
         *g += base;

@@ -254,75 +254,66 @@ pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     // what must stay cache-resident. The probe side only streams through
     // its clusters, whatever their size.
     let bits = crate::typed::radix_bits(cd.len());
+    let threads = super::par_threads(ctx, ab.len().max(cd.len()));
     // Matches as packed `left << 32 | right`, in cluster order.
     let mut matches: Vec<u64> = crate::typed::take_u64(ab.len());
-    crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
-        let lc = crate::typed::radix_cluster_typed(bt, bits);
-        let rc = crate::typed::radix_cluster_typed(ch, bits);
-        // Per-cluster chain table, presized once for the largest build
-        // cluster and reused across clusters. Bucket entries carry the
-        // cluster id in their top bits (epoch tags), so entries left by a
-        // previous cluster are self-invalidating: the table is filled once
-        // per join, never reset between clusters. (`next` needs no reset
-        // either — a chain only references slots the current cluster's
-        // build just wrote.)
-        const SLOT_BITS: u32 = 21;
-        const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
-        let max_build = rc.max_cluster_rows();
-        // 4x buckets: ~25% occupancy keeps the chain-entry branch
-        // predictably not-taken (at 2x it is a coin flip, and the
-        // mispredicts cost more than the extra — still L1-resident — rows).
-        let nbuckets = (max_build.max(1) * 4).next_power_of_two();
-        let mask = (nbuckets - 1) as u32;
-        let mut buckets: Vec<u32> = crate::typed::take_u32(nbuckets);
-        let mut next: Vec<u32> = crate::typed::take_u32(max_build);
-        next.resize(max_build, EMPTY);
-        if max_build <= SLOT_MASK as usize {
-            buckets.resize(nbuckets, u32::MAX); // tag no cluster id can match
-            for c in 0..lc.num_clusters() {
-                let (lr, rr) = (lc.cluster(c), rc.cluster(c));
-                if lr.is_empty() || rr.is_empty() {
-                    continue;
-                }
-                let tag = (c as u32) << SLOT_BITS;
-                let rpairs = &rc.pairs[rr.clone()];
-                // Build on the right cluster, newest-first chains: inserting
-                // in reverse makes each chain iterate in ascending right
-                // position.
-                for (slot, &rp) in rpairs.iter().enumerate().rev() {
-                    let b = (crate::typed::pair_hash(rp) & mask) as usize;
-                    let head = buckets[b];
-                    next[slot] =
-                        if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
-                    buckets[b] = tag | slot as u32;
-                }
-                // Probe the left cluster in (stable, ascending-position)
-                // order: sequential pair reads, cache-resident chain walks,
-                // and value fetches only on a 32-bit hash match.
-                for &lp in &lc.pairs[lr] {
-                    let h = crate::typed::pair_hash(lp);
-                    let head = buckets[(h & mask) as usize];
-                    let mut cur =
-                        if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
-                    while cur != EMPTY {
-                        let rp = rpairs[cur as usize];
-                        if crate::typed::pair_hash(rp) == h {
-                            let li = crate::typed::pair_pos(lp);
-                            let ri = crate::typed::pair_pos(rp);
-                            if ch.eq_one(ch.value(ri as usize), bt.value(li as usize)) {
-                                matches.push(((li as u64) << 32) | ri as u64);
-                            }
-                        }
-                        cur = next[cur as usize];
-                    }
-                }
+    let lc = crate::for_each_typed!(ab.tail(), |bt| crate::typed::radix_cluster_typed(bt, bits));
+    let rc = crate::for_each_typed!(cd.head(), |ch| crate::typed::radix_cluster_typed(ch, bits));
+    let max_build = rc.max_cluster_rows();
+    if max_build <= SLOT_MASK as usize {
+        if threads > 1 && lc.num_clusters() > 1 {
+            // Clusters are independent: build+probe them in parallel, one
+            // task per contiguous cluster range (balanced by rows, so a
+            // heavy cluster does not serialize the batch). Each task emits
+            // its matches locally; concatenating the parts in range (=
+            // cluster) order reproduces the serial match sequence exactly,
+            // and the final left-radix sort below is the same stable pass
+            // either way.
+            let ranges = cluster_task_ranges(&lc, &rc, threads * 4);
+            let ntasks = ranges.len();
+            // RAII recycling: the dispatched job closures hold `Arc`
+            // clones that can outlive `run_tasks` (a queued job behind
+            // another driver's batch drops its clone only when the worker
+            // dequeues it), so the pair buffers go back to the scratch
+            // pool of whichever thread drops the *last* reference —
+            // promptly in every schedule, instead of leaking to the
+            // allocator whenever a `try_unwrap` lost that race.
+            let lc2 = std::sync::Arc::new(RecycleOnDrop(Some(lc)));
+            let rc2 = std::sync::Arc::new(RecycleOnDrop(Some(rc)));
+            let ltail = ab.tail().clone();
+            let rhead = cd.head().clone();
+            let parts: Vec<Vec<u64>> = crate::par::run_tasks(ntasks, threads, move |k| {
+                crate::for_each_typed2!(&ltail, &rhead, |bt, ch| {
+                    let mut local: Vec<u64> = Vec::new();
+                    probe_cluster_range(bt, ch, &lc2, &rc2, ranges[k].clone(), &mut local);
+                    local
+                })
+            });
+            for p in &parts {
+                matches.extend_from_slice(p);
             }
         } else {
-            // Pathological skew: one cluster exceeds the 2^21 rows the slot
-            // field of an epoch-tagged entry can address (duplicate-heavy
-            // build sides hash-collapse into one cluster). Same algorithm
-            // with full-width slot entries and a per-cluster bucket reset —
-            // correct for any cluster size, just without the no-reset trick.
+            crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+                probe_cluster_range(bt, ch, &lc, &rc, 0..lc.num_clusters(), &mut matches)
+            });
+            lc.recycle();
+            rc.recycle();
+        }
+        return finish_partitioned(ctx, ab, cd, matches);
+    }
+    crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
+        // Pathological skew: one cluster exceeds the 2^21 rows the slot
+        // field of an epoch-tagged entry can address (duplicate-heavy
+        // build sides hash-collapse into one cluster). Same algorithm with
+        // full-width slot entries and a per-cluster bucket reset — correct
+        // for any cluster size, just without the no-reset trick (and kept
+        // serial: this regime is a degenerate join, not a hot path).
+        {
+            let nbuckets = (max_build.max(1) * 4).next_power_of_two();
+            let mask = (nbuckets - 1) as u32;
+            let mut buckets: Vec<u32> = crate::typed::take_u32(nbuckets);
+            let mut next: Vec<u32> = crate::typed::take_u32(max_build);
+            next.resize(max_build, EMPTY);
             buckets.resize(nbuckets, EMPTY);
             for c in 0..lc.num_clusters() {
                 let (lr, rr) = (lc.cluster(c), rc.cluster(c));
@@ -352,14 +343,157 @@ pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
                 }
                 buckets.fill(EMPTY);
             }
+            crate::typed::put_u32(buckets);
+            crate::typed::put_u32(next);
         }
-        crate::typed::put_u32(buckets);
-        crate::typed::put_u32(next);
-        lc.recycle();
-        rc.recycle();
     });
-    // Restore global left-BUN order: stable streaming sort on the left
-    // half; equal left positions keep their (right-ascending) probe order.
+    lc.recycle();
+    rc.recycle();
+    finish_partitioned(ctx, ab, cd, matches)
+}
+
+/// Bits of an epoch-tagged bucket entry addressing the build slot within
+/// one cluster; the remaining high bits carry the cluster id (the epoch),
+/// so stale entries from other clusters are self-invalidating.
+const SLOT_BITS: u32 = 21;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// Shares [`RadixClusters`] across parallel probe tasks and returns the
+/// pair buffer to the scratch pool when the last `Arc` holder — caller or
+/// worker, whichever drops later — lets go.
+struct RecycleOnDrop(Option<crate::typed::RadixClusters>);
+
+impl std::ops::Deref for RecycleOnDrop {
+    type Target = crate::typed::RadixClusters;
+
+    fn deref(&self) -> &crate::typed::RadixClusters {
+        self.0.as_ref().expect("clusters live until drop")
+    }
+}
+
+impl Drop for RecycleOnDrop {
+    fn drop(&mut self) {
+        if let Some(c) = self.0.take() {
+            c.recycle();
+        }
+    }
+}
+
+/// Build+probe the clusters in `crange`, appending packed
+/// `left << 32 | right` matches to `matches` in cluster order (left
+/// positions ascending within a cluster, right positions ascending per
+/// left BUN). One epoch-tagged chain table — presized for the range's
+/// largest build cluster, buffers from the caller thread's scratch pool —
+/// serves every cluster of the range without per-cluster resets: bucket
+/// entries carry the (global) cluster id in their top bits, so entries
+/// left by a previous cluster are self-invalidating, and `next` needs no
+/// reset because a chain only references slots the current cluster's
+/// build just wrote. The serial join passes the full cluster range; the
+/// parallel join hands disjoint ranges to the worker pool, where each
+/// worker's thread-local pool keeps the table pages warm across tasks.
+///
+/// Caller guarantees every build cluster in range fits [`SLOT_MASK`]
+/// slots (the dispatcher falls back to the full-width reset variant on
+/// pathological skew).
+fn probe_cluster_range<VL, VR>(
+    bt: VL,
+    ch: VR,
+    lc: &crate::typed::RadixClusters,
+    rc: &crate::typed::RadixClusters,
+    crange: std::ops::Range<usize>,
+    matches: &mut Vec<u64>,
+) where
+    VL: TypedVals,
+    VR: TypedVals<Elem = VL::Elem>,
+{
+    const EMPTY: u32 = u32::MAX;
+    let max_build = crange.clone().map(|c| rc.cluster(c).len()).max().unwrap_or(0);
+    if max_build == 0 {
+        return;
+    }
+    debug_assert!(max_build <= SLOT_MASK as usize);
+    // 4x buckets: ~25% occupancy keeps the chain-entry branch predictably
+    // not-taken (at 2x it is a coin flip, and the mispredicts cost more
+    // than the extra — still L1-resident — rows).
+    let nbuckets = (max_build * 4).next_power_of_two();
+    let mask = (nbuckets - 1) as u32;
+    let mut buckets: Vec<u32> = crate::typed::take_u32(nbuckets);
+    buckets.resize(nbuckets, u32::MAX); // a tag no cluster id can match
+    let mut next: Vec<u32> = crate::typed::take_u32(max_build);
+    next.resize(max_build, EMPTY);
+    for c in crange {
+        let (lr, rr) = (lc.cluster(c), rc.cluster(c));
+        if lr.is_empty() || rr.is_empty() {
+            continue;
+        }
+        let tag = (c as u32) << SLOT_BITS;
+        let rpairs = &rc.pairs[rr.clone()];
+        // Build on the right cluster, newest-first chains: inserting in
+        // reverse makes each chain iterate in ascending right position.
+        for (slot, &rp) in rpairs.iter().enumerate().rev() {
+            let b = (crate::typed::pair_hash(rp) & mask) as usize;
+            let head = buckets[b];
+            next[slot] = if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
+            buckets[b] = tag | slot as u32;
+        }
+        // Probe the left cluster in (stable, ascending-position) order:
+        // sequential pair reads, cache-resident chain walks, and value
+        // fetches only on a 32-bit hash match.
+        for &lp in &lc.pairs[lr] {
+            let h = crate::typed::pair_hash(lp);
+            let head = buckets[(h & mask) as usize];
+            let mut cur = if head >> SLOT_BITS == c as u32 { head & SLOT_MASK } else { EMPTY };
+            while cur != EMPTY {
+                let rp = rpairs[cur as usize];
+                if crate::typed::pair_hash(rp) == h {
+                    let li = crate::typed::pair_pos(lp);
+                    let ri = crate::typed::pair_pos(rp);
+                    if ch.eq_one(ch.value(ri as usize), bt.value(li as usize)) {
+                        matches.push(((li as u64) << 32) | ri as u64);
+                    }
+                }
+                cur = next[cur as usize];
+            }
+        }
+    }
+    crate::typed::put_u32(buckets);
+    crate::typed::put_u32(next);
+}
+
+/// Cut `[0, nclusters)` into at most `target_tasks` contiguous ranges of
+/// roughly equal combined (probe + build) row count, so one heavy cluster
+/// does not serialize the parallel batch.
+fn cluster_task_ranges(
+    lc: &crate::typed::RadixClusters,
+    rc: &crate::typed::RadixClusters,
+    target_tasks: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let n = lc.num_clusters();
+    let total: usize = (0..n).map(|c| lc.cluster(c).len() + rc.cluster(c).len()).sum();
+    let per_task = (total / target_tasks.max(1)).max(1);
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(target_tasks);
+    let (mut start, mut acc) = (0usize, 0usize);
+    for c in 0..n {
+        acc += lc.cluster(c).len() + rc.cluster(c).len();
+        if acc >= per_task {
+            ranges.push(start..c + 1);
+            start = c + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    if ranges.is_empty() {
+        ranges.push(0..n);
+    }
+    ranges
+}
+
+/// Shared tail of the partitioned join: restore global left-BUN order
+/// (stable streaming sort on the left half; equal left positions keep
+/// their right-ascending probe order) and materialize the result.
+fn finish_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat, matches: Vec<u64>) -> Bat {
     let matches = crate::typed::sort_pairs_by_hi(matches);
     let mut left_idx: Vec<u32> = crate::typed::take_u32(matches.len());
     let mut right_idx: Vec<u32> = crate::typed::take_u32(matches.len());

@@ -37,7 +37,20 @@ pub use sort::{mark, sort_head, sort_tail, topn};
 pub use unique::unique;
 
 use crate::atom::AtomType;
+use crate::ctx::ExecCtx;
 use crate::error::{MonetError, Result};
+
+/// Threads an operator over a `rows`-row operand should fan out to —
+/// [`crate::costmodel::par_threads`] gated on the context: with a pager
+/// installed the kernels stay serial, because the simulated fault trace is
+/// defined by sequential access order.
+pub(crate) fn par_threads(ctx: &ExecCtx, rows: usize) -> usize {
+    if ctx.pager.is_some() {
+        1
+    } else {
+        crate::costmodel::par_threads(rows)
+    }
+}
 
 /// Check that two columns can be compared for a join (same type; oid and
 /// void interoperate).

@@ -246,10 +246,60 @@ pub fn multiplex(ctx: &ExecCtx, f: ScalarFunc, args: &[MultArg]) -> Result<Bat> 
     Ok(result)
 }
 
+/// One synced multiplex argument reduced to what the typed fast path
+/// needs: the tail column (owned, cheaply `Arc`-cloned) or a broadcast
+/// constant. Owning the columns lets the morsel executor hand each worker
+/// a zero-copy slice of every argument.
+#[derive(Clone)]
+enum TailArg {
+    Col(Column),
+    Const(AtomValue),
+}
+
+impl TailArg {
+    fn of(args: &[MultArg]) -> Vec<TailArg> {
+        args.iter()
+            .map(|a| match a {
+                MultArg::Bat(b) => TailArg::Col(b.tail().clone()),
+                MultArg::Const(v) => TailArg::Const(v.clone()),
+            })
+            .collect()
+    }
+
+    /// The `[start, start+len)` window of the argument (constants
+    /// broadcast into any window).
+    fn window(&self, start: usize, len: usize) -> TailArg {
+        match self {
+            TailArg::Col(c) => TailArg::Col(c.slice(start, len)),
+            TailArg::Const(v) => TailArg::Const(v.clone()),
+        }
+    }
+}
+
 /// Positional fast path: all BAT args share the first BAT's head.
-fn mux_synced(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Result<Bat> {
+fn mux_synced(ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Result<Bat> {
     let n = first.len();
-    if let Some(col) = typed_fast_path(f, args, n)? {
+    let tails = TailArg::of(args);
+    let threads = super::par_threads(ctx, n);
+    // The fast-path shapes are decided by argument *types*, so probing a
+    // zero-row window tells us whether every morsel will take the same
+    // monomorphized loop — the precondition for cutting the operand.
+    if threads > 1 && typed_fast_path(f, &windowed(&tails, 0..0), 0)?.is_some() {
+        let tails2 = tails.clone();
+        let parts = crate::par::for_each_morsel(n, threads, move |r| {
+            typed_fast_path(f, &windowed(&tails2, r.clone()), r.len())
+                .map(|col| col.expect("uniform fast-path shape across morsels"))
+        });
+        // Surface the first error in morsel order (matching the serial
+        // scan, which stops at the earliest failing row's morsel).
+        let cols = parts.into_iter().collect::<Result<Vec<Column>>>()?;
+        return Ok(Bat::with_props(
+            first.head().clone(),
+            Column::concat_all(&cols),
+            Props::new(first.props().head, ColProps::NONE),
+        ));
+    }
+    if let Some(col) = typed_fast_path(f, &tails, n)? {
         return Ok(Bat::with_props(
             first.head().clone(),
             col,
@@ -424,50 +474,56 @@ macro_rules! with_src2 {
     };
 }
 
-fn int_sc(a: &MultArg) -> Option<SC<'_, i32>> {
+/// The `[start, start+len)` windows of every argument, constants riding
+/// along — the per-morsel argument vector of the parallel fast path.
+fn windowed(tails: &[TailArg], r: std::ops::Range<usize>) -> Vec<TailArg> {
+    tails.iter().map(|a| a.window(r.start, r.len())).collect()
+}
+
+fn int_sc(a: &TailArg) -> Option<SC<'_, i32>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_int_slice().map(SC::S),
-        MultArg::Const(AtomValue::Int(v)) => Some(SC::C(*v)),
+        TailArg::Col(c) => c.as_int_slice().map(SC::S),
+        TailArg::Const(AtomValue::Int(v)) => Some(SC::C(*v)),
         _ => None,
     }
 }
 
-fn lng_sc(a: &MultArg) -> Option<SC<'_, i64>> {
+fn lng_sc(a: &TailArg) -> Option<SC<'_, i64>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_lng_slice().map(SC::S),
-        MultArg::Const(AtomValue::Lng(v)) => Some(SC::C(*v)),
+        TailArg::Col(c) => c.as_lng_slice().map(SC::S),
+        TailArg::Const(AtomValue::Lng(v)) => Some(SC::C(*v)),
         _ => None,
     }
 }
 
-fn dbl_sc(a: &MultArg) -> Option<SC<'_, f64>> {
+fn dbl_sc(a: &TailArg) -> Option<SC<'_, f64>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_dbl_slice().map(SC::S),
-        MultArg::Const(AtomValue::Dbl(v)) => Some(SC::C(*v)),
+        TailArg::Col(c) => c.as_dbl_slice().map(SC::S),
+        TailArg::Const(AtomValue::Dbl(v)) => Some(SC::C(*v)),
         _ => None,
     }
 }
 
-fn date_sc(a: &MultArg) -> Option<SC<'_, i32>> {
+fn date_sc(a: &TailArg) -> Option<SC<'_, i32>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_date_slice().map(SC::S),
-        MultArg::Const(AtomValue::Date(d)) => Some(SC::C(d.0)),
+        TailArg::Col(c) => c.as_date_slice().map(SC::S),
+        TailArg::Const(AtomValue::Date(d)) => Some(SC::C(d.0)),
         _ => None,
     }
 }
 
-fn chr_sc(a: &MultArg) -> Option<SC<'_, u8>> {
+fn chr_sc(a: &TailArg) -> Option<SC<'_, u8>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_chr_slice().map(SC::S),
-        MultArg::Const(AtomValue::Chr(c)) => Some(SC::C(*c)),
+        TailArg::Col(c) => c.as_chr_slice().map(SC::S),
+        TailArg::Const(AtomValue::Chr(c)) => Some(SC::C(*c)),
         _ => None,
     }
 }
 
-fn bool_sc(a: &MultArg) -> Option<SC<'_, bool>> {
+fn bool_sc(a: &TailArg) -> Option<SC<'_, bool>> {
     match a {
-        MultArg::Bat(b) => b.tail().as_bool_slice().map(SC::S),
-        MultArg::Const(AtomValue::Bool(v)) => Some(SC::C(*v)),
+        TailArg::Col(c) => c.as_bool_slice().map(SC::S),
+        TailArg::Const(AtomValue::Bool(v)) => Some(SC::C(*v)),
         _ => None,
     }
 }
@@ -497,8 +553,11 @@ fn cmp_col<T: Copy, A: Src<T>, B: Src<T>>(
 /// chr/bool, plus string vs constant), boolean connectives, `not`/`neg`,
 /// `year`/`month`, and constant-pattern string predicates. Returns
 /// `Ok(None)` for every other shape — the generic row-wise path handles
-/// those.
-fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<Column>> {
+/// those. Whether a shape qualifies depends only on the argument *types*,
+/// so the decision is identical for the full operand and for every morsel
+/// window of it — which is what lets the parallel path probe once on a
+/// zero-row window.
+fn typed_fast_path(f: ScalarFunc, args: &[TailArg], n: usize) -> Result<Option<Column>> {
     use crate::typed::TypedSlice;
     use ScalarFunc as F;
     match f {
@@ -586,13 +645,13 @@ fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<C
                 return Ok(Some(with_src2!(a, b, |x, y| cmp_col(f, n, x, y, |p, q| p.cmp(&q)))));
             }
             // String column versus constant (either side).
-            if let (MultArg::Bat(b), MultArg::Const(AtomValue::Str(c))) = (&args[0], &args[1]) {
-                if let TypedSlice::Str(sv) = b.tail().typed() {
+            if let (TailArg::Col(b), TailArg::Const(AtomValue::Str(c))) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.typed() {
                     return Ok(Some(cmp_col(f, n, sv, Cst(&**c), |p, q| p.cmp(q))));
                 }
             }
-            if let (MultArg::Const(AtomValue::Str(c)), MultArg::Bat(b)) = (&args[0], &args[1]) {
-                if let TypedSlice::Str(sv) = b.tail().typed() {
+            if let (TailArg::Const(AtomValue::Str(c)), TailArg::Col(b)) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.typed() {
                     return Ok(Some(cmp_col(f, n, Cst(&**c), sv, |p, q| p.cmp(q))));
                 }
             }
@@ -621,12 +680,12 @@ fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<C
         },
         F::Not => Ok(None),
         F::Neg if args.len() == 1 => match &args[0] {
-            MultArg::Bat(b) => {
-                if let Some(v) = b.tail().as_int_slice() {
+            TailArg::Col(b) => {
+                if let Some(v) = b.as_int_slice() {
                     Ok(Some(Column::from_ints(v.iter().map(|&x| -x).collect())))
-                } else if let Some(v) = b.tail().as_lng_slice() {
+                } else if let Some(v) = b.as_lng_slice() {
                     Ok(Some(Column::from_lngs(v.iter().map(|&x| -x).collect())))
-                } else if let Some(v) = b.tail().as_dbl_slice() {
+                } else if let Some(v) = b.as_dbl_slice() {
                     Ok(Some(Column::from_dbls(v.iter().map(|&x| -x).collect())))
                 } else {
                     Ok(None)
@@ -636,7 +695,7 @@ fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<C
         },
         F::Neg => Ok(None),
         F::Year | F::Month if args.len() == 1 => match &args[0] {
-            MultArg::Bat(b) => match b.tail().as_date_slice() {
+            TailArg::Col(b) => match b.as_date_slice() {
                 Some(v) if f == F::Year => Ok(Some(Column::from_ints(
                     v.iter().map(|&d| crate::atom::Date(d).year()).collect(),
                 ))),
@@ -652,8 +711,8 @@ fn typed_fast_path(f: ScalarFunc, args: &[MultArg], n: usize) -> Result<Option<C
             if args.len() != 2 {
                 return Ok(None);
             }
-            if let (MultArg::Bat(b), MultArg::Const(AtomValue::Str(pat))) = (&args[0], &args[1]) {
-                if let TypedSlice::Str(sv) = b.tail().typed() {
+            if let (TailArg::Col(b), TailArg::Const(AtomValue::Str(pat))) = (&args[0], &args[1]) {
+                if let TypedSlice::Str(sv) = b.typed() {
                     use crate::typed::TypedVals;
                     let mut out = Vec::with_capacity(n);
                     for i in 0..n {

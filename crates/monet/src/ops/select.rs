@@ -29,7 +29,8 @@ pub fn select_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
         let hash = hash.clone();
         (select_hash(ctx, ab, &hash, v), "hash")
     } else {
-        (select_scan_eq(ctx, ab, v), "scan")
+        let threads = super::par_threads(ctx, ab.len());
+        (select_scan_eq(ctx, ab, v, threads), if threads > 1 { "par-scan" } else { "scan" })
     };
     ctx.record("select", algo, started, faults0, &result);
     Ok(result)
@@ -53,7 +54,11 @@ pub fn select_range(
     let (result, algo) = if ab.props().tail.sorted {
         (select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi), "binary-search")
     } else {
-        (select_scan_range(ctx, ab, lo, hi, inc_lo, inc_hi), "scan")
+        let threads = super::par_threads(ctx, ab.len());
+        (
+            select_scan_range(ctx, ab, lo, hi, inc_lo, inc_hi, threads),
+            if threads > 1 { "par-scan" } else { "scan" },
+        )
     };
     ctx.record("select", algo, started, faults0, &result);
     Ok(result)
@@ -116,26 +121,56 @@ fn select_hash(
     build_selected(ab, &idx, true)
 }
 
-fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Bat {
+fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Bat {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
-    // Monomorphic scan: one typed dispatch, then a tight loop over `&[T]`.
-    let idx: Vec<u32> = crate::for_each_typed!(ab.tail(), |t| {
-        let mut idx = Vec::with_capacity(ab.len());
-        for i in 0..t.len() {
-            if t.cmp_atom(t.value(i), v).is_eq() {
-                idx.push(i as u32);
+    let idx: Vec<u32> = if threads > 1 {
+        // Morsel-parallel scan: each morsel collects its matching global
+        // positions; concatenating the parts in morsel order reproduces
+        // the serial position sequence exactly.
+        let tail = ab.tail().clone();
+        let v = v.clone();
+        let parts = crate::par::for_each_morsel(ab.len(), threads, move |r| {
+            crate::for_each_typed!(&tail, |t| {
+                let mut idx: Vec<u32> = Vec::new();
+                for i in r {
+                    if t.cmp_atom(t.value(i), &v).is_eq() {
+                        idx.push(i as u32);
+                    }
+                }
+                idx
+            })
+        });
+        concat_positions(&parts)
+    } else {
+        // Monomorphic scan: one typed dispatch, then a tight loop over
+        // `&[T]`.
+        crate::for_each_typed!(ab.tail(), |t| {
+            let mut idx = Vec::with_capacity(ab.len());
+            for i in 0..t.len() {
+                if t.cmp_atom(t.value(i), v).is_eq() {
+                    idx.push(i as u32);
+                }
             }
-        }
-        idx
-    });
+            idx
+        })
+    };
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
             pager::touch_fetch(p, ab.head(), i as usize);
         }
     }
     build_selected(ab, &idx, true)
+}
+
+/// Concatenate per-morsel position vectors in morsel order.
+fn concat_positions(parts: &[Vec<u32>]) -> Vec<u32> {
+    let mut idx = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        idx.extend_from_slice(p);
+    }
+    idx
 }
 
 fn select_scan_range(
@@ -145,30 +180,59 @@ fn select_scan_range(
     hi: Option<&AtomValue>,
     inc_lo: bool,
     inc_hi: bool,
+    threads: usize,
 ) -> Bat {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
-    let idx: Vec<u32> = crate::for_each_typed!(ab.tail(), |t| {
-        let mut idx = Vec::with_capacity(ab.len());
-        'row: for i in 0..t.len() {
-            let x = t.value(i);
-            if let Some(v) = lo {
-                let c = t.cmp_atom(x, v);
-                if c.is_lt() || (!inc_lo && c.is_eq()) {
-                    continue 'row;
+    let idx: Vec<u32> = if threads > 1 {
+        let tail = ab.tail().clone();
+        let (lo, hi) = (lo.cloned(), hi.cloned());
+        let parts = crate::par::for_each_morsel(ab.len(), threads, move |r| {
+            crate::for_each_typed!(&tail, |t| {
+                let mut idx: Vec<u32> = Vec::new();
+                'row: for i in r {
+                    let x = t.value(i);
+                    if let Some(v) = &lo {
+                        let c = t.cmp_atom(x, v);
+                        if c.is_lt() || (!inc_lo && c.is_eq()) {
+                            continue 'row;
+                        }
+                    }
+                    if let Some(v) = &hi {
+                        let c = t.cmp_atom(x, v);
+                        if c.is_gt() || (!inc_hi && c.is_eq()) {
+                            continue 'row;
+                        }
+                    }
+                    idx.push(i as u32);
                 }
-            }
-            if let Some(v) = hi {
-                let c = t.cmp_atom(x, v);
-                if c.is_gt() || (!inc_hi && c.is_eq()) {
-                    continue 'row;
+                idx
+            })
+        });
+        concat_positions(&parts)
+    } else {
+        crate::for_each_typed!(ab.tail(), |t| {
+            let mut idx = Vec::with_capacity(ab.len());
+            'row: for i in 0..t.len() {
+                let x = t.value(i);
+                if let Some(v) = lo {
+                    let c = t.cmp_atom(x, v);
+                    if c.is_lt() || (!inc_lo && c.is_eq()) {
+                        continue 'row;
+                    }
                 }
+                if let Some(v) = hi {
+                    let c = t.cmp_atom(x, v);
+                    if c.is_gt() || (!inc_hi && c.is_eq()) {
+                        continue 'row;
+                    }
+                }
+                idx.push(i as u32);
             }
-            idx.push(i as u32);
-        }
-        idx
-    });
+            idx
+        })
+    };
     if let Some(p) = ctx.pager.as_deref() {
         for &i in &idx {
             pager::touch_fetch(p, ab.head(), i as usize);

@@ -28,7 +28,8 @@ pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
     } else if ab.props().head.sorted {
         (unique_grouped(ab), "merge")
     } else {
-        (unique_hash(ab), "hash")
+        let threads = super::par_threads(ctx, ab.len());
+        (unique_hash(ab, threads), if threads > 1 { "par-hash" } else { "hash" })
     };
     ctx.record("unique", algo, started, faults0, &result);
     Ok(result)
@@ -58,27 +59,82 @@ fn unique_grouped(ab: &Bat) -> Bat {
     build_unique(ab, &idx)
 }
 
-fn unique_hash(ab: &Bat) -> Bat {
-    let idx: Vec<u32> = crate::for_each_typed!(ab.head(), |h| {
-        crate::for_each_typed!(ab.tail(), |t| {
-            // Pair-hash chains; equality only on full-hash matches.
-            let mut table = GroupTable::with_capacity(ab.len());
-            let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
-            for i in 0..h.len() {
-                let hv = h.value(i);
-                let tv = t.value(i);
-                let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
-                let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
-                    let k = rep as usize;
-                    h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
-                });
-                if inserted {
-                    idx.push(i as u32);
+fn unique_hash(ab: &Bat, threads: usize) -> Bat {
+    let idx: Vec<u32> = if threads > 1 {
+        // Morsel-parallel dedup: every global first occurrence is also a
+        // first occurrence within its own morsel, so per-worker tables
+        // (scratch-pool backed) shrink each morsel to its local survivors;
+        // a serial merge pass re-checks only those against the global
+        // table **in morsel order**, which reproduces the serial keep-set
+        // and its ascending position order exactly.
+        let hc = ab.head().clone();
+        let tc = ab.tail().clone();
+        let parts: Vec<Vec<u32>> = crate::par::for_each_morsel(ab.len(), threads, move |r| {
+            crate::for_each_typed!(&hc, |h| {
+                crate::for_each_typed!(&tc, |t| {
+                    let mut table = GroupTable::pooled(r.len());
+                    let mut kept: Vec<u32> = Vec::new();
+                    for i in r.clone() {
+                        let hv = h.value(i);
+                        let tv = t.value(i);
+                        let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
+                        let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
+                            let k = rep as usize;
+                            h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
+                        });
+                        if inserted {
+                            kept.push(i as u32);
+                        }
+                    }
+                    table.recycle();
+                    kept
+                })
+            })
+        });
+        crate::for_each_typed!(ab.head(), |h| {
+            crate::for_each_typed!(ab.tail(), |t| {
+                let candidates: usize = parts.iter().map(Vec::len).sum();
+                let mut table = GroupTable::with_capacity(candidates);
+                let mut idx: Vec<u32> = Vec::with_capacity(candidates);
+                for kept in &parts {
+                    for &i in kept {
+                        let hv = h.value(i as usize);
+                        let tv = t.value(i as usize);
+                        let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
+                        let (_, inserted) = table.find_or_insert(key, i, |rep| {
+                            let k = rep as usize;
+                            h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
+                        });
+                        if inserted {
+                            idx.push(i);
+                        }
+                    }
                 }
-            }
-            idx
+                idx
+            })
         })
-    });
+    } else {
+        crate::for_each_typed!(ab.head(), |h| {
+            crate::for_each_typed!(ab.tail(), |t| {
+                // Pair-hash chains; equality only on full-hash matches.
+                let mut table = GroupTable::with_capacity(ab.len());
+                let mut idx: Vec<u32> = Vec::with_capacity(ab.len());
+                for i in 0..h.len() {
+                    let hv = h.value(i);
+                    let tv = t.value(i);
+                    let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
+                    let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
+                        let k = rep as usize;
+                        h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
+                    });
+                    if inserted {
+                        idx.push(i as u32);
+                    }
+                }
+                idx
+            })
+        })
+    };
     build_unique(ab, &idx)
 }
 

@@ -1,0 +1,450 @@
+//! Intra-query parallelism: a morsel executor over the typed-kernel layer
+//! (Section 2: "parallel iteration and parallel block execution").
+//!
+//! Monet's execution model exploits vertically fragmented BATs for
+//! coarse-grained data parallelism: once layout is factored into dense
+//! regions, a scan-shaped operator splits into independent **morsels**
+//! (fixed-size contiguous row ranges) and the radix-partitioned join into
+//! independent per-cluster tasks. This module provides the worker pool and
+//! the task plumbing; the operators in [`crate::ops`] decide *whether* to
+//! parallelize through [`crate::costmodel::par_threads`].
+//!
+//! # Determinism contract
+//!
+//! Every parallel kernel must be **bit-identical** to its serial form:
+//!
+//! * tasks are indexed, and their results are concatenated (or reduced) in
+//!   task order — never in completion order — so operand order and tie
+//!   rules survive any scheduling;
+//! * morsel boundaries are a property of the *operand* (fixed
+//!   [`MORSEL_ROWS`]), never of the thread count, so order-sensitive
+//!   reductions (floating-point sums) give the same bits at every
+//!   `FLATALG_THREADS` setting — including `1`, because the serial path
+//!   walks the same morsels in the same order.
+//!
+//! The cross-crate harness `tests/par_determinism.rs` asserts this for
+//! every parallelized kernel against both `ops::reference` and the
+//! kernel's own serial path; new parallel kernels must be added there
+//! (ROADMAP rule: *parallel kernels ship with a parallel-vs-serial oracle
+//! test*).
+//!
+//! # The pool
+//!
+//! Workers are **persistent** `std::thread`s (no rayon; the build container
+//! is vendor-only), spawned lazily up to the configured thread count and
+//! parked on a channel between queries. Persistence matters beyond spawn
+//! cost: the bounded thread-local scratch pool (`typed::take_u32`/`take_u64`)
+//! lives per worker, so per-task hash tables and cluster buffers reuse
+//! committed pages across operator calls instead of faulting fresh mmaps.
+//!
+//! `FLATALG_THREADS` sets the thread count (`=1` forces the serial path);
+//! [`with_par_config`] scopes an override to the current thread, which is
+//! what the determinism tests use to sweep thread counts race-free.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Rows per morsel for scan-shaped operators: big enough that one task
+/// amortizes dispatch (a channel send + an atomic increment), small enough
+/// that 4-8 workers stay balanced on the ~100k-1M row operands where
+/// parallelism first pays. Fixed — never derived from the thread count —
+/// so morsel-decomposed reductions are bit-identical at every thread
+/// count. Overridable per thread via [`with_par_config`] (tests use tiny
+/// odd sizes to exercise remainder morsels).
+pub const MORSEL_ROWS: usize = 64 * 1024;
+
+/// Hard cap on pool size; `FLATALG_THREADS` beyond this is clamped.
+pub const MAX_THREADS: usize = 32;
+
+/// Per-thread override of the parallel configuration (tests; scoped).
+#[derive(Clone, Copy, Default)]
+struct ParOverride {
+    threads: Option<usize>,
+    min_rows: Option<usize>,
+    morsel_rows: Option<usize>,
+}
+
+thread_local! {
+    static OVERRIDE: std::cell::Cell<ParOverride> = const { std::cell::Cell::new(ParOverride { threads: None, min_rows: None, morsel_rows: None }) };
+}
+
+/// Environment knobs are parsed **once per process**: `configured_threads`
+/// and the row threshold sit on every operator's dispatch path, and an
+/// `env::var` per call would take the process environment lock (contended
+/// exactly when many drivers dispatch at once) and allocate. Scoped
+/// overrides exist precisely so tests never need to mutate the
+/// environment mid-process.
+fn env_usize_cached(cell: &'static OnceLock<Option<usize>>, var: &'static str) -> Option<usize> {
+    *cell.get_or_init(|| std::env::var(var).ok()?.trim().parse::<usize>().ok())
+}
+
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+static ENV_MIN_ROWS: OnceLock<Option<usize>> = OnceLock::new();
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The thread count parallel kernels run at: the scoped override, else
+/// `FLATALG_THREADS`, else the machine's available parallelism. Always at
+/// least 1; at most [`MAX_THREADS`]. A value of 1 forces the serial path
+/// everywhere (the dispatchers check this before cutting morsels).
+pub fn configured_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    let raw = o
+        .threads
+        .or_else(|| env_usize_cached(&ENV_THREADS, "FLATALG_THREADS"))
+        .unwrap_or_else(|| {
+            *DEFAULT_THREADS
+                .get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        });
+    raw.clamp(1, MAX_THREADS)
+}
+
+/// The scoped-or-env override of `costmodel::PAR_MIN_ROWS`
+/// (`FLATALG_PAR_MIN_ROWS`), if any.
+pub(crate) fn min_rows_override() -> Option<usize> {
+    OVERRIDE
+        .with(|c| c.get())
+        .min_rows
+        .or_else(|| env_usize_cached(&ENV_MIN_ROWS, "FLATALG_PAR_MIN_ROWS"))
+}
+
+/// The effective morsel size (override, else [`MORSEL_ROWS`]).
+pub fn morsel_rows() -> usize {
+    OVERRIDE.with(|c| c.get()).morsel_rows.unwrap_or(MORSEL_ROWS).max(1)
+}
+
+/// Run `f` with a scoped parallel configuration on this thread: thread
+/// count, parallelism row threshold, and morsel size (each `None` keeps
+/// the ambient setting). Restores the previous configuration on exit —
+/// panic-safe — and never touches the process environment, so concurrent
+/// tests can sweep configurations without racing.
+pub fn with_par_config<R>(
+    threads: Option<usize>,
+    min_rows: Option<usize>,
+    morsel_rows: Option<usize>,
+    f: impl FnOnce() -> R,
+) -> R {
+    struct Restore(ParOverride);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.get());
+    let _restore = Restore(prev);
+    OVERRIDE.with(|c| {
+        c.set(ParOverride {
+            threads: threads.or(prev.threads),
+            min_rows: min_rows.or(prev.min_rows),
+            morsel_rows: morsel_rows.or(prev.morsel_rows),
+        })
+    });
+    f()
+}
+
+/// [`with_par_config`] fixing only the thread count.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    with_par_config(Some(threads), None, None, f)
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lazily grown set of persistent workers, each parked on its own channel.
+/// Senders are handed out round-robin per dispatch; a worker executes one
+/// job at a time in arrival order.
+struct Pool {
+    senders: Mutex<Vec<Sender<Job>>>,
+    /// Rotates the starting worker between dispatches so short bursts do
+    /// not always load worker 0.
+    rr: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads. A `run_tasks` issued *from* a worker
+    /// (a nested parallel kernel inside a task) must run inline: its
+    /// helper jobs would queue behind the very job that is waiting for
+    /// them — a deadlock. Inline execution is always correct (results are
+    /// combined in task order either way).
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool { senders: Mutex::new(Vec::new()), rr: AtomicUsize::new(0) })
+}
+
+/// Ensure at least `n` workers exist and dispatch one copy of `make_job`'s
+/// product to each of `n` distinct workers. Returns the number dispatched
+/// (always `n`; growth is infallible short of thread-spawn failure, which
+/// panics — the kernel cannot degrade safely mid-operator).
+fn dispatch_to_workers(n: usize, make_job: impl Fn() -> Job) {
+    let p = pool();
+    let mut senders = p.senders.lock().expect("worker pool poisoned");
+    while senders.len() < n.min(MAX_THREADS) {
+        let (tx, rx) = channel::<Job>();
+        let id = senders.len();
+        std::thread::Builder::new()
+            .name(format!("monet-par-{id}"))
+            .spawn(move || {
+                IS_POOL_WORKER.with(|w| w.set(true));
+                // Park between jobs; exit when the pool itself is dropped
+                // (process end). A panicking job must not take the worker
+                // down with it — the caller rethrows the payload.
+                while let Ok(job) = rx.recv() {
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+                }
+            })
+            .expect("spawn parallel worker");
+        senders.push(tx);
+    }
+    let start = p.rr.fetch_add(1, Ordering::Relaxed);
+    for k in 0..n {
+        let w = (start + k) % senders.len();
+        senders[w].send(make_job()).expect("worker channel closed");
+    }
+}
+
+/// Execute `ntasks` indexed tasks on `threads` threads (the caller
+/// participates as one of them) and return the results **in task order**.
+///
+/// Scheduling is work-stealing over a shared atomic cursor, so skewed task
+/// costs balance; determinism is unaffected because results are placed by
+/// task index. With `threads <= 1` (or one task) the tasks run inline on
+/// the caller, in order — the serial path of every parallel kernel.
+///
+/// A panicking task is re-thrown on the caller after all in-flight tasks
+/// finish (workers survive; see the pool loop).
+pub fn run_tasks<R, F>(ntasks: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(usize) -> R + Send + Sync + 'static,
+{
+    if ntasks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(ntasks);
+    // Inline serial execution when only one thread is wanted — and always
+    // on pool worker threads, where dispatching helper jobs could queue
+    // them behind the currently-executing job (deadlock; see
+    // IS_POOL_WORKER).
+    if threads == 1 || IS_POOL_WORKER.with(|w| w.get()) {
+        return (0..ntasks).map(f).collect();
+    }
+    type TaskResult<R> = (usize, std::thread::Result<R>);
+    let f = Arc::new(f);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = channel::<TaskResult<R>>();
+    dispatch_to_workers(threads - 1, || {
+        let f = Arc::clone(&f);
+        let cursor = Arc::clone(&cursor);
+        let tx = tx.clone();
+        Box::new(move || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= ntasks {
+                break;
+            }
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(i)));
+            let failed = r.is_err();
+            if tx.send((i, r)).is_err() || failed {
+                break;
+            }
+        })
+    });
+    drop(tx); // workers hold the remaining senders
+    let mut out: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
+    let mut collected = 0usize;
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= ntasks {
+            break;
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(r) => {
+                out[i] = Some(r);
+                collected += 1;
+            }
+            Err(p) => {
+                panic_payload.get_or_insert(p);
+                break;
+            }
+        }
+    }
+    // Collect worker results until every task is accounted for. Stopping
+    // at `ntasks` (rather than at channel close) matters when several
+    // drivers share the pool: this batch's helper jobs may still sit
+    // queued behind another driver's — once all results are in, they
+    // have nothing left to do, and waiting for them to reach the front of
+    // the queue would couple this driver's latency to unrelated batches.
+    // Every worker sends its result *before* checking for exit, so a
+    // receive error (all senders dropped) with tasks missing can only
+    // follow a panic.
+    while collected < ntasks && panic_payload.is_none() {
+        match rx.recv() {
+            Ok((i, Ok(r))) => {
+                out[i] = Some(r);
+                collected += 1;
+            }
+            Ok((_, Err(p))) => {
+                panic_payload.get_or_insert(p);
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    out.into_iter().map(|r| r.expect("parallel task dropped without panicking")).collect()
+}
+
+/// The fixed morsel ranges of a `len`-row operand: `ceil(len / morsel)`
+/// contiguous windows in operand order, all but the last exactly
+/// [`morsel_rows`] long.
+pub fn morsels(len: usize) -> Vec<std::ops::Range<usize>> {
+    let m = morsel_rows();
+    let mut out = Vec::with_capacity(len.div_ceil(m).max(1));
+    let mut at = 0;
+    while at < len {
+        let end = (at + m).min(len);
+        out.push(at..end);
+        at = end;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+/// Map `f` over the fixed morsels of a `len`-row operand on `threads`
+/// threads; results come back in morsel (= operand) order. This is the
+/// scan-shaped entry point: `f` receives the global row range and returns
+/// that range's partial result (matching positions, a partial accumulator,
+/// an output column slice, ...), and the caller concatenates or reduces
+/// the parts **in morsel order** — the determinism contract.
+pub fn for_each_morsel<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(std::ops::Range<usize>) -> R + Send + Sync + 'static,
+{
+    let ms = morsels(len);
+    run_tasks(ms.len(), threads, move |i| f(ms[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_exactly_in_order() {
+        with_par_config(None, None, Some(7), || {
+            for len in [0usize, 1, 6, 7, 8, 20, 21] {
+                let ms = morsels(len);
+                let mut at = 0;
+                for m in &ms {
+                    assert_eq!(m.start, at, "len={len}");
+                    assert!(m.len() <= 7 && (!m.is_empty() || len == 0), "len={len}");
+                    at = m.end;
+                }
+                assert_eq!(at, len, "len={len}");
+            }
+        });
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order_any_thread_count() {
+        for threads in [1usize, 2, 4, 7] {
+            let got = run_tasks(23, threads, |i| i * i);
+            let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_balances_skewed_tasks() {
+        // Tasks of wildly different cost still land in index order.
+        let got = run_tasks(12, 4, |i| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(got, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn config_override_is_scoped_and_restored() {
+        let ambient = configured_threads();
+        let inner = with_par_config(Some(5), Some(10), Some(3), || {
+            assert_eq!(morsel_rows(), 3);
+            assert_eq!(min_rows_override(), Some(10));
+            configured_threads()
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(configured_threads(), ambient);
+        assert_eq!(morsel_rows(), MORSEL_ROWS);
+    }
+
+    #[test]
+    fn nested_overrides_compose() {
+        with_par_config(Some(4), None, None, || {
+            with_par_config(None, Some(77), None, || {
+                assert_eq!(configured_threads(), 4); // inherited from outer
+                assert_eq!(min_rows_override(), Some(77));
+            });
+            assert_eq!(min_rows_override(), None);
+        });
+    }
+
+    #[test]
+    fn nested_run_tasks_never_deadlocks() {
+        // A task that itself fans out: on pool workers the inner batch
+        // must run inline (its helper jobs would queue behind the very
+        // job awaiting them); on the caller the inner batch completes as
+        // soon as its results are in, even while the outer batch still
+        // occupies the workers.
+        let got = run_tasks(4, 4, |i| run_tasks(3, 4, move |j| i * 10 + j).iter().sum::<usize>());
+        assert_eq!(got, (0..4).map(|i| 30 * i + 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(8, 4, |i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+        // The pool still executes subsequent batches correctly.
+        let got = run_tasks(8, 4, |i| i + 1);
+        assert_eq!(got, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_thread_locals_persist_across_batches() {
+        // The scratch pool is per worker thread; a warm buffer taken and
+        // returned inside one batch must be reusable in the next. We can't
+        // observe buffer identity across threads directly, so assert the
+        // weaker, load-bearing property: take/put on worker threads never
+        // corrupts data under repeated batches.
+        for round in 0..3u64 {
+            let ok = run_tasks(8, 4, move |i| {
+                let mut v = crate::typed::take_u64(1024);
+                v.extend((0..1024u64).map(|x| x * (i as u64 + 1) + round));
+                let good =
+                    v.iter().enumerate().all(|(x, &got)| got == x as u64 * (i as u64 + 1) + round);
+                crate::typed::put_u64(v);
+                good
+            });
+            assert!(ok.iter().all(|&b| b), "round {round}");
+        }
+    }
+}

@@ -817,6 +817,34 @@ impl GroupTable {
         }
     }
 
+    /// [`GroupTable::with_capacity`], but drawing every backing buffer from
+    /// the bounded thread-local scratch pool. This is the constructor the
+    /// morsel executor's per-worker tables use: a persistent worker builds
+    /// one table per task, and pooling keeps the bucket pages committed
+    /// across tasks instead of faulting a fresh allocation each time.
+    /// Return the buffers with [`GroupTable::recycle`] when done.
+    pub fn pooled(n: usize) -> GroupTable {
+        let nbuckets = (n.max(1) * 2).next_power_of_two();
+        let mut buckets = take_u32(nbuckets);
+        buckets.resize(nbuckets, EMPTY);
+        let est = (n / 8).max(16);
+        let mut next = take_u32(est);
+        let mut rows = take_u32(est);
+        let mut hashes = take_u64(est);
+        next.clear();
+        rows.clear();
+        hashes.clear();
+        GroupTable { mask: (nbuckets - 1) as u64, buckets, next, rows, hashes }
+    }
+
+    /// Return a [`GroupTable::pooled`] table's buffers to the scratch pool.
+    pub fn recycle(self) {
+        put_u32(self.buckets);
+        put_u32(self.next);
+        put_u32(self.rows);
+        put_u64(self.hashes);
+    }
+
     /// Find the group whose representative row satisfies `eq` (called only
     /// on entries whose full hash equals `h`) without inserting.
     #[inline]

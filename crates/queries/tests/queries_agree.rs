@@ -65,6 +65,46 @@ oracle_tests! {
 }
 
 #[test]
+fn all_fifteen_queries_agree_threaded_and_match_serial_exactly() {
+    // Q1-Q15 with the morsel executor forced on (4 workers, tiny row
+    // threshold, odd morsels small enough that the SF 0.01 operands split
+    // into many): every query must produce *bit-identical* rows to its
+    // serial run under the same morsel grid, and still agree with the
+    // n-ary reference. This is the end-to-end leg of the
+    // parallel-vs-serial oracle rule (see tests/par_determinism.rs for
+    // the per-kernel leg).
+    let w = bench_world();
+    for q in all_queries() {
+        let ctx = ExecCtx::new();
+        let threaded = monet::par::with_par_config(Some(4), Some(1024), Some(4099), || {
+            (q.run_moa)(&w.cat, &ctx, &w.params)
+        })
+        .unwrap_or_else(|e| panic!("Q{} threaded MOA failed: {e}", q.id));
+        let serial = monet::par::with_par_config(Some(1), Some(1024), Some(4099), || {
+            (q.run_moa)(&w.cat, &ctx, &w.params)
+        })
+        .unwrap_or_else(|e| panic!("Q{} serial MOA failed: {e}", q.id));
+        assert!(
+            threaded.approx_eq(&serial, 0.0),
+            "Q{} threaded result differs from serial ({}):\nthreaded ({} rows):\n{}\nserial ({} rows):\n{}",
+            q.id,
+            q.comment,
+            threaded.len(),
+            threaded.clone().sorted().preview(12),
+            serial.len(),
+            serial.clone().sorted().preview(12),
+        );
+        let ref_out = (q.run_ref)(&w.rel, &w.params, None);
+        assert!(
+            threaded.approx_eq(&ref_out.rows, 1e-6),
+            "Q{} threaded disagrees with reference ({})",
+            q.id,
+            q.comment,
+        );
+    }
+}
+
+#[test]
 fn all_fifteen_queries_agree_on_a_second_database() {
     let data = tpcd::generate(0.002, 20260610);
     let (cat, _report) = tpcd::load_bats(&data);

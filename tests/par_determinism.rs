@@ -1,0 +1,474 @@
+//! Parallel-vs-serial oracle harness: every parallelized kernel must be
+//! **bit-identical** to the generic reference implementation *and* to its
+//! own serial path, across all 9 atom types, sliced/offset column windows,
+//! and thread counts {1, 2, 4, 7} (the odd count catches remainder-morsel
+//! bugs; 1 is the forced-serial `FLATALG_THREADS=1` path).
+//!
+//! The thread count and morsel size are set through the scoped
+//! `par::with_par_config` override — the same switch `FLATALG_THREADS` /
+//! `FLATALG_PAR_MIN_ROWS` flip process-wide — so the suite can sweep
+//! configurations from concurrent test threads without racing on the
+//! environment. Morsel sizes are deliberately small and odd (the operands
+//! here are hundreds of rows, not hundreds of thousands), which exercises
+//! many-morsel schedules and ragged final morsels.
+//!
+//! ROADMAP rule: parallel kernels ship with a parallel-vs-serial oracle
+//! test — new parallel kernels get their cases added HERE.
+
+use monet::atom::{AtomType, AtomValue, Date};
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops::{self, reference};
+use monet::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x9A12_1998;
+
+/// Thread counts every kernel is swept over. 7 is deliberately odd and
+/// larger than the morsel count of some operands (excess threads must
+/// idle harmlessly).
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Small odd morsel size: a few hundred-row operand becomes many morsels
+/// with a ragged tail.
+const MORSEL: usize = 53;
+
+/// Run `f` under a forced-parallel configuration (`threads` workers,
+/// every operand above the row threshold, tiny odd morsels).
+fn parallel<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    par::with_par_config(Some(threads), Some(1), Some(MORSEL), f)
+}
+
+/// The kernel's own serial path under the *same* morsel grid (morsel
+/// decomposition is part of the kernel definition for float reductions,
+/// so the serial oracle must share it).
+fn serial<R>(f: impl FnOnce() -> R) -> R {
+    parallel(1, f)
+}
+
+const ALL_TYPES: &[AtomType] = &[
+    AtomType::Void,
+    AtomType::Oid,
+    AtomType::Bool,
+    AtomType::Chr,
+    AtomType::Int,
+    AtomType::Lng,
+    AtomType::Dbl,
+    AtomType::Str,
+    AtomType::Date,
+];
+
+fn random_value(rng: &mut StdRng, ty: AtomType) -> AtomValue {
+    match ty {
+        AtomType::Void | AtomType::Oid => AtomValue::Oid(rng.gen_range(0..24u64)),
+        AtomType::Bool => AtomValue::Bool(rng.gen_bool(0.5)),
+        AtomType::Chr => AtomValue::Chr(rng.gen_range(b'a'..=b'e')),
+        AtomType::Int => AtomValue::Int(rng.gen_range(-8..8i32)),
+        AtomType::Lng => AtomValue::Lng(rng.gen_range(-9..9i64)),
+        AtomType::Dbl => {
+            // Integral doubles: IEEE addition over them is exact (well
+            // within 2^53), so even order-sensitive float sums are
+            // bit-identical to the row-order reference fold. The
+            // non-integral association case is covered separately in
+            // `dbl_sum_bit_identical_across_thread_counts`.
+            AtomValue::Dbl(rng.gen_range(-40..40i32) as f64)
+        }
+        AtomType::Str => {
+            let vocab = ["", "a", "ab", "b", "ba", "zz", "EUROPE", "ASIA"];
+            AtomValue::str(vocab[rng.gen_range(0..vocab.len())])
+        }
+        AtomType::Date => AtomValue::Date(Date(rng.gen_range(8000..8020i32))),
+    }
+}
+
+/// A random column of `ty`, often presented as an offset window into a
+/// larger allocation (so every parallel kernel sees `off != 0` slices).
+fn random_column(rng: &mut StdRng, ty: AtomType, n: usize) -> Column {
+    let windowed = rng.gen_bool(0.5);
+    let (pre, post) =
+        if windowed { (rng.gen_range(0..7usize), rng.gen_range(0..7usize)) } else { (0, 0) };
+    let total = n + pre + post;
+    let col = if ty == AtomType::Void {
+        Column::void(rng.gen_range(0..30u64), total)
+    } else {
+        Column::from_atoms(ty, (0..total).map(|_| random_value(rng, ty)))
+    };
+    col.slice(pre, n)
+}
+
+/// Exact (head, tail) value sequence — order matters, bits matter (Dbl
+/// compares via the IEEE-total-order `AtomValue` equality).
+fn rows_of(b: &Bat) -> Vec<(AtomValue, AtomValue)> {
+    b.iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// select scan / range scan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_select_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..4 {
+            let n = rng.gen_range(0..400usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let v = random_value(&mut rng, ty);
+            let (a2, c2) = (random_value(&mut rng, ty), random_value(&mut rng, ty));
+            let (lo, hi) = if a2.cmp_same_type(&c2).is_le() { (a2, c2) } else { (c2, a2) };
+            let (il, ih) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+            let ref_eq = reference::select_eq(&b, &v);
+            let ref_rng = reference::select_range(&b, Some(&lo), Some(&hi), il, ih);
+            let ser_eq = serial(|| ops::select_eq(&ctx, &b, &v).unwrap());
+            let ser_rng =
+                serial(|| ops::select_range(&ctx, &b, Some(&lo), Some(&hi), il, ih).unwrap());
+            for t in THREADS {
+                let got = parallel(t, || ops::select_eq(&ctx, &b, &v).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&ref_eq), "{ty} case {case} t={t}: eq vs ref");
+                assert_eq!(rows_of(&got), rows_of(&ser_eq), "{ty} case {case} t={t}: eq vs serial");
+                let got = parallel(t, || {
+                    ops::select_range(&ctx, &b, Some(&lo), Some(&hi), il, ih).unwrap()
+                });
+                assert_eq!(rows_of(&got), rows_of(&ref_rng), "{ty} case {case} t={t}: rng vs ref");
+                assert_eq!(
+                    rows_of(&got),
+                    rows_of(&ser_rng),
+                    "{ty} case {case} t={t}: rng vs serial"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// multiplex synced fast paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_multiplex_bit_identical() {
+    use ops::{MultArg, ScalarFunc as F};
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let ctx = ExecCtx::new();
+    let value_types = [
+        AtomType::Int,
+        AtomType::Lng,
+        AtomType::Dbl,
+        AtomType::Date,
+        AtomType::Chr,
+        AtomType::Bool,
+        AtomType::Str,
+    ];
+    for case in 0..6 {
+        let n = rng.gen_range(0..350usize);
+        let head = random_column(&mut rng, AtomType::Oid, n);
+        for &ty in &value_types {
+            let x = Bat::new(head.clone(), random_column(&mut rng, ty, n));
+            let arg2 = if rng.gen_bool(0.4) {
+                MultArg::Const(random_value(&mut rng, ty))
+            } else {
+                MultArg::Bat(Bat::new(head.clone(), random_column(&mut rng, ty, n)))
+            };
+            let funcs: Vec<F> = match ty {
+                AtomType::Int | AtomType::Lng | AtomType::Dbl => {
+                    vec![F::Add, F::Sub, F::Mul, F::Div, F::Eq, F::Lt, F::Ge, F::Ne]
+                }
+                AtomType::Date | AtomType::Chr => vec![F::Eq, F::Ne, F::Lt, F::Ge],
+                AtomType::Bool => vec![F::And, F::Or, F::Not, F::Eq],
+                _ => vec![F::Eq, F::Ne, F::Lt, F::Gt, F::StrPrefix, F::StrContains],
+            };
+            for f in funcs {
+                let args: Vec<MultArg> = match f {
+                    F::Not => vec![MultArg::Bat(x.clone())],
+                    F::StrPrefix | F::StrContains => vec![
+                        MultArg::Bat(x.clone()),
+                        MultArg::Const(random_value(&mut rng, AtomType::Str)),
+                    ],
+                    _ => vec![MultArg::Bat(x.clone()), arg2.clone()],
+                };
+                let expect = reference::multiplex_synced(f, &args);
+                let ser = serial(|| ops::multiplex(&ctx, f, &args));
+                for t in THREADS {
+                    let got = parallel(t, || ops::multiplex(&ctx, f, &args));
+                    match (&got, &expect, &ser) {
+                        (Ok(g), Ok(e), Ok(s)) => {
+                            assert_eq!(
+                                rows_of(g),
+                                rows_of(e),
+                                "[{f:?}] {ty} case {case} t={t} vs ref"
+                            );
+                            assert_eq!(
+                                rows_of(g),
+                                rows_of(s),
+                                "[{f:?}] {ty} case {case} t={t} vs serial"
+                            );
+                        }
+                        (Err(_), Err(_), Err(_)) => {}
+                        _ => panic!(
+                            "[{f:?}] {ty} case {case} t={t}: outcome disagreement \
+                             got={got:?} ref-err={} serial-err={}",
+                            expect.is_err(),
+                            ser.is_err()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// partitioned join (build + probe per cluster)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_join_partitioned_bit_identical_small_vs_reference() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+    let ctx = ExecCtx::new();
+    for &ty in ALL_TYPES {
+        for case in 0..4 {
+            let n = rng.gen_range(0..60usize);
+            let m = rng.gen_range(0..60usize);
+            let left =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            let right =
+                Bat::new(random_column(&mut rng, ty, m), random_column(&mut rng, AtomType::Int, m));
+            let expect = reference::join(&left, &right);
+            let ser = serial(|| ops::join_partitioned(&ctx, &left, &right));
+            for t in THREADS {
+                let got = parallel(t, || ops::join_partitioned(&ctx, &left, &right));
+                assert_eq!(rows_of(&got), rows_of(&expect), "{ty} case {case} t={t}: vs ref");
+                assert_eq!(rows_of(&got), rows_of(&ser), "{ty} case {case} t={t}: vs serial");
+            }
+        }
+    }
+}
+
+#[test]
+fn par_join_partitioned_bit_identical_large_vs_hash() {
+    // Big enough that radix_bits > 0: many real clusters per task, the
+    // epoch-tagged table reused across clusters within each worker. The
+    // monolithic hash join (bit-identical to the reference per PR 3's
+    // suite) is the fast oracle at this scale.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+    let ctx = ExecCtx::new();
+    let n = 20_000usize;
+    let m = 6_000usize;
+    let left = Bat::new(
+        Column::from_oids((0..n as u64).collect()),
+        Column::from_ints((0..n).map(|_| rng.gen_range(0..4_000i32)).collect()),
+    );
+    let right = Bat::new(
+        Column::from_ints((0..m).map(|_| rng.gen_range(0..4_000i32)).collect()),
+        Column::from_oids((0..m as u64).map(|i| 50_000 + i).collect()),
+    );
+    let oracle = ops::join::join_hash(&ctx, &left, &right);
+    let ser =
+        par::with_par_config(Some(1), Some(1), None, || ops::join_partitioned(&ctx, &left, &right));
+    assert_eq!(rows_of(&ser), rows_of(&oracle), "serial partitioned vs hash oracle");
+    for t in THREADS {
+        // Default morsel grid; the join parallelizes over cluster ranges,
+        // not morsels, so only the thread count matters here.
+        let got = par::with_par_config(Some(t), Some(1), None, || {
+            ops::join_partitioned(&ctx, &left, &right)
+        });
+        assert_eq!(rows_of(&got), rows_of(&oracle), "t={t}: partitioned vs hash oracle");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// group1 / unique (per-worker GroupTables, ordered merge)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_group1_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 4);
+    for &ty in ALL_TYPES {
+        for case in 0..4 {
+            let n = rng.gen_range(0..400usize);
+            let b =
+                Bat::new(random_column(&mut rng, AtomType::Oid, n), random_column(&mut rng, ty, n));
+            // Fresh contexts per run: group oids restart at the same base,
+            // so the comparison is exact (ids, not just partitions).
+            let expect = reference::group1_gids(&b);
+            let ser = serial(|| ops::group1(&ExecCtx::new(), &b).unwrap());
+            for t in THREADS {
+                let got = parallel(t, || ops::group1(&ExecCtx::new(), &b).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&ser), "{ty} case {case} t={t}: vs serial");
+                // Reference numbering is canonical 0-based first-occurrence;
+                // kernel ids are the same order-isomorphic sequence shifted
+                // by the fresh-oid base — relabel and compare exactly.
+                let got_canon: Vec<u64> = {
+                    let mut map = std::collections::HashMap::new();
+                    (0..got.len())
+                        .map(|i| {
+                            let g = got.tail().oid_at(i);
+                            let next = map.len() as u64;
+                            *map.entry(g).or_insert(next)
+                        })
+                        .collect()
+                };
+                assert_eq!(got_canon, expect, "{ty} case {case} t={t}: vs reference");
+            }
+        }
+    }
+}
+
+#[test]
+fn par_unique_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 5);
+    let ctx = ExecCtx::new();
+    for &t1 in ALL_TYPES {
+        for &t2 in ALL_TYPES {
+            // Small alphabets: plenty of duplicate pairs across morsels.
+            let n = rng.gen_range(0..250usize);
+            let b = Bat::new(random_column(&mut rng, t1, n), random_column(&mut rng, t2, n));
+            let expect = reference::unique(&b);
+            let ser = serial(|| ops::unique(&ctx, &b).unwrap());
+            for t in THREADS {
+                let got = parallel(t, || ops::unique(&ctx, &b).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&expect), "({t1},{t2}) t={t}: vs ref");
+                assert_eq!(rows_of(&got), rows_of(&ser), "({t1},{t2}) t={t}: vs serial");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scalar aggregates and the set-aggregate constructor {g}
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_aggregates_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 6);
+    let ctx = ExecCtx::new();
+    let aggs = [
+        ops::AggFunc::Count,
+        ops::AggFunc::Sum,
+        ops::AggFunc::Min,
+        ops::AggFunc::Max,
+        ops::AggFunc::Avg,
+    ];
+    for &ty in ALL_TYPES {
+        for case in 0..4 {
+            let n = rng.gen_range(0..400usize);
+            let b = Bat::new(
+                Column::from_oids((0..n as u64).map(|i| i % 23).collect()),
+                random_column(&mut rng, ty, n),
+            );
+            for f in aggs {
+                let ref_scalar = reference::aggr_scalar(&b, f);
+                let ref_set = reference::set_aggregate(f, &b);
+                let ser_scalar = serial(|| ops::aggr_scalar(&ctx, &b, f));
+                let ser_set = serial(|| ops::set_aggregate(&ctx, f, &b));
+                for t in THREADS {
+                    let got = parallel(t, || ops::aggr_scalar(&ctx, &b, f));
+                    match (&got, &ref_scalar, &ser_scalar) {
+                        (Ok(g), Ok(e), Ok(s)) => {
+                            assert_eq!(g, e, "{ty} case {case} t={t}: scalar {} vs ref", f.name());
+                            assert_eq!(
+                                g,
+                                s,
+                                "{ty} case {case} t={t}: scalar {} vs serial",
+                                f.name()
+                            );
+                        }
+                        (Err(_), Err(_), Err(_)) => {}
+                        _ => panic!(
+                            "{ty} case {case} t={t}: scalar {} outcome disagreement",
+                            f.name()
+                        ),
+                    }
+                    let got = parallel(t, || ops::set_aggregate(&ctx, f, &b));
+                    match (&got, &ref_set, &ser_set) {
+                        (Ok(g), Ok(e), Ok(s)) => {
+                            assert_eq!(
+                                rows_of(g),
+                                rows_of(e),
+                                "{ty} case {case} t={t}: {{{}}} vs ref",
+                                f.name()
+                            );
+                            assert_eq!(
+                                rows_of(g),
+                                rows_of(s),
+                                "{ty} case {case} t={t}: {{{}}} vs serial",
+                                f.name()
+                            );
+                        }
+                        (Err(_), Err(_), Err(_)) => {}
+                        _ => {
+                            panic!("{ty} case {case} t={t}: {{{}}} outcome disagreement", f.name())
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dbl_sum_bit_identical_across_thread_counts() {
+    // Non-integral doubles: IEEE addition is order-sensitive, so this is
+    // the case that breaks any executor that reduces in completion order
+    // or cuts morsels by thread count. The kernel's contract: the morsel
+    // grid is fixed, partials are combined in morsel order, so every
+    // thread count gives the same bits as the serial path.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 7);
+    let n = 3_001usize; // deliberately not a multiple of the morsel size
+    let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0) * 1e-3 + 0.1).collect();
+    let b = Bat::new(
+        Column::from_oids((0..n as u64).map(|i| i % 7).collect()),
+        Column::from_dbls(vals),
+    );
+    let ctx = ExecCtx::new();
+    let ser_scalar = serial(|| ops::aggr_scalar(&ctx, &b, ops::AggFunc::Sum).unwrap());
+    let ser_avg = serial(|| ops::aggr_scalar(&ctx, &b, ops::AggFunc::Avg).unwrap());
+    let ser_set = serial(|| ops::set_aggregate(&ctx, ops::AggFunc::Sum, &b).unwrap());
+    for t in THREADS {
+        let got = parallel(t, || ops::aggr_scalar(&ctx, &b, ops::AggFunc::Sum).unwrap());
+        assert_eq!(got, ser_scalar, "t={t}: {{sum}} bits");
+        let got = parallel(t, || ops::aggr_scalar(&ctx, &b, ops::AggFunc::Avg).unwrap());
+        assert_eq!(got, ser_avg, "t={t}: avg bits");
+        let got = parallel(t, || ops::set_aggregate(&ctx, ops::AggFunc::Sum, &b).unwrap());
+        assert_eq!(rows_of(&got), rows_of(&ser_set), "t={t}: per-group sum bits");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Larger mixed sweep on the default morsel grid (remainder morsels at the
+// real size, threads > morsels for the smaller operands).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn par_kernels_bit_identical_on_default_morsel_grid() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 8);
+    let ctx = ExecCtx::new();
+    let n = 30_000usize;
+    let b = Bat::new(
+        Column::from_oids((0..n as u64).collect()),
+        Column::from_ints((0..n).map(|_| rng.gen_range(0..500i32)).collect()),
+    );
+    let cfg = |t: usize| (Some(t), Some(1), Some(4099)); // odd morsel, many morsels
+    let ser_sel = par::with_par_config(Some(1), Some(1), Some(4099), || {
+        ops::select_eq(&ctx, &b, &AtomValue::Int(250)).unwrap()
+    });
+    let ser_g = par::with_par_config(Some(1), Some(1), Some(4099), || {
+        ops::group1(&ExecCtx::new(), &b).unwrap()
+    });
+    let ser_u =
+        par::with_par_config(Some(1), Some(1), Some(4099), || ops::unique(&ctx, &b).unwrap());
+    for t in [2usize, 4, 7] {
+        let (th, mr, mo) = cfg(t);
+        let got = par::with_par_config(th, mr, mo, || {
+            ops::select_eq(&ctx, &b, &AtomValue::Int(250)).unwrap()
+        });
+        assert_eq!(rows_of(&got), rows_of(&ser_sel), "t={t}: select");
+        let got = par::with_par_config(th, mr, mo, || ops::group1(&ExecCtx::new(), &b).unwrap());
+        assert_eq!(rows_of(&got), rows_of(&ser_g), "t={t}: group1");
+        let got = par::with_par_config(th, mr, mo, || ops::unique(&ctx, &b).unwrap());
+        assert_eq!(rows_of(&got), rows_of(&ser_u), "t={t}: unique");
+    }
+}

@@ -1,0 +1,203 @@
+//! Stress the shared-state corners of the parallel executor: the bounded
+//! thread-local scratch pool under concurrent checkout/return, pooled
+//! `GroupTable` reuse across tasks (stale-state leaks), and the join's
+//! epoch-tagged cluster tables when many kernels share the worker pool at
+//! once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use monet::atom::AtomValue;
+use monet::bat::Bat;
+use monet::column::Column;
+use monet::ctx::ExecCtx;
+use monet::ops::{self, reference};
+use monet::par;
+use monet::typed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Concurrent checkout/return: every live buffer must be exclusively
+/// owned. The pools are thread-local, so the claim under test is that a
+/// buffer is never handed out twice *while still checked out* — on the
+/// same thread (double-take must yield distinct backing stores) and that
+/// interleaved writes from many threads never bleed into each other's
+/// buffers.
+#[test]
+fn scratch_pool_concurrent_checkout_return() {
+    let live: Arc<Mutex<std::collections::HashSet<usize>>> =
+        Arc::new(Mutex::new(Default::default()));
+    let iters = 200usize;
+    let workers = 8usize;
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let live = Arc::clone(&live);
+            std::thread::spawn(move || {
+                for it in 0..iters {
+                    // Take several buffers at once (forces the pool past its
+                    // bounded capacity and through fresh allocations).
+                    let mut u32s: Vec<Vec<u32>> =
+                        (0..3).map(|k| typed::take_u32(64 + 32 * k)).collect();
+                    let mut u64s: Vec<Vec<u64>> = (0..2).map(|k| typed::take_u64(96 + k)).collect();
+                    // Every live buffer pointer must be unique process-wide.
+                    {
+                        let mut set = live.lock().unwrap();
+                        for v in &u32s {
+                            assert!(
+                                set.insert(v.as_ptr() as usize),
+                                "u32 buffer aliased while live"
+                            );
+                        }
+                        for v in &u64s {
+                            assert!(
+                                set.insert(v.as_ptr() as usize),
+                                "u64 buffer aliased while live"
+                            );
+                        }
+                    }
+                    // Distinct fill patterns; verify after a yield so other
+                    // threads interleave.
+                    let tag = (w * 1_000 + it) as u64;
+                    for (k, v) in u32s.iter_mut().enumerate() {
+                        assert!(v.is_empty(), "pool must hand out cleared buffers");
+                        v.extend((0..40u32).map(|x| x + (tag as u32) * 7 + k as u32));
+                    }
+                    for (k, v) in u64s.iter_mut().enumerate() {
+                        v.extend((0..40u64).map(|x| x * 3 + tag + k as u64));
+                    }
+                    std::thread::yield_now();
+                    for (k, v) in u32s.iter().enumerate() {
+                        for (x, &got) in v.iter().enumerate() {
+                            assert_eq!(
+                                got,
+                                x as u32 + (tag as u32) * 7 + k as u32,
+                                "u32 corrupted"
+                            );
+                        }
+                    }
+                    for (k, v) in u64s.iter().enumerate() {
+                        for (x, &got) in v.iter().enumerate() {
+                            assert_eq!(got, x as u64 * 3 + tag + k as u64, "u64 corrupted");
+                        }
+                    }
+                    {
+                        let mut set = live.lock().unwrap();
+                        for v in &u32s {
+                            set.remove(&(v.as_ptr() as usize));
+                        }
+                        for v in &u64s {
+                            set.remove(&(v.as_ptr() as usize));
+                        }
+                    }
+                    for v in u32s {
+                        typed::put_u32(v);
+                    }
+                    for v in u64s {
+                        typed::put_u64(v);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Pooled `GroupTable`s are recycled between tasks on the same worker; a
+/// stale bucket or chain entry surviving `pooled()` re-initialization
+/// would assign wrong group ids. Hammer group1/unique through the worker
+/// pool with changing data and verify against the reference every round.
+#[test]
+fn pooled_group_tables_carry_no_stale_state_across_rounds() {
+    let ctx = ExecCtx::new();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..30 {
+        let n = rng.gen_range(64..700usize);
+        // Alternate wildly different key distributions so a stale entry
+        // from the previous round would be a plausible (wrong) match.
+        let span = if round % 2 == 0 { 3u64 } else { 1 << 40 };
+        let b = Bat::new(
+            Column::from_oids((0..n as u64).collect()),
+            Column::from_oids((0..n as u64).map(|i| i * 37 % span).collect()),
+        );
+        par::with_par_config(Some(4), Some(1), Some(61), || {
+            let g = ops::group1(&ExecCtx::new(), &b).unwrap();
+            let canon: Vec<u64> = {
+                let mut map = std::collections::HashMap::new();
+                (0..g.len())
+                    .map(|i| {
+                        let gid = g.tail().oid_at(i);
+                        let next = map.len() as u64;
+                        *map.entry(gid).or_insert(next)
+                    })
+                    .collect()
+            };
+            assert_eq!(canon, reference::group1_gids(&b), "round {round}: group1");
+            let u = ops::unique(&ctx, &b).unwrap();
+            let expect = reference::unique(&b);
+            assert_eq!(
+                u.iter().collect::<Vec<_>>(),
+                expect.iter().collect::<Vec<_>>(),
+                "round {round}: unique"
+            );
+        });
+    }
+}
+
+/// Many dispatchers sharing the worker pool at once: concurrent threads
+/// each run parallel joins (epoch-tagged per-cluster tables, scratch-pool
+/// buffers reused across interleaved tasks from *different* joins on the
+/// same workers) plus selects and sums, all verified against serial
+/// oracles. A buffer handed to two tasks, or an epoch tag honored across
+/// cluster/table reuse, fails the comparison.
+#[test]
+fn concurrent_kernels_share_the_worker_pool_safely() {
+    let rounds = 4usize;
+    let drivers = 4usize;
+    let failures = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..drivers)
+        .map(|d| {
+            let failures = Arc::clone(&failures);
+            std::thread::spawn(move || {
+                let ctx = ExecCtx::new();
+                let mut rng = StdRng::seed_from_u64(0xBEEF + d as u64);
+                for _ in 0..rounds {
+                    let n = 12_000usize;
+                    let m = 4_000usize;
+                    let left = Bat::new(
+                        Column::from_oids((0..n as u64).collect()),
+                        Column::from_ints((0..n).map(|_| rng.gen_range(0..3_000i32)).collect()),
+                    );
+                    let right = Bat::new(
+                        Column::from_ints((0..m).map(|_| rng.gen_range(0..3_000i32)).collect()),
+                        Column::from_oids((0..m as u64).collect()),
+                    );
+                    let oracle = ops::join::join_hash(&ctx, &left, &right);
+                    let sum_oracle = par::with_par_config(Some(1), Some(1), None, || {
+                        ops::aggr_scalar(&ctx, &left, ops::AggFunc::Sum).unwrap()
+                    });
+                    par::with_par_config(Some(3), Some(1), None, || {
+                        let j = ops::join_partitioned(&ctx, &left, &right);
+                        if j.iter().collect::<Vec<_>>() != oracle.iter().collect::<Vec<_>>() {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let s = ops::aggr_scalar(&ctx, &left, ops::AggFunc::Sum).unwrap();
+                        if s != sum_oracle {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let sel = ops::select_eq(&ctx, &left, &AtomValue::Int(1_500)).unwrap();
+                        let ser = reference::select_eq(&left, &AtomValue::Int(1_500));
+                        if sel.iter().collect::<Vec<_>>() != ser.iter().collect::<Vec<_>>() {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(failures.load(Ordering::Relaxed), 0, "concurrent kernel results diverged");
+}
