@@ -406,6 +406,28 @@ fn main() {
         tpcd_queries::q11_15::q13_run(&w.cat, &ctx, &w.params).unwrap();
     }));
 
+    // Plan-level optimizer trajectory: end-to-end query time executing the
+    // translator's raw emission (`-raw`, the FLATALG_OPT=0 oracle) vs the
+    // optimized MIL program (`-opt`). Scoped overrides, not env vars, so
+    // the rest of the report is unaffected.
+    use tpcd_queries::runner::{with_opt_level, OptLevel};
+    recs.push(measure(base.as_ref(), "plan/q1-raw", q13_rows, || {
+        with_opt_level(OptLevel::Off, || tpcd_queries::q01_05::q1_run(&w.cat, &ctx, &w.params))
+            .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "plan/q1-opt", q13_rows, || {
+        with_opt_level(OptLevel::Full, || tpcd_queries::q01_05::q1_run(&w.cat, &ctx, &w.params))
+            .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "plan/q13-raw", q13_rows, || {
+        with_opt_level(OptLevel::Off, || tpcd_queries::q11_15::q13_run(&w.cat, &ctx, &w.params))
+            .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "plan/q13-opt", q13_rows, || {
+        with_opt_level(OptLevel::Full, || tpcd_queries::q11_15::q13_run(&w.cat, &ctx, &w.params))
+            .unwrap();
+    }));
+
     // --- write BENCH_kernels.json (format documented in README) ----------
     let mut json = String::new();
     json.push_str("{\n");

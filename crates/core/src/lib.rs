@@ -65,7 +65,8 @@ pub mod prelude {
     pub use crate::error::{MoaError, Result};
     pub use crate::eval::Evaluator;
     pub use crate::structure::{Structure, StructuredSet};
-    pub use crate::translate::{translate, Translated};
+    pub use crate::translate::{translate, translate_with, Translated};
     pub use crate::types::{ClassDef, Field, MoaType, Schema};
     pub use crate::value::{Ivs, Value};
+    pub use monet::mil::opt::OptLevel;
 }

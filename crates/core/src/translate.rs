@@ -30,6 +30,7 @@ use monet::atom::AtomValue;
 use monet::bat::Bat;
 use monet::ctx::ExecCtx;
 use monet::db::Db;
+use monet::mil::opt::OptLevel;
 use monet::mil::{execute, Env, MilArg, MilOp, MilProgram, Var};
 use monet::ops::{AggFunc, ScalarFunc};
 
@@ -97,6 +98,19 @@ impl StructSpec {
         }
     }
 
+    /// Re-point every variable through `f` (after the plan optimizer
+    /// renumbered the program).
+    fn remap_vars(&mut self, f: &impl Fn(Var) -> Var) {
+        match self {
+            StructSpec::Atom(v) | StructSpec::Ref { bat: v, .. } => *v = f(*v),
+            StructSpec::Tuple(fields) => fields.iter_mut().for_each(|(_, s)| s.remap_vars(f)),
+            StructSpec::Set { index, inner } => {
+                *index = f(*index);
+                inner.remap_vars(f);
+            }
+        }
+    }
+
     fn instantiate(&self, env: &Env) -> Result<Structure> {
         Ok(match self {
             StructSpec::Atom(v) => Structure::AtomBat(env.bat(*v)?.clone()),
@@ -149,8 +163,18 @@ enum SVal {
 }
 
 /// Translate a MOA set expression into a MIL program plus result structure
-/// (the entry point of the rewriter).
+/// (the entry point of the rewriter). The emitted program is handed to the
+/// MIL plan optimizer at the ambient [`OptLevel`] — `FLATALG_OPT=0` (or a
+/// scoped [`monet::mil::opt::with_opt_config`]) reproduces the raw
+/// emission exactly.
 pub fn translate(cat: &Catalog, expr: &SetExpr) -> Result<Translated> {
+    translate_with(cat, expr, OptLevel::current())
+}
+
+/// [`translate`] at an explicit optimization level (the `OptLevel` hook:
+/// benchmarks and oracle tests pin `Off` to run the translator's raw
+/// emission against the optimized plan).
+pub fn translate_with(cat: &Catalog, expr: &SetExpr, level: OptLevel) -> Result<Translated> {
     let mut t = Translator { cat, prog: MilProgram::new(), loaded: HashMap::new() };
     let ts = t.tset(expr)?;
     let spec = t.elem_spec(&ts.elem, ts.index)?;
@@ -158,7 +182,20 @@ pub fn translate(cat: &Catalog, expr: &SetExpr) -> Result<Translated> {
     spec.vars(&mut keep);
     keep.sort_unstable();
     keep.dedup();
-    Ok(Translated { prog: t.prog, index: ts.index, spec, keep })
+    let mut out = Translated { prog: t.prog, index: ts.index, spec, keep };
+    if level.enabled() {
+        let prog = std::mem::take(&mut out.prog);
+        let mut opt = monet::mil::opt::optimize(prog, &out.keep, cat.db());
+        out.prog = std::mem::take(&mut opt.prog);
+        out.index = opt.var(out.index);
+        out.spec.remap_vars(&|v| opt.var(v));
+        for k in out.keep.iter_mut() {
+            *k = opt.var(*k);
+        }
+        out.keep.sort_unstable();
+        out.keep.dedup();
+    }
+    Ok(out)
 }
 
 struct Translator<'a> {

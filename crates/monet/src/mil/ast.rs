@@ -72,6 +72,37 @@ pub enum MilOp {
     Mark(Var),
 }
 
+/// An algorithm pinned onto a statement by the plan optimizer (Section 5.1:
+/// the descriptor properties let commands "make a run-time choice between
+/// alternative implementations" — when the optimizer can make that choice at
+/// *plan* time from propagated [`crate::props::ColProps`], it pins it here
+/// and the interpreter skips the per-operator re-derivation).
+///
+/// A pin is only ever attached when the pinned algorithm is provably the one
+/// dynamic dispatch would pick, so pinned and unpinned execution are
+/// bit-identical; debug builds assert the preconditions when the pinned
+/// kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pin {
+    /// `join` against a dense oid-like right head: positional fetch.
+    JoinFetch,
+    /// `join` with sorted left tail and sorted right head: linear merge.
+    JoinMerge,
+    /// `select` on a tail-sorted operand: binary-search slice.
+    SelectSorted,
+}
+
+impl Pin {
+    /// Label used when rendering annotated plans.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pin::JoinFetch => "fetch",
+            Pin::JoinMerge => "merge",
+            Pin::SelectSorted => "binary-search",
+        }
+    }
+}
+
 impl MilOp {
     /// Variables this operation reads (for liveness analysis).
     pub fn operands(&self) -> Vec<Var> {
@@ -107,6 +138,52 @@ impl MilOp {
         }
     }
 
+    /// Apply `f` to every operand variable in place (the optimizer's
+    /// rewrite primitive: CSE aliasing, DCE renumbering).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Var)) {
+        match self {
+            MilOp::Load(_) | MilOp::ConstScalar(_) => {}
+            MilOp::Mirror(v)
+            | MilOp::SelectEq(v, _)
+            | MilOp::Unique(v)
+            | MilOp::Group1(v)
+            | MilOp::SortTail(v)
+            | MilOp::SortHead(v)
+            | MilOp::Mark(v) => f(v),
+            MilOp::SelectRange { src, .. }
+            | MilOp::SetAgg { src, .. }
+            | MilOp::AggrScalar { src, .. }
+            | MilOp::TopN { src, .. } => f(src),
+            MilOp::Join(a, b)
+            | MilOp::Semijoin(a, b)
+            | MilOp::Antijoin(a, b)
+            | MilOp::Group2(a, b)
+            | MilOp::Union(a, b)
+            | MilOp::Diff(a, b)
+            | MilOp::Intersect(a, b)
+            | MilOp::Concat(a, b)
+            | MilOp::Zip(a, b) => {
+                f(a);
+                f(b);
+            }
+            MilOp::Multiplex { args, .. } => {
+                for a in args {
+                    if let MilArg::Var(v) = a {
+                        f(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the operation draws fresh oids from the execution context
+    /// (`group`'s `unique_oid`, `mark`'s dense sequence). Two textually
+    /// identical fresh-oid statements produce *different* oid ranges, so
+    /// the optimizer must never merge them.
+    pub fn draws_fresh_oids(&self) -> bool {
+        matches!(self, MilOp::Group1(_) | MilOp::Group2(..) | MilOp::Mark(_))
+    }
+
     /// Operator name as it appears in printed programs.
     pub fn name(&self) -> String {
         match self {
@@ -135,12 +212,14 @@ impl MilOp {
     }
 }
 
-/// One statement: `name := op(...)`.
+/// One statement: `name := op(...)`, optionally carrying an algorithm
+/// [`Pin`] attached by the plan optimizer.
 #[derive(Debug, Clone)]
 pub struct MilStmt {
     pub var: Var,
     pub name: String,
     pub op: MilOp,
+    pub pin: Option<Pin>,
 }
 
 /// A straight-line MIL program.
@@ -159,7 +238,7 @@ impl MilProgram {
     pub fn emit(&mut self, name: &str, op: MilOp) -> Var {
         let var = self.stmts.len();
         let name = if name.is_empty() { format!("tmp{var}") } else { name.to_string() };
-        self.stmts.push(MilStmt { var, name, op });
+        self.stmts.push(MilStmt { var, name, op, pin: None });
         var
     }
 
@@ -174,6 +253,20 @@ impl MilProgram {
 
     pub fn is_empty(&self) -> bool {
         self.stmts.is_empty()
+    }
+
+    /// Number of operand references to each variable across the whole
+    /// program (a variable appearing twice in one statement counts twice).
+    /// Roots the caller keeps alive are *not* counted — pass them to the
+    /// optimizer separately.
+    pub fn use_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.stmts.len()];
+        for stmt in &self.stmts {
+            for v in stmt.op.operands() {
+                counts[v] += 1;
+            }
+        }
+        counts
     }
 
     /// For each statement index, the set of variables whose *last* use is

@@ -53,14 +53,22 @@ impl MilValue {
     }
 }
 
-/// Per-statement execution record (one row of Figure 10).
+/// Per-statement execution record (one row of Figure 10). Rows always
+/// describe the program the interpreter actually ran — after plan
+/// optimization, `var`/`name`/`rendered` reference the *rewritten*
+/// statements, not the translator's raw emission.
 #[derive(Debug, Clone)]
 pub struct StmtTrace {
+    /// Variable the statement defines (its index in the executed program).
+    pub var: Var,
     pub name: String,
     pub rendered: String,
     pub ms: f64,
     pub faults: u64,
     pub algo: &'static str,
+    /// Whether the implementation was pinned by the plan optimizer
+    /// (skipping run-time property re-derivation).
+    pub pinned: bool,
     pub result_len: usize,
     pub result_bytes: usize,
 }
@@ -113,7 +121,7 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
         let started = Instant::now();
         let faults0 = ctx.faults();
         let events_before = ctx.trace.as_ref().map_or(0, |t| t.lock().len());
-        let value = eval_op(ctx, db, &values, &stmt.op)?;
+        let value = eval_stmt(ctx, db, &values, stmt)?;
         let ms = started.elapsed().as_secs_f64() * 1e3;
         let faults = ctx.faults().saturating_sub(faults0);
         // The kernel op recorded its own TraceEvent (with the chosen
@@ -133,11 +141,13 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
         };
         live_bytes += value.bytes() as u64;
         trace.push(StmtTrace {
+            var: stmt.var,
             name: stmt.name.clone(),
             rendered: super::print::render_stmt(prog, stmt),
             ms,
             faults,
             algo,
+            pinned: stmt.pin.is_some(),
             result_len: match &value {
                 MilValue::Bat(b) => b.len(),
                 MilValue::Scalar(_) => 1,
@@ -158,6 +168,54 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
     }
     ctx.mem.observe_live(peak);
     Ok(Env { values, trace })
+}
+
+/// Execute one statement: when the plan optimizer pinned an algorithm,
+/// dispatch straight to the pinned kernel entry point (skipping the
+/// operator's property re-derivation — pins are only attached when the
+/// dynamic choice is provably the same); otherwise fall through to the
+/// dynamically dispatching [`eval_op`].
+fn eval_stmt(
+    ctx: &ExecCtx,
+    db: &Db,
+    env: &[Option<MilValue>],
+    stmt: &super::ast::MilStmt,
+) -> Result<MilValue> {
+    let bat = |v: Var| -> Result<&Bat> {
+        env.get(v)
+            .and_then(|x| x.as_ref())
+            .ok_or_else(|| MonetError::UnknownName(format!("mil var {v}")))?
+            .as_bat()
+    };
+    match (stmt.pin, &stmt.op) {
+        (Some(super::ast::Pin::SelectSorted), MilOp::SelectEq(v, val)) => {
+            Ok(MilValue::Bat(ops::select::select_eq_sorted(ctx, bat(*v)?, val)?))
+        }
+        (
+            Some(super::ast::Pin::SelectSorted),
+            MilOp::SelectRange { src, lo, hi, inc_lo, inc_hi },
+        ) => Ok(MilValue::Bat(ops::select::select_range_sorted(
+            ctx,
+            bat(*src)?,
+            lo.as_ref(),
+            hi.as_ref(),
+            *inc_lo,
+            *inc_hi,
+        )?)),
+        (Some(super::ast::Pin::JoinFetch), MilOp::Join(a, b)) => {
+            Ok(MilValue::Bat(ops::join::join_fetch_pinned(ctx, bat(*a)?, bat(*b)?)?))
+        }
+        (Some(super::ast::Pin::JoinMerge), MilOp::Join(a, b)) => {
+            Ok(MilValue::Bat(ops::join::join_merge_pinned(ctx, bat(*a)?, bat(*b)?)?))
+        }
+        // A pin that does not fit the operation shape is a planner bug in
+        // debug builds; release builds just take the dynamic path.
+        (Some(p), op) => {
+            debug_assert!(false, "pin {p:?} does not match op {}", op.name());
+            eval_op(ctx, db, env, op)
+        }
+        (None, op) => eval_op(ctx, db, env, op),
+    }
 }
 
 fn eval_op(ctx: &ExecCtx, db: &Db, env: &[Option<MilValue>], op: &MilOp) -> Result<MilValue> {

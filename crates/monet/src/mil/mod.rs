@@ -8,7 +8,9 @@
 
 mod ast;
 mod interp;
+pub mod opt;
 mod print;
 
-pub use ast::{MilArg, MilOp, MilProgram, MilStmt, Var};
+pub use ast::{MilArg, MilOp, MilProgram, MilStmt, Pin, Var};
 pub use interp::{execute, Env, MilValue, StmtTrace};
+pub use print::{render_program, render_stmt};

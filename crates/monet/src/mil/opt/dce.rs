@@ -1,0 +1,55 @@
+//! Dead-code elimination with variable renumbering.
+//!
+//! A statement is live when a root (the caller's result/structure
+//! variables) transitively depends on it; everything else — chiefly the
+//! orphans CSE and folding leave behind — is removed. Variables are
+//! renumbered so the straight-line invariant (`stmt.var == index`) holds
+//! again, which is what makes the interpreter's free-at-last-use table
+//! and live-set high-water mark *recompute* correctly against the
+//! rewritten program: `last_uses` is derived from the program the
+//! interpreter is actually handed, never from the raw emission.
+
+use super::super::ast::{MilProgram, Var};
+use super::{Pass, PassCtx, PassEffect};
+
+pub(crate) struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, prog: &mut MilProgram, cx: &PassCtx) -> PassEffect {
+        let n = prog.len();
+        let mut live = vec![false; n];
+        for &r in &cx.roots {
+            live[r] = true;
+        }
+        for i in (0..n).rev() {
+            if live[i] {
+                for v in prog.stmts[i].op.operands() {
+                    live[v] = true;
+                }
+            }
+        }
+        let removed = live.iter().filter(|&&l| !l).count();
+        if removed == 0 {
+            return PassEffect::unchanged();
+        }
+        let mut remap: Vec<Option<Var>> = vec![None; n];
+        let mut kept = Vec::with_capacity(n - removed);
+        for (i, mut stmt) in prog.stmts.drain(..).enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let new = kept.len();
+            remap[i] = Some(new);
+            stmt.var = new;
+            stmt.op
+                .for_each_operand_mut(|v| *v = remap[*v].expect("operand of a live stmt is live"));
+            kept.push(stmt);
+        }
+        prog.stmts = kept;
+        PassEffect { applied: removed, remap: Some(remap) }
+    }
+}

@@ -56,7 +56,11 @@ pub fn render_stmt(prog: &MilProgram, stmt: &MilStmt) -> String {
         }
         MilOp::Mark(v) => format!("mark({})", n(*v)),
     };
-    format!("{} := {}", stmt.name, body)
+    match stmt.pin {
+        // Annotate plan-time pinned algorithms, EXPLAIN-style.
+        Some(p) => format!("{} := {}  #! {}", stmt.name, body, p.label()),
+        None => format!("{} := {}", stmt.name, body),
+    }
 }
 
 /// Render the whole program, one statement per line.

@@ -507,10 +507,55 @@ fn finish_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat, matches: Vec<u64>) -> B
 }
 
 fn tail_props(ab: &Bat, cd: &Bat) -> ColProps {
-    // Each right BUN is used at most once iff the left tail is key; result
-    // tail values are then a subsequence-like multiset of cd tails, which
-    // preserves key (not order, since emission follows the left operand).
-    ColProps { sorted: false, key: cd.props().tail.key && ab.props().tail.key, dense: false }
+    propagated_props(ab.props(), cd.props()).tail
+}
+
+/// The equi-join propagation rule (Section 5.1), shared by every
+/// implementation and reused by the plan optimizer's static property
+/// inference. All implementations emit left positions in ascending order,
+/// so a sorted left head stays sorted (duplicates may appear when the
+/// right head has duplicates — non-strict order survives that); the head
+/// is key when both operand heads are; each right BUN is used at most once
+/// iff the left tail is key, so the result tail preserves key when both
+/// tails are key (not order — emission follows the left operand).
+pub fn propagated_props(ab: Props, cd: Props) -> Props {
+    Props::new(
+        ColProps { sorted: ab.head.sorted, key: ab.head.key && cd.head.key, dense: false },
+        ColProps { sorted: false, key: cd.tail.key && ab.tail.key, dense: false },
+    )
+}
+
+/// Pinned positional fetch join: the plan optimizer proved the right head
+/// dense and both join columns oid-like from propagated descriptors, so
+/// dynamic dispatch would necessarily pick `fetch` — the interpreter skips
+/// the re-derivation.
+pub fn join_fetch_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
+    debug_assert!(
+        cd.props().head.dense && cd.head().is_oidlike() && ab.tail().is_oidlike(),
+        "pinned fetch join preconditions violated"
+    );
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = join_fetch(ctx, ab, cd);
+    ctx.record("join", "fetch", started, faults0, &result);
+    Ok(result)
+}
+
+/// Pinned merge join: the plan optimizer proved the left tail and right
+/// head sorted *and* the fetch variant type-impossible (a non-oid-like
+/// join column), so dynamic dispatch would necessarily pick `merge`.
+pub fn join_merge_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
+    debug_assert!(
+        ab.props().tail.sorted && cd.props().head.sorted,
+        "pinned merge join preconditions violated"
+    );
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = join_merge(ctx, ab, cd);
+    ctx.record("join", "merge", started, faults0, &result);
+    Ok(result)
 }
 
 fn build_join(ctx: &ExecCtx, ab: &Bat, cd: &Bat, li: &[u32], ri: &[u32]) -> Bat {
@@ -521,15 +566,7 @@ fn build_join(ctx: &ExecCtx, ab: &Bat, cd: &Bat, li: &[u32], ri: &[u32]) -> Bat 
     }
     let head = ab.head().gather(li);
     let tail = cd.tail().gather(ri);
-    let p = ab.props();
-    // All implementations emit left positions in ascending order, so a
-    // sorted left head stays sorted (duplicates may appear when the right
-    // head has duplicates — non-strict order survives that).
-    let props = Props::new(
-        ColProps { sorted: p.head.sorted, key: p.head.key && cd.props().head.key, dense: false },
-        tail_props(ab, cd),
-    );
-    Bat::with_props(head, tail, props)
+    Bat::with_props(head, tail, propagated_props(ab.props(), cd.props()))
 }
 
 #[cfg(test)]

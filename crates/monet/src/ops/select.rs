@@ -241,22 +241,63 @@ fn select_scan_range(
     build_selected(ab, &idx, false)
 }
 
+/// The `select` propagation rule (Section 5.1), shared by every
+/// implementation and reused by the plan optimizer's static property
+/// inference: subsequences preserve `sorted`/`key` of both columns but not
+/// density; a point selection additionally makes the tail constant, hence
+/// sorted. Holds for the zero-copy binary-search slice too (which at run
+/// time may claim *more*, e.g. a still-dense head).
+pub fn propagated_props(src: Props, point: bool) -> Props {
+    Props::new(
+        ColProps { sorted: src.head.sorted, key: src.head.key, dense: false },
+        ColProps { sorted: src.tail.sorted || point, key: src.tail.key, dense: false },
+    )
+}
+
 /// Materialize a selection given matching positions in ascending order.
-/// Subsequences preserve `sorted`/`key` of both columns but not density;
-/// a point selection additionally makes the tail constant, hence sorted.
 fn build_selected(ab: &Bat, idx: &[u32], point: bool) -> Bat {
     let head = ab.head().gather(idx);
     let tail = ab.tail().gather(idx);
-    let p = ab.props();
-    let props = Props::new(
-        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
-        ColProps {
-            sorted: p.tail.sorted || point,
-            key: p.tail.key || (point && idx.len() <= 1),
-            dense: false,
-        },
-    );
+    let mut props = propagated_props(ab.props(), point);
+    // Runtime-only strengthening the static rule cannot claim: a point
+    // selection with at most one hit is trivially duplicate-free.
+    props.tail.key = props.tail.key || (point && idx.len() <= 1);
     Bat::with_props(head, tail, props)
+}
+
+/// Pinned point selection: the plan optimizer proved the tail sorted from
+/// propagated descriptor properties, so the binary-search implementation
+/// runs without re-deriving the choice (dynamic dispatch would pick the
+/// same one — sortedness only ever *gains* facts at run time).
+pub fn select_eq_sorted(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
+    check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    debug_assert!(ab.props().tail.sorted, "pinned binary-search select on unsorted tail");
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = select_sorted(ctx, ab, Some(v), Some(v), true, true);
+    ctx.record("select", "binary-search", started, faults0, &result);
+    Ok(result)
+}
+
+/// Pinned range selection on a proven-sorted tail (see
+/// [`select_eq_sorted`]).
+pub fn select_range_sorted(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Result<Bat> {
+    for v in [lo, hi].into_iter().flatten() {
+        check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    }
+    debug_assert!(ab.props().tail.sorted, "pinned binary-search select on unsorted tail");
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi);
+    ctx.record("select", "binary-search", started, faults0, &result);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -154,9 +154,22 @@ fn antijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     build_subset(ctx, ab, &idx)
 }
 
-/// A subset of AB's BUNs in AB order: "a semijoin will propagate the key
-/// properties on both head and tail of its left operand onto the result"
-/// (Section 5.1) — and order survives subsequences too.
+/// The subset propagation rule (Section 5.1): "a semijoin will propagate
+/// the key properties on both head and tail of its left operand onto the
+/// result" — and order survives subsequences too. Shared by `semijoin`,
+/// `antijoin` and the pair-set `diff`/`intersect`, and reused by the plan
+/// optimizer's static property inference. Note the rule covers only the
+/// left-order implementations; the datavector variant emits in *right*
+/// operand order, so the optimizer weakens its prediction when a
+/// datavector may be in play.
+pub fn propagated_props(ab: Props) -> Props {
+    Props::new(
+        ColProps { sorted: ab.head.sorted, key: ab.head.key, dense: false },
+        ColProps { sorted: ab.tail.sorted, key: ab.tail.key, dense: false },
+    )
+}
+
+/// A subset of AB's BUNs in AB order.
 fn build_subset(ctx: &ExecCtx, ab: &Bat, idx: &[u32]) -> Bat {
     if let Some(p) = ctx.pager.as_deref() {
         for &i in idx {
@@ -165,12 +178,7 @@ fn build_subset(ctx: &ExecCtx, ab: &Bat, idx: &[u32]) -> Bat {
     }
     let head = ab.head().gather(idx);
     let tail = ab.tail().gather(idx);
-    let p = ab.props();
-    let props = Props::new(
-        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
-        ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
-    );
-    Bat::with_props(head, tail, props)
+    Bat::with_props(head, tail, propagated_props(ab.props()))
 }
 
 #[cfg(test)]

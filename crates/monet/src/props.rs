@@ -51,6 +51,16 @@ impl ColProps {
             dense: self.dense && other.dense,
         }
     }
+
+    /// Claim subsumption: every property claimed here is also claimed by
+    /// `stronger`. This is the soundness order of the plan optimizer's
+    /// static inference — a plan-time prediction must `implies` whatever
+    /// the kernel derives (or a scan verifies) at run time.
+    pub fn implies(self, stronger: ColProps) -> bool {
+        (!self.sorted || stronger.sorted)
+            && (!self.key || stronger.key)
+            && (!self.dense || stronger.dense)
+    }
 }
 
 /// Properties of a BAT: head column and tail column.
@@ -100,5 +110,18 @@ mod tests {
         let b = ColProps::SORTED;
         let c = a.and(b);
         assert!(c.sorted && !c.key && !c.dense);
+    }
+
+    #[test]
+    fn implies_is_the_soundness_order() {
+        assert!(ColProps::NONE.implies(ColProps::DENSE));
+        assert!(ColProps::SORTED.implies(ColProps::SORTED_KEY));
+        assert!(!ColProps::SORTED_KEY.implies(ColProps::SORTED));
+        assert!(!ColProps::DENSE.implies(ColProps::SORTED_KEY));
+        assert!(ColProps::DENSE.implies(ColProps::DENSE));
+        // `and` of two claims implies both.
+        let a = ColProps::SORTED_KEY;
+        let b = ColProps::SORTED;
+        assert!(a.and(b).implies(a) && a.and(b).implies(b));
     }
 }

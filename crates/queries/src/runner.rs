@@ -11,6 +11,12 @@ use monet::ctx::ExecCtx;
 use monet::mil::MilOp;
 use monet::ops::AggFunc;
 
+// Plan-optimizer controls, re-exported so query drivers and tests can pin
+// the optimizer on or off around any `run_moa` entry point:
+// `with_opt_level(OptLevel::Off, || (q.run_moa)(..))` executes the
+// translator's raw emission (the `FLATALG_OPT=0` oracle).
+pub use monet::mil::opt::{with_opt_config, with_opt_level, OptLevel};
+
 /// A query result: bag of rows of atoms.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryResult(pub Vec<Vec<AtomValue>>);

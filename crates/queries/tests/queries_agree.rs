@@ -105,6 +105,69 @@ fn all_fifteen_queries_agree_threaded_and_match_serial_exactly() {
 }
 
 #[test]
+fn all_fifteen_queries_bit_identical_with_optimizer_on_and_off() {
+    // The plan optimizer must be invisible in results: every query,
+    // executed from the optimized MIL program, produces rows *bit-equal*
+    // (eps 0.0 — float aggregation order preserved) to the raw translator
+    // emission (`FLATALG_OPT=0` oracle), serial and threaded.
+    use tpcd_queries::runner::{with_opt_level, OptLevel};
+    let w = bench_world();
+    for q in all_queries() {
+        for threads in [1usize, 4] {
+            let ctx = ExecCtx::new();
+            let run = |level: OptLevel| {
+                with_opt_level(level, || {
+                    monet::par::with_par_config(Some(threads), Some(1024), Some(4099), || {
+                        (q.run_moa)(&w.cat, &ctx, &w.params)
+                    })
+                })
+                .unwrap_or_else(|e| panic!("Q{} ({level:?}, {threads} threads) failed: {e}", q.id))
+            };
+            let optimized = run(OptLevel::Full);
+            let raw = run(OptLevel::Off);
+            assert!(
+                optimized.approx_eq(&raw, 0.0),
+                "Q{} at {threads} threads: optimized plan differs from raw emission ({}):\n\
+                 optimized ({} rows):\n{}\nraw ({} rows):\n{}",
+                q.id,
+                q.comment,
+                optimized.len(),
+                optimized.clone().sorted().preview(12),
+                raw.len(),
+                raw.clone().sorted().preview(12),
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizer_cuts_executed_statements_by_at_least_15_percent() {
+    // The plan-level acceptance number: across all fifteen queries the
+    // optimizer's EXPLAIN counters must report >= 15% fewer executed MIL
+    // statements than the raw translator emission (straight-line programs
+    // execute every statement exactly once).
+    use tpcd_queries::runner::{with_opt_level, OptLevel};
+    let w = bench_world();
+    let ctx = ExecCtx::new();
+    with_opt_level(OptLevel::Full, || {
+        monet::mil::opt::reset_cumulative();
+        for q in all_queries() {
+            (q.run_moa)(&w.cat, &ctx, &w.params)
+                .unwrap_or_else(|e| panic!("Q{} failed: {e}", q.id));
+        }
+    });
+    let (raw, optimized) = monet::mil::opt::cumulative();
+    assert!(raw > 0, "no programs were optimized");
+    let reduction = 1.0 - optimized as f64 / raw as f64;
+    assert!(
+        reduction >= 0.15,
+        "optimizer cut executed MIL statements by only {:.1}% ({raw} -> {optimized}) \
+         across Q1-Q15; the plan-level acceptance floor is 15%",
+        reduction * 100.0,
+    );
+}
+
+#[test]
 fn all_fifteen_queries_agree_on_a_second_database() {
     let data = tpcd::generate(0.002, 20260610);
     let (cat, _report) = tpcd::load_bats(&data);
