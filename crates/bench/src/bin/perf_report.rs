@@ -41,6 +41,10 @@ struct Baseline {
     /// Thread count of the recording (0 for pre-parallel baselines that
     /// lack the field).
     threads: usize,
+    /// Host CPU count of the recording (0 for baselines that predate the
+    /// field). A `threads` value above `cpus` means the `par/*-par` lines
+    /// were recorded oversubscribed — real workers, fake parallelism.
+    cpus: usize,
     ns_per_row: std::collections::HashMap<String, f64>,
 }
 
@@ -58,16 +62,20 @@ fn read_baseline(path: &str) -> Option<Baseline> {
     };
     let mut sf = 0.0f64;
     let mut threads = 0usize;
+    let mut cpus = 0usize;
     let mut ns_per_row = std::collections::HashMap::new();
     for line in text.lines() {
         if let Some(v) = field(line, "sf") {
             sf = v.parse().unwrap_or(0.0);
         }
-        // Top-level field only: kernel lines carry "name", the header does
+        // Top-level fields only: kernel lines carry "name", the header does
         // not.
         if field(line, "name").is_none() {
             if let Some(v) = field(line, "threads") {
                 threads = v.parse().unwrap_or(0);
+            }
+            if let Some(v) = field(line, "cpus") {
+                cpus = v.parse().unwrap_or(0);
             }
         }
         if let (Some(name), Some(ns)) = (field(line, "name"), field(line, "ns_per_row")) {
@@ -79,7 +87,7 @@ fn read_baseline(path: &str) -> Option<Baseline> {
     if ns_per_row.is_empty() {
         return None;
     }
-    Some(Baseline { sf, threads, ns_per_row })
+    Some(Baseline { sf, threads, cpus, ns_per_row })
 }
 
 /// Time `f` with one warm-up call, then as many timed repetitions as fit in
@@ -119,10 +127,17 @@ fn main() {
     // line that parallelizes through the dispatcher runs at the same
     // count the header records.
     let par_threads: usize = monet::par::configured_threads();
+    // Physical CPU budget of this host, recorded alongside `threads`: the
+    // thread count says what the kernels asked for, the cpu count says what
+    // the machine could actually deliver. An early baseline recorded
+    // `threads: 4` on a 1-cpu container, and its `par/*-par` "speedups"
+    // were scheduler noise — hence both fields, and the refusal below.
+    let cpus: usize = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     // Delta column against the committed trajectory baseline (read before
     // the default output path overwrites it). A baseline recorded at a
-    // different scale factor or thread count is *refused* — a delta
-    // column against incomparable numbers is worse than none.
+    // different scale factor, thread count, or host cpu count is
+    // *refused* — a delta column against incomparable numbers is worse
+    // than none.
     let base_path =
         std::env::var("FLATALG_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".into());
     let base = match read_baseline(&base_path) {
@@ -142,8 +157,34 @@ fn main() {
             );
             None
         }
+        Some(b) if b.cpus != cpus => {
+            if b.cpus == 0 {
+                eprintln!(
+                    "refusing to compare: baseline {base_path} does not record its host cpu \
+                     count (recorded before the \"cpus\" field; its par/*-par lines may be \
+                     oversubscribed) and this host has {cpus}; delta column suppressed"
+                );
+            } else {
+                eprintln!(
+                    "refusing to compare: baseline {base_path} was recorded on a {}-cpu host \
+                     but this host has {cpus}; delta column suppressed",
+                    b.cpus
+                );
+            }
+            None
+        }
         Some(b) => {
-            eprintln!("deltas vs baseline {base_path} (sf {}, {} threads)", b.sf, b.threads);
+            eprintln!(
+                "deltas vs baseline {base_path} (sf {}, {} threads, {} cpus)",
+                b.sf, b.threads, b.cpus
+            );
+            if b.threads > b.cpus {
+                eprintln!(
+                    "note: baseline par/*-par lines are oversubscribed ({} workers on {} \
+                     cpus) — they measure scheduling overhead, not parallel speedup",
+                    b.threads, b.cpus
+                );
+            }
             Some(b)
         }
         None => {
@@ -428,12 +469,75 @@ fn main() {
             .unwrap();
     }));
 
+    // Query-service throughput: the mixed Q1–Q15 workload through
+    // prepared-statement sessions sharing one plan cache and admission
+    // gate. `rows` counts queries per pass, so the rows/s column reads
+    // directly as qps. The warm-up call inside `measure` populates the
+    // cache, so the measured passes are pure cache hits — the trajectory
+    // line records throughput with plan cost fully amortized.
+    {
+        use flatalg_server::{Server, ServerConfig};
+        let queries = tpcd_queries::all_queries();
+        let server = Server::with_config(
+            &w.cat,
+            ServerConfig { max_concurrent: par_threads.max(1), plan_cache: Some(64) },
+        );
+        {
+            let session = server.session();
+            recs.push(measure(base.as_ref(), "serve/qps-mixed-1client", queries.len(), || {
+                for q in &queries {
+                    session.run_query(q, &w.params).unwrap();
+                }
+            }));
+            // Prepared Q13 on a warm cache, same row accounting as
+            // q13/moa-execute: the gap between the two lines is the
+            // amortized translate+optimize cost (should be ~0).
+            let stmt = session.prepare(tpcd_queries::q11_15::q13_moa(&w.params)).unwrap();
+            recs.push(measure(base.as_ref(), "serve/q13-prepared-hit", q13_rows, || {
+                session.execute(&stmt).unwrap();
+            }));
+        }
+        let clients = 4usize;
+        recs.push(measure(
+            base.as_ref(),
+            "serve/qps-mixed-4client",
+            clients * queries.len(),
+            || {
+                std::thread::scope(|s| {
+                    for c in 0..clients {
+                        let (server, queries) = (&server, &queries);
+                        s.spawn(move || {
+                            let session = server.session();
+                            for i in 0..queries.len() {
+                                let q = &queries[(i + c * 5) % queries.len()];
+                                session.run_query(q, &w.params).unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+        ));
+        let stats = server.stats();
+        if let Some(c) = stats.cache {
+            eprintln!(
+                "serve: executed={} waited={} cache hits={} misses={} bypasses={}",
+                stats.executed, stats.waited, c.hits, c.misses, c.bypasses
+            );
+        }
+    }
+
     // --- write BENCH_kernels.json (format documented in README) ----------
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"sf\": {sf},\n"));
     json.push_str(&format!("  \"rows\": {n},\n"));
     json.push_str(&format!("  \"threads\": {par_threads},\n"));
+    json.push_str(&format!("  \"cpus\": {cpus},\n"));
+    if par_threads > cpus {
+        // Honest label for par/*-par lines recorded with more workers
+        // than the host can run at once.
+        json.push_str("  \"oversubscribed\": true,\n");
+    }
     json.push_str("  \"kernels\": [\n");
     for (i, rec) in recs.iter().enumerate() {
         json.push_str(&format!(

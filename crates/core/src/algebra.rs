@@ -105,6 +105,13 @@ pub enum Scalar {
     This,
     /// A literal.
     Lit(AtomValue),
+    /// A bound query parameter: behaves exactly like `Lit(value)` when
+    /// evaluated or translated, but additionally identifies *which*
+    /// substitution parameter the value came from. Plans translated from
+    /// parameterized expressions record where each parameter landed, so a
+    /// plan cache can re-bind new values without re-translating; the cache
+    /// key hashes `id` and the value's type but not the value itself.
+    Param { id: u32, value: AtomValue },
     /// Binary operation on atomic values (`+ - * / = < …`).
     Bin(ScalarFunc, Box<Scalar>, Box<Scalar>),
     /// Unary operation (`year`, `month`, `not`, `neg`).
@@ -156,6 +163,12 @@ pub fn this() -> Scalar {
 
 pub fn lit(v: AtomValue) -> Scalar {
     Scalar::Lit(v)
+}
+
+/// A bound query parameter: a literal that remembers its parameter id so
+/// prepared plans can be re-bound without re-translation.
+pub fn prm(id: u32, v: AtomValue) -> Scalar {
+    Scalar::Param { id, value: v }
 }
 
 pub fn lit_i(v: i32) -> Scalar {
@@ -353,6 +366,7 @@ impl Scalar {
             Scalar::Attr(p) => format!("%{}", p.join(".")),
             Scalar::This => "%self".to_string(),
             Scalar::Lit(v) => v.to_string(),
+            Scalar::Param { id, value } => format!("?{id}={value}"),
             Scalar::Bin(op, l, r) => {
                 format!("{}({}, {})", op.mil_name(), l.render(), r.render())
             }

@@ -284,7 +284,7 @@ impl<'a> Evaluator<'a> {
                 EV::Atom(a) => Ok(a.clone()),
                 other => Err(MoaError::Type(format!("%self of non-scalar {other:?}"))),
             },
-            Scalar::Lit(v) => Ok(v.clone()),
+            Scalar::Lit(v) | Scalar::Param { value: v, .. } => Ok(v.clone()),
             Scalar::Bin(op, l, r) => {
                 let lv = self.eval_scalar(ev, l)?;
                 let rv = self.eval_scalar(ev, r)?;

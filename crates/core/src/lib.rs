@@ -49,6 +49,7 @@ pub mod algebra;
 pub mod catalog;
 pub mod error;
 pub mod eval;
+pub mod plancache;
 pub mod structure;
 pub mod testkit;
 pub mod translate;
@@ -59,11 +60,12 @@ pub mod value;
 pub mod prelude {
     pub use crate::algebra::{
         agg, agg_over, and, and_all, attr, bin, cmp, eq, lit, lit_c, lit_d, lit_date, lit_i, lit_s,
-        not, or, sattr, this, un, Expr, Pred, ProjItem, Scalar, SetExpr, SetValued, NEST_REST,
+        not, or, prm, sattr, this, un, Expr, Pred, ProjItem, Scalar, SetExpr, SetValued, NEST_REST,
     };
     pub use crate::catalog::Catalog;
     pub use crate::error::{MoaError, Result};
     pub use crate::eval::Evaluator;
+    pub use crate::plancache::{with_plan_cache, PlanCache, PlanCacheStats};
     pub use crate::structure::{Structure, StructuredSet};
     pub use crate::translate::{translate, translate_with, Translated};
     pub use crate::types::{ClassDef, Field, MoaType, Schema};

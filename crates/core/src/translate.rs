@@ -31,7 +31,7 @@ use monet::bat::Bat;
 use monet::ctx::ExecCtx;
 use monet::db::Db;
 use monet::mil::opt::OptLevel;
-use monet::mil::{execute, Env, MilArg, MilOp, MilProgram, Var};
+use monet::mil::{execute, Env, MilArg, MilOp, MilProgram, ParamLoc, Var};
 use monet::ops::{AggFunc, ScalarFunc};
 
 use crate::algebra::{Expr, Pred, Scalar, SetExpr, SetValued, NEST_REST};
@@ -132,6 +132,7 @@ impl StructSpec {
 }
 
 /// A fully translated query: MIL program + result structure function.
+#[derive(Debug, Clone)]
 pub struct Translated {
     pub prog: MilProgram,
     /// Variable of the result index BAT.
@@ -140,6 +141,11 @@ pub struct Translated {
     pub spec: StructSpec,
     /// Variables the interpreter must keep alive for the structure.
     pub keep: Vec<Var>,
+    /// False when a parameter value was folded into a derived constant at
+    /// translation time (e.g. `?1 - 1day` between two constants): the
+    /// program then has no slot for that parameter and must not be re-bound
+    /// — plan caches bypass such plans.
+    pub cacheable: bool,
 }
 
 impl Translated {
@@ -156,10 +162,12 @@ impl Translated {
     }
 }
 
-/// Scalar translation result: a BAT variable or a constant.
+/// Scalar translation result: a BAT variable or a constant. A constant
+/// carries the parameter id it came from (if any), so the consuming
+/// emission site can record a parameter slot on the statement.
 enum SVal {
     Bat { var: Var, ref_class: Option<String> },
-    Const(AtomValue),
+    Const(AtomValue, Option<u32>),
 }
 
 /// Translate a MOA set expression into a MIL program plus result structure
@@ -167,22 +175,34 @@ enum SVal {
 /// MIL plan optimizer at the ambient [`OptLevel`] — `FLATALG_OPT=0` (or a
 /// scoped [`monet::mil::opt::with_opt_config`]) reproduces the raw
 /// emission exactly.
+///
+/// When a plan cache is installed on this thread
+/// ([`crate::plancache::with_plan_cache`]), translation goes through it:
+/// a cached plan of the same shape under the same effective configuration
+/// is re-bound to this expression's parameter values instead of being
+/// re-translated and re-optimized.
 pub fn translate(cat: &Catalog, expr: &SetExpr) -> Result<Translated> {
-    translate_with(cat, expr, OptLevel::current())
+    let level = OptLevel::current();
+    if let Some(cache) = crate::plancache::ambient_plan_cache() {
+        return cache.translate(cat, expr, level);
+    }
+    translate_with(cat, expr, level)
 }
 
 /// [`translate`] at an explicit optimization level (the `OptLevel` hook:
 /// benchmarks and oracle tests pin `Off` to run the translator's raw
 /// emission against the optimized plan).
 pub fn translate_with(cat: &Catalog, expr: &SetExpr, level: OptLevel) -> Result<Translated> {
-    let mut t = Translator { cat, prog: MilProgram::new(), loaded: HashMap::new() };
+    let mut t =
+        Translator { cat, prog: MilProgram::new(), loaded: HashMap::new(), param_folded: false };
     let ts = t.tset(expr)?;
     let spec = t.elem_spec(&ts.elem, ts.index)?;
     let mut keep = vec![ts.index];
     spec.vars(&mut keep);
     keep.sort_unstable();
     keep.dedup();
-    let mut out = Translated { prog: t.prog, index: ts.index, spec, keep };
+    let cacheable = !t.param_folded;
+    let mut out = Translated { prog: t.prog, index: ts.index, spec, keep, cacheable };
     if level.enabled() {
         let prog = std::mem::take(&mut out.prog);
         let mut opt = monet::mil::opt::optimize(prog, &out.keep, cat.db());
@@ -202,6 +222,10 @@ struct Translator<'a> {
     cat: &'a Catalog,
     prog: MilProgram,
     loaded: HashMap<String, Var>,
+    /// Set when constant folding at translation time consumed a
+    /// parameter-tainted constant (the emitted program then has no slot
+    /// for that parameter); makes the plan non-cacheable.
+    param_folded: bool,
 }
 
 impl<'a> Translator<'a> {
@@ -249,7 +273,7 @@ impl<'a> Translator<'a> {
                             SVal::Bat { var, ref_class: None } => {
                                 FieldInfo::Scalar { bat: var, scope: Some(ts.index) }
                             }
-                            SVal::Const(_) => {
+                            SVal::Const(..) => {
                                 return Err(MoaError::Type(
                                     "projection of a bare constant is not supported; \
                                          fold it into an expression over an attribute"
@@ -279,7 +303,7 @@ impl<'a> Translator<'a> {
                     };
                     match self.scalar(&ts, s, Some(ts.index))? {
                         SVal::Bat { var, ref_class } => kvars.push((var, ref_class)),
-                        SVal::Const(_) => {
+                        SVal::Const(..) => {
                             return Err(MoaError::Type(
                                 "nest key must depend on the element".into(),
                             ))
@@ -345,7 +369,7 @@ impl<'a> Translator<'a> {
                 let ts = self.tset(input)?;
                 let k = match self.scalar(&ts, by, Some(ts.index))? {
                     SVal::Bat { var, .. } => var,
-                    SVal::Const(_) => {
+                    SVal::Const(..) => {
                         return Err(MoaError::Type("top key must depend on the element".into()))
                     }
                 };
@@ -432,8 +456,9 @@ impl<'a> Translator<'a> {
         r: &Scalar,
         cand: Option<Var>,
     ) -> Result<Var> {
-        // Normalize literal-on-the-left comparisons.
-        if matches!(l, Scalar::Lit(_)) && !matches!(r, Scalar::Lit(_)) {
+        // Normalize literal-on-the-left comparisons (parameters are
+        // literals that remember their id).
+        if is_const_scalar(l) && !is_const_scalar(r) {
             if let Some(flipped) = flip_cmp(op) {
                 return self.cmp_quals(ts, flipped, r, l, cand);
             }
@@ -441,12 +466,17 @@ impl<'a> Translator<'a> {
         // Push-down path: attribute compared against a literal with an
         // order predicate — (range-)select on the attribute BAT, then join
         // back along the reference chain (Fig 10 lines 1-5).
-        if let (Scalar::Attr(path), Scalar::Lit(v)) = (l, r) {
+        let r_const = match r {
+            Scalar::Lit(v) => Some((v, None)),
+            Scalar::Param { id, value } => Some((value, Some(*id))),
+            _ => None,
+        };
+        if let (Scalar::Attr(path), Some((v, pid))) = (l, r_const) {
             if matches!(
                 op,
                 ScalarFunc::Eq | ScalarFunc::Lt | ScalarFunc::Le | ScalarFunc::Gt | ScalarFunc::Ge
             ) {
-                if let Some(q) = self.pushdown_select(ts, path, op, v, cand)? {
+                if let Some(q) = self.pushdown_select(ts, path, op, v, pid, cand)? {
                     return Ok(q);
                 }
             }
@@ -458,8 +488,7 @@ impl<'a> Translator<'a> {
         let base = cand.unwrap_or(ts.index);
         let lb = self.scalar(ts, l, Some(base))?;
         let rb = self.scalar(ts, r, Some(base))?;
-        let args = vec![sval_arg(lb), sval_arg(rb)];
-        let bools = self.emit("", MilOp::Multiplex { f: op, args });
+        let bools = self.emit_multiplex(op, vec![lb, rb]);
         let q = self.emit("", MilOp::SelectEq(bools, AtomValue::Bool(true)));
         Ok(match cand {
             Some(c) => self.emit("", MilOp::Semijoin(q, c)),
@@ -475,6 +504,7 @@ impl<'a> Translator<'a> {
         path: &[String],
         op: ScalarFunc,
         v: &AtomValue,
+        pid: Option<u32>,
         cand: Option<Var>,
     ) -> Result<Option<Var>> {
         // Resolve the chain of hop BATs: hops[0..n-1] are reference BATs
@@ -489,10 +519,10 @@ impl<'a> Translator<'a> {
                 Some(c) => self.emit("", MilOp::Semijoin(leaf, c)),
                 None => leaf,
             };
-            self.emit_select("", base, op, v)
+            self.emit_select("", base, op, v, pid)
         } else {
             // Select at the far end, then walk the reference chain back.
-            let mut cur = self.emit_select("", leaf, op, v);
+            let mut cur = self.emit_select("", leaf, op, v, pid);
             for hop in hops.iter().rev() {
                 cur = self.emit("", MilOp::Join(*hop, cur));
             }
@@ -504,40 +534,87 @@ impl<'a> Translator<'a> {
         Ok(Some(selected))
     }
 
-    fn emit_select(&mut self, name: &str, src: Var, op: ScalarFunc, v: &AtomValue) -> Var {
-        let op = match op {
-            ScalarFunc::Eq => MilOp::SelectEq(src, v.clone()),
-            ScalarFunc::Lt => MilOp::SelectRange {
-                src,
-                lo: None,
-                hi: Some(v.clone()),
-                inc_lo: true,
-                inc_hi: false,
-            },
-            ScalarFunc::Le => MilOp::SelectRange {
-                src,
-                lo: None,
-                hi: Some(v.clone()),
-                inc_lo: true,
-                inc_hi: true,
-            },
-            ScalarFunc::Gt => MilOp::SelectRange {
-                src,
-                lo: Some(v.clone()),
-                hi: None,
-                inc_lo: false,
-                inc_hi: true,
-            },
-            ScalarFunc::Ge => MilOp::SelectRange {
-                src,
-                lo: Some(v.clone()),
-                hi: None,
-                inc_lo: true,
-                inc_hi: true,
-            },
+    fn emit_select(
+        &mut self,
+        name: &str,
+        src: Var,
+        op: ScalarFunc,
+        v: &AtomValue,
+        pid: Option<u32>,
+    ) -> Var {
+        let (op, loc) = match op {
+            ScalarFunc::Eq => (MilOp::SelectEq(src, v.clone()), ParamLoc::EqVal),
+            ScalarFunc::Lt => (
+                MilOp::SelectRange {
+                    src,
+                    lo: None,
+                    hi: Some(v.clone()),
+                    inc_lo: true,
+                    inc_hi: false,
+                },
+                ParamLoc::RangeHi,
+            ),
+            ScalarFunc::Le => (
+                MilOp::SelectRange {
+                    src,
+                    lo: None,
+                    hi: Some(v.clone()),
+                    inc_lo: true,
+                    inc_hi: true,
+                },
+                ParamLoc::RangeHi,
+            ),
+            ScalarFunc::Gt => (
+                MilOp::SelectRange {
+                    src,
+                    lo: Some(v.clone()),
+                    hi: None,
+                    inc_lo: false,
+                    inc_hi: true,
+                },
+                ParamLoc::RangeLo,
+            ),
+            ScalarFunc::Ge => (
+                MilOp::SelectRange {
+                    src,
+                    lo: Some(v.clone()),
+                    hi: None,
+                    inc_lo: true,
+                    inc_hi: true,
+                },
+                ParamLoc::RangeLo,
+            ),
             other => unreachable!("emit_select on non-order op {other:?}"),
         };
-        self.emit(name, op)
+        let var = self.emit(name, op);
+        if let Some(id) = pid {
+            self.prog.note_param(var, id, loc);
+        }
+        var
+    }
+
+    /// Emit a multiplexed scalar function, recording a parameter slot for
+    /// every argument whose constant came from a query parameter.
+    fn emit_multiplex(&mut self, f: ScalarFunc, vals: Vec<SVal>) -> Var {
+        let mut slots: Vec<(u32, ParamLoc)> = Vec::new();
+        let args: Vec<MilArg> = vals
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                SVal::Bat { var, .. } => MilArg::Var(var),
+                SVal::Const(c, pid) => {
+                    if let Some(id) = pid {
+                        slots.push((id, ParamLoc::Arg(i as u32)));
+                    }
+                    MilArg::Const(c)
+                }
+            })
+            .collect();
+        let var = self.emit("", MilOp::Multiplex { f, args });
+        for (id, loc) in slots {
+            self.prog.note_param(var, id, loc);
+        }
+        var
     }
 
     /// The hop/leaf BATs of an attribute path, without restriction — the
@@ -601,7 +678,7 @@ impl<'a> Translator<'a> {
     fn scalar_bat(&mut self, ts: &TransSet, s: &Scalar) -> Result<Var> {
         match self.scalar(ts, s, Some(ts.index))? {
             SVal::Bat { var, .. } => Ok(var),
-            SVal::Const(_) => Err(MoaError::Type(
+            SVal::Const(..) => Err(MoaError::Type(
                 "expected an element-dependent expression, found a constant".into(),
             )),
         }
@@ -613,7 +690,8 @@ impl<'a> Translator<'a> {
     /// datavector semijoin.
     fn scalar(&mut self, ts: &TransSet, s: &Scalar, restrict: Option<Var>) -> Result<SVal> {
         match s {
-            Scalar::Lit(v) => Ok(SVal::Const(v.clone())),
+            Scalar::Lit(v) => Ok(SVal::Const(v.clone(), None)),
+            Scalar::Param { id, value } => Ok(SVal::Const(value.clone(), Some(*id))),
             Scalar::This => match &ts.elem {
                 ElemInfo::Obj(c) => {
                     let class = c.clone();
@@ -641,12 +719,20 @@ impl<'a> Translator<'a> {
                 let lv = self.scalar(ts, l, restrict)?;
                 let rv = self.scalar(ts, r, restrict)?;
                 match (&lv, &rv) {
-                    (SVal::Const(a), SVal::Const(b)) => {
-                        Ok(SVal::Const(monet::ops::apply_scalar(*op, &[a.clone(), b.clone()])?))
+                    (SVal::Const(a, lp), SVal::Const(b, rp)) => {
+                        // Folding a parameter into a derived constant loses
+                        // its slot; the plan still runs correctly but can
+                        // no longer be re-bound, so mark it non-cacheable.
+                        if lp.is_some() || rp.is_some() {
+                            self.param_folded = true;
+                        }
+                        Ok(SVal::Const(
+                            monet::ops::apply_scalar(*op, &[a.clone(), b.clone()])?,
+                            None,
+                        ))
                     }
                     _ => {
-                        let args = vec![sval_arg(lv), sval_arg(rv)];
-                        let v = self.emit("", MilOp::Multiplex { f: *op, args });
+                        let v = self.emit_multiplex(*op, vec![lv, rv]);
                         Ok(SVal::Bat { var: v, ref_class: None })
                     }
                 }
@@ -654,10 +740,14 @@ impl<'a> Translator<'a> {
             Scalar::Un(op, x) => {
                 let xv = self.scalar(ts, x, restrict)?;
                 match &xv {
-                    SVal::Const(a) => Ok(SVal::Const(monet::ops::apply_scalar(*op, &[a.clone()])?)),
+                    SVal::Const(a, pid) => {
+                        if pid.is_some() {
+                            self.param_folded = true;
+                        }
+                        Ok(SVal::Const(monet::ops::apply_scalar(*op, &[a.clone()])?, None))
+                    }
                     _ => {
-                        let args = vec![sval_arg(xv)];
-                        let v = self.emit("", MilOp::Multiplex { f: *op, args });
+                        let v = self.emit_multiplex(*op, vec![xv]);
                         Ok(SVal::Bat { var: v, ref_class: None })
                     }
                 }
@@ -888,7 +978,7 @@ impl<'a> Translator<'a> {
                     SVal::Bat { var, ref_class } => {
                         Ok((idx, ElemInfo::Atom { bat: var, ref_class }))
                     }
-                    SVal::Const(_) => Err(MoaError::Type(
+                    SVal::Const(..) => Err(MoaError::Type(
                         "projection inside a set must depend on the member".into(),
                     )),
                 }
@@ -1049,11 +1139,9 @@ enum ElemCursor {
     Elem(ElemInfo),
 }
 
-fn sval_arg(v: SVal) -> MilArg {
-    match v {
-        SVal::Bat { var, .. } => MilArg::Var(var),
-        SVal::Const(c) => MilArg::Const(c),
-    }
+/// Scalars whose translation is a constant: literals and parameters.
+fn is_const_scalar(s: &Scalar) -> bool {
+    matches!(s, Scalar::Lit(_) | Scalar::Param { .. })
 }
 
 fn flip_cmp(op: ScalarFunc) -> Option<ScalarFunc> {

@@ -5,23 +5,53 @@
 //! MIL `load` statements resolve against.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bat::Bat;
 use crate::error::{MonetError, Result};
 
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Named collection of persistent BATs.
-#[derive(Default)]
+///
+/// Every catalog carries a process-unique `id` and a monotonically
+/// increasing `epoch` that bumps on any mutation reachable through the
+/// catalog (`register`, and `get_mut` — which hands out the hook used to
+/// attach accelerators, so a plan's pinned algorithm choices may depend
+/// on state changed through it). Plan caches key on `(id, epoch)`, so a
+/// catalog change silently invalidates every plan compiled against the
+/// old state.
 pub struct Db {
     bats: BTreeMap<String, Bat>,
+    id: u64,
+    epoch: u64,
+}
+
+impl Default for Db {
+    fn default() -> Db {
+        Db::new()
+    }
 }
 
 impl Db {
     pub fn new() -> Db {
-        Db::default()
+        Db { bats: BTreeMap::new(), id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed), epoch: 0 }
+    }
+
+    /// Process-unique identity of this catalog (plan-cache key part).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mutation counter: bumps whenever the catalog's contents may have
+    /// changed (plan-cache key part).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register (or replace) a persistent BAT under `name`.
     pub fn register(&mut self, name: &str, bat: Bat) {
+        self.epoch += 1;
         self.bats.insert(name.to_string(), bat);
     }
 
@@ -31,7 +61,12 @@ impl Db {
     }
 
     /// Mutable access, for attaching accelerators after load.
+    ///
+    /// Accelerators feed the optimizer's property inference (e.g.
+    /// datavector provenance), so handing out mutable access counts as a
+    /// potential catalog change and bumps the epoch.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Bat> {
+        self.epoch += 1;
         self.bats.get_mut(name).ok_or_else(|| MonetError::UnknownName(name.to_string()))
     }
 

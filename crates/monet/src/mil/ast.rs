@@ -103,6 +103,26 @@ impl Pin {
     }
 }
 
+/// Which constant inside a [`MilOp`] a prepared-statement parameter feeds.
+///
+/// A parameter slot records *where* in the statement a bound query
+/// parameter ended up, so a cached plan can be re-bound to new values
+/// without re-translating. Slots are attached by the MOA translator and
+/// must survive every optimizer pass (the optimizer may move a statement
+/// or alias it away, but it never changes a parameterized constant's
+/// value, so a slot stays valid wherever its statement lands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamLoc {
+    /// The value of a `SelectEq`.
+    EqVal,
+    /// The lower bound of a `SelectRange`.
+    RangeLo,
+    /// The upper bound of a `SelectRange`.
+    RangeHi,
+    /// The `i`-th argument of a `Multiplex` (must be `MilArg::Const`).
+    Arg(u32),
+}
+
 impl MilOp {
     /// Variables this operation reads (for liveness analysis).
     pub fn operands(&self) -> Vec<Var> {
@@ -213,13 +233,58 @@ impl MilOp {
 }
 
 /// One statement: `name := op(...)`, optionally carrying an algorithm
-/// [`Pin`] attached by the plan optimizer.
+/// [`Pin`] attached by the plan optimizer and the parameter slots of any
+/// prepared-statement constants baked into the operation.
 #[derive(Debug, Clone)]
 pub struct MilStmt {
     pub var: Var,
     pub name: String,
     pub op: MilOp,
     pub pin: Option<Pin>,
+    /// `(param id, location)` for each query parameter whose current value
+    /// is embedded in `op`. Empty for non-parameterized statements.
+    pub params: Vec<(u32, ParamLoc)>,
+}
+
+impl MilStmt {
+    /// Read the constant currently stored at a parameter slot.
+    pub fn param_value(&self, loc: ParamLoc) -> Option<&AtomValue> {
+        match (loc, &self.op) {
+            (ParamLoc::EqVal, MilOp::SelectEq(_, v)) => Some(v),
+            (ParamLoc::RangeLo, MilOp::SelectRange { lo, .. }) => lo.as_ref(),
+            (ParamLoc::RangeHi, MilOp::SelectRange { hi, .. }) => hi.as_ref(),
+            (ParamLoc::Arg(i), MilOp::Multiplex { args, .. }) => match args.get(i as usize) {
+                Some(MilArg::Const(v)) => Some(v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Overwrite the constant at a parameter slot with a new binding.
+    /// Returns false if the slot does not address a constant in `op`
+    /// (which would mean the slot metadata went stale — a bug).
+    pub fn splice_param(&mut self, loc: ParamLoc, value: &AtomValue) -> bool {
+        match (loc, &mut self.op) {
+            (ParamLoc::EqVal, MilOp::SelectEq(_, v)) => {
+                *v = value.clone();
+                true
+            }
+            (ParamLoc::RangeLo, MilOp::SelectRange { lo: Some(v), .. })
+            | (ParamLoc::RangeHi, MilOp::SelectRange { hi: Some(v), .. }) => {
+                *v = value.clone();
+                true
+            }
+            (ParamLoc::Arg(i), MilOp::Multiplex { args, .. }) => match args.get_mut(i as usize) {
+                Some(MilArg::Const(v)) => {
+                    *v = value.clone();
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
 }
 
 /// A straight-line MIL program.
@@ -238,8 +303,52 @@ impl MilProgram {
     pub fn emit(&mut self, name: &str, op: MilOp) -> Var {
         let var = self.stmts.len();
         let name = if name.is_empty() { format!("tmp{var}") } else { name.to_string() };
-        self.stmts.push(MilStmt { var, name, op, pin: None });
+        self.stmts.push(MilStmt { var, name, op, pin: None, params: Vec::new() });
         var
+    }
+
+    /// Record that statement `var` holds the current value of parameter
+    /// `pid` at `loc` (translator hook for prepared statements).
+    pub fn note_param(&mut self, var: Var, pid: u32, loc: ParamLoc) {
+        debug_assert!(self.stmts[var].param_value(loc).is_some(), "param slot addresses no const");
+        self.stmts[var].params.push((pid, loc));
+    }
+
+    /// All parameter bindings currently baked into the program, as
+    /// `(param id, value)` pairs in statement order. A parameter feeding
+    /// several statements appears once per slot — callers that need the
+    /// canonical binding can take the first occurrence (slots of one id
+    /// always carry equal values).
+    pub fn param_bindings(&self) -> Vec<(u32, AtomValue)> {
+        let mut out = Vec::new();
+        for stmt in &self.stmts {
+            for (pid, loc) in &stmt.params {
+                if let Some(v) = stmt.param_value(*loc) {
+                    out.push((*pid, v.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-bind every parameter slot from `bindings` (`(id, value)` pairs).
+    /// Slots whose id is missing from `bindings` keep their cached value.
+    /// Returns false if any addressed slot no longer holds a constant.
+    pub fn splice_params(&mut self, bindings: &[(u32, AtomValue)]) -> bool {
+        for stmt in &mut self.stmts {
+            // Move the slot list aside so we can mutate the op it describes.
+            let slots = std::mem::take(&mut stmt.params);
+            for (pid, loc) in &slots {
+                if let Some((_, v)) = bindings.iter().find(|(id, _)| id == pid) {
+                    if !stmt.splice_param(*loc, v) {
+                        stmt.params = slots;
+                        return false;
+                    }
+                }
+            }
+            stmt.params = slots;
+        }
+        true
     }
 
     /// Name of a variable (for printing).

@@ -11,6 +11,6 @@ mod interp;
 pub mod opt;
 mod print;
 
-pub use ast::{MilArg, MilOp, MilProgram, MilStmt, Pin, Var};
+pub use ast::{MilArg, MilOp, MilProgram, MilStmt, ParamLoc, Pin, Var};
 pub use interp::{execute, Env, MilValue, StmtTrace};
 pub use print::{render_program, render_stmt};

@@ -202,9 +202,23 @@ impl Pass for Cse {
             if op.draws_fresh_oids() {
                 continue;
             }
-            let bucket = seen.entry(hash_op(op)).or_default();
+            // Parameter slots are part of a statement's identity: merging a
+            // parameterized statement with a plain one holding the same
+            // *current* value would make a later re-binding corrupt the
+            // non-parameterized use (and vice versa). Only statements with
+            // identical slot lists may merge.
+            let mut key = hash_op(op);
+            if !prog.stmts[i].params.is_empty() {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                prog.stmts[i].params.hash(&mut h);
+                key = h.finish();
+            }
+            let bucket = seen.entry(key).or_default();
             for &rep in bucket.iter() {
-                if ops_identical(&prog.stmts[rep].op, op) {
+                if ops_identical(&prog.stmts[rep].op, op)
+                    && prog.stmts[rep].params == prog.stmts[i].params
+                {
                     canon[i] = rep;
                     applied += 1;
                     continue 'stmt;

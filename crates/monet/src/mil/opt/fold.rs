@@ -234,13 +234,21 @@ impl Pass for Fold {
                             }
                         }
                     }
-                    let consts: Option<Vec<_>> = args
-                        .iter()
-                        .map(|a| match a {
-                            MilArg::Const(c) => Some(c.clone()),
-                            MilArg::Var(_) => None,
-                        })
-                        .collect();
+                    // A statement holding prepared-statement parameter slots
+                    // must never be evaluated away: collapsing it to a
+                    // `const` would bake the *current* binding into the plan
+                    // and lose the slot. Inlining into its args is fine (arg
+                    // indices are stable), but the op itself stays.
+                    let consts: Option<Vec<_>> = if prog.stmts[i].params.is_empty() {
+                        args.iter()
+                            .map(|a| match a {
+                                MilArg::Const(c) => Some(c.clone()),
+                                MilArg::Var(_) => None,
+                            })
+                            .collect()
+                    } else {
+                        None
+                    };
                     if let Some(v) = consts.and_then(|cs| crate::ops::apply_scalar(f, &cs).ok()) {
                         prog.stmts[i].op = MilOp::ConstScalar(v);
                         prog.stmts[i].pin = None;

@@ -148,6 +148,14 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     with_par_config(Some(threads), None, None, f)
 }
 
+/// The full effective parallel configuration as a hashable key:
+/// `(threads, min-rows override, morsel rows)`. Plan caches include this
+/// so a plan cached under one scoped/env configuration is never served
+/// under another.
+pub fn config_key() -> (usize, Option<usize>, usize) {
+    (configured_threads(), min_rows_override(), morsel_rows())
+}
+
 // ---------------------------------------------------------------------------
 // The worker pool.
 // ---------------------------------------------------------------------------
@@ -177,6 +185,15 @@ thread_local! {
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool { senders: Mutex::new(Vec::new()), rr: AtomicUsize::new(0) })
+}
+
+/// Number of persistent workers the process-wide pool has spawned so far.
+/// The pool grows lazily up to [`MAX_THREADS`] and is shared by every
+/// caller in the process — a query service reports this to show that
+/// concurrent sessions share one pool instead of spawning per-session
+/// threads.
+pub fn pool_workers() -> usize {
+    POOL.get().map_or(0, |p| p.senders.lock().expect("worker pool poisoned").len())
 }
 
 /// Ensure at least `n` workers exist and dispatch one copy of `make_job`'s

@@ -10,6 +10,56 @@ use monet::atom::Date;
 use tpcd::gen::TpcdData;
 use tpcd::text;
 
+/// Parameter-slot ids for the prepared-statement plan cache.
+///
+/// Each `prm(pid::…, value)` site in a query marks a substitution
+/// parameter: the translated plan is cached by shape (with the parameter
+/// value erased) and re-executing with different values only re-binds the
+/// slots. Ids must be unique within one query expression; we keep them
+/// globally unique (query number × 100 + ordinal) for readability.
+pub mod pid {
+    pub const Q1_CUTOFF: u32 = 101;
+    pub const Q2_REGION: u32 = 201;
+    pub const Q2_SIZE: u32 = 202;
+    pub const Q2_TYPE: u32 = 203;
+    pub const Q3_SEGMENT: u32 = 301;
+    pub const Q3_DATE_ORDER: u32 = 302;
+    pub const Q3_DATE_SHIP: u32 = 303;
+    pub const Q4_DATE_LO: u32 = 401;
+    pub const Q4_DATE_HI: u32 = 402;
+    pub const Q5_REGION: u32 = 501;
+    pub const Q5_DATE_LO: u32 = 502;
+    pub const Q5_DATE_HI: u32 = 503;
+    pub const Q6_DATE_LO: u32 = 601;
+    pub const Q6_DATE_HI: u32 = 602;
+    pub const Q6_DISC_LO: u32 = 603;
+    pub const Q6_DISC_HI: u32 = 604;
+    pub const Q6_QTY: u32 = 605;
+    pub const Q7_NATION1: u32 = 701;
+    pub const Q7_NATION2: u32 = 702;
+    pub const Q7_DATE_LO: u32 = 703;
+    pub const Q7_DATE_HI: u32 = 704;
+    pub const Q8_REGION: u32 = 801;
+    pub const Q8_TYPE: u32 = 802;
+    pub const Q8_DATE_LO: u32 = 803;
+    pub const Q8_DATE_HI: u32 = 804;
+    pub const Q8_NATION: u32 = 805;
+    pub const Q9_COLOR: u32 = 901;
+    pub const Q10_DATE_LO: u32 = 1001;
+    pub const Q10_DATE_HI: u32 = 1002;
+    pub const Q11_NATION: u32 = 1101;
+    pub const Q11_THRESHOLD: u32 = 1102;
+    pub const Q12_MODE1: u32 = 1201;
+    pub const Q12_MODE2: u32 = 1202;
+    pub const Q12_DATE_LO: u32 = 1203;
+    pub const Q12_DATE_HI: u32 = 1204;
+    pub const Q13_CLERK: u32 = 1301;
+    pub const Q14_DATE_LO: u32 = 1401;
+    pub const Q14_DATE_HI: u32 = 1402;
+    pub const Q15_DATE_LO: u32 = 1501;
+    pub const Q15_DATE_HI: u32 = 1502;
+}
+
 /// Bound query parameters.
 #[derive(Debug, Clone)]
 pub struct Params {

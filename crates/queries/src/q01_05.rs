@@ -11,7 +11,7 @@ use monet::ops::{AggFunc, ScalarFunc};
 use monet::pager::Pager;
 use relstore::{fetch, group_fold, select_rows, ColPred, RelDb};
 
-use crate::params::Params;
+use crate::params::{pid, Params};
 use crate::refutil::*;
 use crate::runner::{run_moa_rows, QueryResult};
 use crate::RefOutput;
@@ -31,7 +31,11 @@ fn charge_expr() -> Scalar {
 
 pub fn q1_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
-        .select(cmp(ScalarFunc::Le, attr("shipdate"), lit(AtomValue::Date(p.q1_cutoff))))
+        .select(cmp(
+            ScalarFunc::Le,
+            attr("shipdate"),
+            prm(pid::Q1_CUTOFF, AtomValue::Date(p.q1_cutoff)),
+        ))
         .project(vec![
             ProjItem::new("flag", attr("returnflag")),
             ProjItem::new("status", attr("linestatus")),
@@ -134,9 +138,16 @@ pub fn q1_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 pub fn q2_moa(p: &Params) -> SetExpr {
     let candidates =
         SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp").select(and_all(vec![
-            eq(attr("sup.nation.region.name"), lit_s(&p.q2_region)),
-            eq(attr("sp.part.size"), lit_i(p.q2_size)),
-            cmp(ScalarFunc::StrContains, attr("sp.part.type"), lit_s(&p.q2_type_contains)),
+            eq(
+                attr("sup.nation.region.name"),
+                prm(pid::Q2_REGION, AtomValue::str(p.q2_region.as_str())),
+            ),
+            eq(attr("sp.part.size"), prm(pid::Q2_SIZE, AtomValue::Int(p.q2_size))),
+            cmp(
+                ScalarFunc::StrContains,
+                attr("sp.part.type"),
+                prm(pid::Q2_TYPE, AtomValue::str(p.q2_type_contains.as_str())),
+            ),
         ]));
     let min_per_part =
         candidates.clone().nest(vec![ProjItem::new("part", attr("sp.part"))]).project(vec![
@@ -215,9 +226,20 @@ pub fn q2_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 pub fn q3_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and_all(vec![
-            eq(attr("order.cust.mktsegment"), lit_s(&p.q3_segment)),
-            cmp(ScalarFunc::Lt, attr("order.orderdate"), lit(AtomValue::Date(p.q3_date))),
-            cmp(ScalarFunc::Gt, attr("shipdate"), lit(AtomValue::Date(p.q3_date))),
+            eq(
+                attr("order.cust.mktsegment"),
+                prm(pid::Q3_SEGMENT, AtomValue::str(p.q3_segment.as_str())),
+            ),
+            cmp(
+                ScalarFunc::Lt,
+                attr("order.orderdate"),
+                prm(pid::Q3_DATE_ORDER, AtomValue::Date(p.q3_date)),
+            ),
+            cmp(
+                ScalarFunc::Gt,
+                attr("shipdate"),
+                prm(pid::Q3_DATE_SHIP, AtomValue::Date(p.q3_date)),
+            ),
         ]))
         .project(vec![
             ProjItem::new("ord", attr("order")),
@@ -338,8 +360,16 @@ pub fn q4_moa(p: &Params) -> SetExpr {
     ));
     SetExpr::extent("Order")
         .select(and(
-            cmp(ScalarFunc::Ge, attr("orderdate"), lit(AtomValue::Date(p.q4_date))),
-            cmp(ScalarFunc::Lt, attr("orderdate"), lit(AtomValue::Date(p.q4_date.add_months(3)))),
+            cmp(
+                ScalarFunc::Ge,
+                attr("orderdate"),
+                prm(pid::Q4_DATE_LO, AtomValue::Date(p.q4_date)),
+            ),
+            cmp(
+                ScalarFunc::Lt,
+                attr("orderdate"),
+                prm(pid::Q4_DATE_HI, AtomValue::Date(p.q4_date.add_months(3))),
+            ),
         ))
         .semijoin_eq(late_items, this(), attr("order"))
         .nest(vec![ProjItem::new("priority", attr("orderpriority"))])
@@ -402,12 +432,19 @@ pub fn q4_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 pub fn q5_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and_all(vec![
-            eq(attr("supplier.nation.region.name"), lit_s(&p.q5_region)),
-            cmp(ScalarFunc::Ge, attr("order.orderdate"), lit(AtomValue::Date(p.q5_date))),
+            eq(
+                attr("supplier.nation.region.name"),
+                prm(pid::Q5_REGION, AtomValue::str(p.q5_region.as_str())),
+            ),
+            cmp(
+                ScalarFunc::Ge,
+                attr("order.orderdate"),
+                prm(pid::Q5_DATE_LO, AtomValue::Date(p.q5_date)),
+            ),
             cmp(
                 ScalarFunc::Lt,
                 attr("order.orderdate"),
-                lit(AtomValue::Date(p.q5_date.add_months(12))),
+                prm(pid::Q5_DATE_HI, AtomValue::Date(p.q5_date.add_months(12))),
             ),
             eq(attr("order.cust.nation"), attr("supplier.nation")),
         ]))

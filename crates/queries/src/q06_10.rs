@@ -11,7 +11,7 @@ use monet::ops::{AggFunc, ScalarFunc};
 use monet::pager::Pager;
 use relstore::{select_rows, ColPred, RelDb};
 
-use crate::params::Params;
+use crate::params::{pid, Params};
 use crate::q01_05::revenue_expr;
 use crate::refutil::*;
 use crate::runner::{run_moa_rows, run_moa_scalar, QueryResult};
@@ -23,11 +23,23 @@ use crate::RefOutput;
 
 fn q6_selection(p: &Params) -> SetExpr {
     SetExpr::extent("Item").select(and_all(vec![
-        cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q6_date))),
-        cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q6_date.add_months(12)))),
-        cmp(ScalarFunc::Ge, attr("discount"), lit_d(p.q6_disc_lo - 0.001)),
-        cmp(ScalarFunc::Le, attr("discount"), lit_d(p.q6_disc_hi + 0.001)),
-        cmp(ScalarFunc::Lt, attr("quantity"), lit_i(p.q6_qty)),
+        cmp(ScalarFunc::Ge, attr("shipdate"), prm(pid::Q6_DATE_LO, AtomValue::Date(p.q6_date))),
+        cmp(
+            ScalarFunc::Lt,
+            attr("shipdate"),
+            prm(pid::Q6_DATE_HI, AtomValue::Date(p.q6_date.add_months(12))),
+        ),
+        cmp(
+            ScalarFunc::Ge,
+            attr("discount"),
+            prm(pid::Q6_DISC_LO, AtomValue::Dbl(p.q6_disc_lo - 0.001)),
+        ),
+        cmp(
+            ScalarFunc::Le,
+            attr("discount"),
+            prm(pid::Q6_DISC_HI, AtomValue::Dbl(p.q6_disc_hi + 0.001)),
+        ),
+        cmp(ScalarFunc::Lt, attr("quantity"), prm(pid::Q6_QTY, AtomValue::Int(p.q6_qty))),
     ]))
 }
 
@@ -81,10 +93,10 @@ pub fn q6_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 // ---------------------------------------------------------------------------
 
 pub fn q7_moa(p: &Params) -> SetExpr {
-    let pair = |a: &str, b: &str| {
+    let pair = |aid: u32, a: &str, bid: u32, b: &str| {
         and(
-            eq(attr("supplier.nation.name"), lit_s(a)),
-            eq(attr("order.cust.nation.name"), lit_s(b)),
+            eq(attr("supplier.nation.name"), prm(aid, AtomValue::str(a))),
+            eq(attr("order.cust.nation.name"), prm(bid, AtomValue::str(b))),
         )
     };
     SetExpr::extent("Item")
@@ -92,14 +104,17 @@ pub fn q7_moa(p: &Params) -> SetExpr {
             cmp(
                 ScalarFunc::Ge,
                 attr("shipdate"),
-                lit(AtomValue::Date(monet::atom::Date::from_ymd(1995, 1, 1))),
+                prm(pid::Q7_DATE_LO, AtomValue::Date(monet::atom::Date::from_ymd(1995, 1, 1))),
             ),
             cmp(
                 ScalarFunc::Le,
                 attr("shipdate"),
-                lit(AtomValue::Date(monet::atom::Date::from_ymd(1996, 12, 31))),
+                prm(pid::Q7_DATE_HI, AtomValue::Date(monet::atom::Date::from_ymd(1996, 12, 31))),
             ),
-            or(pair(&p.q7_nation1, &p.q7_nation2), pair(&p.q7_nation2, &p.q7_nation1)),
+            or(
+                pair(pid::Q7_NATION1, &p.q7_nation1, pid::Q7_NATION2, &p.q7_nation2),
+                pair(pid::Q7_NATION2, &p.q7_nation2, pid::Q7_NATION1, &p.q7_nation1),
+            ),
         ]))
         .project(vec![
             ProjItem::new("supp_nation", attr("supplier.nation.name")),
@@ -198,18 +213,25 @@ pub fn q7_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 
 fn q8_base(p: &Params) -> SetExpr {
     SetExpr::extent("Item").select(and_all(vec![
-        eq(attr("order.cust.nation.region.name"), lit_s(&p.q8_region)),
+        eq(
+            attr("order.cust.nation.region.name"),
+            prm(pid::Q8_REGION, AtomValue::str(p.q8_region.as_str())),
+        ),
         cmp(
             ScalarFunc::Ge,
             attr("order.orderdate"),
-            lit(AtomValue::Date(monet::atom::Date::from_ymd(1995, 1, 1))),
+            prm(pid::Q8_DATE_LO, AtomValue::Date(monet::atom::Date::from_ymd(1995, 1, 1))),
         ),
         cmp(
             ScalarFunc::Le,
             attr("order.orderdate"),
-            lit(AtomValue::Date(monet::atom::Date::from_ymd(1996, 12, 31))),
+            prm(pid::Q8_DATE_HI, AtomValue::Date(monet::atom::Date::from_ymd(1996, 12, 31))),
         ),
-        cmp(ScalarFunc::StrContains, attr("part.type"), lit_s(&p.q8_type_contains)),
+        cmp(
+            ScalarFunc::StrContains,
+            attr("part.type"),
+            prm(pid::Q8_TYPE, AtomValue::str(p.q8_type_contains.as_str())),
+        ),
     ]))
 }
 
@@ -231,7 +253,10 @@ pub fn q8_run(cat: &Catalog, ctx: &ExecCtx, p: &Params) -> moa::error::Result<Qu
     let nat = run_moa_rows(
         cat,
         ctx,
-        &yearly_revenue(q8_base(p).select(eq(attr("supplier.nation.name"), lit_s(&p.q8_nation)))),
+        &yearly_revenue(q8_base(p).select(eq(
+            attr("supplier.nation.name"),
+            prm(pid::Q8_NATION, AtomValue::str(p.q8_nation.as_str())),
+        ))),
     )?;
     // share(year) = nation revenue / total revenue (0 when absent).
     let nat_by_year: HashMap<i32, f64> = nat
@@ -341,7 +366,7 @@ pub fn q9_moa(p: &Params) -> SetExpr {
     let items = SetExpr::extent("Item").select(cmp(
         ScalarFunc::StrContains,
         attr("part.name"),
-        lit_s(&p.q9_color),
+        prm(pid::Q9_COLOR, AtomValue::str(p.q9_color.as_str())),
     ));
     let supplies = SetExpr::extent("Supplier").unnest(sattr("supplies"), "sup", "sp");
     items
@@ -448,11 +473,15 @@ pub fn q10_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and_all(vec![
             eq(attr("returnflag"), lit_c('R')),
-            cmp(ScalarFunc::Ge, attr("order.orderdate"), lit(AtomValue::Date(p.q10_date))),
+            cmp(
+                ScalarFunc::Ge,
+                attr("order.orderdate"),
+                prm(pid::Q10_DATE_LO, AtomValue::Date(p.q10_date)),
+            ),
             cmp(
                 ScalarFunc::Lt,
                 attr("order.orderdate"),
-                lit(AtomValue::Date(p.q10_date.add_months(3))),
+                prm(pid::Q10_DATE_HI, AtomValue::Date(p.q10_date.add_months(3))),
             ),
         ]))
         .project(vec![

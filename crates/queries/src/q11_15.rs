@@ -11,7 +11,7 @@ use monet::ops::{AggFunc, ScalarFunc};
 use monet::pager::Pager;
 use relstore::{select_rows, ColPred, RelDb};
 
-use crate::params::Params;
+use crate::params::{pid, Params};
 use crate::q01_05::revenue_expr;
 use crate::refutil::*;
 use crate::runner::{run_moa_rows, run_moa_scalar, QueryResult};
@@ -22,11 +22,12 @@ use crate::RefOutput;
 // ---------------------------------------------------------------------------
 
 fn q11_base(p: &Params) -> SetExpr {
-    SetExpr::extent("Supplier").select(eq(attr("nation.name"), lit_s(&p.q11_nation))).unnest(
-        sattr("supplies"),
-        "sup",
-        "sp",
-    )
+    SetExpr::extent("Supplier")
+        .select(eq(
+            attr("nation.name"),
+            prm(pid::Q11_NATION, AtomValue::str(p.q11_nation.as_str())),
+        ))
+        .unnest(sattr("supplies"), "sup", "sp")
 }
 
 fn q11_value() -> Scalar {
@@ -54,7 +55,11 @@ pub fn q11_run(cat: &Catalog, ctx: &ExecCtx, p: &Params) -> moa::error::Result<Q
                 ),
             ),
         ])
-        .select(cmp(ScalarFunc::Gt, attr("value"), lit_d(threshold)));
+        .select(cmp(
+            ScalarFunc::Gt,
+            attr("value"),
+            prm(pid::Q11_THRESHOLD, AtomValue::Dbl(threshold)),
+        ));
     run_moa_rows(cat, ctx, &q)
 }
 
@@ -102,14 +107,18 @@ pub fn q12_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and_all(vec![
             or(
-                eq(attr("shipmode"), lit_s(&p.q12_mode1)),
-                eq(attr("shipmode"), lit_s(&p.q12_mode2)),
+                eq(attr("shipmode"), prm(pid::Q12_MODE1, AtomValue::str(p.q12_mode1.as_str()))),
+                eq(attr("shipmode"), prm(pid::Q12_MODE2, AtomValue::str(p.q12_mode2.as_str()))),
             ),
-            cmp(ScalarFunc::Ge, attr("receiptdate"), lit(AtomValue::Date(p.q12_date))),
+            cmp(
+                ScalarFunc::Ge,
+                attr("receiptdate"),
+                prm(pid::Q12_DATE_LO, AtomValue::Date(p.q12_date)),
+            ),
             cmp(
                 ScalarFunc::Lt,
                 attr("receiptdate"),
-                lit(AtomValue::Date(p.q12_date.add_months(12))),
+                prm(pid::Q12_DATE_HI, AtomValue::Date(p.q12_date.add_months(12))),
             ),
             cmp(ScalarFunc::Lt, attr("commitdate"), attr("receiptdate")),
             cmp(ScalarFunc::Lt, attr("shipdate"), attr("commitdate")),
@@ -184,7 +193,7 @@ pub fn q12_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 pub fn q13_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and(
-            eq(attr("order.clerk"), lit_s(&p.q13_clerk)),
+            eq(attr("order.clerk"), prm(pid::Q13_CLERK, AtomValue::str(p.q13_clerk.as_str()))),
             eq(attr("returnflag"), lit_c('R')),
         ))
         .project(vec![
@@ -249,8 +258,12 @@ pub fn q13_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 
 fn q14_month(p: &Params) -> Pred {
     and(
-        cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q14_date))),
-        cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q14_date.add_months(1)))),
+        cmp(ScalarFunc::Ge, attr("shipdate"), prm(pid::Q14_DATE_LO, AtomValue::Date(p.q14_date))),
+        cmp(
+            ScalarFunc::Lt,
+            attr("shipdate"),
+            prm(pid::Q14_DATE_HI, AtomValue::Date(p.q14_date.add_months(1))),
+        ),
     )
 }
 
@@ -327,8 +340,16 @@ pub fn q14_ref(db: &RelDb, p: &Params, pager: Option<&Pager>) -> RefOutput {
 pub fn q15_moa(p: &Params) -> SetExpr {
     SetExpr::extent("Item")
         .select(and(
-            cmp(ScalarFunc::Ge, attr("shipdate"), lit(AtomValue::Date(p.q15_date))),
-            cmp(ScalarFunc::Lt, attr("shipdate"), lit(AtomValue::Date(p.q15_date.add_months(3)))),
+            cmp(
+                ScalarFunc::Ge,
+                attr("shipdate"),
+                prm(pid::Q15_DATE_LO, AtomValue::Date(p.q15_date)),
+            ),
+            cmp(
+                ScalarFunc::Lt,
+                attr("shipdate"),
+                prm(pid::Q15_DATE_HI, AtomValue::Date(p.q15_date.add_months(3))),
+            ),
         ))
         .project(vec![
             ProjItem::new("sup", attr("supplier")),

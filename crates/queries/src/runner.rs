@@ -32,31 +32,57 @@ impl QueryResult {
 
     /// Sort rows canonically (for order-insensitive comparison).
     pub fn sorted(mut self) -> QueryResult {
-        self.0.sort_by(|a, b| {
-            for (x, y) in a.iter().zip(b.iter()) {
-                let o = cmp_atoms(x, y);
-                if o != std::cmp::Ordering::Equal {
-                    return o;
-                }
-            }
-            a.len().cmp(&b.len())
-        });
+        self.0.sort_by(|a, b| cmp_rows(a, b));
         self
     }
 
     /// Order-insensitive comparison with relative float tolerance.
+    ///
+    /// Rows are paired through sorted index vectors — the rows themselves
+    /// are never cloned. When the positional pairing after a full-order
+    /// sort fails, the failure may be an artifact of the sort itself: two
+    /// rows whose float cells differ only within `eps` can land at
+    /// different positions on each side. The fallback re-pairs rows
+    /// tolerance-aware — grouped by their non-float cells, floats matched
+    /// greedily within each group — so comparison never depends on how
+    /// eps-close floats happened to order.
     pub fn approx_eq(&self, other: &QueryResult, eps: f64) -> bool {
         if self.0.len() != other.0.len() {
             return false;
         }
-        let a = self.clone().sorted();
-        let b = other.clone().sorted();
-        a.0.iter().zip(&b.0).all(|(ra, rb)| {
-            ra.len() == rb.len()
-                && ra
+        let mut ia: Vec<usize> = (0..self.0.len()).collect();
+        let mut ib: Vec<usize> = (0..other.0.len()).collect();
+        ia.sort_by(|&x, &y| cmp_rows(&self.0[x], &self.0[y]));
+        ib.sort_by(|&x, &y| cmp_rows(&other.0[x], &other.0[y]));
+        if ia.iter().zip(&ib).all(|(&x, &y)| row_approx_eq(&self.0[x], &other.0[y], eps)) {
+            return true;
+        }
+        let mut groups: std::collections::HashMap<String, (Vec<usize>, Vec<usize>)> =
+            std::collections::HashMap::new();
+        for (i, row) in self.0.iter().enumerate() {
+            groups.entry(non_float_key(row)).or_default().0.push(i);
+        }
+        for (i, row) in other.0.iter().enumerate() {
+            groups.entry(non_float_key(row)).or_default().1.push(i);
+        }
+        groups.values().all(|(ga, gb)| {
+            if ga.len() != gb.len() {
+                return false;
+            }
+            let mut used = vec![false; gb.len()];
+            ga.iter().all(|&x| {
+                let found = gb
                     .iter()
-                    .zip(rb)
-                    .all(|(x, y)| Value::Atom(x.clone()).approx_eq(&Value::Atom(y.clone()), eps))
+                    .enumerate()
+                    .find(|&(j, &y)| !used[j] && row_approx_eq(&self.0[x], &other.0[y], eps));
+                match found {
+                    Some((j, _)) => {
+                        used[j] = true;
+                        true
+                    }
+                    None => false,
+                }
+            })
         })
     }
 
@@ -81,6 +107,49 @@ fn cmp_atoms(a: &AtomValue, b: &AtomValue) -> std::cmp::Ordering {
     } else {
         format!("{:?}", a.atom_type()).cmp(&format!("{:?}", b.atom_type()))
     }
+}
+
+fn cmp_rows(a: &[AtomValue], b: &[AtomValue]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let o = cmp_atoms(x, y);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn atom_approx_eq(a: &AtomValue, b: &AtomValue, eps: f64) -> bool {
+    match (a, b) {
+        // Same relative tolerance as `Value::approx_eq`.
+        (AtomValue::Dbl(x), AtomValue::Dbl(y)) => {
+            (x - y).abs() <= eps * (1.0 + x.abs().max(y.abs()))
+        }
+        _ => a == b,
+    }
+}
+
+fn row_approx_eq(a: &[AtomValue], b: &[AtomValue], eps: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| atom_approx_eq(x, y, eps))
+}
+
+/// Grouping key for tolerance-aware pairing: the row with every float
+/// cell erased (position-preserving), so two rows that can only differ
+/// by float noise land in the same group.
+fn non_float_key(row: &[AtomValue]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (i, v) in row.iter().enumerate() {
+        match v {
+            AtomValue::Dbl(_) => {
+                let _ = write!(s, "{i}:f|");
+            }
+            other => {
+                let _ = write!(s, "{i}:{other:?}|");
+            }
+        }
+    }
+    s
 }
 
 fn value_to_row(v: Value) -> Result<Vec<AtomValue>> {
@@ -192,5 +261,29 @@ mod tests {
         let c = QueryResult(vec![vec![AtomValue::Int(1), AtomValue::Dbl(2.0)]]);
         assert!(!a.approx_eq(&c, 1e-9));
         assert!(!a.preview(1).is_empty());
+    }
+
+    #[test]
+    fn approx_eq_pairs_eps_close_floats_by_nonfloat_columns() {
+        // The leading float cells differ only within eps, so the two rows
+        // sort to opposite positions on each side; positional pairing after
+        // the sort would compare Int(1) against Int(2). The tolerance-aware
+        // fallback must re-pair them by the non-float column.
+        let a = QueryResult(vec![
+            vec![AtomValue::Dbl(1.0), AtomValue::Int(1)],
+            vec![AtomValue::Dbl(1.0 + 1e-12), AtomValue::Int(2)],
+        ]);
+        let b = QueryResult(vec![
+            vec![AtomValue::Dbl(1.0), AtomValue::Int(2)],
+            vec![AtomValue::Dbl(1.0 + 1e-12), AtomValue::Int(1)],
+        ]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(b.approx_eq(&a, 1e-9));
+        // A genuinely different float is still a mismatch.
+        let c = QueryResult(vec![
+            vec![AtomValue::Dbl(1.0), AtomValue::Int(1)],
+            vec![AtomValue::Dbl(2.0), AtomValue::Int(2)],
+        ]);
+        assert!(!a.approx_eq(&c, 1e-9));
     }
 }

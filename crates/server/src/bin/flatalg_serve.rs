@@ -1,0 +1,123 @@
+//! Drive the in-process query service with M concurrent client threads
+//! running the mixed Q1–Q15 workload, and report throughput plus plan-cache
+//! amortization.
+//!
+//! ```text
+//! FLATALG_SF=0.01 FLATALG_CLIENTS=4 FLATALG_REPS=5 flatalg_serve
+//! ```
+//!
+//! Environment:
+//! * `FLATALG_SF`        — scale factor (default 0.01)
+//! * `FLATALG_CLIENTS`   — concurrent client threads (default 4)
+//! * `FLATALG_REPS`      — mixed-workload passes per client (default 5)
+//! * `FLATALG_ADMIT`     — admission limit (default: worker-thread count)
+//! * `FLATALG_PLAN_CACHE`— plan-cache capacity, 0 disables (default 64)
+//! * `FLATALG_THREADS`   — worker threads per statement (kernel knob)
+
+use std::time::Instant;
+
+use flatalg_server::{Server, ServerConfig};
+use tpcd_queries::{all_queries, Params};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sf = env_f64("FLATALG_SF", 0.01);
+    let clients = env_usize("FLATALG_CLIENTS", 4);
+    let reps = env_usize("FLATALG_REPS", 5);
+    let config = ServerConfig::from_env();
+
+    let t0 = Instant::now();
+    let data = tpcd::generate(sf, 19980223);
+    let (cat, report) = tpcd::load_bats(&data);
+    let params = Params::for_data(&data);
+    println!(
+        "flatalg_serve: sf={sf} ({} BATs, {} items) loaded in {:.2}s",
+        report.bat_count,
+        data.items.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "config: clients={clients} reps={reps} admit={} plan_cache={:?} threads={}",
+        config.max_concurrent,
+        config.plan_cache,
+        monet::par::config_key().0
+    );
+
+    let server = Server::with_config(&cat, config);
+    let queries = all_queries();
+
+    // Warm pass: one session prepares every workload shape.
+    let warm = Instant::now();
+    {
+        let session = server.session();
+        for q in &queries {
+            if let Err(e) = session.run_query(q, &params) {
+                eprintln!("q{} failed during warmup: {e}", q.id);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("warmup: mixed workload prepared in {:.3}s", warm.elapsed().as_secs_f64());
+
+    // Measured phase: M clients, each running `reps` mixed passes with a
+    // rotated start so different queries collide at the gate.
+    let t1 = Instant::now();
+    let failures = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (server, queries, params, failures) = (&server, &queries, &params, &failures);
+            s.spawn(move || {
+                let session = server.session();
+                for rep in 0..reps {
+                    for i in 0..queries.len() {
+                        let q = &queries[(i + c * 5 + rep) % queries.len()];
+                        if session.run_query(q, params).is_err() {
+                            failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = t1.elapsed().as_secs_f64();
+    let served = clients * reps * queries.len();
+    let stats = server.stats();
+    println!(
+        "served {served} queries from {clients} clients in {wall:.3}s — {:.1} qps",
+        served as f64 / wall
+    );
+    println!(
+        "admission: executed={} waited={} (limit {})",
+        stats.executed,
+        stats.waited,
+        ServerConfig::from_env().max_concurrent
+    );
+    if let Some(c) = stats.cache {
+        println!(
+            "plan cache: hits={} misses={} evictions={} bypasses={} resident={}",
+            c.hits, c.misses, c.evictions, c.bypasses, c.len
+        );
+    } else {
+        println!("plan cache: disabled");
+    }
+    let fails = failures.load(std::sync::atomic::Ordering::Relaxed);
+    if fails > 0 {
+        eprintln!("{fails} queries failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,346 @@
+//! # flatalg-server — an in-process query service over the flattened algebra
+//!
+//! One shared [`Catalog`] (schema + BATs) and the process-wide `monet::par`
+//! worker pool serve many concurrent client sessions. There is no wire
+//! protocol: a [`Server`] is embedded in the host process and clients are
+//! threads holding a [`Session`] each.
+//!
+//! The service adds two things over calling the translator directly:
+//!
+//! * **Prepared statements.** Every translation a session performs goes
+//!   through the server's shared [`PlanCache`]: the first execution of a
+//!   query shape translates and optimizes the MIL program, subsequent
+//!   executions re-bind the `prm(id, value)` parameter slots of the cached
+//!   plan without re-running the translator or the optimizer. Catalog
+//!   changes invalidate silently (the `Db` epoch is part of the cache key),
+//!   and scoped optimizer/thread-config overrides can never be served a
+//!   plan cached under a different configuration.
+//! * **Admission control.** Statements are admitted through a FIFO ticket
+//!   gate bounding how many run at once, so a burst of sessions cannot
+//!   oversubscribe the shared worker pool; waiting statements are served
+//!   strictly in arrival order (no starvation). The permit is released on
+//!   unwind, so a panicking query cannot wedge the gate or the pool.
+//!
+//! ```
+//! use flatalg_server::{Server, ServerConfig};
+//! use tpcd_queries::{all_queries, Params};
+//!
+//! let data = tpcd::generate(0.001, 42);
+//! let (cat, _report) = tpcd::load_bats(&data);
+//! let params = Params::for_data(&data);
+//! let server = Server::with_config(&cat, ServerConfig::default());
+//! let session = server.session();
+//! for q in all_queries() {
+//!     session.run_query(&q, &params).unwrap();
+//! }
+//! // Second round: every plan comes from the cache.
+//! let before = server.stats();
+//! for q in all_queries() {
+//!     session.run_query(&q, &params).unwrap();
+//! }
+//! let after = server.stats();
+//! assert_eq!(after.cache.unwrap().misses, before.cache.unwrap().misses);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use moa::catalog::Catalog;
+use moa::error::Result;
+use moa::plancache::{self, with_plan_cache, PlanCache, PlanCacheStats};
+use moa::prelude::SetExpr;
+use monet::ctx::ExecCtx;
+use tpcd_queries::runner::{run_moa_rows, QueryResult};
+use tpcd_queries::{Params, Query};
+
+// ---------------------------------------------------------------------------
+// Admission gate
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    next_ticket: u64,
+    now_serving: u64,
+    running: usize,
+}
+
+/// FIFO ticket gate: at most `limit` statements run at once and waiting
+/// statements are admitted strictly in arrival order.
+struct Gate {
+    limit: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+    waited: AtomicU64,
+}
+
+/// RAII admission permit; dropping it (including on unwind) frees a slot.
+struct Permit<'g> {
+    gate: &'g Gate,
+}
+
+impl Gate {
+    fn new(limit: usize) -> Gate {
+        Gate {
+            limit: limit.max(1),
+            state: Mutex::new(GateState { next_ticket: 0, now_serving: 0, running: 0 }),
+            cv: Condvar::new(),
+            waited: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        // A panic inside an admitted statement happens outside this mutex,
+        // but survive poisoning anyway: the state transitions below are
+        // all panic-free.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut st = self.lock();
+        let me = st.next_ticket;
+        st.next_ticket += 1;
+        if st.now_serving != me || st.running >= self.limit {
+            self.waited.fetch_add(1, Ordering::Relaxed);
+        }
+        while st.now_serving != me || st.running >= self.limit {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.now_serving += 1;
+        st.running += 1;
+        drop(st);
+        // The next ticket may be admissible right away (free slots left).
+        self.cv.notify_all();
+        Permit { gate: self }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.running -= 1;
+        drop(st);
+        self.gate.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum statements executing concurrently (minimum 1). Defaults to
+    /// the configured worker-thread count — admitting more would only
+    /// oversubscribe the shared pool.
+    pub max_concurrent: usize,
+    /// Plan-cache capacity; `None` disables caching (every execution
+    /// translates and optimizes from scratch — the oracle configuration).
+    pub plan_cache: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_concurrent: monet::par::config_key().0.max(1),
+            plan_cache: Some(plancache::DEFAULT_CAPACITY),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Configuration from the environment: `FLATALG_ADMIT` overrides the
+    /// admission limit, `FLATALG_PLAN_CACHE` the cache capacity (0 turns
+    /// caching off).
+    pub fn from_env() -> ServerConfig {
+        let admit = std::env::var("FLATALG_ADMIT")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        ServerConfig {
+            max_concurrent: admit.unwrap_or_else(|| monet::par::config_key().0.max(1)),
+            plan_cache: plancache::env_capacity(),
+        }
+    }
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Statements admitted and executed (including failed ones).
+    pub executed: u64,
+    /// Statements that had to wait at the admission gate.
+    pub waited: u64,
+    /// Plan-cache counters, when caching is enabled.
+    pub cache: Option<PlanCacheStats>,
+}
+
+/// The in-process query service: one shared catalog, one plan cache, one
+/// admission gate. Create one per database; hand out [`Session`]s to
+/// client threads (`Server` is `Sync`, sessions are cheap).
+pub struct Server<'db> {
+    cat: &'db Catalog,
+    cache: Option<Arc<PlanCache>>,
+    gate: Gate,
+    executed: AtomicU64,
+}
+
+impl<'db> Server<'db> {
+    /// A server configured from the environment (see
+    /// [`ServerConfig::from_env`]).
+    pub fn new(cat: &'db Catalog) -> Server<'db> {
+        Server::with_config(cat, ServerConfig::from_env())
+    }
+
+    pub fn with_config(cat: &'db Catalog, config: ServerConfig) -> Server<'db> {
+        Server {
+            cat,
+            cache: config.plan_cache.map(PlanCache::with_capacity),
+            gate: Gate::new(config.max_concurrent),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a client session. Each session owns its execution context;
+    /// any number may run concurrently.
+    pub fn session(&self) -> Session<'_, 'db> {
+        Session { server: self, ctx: ExecCtx::new() }
+    }
+
+    /// The shared catalog this server serves.
+    pub fn catalog(&self) -> &'db Catalog {
+        self.cat
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            waited: self.gate.waited.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// Drop every cached plan (e.g. after mutating the catalog through an
+    /// external handle). Plans cached before a `Db` epoch bump are already
+    /// unreachable — this reclaims their memory.
+    pub fn invalidate_plans(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A prepared statement: the query shape has been translated and
+/// optimized, and the plan is resident in the server's cache. Executing
+/// it — or any expression of the same shape with different `prm` values —
+/// only re-binds the parameter slots.
+pub struct Prepared {
+    expr: SetExpr,
+}
+
+impl Prepared {
+    /// The expression this statement was prepared from.
+    pub fn expr(&self) -> &SetExpr {
+        &self.expr
+    }
+}
+
+/// One client's handle on the service. Sessions are single-threaded (one
+/// statement at a time per session); concurrency comes from many sessions.
+pub struct Session<'srv, 'db> {
+    server: &'srv Server<'db>,
+    ctx: ExecCtx,
+}
+
+impl<'srv, 'db> Session<'srv, 'db> {
+    /// Run a closure as one admitted statement: it holds an admission
+    /// permit and sees the server's plan cache as the ambient cache, so
+    /// every `translate` inside it is served from / recorded into the
+    /// cache. The permit is released even if the closure panics.
+    pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _permit = self.server.gate.acquire();
+        self.server.executed.fetch_add(1, Ordering::Relaxed);
+        match &self.server.cache {
+            Some(c) => with_plan_cache(Arc::clone(c), f),
+            None => f(),
+        }
+    }
+
+    /// Translate and optimize `expr` now, so later executions of this
+    /// shape are pure cache hits (parameter re-binding only).
+    pub fn prepare(&self, expr: SetExpr) -> Result<Prepared> {
+        self.scoped(|| moa::translate::translate(self.server.cat, &expr).map(|_| ()))?;
+        Ok(Prepared { expr })
+    }
+
+    /// Execute a prepared statement with the parameter values it was
+    /// prepared with.
+    pub fn execute(&self, stmt: &Prepared) -> Result<QueryResult> {
+        self.execute_expr(&stmt.expr)
+    }
+
+    /// Execute a set expression. To re-bind a prepared statement with new
+    /// parameter values, pass a freshly built expression of the same shape
+    /// (same `prm` ids, new values): the cached plan is re-bound, not
+    /// re-translated.
+    pub fn execute_expr(&self, expr: &SetExpr) -> Result<QueryResult> {
+        self.scoped(|| run_moa_rows(self.server.cat, &self.ctx, expr))
+    }
+
+    /// Run one of the TPC-D workload queries. Multi-statement drivers
+    /// (Q8, Q11, Q14) run all their programs under a single admission
+    /// permit, like a client transaction would.
+    pub fn run_query(&self, q: &Query, params: &Params) -> Result<QueryResult> {
+        self.scoped(|| (q.run_moa)(self.server.cat, &self.ctx, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn gate_is_fifo_and_bounded() {
+        let gate = Arc::new(Gate::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _p = gate.acquire();
+                        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        running.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission limit exceeded");
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let gate = Arc::new(Gate::new(1));
+        let g2 = Arc::clone(&gate);
+        let r = std::thread::spawn(move || {
+            let _p = g2.acquire();
+            panic!("statement died");
+        })
+        .join();
+        assert!(r.is_err());
+        // The slot must be free again: this would deadlock otherwise.
+        let _p = gate.acquire();
+    }
+}

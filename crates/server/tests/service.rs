@@ -1,0 +1,183 @@
+//! End-to-end tests of the query service: concurrent prepared-statement
+//! sessions over one shared `Db` must be bit-identical to single-shot
+//! uncached execution, the plan cache must count hits/misses/evictions
+//! faithfully, scoped config overrides must never be served a plan cached
+//! under a different configuration, and a panicking statement must not
+//! wedge the admission gate or the shared worker pool.
+
+use flatalg_server::{Server, ServerConfig};
+use monet::mil::opt::{self, with_opt_level, OptLevel};
+use monet::par;
+use tpcd_queries::q11_15::q13_moa;
+use tpcd_queries::{all_queries, QueryResult};
+
+fn cfg(admit: usize, cache: usize) -> ServerConfig {
+    ServerConfig { max_concurrent: admit, plan_cache: Some(cache) }
+}
+
+/// N sessions running the mixed Q1–Q15 workload concurrently (rotated
+/// start points, shared plan cache) must reproduce the single-shot
+/// uncached oracles bit-for-bit — at one worker thread and at four.
+#[test]
+fn concurrent_sessions_match_single_shot_oracles() {
+    let w = bench::world();
+    let queries = all_queries();
+    // Single-shot oracles: no server, no cache, serial execution.
+    let oracles: Vec<QueryResult> = par::with_threads(1, || {
+        let ctx = monet::ctx::ExecCtx::new();
+        queries.iter().map(|q| (q.run_moa)(&w.cat, &ctx, &w.params).unwrap()).collect()
+    });
+    for threads in [1usize, 4] {
+        let server = Server::with_config(&w.cat, cfg(3, 64));
+        let drivers = 3usize;
+        std::thread::scope(|s| {
+            for d in 0..drivers {
+                let (server, queries, oracles) = (&server, &queries, &oracles);
+                s.spawn(move || {
+                    // Thread configuration is per client thread.
+                    par::with_threads(threads, || {
+                        let session = server.session();
+                        for i in 0..queries.len() {
+                            let i = (i + d * 5) % queries.len();
+                            let got = session.run_query(&queries[i], &w.params).unwrap();
+                            assert_eq!(
+                                got, oracles[i],
+                                "query {} diverged at {threads} threads",
+                                queries[i].id
+                            );
+                        }
+                    });
+                });
+            }
+        });
+        let cache = server.stats().cache.unwrap();
+        assert_eq!(cache.bypasses, 0, "every workload plan must be cacheable");
+        assert!(cache.hits > 0, "concurrent drivers must share plans");
+    }
+}
+
+/// Prepared statements: the first execution misses and pays translation,
+/// repeats hit, and a hit performs zero translate/optimize work. Fresh
+/// parameter values re-bind the cached plan and still match the uncached
+/// oracle.
+#[test]
+fn prepared_statements_hit_rebind_and_skip_the_optimizer() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(2, 16));
+    let session = server.session();
+    let stmt = session.prepare(q13_moa(&w.params)).unwrap();
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (0, 1));
+    let r1 = session.execute(&stmt).unwrap();
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (1, 1));
+    // A cache hit runs no optimizer passes at all.
+    opt::reset_cumulative();
+    let r2 = session.execute(&stmt).unwrap();
+    assert_eq!(opt::cumulative(), (0, 0), "hits must skip translate+optimize");
+    assert_eq!(r1, r2);
+    // Re-bind: same shape, different clerk. Still a hit, still correct.
+    let mut p2 = w.params.clone();
+    p2.q13_clerk = tpcd::text::clerk_name(1);
+    let rebound = session.execute_expr(&q13_moa(&p2)).unwrap();
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (3, 1));
+    let oracle = {
+        let ctx = monet::ctx::ExecCtx::new();
+        tpcd_queries::run_moa_rows(&w.cat, &ctx, &q13_moa(&p2)).unwrap()
+    };
+    assert_eq!(rebound, oracle, "re-bound plan diverged from uncached oracle");
+}
+
+/// A second pass over the full mixed workload translates nothing: every
+/// plan (including the multi-statement drivers' phases) is served from
+/// the cache with zero optimizer work.
+#[test]
+fn second_round_of_the_full_workload_is_all_cache_hits() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(2, 64));
+    let session = server.session();
+    let queries = all_queries();
+    for q in &queries {
+        session.run_query(q, &w.params).unwrap();
+    }
+    let s1 = server.stats().cache.unwrap();
+    assert_eq!(s1.bypasses, 0, "every workload plan must be cacheable");
+    opt::reset_cumulative();
+    for q in &queries {
+        session.run_query(q, &w.params).unwrap();
+    }
+    assert_eq!(opt::cumulative(), (0, 0), "round 2 must run zero translate/optimize");
+    let s2 = server.stats().cache.unwrap();
+    assert_eq!(s2.misses, s1.misses, "round 2 must not translate");
+    // Round 2 repeats round 1's translate calls exactly, all as hits.
+    assert_eq!(s2.hits - s1.hits, s1.misses + s1.hits);
+}
+
+/// The LRU bound is enforced: with capacity 2, a third shape evicts and
+/// the evicted shape misses again on return.
+#[test]
+fn small_cache_evicts_least_recently_used_plans() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(2, 2));
+    let session = server.session();
+    let a = q13_moa(&w.params);
+    let b = tpcd_queries::q11_15::q15_moa(&w.params);
+    let c = tpcd_queries::q01_05::q4_moa(&w.params);
+    session.execute_expr(&a).unwrap();
+    session.execute_expr(&b).unwrap();
+    session.execute_expr(&c).unwrap(); // evicts a
+    let s = server.stats().cache.unwrap();
+    assert_eq!(s.evictions, 1);
+    assert_eq!(s.len, 2);
+    session.execute_expr(&a).unwrap(); // miss again
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (0, 4));
+}
+
+/// Satellite 3 regression: a scoped `OptLevel` or thread-config override
+/// must never be served a plan cached under a different effective config —
+/// and returning to the original config must still hit the original plans.
+#[test]
+fn scoped_config_overrides_never_reuse_wrong_plans() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(2, 16));
+    let session = server.session();
+    let q = q13_moa(&w.params);
+    // Pin both levels explicitly so the test holds under any ambient
+    // config (CI also runs the whole suite with FLATALG_OPT=0).
+    let full = with_opt_level(OptLevel::Full, || session.execute_expr(&q)).unwrap();
+    let off = with_opt_level(OptLevel::Off, || session.execute_expr(&q)).unwrap();
+    assert_eq!(full, off, "optimizer must preserve results");
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (0, 2), "OptLevel flip must key a distinct plan");
+    let t3 = par::with_threads(3, || with_opt_level(OptLevel::Full, || session.execute_expr(&q)))
+        .unwrap();
+    assert_eq!(full, t3);
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (0, 3), "thread-config flip must key a distinct plan");
+    // Back at the original configs, both cached plans hit.
+    with_opt_level(OptLevel::Full, || session.execute_expr(&q)).unwrap();
+    with_opt_level(OptLevel::Off, || session.execute_expr(&q)).unwrap();
+    let s = server.stats().cache.unwrap();
+    assert_eq!((s.hits, s.misses), (2, 3));
+}
+
+/// A panicking statement releases its admission permit (the gate has a
+/// single slot here — a leak would deadlock) and leaves the shared worker
+/// pool fully usable, including for parallel execution.
+#[test]
+fn panicking_statement_does_not_wedge_the_service() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(1, 8));
+    let session = server.session();
+    let oracle = session.execute_expr(&q13_moa(&w.params)).unwrap();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.scoped(|| -> () { panic!("client bug") })
+    }));
+    assert!(r.is_err());
+    // The single admission slot is free again and parallel execution on
+    // the shared pool still produces the bit-identical result.
+    let got = par::with_threads(4, || server.session().execute_expr(&q13_moa(&w.params)).unwrap());
+    assert_eq!(got, oracle);
+}
