@@ -315,7 +315,8 @@ fn main() {
     recs.push(measure(base.as_ref(), "join/partitioned-probe", part_probe_n, || {
         // Pinned serial: this is the single-thread trajectory line; the
         // threaded comparison lives in par/join-partitioned-{serial,par}.
-        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right));
+        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right))
+            .unwrap();
     }));
     recs.push(measure(base.as_ref(), "join/monolithic-probe-big", part_probe_n, || {
         ops::join::join_hash(&ctx, &part_left, &part_right);
@@ -432,12 +433,14 @@ fn main() {
         monet::par::with_threads(par_threads, || ops::group1(&ctx, &big_keys)).unwrap();
     }));
     recs.push(measure(base.as_ref(), "par/join-partitioned-serial", part_probe_n, || {
-        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right));
+        monet::par::with_threads(1, || ops::join_partitioned(&ctx, &part_left, &part_right))
+            .unwrap();
     }));
     recs.push(measure(base.as_ref(), "par/join-partitioned-par", part_probe_n, || {
         monet::par::with_threads(par_threads, || {
             ops::join_partitioned(&ctx, &part_left, &part_right)
-        });
+        })
+        .unwrap();
     }));
 
     // q13 end to end over the memoized world
@@ -469,6 +472,30 @@ fn main() {
             .unwrap();
     }));
 
+    // Governor overhead: the same optimized Q1/Q13 with enforcement armed —
+    // a byte budget and a far-off deadline, so every tracked allocation is
+    // charged against a limit and every probe takes its deadline branch —
+    // against the `plan/*-opt` lines above, where the governor idles (two
+    // relaxed loads per probe). The pair tracks the enforcement cost in
+    // the trajectory; target ≤ 2%.
+    let gov_ctx = monet::ctx::ExecCtx::new();
+    gov_ctx.mem.set_budget(Some(1 << 40));
+    recs.push(measure(base.as_ref(), "gov/q1-governed", q13_rows, || {
+        gov_ctx.gov.set_deadline(Some(std::time::Duration::from_secs(3600)));
+        with_opt_level(OptLevel::Full, || {
+            tpcd_queries::q01_05::q1_run(&w.cat, &gov_ctx, &w.params)
+        })
+        .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "gov/q13-governed", q13_rows, || {
+        gov_ctx.gov.set_deadline(Some(std::time::Duration::from_secs(3600)));
+        with_opt_level(OptLevel::Full, || {
+            tpcd_queries::q11_15::q13_run(&w.cat, &gov_ctx, &w.params)
+        })
+        .unwrap();
+    }));
+    gov_ctx.gov.set_deadline(None);
+
     // Query-service throughput: the mixed Q1–Q15 workload through
     // prepared-statement sessions sharing one plan cache and admission
     // gate. `rows` counts queries per pass, so the rows/s column reads
@@ -480,7 +507,11 @@ fn main() {
         let queries = tpcd_queries::all_queries();
         let server = Server::with_config(
             &w.cat,
-            ServerConfig { max_concurrent: par_threads.max(1), plan_cache: Some(64) },
+            ServerConfig {
+                max_concurrent: par_threads.max(1),
+                plan_cache: Some(64),
+                ..ServerConfig::default()
+            },
         );
         {
             let session = server.session();

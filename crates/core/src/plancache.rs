@@ -656,6 +656,22 @@ mod tests {
     }
 
     #[test]
+    fn failed_translation_leaves_no_partial_entry() {
+        let cat = mini_catalog();
+        let cache = PlanCache::with_capacity(8);
+        let bad = SetExpr::extent("Item").select(eq(attr("no_such_attr"), lit_d(1.0)));
+        assert!(cache.translate(&cat, &bad, OptLevel::Full).is_err());
+        let s = cache.stats();
+        assert_eq!((s.len, s.misses, s.hits), (0, 0, 0), "a failed translate must insert nothing");
+        // The cache still works, and the failing shape keeps failing
+        // deterministically — it never turns into a bogus hit.
+        let _ = cache.translate(&cat, &q(1.0), OptLevel::Full).unwrap();
+        assert!(cache.translate(&cat, &bad, OptLevel::Full).is_err());
+        let s = cache.stats();
+        assert_eq!((s.len, s.misses, s.hits), (1, 1, 0));
+    }
+
+    #[test]
     fn lru_evicts_at_capacity() {
         let cat = mini_catalog();
         let cache = PlanCache::with_capacity(1);

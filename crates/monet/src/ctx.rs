@@ -1,18 +1,48 @@
-//! Execution context: pager, trace, memory accounting, oid generation.
+//! Execution context: pager, trace, memory accounting, oid generation, and
+//! the resource governor.
 //!
 //! Every BAT-algebra operator takes an [`ExecCtx`]. The default context is
-//! entirely passive (no pager, no trace) and adds no measurable overhead;
-//! the benchmark harnesses install a pager and a trace sink to produce the
-//! page-fault and per-statement columns of Figures 8–10.
+//! entirely passive (no pager, no trace, no budget) and adds no measurable
+//! overhead; the benchmark harnesses install a pager and a trace sink to
+//! produce the page-fault and per-statement columns of Figures 8–10, and
+//! the query service arms per-statement deadlines and memory budgets on the
+//! same context.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::sync::Mutex;
 
 use crate::atom::Oid;
 use crate::bat::Bat;
+use crate::error::{MonetError, Result};
+use crate::gov::{CancelToken, Governor};
 use crate::pager::Pager;
+
+/// `FLATALG_MEM_BUDGET` parsed once per process: default per-query byte
+/// budget applied to every new context (0 or unset = unlimited). Accepts a
+/// plain byte count or a `k`/`m`/`g` suffix (powers of 1024).
+fn env_mem_budget() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let raw = match std::env::var("FLATALG_MEM_BUDGET") {
+            Ok(v) => v,
+            Err(_) => return 0,
+        };
+        let s = raw.trim().to_ascii_lowercase();
+        let (digits, unit) = match s.strip_suffix(['k', 'm', 'g']) {
+            Some(d) => (d, s.as_bytes()[s.len() - 1]),
+            None => (s.as_str(), b' '),
+        };
+        let n: u64 = digits.trim().parse().unwrap_or(0);
+        match unit {
+            b'k' => n << 10,
+            b'm' => n << 20,
+            b'g' => n << 30,
+            _ => n,
+        }
+    })
+}
 
 /// One trace record per executed kernel operation, mirroring the rows of
 /// the paper's Figure 10 (elapsed ms, page faults, and — our addition — the
@@ -34,14 +64,27 @@ pub struct TraceEvent {
     pub result_bytes: usize,
 }
 
-/// Aggregate memory accounting for the "total / max (MB)" columns of
-/// Figure 9.
+/// Memory accounting and enforcement.
+///
+/// Two roles: (1) the observational "total / max (MB)" columns of Figure 9
+/// (`total_bytes` / `max_live_bytes`, maintained by the MIL interpreter's
+/// liveness analysis), and (2) the **governor's byte budget** — every
+/// tracked allocation goes through [`MemTracker::charge`], which fails with
+/// [`MonetError::BudgetExceeded`] once the charged live set passes the
+/// budget. The interpreter releases a value's charge when liveness frees
+/// it, so the budget bounds the *live* intermediate set, not the total.
 #[derive(Debug, Default)]
 pub struct MemTracker {
     /// Sum of all intermediate-result bytes materialized so far.
     total_bytes: AtomicU64,
     /// High-water mark of the live set, maintained by the MIL interpreter.
     max_live_bytes: AtomicU64,
+    /// Charged-but-not-released bytes (the governor's live set).
+    charged: AtomicU64,
+    /// High-water mark of `charged` since the last [`MemTracker::begin`].
+    charged_peak: AtomicU64,
+    /// Enforced budget in bytes; 0 = unlimited.
+    budget_bytes: AtomicU64,
 }
 
 impl MemTracker {
@@ -64,20 +107,79 @@ impl MemTracker {
     pub fn reset(&self) {
         self.total_bytes.store(0, Ordering::Relaxed);
         self.max_live_bytes.store(0, Ordering::Relaxed);
+        self.charged.store(0, Ordering::Relaxed);
+        self.charged_peak.store(0, Ordering::Relaxed);
+    }
+
+    /// Set (or lift, with `None`/0) the per-query byte budget. Sessions use
+    /// this to override the `FLATALG_MEM_BUDGET` process default.
+    pub fn set_budget(&self, bytes: Option<u64>) {
+        self.budget_bytes.store(bytes.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Enforced budget in bytes; 0 = unlimited.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Start a fresh charge window (one MIL program): the live charge and
+    /// its peak restart at zero.
+    pub fn begin(&self) {
+        self.charged.store(0, Ordering::Relaxed);
+        self.charged_peak.store(0, Ordering::Relaxed);
+    }
+
+    /// Charge `bytes` against the budget on behalf of `op`. The charge
+    /// sticks even on failure (the allocation already happened); the
+    /// interpreter's liveness frees release it either way.
+    pub fn charge(&self, op: &'static str, bytes: u64) -> Result<()> {
+        let live = self.charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.charged_peak.fetch_max(live, Ordering::Relaxed);
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        if budget != 0 && live > budget {
+            return Err(MonetError::BudgetExceeded { op, live_bytes: live, budget_bytes: budget });
+        }
+        Ok(())
+    }
+
+    /// Return a previous charge (the value was freed).
+    pub fn release(&self, bytes: u64) {
+        // Saturating: an unmatched release must not wrap the live counter.
+        let _ = self
+            .charged
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
+    }
+
+    /// Currently charged (live) bytes.
+    pub fn charged_bytes(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the charged live set since [`MemTracker::begin`].
+    pub fn charged_peak(&self) -> u64 {
+        self.charged_peak.load(Ordering::Relaxed)
     }
 }
 
 /// Shared execution context.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ExecCtx {
     /// Simulated pager; `None` disables fault accounting.
     pub pager: Option<Arc<Pager>>,
     /// Trace sink; `None` disables tracing.
     pub trace: Option<Arc<Mutex<Vec<TraceEvent>>>>,
-    /// Memory accounting (always on; negligible cost).
+    /// Memory accounting and budget enforcement (always on).
     pub mem: Arc<MemTracker>,
+    /// Resource governor: cancellation, deadline, fault injection.
+    pub gov: Arc<Governor>,
     /// Generator for fresh oids (`unique_oid(..)` of the `group` operator).
     oid_gen: Arc<AtomicU64>,
+}
+
+impl Default for ExecCtx {
+    fn default() -> ExecCtx {
+        ExecCtx::new()
+    }
 }
 
 /// Fresh oids start far above any base-data oid so that generated group
@@ -85,14 +187,31 @@ pub struct ExecCtx {
 const FRESH_OID_BASE: Oid = 1 << 40;
 
 impl ExecCtx {
-    /// Passive context: no pager, no trace.
+    /// Passive context: no pager, no trace; the memory budget defaults to
+    /// `FLATALG_MEM_BUDGET` (unlimited when unset) and the fault injector
+    /// to `FLATALG_FAULT` (disarmed when unset).
     pub fn new() -> ExecCtx {
+        let mem = MemTracker::default();
+        mem.set_budget(Some(env_mem_budget()));
         ExecCtx {
             pager: None,
             trace: None,
-            mem: Arc::new(MemTracker::default()),
+            mem: Arc::new(mem),
+            gov: Arc::new(Governor::new()),
             oid_gen: Arc::new(AtomicU64::new(FRESH_OID_BASE)),
         }
+    }
+
+    /// One governor probe (cancellation / deadline / fault-injection
+    /// point). See [`Governor::probe`].
+    #[inline]
+    pub fn probe(&self, site: &'static str) -> Result<()> {
+        self.gov.probe(site)
+    }
+
+    /// A cancellation handle for this context; usable from any thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.gov.cancel_token()
     }
 
     /// Attach a pager.
@@ -125,9 +244,12 @@ impl ExecCtx {
         self.pager.as_ref().map_or(0, |p| p.faults())
     }
 
-    /// Record a completed operation: trace event + memory accounting.
-    /// `faults_before` should be sampled via [`ExecCtx::faults`] before the
-    /// operation ran.
+    /// Record a completed operation: trace event + memory accounting + the
+    /// governor's budget charge. `faults_before` should be sampled via
+    /// [`ExecCtx::faults`] before the operation ran. Fails with
+    /// [`MonetError::BudgetExceeded`] when the charge passes the budget —
+    /// the trace event is still emitted so aborted queries remain
+    /// diagnosable.
     pub fn record(
         &self,
         op: &'static str,
@@ -135,7 +257,7 @@ impl ExecCtx {
         started: std::time::Instant,
         faults_before: u64,
         result: &Bat,
-    ) {
+    ) -> Result<()> {
         let bytes = result.bytes();
         self.mem.add_total(bytes as u64);
         if let Some(t) = &self.trace {
@@ -148,6 +270,7 @@ impl ExecCtx {
                 result_bytes: bytes,
             });
         }
+        self.mem.charge(op, bytes as u64)
     }
 }
 
@@ -170,8 +293,9 @@ mod tests {
         let ctx = ExecCtx::new().with_trace();
         let bat = Bat::new(Column::void(0, 8), Column::from_ints(vec![1; 8]));
         let before = ctx.faults();
-        ctx.record("test", "unit", std::time::Instant::now(), before, &bat);
+        ctx.record("test", "unit", std::time::Instant::now(), before, &bat).unwrap();
         assert_eq!(ctx.mem.total_bytes(), bat.bytes() as u64);
+        assert_eq!(ctx.mem.charged_bytes(), bat.bytes() as u64);
         let trace = ctx.take_trace();
         assert_eq!(trace.len(), 1);
         assert_eq!(trace[0].op, "test");
@@ -185,5 +309,46 @@ mod tests {
         m.observe_live(50);
         m.observe_live(200);
         assert_eq!(m.max_live_bytes(), 200);
+    }
+
+    #[test]
+    fn charge_enforces_the_budget_and_release_frees_headroom() {
+        let m = MemTracker::default();
+        assert!(m.charge("a", 1 << 30).is_ok(), "no budget: unlimited");
+        m.begin();
+        m.set_budget(Some(100));
+        assert!(m.charge("a", 60).is_ok());
+        assert!(m.charge("b", 40).is_ok(), "exactly at budget is fine");
+        let err = m.charge("c", 1).unwrap_err();
+        assert_eq!(err, MonetError::BudgetExceeded { op: "c", live_bytes: 101, budget_bytes: 100 });
+        assert_eq!(m.charged_peak(), 101, "failed charge still counted (alloc happened)");
+        // Liveness frees return headroom; the query-local peak survives.
+        m.release(101);
+        assert_eq!(m.charged_bytes(), 0);
+        assert!(m.charge("d", 100).is_ok());
+        // Lifting the budget makes the same charge pattern succeed.
+        m.begin();
+        m.set_budget(None);
+        assert!(m.charge("e", 1 << 40).is_ok());
+    }
+
+    #[test]
+    fn release_saturates_instead_of_wrapping() {
+        let m = MemTracker::default();
+        m.charge("a", 10).unwrap();
+        m.release(1000);
+        assert_eq!(m.charged_bytes(), 0);
+    }
+
+    #[test]
+    fn begin_resets_the_charge_window() {
+        let m = MemTracker::default();
+        m.set_budget(Some(100));
+        m.charge("a", 90).unwrap();
+        m.begin();
+        assert_eq!(m.charged_bytes(), 0);
+        assert_eq!(m.charged_peak(), 0);
+        assert!(m.charge("b", 90).is_ok(), "fresh window, fresh headroom");
+        assert_eq!(m.budget_bytes(), 100, "begin() keeps the budget");
     }
 }

@@ -28,6 +28,24 @@ pub enum MonetError {
     Arithmetic(&'static str),
     /// Malformed operand (e.g. aggregate over empty BAT with no identity).
     Malformed { op: &'static str, detail: String },
+    /// The query's tracked allocations exceeded its memory budget
+    /// (`FLATALG_MEM_BUDGET` / [`crate::ctx::MemTracker::set_budget`]).
+    /// Aborts that query only; the context stays usable.
+    BudgetExceeded { op: &'static str, live_bytes: u64, budget_bytes: u64 },
+    /// The query's cancellation token was triggered
+    /// ([`crate::gov::CancelToken::cancel`]); observed cooperatively at the
+    /// next governor probe (statement or morsel boundary).
+    Cancelled,
+    /// The query ran past its deadline ([`crate::gov::Governor`]); observed
+    /// cooperatively at the next governor probe.
+    DeadlineExceeded { site: &'static str },
+    /// A deterministic injected fault (`FLATALG_FAULT=site:count` or the
+    /// scoped [`crate::gov::Governor::arm_fault`] test API) fired at a
+    /// governor probe point.
+    Injected { site: &'static str, hit: u64 },
+    /// A statement waited at the service admission gate past the configured
+    /// timeout and was shed instead of queueing unboundedly.
+    AdmissionTimeout { waited_ms: u64 },
 }
 
 impl fmt::Display for MonetError {
@@ -47,11 +65,48 @@ impl fmt::Display for MonetError {
             MonetError::KindMismatch { op, detail } => write!(f, "{op}: {detail}"),
             MonetError::Arithmetic(s) => write!(f, "arithmetic error: {s}"),
             MonetError::Malformed { op, detail } => write!(f, "{op}: {detail}"),
+            MonetError::BudgetExceeded { op, live_bytes, budget_bytes } => write!(
+                f,
+                "{op}: memory budget exceeded ({live_bytes} live bytes > {budget_bytes} budget)"
+            ),
+            MonetError::Cancelled => write!(f, "query cancelled"),
+            MonetError::DeadlineExceeded { site } => {
+                write!(f, "deadline exceeded (observed at {site})")
+            }
+            MonetError::Injected { site, hit } => {
+                write!(f, "injected fault at {site} (probe hit {hit})")
+            }
+            MonetError::AdmissionTimeout { waited_ms } => {
+                write!(f, "admission timed out after {waited_ms} ms; statement shed")
+            }
         }
     }
 }
 
 impl std::error::Error for MonetError {}
+
+impl MonetError {
+    /// True for errors raised by the resource governor (budget, deadline,
+    /// cancellation, admission shedding, injected faults) as opposed to
+    /// malformed programs or operands. Governor errors abort one query and
+    /// leave every shared structure (gate, pool, caches) reusable.
+    pub fn is_governor(&self) -> bool {
+        matches!(
+            self,
+            MonetError::BudgetExceeded { .. }
+                | MonetError::Cancelled
+                | MonetError::DeadlineExceeded { .. }
+                | MonetError::Injected { .. }
+                | MonetError::AdmissionTimeout { .. }
+        )
+    }
+}
+
+/// The fallible-execution error type threaded through the MIL interpreter
+/// and the hot operator entry points. Alias of [`MonetError`]: the governor
+/// variants (budget / cancel / deadline / injected / shed) extend the
+/// original operand-shape errors rather than forming a second hierarchy.
+pub type ExecError = MonetError;
 
 /// Convenience result alias used throughout the kernel.
 pub type Result<T> = std::result::Result<T, MonetError>;

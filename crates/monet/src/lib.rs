@@ -33,7 +33,11 @@
 //!   parallelism);
 //! * [`par`] — intra-query parallelism: the persistent worker pool and the
 //!   morsel executor the hot kernels fan out over (`FLATALG_THREADS`),
-//!   with results bit-identical to the serial paths.
+//!   with results bit-identical to the serial paths;
+//! * [`gov`] — the resource governor: per-query memory budgets
+//!   (`FLATALG_MEM_BUDGET`), cooperative cancellation and deadlines, and
+//!   the deterministic fault injector (`FLATALG_FAULT`) whose probe points
+//!   double as the cancellation points.
 //!
 //! ```
 //! use monet::prelude::*;
@@ -57,6 +61,7 @@ pub mod costmodel;
 pub mod ctx;
 pub mod db;
 pub mod error;
+pub mod gov;
 pub mod mil;
 pub mod ops;
 pub mod pager;

@@ -110,14 +110,22 @@ impl Env {
 /// BATs of the query's structure expression) survive liveness-based
 /// freeing.
 pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Result<Env> {
+    // Open a fresh governor charge window: the byte budget covers the
+    // intermediates of *this* program, not whatever ran before on the ctx.
+    ctx.mem.begin();
     let frees = prog.last_uses();
     let mut values: Vec<Option<MilValue>> = vec![None; prog.stmts.len()];
     let mut trace: Vec<StmtTrace> = Vec::with_capacity(prog.stmts.len());
     let mut live_bytes: u64 = db.bytes() as u64;
     let mut peak = live_bytes;
+    // Governor charge attributed to each variable (released when liveness
+    // frees it). Load/ConstScalar/Mirror share persistent or operand
+    // storage and were never charged by a kernel `record`, so they stay 0.
+    let mut charged: Vec<u64> = vec![0; prog.stmts.len()];
     let last = prog.stmts.len().saturating_sub(1);
 
     for (i, stmt) in prog.stmts.iter().enumerate() {
+        ctx.probe(crate::gov::site::MIL_STMT)?;
         let started = Instant::now();
         let faults0 = ctx.faults();
         let events_before = ctx.trace.as_ref().map_or(0, |t| t.lock().len());
@@ -140,6 +148,10 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
             None => "",
         };
         live_bytes += value.bytes() as u64;
+        charged[stmt.var] = match &stmt.op {
+            MilOp::Load(_) | MilOp::ConstScalar(_) | MilOp::Mirror(_) => 0,
+            _ => value.bytes() as u64,
+        };
         trace.push(StmtTrace {
             var: stmt.var,
             name: stmt.name.clone(),
@@ -163,6 +175,8 @@ pub fn execute(ctx: &ExecCtx, db: &Db, prog: &MilProgram, keep: &[Var]) -> Resul
             }
             if let Some(val) = values[v].take() {
                 live_bytes = live_bytes.saturating_sub(val.bytes() as u64);
+                ctx.mem.release(charged[v]);
+                charged[v] = 0;
             }
         }
     }
@@ -358,6 +372,60 @@ mod tests {
         let mut p = MilProgram::new();
         let _ = p.emit("x", MilOp::Load("nope".into()));
         assert!(execute(&ctx, &db, &p, &[]).is_err());
+    }
+
+    #[test]
+    fn budget_abort_is_typed_and_a_lifted_budget_recovers() {
+        let ctx = ExecCtx::new();
+        let db = db();
+        let mut p = MilProgram::new();
+        let clerk = p.emit("clerk", MilOp::Load("Order_clerk".into()));
+        let orders = p.emit("orders", MilOp::SelectEq(clerk, AtomValue::str("b")));
+        let io = p.emit("io", MilOp::Load("Item_order".into()));
+        let items = p.emit("items", MilOp::Join(io, orders));
+        ctx.mem.set_budget(Some(1));
+        let err = match execute(&ctx, &db, &p, &[items]) {
+            Err(e) => e,
+            Ok(_) => panic!("over-budget program completed"),
+        };
+        assert!(matches!(err, MonetError::BudgetExceeded { .. }), "got {err:?}");
+        // The budget aborts the query, not the context: lift it and retry.
+        ctx.mem.set_budget(None);
+        assert_eq!(execute(&ctx, &db, &p, &[items]).unwrap().bat(items).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cancellation_aborts_between_statements() {
+        let ctx = ExecCtx::new();
+        let db = db();
+        let mut p = MilProgram::new();
+        let _ = p.emit("clerk", MilOp::Load("Order_clerk".into()));
+        let token = ctx.cancel_token();
+        token.cancel();
+        let err = match execute(&ctx, &db, &p, &[]) {
+            Err(e) => e,
+            Ok(_) => panic!("cancelled program completed"),
+        };
+        assert_eq!(err, MonetError::Cancelled);
+        token.clear();
+        assert!(execute(&ctx, &db, &p, &[]).is_ok());
+    }
+
+    #[test]
+    fn liveness_frees_release_governor_charge() {
+        let ctx = ExecCtx::new();
+        let db = db();
+        let mut p = MilProgram::new();
+        let clerk = p.emit("clerk", MilOp::Load("Order_clerk".into()));
+        let orders = p.emit("orders", MilOp::SelectEq(clerk, AtomValue::str("b")));
+        let io = p.emit("io", MilOp::Load("Item_order".into()));
+        let items = p.emit("items", MilOp::Join(io, orders));
+        let env = execute(&ctx, &db, &p, &[items]).unwrap();
+        // `orders` was charged by the select's record and released at its
+        // liveness free; only the kept join result stays charged.
+        let kept = env.bat(items).unwrap().bytes() as u64;
+        assert_eq!(ctx.mem.charged_bytes(), kept);
+        assert!(ctx.mem.charged_peak() > kept);
     }
 
     #[test]

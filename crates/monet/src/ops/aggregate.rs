@@ -54,6 +54,7 @@ impl AggFunc {
 /// — is identical whether the partials are computed serially or on the
 /// worker pool ([`crate::costmodel::par_threads`] decides).
 pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
+    ctx.probe("op/aggr")?;
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
@@ -65,23 +66,23 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
         AggFunc::Sum => match t.atom_type() {
             AtomType::Int => {
                 let col = t.clone();
-                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_int_slice().expect("int tail")[r].iter().map(|&x| x as i64).sum::<i64>()
-                });
+                })?;
                 Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
             AtomType::Lng => {
                 let col = t.clone();
-                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_lng_slice().expect("lng tail")[r].iter().sum::<i64>()
-                });
+                })?;
                 Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
             AtomType::Dbl => {
                 let col = t.clone();
-                let parts = crate::par::for_each_morsel(n, threads, move |r| {
+                let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_dbl_slice().expect("dbl tail")[r].iter().sum::<f64>()
-                });
+                })?;
                 Ok(AtomValue::Dbl(parts.into_iter().sum()))
             }
             ty => Err(MonetError::Unsupported { op: "sum", ty }),
@@ -97,7 +98,9 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                 });
             }
             let col = t.clone();
-            let parts = crate::par::for_each_morsel(n, threads, move |r| match col.atom_type() {
+            let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| match col
+                .atom_type()
+            {
                 AtomType::Int => {
                     col.as_int_slice().unwrap()[r].iter().map(|&x| x as f64).sum::<f64>()
                 }
@@ -105,7 +108,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     col.as_lng_slice().unwrap()[r].iter().map(|&x| x as f64).sum::<f64>()
                 }
                 _ => col.as_dbl_slice().unwrap()[r].iter().sum::<f64>(),
-            });
+            })?;
             Ok(AtomValue::Dbl(parts.into_iter().sum::<f64>() / n as f64))
         }
         AggFunc::Min | AggFunc::Max => {
@@ -121,7 +124,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
             // the serial scan.
             let col = t.clone();
             let minimize = f == AggFunc::Min;
-            let parts = crate::par::for_each_morsel(n, threads, move |r| {
+            let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                 crate::for_each_typed!(&col, |tv| {
                     let mut best = r.start;
                     for i in r {
@@ -132,7 +135,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     }
                     best
                 })
-            });
+            })?;
             let best = crate::for_each_typed!(t, |tv| {
                 let mut best = parts[0];
                 for &cand in &parts[1..] {
@@ -168,6 +171,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
 /// morsel grid — never the thread count — so thread-count invariance
 /// holds on both sides of it (above it, *every* thread count streams).
 fn group_partials<A, F, M>(
+    ctx: &ExecCtx,
     n: usize,
     threads: usize,
     ngroups: usize,
@@ -175,7 +179,7 @@ fn group_partials<A, F, M>(
     exact: bool,
     fill: F,
     mut merge: M,
-) -> Vec<A>
+) -> Result<Vec<A>>
 where
     A: Clone + Send + Sync + 'static,
     F: Fn(std::ops::Range<usize>, &mut [A]) + Send + Sync + 'static,
@@ -186,11 +190,17 @@ where
     let fits = ngroups.saturating_mul(ms.len()) <= (1 << 22);
     if threads > 1 && fits {
         let ms2 = ms.clone();
-        let parts = crate::par::run_tasks(ms.len(), threads, move |k| {
-            let mut buf = vec![init.clone(); ngroups];
-            fill(ms2[k].clone(), &mut buf);
-            buf
-        });
+        let parts = crate::par::try_run_tasks(
+            &ctx.gov,
+            crate::gov::site::PAR_MORSEL,
+            ms.len(),
+            threads,
+            move |k| {
+                let mut buf = vec![init.clone(); ngroups];
+                fill(ms2[k].clone(), &mut buf);
+                buf
+            },
+        )?;
         for p in &parts {
             merge(&mut total, p);
         }
@@ -213,13 +223,14 @@ where
             merge(&mut total, &buf);
         }
     }
-    total
+    Ok(total)
 }
 
 /// The set-aggregate constructor `{g}(AB)`: one result BUN per distinct
 /// head value. Uses streaming runs when the head is sorted, a hash table
 /// otherwise (first-occurrence output order).
 pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
+    ctx.probe("op/set-aggregate")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if let Some(p) = ctx.pager.as_deref() {
@@ -263,7 +274,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             (gid_of, rep)
         })
     } else {
-        super::group::hash_group_column(h, threads)
+        super::group::hash_group_column(ctx, h, threads)?
     };
 
     // Aggregate each group's tail values through per-morsel partial
@@ -278,6 +289,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         AggFunc::Count => {
             let g = Arc::clone(&gid);
             let counts = group_partials(
+                ctx,
                 n,
                 threads,
                 ngroups,
@@ -293,7 +305,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                         *tg += p;
                     }
                 },
-            );
+            )?;
             Column::from_lngs(counts)
         }
         AggFunc::Sum => match tail_ty {
@@ -302,6 +314,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                 let col = t.clone();
                 let wide = tail_ty == AtomType::Lng;
                 let sums = group_partials(
+                    ctx,
                     n,
                     threads,
                     ngroups,
@@ -325,13 +338,14 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                             *tg += p;
                         }
                     },
-                );
+                )?;
                 Column::from_lngs(sums)
             }
             _ => {
                 let g = Arc::clone(&gid);
                 let col = t.clone();
                 let sums = group_partials(
+                    ctx,
                     n,
                     threads,
                     ngroups,
@@ -348,7 +362,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                             *tg += p;
                         }
                     },
-                );
+                )?;
                 Column::from_dbls(sums)
             }
         },
@@ -356,6 +370,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             let g = Arc::clone(&gid);
             let col = t.clone();
             let acc = group_partials(
+                ctx,
                 n,
                 threads,
                 ngroups,
@@ -393,7 +408,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                         tg.1 += p.1;
                     }
                 },
-            );
+            )?;
             Column::from_dbls(acc.iter().map(|(s, c)| s / *c as f64).collect())
         }
         AggFunc::Min | AggFunc::Max => {
@@ -405,6 +420,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             let col = t.clone();
             let minimize = f == AggFunc::Min;
             let best = group_partials(
+                ctx,
                 n,
                 threads,
                 ngroups,
@@ -442,7 +458,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                         }
                     })
                 },
-            );
+            )?;
             t.gather(&best)
         }
     };
@@ -457,7 +473,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         ColProps::NONE,
     );
     let result = Bat::with_props(head, tail, props);
-    ctx.record("set-aggregate", algo, started, faults0, &result);
+    ctx.record("set-aggregate", algo, started, faults0, &result)?;
     Ok(result)
 }
 

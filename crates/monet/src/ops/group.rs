@@ -36,10 +36,14 @@ use crate::typed::{GroupTable, TypedVals};
 /// per-morsel gids are then relabeled through the local→global map and
 /// concatenated in morsel order, so the output is bit-identical to the
 /// serial single-table pass at every thread count.
-pub(crate) fn hash_group_column(col: &Column, threads: usize) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn hash_group_column(
+    ctx: &ExecCtx,
+    col: &Column,
+    threads: usize,
+) -> Result<(Vec<u32>, Vec<u32>)> {
     let n = col.len();
     if threads <= 1 {
-        return crate::for_each_typed!(col, |t| {
+        return Ok(crate::for_each_typed!(col, |t| {
             let mut table = GroupTable::with_capacity(n);
             let mut gid_of: Vec<u32> = Vec::with_capacity(n);
             for i in 0..n {
@@ -50,26 +54,27 @@ pub(crate) fn hash_group_column(col: &Column, threads: usize) -> (Vec<u32>, Vec<
                 gid_of.push(g);
             }
             (gid_of, table.reps().to_vec())
-        });
+        }));
     }
     let c = col.clone();
-    let parts: Vec<(Vec<u32>, Vec<u32>)> = crate::par::for_each_morsel(n, threads, move |r| {
-        crate::for_each_typed!(&c, |t| {
-            let mut table = GroupTable::pooled(r.len());
-            let mut lgids: Vec<u32> = Vec::with_capacity(r.len());
-            for i in r {
-                let v = t.value(i);
-                let h = t.hash_one(v);
-                let (g, _) =
-                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
-                lgids.push(g);
-            }
-            let reps = table.reps().to_vec();
-            table.recycle();
-            (lgids, reps)
-        })
-    });
-    crate::for_each_typed!(col, |t| {
+    let parts: Vec<(Vec<u32>, Vec<u32>)> =
+        crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
+            crate::for_each_typed!(&c, |t| {
+                let mut table = GroupTable::pooled(r.len());
+                let mut lgids: Vec<u32> = Vec::with_capacity(r.len());
+                for i in r {
+                    let v = t.value(i);
+                    let h = t.hash_one(v);
+                    let (g, _) =
+                        table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
+                    lgids.push(g);
+                }
+                let reps = table.reps().to_vec();
+                table.recycle();
+                (lgids, reps)
+            })
+        })?;
+    Ok(crate::for_each_typed!(col, |t| {
         let est: usize = parts.iter().map(|p| p.1.len()).sum();
         let mut table = GroupTable::with_capacity(est);
         let mut maps: Vec<Vec<u32>> = Vec::with_capacity(parts.len());
@@ -88,7 +93,7 @@ pub(crate) fn hash_group_column(col: &Column, threads: usize) -> (Vec<u32>, Vec<
             gid_of.extend(lgids.iter().map(|&lg| map[lg as usize]));
         }
         (gid_of, table.reps().to_vec())
-    })
+    }))
 }
 
 /// Unary group: one new oid per distinct tail value. Group oids are dense,
@@ -96,6 +101,7 @@ pub(crate) fn hash_group_column(col: &Column, threads: usize) -> (Vec<u32>, Vec<
 /// sorted). The result head *shares* the operand's head column, so it is
 /// synced with the operand.
 pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    ctx.probe("op/group")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if let Some(p) = ctx.pager.as_deref() {
@@ -126,7 +132,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
             (gids, ngroups)
         })
     } else {
-        let (gid_of, rep) = hash_group_column(ab.tail(), threads);
+        let (gid_of, rep) = hash_group_column(ctx, ab.tail(), threads)?;
         (gid_of.into_iter().map(|g| g as Oid).collect(), rep.len())
     };
     let base = ctx.fresh_oids(ngroups);
@@ -138,7 +144,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
         Column::from_oids(gids),
         Props::new(ab.props().head, ColProps { sorted, key: false, dense: false }),
     );
-    ctx.record("group", algo, started, faults0, &result);
+    ctx.record("group", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -148,6 +154,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
 /// operands to be synced; otherwise `CD` must have a key head and is
 /// aligned by hash.
 pub fn group2(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/group")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if let Some(p) = ctx.pager.as_deref() {
@@ -218,7 +225,7 @@ pub fn group2(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
         Column::from_oids(gids),
         Props::new(ab.props().head, ColProps::NONE),
     );
-    ctx.record("group", algo, started, faults0, &result);
+    ctx.record("group", algo, started, faults0, &result)?;
     Ok(result)
 }
 

@@ -24,6 +24,7 @@ use super::check_comparable;
 
 /// Dynamic-dispatch equi-join.
 pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/join")?;
     check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -37,11 +38,11 @@ pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     {
         // No persistent accelerator to reuse and the build side overflows
         // the cache: radix-partition so each build+probe is cache-resident.
-        (join_partitioned(ctx, ab, cd), "partition")
+        (join_partitioned(ctx, ab, cd)?, "partition")
     } else {
         (join_hash(ctx, ab, cd), "hash")
     };
-    ctx.record("join", algo, started, faults0, &result);
+    ctx.record("join", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -51,6 +52,7 @@ pub fn join(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
 /// (emitting prefix/suffix ranges), nested-loop otherwise.
 pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFunc) -> Result<Bat> {
     use crate::ops::ScalarFunc as F;
+    ctx.probe("op/theta-join")?;
     check_comparable("theta-join", ab.tail().atom_type(), cd.head().atom_type())?;
     if !matches!(theta, F::Lt | F::Le | F::Gt | F::Ge | F::Ne) {
         return Err(crate::error::MonetError::Malformed {
@@ -122,7 +124,7 @@ pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFu
             ColProps::NONE,
         ),
     );
-    ctx.record("theta-join", algo, started, faults0, &result);
+    ctx.record("theta-join", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -244,7 +246,7 @@ pub fn join_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
 /// radix sort of packed `(left, right)` pairs on the left half
 /// ([`crate::typed::sort_pairs_by_hi`]) restores the global order with
 /// streaming passes.
-pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
+pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, cd.head());
         pager::touch_scan(p, ab.tail());
@@ -282,13 +284,29 @@ pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
             let rc2 = std::sync::Arc::new(RecycleOnDrop(Some(rc)));
             let ltail = ab.tail().clone();
             let rhead = cd.head().clone();
-            let parts: Vec<Vec<u64>> = crate::par::run_tasks(ntasks, threads, move |k| {
-                crate::for_each_typed2!(&ltail, &rhead, |bt, ch| {
-                    let mut local: Vec<u64> = Vec::new();
-                    probe_cluster_range(bt, ch, &lc2, &rc2, ranges[k].clone(), &mut local);
-                    local
-                })
-            });
+            let parts = crate::par::try_run_tasks(
+                &ctx.gov,
+                crate::gov::site::PAR_TASK,
+                ntasks,
+                threads,
+                move |k| {
+                    crate::for_each_typed2!(&ltail, &rhead, |bt, ch| {
+                        let mut local: Vec<u64> = Vec::new();
+                        probe_cluster_range(bt, ch, &lc2, &rc2, ranges[k].clone(), &mut local);
+                        local
+                    })
+                },
+            );
+            // An aborted batch (cancel/deadline/injected fault) must still
+            // return the match buffer to the scratch pool; the cluster
+            // buffers come back via the RecycleOnDrop Arcs either way.
+            let parts: Vec<Vec<u64>> = match parts {
+                Ok(parts) => parts,
+                Err(e) => {
+                    crate::typed::put_u64(matches);
+                    return Err(e);
+                }
+            };
             for p in &parts {
                 matches.extend_from_slice(p);
             }
@@ -299,7 +317,7 @@ pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
             lc.recycle();
             rc.recycle();
         }
-        return finish_partitioned(ctx, ab, cd, matches);
+        return Ok(finish_partitioned(ctx, ab, cd, matches));
     }
     crate::for_each_typed2!(ab.tail(), cd.head(), |bt, ch| {
         // Pathological skew: one cluster exceeds the 2^21 rows the slot
@@ -349,7 +367,7 @@ pub fn join_partitioned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     });
     lc.recycle();
     rc.recycle();
-    finish_partitioned(ctx, ab, cd, matches)
+    Ok(finish_partitioned(ctx, ab, cd, matches))
 }
 
 /// Bits of an epoch-tagged bucket entry addressing the build slot within
@@ -530,6 +548,7 @@ pub fn propagated_props(ab: Props, cd: Props) -> Props {
 /// dynamic dispatch would necessarily pick `fetch` — the interpreter skips
 /// the re-derivation.
 pub fn join_fetch_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/join")?;
     check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
     debug_assert!(
         cd.props().head.dense && cd.head().is_oidlike() && ab.tail().is_oidlike(),
@@ -538,7 +557,7 @@ pub fn join_fetch_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let started = Instant::now();
     let faults0 = ctx.faults();
     let result = join_fetch(ctx, ab, cd);
-    ctx.record("join", "fetch", started, faults0, &result);
+    ctx.record("join", "fetch", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -546,6 +565,7 @@ pub fn join_fetch_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
 /// head sorted *and* the fetch variant type-impossible (a non-oid-like
 /// join column), so dynamic dispatch would necessarily pick `merge`.
 pub fn join_merge_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/join")?;
     check_comparable("join", ab.tail().atom_type(), cd.head().atom_type())?;
     debug_assert!(
         ab.props().tail.sorted && cd.props().head.sorted,
@@ -554,7 +574,7 @@ pub fn join_merge_pinned(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let started = Instant::now();
     let faults0 = ctx.faults();
     let result = join_merge(ctx, ab, cd);
-    ctx.record("join", "merge", started, faults0, &result);
+    ctx.record("join", "merge", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -675,7 +695,7 @@ mod tests {
             Column::from_ints((0..m).map(|i| (i % (m - 100)) as i32).collect()),
             Column::from_oids((0..m as u64).map(|i| 10_000 + i).collect()),
         );
-        let p = join_partitioned(&ctx, &left, &right);
+        let p = join_partitioned(&ctx, &left, &right).unwrap();
         let h = join_hash(&ctx, &left, &right);
         assert_eq!(p.len(), h.len());
         for i in 0..p.len() {
@@ -699,8 +719,8 @@ mod tests {
         let ctx = ExecCtx::new();
         let l = Bat::new(Column::from_oids(vec![]), Column::from_ints(vec![]));
         let r = Bat::new(Column::from_ints(vec![1, 2]), Column::from_oids(vec![5, 6]));
-        assert_eq!(join_partitioned(&ctx, &l, &r).len(), 0);
-        assert_eq!(join_partitioned(&ctx, &r.mirror(), &l.mirror()).len(), 0);
+        assert_eq!(join_partitioned(&ctx, &l, &r).unwrap().len(), 0);
+        assert_eq!(join_partitioned(&ctx, &r.mirror(), &l.mirror()).unwrap().len(), 0);
     }
 
     #[test]

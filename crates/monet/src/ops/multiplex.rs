@@ -215,6 +215,7 @@ pub fn apply_scalar(f: ScalarFunc, args: &[AtomValue]) -> Result<AtomValue> {
 
 /// The multiplex operator `[f](arg, ...)`.
 pub fn multiplex(ctx: &ExecCtx, f: ScalarFunc, args: &[MultArg]) -> Result<Bat> {
+    ctx.probe("op/multiplex")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     let bats: Vec<&Bat> = args
@@ -242,7 +243,7 @@ pub fn multiplex(ctx: &ExecCtx, f: ScalarFunc, args: &[MultArg]) -> Result<Bat> 
     } else {
         (mux_aligned(ctx, f, first, args)?, "hash-align")
     };
-    ctx.record("multiplex", algo, started, faults0, &result);
+    ctx.record("multiplex", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -286,10 +287,10 @@ fn mux_synced(ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> Re
     // monomorphized loop — the precondition for cutting the operand.
     if threads > 1 && typed_fast_path(f, &windowed(&tails, 0..0), 0)?.is_some() {
         let tails2 = tails.clone();
-        let parts = crate::par::for_each_morsel(n, threads, move |r| {
+        let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
             typed_fast_path(f, &windowed(&tails2, r.clone()), r.len())
                 .map(|col| col.expect("uniform fast-path shape across morsels"))
-        });
+        })?;
         // Surface the first error in morsel order (matching the serial
         // scan, which stops at the earliest failing row's morsel).
         let cols = parts.into_iter().collect::<Result<Vec<Column>>>()?;

@@ -20,6 +20,7 @@ use super::check_comparable;
 
 /// Point selection: `{ab | ab ∈ AB ∧ b = v}`.
 pub fn select_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
+    ctx.probe("op/select")?;
     check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -30,9 +31,9 @@ pub fn select_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
         (select_hash(ctx, ab, &hash, v), "hash")
     } else {
         let threads = super::par_threads(ctx, ab.len());
-        (select_scan_eq(ctx, ab, v, threads), if threads > 1 { "par-scan" } else { "scan" })
+        (select_scan_eq(ctx, ab, v, threads)?, if threads > 1 { "par-scan" } else { "scan" })
     };
-    ctx.record("select", algo, started, faults0, &result);
+    ctx.record("select", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -46,6 +47,7 @@ pub fn select_range(
     inc_lo: bool,
     inc_hi: bool,
 ) -> Result<Bat> {
+    ctx.probe("op/select")?;
     for v in [lo, hi].into_iter().flatten() {
         check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
     }
@@ -56,11 +58,11 @@ pub fn select_range(
     } else {
         let threads = super::par_threads(ctx, ab.len());
         (
-            select_scan_range(ctx, ab, lo, hi, inc_lo, inc_hi, threads),
+            select_scan_range(ctx, ab, lo, hi, inc_lo, inc_hi, threads)?,
             if threads > 1 { "par-scan" } else { "scan" },
         )
     };
-    ctx.record("select", algo, started, faults0, &result);
+    ctx.record("select", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -121,7 +123,7 @@ fn select_hash(
     build_selected(ab, &idx, true)
 }
 
-fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Bat {
+fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Result<Bat> {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
@@ -131,7 +133,7 @@ fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Bat
         // the serial position sequence exactly.
         let tail = ab.tail().clone();
         let v = v.clone();
-        let parts = crate::par::for_each_morsel(ab.len(), threads, move |r| {
+        let parts = crate::par::try_for_each_morsel(&ctx.gov, ab.len(), threads, move |r| {
             crate::for_each_typed!(&tail, |t| {
                 let mut idx: Vec<u32> = Vec::new();
                 for i in r {
@@ -141,7 +143,7 @@ fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Bat
                 }
                 idx
             })
-        });
+        })?;
         concat_positions(&parts)
     } else {
         // Monomorphic scan: one typed dispatch, then a tight loop over
@@ -161,7 +163,7 @@ fn select_scan_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue, threads: usize) -> Bat
             pager::touch_fetch(p, ab.head(), i as usize);
         }
     }
-    build_selected(ab, &idx, true)
+    Ok(build_selected(ab, &idx, true))
 }
 
 /// Concatenate per-morsel position vectors in morsel order.
@@ -181,14 +183,14 @@ fn select_scan_range(
     inc_lo: bool,
     inc_hi: bool,
     threads: usize,
-) -> Bat {
+) -> Result<Bat> {
     if let Some(p) = ctx.pager.as_deref() {
         pager::touch_scan(p, ab.tail());
     }
     let idx: Vec<u32> = if threads > 1 {
         let tail = ab.tail().clone();
         let (lo, hi) = (lo.cloned(), hi.cloned());
-        let parts = crate::par::for_each_morsel(ab.len(), threads, move |r| {
+        let parts = crate::par::try_for_each_morsel(&ctx.gov, ab.len(), threads, move |r| {
             crate::for_each_typed!(&tail, |t| {
                 let mut idx: Vec<u32> = Vec::new();
                 'row: for i in r {
@@ -209,7 +211,7 @@ fn select_scan_range(
                 }
                 idx
             })
-        });
+        })?;
         concat_positions(&parts)
     } else {
         crate::for_each_typed!(ab.tail(), |t| {
@@ -238,7 +240,7 @@ fn select_scan_range(
             pager::touch_fetch(p, ab.head(), i as usize);
         }
     }
-    build_selected(ab, &idx, false)
+    Ok(build_selected(ab, &idx, false))
 }
 
 /// The `select` propagation rule (Section 5.1), shared by every
@@ -270,12 +272,13 @@ fn build_selected(ab: &Bat, idx: &[u32], point: bool) -> Bat {
 /// runs without re-deriving the choice (dynamic dispatch would pick the
 /// same one — sortedness only ever *gains* facts at run time).
 pub fn select_eq_sorted(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
+    ctx.probe("op/select")?;
     check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
     debug_assert!(ab.props().tail.sorted, "pinned binary-search select on unsorted tail");
     let started = Instant::now();
     let faults0 = ctx.faults();
     let result = select_sorted(ctx, ab, Some(v), Some(v), true, true);
-    ctx.record("select", "binary-search", started, faults0, &result);
+    ctx.record("select", "binary-search", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -289,6 +292,7 @@ pub fn select_range_sorted(
     inc_lo: bool,
     inc_hi: bool,
 ) -> Result<Bat> {
+    ctx.probe("op/select")?;
     for v in [lo, hi].into_iter().flatten() {
         check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
     }
@@ -296,7 +300,7 @@ pub fn select_range_sorted(
     let started = Instant::now();
     let faults0 = ctx.faults();
     let result = select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi);
-    ctx.record("select", "binary-search", started, faults0, &result);
+    ctx.record("select", "binary-search", started, faults0, &result)?;
     Ok(result)
 }
 

@@ -26,6 +26,7 @@ use super::check_comparable;
 
 /// Dynamic-dispatch semijoin.
 pub fn semijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/semijoin")?;
     check_comparable("semijoin", ab.head().atom_type(), cd.head().atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -39,19 +40,20 @@ pub fn semijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     } else {
         (semijoin_hash(ctx, ab, cd), "hash")
     };
-    ctx.record("semijoin", algo, started, faults0, &result);
+    ctx.record("semijoin", algo, started, faults0, &result)?;
     Ok(result)
 }
 
 /// Anti-semijoin (`kdiff`): `{ab | ab ∈ AB ∧ ¬∃cd ∈ CD: a = c}` — the
 /// building block for MOA `difference` on identified sets.
 pub fn antijoin(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/antijoin")?;
     check_comparable("antijoin", ab.head().atom_type(), cd.head().atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     let (result, algo) =
         if ab.synced(cd) { (ab.slice(0, 0), "sync") } else { (antijoin_hash(ctx, ab, cd), "hash") };
-    ctx.record("antijoin", algo, started, faults0, &result);
+    ctx.record("antijoin", algo, started, faults0, &result)?;
     Ok(result)
 }
 

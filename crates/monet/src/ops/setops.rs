@@ -71,6 +71,7 @@ fn touch_both(ctx: &ExecCtx, ab: &Bat, cd: &Bat) {
 /// Set union of the BUN pairs of both operands (duplicates eliminated,
 /// left-operand order first).
 pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/union")?;
     check_both("union", ab, cd)?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -108,12 +109,13 @@ pub fn union_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let head = Column::concat(&ab.head().gather(&keep_a), &cd.head().gather(&keep_c));
     let tail = Column::concat(&ab.tail().gather(&keep_a), &cd.tail().gather(&keep_c));
     let result = Bat::new(head, tail);
-    ctx.record("union", "hash", started, faults0, &result);
+    ctx.record("union", "hash", started, faults0, &result)?;
     Ok(result)
 }
 
 /// Pairs of `AB` that do not occur in `CD` (set difference).
 pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/difference")?;
     check_both("difference", ab, cd)?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -123,7 +125,7 @@ pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let idx: Vec<u32> =
         (0..ab.len()).filter(|&i| !set.contains(ab, i, keys[i])).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
-    ctx.record("difference", "hash", started, faults0, &result);
+    ctx.record("difference", "hash", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -131,6 +133,7 @@ pub fn diff_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
 /// types must match; `void` and `oid` combine into a materialized `oid`
 /// column.
 pub fn concat_bats(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/concat")?;
     check_both("concat", ab, cd)?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -138,7 +141,7 @@ pub fn concat_bats(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let head = Column::concat(ab.head(), cd.head());
     let tail = Column::concat(ab.tail(), cd.tail());
     let result = Bat::new(head, tail);
-    ctx.record("concat", "copy", started, faults0, &result);
+    ctx.record("concat", "copy", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -147,6 +150,7 @@ pub fn concat_bats(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
 /// position. The synced property guarantees the heads correspond, making
 /// this a zero-lookup join.
 pub fn zip(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/zip")?;
     if !ab.synced(cd) {
         return Err(crate::error::MonetError::Malformed {
             op: "zip",
@@ -170,12 +174,13 @@ pub fn zip(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
             ColProps { sorted: pc.tail.sorted, key: pc.tail.key, dense: pc.tail.dense },
         ),
     );
-    ctx.record("zip", "sync", started, faults0, &result);
+    ctx.record("zip", "sync", started, faults0, &result)?;
     Ok(result)
 }
 
 /// Pairs of `AB` that also occur in `CD` (set intersection, left order).
 pub fn intersect_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
+    ctx.probe("op/intersect")?;
     check_both("intersect", ab, cd)?;
     let started = Instant::now();
     let faults0 = ctx.faults();
@@ -185,7 +190,7 @@ pub fn intersect_pairs(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
     let idx: Vec<u32> =
         (0..ab.len()).filter(|&i| set.contains(ab, i, keys[i])).map(|i| i as u32).collect();
     let result = subset(ab, &idx);
-    ctx.record("intersect", "hash", started, faults0, &result);
+    ctx.record("intersect", "hash", started, faults0, &result)?;
     Ok(result)
 }
 

@@ -18,11 +18,12 @@ use crate::props::{ColProps, Props};
 
 /// Reorder the BAT ascending on tail values (stable).
 pub fn sort_tail(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    ctx.probe("op/sort")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if ab.props().tail.sorted {
         let r = ab.clone();
-        ctx.record("sort", "noop", started, faults0, &r);
+        ctx.record("sort", "noop", started, faults0, &r)?;
         return Ok(r);
     }
     if let Some(p) = ctx.pager.as_deref() {
@@ -42,7 +43,7 @@ pub fn sort_tail(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
             ColProps { sorted: true, key: p.tail.key, dense: false },
         ),
     );
-    ctx.record("sort", "tail", started, faults0, &result);
+    ctx.record("sort", "tail", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -117,6 +118,7 @@ fn topn_perm<V: crate::typed::TypedVals>(t: V, n: usize, descending: bool) -> Ve
 /// The `n` BUNs with the largest (`descending`) or smallest tails, in that
 /// order. Ties broken by operand position (stable).
 pub fn topn(ctx: &ExecCtx, ab: &Bat, n: usize, descending: bool) -> Result<Bat> {
+    ctx.probe("op/topn")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if let Some(p) = ctx.pager.as_deref() {
@@ -140,13 +142,14 @@ pub fn topn(ctx: &ExecCtx, ab: &Bat, n: usize, descending: bool) -> Result<Bat> 
             ColProps { sorted: !descending, key: p.tail.key, dense: false },
         ),
     );
-    ctx.record("topn", if descending { "desc" } else { "asc" }, started, faults0, &result);
+    ctx.record("topn", if descending { "desc" } else { "asc" }, started, faults0, &result)?;
     Ok(result)
 }
 
 /// `mark`: replace the tail with a fresh dense oid sequence, one per BUN.
 /// The head column is shared, so the result is synced with the operand.
 pub fn mark(ctx: &ExecCtx, ab: &Bat, base: Option<Oid>) -> Result<Bat> {
+    ctx.probe("op/mark")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     let seq = base.unwrap_or_else(|| ctx.fresh_oids(ab.len()));
@@ -155,7 +158,7 @@ pub fn mark(ctx: &ExecCtx, ab: &Bat, base: Option<Oid>) -> Result<Bat> {
         Column::void(seq, ab.len()),
         Props::new(ab.props().head, ColProps::DENSE),
     );
-    ctx.record("mark", "void", started, faults0, &result);
+    ctx.record("mark", "void", started, faults0, &result)?;
     Ok(result)
 }
 

@@ -16,6 +16,7 @@ use crate::typed::{GroupTable, TypedVals};
 
 /// Remove duplicate BUNs.
 pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
+    ctx.probe("op/unique")?;
     let started = Instant::now();
     let faults0 = ctx.faults();
     if let Some(p) = ctx.pager.as_deref() {
@@ -29,9 +30,9 @@ pub fn unique(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
         (unique_grouped(ab), "merge")
     } else {
         let threads = super::par_threads(ctx, ab.len());
-        (unique_hash(ab, threads), if threads > 1 { "par-hash" } else { "hash" })
+        (unique_hash(ctx, ab, threads)?, if threads > 1 { "par-hash" } else { "hash" })
     };
-    ctx.record("unique", algo, started, faults0, &result);
+    ctx.record("unique", algo, started, faults0, &result)?;
     Ok(result)
 }
 
@@ -59,7 +60,7 @@ fn unique_grouped(ab: &Bat) -> Bat {
     build_unique(ab, &idx)
 }
 
-fn unique_hash(ab: &Bat, threads: usize) -> Bat {
+fn unique_hash(ctx: &ExecCtx, ab: &Bat, threads: usize) -> Result<Bat> {
     let idx: Vec<u32> = if threads > 1 {
         // Morsel-parallel dedup: every global first occurrence is also a
         // first occurrence within its own morsel, so per-worker tables
@@ -69,28 +70,29 @@ fn unique_hash(ab: &Bat, threads: usize) -> Bat {
         // and its ascending position order exactly.
         let hc = ab.head().clone();
         let tc = ab.tail().clone();
-        let parts: Vec<Vec<u32>> = crate::par::for_each_morsel(ab.len(), threads, move |r| {
-            crate::for_each_typed!(&hc, |h| {
-                crate::for_each_typed!(&tc, |t| {
-                    let mut table = GroupTable::pooled(r.len());
-                    let mut kept: Vec<u32> = Vec::new();
-                    for i in r.clone() {
-                        let hv = h.value(i);
-                        let tv = t.value(i);
-                        let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
-                        let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
-                            let k = rep as usize;
-                            h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
-                        });
-                        if inserted {
-                            kept.push(i as u32);
+        let parts: Vec<Vec<u32>> =
+            crate::par::try_for_each_morsel(&ctx.gov, ab.len(), threads, move |r| {
+                crate::for_each_typed!(&hc, |h| {
+                    crate::for_each_typed!(&tc, |t| {
+                        let mut table = GroupTable::pooled(r.len());
+                        let mut kept: Vec<u32> = Vec::new();
+                        for i in r.clone() {
+                            let hv = h.value(i);
+                            let tv = t.value(i);
+                            let key = h.hash_one(hv).rotate_left(17) ^ t.hash_one(tv);
+                            let (_, inserted) = table.find_or_insert(key, i as u32, |rep| {
+                                let k = rep as usize;
+                                h.eq_one(h.value(k), hv) && t.eq_one(t.value(k), tv)
+                            });
+                            if inserted {
+                                kept.push(i as u32);
+                            }
                         }
-                    }
-                    table.recycle();
-                    kept
+                        table.recycle();
+                        kept
+                    })
                 })
-            })
-        });
+            })?;
         crate::for_each_typed!(ab.head(), |h| {
             crate::for_each_typed!(ab.tail(), |t| {
                 let candidates: usize = parts.iter().map(Vec::len).sum();
@@ -135,7 +137,7 @@ fn unique_hash(ab: &Bat, threads: usize) -> Bat {
             })
         })
     };
-    build_unique(ab, &idx)
+    Ok(build_unique(ab, &idx))
 }
 
 fn build_unique(ab: &Bat, idx: &[u32]) -> Bat {

@@ -42,9 +42,12 @@
 //! what the determinism tests use to sweep thread counts race-free.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::{MonetError, Result};
+use crate::gov::Governor;
 
 /// Rows per morsel for scan-shaped operators: big enough that one task
 /// amortizes dispatch (a channel send + an atomic increment), small enough
@@ -320,6 +323,78 @@ where
     out.into_iter().map(|r| r.expect("parallel task dropped without panicking")).collect()
 }
 
+/// Governed [`run_tasks`]: before each task, check a shared stop flag and
+/// probe the governor at `site` — a cancellation, deadline, or injected
+/// fault makes the remaining tasks no-ops (workers abandon their morsels),
+/// and the first-by-index error is returned after the batch drains.
+///
+/// The drain is total: every task index still settles (completed tasks
+/// keep their results, abandoned ones are skipped), so the pool's
+/// accounting is untouched and it stays reusable — an aborted query never
+/// wedges concurrent drivers sharing the pool. `f` itself stays
+/// infallible; partial results are dropped here, and kernels that hold
+/// pooled scratch across the batch wrap it in recycle-on-drop guards so an
+/// abort returns it (`tests/par_stress.rs` asserts the checkout balance).
+pub fn try_run_tasks<R, F>(
+    gov: &Arc<Governor>,
+    site: &'static str,
+    ntasks: usize,
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>>
+where
+    R: Send + 'static,
+    F: Fn(usize) -> R + Send + Sync + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let first_err: Arc<Mutex<Option<(usize, MonetError)>>> = Arc::new(Mutex::new(None));
+    let results = {
+        let gov = Arc::clone(gov);
+        let stop = Arc::clone(&stop);
+        let first_err = Arc::clone(&first_err);
+        run_tasks(ntasks, threads, move |i| {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            match gov.probe(site) {
+                Ok(()) => Some(f(i)),
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    let mut slot =
+                        first_err.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // Keep the lowest task index: deterministic choice when
+                    // several workers trip (e.g. all observing Cancelled).
+                    if slot.as_ref().map_or(true, |(j, _)| i < *j) {
+                        *slot = Some((i, e));
+                    }
+                    None
+                }
+            }
+        })
+    };
+    let taken = first_err.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    if let Some((_, e)) = taken {
+        return Err(e);
+    }
+    Ok(results.into_iter().map(|r| r.expect("no error recorded but a task was skipped")).collect())
+}
+
+/// Governed [`for_each_morsel`]: probe at every morsel boundary
+/// ([`crate::gov::site::PAR_MORSEL`]); see [`try_run_tasks`].
+pub fn try_for_each_morsel<R, F>(
+    gov: &Arc<Governor>,
+    len: usize,
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>>
+where
+    R: Send + 'static,
+    F: Fn(std::ops::Range<usize>) -> R + Send + Sync + 'static,
+{
+    let ms = morsels(len);
+    try_run_tasks(gov, crate::gov::site::PAR_MORSEL, ms.len(), threads, move |i| f(ms[i].clone()))
+}
+
 /// The fixed morsel ranges of a `len`-row operand: `ceil(len / morsel)`
 /// contiguous windows in operand order, all but the last exactly
 /// [`morsel_rows`] long.
@@ -443,6 +518,62 @@ mod tests {
         // The pool still executes subsequent batches correctly.
         let got = run_tasks(8, 4, |i| i + 1);
         assert_eq!(got, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_tasks_matches_run_tasks_when_ungoverned() {
+        let gov = Arc::new(Governor::new());
+        for threads in [1usize, 4] {
+            let got = try_run_tasks(&gov, "par/task", 23, threads, |i| i * i).unwrap();
+            let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_aborts_and_pool_stays_reusable() {
+        let gov = Arc::new(Governor::new());
+        gov.cancel_token().cancel();
+        for threads in [1usize, 4] {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let r = {
+                let ran = Arc::clone(&ran);
+                try_run_tasks(&gov, "par/task", 100, threads, move |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            assert_eq!(r.unwrap_err(), MonetError::Cancelled, "threads={threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "pre-cancelled: no task body runs");
+        }
+        // The pool (and an un-cancelled governor) still works afterwards.
+        gov.cancel_token().clear();
+        let got = try_run_tasks(&gov, "par/task", 8, 4, |i| i + 1).unwrap();
+        assert_eq!(got, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_fault_mid_batch_drains_cleanly() {
+        let gov = Arc::new(Governor::new());
+        for threads in [1usize, 4] {
+            gov.arm_fault("par/task", 5);
+            let err = try_run_tasks(&gov, "par/task", 64, threads, |i| i).unwrap_err();
+            assert!(
+                matches!(err, MonetError::Injected { site: "par/task", .. }),
+                "threads={threads}: {err:?}"
+            );
+            // Injector is one-shot: the retried batch completes.
+            let got = try_run_tasks(&gov, "par/task", 64, threads, |i| i).unwrap();
+            assert_eq!(got, (0..64).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_for_each_morsel_covers_in_order() {
+        let gov = Arc::new(Governor::new());
+        with_par_config(None, None, Some(7), || {
+            let got = try_for_each_morsel(&gov, 20, 4, |r| (r.start, r.end)).unwrap();
+            assert_eq!(got, vec![(0, 7), (7, 14), (14, 20)]);
+        });
     }
 
     #[test]

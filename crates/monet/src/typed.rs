@@ -423,6 +423,21 @@ thread_local! {
 /// stays bounded by a few working sets.
 const SCRATCH_POOL_CAP: usize = 4;
 
+/// Net `take` minus `put` balance across every thread's scratch pools.
+/// Every checkout must be returned — including on the governor's abort
+/// paths (budget, cancel, deadline, injected fault) — so this settles back
+/// to its baseline whenever no kernel is in flight; the stress and
+/// fault-injection harnesses assert exactly that.
+static SCRATCH_CHECKED_OUT: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(0);
+
+/// Current process-wide scratch checkout balance (see
+/// [`SCRATCH_CHECKED_OUT`]). Quiescent baseline is stable but not
+/// necessarily zero: compare against a reading taken before the work
+/// under test.
+pub fn scratch_checked_out() -> i64 {
+    SCRATCH_CHECKED_OUT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 macro_rules! scratch_pool {
     ($take:ident, $take_zeroed:ident, $put:ident, $pool:ident, $ty:ty) => {
         /// Take an empty scratch vector with at least `cap` capacity from
@@ -431,6 +446,7 @@ macro_rules! scratch_pool {
         /// keeps the pages committed across calls. Return with the matching
         /// `put` once done.
         pub fn $take(cap: usize) -> Vec<$ty> {
+            SCRATCH_CHECKED_OUT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut v = $pool
                 .with(|p| {
                     let pool = &mut *p.borrow_mut();
@@ -452,6 +468,7 @@ macro_rules! scratch_pool {
 
         /// Return a scratch vector to the thread-local pool.
         pub fn $put(v: Vec<$ty>) {
+            SCRATCH_CHECKED_OUT.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             if v.capacity() == 0 {
                 return;
             }

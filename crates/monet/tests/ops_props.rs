@@ -604,7 +604,7 @@ fn partitioned_join_matches_generic_across_types() {
             // Forced partitioned path (the dispatcher only picks it above
             // the cache threshold); output must be bit-identical to the
             // generic reference, including pair order.
-            let got = ops::join_partitioned(&ctx, &left, &right);
+            let got = ops::join_partitioned(&ctx, &left, &right).unwrap();
             assert_eq!(
                 rows_of(&got),
                 rows_of(&reference::join(&left, &right)),

@@ -42,8 +42,20 @@ fn main() {
     let config = ServerConfig::from_env();
 
     let t0 = Instant::now();
-    let data = tpcd::generate(sf, 19980223);
-    let (cat, report) = tpcd::load_bats(&data);
+    let data = match tpcd::try_generate(sf, 19980223) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("flatalg_serve: cannot generate world: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (cat, report) = match tpcd::try_load_bats(&data) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("flatalg_serve: cannot load world: {e}");
+            std::process::exit(1);
+        }
+    };
     let params = Params::for_data(&data);
     println!(
         "flatalg_serve: sf={sf} ({} BATs, {} items) loaded in {:.2}s",

@@ -42,14 +42,18 @@
 //! assert_eq!(after.cache.unwrap().misses, before.cache.unwrap().misses);
 //! ```
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use moa::catalog::Catalog;
-use moa::error::Result;
+use moa::error::{MoaError, Result};
 use moa::plancache::{self, with_plan_cache, PlanCache, PlanCacheStats};
 use moa::prelude::SetExpr;
 use monet::ctx::ExecCtx;
+use monet::error::MonetError;
+use monet::gov::CancelToken;
 use tpcd_queries::runner::{run_moa_rows, QueryResult};
 use tpcd_queries::{Params, Query};
 
@@ -61,6 +65,10 @@ struct GateState {
     next_ticket: u64,
     now_serving: u64,
     running: usize,
+    /// Tickets whose waiters gave up (admission timeout). `now_serving`
+    /// skips over them so the FIFO order of the remaining waiters is
+    /// undisturbed.
+    abandoned: HashSet<u64>,
 }
 
 /// FIFO ticket gate: at most `limit` statements run at once and waiting
@@ -81,7 +89,12 @@ impl Gate {
     fn new(limit: usize) -> Gate {
         Gate {
             limit: limit.max(1),
-            state: Mutex::new(GateState { next_ticket: 0, now_serving: 0, running: 0 }),
+            state: Mutex::new(GateState {
+                next_ticket: 0,
+                now_serving: 0,
+                running: 0,
+                abandoned: HashSet::new(),
+            }),
             cv: Condvar::new(),
             waited: AtomicU64::new(0),
         }
@@ -94,22 +107,53 @@ impl Gate {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    #[cfg(test)]
     fn acquire(&self) -> Permit<'_> {
+        self.acquire_timeout(None).expect("untimed acquire cannot time out")
+    }
+
+    /// Acquire a permit, giving up after `timeout` (None waits forever).
+    /// A timed-out ticket is marked abandoned and skipped by `now_serving`,
+    /// so the waiters behind it keep their FIFO positions. On timeout the
+    /// milliseconds actually waited are returned.
+    fn acquire_timeout(&self, timeout: Option<Duration>) -> std::result::Result<Permit<'_>, u64> {
+        let started = Instant::now();
         let mut st = self.lock();
         let me = st.next_ticket;
         st.next_ticket += 1;
-        if st.now_serving != me || st.running >= self.limit {
+        let admissible = |st: &mut GateState| {
+            while st.abandoned.remove(&st.now_serving) {
+                st.now_serving += 1;
+            }
+            st.now_serving == me && st.running < self.limit
+        };
+        if !admissible(&mut st) {
             self.waited.fetch_add(1, Ordering::Relaxed);
         }
-        while st.now_serving != me || st.running >= self.limit {
-            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        while !admissible(&mut st) {
+            match timeout {
+                None => st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
+                Some(t) => {
+                    let left = t.saturating_sub(started.elapsed());
+                    if left.is_zero() {
+                        st.abandoned.insert(me);
+                        drop(st);
+                        // The ticket behind us may now be at the front.
+                        self.cv.notify_all();
+                        return Err(started.elapsed().as_millis() as u64);
+                    }
+                    let (g, _) =
+                        self.cv.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner);
+                    st = g;
+                }
+            }
         }
         st.now_serving += 1;
         st.running += 1;
         drop(st);
         // The next ticket may be admissible right away (free slots left).
         self.cv.notify_all();
-        Permit { gate: self }
+        Ok(Permit { gate: self })
     }
 }
 
@@ -136,6 +180,21 @@ pub struct ServerConfig {
     /// Plan-cache capacity; `None` disables caching (every execution
     /// translates and optimizes from scratch — the oracle configuration).
     pub plan_cache: Option<usize>,
+    /// Per-statement wall-clock deadline; an admitted statement exceeding
+    /// it aborts with [`MonetError::DeadlineExceeded`] at the next
+    /// governor probe. `None` runs without a deadline.
+    pub deadline: Option<Duration>,
+    /// How long a statement may wait at the admission gate before being
+    /// shed with [`MonetError::AdmissionTimeout`]. `None` waits forever.
+    pub admit_timeout: Option<Duration>,
+}
+
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
 }
 
 impl Default for ServerConfig {
@@ -143,6 +202,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_concurrent: monet::par::config_key().0.max(1),
             plan_cache: Some(plancache::DEFAULT_CAPACITY),
+            deadline: None,
+            admit_timeout: None,
         }
     }
 }
@@ -150,7 +211,9 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Configuration from the environment: `FLATALG_ADMIT` overrides the
     /// admission limit, `FLATALG_PLAN_CACHE` the cache capacity (0 turns
-    /// caching off).
+    /// caching off), `FLATALG_DEADLINE_MS` the per-statement deadline and
+    /// `FLATALG_ADMIT_TIMEOUT_MS` the admission-queue timeout (0 or unset
+    /// disables either).
     pub fn from_env() -> ServerConfig {
         let admit = std::env::var("FLATALG_ADMIT")
             .ok()
@@ -159,6 +222,8 @@ impl ServerConfig {
         ServerConfig {
             max_concurrent: admit.unwrap_or_else(|| monet::par::config_key().0.max(1)),
             plan_cache: plancache::env_capacity(),
+            deadline: env_ms("FLATALG_DEADLINE_MS"),
+            admit_timeout: env_ms("FLATALG_ADMIT_TIMEOUT_MS"),
         }
     }
 }
@@ -170,6 +235,12 @@ pub struct ServerStats {
     pub executed: u64,
     /// Statements that had to wait at the admission gate.
     pub waited: u64,
+    /// Admitted statements that returned an error (budget, deadline,
+    /// cancellation, malformed input, injected fault, ...).
+    pub failed: u64,
+    /// Statements shed at the admission gate (queue timeout) — never
+    /// admitted, so not counted in `executed`.
+    pub shed: u64,
     /// Plan-cache counters, when caching is enabled.
     pub cache: Option<PlanCacheStats>,
 }
@@ -181,7 +252,11 @@ pub struct Server<'db> {
     cat: &'db Catalog,
     cache: Option<Arc<PlanCache>>,
     gate: Gate,
+    deadline: Option<Duration>,
+    admit_timeout: Option<Duration>,
     executed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl<'db> Server<'db> {
@@ -196,7 +271,11 @@ impl<'db> Server<'db> {
             cat,
             cache: config.plan_cache.map(PlanCache::with_capacity),
             gate: Gate::new(config.max_concurrent),
+            deadline: config.deadline,
+            admit_timeout: config.admit_timeout,
             executed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -215,6 +294,8 @@ impl<'db> Server<'db> {
         ServerStats {
             executed: self.executed.load(Ordering::Relaxed),
             waited: self.gate.waited.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()),
         }
     }
@@ -257,16 +338,57 @@ pub struct Session<'srv, 'db> {
 
 impl<'srv, 'db> Session<'srv, 'db> {
     /// Run a closure as one admitted statement: it holds an admission
-    /// permit and sees the server's plan cache as the ambient cache, so
-    /// every `translate` inside it is served from / recorded into the
-    /// cache. The permit is released even if the closure panics.
-    pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _permit = self.server.gate.acquire();
+    /// permit, runs under the server's per-statement deadline (when one is
+    /// configured), and sees the server's plan cache as the ambient cache,
+    /// so every `translate` inside it is served from / recorded into the
+    /// cache. The permit is released and the deadline disarmed whether the
+    /// closure returns `Ok`, returns `Err`, or panics; a statement that
+    /// cannot be admitted within the configured queue timeout is shed with
+    /// [`MonetError::AdmissionTimeout`] without ever holding a permit.
+    pub fn scoped<R>(&self, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let _permit = match self.server.gate.acquire_timeout(self.server.admit_timeout) {
+            Ok(p) => p,
+            Err(waited_ms) => {
+                self.server.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(MoaError::Kernel(MonetError::AdmissionTimeout { waited_ms }));
+            }
+        };
         self.server.executed.fetch_add(1, Ordering::Relaxed);
-        match &self.server.cache {
+        // RAII deadline: armed for exactly this statement, disarmed on any
+        // exit path (a leaked deadline would fail the session's next
+        // statement spuriously).
+        struct Disarm<'a>(&'a ExecCtx);
+        impl Drop for Disarm<'_> {
+            fn drop(&mut self) {
+                self.0.gov.set_deadline(None);
+            }
+        }
+        let _deadline = self.server.deadline.map(|d| {
+            self.ctx.gov.set_deadline(Some(d));
+            Disarm(&self.ctx)
+        });
+        let out = match &self.server.cache {
             Some(c) => with_plan_cache(Arc::clone(c), f),
             None => f(),
+        };
+        if out.is_err() {
+            self.server.failed.fetch_add(1, Ordering::Relaxed);
         }
+        out
+    }
+
+    /// A handle that cancels whatever statement this session is running
+    /// (or the next one admitted): the statement aborts with
+    /// [`MonetError::Cancelled`] at the next governor probe. Call
+    /// [`CancelToken::clear`] before reusing the session.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.ctx.cancel_token()
+    }
+
+    /// The session's execution context (per-session governor and memory
+    /// budget live here).
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
     }
 
     /// Translate and optimize `expr` now, so later executions of this
@@ -328,6 +450,41 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "admission limit exceeded");
+    }
+
+    #[test]
+    fn timed_out_ticket_is_abandoned_not_blocking() {
+        let gate = Arc::new(Gate::new(1));
+        let held = gate.acquire();
+        // A waiter with a tiny timeout is shed while the slot is taken...
+        let g2 = Arc::clone(&gate);
+        let shed =
+            std::thread::spawn(move || g2.acquire_timeout(Some(Duration::from_millis(5))).is_err())
+                .join()
+                .unwrap();
+        assert!(shed, "waiter should have timed out");
+        // ...and its abandoned ticket must not block later arrivals.
+        drop(held);
+        assert!(gate.acquire_timeout(Some(Duration::from_secs(5))).is_ok());
+    }
+
+    #[test]
+    fn abandoned_ticket_preserves_fifo_for_later_waiters() {
+        let gate = Arc::new(Gate::new(1));
+        let held = gate.acquire();
+        // Two waiters: the first times out, the second waits patiently.
+        let g1 = Arc::clone(&gate);
+        let t1 =
+            std::thread::spawn(move || g1.acquire_timeout(Some(Duration::from_millis(5))).is_err());
+        assert!(t1.join().unwrap());
+        let g2 = Arc::clone(&gate);
+        let t2 =
+            std::thread::spawn(move || g2.acquire_timeout(Some(Duration::from_secs(5))).is_ok());
+        // Releasing the held permit must admit the patient waiter even
+        // though an earlier (abandoned) ticket sits in front of it.
+        std::thread::sleep(Duration::from_millis(10));
+        drop(held);
+        assert!(t2.join().unwrap(), "patient waiter starved behind an abandoned ticket");
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //! under a different configuration, and a panicking statement must not
 //! wedge the admission gate or the shared worker pool.
 
+use std::time::Duration;
+
 use flatalg_server::{Server, ServerConfig};
+use moa::error::MoaError;
+use monet::error::MonetError;
 use monet::mil::opt::{self, with_opt_level, OptLevel};
 use monet::par;
 use tpcd_queries::q11_15::q13_moa;
 use tpcd_queries::{all_queries, QueryResult};
 
 fn cfg(admit: usize, cache: usize) -> ServerConfig {
-    ServerConfig { max_concurrent: admit, plan_cache: Some(cache) }
+    ServerConfig { max_concurrent: admit, plan_cache: Some(cache), ..ServerConfig::default() }
 }
 
 /// N sessions running the mixed Q1–Q15 workload concurrently (rotated
@@ -173,11 +177,135 @@ fn panicking_statement_does_not_wedge_the_service() {
     let session = server.session();
     let oracle = session.execute_expr(&q13_moa(&w.params)).unwrap();
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        session.scoped(|| -> () { panic!("client bug") })
+        session.scoped::<()>(|| panic!("client bug"))
     }));
     assert!(r.is_err());
     // The single admission slot is free again and parallel execution on
     // the shared pool still produces the bit-identical result.
     let got = par::with_threads(4, || server.session().execute_expr(&q13_moa(&w.params)).unwrap());
     assert_eq!(got, oracle);
+}
+
+/// An *erroring* (not panicking) statement must release its admission
+/// permit just like the unwind path: the gate has a single slot, so a leak
+/// on the `Err` return path would deadlock every later statement. The
+/// failure is counted, the session stays usable, and a retry is
+/// bit-identical.
+#[test]
+fn erroring_statement_releases_its_permit_and_keeps_fifo_order() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(1, 8));
+    let session = server.session();
+    let oracle = session.execute_expr(&q13_moa(&w.params)).unwrap();
+    // A real governed failure: the next probe in this session's context
+    // fires an injected fault.
+    session.ctx().gov.arm_fault("*", 1);
+    let err = session.execute_expr(&q13_moa(&w.params)).unwrap_err();
+    assert!(
+        matches!(err, MoaError::Kernel(MonetError::Injected { .. })),
+        "expected the injected fault, got {err}"
+    );
+    assert_eq!(server.stats().failed, 1);
+    // The single slot is free again (this would hang on a permit leak) and
+    // FIFO admission still serves a burst of waiters to completion.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (server, oracle) = (&server, &oracle);
+            s.spawn(move || {
+                let got = server.session().execute_expr(&q13_moa(&w.params)).unwrap();
+                assert_eq!(&got, oracle);
+            });
+        }
+    });
+    assert_eq!(session.execute_expr(&q13_moa(&w.params)).unwrap(), oracle);
+}
+
+/// Per-statement deadlines: a server configured with a microscopic
+/// deadline aborts each statement with `DeadlineExceeded` at a governor
+/// probe, cleanly and repeatedly, while a deadline-free server on the same
+/// catalog is unaffected.
+#[test]
+fn per_statement_deadline_aborts_cleanly() {
+    let w = bench::world();
+    let strict = Server::with_config(
+        &w.cat,
+        ServerConfig { deadline: Some(Duration::from_micros(1)), ..cfg(2, 8) },
+    );
+    let session = strict.session();
+    for _ in 0..2 {
+        let err = session.execute_expr(&q13_moa(&w.params)).unwrap_err();
+        assert!(
+            matches!(err, MoaError::Kernel(MonetError::DeadlineExceeded { .. })),
+            "expected a deadline abort, got {err}"
+        );
+    }
+    assert_eq!(strict.stats().failed, 2);
+    // Same catalog, no deadline: untouched.
+    let lax = Server::with_config(&w.cat, cfg(2, 8));
+    lax.session().execute_expr(&q13_moa(&w.params)).unwrap();
+}
+
+/// Load shedding: with a single slot held and a tiny admission timeout, a
+/// second statement is shed with `AdmissionTimeout` without ever being
+/// admitted — and the gate serves later statements normally.
+#[test]
+fn admission_timeout_sheds_instead_of_queueing_forever() {
+    let w = bench::world();
+    let server = Server::with_config(
+        &w.cat,
+        ServerConfig { admit_timeout: Some(Duration::from_millis(20)), ..cfg(1, 8) },
+    );
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        let server = &server;
+        s.spawn(move || {
+            let session = server.session();
+            session
+                .scoped(|| {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Ok(())
+                })
+                .unwrap();
+        });
+        started_rx.recv().unwrap();
+        // The slot is held: this statement must be shed, not queued.
+        let err = server.session().execute_expr(&q13_moa(&w.params)).unwrap_err();
+        assert!(
+            matches!(err, MoaError::Kernel(MonetError::AdmissionTimeout { .. })),
+            "expected load shedding, got {err}"
+        );
+        release_tx.send(()).unwrap();
+    });
+    let stats = server.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.executed, 1, "a shed statement is never admitted");
+    // The abandoned ticket does not wedge the gate.
+    server.session().execute_expr(&q13_moa(&w.params)).unwrap();
+}
+
+/// Cooperative cancellation through the session handle: the cancelled
+/// session's statement aborts with `Cancelled`, concurrent sessions are
+/// unaffected, and after `clear` the session produces the bit-identical
+/// result.
+#[test]
+fn cancelled_session_aborts_without_disturbing_others() {
+    let w = bench::world();
+    let server = Server::with_config(&w.cat, cfg(2, 8));
+    let victim = server.session();
+    let bystander = server.session();
+    let oracle = bystander.execute_expr(&q13_moa(&w.params)).unwrap();
+    let handle = victim.cancel_handle();
+    handle.cancel();
+    let err = victim.execute_expr(&q13_moa(&w.params)).unwrap_err();
+    assert!(
+        matches!(err, MoaError::Kernel(MonetError::Cancelled)),
+        "expected cancellation, got {err}"
+    );
+    // The bystander's session shares the server, gate and plan cache but
+    // not the governor: it keeps executing normally.
+    assert_eq!(bystander.execute_expr(&q13_moa(&w.params)).unwrap(), oracle);
+    handle.clear();
+    assert_eq!(victim.execute_expr(&q13_moa(&w.params)).unwrap(), oracle);
 }

@@ -130,8 +130,19 @@ pub fn tpcd_currentdate() -> Date {
 }
 
 /// Generate a database at the given scale factor with a fixed seed.
+///
+/// Panics on an invalid scale factor; use [`try_generate`] where the
+/// scale factor comes from user input.
 pub fn generate(sf: f64, seed: u64) -> TpcdData {
-    assert!(sf > 0.0, "scale factor must be positive");
+    try_generate(sf, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Generate a database, rejecting malformed scale factors (NaN, infinite,
+/// zero or negative) with a typed error instead of panicking.
+pub fn try_generate(sf: f64, seed: u64) -> crate::error::Result<TpcdData> {
+    if !sf.is_finite() || sf <= 0.0 {
+        return Err(crate::error::TpcdError::InvalidScaleFactor { sf });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let n_parts = ((200_000.0 * sf) as usize).max(8);
     let n_suppliers = ((10_000.0 * sf) as usize).max(4);
@@ -368,7 +379,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
         item.oid = item_base + i as Oid;
     }
 
-    TpcdData {
+    Ok(TpcdData {
         sf,
         regions,
         nations,
@@ -379,7 +390,7 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
         orders,
         items,
         clerk_count,
-    }
+    })
 }
 
 impl TpcdData {

@@ -14,11 +14,13 @@
 //! [`load::load_bats`] returns the MOA [`moa::catalog::Catalog`];
 //! [`load::load_rowstore`] builds the n-ary baseline database.
 
+pub mod error;
 pub mod gen;
 pub mod load;
 pub mod schema;
 pub mod text;
 
-pub use gen::{generate, TpcdData};
-pub use load::{load_bats, load_rowstore, LoadReport};
+pub use error::TpcdError;
+pub use gen::{generate, try_generate, TpcdData};
+pub use load::{load_bats, load_rowstore, try_load_bats, try_load_rowstore, LoadReport};
 pub use schema::tpcd_schema;

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use moa::catalog::Catalog;
 use monet::accel::datavector::{Datavector, Extent};
-use monet::atom::Date;
+use monet::atom::{Date, Oid};
 use monet::bat::Bat;
 use monet::column::Column;
 use monet::db::Db;
@@ -26,6 +26,7 @@ use monet::props::{ColProps, Props};
 use monet::strheap::StrHeapBuilder;
 use relstore::{RelDb, Table};
 
+use crate::error::TpcdError;
 use crate::gen::TpcdData;
 use crate::schema::tpcd_schema;
 
@@ -79,9 +80,100 @@ fn tail_props(tail: &Column) -> ColProps {
     ColProps { sorted, key, dense: false }
 }
 
+/// The loaders bake structural claims into the catalog — dense head
+/// columns, per-class [`Extent`] accelerators, owner-sorted set indexes.
+/// A world violating them (hand-built, truncated, or corrupted) must be
+/// rejected up front: loading it would not panic here but would produce a
+/// catalog whose property claims are lies, corrupting every query that
+/// trusts them.
+pub fn validate(data: &TpcdData) -> crate::error::Result<()> {
+    // Each class extent must be a non-empty dense ascending oid range
+    // (`ColProps::DENSE` heads, `Extent::new`, and the oid arithmetic of
+    // the set indexes all depend on it).
+    fn extent(
+        table: &'static str,
+        mut oids: impl Iterator<Item = Oid>,
+    ) -> crate::error::Result<(Oid, Oid)> {
+        let first =
+            oids.next().ok_or(TpcdError::Malformed { table, detail: "table is empty".into() })?;
+        let mut prev = first;
+        for o in oids {
+            if o != prev + 1 {
+                return Err(TpcdError::Malformed {
+                    table,
+                    detail: format!("extent not dense: oid {o} follows {prev}"),
+                });
+            }
+            prev = o;
+        }
+        Ok((first, prev))
+    }
+    let regions = extent("Region", data.regions.iter().map(|r| r.oid))?;
+    let nations = extent("Nation", data.nations.iter().map(|n| n.oid))?;
+    let parts = extent("Part", data.parts.iter().map(|p| p.oid))?;
+    let suppliers = extent("Supplier", data.suppliers.iter().map(|s| s.oid))?;
+    extent("Supplier_supplies", data.supplies.iter().map(|s| s.oid))?;
+    let customers = extent("Customer", data.customers.iter().map(|c| c.oid))?;
+    let orders = extent("Order", data.orders.iter().map(|o| o.oid))?;
+    extent("Item", data.items.iter().map(|i| i.oid))?;
+
+    // Referential integrity: every object reference must land inside its
+    // target extent (dangling references make join results silently drop
+    // or fabricate rows).
+    fn refs(
+        table: &'static str,
+        attr: &str,
+        target: (Oid, Oid),
+        mut vals: impl Iterator<Item = Oid>,
+    ) -> crate::error::Result<()> {
+        match vals.find(|&o| o < target.0 || o > target.1) {
+            None => Ok(()),
+            Some(o) => Err(TpcdError::Malformed {
+                table,
+                detail: format!("{attr} references oid {o} outside {}..={}", target.0, target.1),
+            }),
+        }
+    }
+    refs("Nation", "region", regions, data.nations.iter().map(|n| n.region))?;
+    refs("Supplier", "nation", nations, data.suppliers.iter().map(|s| s.nation))?;
+    refs("Supplier_supplies", "part", parts, data.supplies.iter().map(|s| s.part))?;
+    refs("Customer", "nation", nations, data.customers.iter().map(|c| c.nation))?;
+    refs("Order", "cust", customers, data.orders.iter().map(|o| o.cust))?;
+    refs("Item", "part", parts, data.items.iter().map(|i| i.part))?;
+    refs("Item", "supplier", suppliers, data.items.iter().map(|i| i.supplier))?;
+    refs("Item", "order", orders, data.items.iter().map(|i| i.order))?;
+
+    // The supply set index loads owner-sorted (grouped by supplier).
+    if let Some(w) = data.supplies.windows(2).find(|w| w[0].supplier > w[1].supplier) {
+        return Err(TpcdError::Malformed {
+            table: "Supplier_supplies",
+            detail: format!(
+                "set index not owner-sorted: supplier {} follows {}",
+                w[1].supplier, w[0].supplier
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Load the generated data into the decomposed BAT representation,
 /// returning the MOA catalog and the load report.
+///
+/// Panics on a malformed world; use [`try_load_bats`] when the data does
+/// not come straight from [`crate::gen::generate`].
 pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
+    try_load_bats(data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validate the world (see [`validate`]) and load it; a malformed or
+/// truncated world is rejected with a typed error instead of producing a
+/// catalog with false property claims.
+pub fn try_load_bats(data: &TpcdData) -> crate::error::Result<(Catalog, LoadReport)> {
+    validate(data)?;
+    Ok(load_bats_unchecked(data))
+}
+
+fn load_bats_unchecked(data: &TpcdData) -> (Catalog, LoadReport) {
     let mut report = LoadReport::default();
 
     // ---- Phase 1: bulk load (decomposition, oid-ordered) -----------------
@@ -464,7 +556,20 @@ pub fn load_bats(data: &TpcdData) -> (Catalog, LoadReport) {
 
 /// Load the generated data into the n-ary baseline store, with inverted
 /// lists on the selection attributes the TPC-D queries use.
+///
+/// Panics on a malformed world; use [`try_load_rowstore`] when the data
+/// does not come straight from [`crate::gen::generate`].
 pub fn load_rowstore(data: &TpcdData) -> RelDb {
+    try_load_rowstore(data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validate the world (see [`validate`]) and load the n-ary baseline.
+pub fn try_load_rowstore(data: &TpcdData) -> crate::error::Result<RelDb> {
+    validate(data)?;
+    Ok(load_rowstore_unchecked(data))
+}
+
+fn load_rowstore_unchecked(data: &TpcdData) -> RelDb {
     let mut db = RelDb::new();
 
     db.add_table(Table::new(
@@ -649,6 +754,70 @@ mod tests {
 
     fn small() -> TpcdData {
         generate(0.001, 42)
+    }
+
+    #[test]
+    fn malformed_scale_factor_is_a_typed_error() {
+        for sf in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = crate::gen::try_generate(sf, 42).unwrap_err();
+            assert!(matches!(err, TpcdError::InvalidScaleFactor { .. }), "sf {sf}: got {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_world_is_rejected_not_loaded() {
+        // Dropping the tail of `customers` leaves orders referencing
+        // missing objects: the loader must refuse with a typed error
+        // naming the offending table, not build a catalog of lies.
+        let mut data = small();
+        data.customers.truncate(data.customers.len() / 2);
+        let err = try_load_bats(&data).err().expect("load must fail");
+        assert!(
+            matches!(err, TpcdError::Malformed { table: "Order", .. }),
+            "expected a dangling Order.cust, got {err}"
+        );
+        assert!(try_load_rowstore(&data).is_err());
+    }
+
+    #[test]
+    fn non_dense_extent_is_rejected() {
+        let mut data = small();
+        data.items.remove(3); // punch a hole in the Item extent
+        let err = try_load_bats(&data).err().expect("load must fail");
+        assert!(
+            matches!(err, TpcdError::Malformed { table: "Item", .. }),
+            "expected a dense-extent violation, got {err}"
+        );
+    }
+
+    #[test]
+    fn owner_unsorted_set_index_is_rejected() {
+        let mut data = small();
+        let last = data.supplies.len() - 1;
+        // Swap the *owners* (keeping element oids dense) so only the
+        // owner-sort invariant breaks.
+        let (a, b) = (data.supplies[0].supplier, data.supplies[last].supplier);
+        assert_ne!(a, b, "seed must spread owners for this test");
+        data.supplies[0].supplier = b;
+        data.supplies[last].supplier = a;
+        let err = try_load_bats(&data).err().expect("load must fail");
+        assert!(
+            matches!(err, TpcdError::Malformed { table: "Supplier_supplies", .. }),
+            "expected an owner-sort violation, got {err}"
+        );
+    }
+
+    #[test]
+    fn empty_world_is_rejected() {
+        let mut data = small();
+        data.orders.clear();
+        let err = try_load_bats(&data).err().expect("load must fail");
+        assert!(matches!(err, TpcdError::Malformed { table: "Order", .. }), "got {err}");
+    }
+
+    #[test]
+    fn valid_world_passes_validation() {
+        assert_eq!(validate(&small()), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! The `FLATALG_FAULT=site:count` environment knob, end to end: every new
+//! context in the process arms the same deterministic countdown, so every
+//! session's first statement hits the injected fault at the same governed
+//! point — and, the injector being one-shot per governor, the immediate
+//! retry on the same session runs clean.
+//!
+//! Own one-test binary: the spec is parsed once per process, so it must
+//! be set before the first `ExecCtx` exists.
+
+use flatalg_server::{Server, ServerConfig};
+use moa::error::MoaError;
+use monet::error::MonetError;
+use tpcd_queries::all_queries;
+
+#[test]
+fn env_fault_arms_every_session_and_retry_runs_clean() {
+    if std::env::var("FLATALG_FAULT").is_err() {
+        std::env::set_var("FLATALG_FAULT", "mil/stmt:2");
+    }
+    let w = bench::World::build(0.002);
+    let queries = all_queries();
+    let q1 = &queries[0];
+    let server = Server::with_config(
+        &w.cat,
+        ServerConfig { max_concurrent: 2, plan_cache: Some(64), ..ServerConfig::default() },
+    );
+
+    // Two independent sessions: both arm from the env, both fire on the
+    // first statement, both recover on retry — bit-identically.
+    let mut retries = Vec::new();
+    for _ in 0..2 {
+        let session = server.session();
+        match session.run_query(q1, &w.params) {
+            Err(MoaError::Kernel(MonetError::Injected { .. })) => {}
+            other => panic!("env-armed session must hit the injected fault, got {other:?}"),
+        }
+        retries.push(session.run_query(q1, &w.params).unwrap());
+    }
+    assert_eq!(retries[0], retries[1], "post-fault retries must be bit-identical");
+    assert!(!retries[0].is_empty(), "Q1 must produce rows");
+    assert_eq!(server.stats().failed, 2);
+}

@@ -1,0 +1,62 @@
+//! The `FLATALG_MEM_BUDGET` environment knob, end to end: a process-wide
+//! byte budget set below the workload's peak makes queries abort with a
+//! clean typed `BudgetExceeded` — no panic, no hang — and a session can
+//! lift its own budget (the knob is session-overridable) and re-run
+//! green.
+//!
+//! This is its own one-test binary: the env spec is parsed once per
+//! process and seeds every new context, so it must be set before the
+//! first `ExecCtx` exists. The CI low-budget leg runs exactly this
+//! binary; setting the variable here (when absent) keeps the test
+//! meaningful under a bare `cargo test` too.
+
+use flatalg_server::{Server, ServerConfig};
+use moa::error::MoaError;
+use monet::error::MonetError;
+use tpcd_queries::all_queries;
+
+#[test]
+fn env_budget_below_peak_aborts_cleanly_and_lifting_recovers() {
+    // 64 KiB is far below the Q1–Q15 charged peak at any scale factor;
+    // respect an externally set value so the CI leg controls the knob.
+    if std::env::var("FLATALG_MEM_BUDGET").is_err() {
+        std::env::set_var("FLATALG_MEM_BUDGET", "64k");
+    }
+    let w = bench::World::build(0.002);
+    let queries = all_queries();
+    let server = Server::with_config(
+        &w.cat,
+        ServerConfig { max_concurrent: 2, plan_cache: Some(64), ..ServerConfig::default() },
+    );
+
+    // Under the env budget, every failure must be the typed budget error;
+    // at 64 KiB every workload query trips it.
+    let session = server.session();
+    let mut budget_aborts = 0usize;
+    for q in &queries {
+        match session.run_query(q, &w.params) {
+            Err(MoaError::Kernel(MonetError::BudgetExceeded { budget_bytes, .. })) => {
+                assert_eq!(budget_bytes, 64 * 1024, "budget must come from the env knob");
+                budget_aborts += 1;
+            }
+            Err(e) => panic!("q{}: expected BudgetExceeded, got: {e}", q.id),
+            Ok(_) => {}
+        }
+    }
+    assert!(budget_aborts > 0, "a 64 KiB budget must abort at least one query");
+    assert_eq!(server.stats().failed as usize, budget_aborts);
+
+    // Session override lifts the env budget in place: the same session
+    // re-runs the whole mix green, and two lifted sessions agree
+    // bit-for-bit.
+    session.ctx().mem.set_budget(None);
+    let fresh = server.session();
+    fresh.ctx().mem.set_budget(None);
+    for q in &queries {
+        let a = session.run_query(q, &w.params).unwrap_or_else(|e| {
+            panic!("q{}: lifted-budget run failed: {e}", q.id);
+        });
+        let b = fresh.run_query(q, &w.params).unwrap();
+        assert_eq!(a, b, "q{}: lifted-budget sessions diverged", q.id);
+    }
+}

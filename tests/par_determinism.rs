@@ -237,9 +237,9 @@ fn par_join_partitioned_bit_identical_small_vs_reference() {
             let right =
                 Bat::new(random_column(&mut rng, ty, m), random_column(&mut rng, AtomType::Int, m));
             let expect = reference::join(&left, &right);
-            let ser = serial(|| ops::join_partitioned(&ctx, &left, &right));
+            let ser = serial(|| ops::join_partitioned(&ctx, &left, &right).unwrap());
             for t in THREADS {
-                let got = parallel(t, || ops::join_partitioned(&ctx, &left, &right));
+                let got = parallel(t, || ops::join_partitioned(&ctx, &left, &right).unwrap());
                 assert_eq!(rows_of(&got), rows_of(&expect), "{ty} case {case} t={t}: vs ref");
                 assert_eq!(rows_of(&got), rows_of(&ser), "{ty} case {case} t={t}: vs serial");
             }
@@ -266,14 +266,15 @@ fn par_join_partitioned_bit_identical_large_vs_hash() {
         Column::from_oids((0..m as u64).map(|i| 50_000 + i).collect()),
     );
     let oracle = ops::join::join_hash(&ctx, &left, &right);
-    let ser =
-        par::with_par_config(Some(1), Some(1), None, || ops::join_partitioned(&ctx, &left, &right));
+    let ser = par::with_par_config(Some(1), Some(1), None, || {
+        ops::join_partitioned(&ctx, &left, &right).unwrap()
+    });
     assert_eq!(rows_of(&ser), rows_of(&oracle), "serial partitioned vs hash oracle");
     for t in THREADS {
         // Default morsel grid; the join parallelizes over cluster ranges,
         // not morsels, so only the thread count matters here.
         let got = par::with_par_config(Some(t), Some(1), None, || {
-            ops::join_partitioned(&ctx, &left, &right)
+            ops::join_partitioned(&ctx, &left, &right).unwrap()
         });
         assert_eq!(rows_of(&got), rows_of(&oracle), "t={t}: partitioned vs hash oracle");
     }

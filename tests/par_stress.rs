@@ -6,11 +6,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use monet::atom::AtomValue;
 use monet::bat::Bat;
 use monet::column::Column;
 use monet::ctx::ExecCtx;
+use monet::error::MonetError;
 use monet::ops::{self, reference};
 use monet::par;
 use monet::typed;
@@ -178,7 +180,7 @@ fn concurrent_kernels_share_the_worker_pool_safely() {
                         ops::aggr_scalar(&ctx, &left, ops::AggFunc::Sum).unwrap()
                     });
                     par::with_par_config(Some(3), Some(1), None, || {
-                        let j = ops::join_partitioned(&ctx, &left, &right);
+                        let j = ops::join_partitioned(&ctx, &left, &right).unwrap();
                         if j.iter().collect::<Vec<_>>() != oracle.iter().collect::<Vec<_>>() {
                             failures.fetch_add(1, Ordering::Relaxed);
                         }
@@ -200,4 +202,163 @@ fn concurrent_kernels_share_the_worker_pool_safely() {
         h.join().unwrap();
     }
     assert_eq!(failures.load(Ordering::Relaxed), 0, "concurrent kernel results diverged");
+}
+
+/// Build the (left, right) operand pair the governor rounds use: enough
+/// rows that the partitioned join morselizes under the forced config, a
+/// value range dense enough to produce plenty of matches.
+fn join_operands(seed: u64, n: usize, m: usize) -> (Bat, Bat) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let left = Bat::new(
+        Column::from_oids((0..n as u64).collect()),
+        Column::from_ints((0..n).map(|_| rng.gen_range(0..2_000i32)).collect()),
+    );
+    let right = Bat::new(
+        Column::from_ints((0..m).map(|_| rng.gen_range(0..2_000i32)).collect()),
+        Column::from_oids((0..m as u64).collect()),
+    );
+    (left, right)
+}
+
+/// Cooperative cancellation under concurrency: one driver's query is
+/// cancelled mid-join while other drivers sharing the worker pool run to
+/// completion bit-identically. The victim's context is revived with
+/// `CancelToken::clear` and must then reproduce the oracle exactly.
+#[test]
+fn cancellation_mid_join_leaves_other_drivers_bit_identical() {
+    let rounds = 10usize;
+    let (left, right) = join_operands(0xCA7CE1, 24_000, 8_000);
+    let oracle = {
+        let ctx = ExecCtx::new();
+        ops::join::join_hash(&ctx, &left, &right).iter().collect::<Vec<_>>()
+    };
+    let cancelled = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        // Victim: half the rounds pre-cancel (deterministic abort at the
+        // first probe), half race a canceller thread against the join so
+        // cancellation lands mid-flight when it lands at all.
+        let (left2, right2, oracle2) = (&left, &right, &oracle);
+        let cancelled2 = Arc::clone(&cancelled);
+        s.spawn(move || {
+            let ctx = ExecCtx::new();
+            let token = ctx.cancel_token();
+            for round in 0..rounds {
+                let racer = (round % 2 == 1).then(|| {
+                    let token = token.clone();
+                    std::thread::spawn(move || token.cancel())
+                });
+                if round % 2 == 0 {
+                    token.cancel();
+                }
+                match par::with_par_config(Some(3), Some(1), Some(61), || {
+                    ops::join_partitioned(&ctx, left2, right2)
+                }) {
+                    Err(MonetError::Cancelled) => {
+                        cancelled2.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("victim round {round}: unexpected error {e}"),
+                    Ok(j) => assert_eq!(
+                        j.iter().collect::<Vec<_>>(),
+                        *oracle2,
+                        "victim round {round}: uncancelled run diverged"
+                    ),
+                }
+                if let Some(h) = racer {
+                    h.join().unwrap();
+                }
+                // Revive the context; the retry must match the oracle.
+                token.clear();
+                let j = par::with_par_config(Some(3), Some(1), Some(61), || {
+                    ops::join_partitioned(&ctx, left2, right2).unwrap()
+                });
+                assert_eq!(
+                    j.iter().collect::<Vec<_>>(),
+                    *oracle2,
+                    "victim round {round}: post-clear retry diverged"
+                );
+            }
+        });
+        // Bystanders: same operands, same worker pool, never cancelled.
+        for d in 0..2 {
+            let (left2, right2, oracle2) = (&left, &right, &oracle);
+            s.spawn(move || {
+                let ctx = ExecCtx::new();
+                for round in 0..rounds {
+                    let j = par::with_par_config(Some(3), Some(1), Some(61), || {
+                        ops::join_partitioned(&ctx, left2, right2).unwrap()
+                    });
+                    assert_eq!(
+                        j.iter().collect::<Vec<_>>(),
+                        *oracle2,
+                        "bystander {d} round {round} diverged"
+                    );
+                }
+            });
+        }
+    });
+    // The pre-cancelled rounds guarantee at least rounds/2 observed aborts.
+    assert!(cancelled.load(Ordering::Relaxed) >= rounds / 2, "cancellation was never observed");
+}
+
+/// Scratch-pool leak accounting across governor aborts: injected faults
+/// and cancellations at arbitrary points of the parallel join, group, and
+/// aggregate kernels must return every checked-out scratch buffer — the
+/// process-wide checkout balance settles back to its pre-round baseline.
+/// A single abort path that drops a buffer instead of putting it back
+/// shows up as a monotonically climbing balance.
+#[test]
+fn governor_aborts_return_all_scratch_to_the_pool() {
+    let (left, right) = join_operands(0xFA17, 24_000, 8_000);
+    let groups = Bat::new(
+        Column::from_oids((0..20_000u64).collect()),
+        Column::from_oids((0..20_000u64).map(|i| i * 31 % 997).collect()),
+    );
+    let baseline = typed::scratch_checked_out();
+    let oracle = {
+        let ctx = ExecCtx::new();
+        ops::join::join_hash(&ctx, &left, &right).iter().collect::<Vec<_>>()
+    };
+    let mut aborts = 0usize;
+    for &k in &[1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144] {
+        let ctx = ExecCtx::new();
+        ctx.gov.arm_fault("*", k);
+        par::with_par_config(Some(4), Some(1), Some(61), || {
+            let r = ops::join_partitioned(&ctx, &left, &right)
+                .and_then(|_| ops::group1(&ctx, &groups))
+                .and_then(|_| ops::aggr_scalar(&ctx, &left, ops::AggFunc::Sum).map(|_| ()));
+            match r {
+                Err(MonetError::Injected { .. }) => aborts += 1,
+                Err(e) => panic!("k={k}: unexpected error {e}"),
+                Ok(()) => {} // k past the chain's last probe: ran clean
+            }
+            // Whatever happened, the context is reusable and correct.
+            let j = ops::join_partitioned(&ctx, &left, &right).unwrap();
+            assert_eq!(j.iter().collect::<Vec<_>>(), oracle, "k={k}: retry diverged");
+        });
+        // A cancellation abort in the same round: fires at the first probe.
+        let ctx = ExecCtx::new();
+        ctx.cancel_token().cancel();
+        par::with_par_config(Some(4), Some(1), Some(61), || {
+            match ops::join_partitioned(&ctx, &left, &right) {
+                Err(MonetError::Cancelled) => {}
+                other => panic!("k={k}: pre-cancelled join must abort, got {other:?}"),
+            }
+        });
+    }
+    assert!(aborts >= 8, "fault schedule barely exercised the kernels ({aborts} aborts)");
+    // Other tests in this binary run concurrently and hold checkouts
+    // transiently; poll for quiescence instead of demanding an instant
+    // match. A real abort-path leak never settles back.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let now = typed::scratch_checked_out();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scratch checkouts leaked across aborts: baseline {baseline}, now {now}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
