@@ -388,6 +388,52 @@ fn main() {
         ops::group2(&ctx, &g1, &second_synced).unwrap();
     }));
 
+    // Encoded layouts: the same operand measured raw and encoded, so the
+    // trajectory records what running directly on codes buys. The dict
+    // operand re-encodes `strs` (1000 distinct Clerk#-style strings →
+    // u16 codes); the FOR operand re-encodes `int_x` (values 0..997 →
+    // u16 deltas). Raw twins run the exact same probes so each pair's
+    // gap is the encoding, nothing else.
+    let dict_strs = Bat::new(head.clone(), strs.tail().encode(false));
+    assert_eq!(dict_strs.tail().encoding(), monet::props::Enc::Dict, "dict fixture must encode");
+    let for_ints = Bat::new(head.clone(), int_x.tail().encode(false));
+    assert_eq!(for_ints.tail().encoding(), monet::props::Enc::For, "FOR fixture must encode");
+    let probe_str = AtomValue::str("Clerk#000000500");
+    recs.push(measure(base.as_ref(), "enc/select-str-raw", n, || {
+        ops::select_eq(&ctx, &strs, &probe_str).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "enc/select-dict-code", n, || {
+        ops::select_eq(&ctx, &dict_strs, &probe_str).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "enc/group-str-raw", n, || {
+        ops::group1(&ctx, &strs).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "enc/group-dict-code", n, || {
+        ops::group1(&ctx, &dict_strs).unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "enc/range-int-raw", n, || {
+        ops::select_range(
+            &ctx,
+            &int_x,
+            Some(&AtomValue::Int(100)),
+            Some(&AtomValue::Int(300)),
+            true,
+            false,
+        )
+        .unwrap();
+    }));
+    recs.push(measure(base.as_ref(), "enc/range-for-scan", n, || {
+        ops::select_range(
+            &ctx,
+            &for_ints,
+            Some(&AtomValue::Int(100)),
+            Some(&AtomValue::Int(300)),
+            true,
+            false,
+        )
+        .unwrap();
+    }));
+
     // Parallel kernels: serial-vs-threaded pairs on the same big operands
     // (the partitioned-join input size: 16n-row scans, 4n-row build). The
     // `-par` lines run at `par_threads` workers via the scoped override;
@@ -557,6 +603,33 @@ fn main() {
         }
     }
 
+    // Per-table compression of the loaded world: physical (encoded) tail
+    // bytes vs decoded bytes, grouped by TPC-D table, plus a string-column
+    // total — the acceptance floor for the encoded layouts is >= 1.5x on
+    // the string columns. Unencoded tails contribute 1:1, so a table's
+    // ratio reads directly as "what the encoders bought here".
+    let mut comp: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+    let (mut str_enc, mut str_raw) = (0usize, 0usize);
+    for (name, bat) in w.cat.db().iter() {
+        let t = bat.tail();
+        let table = name.split('_').next().unwrap_or(name);
+        let e = comp.entry(table).or_default();
+        e.0 += t.bytes();
+        e.1 += t.decoded().bytes();
+        if t.atom_type() == monet::atom::AtomType::Str {
+            str_enc += t.bytes();
+            str_raw += t.decoded().bytes();
+        }
+    }
+    let ratio = |enc: usize, raw: usize| raw as f64 / enc.max(1) as f64;
+    for (table, &(enc, raw)) in &comp {
+        eprintln!("compress/{table:<26} {enc:>9} bytes  ({:>5.2}x vs {raw} raw)", ratio(enc, raw));
+    }
+    eprintln!(
+        "compress/strings (all tables)    {str_enc:>9} bytes  ({:>5.2}x vs {str_raw} raw)",
+        ratio(str_enc, str_raw)
+    );
+
     // --- write BENCH_kernels.json (format documented in README) ----------
     let mut json = String::new();
     json.push_str("{\n");
@@ -580,6 +653,22 @@ fn main() {
             if i + 1 < recs.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n");
+    // Compression rows carry "table" (not "name"), so baseline parsing —
+    // which keys kernel lines off "name"/"ns_per_row" — skips them.
+    json.push_str("  \"compression\": [\n");
+    for (table, &(enc, raw)) in &comp {
+        json.push_str(&format!(
+            "    {{\"table\": \"{table}\", \"enc_bytes\": {enc}, \"raw_bytes\": {raw}, \
+             \"ratio\": {:.3}}},\n",
+            ratio(enc, raw)
+        ));
+    }
+    json.push_str(&format!(
+        "    {{\"table\": \"strings\", \"enc_bytes\": {str_enc}, \"raw_bytes\": {str_raw}, \
+         \"ratio\": {:.3}}}\n",
+        ratio(str_enc, str_raw)
+    ));
     json.push_str("  ]\n}\n");
     // Default output is deliberately NOT the committed baseline path: a
     // casual local run must not clobber BENCH_kernels.json (and thereby

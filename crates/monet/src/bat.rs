@@ -67,6 +67,10 @@ impl Bat {
         if tail.atom_type() == AtomType::Void {
             props.tail = ColProps::DENSE;
         }
+        // The encoding fact is ground truth read off the storage (O(1)),
+        // never a caller claim — see [`Column::encoding`].
+        props.head.enc = head.encoding();
+        props.tail.enc = tail.encoding();
         Bat { head, tail, props, accel: Accel::default() }
     }
 
@@ -76,7 +80,14 @@ impl Bat {
     /// properties (Section 5.1).
     pub fn with_props(head: Column, tail: Column, props: Props) -> Bat {
         let mut b = Bat::new(head, tail);
-        b.props = Props::new(props.head, props.tail);
+        // Claims are trusted for the semantic properties, but the encoding
+        // fact is overridden with the storage truth: operators don't have
+        // to (and must not) reason about which layout their output columns
+        // ended up with.
+        b.props = Props::new(
+            props.head.with_enc(b.head.encoding()),
+            props.tail.with_enc(b.tail.encoding()),
+        );
         debug_assert!(
             b.validate().is_ok(),
             "property claim violated: {:?}",
@@ -94,11 +105,13 @@ impl Bat {
                 sorted: b.head.check_sorted(),
                 key: b.head.check_key(),
                 dense: b.head.check_dense(),
+                enc: b.head.encoding(),
             },
             ColProps {
                 sorted: b.tail.check_sorted(),
                 key: b.tail.check_key(),
                 dense: b.tail.check_dense(),
+                enc: b.tail.encoding(),
             },
         );
         b
@@ -219,6 +232,13 @@ impl Bat {
             if p.dense && !col.check_dense() {
                 return Err(MonetError::InvalidProperties(format!(
                     "{side} claims dense but is not consecutive"
+                )));
+            }
+            if p.enc != crate::props::Enc::None && p.enc != col.encoding() {
+                return Err(MonetError::InvalidProperties(format!(
+                    "{side} claims encoding {:?} but storage is {:?}",
+                    p.enc,
+                    col.encoding()
                 )));
             }
             Ok(())

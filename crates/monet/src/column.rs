@@ -11,9 +11,10 @@
 
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::atom::{AtomType, AtomValue, Date, Oid};
+use crate::props::Enc;
 use crate::strheap::{StrHeapBuilder, StrVec};
 
 /// Unique identity of a column allocation, used for `synced` detection and
@@ -43,6 +44,223 @@ pub enum ColumnVals {
     Dbl(Arc<Vec<f64>>),
     Str(StrVec),
     Date(Arc<Vec<i32>>),
+    /// Order-preserving dictionary codes over a sorted, duplicate-free
+    /// string dictionary: code order equals string order.
+    DictStr(Arc<DictStrData>),
+    /// Frame-of-reference int/date storage: `base + narrow delta`.
+    ForInt(Arc<ForIntData>),
+    /// Frame-of-reference lng storage.
+    ForLng(Arc<ForLngData>),
+    /// Run-length encoding (sorted columns): run values + cumulative ends.
+    Rle(Arc<RleData>),
+}
+
+/// Per-row dictionary codes at the narrowest width the dictionary size
+/// allows. The width reduction is what makes dict encoding pay on columns
+/// whose raw heap is already deduplicated (the loader's): u32 codes would
+/// merely mirror the raw offset array, u8/u16 codes shrink it 4x/2x.
+#[derive(Debug)]
+enum DictCodes {
+    W8(Vec<u8>),
+    W16(Vec<u16>),
+    W32(Vec<u32>),
+}
+
+impl DictCodes {
+    fn len(&self) -> usize {
+        match self {
+            DictCodes::W8(v) => v.len(),
+            DictCodes::W16(v) => v.len(),
+            DictCodes::W32(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            DictCodes::W8(v) => v[i] as usize,
+            DictCodes::W16(v) => v[i] as usize,
+            DictCodes::W32(v) => v[i] as usize,
+        }
+    }
+
+    /// Physical bytes per code.
+    fn width(&self) -> usize {
+        match self {
+            DictCodes::W8(_) => 1,
+            DictCodes::W16(_) => 2,
+            DictCodes::W32(_) => 4,
+        }
+    }
+
+    /// Narrowest width able to hold codes `0..dict_len`.
+    fn width_for(dict_len: usize) -> usize {
+        if dict_len <= 1 << 8 {
+            1
+        } else if dict_len <= 1 << 16 {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+/// Dictionary-encoded string storage. The dictionary is a sorted,
+/// duplicate-free [`StrVec`]; per-row narrow codes index into it, so the
+/// encoding is *order-preserving*: comparing codes compares strings.
+#[derive(Debug)]
+pub struct DictStrData {
+    codes: DictCodes,
+    dict: StrVec,
+    /// Lazy raw decode (`dict.gather(codes)`); shares the dictionary's
+    /// byte heap, so the cache costs only the rebuilt offset arrays.
+    decoded: OnceLock<StrVec>,
+}
+
+impl DictStrData {
+    #[inline]
+    fn code(&self, i: usize) -> usize {
+        self.codes.get(i)
+    }
+
+    fn decoded(&self) -> &StrVec {
+        self.decoded.get_or_init(|| {
+            let wide: Vec<u32> = (0..self.codes.len()).map(|i| self.code(i) as u32).collect();
+            self.dict.gather(&wide)
+        })
+    }
+}
+
+#[derive(Debug)]
+enum ForIntDeltas {
+    W8(Vec<u8>),
+    W16(Vec<u16>),
+}
+
+/// Frame-of-reference storage for `int`/`date` columns: the minimum as the
+/// frame base plus one narrow unsigned delta per row.
+#[derive(Debug)]
+pub struct ForIntData {
+    base: i32,
+    deltas: ForIntDeltas,
+    /// Day-count dates share the `i32` representation (see
+    /// [`crate::typed`]: `&[i32]` backs both `int` and `date`).
+    date: bool,
+    decoded: OnceLock<Arc<Vec<i32>>>,
+}
+
+impl ForIntData {
+    fn len(&self) -> usize {
+        match &self.deltas {
+            ForIntDeltas::W8(v) => v.len(),
+            ForIntDeltas::W16(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> i32 {
+        match &self.deltas {
+            ForIntDeltas::W8(v) => self.base + v[i] as i32,
+            ForIntDeltas::W16(v) => self.base + v[i] as i32,
+        }
+    }
+
+    fn width(&self) -> usize {
+        match &self.deltas {
+            ForIntDeltas::W8(_) => 1,
+            ForIntDeltas::W16(_) => 2,
+        }
+    }
+
+    fn decoded(&self) -> &Arc<Vec<i32>> {
+        self.decoded.get_or_init(|| Arc::new((0..self.len()).map(|i| self.value(i)).collect()))
+    }
+}
+
+#[derive(Debug)]
+enum ForLngDeltas {
+    W8(Vec<u8>),
+    W16(Vec<u16>),
+    W32(Vec<u32>),
+}
+
+/// Frame-of-reference storage for `lng` columns.
+#[derive(Debug)]
+pub struct ForLngData {
+    base: i64,
+    deltas: ForLngDeltas,
+    decoded: OnceLock<Arc<Vec<i64>>>,
+}
+
+impl ForLngData {
+    fn len(&self) -> usize {
+        match &self.deltas {
+            ForLngDeltas::W8(v) => v.len(),
+            ForLngDeltas::W16(v) => v.len(),
+            ForLngDeltas::W32(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> i64 {
+        match &self.deltas {
+            ForLngDeltas::W8(v) => self.base + v[i] as i64,
+            ForLngDeltas::W16(v) => self.base + v[i] as i64,
+            ForLngDeltas::W32(v) => self.base + v[i] as i64,
+        }
+    }
+
+    fn width(&self) -> usize {
+        match &self.deltas {
+            ForLngDeltas::W8(_) => 1,
+            ForLngDeltas::W16(_) => 2,
+            ForLngDeltas::W32(_) => 4,
+        }
+    }
+
+    fn decoded(&self) -> &Arc<Vec<i64>> {
+        self.decoded.get_or_init(|| Arc::new((0..self.len()).map(|i| self.value(i)).collect()))
+    }
+}
+
+/// Run-length storage: one value per run (a raw column of the logical
+/// type) plus cumulative exclusive run ends. There is no RLE kernel
+/// variant — [`Column::typed`] resolves RLE windows through the cached
+/// decode, so every kernel runs on it transparently; the physical layout
+/// only pays off in storage and load accounting.
+#[derive(Debug)]
+pub struct RleData {
+    /// Cumulative run ends (exclusive); `ends.last() == total rows`.
+    ends: Vec<u32>,
+    /// Run values, a raw column (`off == 0`) of the logical atom type.
+    vals: Column,
+    decoded: OnceLock<Column>,
+}
+
+impl RleData {
+    fn rows(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0) as usize
+    }
+
+    /// Index of the run containing row `i`.
+    #[inline]
+    fn run_of(&self, i: usize) -> usize {
+        self.ends.partition_point(|&e| e as usize <= i)
+    }
+
+    fn decoded(&self) -> &Column {
+        self.decoded.get_or_init(|| {
+            let mut idx: Vec<u32> = Vec::with_capacity(self.rows());
+            let mut at = 0u32;
+            for (r, &e) in self.ends.iter().enumerate() {
+                for _ in at..e {
+                    idx.push(r as u32);
+                }
+                at = e;
+            }
+            self.vals.gather(&idx)
+        })
+    }
 }
 
 /// An immutable column: shared storage plus a `[off, off+len)` view window.
@@ -216,6 +434,29 @@ impl Column {
             ColumnVals::Dbl(_) => AtomType::Dbl,
             ColumnVals::Str(_) => AtomType::Str,
             ColumnVals::Date(_) => AtomType::Date,
+            ColumnVals::DictStr(_) => AtomType::Str,
+            ColumnVals::ForInt(f) => {
+                if f.date {
+                    AtomType::Date
+                } else {
+                    AtomType::Int
+                }
+            }
+            ColumnVals::ForLng(_) => AtomType::Lng,
+            ColumnVals::Rle(r) => r.vals.atom_type(),
+        }
+    }
+
+    /// The physical encoding of this column's storage (`Enc::None` for the
+    /// raw layouts). An O(1) storage fact, not a semantic claim — which is
+    /// why [`crate::bat::Bat`] derives the `enc` property from it instead
+    /// of trusting callers.
+    pub fn encoding(&self) -> Enc {
+        match &self.vals {
+            ColumnVals::DictStr(_) => Enc::Dict,
+            ColumnVals::ForInt(_) | ColumnVals::ForLng(_) => Enc::For,
+            ColumnVals::Rle(_) => Enc::Rle,
+            _ => Enc::None,
         }
     }
 
@@ -272,6 +513,16 @@ impl Column {
             ColumnVals::Dbl(v) => AtomValue::Dbl(v[j]),
             ColumnVals::Str(v) => AtomValue::Str(v.get(j).into()),
             ColumnVals::Date(v) => AtomValue::Date(Date(v[j])),
+            ColumnVals::DictStr(d) => AtomValue::Str(d.dict.get(d.code(j)).into()),
+            ColumnVals::ForInt(f) => {
+                if f.date {
+                    AtomValue::Date(Date(f.value(j)))
+                } else {
+                    AtomValue::Int(f.value(j))
+                }
+            }
+            ColumnVals::ForLng(f) => AtomValue::Lng(f.value(j)),
+            ColumnVals::Rle(r) => r.vals.get(r.run_of(j)),
         }
     }
 
@@ -289,6 +540,10 @@ impl Column {
     pub fn int_at(&self, i: usize) -> i32 {
         match &self.vals {
             ColumnVals::Int(v) => v[self.off + i],
+            ColumnVals::ForInt(f) if !f.date => f.value(self.off + i),
+            ColumnVals::Rle(r) if r.vals.atom_type() == AtomType::Int => {
+                r.vals.int_at(r.run_of(self.off + i))
+            }
             other => panic!("int_at on {:?} column", type_of(other)),
         }
     }
@@ -296,6 +551,10 @@ impl Column {
     pub fn lng_at(&self, i: usize) -> i64 {
         match &self.vals {
             ColumnVals::Lng(v) => v[self.off + i],
+            ColumnVals::ForLng(f) => f.value(self.off + i),
+            ColumnVals::Rle(r) if r.vals.atom_type() == AtomType::Lng => {
+                r.vals.lng_at(r.run_of(self.off + i))
+            }
             other => panic!("lng_at on {:?} column", type_of(other)),
         }
     }
@@ -324,6 +583,10 @@ impl Column {
     pub fn date_at(&self, i: usize) -> Date {
         match &self.vals {
             ColumnVals::Date(v) => Date(v[self.off + i]),
+            ColumnVals::ForInt(f) if f.date => Date(f.value(self.off + i)),
+            ColumnVals::Rle(r) if r.vals.atom_type() == AtomType::Date => {
+                r.vals.date_at(r.run_of(self.off + i))
+            }
             other => panic!("date_at on {:?} column", type_of(other)),
         }
     }
@@ -331,6 +594,7 @@ impl Column {
     pub fn str_at(&self, i: usize) -> &str {
         match &self.vals {
             ColumnVals::Str(v) => v.get(self.off + i),
+            ColumnVals::DictStr(d) => d.dict.get(d.code(self.off + i)),
             other => panic!("str_at on {:?} column", type_of(other)),
         }
     }
@@ -340,22 +604,7 @@ impl Column {
     /// and the `for_each_typed!` family of macros). Bulk code must prefer
     /// this over the per-element `get`/`cmp_at`/`hash_at` accessors.
     pub fn typed(&self) -> crate::typed::TypedSlice<'_> {
-        use crate::typed::{StrVals, TypedSlice, VoidVals};
-        let (off, len) = (self.off, self.len);
-        match &self.vals {
-            ColumnVals::Void { seq } => TypedSlice::Void(VoidVals { seq: seq + off as Oid, len }),
-            ColumnVals::Oid(v) => TypedSlice::Oid(&v[off..off + len]),
-            ColumnVals::Bool(v) => TypedSlice::Bool(&v[off..off + len]),
-            ColumnVals::Chr(v) => TypedSlice::Chr(&v[off..off + len]),
-            ColumnVals::Int(v) => TypedSlice::Int(&v[off..off + len]),
-            ColumnVals::Lng(v) => TypedSlice::Lng(&v[off..off + len]),
-            ColumnVals::Dbl(v) => TypedSlice::Dbl(&v[off..off + len]),
-            ColumnVals::Date(v) => TypedSlice::Date(&v[off..off + len]),
-            ColumnVals::Str(v) => {
-                let (offsets, lens, heap) = v.parts(off, len);
-                TypedSlice::Str(StrVals::new(offsets, lens, heap))
-            }
-        }
+        typed_vals(&self.vals, self.off, self.len)
     }
 
     /// Typed whole-window slice for fixed-width types (None for void/str).
@@ -428,6 +677,11 @@ impl Column {
     /// hold the same atom type (oid/void interoperate).
     pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
         use ColumnVals::*;
+        if self.encoding() != Enc::None || other.encoding() != Enc::None {
+            // Generic comparisons route through the cached decode; bulk
+            // code reaches encoded layouts through the typed kernels.
+            return self.decoded().cmp_at(i, &other.decoded(), j);
+        }
         match (&self.vals, &other.vals) {
             (Int(a), Int(b)) => a[self.off + i].cmp(&b[other.off + j]),
             (Lng(a), Lng(b)) => a[self.off + i].cmp(&b[other.off + j]),
@@ -446,6 +700,9 @@ impl Column {
     /// Compare the value at position `i` against a scalar of the same type.
     pub fn cmp_val(&self, i: usize, v: &AtomValue) -> Ordering {
         use ColumnVals::*;
+        if self.encoding() != Enc::None {
+            return self.decoded().cmp_val(i, v);
+        }
         match (&self.vals, v) {
             (Int(a), AtomValue::Int(b)) => a[self.off + i].cmp(b),
             (Lng(a), AtomValue::Lng(b)) => a[self.off + i].cmp(b),
@@ -481,6 +738,10 @@ impl Column {
             Dbl(v) => fxhash64(v[j].to_bits()),
             Date(v) => fxhash64(v[j] as u64),
             Str(v) => fnv1a(v.get(j).as_bytes()),
+            DictStr(d) => fnv1a(d.dict.get(d.code(j)).as_bytes()),
+            ForInt(f) => fxhash64(f.value(j) as u64),
+            ForLng(f) => fxhash64(f.value(j) as u64),
+            Rle(r) => r.vals.hash_at(r.run_of(j)),
         }
     }
 
@@ -506,6 +767,72 @@ impl Column {
                     idx.iter().map(|&i| (self.off + i as usize) as u32).collect();
                 Column::from_strvec(v.gather(&adjusted))
             }
+            DictStr(d) => {
+                // Gather the codes at their width; the dictionary is shared
+                // untouched, so the result stays dict-encoded (and
+                // order-preserving).
+                let codes = match &d.codes {
+                    DictCodes::W8(v) => {
+                        DictCodes::W8(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                    DictCodes::W16(v) => {
+                        DictCodes::W16(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                    DictCodes::W32(v) => {
+                        DictCodes::W32(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                };
+                let len = codes.len();
+                Column::new(
+                    ColumnVals::DictStr(Arc::new(DictStrData {
+                        codes,
+                        dict: d.dict.clone(),
+                        decoded: OnceLock::new(),
+                    })),
+                    len,
+                )
+            }
+            ForInt(f) => {
+                let deltas = match &f.deltas {
+                    ForIntDeltas::W8(v) => {
+                        ForIntDeltas::W8(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                    ForIntDeltas::W16(v) => {
+                        ForIntDeltas::W16(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                };
+                Column::new(
+                    ColumnVals::ForInt(Arc::new(ForIntData {
+                        base: f.base,
+                        deltas,
+                        date: f.date,
+                        decoded: OnceLock::new(),
+                    })),
+                    idx.len(),
+                )
+            }
+            ForLng(f) => {
+                let deltas = match &f.deltas {
+                    ForLngDeltas::W8(v) => {
+                        ForLngDeltas::W8(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                    ForLngDeltas::W16(v) => {
+                        ForLngDeltas::W16(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                    ForLngDeltas::W32(v) => {
+                        ForLngDeltas::W32(idx.iter().map(|&i| v[self.off + i as usize]).collect())
+                    }
+                };
+                Column::new(
+                    ColumnVals::ForLng(Arc::new(ForLngData {
+                        base: f.base,
+                        deltas,
+                        decoded: OnceLock::new(),
+                    })),
+                    idx.len(),
+                )
+            }
+            Rle(_) => self.decoded().gather(idx),
         }
     }
 
@@ -514,6 +841,12 @@ impl Column {
     /// genuinely mixed types panic (operators type-check first).
     pub fn concat(a: &Column, b: &Column) -> Column {
         use ColumnVals::*;
+        if a.encoding() != Enc::None || b.encoding() != Enc::None {
+            if let Some(c) = dict_splice(&[a.clone(), b.clone()], a.len + b.len) {
+                return c;
+            }
+            return Column::concat(&a.decoded(), &b.decoded());
+        }
         fn win<T: Clone>(v: &[T], off: usize, len: usize) -> &[T] {
             &v[off..off + len]
         }
@@ -591,6 +924,18 @@ impl Column {
         use ColumnVals::*;
         let total: usize = parts.iter().map(Column::len).sum();
         let first = parts.first().expect("concat_all of zero columns");
+        if parts.iter().any(|p| p.encoding() != Enc::None) {
+            // Morsel outputs of a dict-coded scan all share the source
+            // dictionary: splice their codes and keep the encoding. Any
+            // other encoded mix routes through the raw decode — values are
+            // identical either way, so the serial/parallel determinism
+            // contract is unaffected by which path runs.
+            if let Some(c) = dict_splice(parts, total) {
+                return c;
+            }
+            let decoded: Vec<Column> = parts.iter().map(Column::decoded).collect();
+            return Column::concat_all(&decoded);
+        }
         macro_rules! splice_fixed {
             ($variant:ident, $ty:ty, $build:path) => {{
                 let mut out: Vec<$ty> = Vec::with_capacity(total);
@@ -641,6 +986,9 @@ impl Column {
                     }
                 }
                 Column::from_oids(out)
+            }
+            DictStr(_) | ForInt(_) | ForLng(_) | Rle(_) => {
+                unreachable!("encoded parts routed through the decode prelude above")
             }
         }
     }
@@ -728,6 +1076,54 @@ impl Column {
                 let perm: Vec<u32> = pairs.iter().map(|p| p.1).collect();
                 (col_of(&perm), perm)
             }
+            ColumnVals::DictStr(d) => {
+                // Codes are order-preserving, so a stable counting sort over
+                // the code domain reproduces the raw string sort exactly —
+                // without touching a single byte of string data.
+                let perm = counting_sort_perm(
+                    (0..n).map(|i| d.code(self.off + i)),
+                    n,
+                    d.dict.len().max(1),
+                );
+                (col_of(&perm), perm)
+            }
+            ColumnVals::ForInt(f) => {
+                // Deltas are unsigned offsets from one base: delta order is
+                // value order, and the domain is at most 2^16.
+                let perm = match &f.deltas {
+                    ForIntDeltas::W8(v) => counting_sort_perm(
+                        v[self.off..self.off + n].iter().map(|&x| x as usize),
+                        n,
+                        1 << 8,
+                    ),
+                    ForIntDeltas::W16(v) => counting_sort_perm(
+                        v[self.off..self.off + n].iter().map(|&x| x as usize),
+                        n,
+                        1 << 16,
+                    ),
+                };
+                (col_of(&perm), perm)
+            }
+            ColumnVals::ForLng(f) => {
+                let perm = match &f.deltas {
+                    ForLngDeltas::W8(v) => counting_sort_perm(
+                        v[self.off..self.off + n].iter().map(|&x| x as usize),
+                        n,
+                        1 << 8,
+                    ),
+                    ForLngDeltas::W16(v) => counting_sort_perm(
+                        v[self.off..self.off + n].iter().map(|&x| x as usize),
+                        n,
+                        1 << 16,
+                    ),
+                    ForLngDeltas::W32(v) => {
+                        let w = &v[self.off..self.off + n];
+                        radix_sort_keys(w.iter().map(|&x| x as u64).collect()).1
+                    }
+                };
+                (col_of(&perm), perm)
+            }
+            ColumnVals::Rle(_) => self.decoded().sort_typed(want_column),
         }
     }
 
@@ -805,13 +1201,188 @@ impl Column {
 
     /// Bytes of heap storage attributable to this window: fixed part plus,
     /// for strings, the shared variable heap (counted in full — consistent
-    /// with how Monet accounts a BAT's heaps).
+    /// with how Monet accounts a BAT's heaps). Encoded layouts report their
+    /// *physical* size — codes/deltas/runs, not the logical decode — which
+    /// is what `ctx.record` and the MemTracker budget charge.
     pub fn bytes(&self) -> usize {
-        let fixed = self.atom_type().width() * self.len;
         match &self.vals {
-            ColumnVals::Str(v) => fixed + v.heap_bytes(),
-            _ => fixed,
+            ColumnVals::Str(v) => self.atom_type().width() * self.len + v.heap_bytes(),
+            ColumnVals::DictStr(d) => {
+                // Narrow codes + the dictionary's own entries and byte heap.
+                d.codes.width() * self.len
+                    + AtomType::Str.width() * d.dict.len()
+                    + d.dict.heap_bytes()
+            }
+            ColumnVals::ForInt(f) => f.width() * self.len,
+            ColumnVals::ForLng(f) => f.width() * self.len,
+            ColumnVals::Rle(r) => 4 * r.ends.len() + r.vals.bytes(),
+            _ => self.atom_type().width() * self.len,
         }
+    }
+
+    /// A raw-layout column holding the same values at the same positions.
+    /// The result keeps this view's identity triple `(id, off, len)` —
+    /// decoding is positionally exact, so synced-ness survives it. Raw
+    /// columns return themselves (an `Arc` bump).
+    pub fn decoded(&self) -> Column {
+        let vals = match &self.vals {
+            ColumnVals::DictStr(d) => ColumnVals::Str(d.decoded().clone()),
+            ColumnVals::ForInt(f) => {
+                if f.date {
+                    ColumnVals::Date(Arc::clone(f.decoded()))
+                } else {
+                    ColumnVals::Int(Arc::clone(f.decoded()))
+                }
+            }
+            ColumnVals::ForLng(f) => ColumnVals::Lng(Arc::clone(f.decoded())),
+            ColumnVals::Rle(r) => r.decoded().vals.clone(),
+            _ => return self.clone(),
+        };
+        Column { vals, id: self.id, off: self.off, len: self.len }
+    }
+
+    /// Re-encode this window into a compressed layout when one pays off;
+    /// returns a clone unchanged when no encoding applies (already encoded,
+    /// unsupported type, or no size win). `sorted` lets callers who *know*
+    /// the column is ascending unlock RLE. Encoded results carry the same
+    /// values — verified by the `ops_props` equivalence suite — but a fresh
+    /// storage identity (re-encoding a base column must bump the Db epoch).
+    pub fn encode(&self, sorted: bool) -> Column {
+        if self.encoding() != Enc::None || self.len == 0 {
+            return self.clone();
+        }
+        if sorted {
+            if let Some(c) = self.encode_rle() {
+                return c;
+            }
+        }
+        match self.atom_type() {
+            AtomType::Str => self.encode_dict().unwrap_or_else(|| self.clone()),
+            AtomType::Int | AtomType::Date | AtomType::Lng => {
+                self.encode_for().unwrap_or_else(|| self.clone())
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Order-preserving dictionary encoding for string columns: sorted
+    /// duplicate-free dictionary + codes at the narrowest width the
+    /// dictionary size allows. `None` when the encoded form would not be
+    /// smaller than the raw layout (e.g. mostly-unique values, where even
+    /// u8 codes cannot pay for the extra dictionary offsets).
+    fn encode_dict(&self) -> Option<Column> {
+        let sv = self.as_strvec()?;
+        let n = self.len;
+        let mut uniq: Vec<&str> = (0..n).map(|i| sv.get(i)).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let u = uniq.len();
+        let dict_heap: usize = uniq.iter().map(|s| s.len()).sum();
+        let enc_bytes = DictCodes::width_for(u) * n + AtomType::Str.width() * u + dict_heap;
+        if enc_bytes >= self.bytes() {
+            return None;
+        }
+        let code_of: std::collections::HashMap<&str, u32> =
+            uniq.iter().enumerate().map(|(c, &s)| (s, c as u32)).collect();
+        let mut b = StrHeapBuilder::with_capacity(u, dict_heap / u.max(1));
+        for s in &uniq {
+            b.push(s);
+        }
+        let dict = b.finish();
+        let wide = (0..n).map(|i| code_of[sv.get(i)]);
+        let codes = match DictCodes::width_for(u) {
+            1 => DictCodes::W8(wide.map(|c| c as u8).collect()),
+            2 => DictCodes::W16(wide.map(|c| c as u16).collect()),
+            _ => DictCodes::W32(wide.collect()),
+        };
+        Some(Column::new(
+            ColumnVals::DictStr(Arc::new(DictStrData { codes, dict, decoded: OnceLock::new() })),
+            n,
+        ))
+    }
+
+    /// Frame-of-reference encoding for int/date/lng columns whose value
+    /// range fits a narrower unsigned delta. `None` when it doesn't.
+    fn encode_for(&self) -> Option<Column> {
+        let n = self.len;
+        match &self.vals {
+            ColumnVals::Int(_) | ColumnVals::Date(_) => {
+                let date = matches!(self.vals, ColumnVals::Date(_));
+                let w = match &self.vals {
+                    ColumnVals::Int(v) | ColumnVals::Date(v) => &v[self.off..self.off + n],
+                    _ => unreachable!(),
+                };
+                let min = *w.iter().min()?;
+                let max = *w.iter().max()?;
+                let range = max as i64 - min as i64;
+                let deltas = if range <= u8::MAX as i64 {
+                    ForIntDeltas::W8(w.iter().map(|&x| x.wrapping_sub(min) as u8).collect())
+                } else if range <= u16::MAX as i64 {
+                    ForIntDeltas::W16(w.iter().map(|&x| x.wrapping_sub(min) as u16).collect())
+                } else {
+                    return None;
+                };
+                Some(Column::new(
+                    ColumnVals::ForInt(Arc::new(ForIntData {
+                        base: min,
+                        deltas,
+                        date,
+                        decoded: OnceLock::new(),
+                    })),
+                    n,
+                ))
+            }
+            ColumnVals::Lng(v) => {
+                let w = &v[self.off..self.off + n];
+                let min = *w.iter().min()?;
+                let max = *w.iter().max()?;
+                let range = max as i128 - min as i128;
+                let deltas = if range <= u8::MAX as i128 {
+                    ForLngDeltas::W8(w.iter().map(|&x| x.wrapping_sub(min) as u8).collect())
+                } else if range <= u16::MAX as i128 {
+                    ForLngDeltas::W16(w.iter().map(|&x| x.wrapping_sub(min) as u16).collect())
+                } else if range <= u32::MAX as i128 {
+                    ForLngDeltas::W32(w.iter().map(|&x| x.wrapping_sub(min) as u32).collect())
+                } else {
+                    return None;
+                };
+                Some(Column::new(
+                    ColumnVals::ForLng(Arc::new(ForLngData {
+                        base: min,
+                        deltas,
+                        decoded: OnceLock::new(),
+                    })),
+                    n,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Run-length encoding for an ascending window: one stored value per
+    /// run. Only taken when runs are scarce (≤ len/4) — RLE has no kernel
+    /// variant, so a weak compression ratio isn't worth the decode cache.
+    fn encode_rle(&self) -> Option<Column> {
+        let n = self.len;
+        if n == 0 || n > u32::MAX as usize || self.atom_type() == AtomType::Void {
+            return None;
+        }
+        let mut starts: Vec<u32> = vec![0];
+        for i in 1..n {
+            if self.cmp_at(i - 1, self, i) != Ordering::Equal {
+                starts.push(i as u32);
+            }
+        }
+        if starts.len() * 4 > n {
+            return None;
+        }
+        let mut ends: Vec<u32> = starts[1..].to_vec();
+        ends.push(n as u32);
+        let vals = self.gather(&starts);
+        Some(Column::new(
+            ColumnVals::Rle(Arc::new(RleData { ends, vals, decoded: OnceLock::new() })),
+            n,
+        ))
     }
 
     /// Iterate generically over the window.
@@ -996,6 +1567,94 @@ fn counting_sort_perm(
     perm
 }
 
+/// Concatenate dict-encoded parts that all share one dictionary allocation
+/// by splicing their code windows — the common shape when morsel outputs of
+/// a dict-coded scan are stitched back together. `None` when any part
+/// breaks the pattern (caller falls back to the decoding concat).
+fn dict_splice(parts: &[Column], total: usize) -> Option<Column> {
+    let first = match &parts.first()?.vals {
+        ColumnVals::DictStr(d) => d,
+        _ => return None,
+    };
+    // One shared dictionary implies one encode call, hence one code width;
+    // a mismatch would be a different encoding generation — bail to the
+    // decoding fallback rather than widen silently.
+    macro_rules! splice {
+        ($variant:ident) => {{
+            let mut codes = Vec::with_capacity(total);
+            for p in parts {
+                match &p.vals {
+                    ColumnVals::DictStr(d) if d.dict.same_storage(&first.dict) => match &d.codes {
+                        DictCodes::$variant(v) => codes.extend_from_slice(&v[p.off..p.off + p.len]),
+                        _ => return None,
+                    },
+                    _ => return None,
+                }
+            }
+            DictCodes::$variant(codes)
+        }};
+    }
+    let codes = match &first.codes {
+        DictCodes::W8(_) => splice!(W8),
+        DictCodes::W16(_) => splice!(W16),
+        DictCodes::W32(_) => splice!(W32),
+    };
+    Some(Column::new(
+        ColumnVals::DictStr(Arc::new(DictStrData {
+            codes,
+            dict: first.dict.clone(),
+            decoded: OnceLock::new(),
+        })),
+        total,
+    ))
+}
+
+/// Resolve a storage window to a [`crate::typed::TypedSlice`]. RLE storage
+/// has no kernel variant: it dispatches through its cached decode, the
+/// transparent fallback every unspecialized kernel shape takes.
+fn typed_vals(vals: &ColumnVals, off: usize, len: usize) -> crate::typed::TypedSlice<'_> {
+    use crate::typed::{DictStrVals, ForIntVals, ForLngVals, StrVals, TypedSlice, VoidVals};
+    match vals {
+        ColumnVals::Void { seq } => TypedSlice::Void(VoidVals { seq: seq + off as Oid, len }),
+        ColumnVals::Oid(v) => TypedSlice::Oid(&v[off..off + len]),
+        ColumnVals::Bool(v) => TypedSlice::Bool(&v[off..off + len]),
+        ColumnVals::Chr(v) => TypedSlice::Chr(&v[off..off + len]),
+        ColumnVals::Int(v) => TypedSlice::Int(&v[off..off + len]),
+        ColumnVals::Lng(v) => TypedSlice::Lng(&v[off..off + len]),
+        ColumnVals::Dbl(v) => TypedSlice::Dbl(&v[off..off + len]),
+        ColumnVals::Date(v) => TypedSlice::Date(&v[off..off + len]),
+        ColumnVals::Str(v) => {
+            let (offsets, lens, heap) = v.parts(off, len);
+            TypedSlice::Str(StrVals::new(offsets, lens, heap))
+        }
+        ColumnVals::DictStr(d) => {
+            let codes = match &d.codes {
+                DictCodes::W8(v) => crate::typed::ForDeltaSlice::W8(&v[off..off + len]),
+                DictCodes::W16(v) => crate::typed::ForDeltaSlice::W16(&v[off..off + len]),
+                DictCodes::W32(v) => crate::typed::ForDeltaSlice::W32(&v[off..off + len]),
+            };
+            let (offsets, lens, heap) = d.dict.parts(0, d.dict.len());
+            TypedSlice::DictStr(DictStrVals::new(codes, StrVals::new(offsets, lens, heap)))
+        }
+        ColumnVals::ForInt(f) => {
+            let deltas = match &f.deltas {
+                ForIntDeltas::W8(v) => crate::typed::ForDeltaSlice::W8(&v[off..off + len]),
+                ForIntDeltas::W16(v) => crate::typed::ForDeltaSlice::W16(&v[off..off + len]),
+            };
+            TypedSlice::ForInt(ForIntVals::new(f.base, deltas, f.date))
+        }
+        ColumnVals::ForLng(f) => {
+            let deltas = match &f.deltas {
+                ForLngDeltas::W8(v) => crate::typed::ForDeltaSlice::W8(&v[off..off + len]),
+                ForLngDeltas::W16(v) => crate::typed::ForDeltaSlice::W16(&v[off..off + len]),
+                ForLngDeltas::W32(v) => crate::typed::ForDeltaSlice::W32(&v[off..off + len]),
+            };
+            TypedSlice::ForLng(ForLngVals::new(f.base, deltas))
+        }
+        ColumnVals::Rle(r) => typed_vals(&r.decoded().vals, off, len),
+    }
+}
+
 fn type_of(v: &ColumnVals) -> AtomType {
     match v {
         ColumnVals::Void { .. } => AtomType::Void,
@@ -1007,6 +1666,16 @@ fn type_of(v: &ColumnVals) -> AtomType {
         ColumnVals::Dbl(_) => AtomType::Dbl,
         ColumnVals::Str(_) => AtomType::Str,
         ColumnVals::Date(_) => AtomType::Date,
+        ColumnVals::DictStr(_) => AtomType::Str,
+        ColumnVals::ForInt(f) => {
+            if f.date {
+                AtomType::Date
+            } else {
+                AtomType::Int
+            }
+        }
+        ColumnVals::ForLng(_) => AtomType::Lng,
+        ColumnVals::Rle(r) => r.vals.atom_type(),
     }
 }
 

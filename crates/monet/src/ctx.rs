@@ -303,6 +303,29 @@ mod tests {
     }
 
     #[test]
+    fn record_charges_physical_dict_bytes() {
+        // Regression: `record` must charge the *physical* (encoded) size of
+        // a dictionary column — u32 codes plus the deduplicated dictionary —
+        // not the decoded string footprint.
+        let ctx = ExecCtx::new();
+        let s = "Clerk#000000000000000042";
+        let raw = Column::from_strs(vec![s; 64]);
+        let dict = raw.encode(false);
+        assert_eq!(dict.encoding(), crate::props::Enc::Dict);
+        // One u8 code per row (a single-entry dictionary fits 1-byte codes)
+        // + one 4-byte dictionary offset + the single 24-byte entry. Pinned
+        // so a layout change shows up here.
+        assert_eq!(dict.bytes(), 64 + 4 + s.len());
+        assert!(dict.bytes() < raw.bytes(), "encoding must shrink the column");
+        let bat = Bat::new(Column::void(0, 64), dict);
+        ctx.mem.begin();
+        ctx.record("select", "dict-code", std::time::Instant::now(), 0, &bat).unwrap();
+        assert_eq!(ctx.mem.charged_bytes(), bat.bytes() as u64);
+        // The raw twin would have charged the full duplicated heap.
+        assert!(ctx.mem.charged_bytes() < raw.bytes() as u64);
+    }
+
+    #[test]
     fn mem_tracker_high_water() {
         let m = MemTracker::default();
         m.observe_live(100);

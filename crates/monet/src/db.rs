@@ -70,6 +70,25 @@ impl Db {
         self.bats.get_mut(name).ok_or_else(|| MonetError::UnknownName(name.to_string()))
     }
 
+    /// Re-encode the tail of a registered BAT into a compressed layout
+    /// (see [`crate::column::Column::encode`]); `sorted` unlocks RLE when
+    /// the caller knows the tail ascends. No-op (and no epoch bump) when no
+    /// encoding pays off. A successful re-encode replaces the stored BAT
+    /// and goes through [`register`](Db::register), so the epoch bumps and
+    /// every plan compiled against the raw layout — including pinned
+    /// algorithm choices that depended on it — is silently invalidated.
+    pub fn reencode_tail(&mut self, name: &str, sorted: bool) -> Result<bool> {
+        let bat = self.get(name)?;
+        let enc = bat.tail().encode(sorted);
+        if enc.encoding() == crate::props::Enc::None {
+            return Ok(false);
+        }
+        let props = bat.props();
+        let replacement = Bat::with_props(bat.head().clone(), enc, props);
+        self.register(name, replacement);
+        Ok(true)
+    }
+
     pub fn contains(&self, name: &str) -> bool {
         self.bats.contains_key(name)
     }

@@ -1,0 +1,58 @@
+//! The `FLATALG_ENC` knob: whether loaders build encoded column layouts.
+//!
+//! Encoding is a *load-time* decision — kernels always accept whatever
+//! layout a column carries (see [`crate::typed::TypedSlice`]) — so one
+//! process-wide switch plus a scoped per-thread override is enough. With
+//! `FLATALG_ENC=0` the tpcd loader reproduces the raw layouts byte for
+//! byte, which is the encodings-off oracle leg of the acceptance suite.
+
+use std::sync::OnceLock;
+
+thread_local! {
+    static OVERRIDE: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// The effective setting: the scoped override of [`with_enc`] if set, else
+/// `FLATALG_ENC` (`0` disables; anything else — including unset — enables).
+/// Parsed once per process, like every other `FLATALG_*` knob.
+pub fn enc_enabled() -> bool {
+    if let Some(e) = OVERRIDE.with(|c| c.get()) {
+        return e;
+    }
+    *ENV_ENABLED.get_or_init(|| !matches!(std::env::var("FLATALG_ENC"), Ok(v) if v.trim() == "0"))
+}
+
+/// Run `f` with encodings scoped on or off on this thread. Restores the
+/// previous setting on exit — panic-safe — and never touches the process
+/// environment, so concurrent tests can sweep both legs without racing
+/// (the same contract as [`crate::mil::opt::with_opt_config`]).
+pub fn with_enc<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.get());
+    let _restore = Restore(prev);
+    OVERRIDE.with(|c| c.set(Some(enabled)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_scopes_and_restores() {
+        let ambient = enc_enabled();
+        with_enc(false, || {
+            assert!(!enc_enabled());
+            with_enc(true, || assert!(enc_enabled()));
+            assert!(!enc_enabled());
+        });
+        assert_eq!(enc_enabled(), ambient);
+    }
+}

@@ -60,6 +60,7 @@ pub mod column;
 pub mod costmodel;
 pub mod ctx;
 pub mod db;
+pub mod enc;
 pub mod error;
 pub mod gov;
 pub mod mil;
@@ -78,10 +79,11 @@ pub mod prelude {
     pub use crate::column::Column;
     pub use crate::ctx::ExecCtx;
     pub use crate::db::Db;
+    pub use crate::enc::{enc_enabled, with_enc};
     pub use crate::error::{MonetError, Result};
     pub use crate::mil::{MilArg, MilOp, MilProgram, Var};
     pub use crate::ops;
     pub use crate::ops::{AggFunc, MultArg, ScalarFunc};
     pub use crate::pager::Pager;
-    pub use crate::props::{ColProps, Props};
+    pub use crate::props::{ColProps, Enc, Props};
 }

@@ -90,6 +90,9 @@ pub enum Pin {
     JoinMerge,
     /// `select` on a tail-sorted operand: binary-search slice.
     SelectSorted,
+    /// `select` on a dictionary-encoded tail: resolve the predicate to a
+    /// code range on the sorted dictionary and select on `u32` codes.
+    SelectDictCode,
 }
 
 impl Pin {
@@ -99,6 +102,7 @@ impl Pin {
             Pin::JoinFetch => "fetch",
             Pin::JoinMerge => "merge",
             Pin::SelectSorted => "binary-search",
+            Pin::SelectDictCode => "dict-code",
         }
     }
 }

@@ -216,6 +216,20 @@ fn eval_stmt(
             *inc_lo,
             *inc_hi,
         )?)),
+        (Some(super::ast::Pin::SelectDictCode), MilOp::SelectEq(v, val)) => {
+            Ok(MilValue::Bat(ops::select::select_eq_dict(ctx, bat(*v)?, val)?))
+        }
+        (
+            Some(super::ast::Pin::SelectDictCode),
+            MilOp::SelectRange { src, lo, hi, inc_lo, inc_hi },
+        ) => Ok(MilValue::Bat(ops::select::select_range_dict(
+            ctx,
+            bat(*src)?,
+            lo.as_ref(),
+            hi.as_ref(),
+            *inc_lo,
+            *inc_hi,
+        )?)),
         (Some(super::ast::Pin::JoinFetch), MilOp::Join(a, b)) => {
             Ok(MilValue::Bat(ops::join::join_fetch_pinned(ctx, bat(*a)?, bat(*b)?)?))
         }

@@ -125,6 +125,7 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
                         sorted: sa.props.head.sorted && sb.props.head.sorted,
                         key: sa.props.head.key && sb.props.head.key,
                         dense: false,
+                        ..ColProps::NONE
                     },
                     ColProps::NONE,
                 )
@@ -156,7 +157,12 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
                 tail: Some(AtomType::Oid),
                 props: Props::new(
                     s.props.head,
-                    ColProps { sorted: s.props.tail.sorted, key: false, dense: false },
+                    ColProps {
+                        sorted: s.props.tail.sorted,
+                        key: false,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
                 ),
                 may_dv: false,
             }
@@ -185,6 +191,7 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
                         sorted: first.props.head.sorted,
                         key: first.props.head.key,
                         dense: false,
+                        ..ColProps::NONE
                     },
                     ColProps::NONE,
                 ),
@@ -197,7 +204,12 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
                 head: s.head,
                 tail: None,
                 props: Props::new(
-                    ColProps { sorted: s.props.head.sorted, key: true, dense: false },
+                    ColProps {
+                        sorted: s.props.head.sorted,
+                        key: true,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
                     ColProps::NONE,
                 ),
                 may_dv: false,
@@ -232,8 +244,18 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
             } else {
                 Shape {
                     props: Props::new(
-                        ColProps { sorted: false, key: s.props.head.key, dense: false },
-                        ColProps { sorted: true, key: s.props.tail.key, dense: false },
+                        ColProps {
+                            sorted: false,
+                            key: s.props.head.key,
+                            dense: false,
+                            ..ColProps::NONE
+                        },
+                        ColProps {
+                            sorted: true,
+                            key: s.props.tail.key,
+                            dense: false,
+                            ..ColProps::NONE
+                        },
                     ),
                     may_dv: false,
                     ..s
@@ -248,8 +270,18 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
                 s.props
             } else {
                 Props::new(
-                    ColProps { sorted: true, key: s.props.head.key, dense: false },
-                    ColProps { sorted: false, key: s.props.tail.key, dense: false },
+                    ColProps {
+                        sorted: true,
+                        key: s.props.head.key,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
+                    ColProps {
+                        sorted: false,
+                        key: s.props.tail.key,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
                 )
             };
             Shape { props, may_dv: false, ..s }
@@ -258,8 +290,18 @@ fn shape_of(op: &MilOp, shapes: &[Option<Shape>], db: &Db) -> Option<Shape> {
             let s = sh(*src)?;
             Shape {
                 props: Props::new(
-                    ColProps { sorted: false, key: s.props.head.key, dense: false },
-                    ColProps { sorted: !desc, key: s.props.tail.key, dense: false },
+                    ColProps {
+                        sorted: false,
+                        key: s.props.head.key,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
+                    ColProps {
+                        sorted: !desc,
+                        key: s.props.tail.key,
+                        dense: false,
+                        ..ColProps::NONE
+                    },
                 ),
                 may_dv: false,
                 ..s

@@ -9,8 +9,15 @@
 //! the interpreter skip the per-operator property re-derivation (and makes
 //! the planned algorithm visible in EXPLAIN output):
 //!
+//! * `select` on a statically dictionary-encoded tail → code-range select.
+//!   The encoding claim only ever flows from the stored column's actual
+//!   layout (a `Load` seeds it from catalog ground truth, guarded by the
+//!   Db epoch), and dynamic dispatch checks the dict layout first.
 //! * `select` on a statically sorted tail → binary search. Sortedness only
-//!   gains facts at run time, so dispatch would take the same branch.
+//!   gains facts at run time, so dispatch would take the same branch —
+//!   and if the tail also turns out dictionary-encoded at run time, the
+//!   dict-code path returns the *identical* zero-copy slice (order
+//!   preservation makes the code range and the string range coincide).
 //! * `join` with a statically dense oid-like right head and oid-like left
 //!   tail → positional fetch — dispatch's first branch.
 //! * `join` with statically sorted operands → merge, but only when the
@@ -30,9 +37,15 @@ pub(crate) fn run(prog: &mut MilProgram, db: &Db) -> usize {
     let mut pins = 0;
     for i in 0..prog.len() {
         let pin = match &prog.stmts[i].op {
-            MilOp::SelectEq(v, _) | MilOp::SelectRange { src: v, .. } => {
-                shapes[*v].filter(|s| s.props.tail.sorted).map(|_| Pin::SelectSorted)
-            }
+            MilOp::SelectEq(v, _) | MilOp::SelectRange { src: v, .. } => shapes[*v].and_then(|s| {
+                if s.props.tail.enc == crate::props::Enc::Dict {
+                    Some(Pin::SelectDictCode)
+                } else if s.props.tail.sorted {
+                    Some(Pin::SelectSorted)
+                } else {
+                    None
+                }
+            }),
             MilOp::Join(a, b) => match (shapes[*a], shapes[*b]) {
                 (Some(sa), Some(sb)) => {
                     if sb.props.head.dense && known_oidlike(sb.head) && known_oidlike(sa.tail) {

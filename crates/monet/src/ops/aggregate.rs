@@ -65,21 +65,23 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
         AggFunc::Count => Ok(AtomValue::Lng(n as i64)),
         AggFunc::Sum => match t.atom_type() {
             AtomType::Int => {
-                let col = t.clone();
+                let col = t.decoded();
                 let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_int_slice().expect("int tail")[r].iter().map(|&x| x as i64).sum::<i64>()
                 })?;
                 Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
             AtomType::Lng => {
-                let col = t.clone();
+                let col = t.decoded();
                 let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_lng_slice().expect("lng tail")[r].iter().sum::<i64>()
                 })?;
                 Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
             AtomType::Dbl => {
-                let col = t.clone();
+                // decoded(): dbl is never dict/FOR-encoded, but RLE can
+                // wrap any type.
+                let col = t.decoded();
                 let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_dbl_slice().expect("dbl tail")[r].iter().sum::<f64>()
                 })?;
@@ -97,7 +99,7 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     detail: "average of empty BAT".into(),
                 });
             }
-            let col = t.clone();
+            let col = t.decoded();
             let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| match col
                 .atom_type()
             {
@@ -250,14 +252,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
     let n = ab.len();
     let sorted = ab.props().head.sorted;
     let threads = if sorted { 1 } else { super::par_threads(ctx, n) };
-    let algo = if sorted {
-        "merge"
-    } else if threads > 1 {
-        "par-hash"
-    } else {
-        "hash"
-    };
-    let (gid_of, rep): (Vec<u32>, Vec<u32>) = if sorted {
+    let (gid_of, rep, algo): (Vec<u32>, Vec<u32>, &'static str) = if sorted {
         crate::for_each_typed!(h, |hv| {
             let mut gid_of: Vec<u32> = Vec::with_capacity(n);
             let mut rep: Vec<u32> = Vec::new();
@@ -271,7 +266,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
                 }
                 gid_of.push(g);
             }
-            (gid_of, rep)
+            (gid_of, rep, "merge")
         })
     } else {
         super::group::hash_group_column(ctx, h, threads)?
@@ -311,7 +306,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         AggFunc::Sum => match tail_ty {
             AtomType::Int | AtomType::Lng => {
                 let g = Arc::clone(&gid);
-                let col = t.clone();
+                let col = t.decoded();
                 let wide = tail_ty == AtomType::Lng;
                 let sums = group_partials(
                     ctx,
@@ -343,7 +338,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             }
             _ => {
                 let g = Arc::clone(&gid);
-                let col = t.clone();
+                let col = t.decoded();
                 let sums = group_partials(
                     ctx,
                     n,
@@ -368,7 +363,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
         },
         AggFunc::Avg => {
             let g = Arc::clone(&gid);
-            let col = t.clone();
+            let col = t.decoded();
             let acc = group_partials(
                 ctx,
                 n,
@@ -469,6 +464,7 @@ pub fn set_aggregate(ctx: &ExecCtx, f: AggFunc, ab: &Bat) -> Result<Bat> {
             sorted: ab.props().head.sorted,
             key: true, // one BUN per distinct head by construction
             dense: false,
+            ..ColProps::NONE
         },
         ColProps::NONE,
     );

@@ -40,9 +40,25 @@ pub(crate) fn hash_group_column(
     ctx: &ExecCtx,
     col: &Column,
     threads: usize,
-) -> Result<(Vec<u32>, Vec<u32>)> {
+) -> Result<(Vec<u32>, Vec<u32>, &'static str)> {
     let n = col.len();
     if threads <= 1 {
+        // Dictionary-encoded tails group by *code*: the dictionary is
+        // duplicate-free, so code equality is value equality and a flat
+        // code→gid table replaces hashing entirely. Gids are still
+        // assigned at first appearance, so the output is bit-identical to
+        // the hash path. Gated on the code domain staying proportionate to
+        // the input (a huge dictionary over few rows would pay more for
+        // the table fill than the hashes it saves). The parallel path
+        // keeps the generic per-morsel tables — its merge pass needs
+        // value-keyed tables anyway and morsel results must stay
+        // label-compatible.
+        if let crate::typed::TypedSlice::DictStr(d) = col.typed() {
+            if d.dict_len() <= (4 * n).max(1 << 16) {
+                let (gid_of, reps) = dict_group_codes(d);
+                return Ok((gid_of, reps, "code-group"));
+            }
+        }
         return Ok(crate::for_each_typed!(col, |t| {
             let mut table = GroupTable::with_capacity(n);
             let mut gid_of: Vec<u32> = Vec::with_capacity(n);
@@ -53,7 +69,7 @@ pub(crate) fn hash_group_column(
                     table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
                 gid_of.push(g);
             }
-            (gid_of, table.reps().to_vec())
+            (gid_of, table.reps().to_vec(), "hash")
         }));
     }
     let c = col.clone();
@@ -92,8 +108,31 @@ pub(crate) fn hash_group_column(
         for ((lgids, _), map) in parts.iter().zip(&maps) {
             gid_of.extend(lgids.iter().map(|&lg| map[lg as usize]));
         }
-        (gid_of, table.reps().to_vec())
+        (gid_of, table.reps().to_vec(), "par-hash")
     }))
+}
+
+/// First-occurrence grouping over dictionary codes with a flat code→gid
+/// table (see the dispatch comment in [`hash_group_column`]). The slot
+/// table comes from the bounded thread-local scratch pool; there is no
+/// abort point between checkout and return.
+fn dict_group_codes(d: crate::typed::DictStrVals<'_>) -> (Vec<u32>, Vec<u32>) {
+    const EMPTY: u32 = u32::MAX;
+    let codes = d.codes();
+    let mut slot = crate::typed::take_u32(d.dict_len());
+    slot.resize(d.dict_len(), EMPTY);
+    let mut gid_of: Vec<u32> = Vec::with_capacity(codes.len());
+    let mut reps: Vec<u32> = Vec::new();
+    for i in 0..codes.len() {
+        let s = &mut slot[codes.get(i) as usize];
+        if *s == EMPTY {
+            *s = reps.len() as u32;
+            reps.push(i as u32);
+        }
+        gid_of.push(*s);
+    }
+    crate::typed::put_u32(slot);
+    (gid_of, reps)
 }
 
 /// Unary group: one new oid per distinct tail value. Group oids are dense,
@@ -109,14 +148,7 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
     }
     let sorted = ab.props().tail.sorted;
     let threads = if sorted { 1 } else { super::par_threads(ctx, ab.len()) };
-    let algo = if sorted {
-        "merge"
-    } else if threads > 1 {
-        "par-hash"
-    } else {
-        "hash"
-    };
-    let (mut gids, ngroups): (Vec<Oid>, usize) = if sorted {
+    let (mut gids, ngroups, algo): (Vec<Oid>, usize, &'static str) = if sorted {
         crate::for_each_typed!(ab.tail(), |t| {
             let n = t.len();
             let mut gids: Vec<Oid> = Vec::with_capacity(n);
@@ -129,11 +161,11 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
                 gids.push(g);
             }
             let ngroups = if n == 0 { 0 } else { g as usize + 1 };
-            (gids, ngroups)
+            (gids, ngroups, "merge")
         })
     } else {
-        let (gid_of, rep) = hash_group_column(ctx, ab.tail(), threads)?;
-        (gid_of.into_iter().map(|g| g as Oid).collect(), rep.len())
+        let (gid_of, rep, algo) = hash_group_column(ctx, ab.tail(), threads)?;
+        (gid_of.into_iter().map(|g| g as Oid).collect(), rep.len(), algo)
     };
     let base = ctx.fresh_oids(ngroups);
     for g in &mut gids {
@@ -142,7 +174,10 @@ pub fn group1(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
     let result = Bat::with_props(
         ab.head().clone(),
         Column::from_oids(gids),
-        Props::new(ab.props().head, ColProps { sorted, key: false, dense: false }),
+        Props::new(
+            ab.props().head,
+            ColProps { sorted, key: false, dense: false, ..ColProps::NONE },
+        ),
     );
     ctx.record("group", algo, started, faults0, &result)?;
     Ok(result)

@@ -120,7 +120,7 @@ pub fn join_theta(ctx: &ExecCtx, ab: &Bat, cd: &Bat, theta: crate::ops::ScalarFu
         ab.head().gather(&left_idx),
         cd.tail().gather(&right_idx),
         Props::new(
-            ColProps { sorted: ab.props().head.sorted, key: false, dense: false },
+            ColProps { sorted: ab.props().head.sorted, key: false, dense: false, ..ColProps::NONE },
             ColProps::NONE,
         ),
     );
@@ -159,7 +159,12 @@ fn join_fetch(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
     let tail = cd.tail().gather(&right_idx);
     let p = ab.props();
     let props = Props::new(
-        ColProps { sorted: p.head.sorted, key: p.head.key, dense: p.head.dense && full },
+        ColProps {
+            sorted: p.head.sorted,
+            key: p.head.key,
+            dense: p.head.dense && full,
+            ..ColProps::NONE
+        },
         tail_props(ab, cd),
     );
     Bat::with_props(head, tail, props)
@@ -538,8 +543,13 @@ fn tail_props(ab: &Bat, cd: &Bat) -> ColProps {
 /// tails are key (not order — emission follows the left operand).
 pub fn propagated_props(ab: Props, cd: Props) -> Props {
     Props::new(
-        ColProps { sorted: ab.head.sorted, key: ab.head.key && cd.head.key, dense: false },
-        ColProps { sorted: false, key: cd.tail.key && ab.tail.key, dense: false },
+        ColProps {
+            sorted: ab.head.sorted,
+            key: ab.head.key && cd.head.key,
+            dense: false,
+            ..ColProps::NONE
+        },
+        ColProps { sorted: false, key: cd.tail.key && ab.tail.key, dense: false, ..ColProps::NONE },
     )
 }
 

@@ -372,7 +372,7 @@ fn mux_aligned(_ctx: &ExecCtx, f: ScalarFunc, first: &Bat, args: &[MultArg]) -> 
         head,
         Column::from_atoms(ty, out),
         Props::new(
-            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
+            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false, ..ColProps::NONE },
             ColProps::NONE,
         ),
     ))
@@ -561,6 +561,30 @@ fn cmp_col<T: Copy, A: Src<T>, B: Src<T>>(
 fn typed_fast_path(f: ScalarFunc, args: &[TailArg], n: usize) -> Result<Option<Column>> {
     use crate::typed::TypedSlice;
     use ScalarFunc as F;
+    // FOR/RLE-encoded numeric arguments decode once up front (an `Arc` bump
+    // after the first call — the decode is cached inside the column data)
+    // so the slice fast paths below still qualify. Dictionary-encoded
+    // strings keep their codes: the string predicates evaluate on the
+    // dictionary directly. A window's encoding equals the full column's,
+    // so this normalization — like every other shape decision here — is
+    // identical for the operand and for every morsel window of it.
+    let needs_decode = |a: &TailArg| {
+        matches!(a, TailArg::Col(c)
+            if c.encoding() != crate::props::Enc::None && c.atom_type() != AtomType::Str)
+    };
+    let decoded: Vec<TailArg>;
+    let args: &[TailArg] = if args.iter().any(needs_decode) {
+        decoded = args
+            .iter()
+            .map(|a| match a {
+                TailArg::Col(c) if needs_decode(a) => TailArg::Col(c.decoded()),
+                other => other.clone(),
+            })
+            .collect();
+        &decoded
+    } else {
+        args
+    };
     match f {
         F::Add | F::Sub | F::Mul | F::Div => {
             if args.len() != 2 {
@@ -725,6 +749,26 @@ fn typed_fast_path(f: ScalarFunc, args: &[TailArg], n: usize) -> Result<Option<C
                         });
                     }
                     return Ok(Some(Column::from_bools(out)));
+                }
+                if let TypedSlice::DictStr(dv) = b.typed() {
+                    // Evaluate the predicate once per *dictionary entry*,
+                    // then broadcast through the codes — the win scales
+                    // with the duplication the dictionary removed.
+                    use crate::typed::TypedVals;
+                    let dict = dv.dict();
+                    let hit: Vec<bool> = (0..dict.len())
+                        .map(|c| {
+                            let s = dict.value(c);
+                            if f == F::StrPrefix {
+                                s.starts_with(&**pat)
+                            } else {
+                                s.contains(&**pat)
+                            }
+                        })
+                        .collect();
+                    return Ok(Some(Column::from_bools(
+                        (0..dv.codes().len()).map(|i| hit[dv.code_at(i)]).collect(),
+                    )));
                 }
             }
             Ok(None)

@@ -13,7 +13,7 @@ use crate::bat::Bat;
 use crate::ctx::ExecCtx;
 use crate::error::Result;
 use crate::pager;
-use crate::props::{ColProps, Props};
+use crate::props::{ColProps, Enc, Props};
 use crate::typed::TypedVals;
 
 use super::check_comparable;
@@ -24,7 +24,13 @@ pub fn select_eq(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
     check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
     let started = Instant::now();
     let faults0 = ctx.faults();
-    let (result, algo) = if ab.props().tail.sorted {
+    // The dict check comes before sorted/hash: the encoding is a static
+    // storage fact (unlike sortedness it can never be *gained* at run
+    // time), so the plan optimizer can pin this choice — and the code-range
+    // path subsumes the sorted one on dict tails anyway.
+    let (result, algo) = if ab.tail().encoding() == Enc::Dict {
+        (select_dict(ctx, ab, Some(v), Some(v), true, true, true)?, "dict-code")
+    } else if ab.props().tail.sorted {
         (select_sorted(ctx, ab, Some(v), Some(v), true, true), "binary-search")
     } else if let Some(hash) = &ab.accel().tail_hash {
         let hash = hash.clone();
@@ -53,7 +59,9 @@ pub fn select_range(
     }
     let started = Instant::now();
     let faults0 = ctx.faults();
-    let (result, algo) = if ab.props().tail.sorted {
+    let (result, algo) = if ab.tail().encoding() == Enc::Dict {
+        (select_dict(ctx, ab, lo, hi, inc_lo, inc_hi, false)?, "dict-code")
+    } else if ab.props().tail.sorted {
         (select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi), "binary-search")
     } else {
         let threads = super::par_threads(ctx, ab.len());
@@ -243,6 +251,108 @@ fn select_scan_range(
     Ok(build_selected(ab, &idx, false))
 }
 
+/// Dict-code selection: the tail is dictionary-encoded and the dictionary
+/// is sorted, so string order equals code order. Two binary searches over
+/// the (small) dictionary resolve the predicate to a half-open code range,
+/// then the selection runs on plain `u32` codes — no per-row string
+/// comparison. A tail-sorted operand binary-searches the codes and returns
+/// a zero-copy slice (exactly the result of the raw binary-search path);
+/// an unsorted one scans the codes serially or morsel-parallel.
+fn select_dict(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+    point: bool,
+) -> Result<Bat> {
+    fn dict_vals(c: &crate::column::Column) -> crate::typed::DictStrVals<'_> {
+        match c.typed() {
+            crate::typed::TypedSlice::DictStr(d) => d,
+            _ => unreachable!("dict-code select dispatched on a non-dict tail"),
+        }
+    }
+    fn bound_str<'v>(v: &'v AtomValue) -> &'v str {
+        match v {
+            AtomValue::Str(s) => s,
+            // `check_comparable` only lets a str constant through for a str
+            // tail, so this cannot be reached from the public entry points.
+            other => unreachable!("dict-code select with {} bound", other.atom_type()),
+        }
+    }
+    let (code_lo, code_hi) = {
+        let d = dict_vals(ab.tail());
+        let start = match lo {
+            Some(v) if inc_lo => crate::typed::lower_bound_by(d.dict(), bound_str(v)),
+            Some(v) => crate::typed::upper_bound_by(d.dict(), bound_str(v)),
+            None => 0,
+        };
+        let end = match hi {
+            Some(v) if inc_hi => crate::typed::upper_bound_by(d.dict(), bound_str(v)),
+            Some(v) => crate::typed::lower_bound_by(d.dict(), bound_str(v)),
+            None => d.dict_len(),
+        };
+        (start as u32, end as u32)
+    };
+    if ab.props().tail.sorted {
+        // Codes ascend with the strings, so binary-search the code window
+        // and slice; positionally identical to the raw binary-search path.
+        if let Some(p) = ctx.pager.as_deref() {
+            pager::touch_binary_search(p, ab.tail());
+        }
+        let (start, end) = {
+            let codes = dict_vals(ab.tail()).codes();
+            (
+                codes.partition_point(|c| c < code_lo as u64),
+                codes.partition_point(|c| c < code_hi as u64),
+            )
+        };
+        let result = if start >= end { ab.slice(0, 0) } else { ab.slice(start, end - start) };
+        if let Some(p) = ctx.pager.as_deref() {
+            pager::touch_scan(p, result.head());
+            pager::touch_scan(p, result.tail());
+        }
+        return Ok(result);
+    }
+    if let Some(p) = ctx.pager.as_deref() {
+        pager::touch_scan(p, ab.tail());
+    }
+    let (code_lo, code_hi) = (code_lo as u64, code_hi as u64);
+    let threads = super::par_threads(ctx, ab.len());
+    let idx: Vec<u32> = if threads > 1 {
+        let tail = ab.tail().clone();
+        let parts = crate::par::try_for_each_morsel(&ctx.gov, ab.len(), threads, move |r| {
+            let codes = dict_vals(&tail).codes();
+            let mut idx: Vec<u32> = Vec::new();
+            for i in r {
+                let c = codes.get(i);
+                if c >= code_lo && c < code_hi {
+                    idx.push(i as u32);
+                }
+            }
+            idx
+        })?;
+        concat_positions(&parts)
+    } else {
+        let codes = dict_vals(ab.tail()).codes();
+        let mut idx = Vec::with_capacity(ab.len());
+        for i in 0..codes.len() {
+            let c = codes.get(i);
+            if c >= code_lo && c < code_hi {
+                idx.push(i as u32);
+            }
+        }
+        idx
+    };
+    if let Some(p) = ctx.pager.as_deref() {
+        for &i in &idx {
+            pager::touch_fetch(p, ab.head(), i as usize);
+        }
+    }
+    Ok(build_selected(ab, &idx, point))
+}
+
 /// The `select` propagation rule (Section 5.1), shared by every
 /// implementation and reused by the plan optimizer's static property
 /// inference: subsequences preserve `sorted`/`key` of both columns but not
@@ -251,8 +361,13 @@ fn select_scan_range(
 /// time may claim *more*, e.g. a still-dense head).
 pub fn propagated_props(src: Props, point: bool) -> Props {
     Props::new(
-        ColProps { sorted: src.head.sorted, key: src.head.key, dense: false },
-        ColProps { sorted: src.tail.sorted || point, key: src.tail.key, dense: false },
+        ColProps { sorted: src.head.sorted, key: src.head.key, dense: false, ..ColProps::NONE },
+        ColProps {
+            sorted: src.tail.sorted || point,
+            key: src.tail.key,
+            dense: false,
+            ..ColProps::NONE
+        },
     )
 }
 
@@ -301,6 +416,43 @@ pub fn select_range_sorted(
     let faults0 = ctx.faults();
     let result = select_sorted(ctx, ab, lo, hi, inc_lo, inc_hi);
     ctx.record("select", "binary-search", started, faults0, &result)?;
+    Ok(result)
+}
+
+/// Pinned point selection on a proven dictionary-encoded tail: the
+/// encoding is a storage fact carried by the descriptor (guarded by the Db
+/// epoch like every other pinned precondition), so the code-range
+/// implementation runs without re-deriving the choice.
+pub fn select_eq_dict(ctx: &ExecCtx, ab: &Bat, v: &AtomValue) -> Result<Bat> {
+    ctx.probe("op/select")?;
+    check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    debug_assert_eq!(ab.tail().encoding(), Enc::Dict, "pinned dict-code select on non-dict tail");
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = select_dict(ctx, ab, Some(v), Some(v), true, true, true)?;
+    ctx.record("select", "dict-code", started, faults0, &result)?;
+    Ok(result)
+}
+
+/// Pinned range selection on a proven dictionary-encoded tail (see
+/// [`select_eq_dict`]).
+pub fn select_range_dict(
+    ctx: &ExecCtx,
+    ab: &Bat,
+    lo: Option<&AtomValue>,
+    hi: Option<&AtomValue>,
+    inc_lo: bool,
+    inc_hi: bool,
+) -> Result<Bat> {
+    ctx.probe("op/select")?;
+    for v in [lo, hi].into_iter().flatten() {
+        check_comparable("select", ab.tail().atom_type(), v.atom_type())?;
+    }
+    debug_assert_eq!(ab.tail().encoding(), Enc::Dict, "pinned dict-code select on non-dict tail");
+    let started = Instant::now();
+    let faults0 = ctx.faults();
+    let result = select_dict(ctx, ab, lo, hi, inc_lo, inc_hi, false)?;
+    ctx.record("select", "dict-code", started, faults0, &result)?;
     Ok(result)
 }
 
@@ -409,6 +561,89 @@ mod tests {
         assert_eq!(r.len(), 2);
         let r = select_range(&ctx, &b, None, Some(&AtomValue::Int(20)), true, false).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    // Long values so dictionary encoding passes its size gate.
+    fn w(s: &str) -> String {
+        format!("Clerk#00000000{s}")
+    }
+
+    fn dict_bat(sorted_tail: bool) -> Bat {
+        let strs: Vec<String> = if sorted_tail {
+            ["a", "b", "b", "c", "d", "d"].map(|s| w(s)).to_vec()
+        } else {
+            ["d", "b", "a", "b", "d", "c"].map(|s| w(s)).to_vec()
+        };
+        let tail = Column::from_strs(strs).encode(false);
+        assert_eq!(tail.encoding(), crate::props::Enc::Dict);
+        Bat::with_inferred_props(Column::from_oids((0..6).collect()), tail)
+    }
+
+    #[test]
+    fn dict_select_eq_matches_decoded() {
+        let ctx = ExecCtx::new().with_trace();
+        for sorted in [true, false] {
+            let b = dict_bat(sorted);
+            let raw = Bat::with_inferred_props(b.head().clone(), b.tail().decoded());
+            for probe in [w("a"), w("b"), w("d"), w("zz"), String::new()] {
+                let e = select_eq(&ctx, &b, &AtomValue::str(&*probe)).unwrap();
+                let r = select_eq(&ctx, &raw, &AtomValue::str(&*probe)).unwrap();
+                let ev: Vec<_> = e.iter().collect();
+                let rv: Vec<_> = r.iter().collect();
+                assert_eq!(ev, rv, "probe {probe} sorted={sorted}");
+            }
+            let trace = ctx.take_trace();
+            assert!(trace.iter().any(|t| t.algo == "dict-code"), "sorted={sorted}");
+        }
+    }
+
+    #[test]
+    fn dict_select_range_matches_decoded() {
+        let ctx = ExecCtx::new();
+        for sorted in [true, false] {
+            let b = dict_bat(sorted);
+            let raw = Bat::with_inferred_props(b.head().clone(), b.tail().decoded());
+            for (lo, hi, il, ih) in [
+                (Some("a"), Some("c"), true, true),
+                (Some("a"), Some("c"), false, false),
+                (Some("b"), None, true, true),
+                (None, Some("b"), true, false),
+                (None, None, true, true),
+                (Some("bb"), Some("cz"), true, true),
+            ] {
+                let lo = lo.map(|s| AtomValue::str(w(s)));
+                let hi = hi.map(|s| AtomValue::str(w(s)));
+                let e = select_range(&ctx, &b, lo.as_ref(), hi.as_ref(), il, ih).unwrap();
+                let r = select_range(&ctx, &raw, lo.as_ref(), hi.as_ref(), il, ih).unwrap();
+                let ev: Vec<_> = e.iter().collect();
+                let rv: Vec<_> = r.iter().collect();
+                assert_eq!(ev, rv, "[{lo:?},{hi:?}] il={il} ih={ih} sorted={sorted}");
+            }
+        }
+    }
+
+    #[test]
+    fn dict_select_on_sorted_tail_is_zero_copy_slice() {
+        let ctx = ExecCtx::new();
+        let b = dict_bat(true);
+        let r = select_eq(&ctx, &b, &AtomValue::str(w("b"))).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.head().storage_id(), b.head().storage_id());
+        // The slice of a dict column is still dict-encoded.
+        assert_eq!(r.tail().encoding(), crate::props::Enc::Dict);
+    }
+
+    #[test]
+    fn pinned_dict_select_agrees_with_dynamic() {
+        let ctx = ExecCtx::new();
+        let b = dict_bat(false);
+        let dynamic = select_eq(&ctx, &b, &AtomValue::str(w("d"))).unwrap();
+        let pinned = select_eq_dict(&ctx, &b, &AtomValue::str(w("d"))).unwrap();
+        assert_eq!(dynamic.iter().collect::<Vec<_>>(), pinned.iter().collect::<Vec<_>>());
+        let lo = AtomValue::str(w("b"));
+        let pinned = select_range_dict(&ctx, &b, Some(&lo), None, true, true).unwrap();
+        let dynamic = select_range(&ctx, &b, Some(&lo), None, true, true).unwrap();
+        assert_eq!(dynamic.iter().collect::<Vec<_>>(), pinned.iter().collect::<Vec<_>>());
     }
 
     #[test]

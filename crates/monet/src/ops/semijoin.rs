@@ -103,7 +103,7 @@ fn semijoin_datavector(ctx: &ExecCtx, dv: &crate::accel::datavector::Datavector,
     // Positions follow right-operand order; the extent is ascending, so the
     // result head is sorted/key exactly when the right head is.
     let props = Props::new(
-        ColProps { sorted: cp.head.sorted, key: cp.head.key, dense: false },
+        ColProps { sorted: cp.head.sorted, key: cp.head.key, dense: false, ..ColProps::NONE },
         ColProps::NONE,
     );
     Bat::with_props(lookup.head.clone(), tail, props)
@@ -166,8 +166,8 @@ fn antijoin_hash(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Bat {
 /// datavector may be in play.
 pub fn propagated_props(ab: Props) -> Props {
     Props::new(
-        ColProps { sorted: ab.head.sorted, key: ab.head.key, dense: false },
-        ColProps { sorted: ab.tail.sorted, key: ab.tail.key, dense: false },
+        ColProps { sorted: ab.head.sorted, key: ab.head.key, dense: false, ..ColProps::NONE },
+        ColProps { sorted: ab.tail.sorted, key: ab.tail.key, dense: false, ..ColProps::NONE },
     )
 }
 

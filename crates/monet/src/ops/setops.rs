@@ -170,8 +170,18 @@ pub fn zip(ctx: &ExecCtx, ab: &Bat, cd: &Bat) -> Result<Bat> {
         ab.tail().clone(),
         cd.tail().clone(),
         Props::new(
-            ColProps { sorted: pa.tail.sorted, key: pa.tail.key, dense: pa.tail.dense },
-            ColProps { sorted: pc.tail.sorted, key: pc.tail.key, dense: pc.tail.dense },
+            ColProps {
+                sorted: pa.tail.sorted,
+                key: pa.tail.key,
+                dense: pa.tail.dense,
+                ..ColProps::NONE
+            },
+            ColProps {
+                sorted: pc.tail.sorted,
+                key: pc.tail.key,
+                dense: pc.tail.dense,
+                ..ColProps::NONE
+            },
         ),
     );
     ctx.record("zip", "sync", started, faults0, &result)?;
@@ -201,8 +211,8 @@ fn subset(ab: &Bat, idx: &[u32]) -> Bat {
         ab.head().gather(idx),
         ab.tail().gather(idx),
         Props::new(
-            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
-            ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
+            ColProps { sorted: p.head.sorted, key: p.head.key, dense: false, ..ColProps::NONE },
+            ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false, ..ColProps::NONE },
         ),
     )
 }

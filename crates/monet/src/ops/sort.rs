@@ -39,8 +39,8 @@ pub fn sort_tail(ctx: &ExecCtx, ab: &Bat) -> Result<Bat> {
         ab.head().gather(&perm),
         tail,
         Props::new(
-            ColProps { sorted: false, key: p.head.key, dense: false },
-            ColProps { sorted: true, key: p.tail.key, dense: false },
+            ColProps { sorted: false, key: p.head.key, dense: false, ..ColProps::NONE },
+            ColProps { sorted: true, key: p.tail.key, dense: false, ..ColProps::NONE },
         ),
     );
     ctx.record("sort", "tail", started, faults0, &result)?;
@@ -138,8 +138,8 @@ pub fn topn(ctx: &ExecCtx, ab: &Bat, n: usize, descending: bool) -> Result<Bat> 
         ab.head().gather(&perm),
         ab.tail().gather(&perm),
         Props::new(
-            ColProps { sorted: false, key: p.head.key, dense: false },
-            ColProps { sorted: !descending, key: p.tail.key, dense: false },
+            ColProps { sorted: false, key: p.head.key, dense: false, ..ColProps::NONE },
+            ColProps { sorted: !descending, key: p.tail.key, dense: false, ..ColProps::NONE },
         ),
     );
     ctx.record("topn", if descending { "desc" } else { "asc" }, started, faults0, &result)?;

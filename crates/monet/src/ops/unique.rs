@@ -143,8 +143,8 @@ fn unique_hash(ctx: &ExecCtx, ab: &Bat, threads: usize) -> Result<Bat> {
 fn build_unique(ab: &Bat, idx: &[u32]) -> Bat {
     let p = ab.props();
     let props = Props::new(
-        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false },
-        ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false },
+        ColProps { sorted: p.head.sorted, key: p.head.key, dense: false, ..ColProps::NONE },
+        ColProps { sorted: p.tail.sorted, key: p.tail.key, dense: false, ..ColProps::NONE },
     );
     Bat::with_props(ab.head().gather(idx), ab.tail().gather(idx), props)
 }

@@ -6,6 +6,25 @@
 //! properties of its parameters onto its result; the rules live with the
 //! operators in [`crate::ops`].
 
+/// Physical encoding fact of a column (see [`crate::enc`]). Unlike
+/// `sorted`/`key`/`dense`, this is not a semantic claim about the values —
+/// it describes the storage layout, which is why [`crate::bat::Bat`]
+/// constructors derive it from the actual column instead of trusting the
+/// caller. `None` means "no encoding known", the always-sound default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Enc {
+    /// Raw layout, or encoding unknown.
+    #[default]
+    None,
+    /// Order-preserving dictionary codes over the string heap: code order
+    /// equals string order, so range predicates map to code ranges.
+    Dict,
+    /// Frame-of-reference: `base + narrow delta` for int/lng/date.
+    For,
+    /// Run-length encoding of a sorted column.
+    Rle,
+}
+
 /// Per-column properties.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColProps {
@@ -16,23 +35,27 @@ pub struct ColProps {
     /// Values form a dense consecutive sequence (implies `sorted` and
     /// `key`); true for `void` columns and freshly marked oid ranges.
     pub dense: bool,
+    /// Physical encoding of the column storage.
+    pub enc: Enc,
 }
 
 impl ColProps {
     /// No properties known.
-    pub const NONE: ColProps = ColProps { sorted: false, key: false, dense: false };
+    pub const NONE: ColProps = ColProps { sorted: false, key: false, dense: false, enc: Enc::None };
 
     /// Sorted + key + dense (void columns, `mark` results).
-    pub const DENSE: ColProps = ColProps { sorted: true, key: true, dense: true };
+    pub const DENSE: ColProps = ColProps { sorted: true, key: true, dense: true, enc: Enc::None };
 
     /// Sorted and duplicate-free.
-    pub const SORTED_KEY: ColProps = ColProps { sorted: true, key: true, dense: false };
+    pub const SORTED_KEY: ColProps =
+        ColProps { sorted: true, key: true, dense: false, enc: Enc::None };
 
     /// Sorted, possibly with duplicates.
-    pub const SORTED: ColProps = ColProps { sorted: true, key: false, dense: false };
+    pub const SORTED: ColProps =
+        ColProps { sorted: true, key: false, dense: false, enc: Enc::None };
 
     /// Duplicate-free, unordered.
-    pub const KEY: ColProps = ColProps { sorted: false, key: true, dense: false };
+    pub const KEY: ColProps = ColProps { sorted: false, key: true, dense: false, enc: Enc::None };
 
     /// Normalize: dense implies sorted and key.
     pub fn normalized(mut self) -> ColProps {
@@ -43,23 +66,33 @@ impl ColProps {
         self
     }
 
+    /// This column layout claim with a different encoding fact.
+    pub fn with_enc(mut self, enc: Enc) -> ColProps {
+        self.enc = enc;
+        self
+    }
+
     /// Intersection of guarantees (safe weakening when merging unknowns).
     pub fn and(self, other: ColProps) -> ColProps {
         ColProps {
             sorted: self.sorted && other.sorted,
             key: self.key && other.key,
             dense: self.dense && other.dense,
+            enc: if self.enc == other.enc { self.enc } else { Enc::None },
         }
     }
 
     /// Claim subsumption: every property claimed here is also claimed by
     /// `stronger`. This is the soundness order of the plan optimizer's
     /// static inference — a plan-time prediction must `implies` whatever
-    /// the kernel derives (or a scan verifies) at run time.
+    /// the kernel derives (or a scan verifies) at run time. Claiming a
+    /// specific encoding requires `stronger` to carry the same one;
+    /// `Enc::None` claims nothing.
     pub fn implies(self, stronger: ColProps) -> bool {
         (!self.sorted || stronger.sorted)
             && (!self.key || stronger.key)
             && (!self.dense || stronger.dense)
+            && (self.enc == Enc::None || stronger.enc == self.enc)
     }
 }
 

@@ -75,6 +75,15 @@ impl StrVec {
         (&self.offsets[off..off + len], &self.lens[off..off + len], &self.heap)
     }
 
+    /// True when both columns are views of the *same* allocation (all three
+    /// heaps pointer-equal). Dictionary code splicing keys on this: equal
+    /// storage means equal code assignments.
+    pub(crate) fn same_storage(&self, other: &StrVec) -> bool {
+        Arc::ptr_eq(&self.offsets, &other.offsets)
+            && Arc::ptr_eq(&self.lens, &other.lens)
+            && Arc::ptr_eq(&self.heap, &other.heap)
+    }
+
     /// Zero-copy sub-range view (shares all three heaps).
     pub fn slice(&self, start: usize, len: usize) -> StrVec {
         let offsets = self.offsets[start..start + len].to_vec();

@@ -262,8 +262,238 @@ impl<'a> TypedVals for StrVals<'a> {
     }
 }
 
+/// Window over the narrow unsigned deltas of a frame-of-reference column,
+/// shared by [`ForIntVals`] and [`ForLngVals`]. The width branch sits
+/// inside each access; it predicts perfectly (one width per column), so
+/// the per-row cost stays a load + add without tripling the macro arms.
+#[derive(Debug, Clone, Copy)]
+pub enum ForDeltaSlice<'a> {
+    W8(&'a [u8]),
+    W16(&'a [u16]),
+    W32(&'a [u32]),
+}
+
+impl ForDeltaSlice<'_> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ForDeltaSlice::W8(v) => v.len(),
+            ForDeltaSlice::W16(v) => v.len(),
+            ForDeltaSlice::W32(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            ForDeltaSlice::W8(v) => v[i] as u64,
+            ForDeltaSlice::W16(v) => v[i] as u64,
+            ForDeltaSlice::W32(v) => v[i] as u64,
+        }
+    }
+
+    /// `slice::partition_point` over the widened values; used by the
+    /// dict-code binary-search select on sorted code windows.
+    #[inline]
+    pub fn partition_point(&self, mut pred: impl FnMut(u64) -> bool) -> usize {
+        match self {
+            ForDeltaSlice::W8(v) => v.partition_point(|&x| pred(x as u64)),
+            ForDeltaSlice::W16(v) => v.partition_point(|&x| pred(x as u64)),
+            ForDeltaSlice::W32(v) => v.partition_point(|&x| pred(x as u64)),
+        }
+    }
+}
+
+/// Window over a dictionary-encoded string column: per-row narrow codes
+/// (u8/u16/u32, chosen by dictionary size — the bit-width reduction that
+/// makes dict pay even against a deduplicated raw heap) plus the (sorted,
+/// duplicate-free) dictionary as a [`StrVals`]. `Elem` is the decoded
+/// `&str`, so every generic kernel body — hash, compare, equality —
+/// behaves exactly like the raw string window; specialized paths reach the
+/// codes through [`DictStrVals::codes`] and exploit order preservation.
+#[derive(Debug, Clone, Copy)]
+pub struct DictStrVals<'a> {
+    codes: ForDeltaSlice<'a>,
+    dict: StrVals<'a>,
+}
+
+impl<'a> DictStrVals<'a> {
+    pub(crate) fn new(codes: ForDeltaSlice<'a>, dict: StrVals<'a>) -> DictStrVals<'a> {
+        DictStrVals { codes, dict }
+    }
+
+    /// The per-row dictionary codes (order-preserving: code order is
+    /// string order), at their physical width.
+    #[inline]
+    pub fn codes(&self) -> ForDeltaSlice<'a> {
+        self.codes
+    }
+
+    /// The widened code of row `i`.
+    #[inline]
+    pub fn code_at(&self, i: usize) -> usize {
+        self.codes.get(i) as usize
+    }
+
+    /// The dictionary window (sorted, duplicate-free strings).
+    #[inline]
+    pub fn dict(&self) -> StrVals<'a> {
+        self.dict
+    }
+
+    /// Number of dictionary entries (the code domain).
+    #[inline]
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+}
+
+impl<'a> TypedVals for DictStrVals<'a> {
+    type Elem = &'a str;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> &'a str {
+        self.dict.value(self.codes.get(i) as usize)
+    }
+
+    #[inline]
+    fn hash_one(&self, v: &'a str) -> u64 {
+        fnv1a(v.as_bytes())
+    }
+
+    #[inline]
+    fn cmp_one(&self, a: &'a str, b: &'a str) -> Ordering {
+        a.cmp(b)
+    }
+
+    #[inline]
+    fn cmp_atom(&self, x: &'a str, atom: &AtomValue) -> Ordering {
+        match atom {
+            AtomValue::Str(s) => x.cmp(&&**s),
+            other => panic!("cmp_atom: str column vs {} constant", other.atom_type()),
+        }
+    }
+}
+
+/// Window over a frame-of-reference `int`/`date` column: `base + delta`.
+/// `Elem` is the decoded `i32`, so hashing and comparison agree with the
+/// raw window bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct ForIntVals<'a> {
+    base: i32,
+    deltas: ForDeltaSlice<'a>,
+    date: bool,
+}
+
+impl<'a> ForIntVals<'a> {
+    pub(crate) fn new(base: i32, deltas: ForDeltaSlice<'a>, date: bool) -> ForIntVals<'a> {
+        ForIntVals { base, deltas, date }
+    }
+
+    /// True when the logical type is `date` (day counts share the `i32`
+    /// representation).
+    #[inline]
+    pub fn is_date(&self) -> bool {
+        self.date
+    }
+}
+
+impl<'a> TypedVals for ForIntVals<'a> {
+    type Elem = i32;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> i32 {
+        self.base.wrapping_add(self.deltas.get(i) as i32)
+    }
+
+    #[inline]
+    fn hash_one(&self, v: i32) -> u64 {
+        fxhash64(v as u64)
+    }
+
+    #[inline]
+    fn cmp_one(&self, a: i32, b: i32) -> Ordering {
+        a.cmp(&b)
+    }
+
+    #[inline]
+    fn cmp_atom(&self, x: i32, atom: &AtomValue) -> Ordering {
+        match atom {
+            AtomValue::Int(b) => x.cmp(b),
+            AtomValue::Date(d) => x.cmp(&d.0),
+            other => panic!("cmp_atom: int/date column vs {} constant", other.atom_type()),
+        }
+    }
+}
+
+/// Window over a frame-of-reference `lng` column: `base + delta`.
+#[derive(Debug, Clone, Copy)]
+pub struct ForLngVals<'a> {
+    base: i64,
+    deltas: ForDeltaSlice<'a>,
+}
+
+impl<'a> ForLngVals<'a> {
+    pub(crate) fn new(base: i64, deltas: ForDeltaSlice<'a>) -> ForLngVals<'a> {
+        ForLngVals { base, deltas }
+    }
+}
+
+impl<'a> TypedVals for ForLngVals<'a> {
+    type Elem = i64;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> i64 {
+        self.base.wrapping_add(self.deltas.get(i) as i64)
+    }
+
+    #[inline]
+    fn hash_one(&self, v: i64) -> u64 {
+        fxhash64(v as u64)
+    }
+
+    #[inline]
+    fn cmp_one(&self, a: i64, b: i64) -> Ordering {
+        a.cmp(&b)
+    }
+
+    #[inline]
+    fn cmp_atom(&self, x: i64, atom: &AtomValue) -> Ordering {
+        match atom {
+            AtomValue::Lng(b) => x.cmp(b),
+            other => panic!("cmp_atom: lng column vs {} constant", other.atom_type()),
+        }
+    }
+}
+
 /// A column window resolved to its concrete element type — the input of the
 /// dispatch macros. Obtained via [`Column::typed`] (or [`TypedSlice::of`]).
+///
+/// The encoded variants (`DictStr`, `ForInt`, `ForLng`) expose the same
+/// `Elem` as their raw counterparts, so every kernel compiled through the
+/// dispatch macros runs on encoded data without decompression; RLE storage
+/// has no variant here — it resolves through its cached decode inside
+/// [`Column::typed`], the transparent fallback.
 #[derive(Debug, Clone, Copy)]
 pub enum TypedSlice<'a> {
     Void(VoidVals),
@@ -275,6 +505,9 @@ pub enum TypedSlice<'a> {
     Dbl(&'a [f64]),
     Date(&'a [i32]),
     Str(StrVals<'a>),
+    DictStr(DictStrVals<'a>),
+    ForInt(ForIntVals<'a>),
+    ForLng(ForLngVals<'a>),
 }
 
 impl<'a> TypedSlice<'a> {
@@ -296,6 +529,15 @@ impl<'a> TypedSlice<'a> {
             TypedSlice::Dbl(_) => T::Dbl,
             TypedSlice::Date(_) => T::Date,
             TypedSlice::Str(_) => T::Str,
+            TypedSlice::DictStr(_) => T::Str,
+            TypedSlice::ForInt(v) => {
+                if v.is_date() {
+                    T::Date
+                } else {
+                    T::Int
+                }
+            }
+            TypedSlice::ForLng(_) => T::Lng,
         }
     }
 }
@@ -318,6 +560,9 @@ macro_rules! for_each_typed {
             $crate::typed::TypedSlice::Dbl($v) => $body,
             $crate::typed::TypedSlice::Date($v) => $body,
             $crate::typed::TypedSlice::Str($v) => $body,
+            $crate::typed::TypedSlice::DictStr($v) => $body,
+            $crate::typed::TypedSlice::ForInt($v) => $body,
+            $crate::typed::TypedSlice::ForLng($v) => $body,
         }
     }};
 }
@@ -345,6 +590,17 @@ macro_rules! for_each_typed2 {
             (TS::Dbl($a), TS::Dbl($b)) => $body,
             (TS::Date($a), TS::Date($b)) => $body,
             (TS::Str($a), TS::Str($b)) => $body,
+            (TS::Str($a), TS::DictStr($b)) => $body,
+            (TS::DictStr($a), TS::Str($b)) => $body,
+            (TS::DictStr($a), TS::DictStr($b)) => $body,
+            (TS::Int($a), TS::ForInt($b)) => $body,
+            (TS::ForInt($a), TS::Int($b)) => $body,
+            (TS::Date($a), TS::ForInt($b)) => $body,
+            (TS::ForInt($a), TS::Date($b)) => $body,
+            (TS::ForInt($a), TS::ForInt($b)) => $body,
+            (TS::Lng($a), TS::ForLng($b)) => $body,
+            (TS::ForLng($a), TS::Lng($b)) => $body,
+            (TS::ForLng($a), TS::ForLng($b)) => $body,
             (a, b) => {
                 panic!(
                     "typed dispatch on mixed column types {} vs {}",

@@ -304,6 +304,59 @@ fn pins_match_dynamic_dispatch_choices() {
 }
 
 #[test]
+fn dict_tail_pins_select_to_code_path() {
+    // A statically dict-encoded tail wins over the sorted pin: selects on
+    // it are pinned to the code-comparison path, EXPLAIN shows the pin,
+    // and both pinned and dynamic execution report the "dict-code"
+    // algorithm with matching results.
+    let mut db = Db::new();
+    let strs: Vec<String> =
+        ["b", "d", "a", "b", "d", "c"].map(|s| format!("Clerk#00000000{s}")).to_vec();
+    let tail = Column::from_strs(strs).encode(false);
+    assert_eq!(tail.encoding(), monet::props::Enc::Dict);
+    db.register("clerk", Bat::with_inferred_props(Column::from_oids((0..6).collect()), tail));
+
+    let mut p = MilProgram::new();
+    let clerk = p.emit("clerk", MilOp::Load("clerk".into()));
+    let sel = p.emit("sel", MilOp::SelectEq(clerk, AtomValue::str("Clerk#00000000d")));
+    let rng = p.emit(
+        "rng",
+        MilOp::SelectRange {
+            src: clerk,
+            lo: Some(AtomValue::str("Clerk#00000000a")),
+            hi: Some(AtomValue::str("Clerk#00000000c")),
+            inc_lo: true,
+            inc_hi: true,
+        },
+    );
+    let out = optimize(p.clone(), &[sel, rng], &db);
+    for v in [sel, rng] {
+        let stmt = &out.prog.stmts[out.var(v)];
+        assert_eq!(stmt.pin, Some(Pin::SelectDictCode), "got:\n{}", out.prog);
+        assert!(
+            monet::mil::render_stmt(&out.prog, stmt).contains("#! dict-code"),
+            "EXPLAIN must annotate the pin: {}",
+            monet::mil::render_stmt(&out.prog, stmt)
+        );
+    }
+    let ctx = ExecCtx::new().with_trace();
+    let roots: Vec<Var> = vec![out.var(sel), out.var(rng)];
+    let env = execute(&ctx, &db, &out.prog, &roots).unwrap();
+    let raw_env = execute(&ctx, &db, &p, &[sel, rng]).unwrap();
+    for (v, name, want_rows) in [(sel, "sel", 2), (rng, "rng", 4)] {
+        let pinned = env.bat(out.var(v)).unwrap();
+        let raw = raw_env.bat(v).unwrap();
+        assert_eq!(rows(pinned), rows(raw), "{name} differs pinned vs dynamic");
+        assert_eq!(pinned.len(), want_rows, "{name}");
+        let algo = |e: &monet::mil::Env| {
+            e.trace().iter().find(|t| t.name == name).map(|t| (t.algo, t.pinned))
+        };
+        assert_eq!(algo(&env), Some(("dict-code", true)), "{name}");
+        assert_eq!(algo(&raw_env), Some(("dict-code", false)), "{name}");
+    }
+}
+
+#[test]
 fn trace_and_live_set_follow_the_rewritten_program() {
     // Satellite regression: after rewrites reorder/remove statements, the
     // StmtTrace rows must describe post-optimization statements and the

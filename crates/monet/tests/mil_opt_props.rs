@@ -138,6 +138,7 @@ fn check(db: &Db, prog: &MilProgram, what: &str) {
                 sorted: col.check_sorted(),
                 key: col.check_key(),
                 dense: col.check_dense(),
+                enc: col.encoding(),
             };
             assert!(
                 p.implies(actual),

@@ -809,6 +809,225 @@ fn typed_setops_match_generic() {
     }
 }
 
+// ======================================================================
+// Encoded-vs-decoded suite: dict/FOR/RLE tails through every kernel.
+// ======================================================================
+
+use monet::props::Enc;
+
+/// Random scalar of `ty` from the alphabets used by [`encoded_pair`]: long
+/// duplicated strings so dictionary encoding's size gate engages (the raw
+/// heap is not deduplicated), narrow numeric ranges so frame-of-reference
+/// always fits a `u8` delta.
+fn encodable_value(rng: &mut StdRng, ty: AtomType) -> AtomValue {
+    match ty {
+        AtomType::Str => AtomValue::str(format!("Clerk#00000000000000000{}", rng.gen_range(0..5))),
+        _ => random_value(rng, ty),
+    }
+}
+
+/// An encoded random column of `ty` plus its raw twin exposing the same
+/// values over the same window — possibly an offset slice into a larger
+/// allocation, so every typed kernel sees `off != 0` encoded views too.
+/// `sorted` sorts the values first and encodes with the RLE gate unlocked.
+/// Panics if the fixture fails to encode: the alphabets are sized so the
+/// encoders' size gates always pass, and a silently-raw twin would turn
+/// the whole suite into a vacuous raw-vs-raw comparison.
+fn encoded_pair(rng: &mut StdRng, ty: AtomType, n: usize, sorted: bool) -> (Column, Column) {
+    let (pre, post) = if rng.gen_bool(0.5) {
+        (rng.gen_range(0..4usize), rng.gen_range(0..4usize))
+    } else {
+        (0, 0)
+    };
+    let total = n + pre + post;
+    // Sorted fixtures use a 4-value alphabet: at most 4 runs, so the RLE
+    // run-count gate (`runs * 4 <= rows`) passes for every n >= 16.
+    let mut vals: Vec<AtomValue> = if sorted {
+        (0..total)
+            .map(|_| {
+                let i = rng.gen_range(0..4i32);
+                match ty {
+                    AtomType::Str => AtomValue::str(format!("Clerk#00000000000000000{i}")),
+                    AtomType::Int => AtomValue::Int(i),
+                    AtomType::Lng => AtomValue::Lng(i as i64),
+                    AtomType::Dbl => AtomValue::Dbl(i as f64),
+                    AtomType::Date => AtomValue::Date(Date(8000 + i)),
+                    _ => unreachable!("no RLE fixture for {ty}"),
+                }
+            })
+            .collect()
+    } else {
+        (0..total).map(|_| encodable_value(rng, ty)).collect()
+    };
+    if sorted {
+        vals.sort_by(|a, b| a.cmp_same_type(b));
+    }
+    let raw = Column::from_atoms(ty, vals.into_iter());
+    let enc = raw.encode(sorted);
+    let want = if sorted {
+        Enc::Rle
+    } else if ty == AtomType::Str {
+        Enc::Dict
+    } else {
+        Enc::For
+    };
+    assert_eq!(enc.encoding(), want, "{ty} sorted={sorted}: fixture must actually encode");
+    (enc.slice(pre, n), raw.slice(pre, n))
+}
+
+#[test]
+fn encoded_tail_matches_raw_across_kernels() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x20);
+    let ctx = ExecCtx::new();
+    // (type, sorted): dict strings, FOR ints/lngs/dates, RLE runs.
+    let legs: &[(AtomType, bool)] = &[
+        (AtomType::Str, false),
+        (AtomType::Int, false),
+        (AtomType::Lng, false),
+        (AtomType::Date, false),
+        (AtomType::Str, true),
+        (AtomType::Int, true),
+        (AtomType::Dbl, true),
+    ];
+    for &(ty, sorted) in legs {
+        for case in 0..8 {
+            let n = rng.gen_range(24..64usize);
+            let head = random_column(&mut rng, AtomType::Oid, n);
+            let (et, rt) = encoded_pair(&mut rng, ty, n, sorted);
+            let eb = Bat::new(head.clone(), et.clone());
+            let rb = Bat::new(head.clone(), rt.clone());
+            let tag = format!("{ty} sorted={sorted} case {case}");
+
+            // Selections: point and range, member and non-member probes.
+            let v = encodable_value(&mut rng, ty);
+            let g = ops::select_eq(&ctx, &eb, &v).unwrap();
+            let e = ops::select_eq(&ctx, &rb, &v).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: select_eq");
+            assert!(g.validate().is_ok(), "{tag}: select_eq props unsound");
+            let (a, c) = (encodable_value(&mut rng, ty), encodable_value(&mut rng, ty));
+            let (lo, hi) = if a.cmp_same_type(&c).is_le() { (a, c) } else { (c, a) };
+            let (il, ih) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
+            let g = ops::select_range(&ctx, &eb, Some(&lo), Some(&hi), il, ih).unwrap();
+            let e = ops::select_range(&ctx, &rb, Some(&lo), Some(&hi), il, ih).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: select_range");
+            let g = ops::select_range(&ctx, &eb, Some(&lo), None, il, true).unwrap();
+            let e = ops::select_range(&ctx, &rb, Some(&lo), None, il, true).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: select_range one-sided");
+
+            // Grouping, uniqueness, ordering.
+            let g = ops::group1(&ctx, &eb).unwrap();
+            let e = ops::group1(&ctx, &rb).unwrap();
+            assert_eq!(canon_gids(g.tail()), canon_gids(e.tail()), "{tag}: group1");
+            let g = ops::unique(&ctx, &eb).unwrap();
+            let e = ops::unique(&ctx, &rb).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: unique");
+            let g = ops::sort_tail(&ctx, &eb).unwrap();
+            let e = ops::sort_tail(&ctx, &rb).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: sort_tail");
+            let k = rng.gen_range(0..n + 2);
+            for desc in [false, true] {
+                let g = ops::topn(&ctx, &eb, k, desc).unwrap();
+                let e = ops::topn(&ctx, &rb, k, desc).unwrap();
+                assert_eq!(rows_of(&g), rows_of(&e), "{tag}: topn({k}, desc={desc})");
+            }
+
+            // Joins: encoded left tail against an encoded right head, raw
+            // twin against the raw twin; pair order must match exactly.
+            let m = (n / 2).max(1);
+            let rtail = random_column(&mut rng, AtomType::Int, m);
+            let g = ops::join(&ctx, &eb, &Bat::new(et.slice(0, m), rtail.clone())).unwrap();
+            let e = ops::join(&ctx, &rb, &Bat::new(rt.slice(0, m), rtail.clone())).unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: join");
+            let g = ops::semijoin(
+                &ctx,
+                &Bat::new(et.clone(), head.clone()),
+                &Bat::new(et.slice(0, m), rtail.clone()),
+            )
+            .unwrap();
+            let e = ops::semijoin(
+                &ctx,
+                &Bat::new(rt.clone(), head.clone()),
+                &Bat::new(rt.slice(0, m), rtail.clone()),
+            )
+            .unwrap();
+            assert_eq!(rows_of(&g), rows_of(&e), "{tag}: semijoin encoded heads");
+
+            // Aggregates: both shapes must agree value-for-value, including
+            // on which inputs are type errors.
+            for f in [ops::AggFunc::Count, ops::AggFunc::Sum, ops::AggFunc::Min, ops::AggFunc::Avg]
+            {
+                match (ops::set_aggregate(&ctx, f, &eb), ops::set_aggregate(&ctx, f, &rb)) {
+                    (Ok(g), Ok(e)) => {
+                        assert_eq!(rows_of(&g), rows_of(&e), "{tag}: {{{}}}", f.name())
+                    }
+                    (Err(_), Err(_)) => {}
+                    (g, e) => panic!("{tag}: {{{}}} disagree on error: {g:?} vs {e:?}", f.name()),
+                }
+                match (ops::aggr_scalar(&ctx, &eb, f), ops::aggr_scalar(&ctx, &rb, f)) {
+                    (Ok(g), Ok(e)) => assert_eq!(g, e, "{tag}: scalar {}", f.name()),
+                    (Err(_), Err(_)) => {}
+                    (g, e) => {
+                        panic!("{tag}: scalar {} disagree on error: {g:?} vs {e:?}", f.name())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn encoded_multiplex_matches_raw() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x21);
+    let ctx = ExecCtx::new();
+    use ops::{MultArg, ScalarFunc as F};
+    for case in 0..12 {
+        let n = rng.gen_range(24..64usize);
+        let head = random_column(&mut rng, AtomType::Oid, n);
+        // FOR-encoded ints through the arithmetic fast paths.
+        let (et, rt) = encoded_pair(&mut rng, AtomType::Int, n, false);
+        let k = MultArg::Const(AtomValue::Int(rng.gen_range(-8..8)));
+        for f in [F::Add, F::Mul, F::Eq, F::Lt] {
+            let g = ops::multiplex(
+                &ctx,
+                f,
+                &[MultArg::Bat(Bat::new(head.clone(), et.clone())), k.clone()],
+            );
+            let e = ops::multiplex(
+                &ctx,
+                f,
+                &[MultArg::Bat(Bat::new(head.clone(), rt.clone())), k.clone()],
+            );
+            assert_eq!(
+                rows_of(&g.unwrap()),
+                rows_of(&e.unwrap()),
+                "case {case}: [{f:?}] over FOR int"
+            );
+        }
+        // Dict strings through the per-dictionary-entry predicate path.
+        let (et, rt) = encoded_pair(&mut rng, AtomType::Str, n, false);
+        for (f, pat) in
+            [(F::StrPrefix, "Clerk#"), (F::StrContains, "0000002"), (F::StrPrefix, "zz")]
+        {
+            let p = MultArg::Const(AtomValue::str(pat));
+            let g = ops::multiplex(
+                &ctx,
+                f,
+                &[MultArg::Bat(Bat::new(head.clone(), et.clone())), p.clone()],
+            );
+            let e = ops::multiplex(
+                &ctx,
+                f,
+                &[MultArg::Bat(Bat::new(head.clone(), rt.clone())), p.clone()],
+            );
+            assert_eq!(
+                rows_of(&g.unwrap()),
+                rows_of(&e.unwrap()),
+                "case {case}: [{f:?}({pat})] over dict str"
+            );
+        }
+    }
+}
+
 #[test]
 fn typed_hashindex_finds_all_positions() {
     let mut rng = StdRng::seed_from_u64(SEED ^ 0x19);

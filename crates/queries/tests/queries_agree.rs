@@ -141,6 +141,53 @@ fn all_fifteen_queries_bit_identical_with_optimizer_on_and_off() {
 }
 
 #[test]
+fn all_fifteen_queries_bit_identical_encoded_vs_raw_layouts() {
+    // Encoded column layouts must be invisible in results: every query,
+    // run against the default world (dict/FOR/RLE columns built at load
+    // time), produces rows *bit-equal* (eps 0.0) to the same query on a
+    // raw-layout world (`FLATALG_ENC=0` oracle), serial and threaded.
+    // Both worlds come from the same generator seed, so any divergence is
+    // the encoding layer's fault, not the data's.
+    use monet::props::Enc;
+    // The shared world follows the ambient leg (`FLATALG_ENC`); the second
+    // world is built with the *opposite* setting, so this test compares
+    // encoded vs raw layouts no matter which CI leg it runs under.
+    let ambient = bench_world();
+    let flipped = monet::enc::with_enc(!monet::enc::enc_enabled(), || World::build(0.01));
+    let enc_of = |w: &World| w.cat.db().get("Order_clerk").unwrap().tail().encoding();
+    let (encoded, raw): (&World, &World) =
+        if enc_of(ambient) == Enc::Dict { (ambient, &flipped) } else { (&flipped, ambient) };
+    // Guard against a vacuous same-vs-same comparison: one side must hold
+    // encoded columns, the other must not.
+    assert_eq!(enc_of(encoded), Enc::Dict, "one world must dict-encode the clerk column");
+    assert_eq!(enc_of(raw), Enc::None, "the other world must stay raw");
+    for q in all_queries() {
+        for threads in [1usize, 4] {
+            let ctx = ExecCtx::new();
+            let run = |w: &World| {
+                monet::par::with_par_config(Some(threads), Some(1024), Some(4099), || {
+                    (q.run_moa)(&w.cat, &ctx, &w.params)
+                })
+                .unwrap_or_else(|e| panic!("Q{} ({threads} threads) failed: {e}", q.id))
+            };
+            let enc_rows = run(encoded);
+            let raw_rows = run(raw);
+            assert!(
+                enc_rows.approx_eq(&raw_rows, 0.0),
+                "Q{} at {threads} threads: encoded layouts differ from raw layouts ({}):\n\
+                 encoded ({} rows):\n{}\nraw ({} rows):\n{}",
+                q.id,
+                q.comment,
+                enc_rows.len(),
+                enc_rows.clone().sorted().preview(12),
+                raw_rows.len(),
+                raw_rows.clone().sorted().preview(12),
+            );
+        }
+    }
+}
+
+#[test]
 fn optimizer_cuts_executed_statements_by_at_least_15_percent() {
     // The plan-level acceptance number: across all fifteen queries the
     // optimizer's EXPLAIN counters must report >= 15% fewer executed MIL

@@ -167,6 +167,51 @@ fn scoped_config_overrides_never_reuse_wrong_plans() {
     assert_eq!((s.hits, s.misses), (2, 3));
 }
 
+/// Satellite: re-encoding a catalog column through `Db::reencode_tail`
+/// bumps the mutation epoch, so plans cached against the raw layout miss
+/// afterwards (fresh translate keyed on the new epoch) instead of being
+/// served stale — and the re-encoded catalog still produces bit-identical
+/// results. Uses a private raw-layout world: the server borrows its
+/// catalog immutably, so the mutation goes through an owned `Catalog`
+/// against a standalone `PlanCache` (the same cache type every server
+/// installs).
+#[test]
+fn reencoding_a_column_bumps_the_epoch_and_invalidates_plans() {
+    use monet::props::Enc;
+    // Loader encoding off: `reencode_tail` below performs a real change.
+    let mut w = monet::enc::with_enc(false, || bench::World::build(0.002));
+    let q = q13_moa(&w.params);
+    let oracle = {
+        let ctx = monet::ctx::ExecCtx::new();
+        tpcd_queries::run_moa_rows(&w.cat, &ctx, &q).unwrap()
+    };
+    let cache = moa::plancache::PlanCache::with_capacity(8);
+    cache.translate(&w.cat, &q, OptLevel::Full).unwrap();
+    cache.translate(&w.cat, &q, OptLevel::Full).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 1));
+    let clerk = w.cat.db().get("Order_clerk").unwrap();
+    assert_eq!(clerk.tail().encoding(), Enc::None, "raw-layout world expected");
+    let epoch = w.cat.db().epoch();
+    assert!(
+        w.cat.db_mut().reencode_tail("Order_clerk", false).unwrap(),
+        "dict encoding must pay off on the clerk column"
+    );
+    assert!(w.cat.db().epoch() > epoch, "re-encode must bump the epoch");
+    assert_eq!(w.cat.db().get("Order_clerk").unwrap().tail().encoding(), Enc::Dict);
+    // Same shape, new epoch: a fresh translate, never a stale hit.
+    cache.translate(&w.cat, &q, OptLevel::Full).unwrap();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 2), "post-re-encode lookup must miss");
+    // A no-op re-encode (dbl tails never encode) must not bump the epoch.
+    let epoch = w.cat.db().epoch();
+    assert!(!w.cat.db_mut().reencode_tail("Order_totalprice", false).unwrap());
+    assert_eq!(w.cat.db().epoch(), epoch, "no-op re-encode must keep the epoch");
+    // And the encoded catalog computes the bit-identical result.
+    let ctx = monet::ctx::ExecCtx::new();
+    assert_eq!(tpcd_queries::run_moa_rows(&w.cat, &ctx, &q).unwrap(), oracle);
+}
+
 /// A panicking statement releases its admission permit (the gate has a
 /// single slot here — a leak would deadlock) and leaves the shared worker
 /// pool fully usable, including for parallel execution.

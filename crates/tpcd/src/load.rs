@@ -77,7 +77,7 @@ fn tail_props(tail: &Column) -> ColProps {
     // otherwise (claims must be sound, not complete).
     let key =
         sorted && (1..tail.len()).all(|i| tail.cmp_at(i - 1, tail, i) == std::cmp::Ordering::Less);
-    ColProps { sorted, key, dense: false }
+    ColProps { sorted, key, dense: false, ..ColProps::NONE }
 }
 
 /// The loaders bake structural claims into the catalog — dense head
@@ -471,6 +471,13 @@ fn load_bats_unchecked(data: &TpcdData) -> (Catalog, LoadReport) {
             db.register(&cb.class, extent_bat);
         }
         for (attr, tail, accel) in &cb.attrs {
+            // Encoded layouts are a load-time decision (`FLATALG_ENC=0`
+            // keeps the raw Phase-1 columns byte for byte — the
+            // encodings-off oracle leg). `encode(false)` picks dict/FOR
+            // only where it shrinks the column; the Phase-3 reorder
+            // gathers codes/deltas, so the sorted attribute BATs stay
+            // encoded.
+            let tail = if monet::enc::enc_enabled() { tail.encode(false) } else { tail.clone() };
             let dv = if *accel {
                 report.dv_bytes += tail.bytes();
                 Some(Arc::new(Datavector::new(Arc::clone(&extent_accel), tail.clone())))
@@ -482,7 +489,7 @@ fn load_bats_unchecked(data: &TpcdData) -> (Catalog, LoadReport) {
                 bat: Bat::with_props(
                     cb.head.clone(),
                     tail.clone(),
-                    Props::new(ColProps::DENSE, tail_props(tail)),
+                    Props::new(ColProps::DENSE, tail_props(&tail)),
                 ),
                 dv,
             });
@@ -505,8 +512,8 @@ fn load_bats_unchecked(data: &TpcdData) -> (Catalog, LoadReport) {
                 head,
                 tail,
                 Props::new(
-                    ColProps { sorted: false, key: true, dense: false },
-                    ColProps { sorted: true, key: strict, dense: false },
+                    ColProps { sorted: false, key: true, dense: false, ..ColProps::NONE },
+                    ColProps { sorted: true, key: strict, dense: false, ..ColProps::NONE },
                 ),
             )
         };

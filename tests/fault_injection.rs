@@ -77,6 +77,18 @@ fn sweep_points(n: u64, full: bool) -> Vec<u64> {
 #[test]
 fn fault_sweep_over_query_mix() {
     let w = world();
+    // The world loads with encoded layouts on (the default), so this sweep
+    // governs the encoded-path probe sites too: dict-code selects,
+    // code-groups, and FOR scans all sit behind the same `op/*` probes the
+    // injector counts. Under the `FLATALG_ENC=0` oracle leg the same sweep
+    // covers the raw paths instead.
+    if monet::enc::enc_enabled() {
+        assert_eq!(
+            w.cat.db().get("Order_clerk").unwrap().tail().encoding(),
+            monet::props::Enc::Dict,
+            "encoded-layout sweep world must actually hold encoded columns",
+        );
+    }
     let queries = all_queries();
     let server = server(w);
     governed(|| {
@@ -180,6 +192,97 @@ fn injected_faults_leave_bystanders_gate_and_pool_unaffected() {
     let session = server.session();
     for q in &queries {
         governed(|| session.run_query(q, &w.params)).unwrap();
+    }
+}
+
+/// Encoded-path governance: kernels that run directly on dictionary codes
+/// (dict-code select, code-group, unique over encoded tails) probe at
+/// entry and must return every scratch buffer on every abort path. Faults
+/// injected at successive probes of a kernel chain over a *dict-encoded*
+/// column abort cleanly, retry bit-identically on the same context, and
+/// leave the process-wide scratch checkout balance at its baseline.
+#[test]
+fn injected_faults_on_encoded_kernels_abort_cleanly_and_return_scratch() {
+    use std::time::{Duration, Instant};
+
+    use monet::ctx::ExecCtx;
+    use monet::ops;
+    use monet::typed;
+
+    // The fixture is dict-encoded *explicitly* (not via the loader), so
+    // this sweep covers the encoded paths under every CI leg — including
+    // `FLATALG_ENC=0`, which only disables load-time encoding.
+    let n = 4000usize;
+    let clerk = &monet::bat::Bat::new(
+        monet::column::Column::from_oids((0..n as u64).collect()),
+        monet::column::Column::from_strs(
+            (0..n).map(|i| format!("Clerk#{:018}", i % 7)).collect::<Vec<_>>(),
+        )
+        .encode(false),
+    );
+    assert_eq!(
+        clerk.tail().encoding(),
+        monet::props::Enc::Dict,
+        "fixture must be dict-encoded — otherwise this sweeps the raw paths",
+    );
+    let probe = clerk.iter().next().unwrap().1;
+    let baseline = typed::scratch_checked_out();
+    // Uninjected chain on a fresh governor: records the oracle results and
+    // enumerates the chain's N governed points, so the sweep below can
+    // inject at every one of them (and only them — the injector is armed
+    // per-context, so a k past the last probe would leak into the retry).
+    let (oracle, n) = {
+        let ctx = ExecCtx::new();
+        let r = governed(|| {
+            let sel = ops::select_eq(&ctx, clerk, &probe).unwrap();
+            let grp = ops::group1(&ctx, clerk).unwrap();
+            let uni = ops::unique(&ctx, clerk).unwrap();
+            (sel.iter().collect::<Vec<_>>(), grp.len(), uni.iter().collect::<Vec<_>>())
+        });
+        (r, ctx.gov.probes())
+    };
+    assert!(n >= 3, "chain must pass at least its three operator-entry probes (got {n})");
+    let mut aborts = 0usize;
+    for k in 1u64..=n {
+        let ctx = ExecCtx::new();
+        ctx.gov.arm_fault("*", k);
+        governed(|| {
+            let r = ops::select_eq(&ctx, clerk, &probe)
+                .and_then(|_| ops::group1(&ctx, clerk))
+                .and_then(|_| ops::unique(&ctx, clerk).map(|_| ()));
+            match r {
+                Err(MonetError::Injected { hit, .. }) => {
+                    assert_eq!(hit, k, "fault fired at the wrong probe");
+                    aborts += 1;
+                }
+                Err(e) => panic!("k={k}: unexpected error {e}"),
+                Ok(()) => panic!("k={k}/{n}: injected fault did not surface"),
+            }
+            // The context stays usable and the clean rerun matches the
+            // group-id-modulo-base oracle exactly where ids are stable.
+            let sel = ops::select_eq(&ctx, clerk, &probe).unwrap();
+            assert_eq!(sel.iter().collect::<Vec<_>>(), oracle.0, "k={k}: select retry diverged");
+            let grp = ops::group1(&ctx, clerk).unwrap();
+            assert_eq!(grp.len(), oracle.1, "k={k}: group retry diverged");
+            let uni = ops::unique(&ctx, clerk).unwrap();
+            assert_eq!(uni.iter().collect::<Vec<_>>(), oracle.2, "k={k}: unique retry diverged");
+        });
+    }
+    assert_eq!(aborts as u64, n, "every governed point of the encoded chain must abort once");
+    // Other tests in this binary run concurrently and hold checkouts
+    // transiently; poll for quiescence. A real abort-path leak never
+    // settles back to the baseline.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let now = typed::scratch_checked_out();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "encoded-path aborts leaked scratch: baseline {baseline}, now {now}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 

@@ -21,6 +21,7 @@ use monet::column::Column;
 use monet::ctx::ExecCtx;
 use monet::ops::{self, reference};
 use monet::par;
+use monet::props::Enc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -442,6 +443,151 @@ fn dbl_sum_bit_identical_across_thread_counts() {
 // Larger mixed sweep on the default morsel grid (remainder morsels at the
 // real size, threads > morsels for the smaller operands).
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// encoded operands: dict / FOR / RLE tails must be bit-identical to their
+// raw twins under every thread count — the morsel scheduler cuts encoded
+// windows (narrow dict codes, FOR deltas, run boundaries) exactly like raw
+// ones, and the merge order is part of the kernel contract either way.
+// ---------------------------------------------------------------------------
+
+fn encodable_value(rng: &mut StdRng, ty: AtomType) -> AtomValue {
+    match ty {
+        // Long, heavily duplicated strings: the dict size gate must pass
+        // even though `from_atoms` does not deduplicate its heap.
+        AtomType::Str => AtomValue::str(format!("Clerk#00000000000000000{}", rng.gen_range(0..5))),
+        _ => random_value(rng, ty),
+    }
+}
+
+/// An encoded random column of `ty` plus its raw twin exposing the same
+/// values over the same window, often as an `off != 0` slice. Panics if
+/// the fixture fails to encode — a silently-raw twin would make the sweep
+/// a vacuous raw-vs-raw comparison.
+fn encoded_pair(rng: &mut StdRng, ty: AtomType, n: usize, sorted: bool) -> (Column, Column) {
+    let (pre, post) = if rng.gen_bool(0.5) {
+        (rng.gen_range(0..7usize), rng.gen_range(0..7usize))
+    } else {
+        (0, 0)
+    };
+    let total = n + pre + post;
+    // Sorted fixtures use a 4-value alphabet: at most 4 runs, so the RLE
+    // run-count gate (`runs * 4 <= rows`) passes for every n >= 16.
+    let mut vals: Vec<AtomValue> = if sorted {
+        (0..total)
+            .map(|_| {
+                let i = rng.gen_range(0..4i32);
+                match ty {
+                    AtomType::Str => AtomValue::str(format!("Clerk#00000000000000000{i}")),
+                    AtomType::Int => AtomValue::Int(i),
+                    AtomType::Date => AtomValue::Date(Date(8000 + i)),
+                    _ => unreachable!("no RLE fixture for {ty}"),
+                }
+            })
+            .collect()
+    } else {
+        (0..total).map(|_| encodable_value(rng, ty)).collect()
+    };
+    if sorted {
+        vals.sort_by(|a, b| a.cmp_same_type(b));
+    }
+    let raw = Column::from_atoms(ty, vals.into_iter());
+    let enc = raw.encode(sorted);
+    let want = if sorted {
+        Enc::Rle
+    } else if ty == AtomType::Str {
+        Enc::Dict
+    } else {
+        Enc::For
+    };
+    assert_eq!(enc.encoding(), want, "{ty} sorted={sorted}: fixture must actually encode");
+    (enc.slice(pre, n), raw.slice(pre, n))
+}
+
+#[test]
+fn par_encoded_kernels_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 9);
+    let ctx = ExecCtx::new();
+    // (type, sorted): dict strings, FOR ints/dates, RLE runs.
+    let legs: &[(AtomType, bool)] = &[
+        (AtomType::Str, false),
+        (AtomType::Int, false),
+        (AtomType::Date, false),
+        (AtomType::Str, true),
+        (AtomType::Int, true),
+    ];
+    for &(ty, sorted) in legs {
+        for case in 0..3 {
+            let n = rng.gen_range(150..400usize);
+            let (enc, raw) = encoded_pair(&mut rng, ty, n, sorted);
+            let head = Column::from_oids((0..n as u64).collect());
+            let eb = Bat::new(head.clone(), enc);
+            let rb = Bat::new(head, raw);
+            let tag = format!("{ty} sorted={sorted} case {case}");
+
+            // Probes drawn from the fixture alphabet (plus one miss value).
+            let v = encodable_value(&mut rng, ty);
+            let (a2, c2) = (encodable_value(&mut rng, ty), encodable_value(&mut rng, ty));
+            let (lo, hi) = if a2.cmp_same_type(&c2).is_le() { (a2, c2) } else { (c2, a2) };
+
+            // The generic reference over the RAW twin is the ground truth;
+            // the encoded serial path must match it, and every parallel
+            // schedule must match both.
+            let ref_eq = reference::select_eq(&rb, &v);
+            let ref_rng = reference::select_range(&rb, Some(&lo), Some(&hi), true, false);
+            let ref_uni = reference::unique(&rb);
+            let ref_gid = reference::group1_gids(&rb);
+            let ser_eq = serial(|| ops::select_eq(&ctx, &eb, &v).unwrap());
+            let ser_rng =
+                serial(|| ops::select_range(&ctx, &eb, Some(&lo), Some(&hi), true, false).unwrap());
+            let ser_uni = serial(|| ops::unique(&ctx, &eb).unwrap());
+            let ser_g = serial(|| ops::group1(&ExecCtx::new(), &eb).unwrap());
+            assert_eq!(rows_of(&ser_eq), rows_of(&ref_eq), "{tag}: serial eq vs raw ref");
+            assert_eq!(rows_of(&ser_rng), rows_of(&ref_rng), "{tag}: serial range vs raw ref");
+            assert_eq!(rows_of(&ser_uni), rows_of(&ref_uni), "{tag}: serial unique vs raw ref");
+            for t in THREADS {
+                let got = parallel(t, || ops::select_eq(&ctx, &eb, &v).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&ser_eq), "{tag} t={t}: eq");
+                let got = parallel(t, || {
+                    ops::select_range(&ctx, &eb, Some(&lo), Some(&hi), true, false).unwrap()
+                });
+                assert_eq!(rows_of(&got), rows_of(&ser_rng), "{tag} t={t}: range");
+                let got = parallel(t, || ops::unique(&ctx, &eb).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&ser_uni), "{tag} t={t}: unique");
+                let got = parallel(t, || ops::group1(&ExecCtx::new(), &eb).unwrap());
+                assert_eq!(rows_of(&got), rows_of(&ser_g), "{tag} t={t}: group1 vs serial");
+                let got_canon: Vec<u64> = {
+                    let mut map = std::collections::HashMap::new();
+                    (0..got.len())
+                        .map(|i| {
+                            let g = got.tail().oid_at(i);
+                            let next = map.len() as u64;
+                            *map.entry(g).or_insert(next)
+                        })
+                        .collect()
+                };
+                assert_eq!(got_canon, ref_gid, "{tag} t={t}: group1 vs raw reference");
+            }
+
+            // Dict-specific broadcast: StrPrefix evaluates once per
+            // dictionary entry, then fans out through the narrow codes.
+            if ty == AtomType::Str && !sorted {
+                use ops::{MultArg, ScalarFunc as F};
+                let args =
+                    vec![MultArg::Bat(eb.clone()), MultArg::Const(AtomValue::str("Clerk#000"))];
+                let raw_args =
+                    vec![MultArg::Bat(rb.clone()), MultArg::Const(AtomValue::str("Clerk#000"))];
+                let expect = reference::multiplex_synced(F::StrPrefix, &raw_args).unwrap();
+                let ser = serial(|| ops::multiplex(&ctx, F::StrPrefix, &args).unwrap());
+                assert_eq!(rows_of(&ser), rows_of(&expect), "{tag}: serial prefix vs raw ref");
+                for t in THREADS {
+                    let got = parallel(t, || ops::multiplex(&ctx, F::StrPrefix, &args).unwrap());
+                    assert_eq!(rows_of(&got), rows_of(&ser), "{tag} t={t}: prefix");
+                }
+            }
+        }
+    }
+}
 
 #[test]
 fn par_kernels_bit_identical_on_default_morsel_grid() {
