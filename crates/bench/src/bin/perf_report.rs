@@ -90,22 +90,29 @@ fn read_baseline(path: &str) -> Option<Baseline> {
     Some(Baseline { sf, threads, cpus, ns_per_row })
 }
 
-/// Time `f` with one warm-up call, then as many timed repetitions as fit in
-/// the measurement window (at least 3). Prints a delta-vs-baseline column
-/// when the kernel exists in the checked-in baseline.
+/// Time `f` with one warm-up call, then as many individually-timed
+/// repetitions as fit in the measurement window (at least 3), and report
+/// the **median** repetition. The mean of a single continuous loop — the
+/// old harness — let one page-fault or scheduler stall poison a line;
+/// the median over >= 3 inner reps is what the committed trajectory
+/// records, so re-baselines and delta columns compare like with like.
+/// Prints a delta-vs-baseline column when the kernel exists in the
+/// checked-in baseline.
 fn measure(base: Option<&Baseline>, name: &'static str, rows: usize, mut f: impl FnMut()) -> Rec {
     f(); // warm-up
     let window = Duration::from_millis(240);
     let started = Instant::now();
-    let mut reps = 0u32;
-    while reps < 3 || started.elapsed() < window {
+    let mut samples: Vec<f64> = Vec::new();
+    while samples.len() < 3 || started.elapsed() < window {
+        let rep = Instant::now();
         f();
-        reps += 1;
-        if reps >= 10_000 {
+        samples.push(rep.elapsed().as_nanos() as f64);
+        if samples.len() >= 10_000 {
             break; // cap repetitions for very fast kernels
         }
     }
-    let ns = started.elapsed().as_nanos() as f64 / reps as f64;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("rep times are finite"));
+    let ns = samples[samples.len() / 2];
     let ns_per_row = ns / rows.max(1) as f64;
     let rows_per_sec = rows.max(1) as f64 / (ns / 1e9);
     let delta = match base.and_then(|b| b.ns_per_row.get(name)) {
@@ -541,6 +548,39 @@ fn main() {
         .unwrap();
     }));
     gov_ctx.gov.set_deadline(None);
+
+    // Pipeline fusion trajectory: Q1 and Q13 executing the optimizer's
+    // fused emission vs the `FLATALG_FUSE=0` oracle (scoped override, not
+    // the env var). Alongside each timing line, one fresh-tracker run
+    // prints the query's live-set peak — the fused pipelines' point is
+    // the intermediate BATs they never materialize, and `max_live_bytes`
+    // is where that shows up at SF-independent truth even when the
+    // wall-clock gap sits inside the noise floor at small scale.
+    for (name, fuse_on) in [
+        ("fuse/q1-unfused", false),
+        ("fuse/q1-fused", true),
+        ("fuse/q13-unfused", false),
+        ("fuse/q13-fused", true),
+    ] {
+        let q13 = name.contains("q13");
+        let fuse_ctx = monet::ctx::ExecCtx::new();
+        let run = |ctx: &monet::ctx::ExecCtx| {
+            monet::fuse::with_fuse(fuse_on, || {
+                with_opt_level(OptLevel::Full, || {
+                    if q13 {
+                        tpcd_queries::q11_15::q13_run(&w.cat, ctx, &w.params).map(|_| ())
+                    } else {
+                        tpcd_queries::q01_05::q1_run(&w.cat, ctx, &w.params).map(|_| ())
+                    }
+                })
+            })
+            .unwrap();
+        };
+        recs.push(measure(base.as_ref(), name, q13_rows, || run(&fuse_ctx)));
+        fuse_ctx.mem.reset();
+        run(&fuse_ctx);
+        eprintln!("{name:<32} live-set peak {:>12} bytes", fuse_ctx.mem.max_live_bytes());
+    }
 
     // Query-service throughput: the mixed Q1–Q15 workload through
     // prepared-statement sessions sharing one plan cache and admission

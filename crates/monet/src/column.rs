@@ -1241,6 +1241,40 @@ impl Column {
         Column { vals, id: self.id, off: self.off, len: self.len }
     }
 
+    /// Decode the `[start, start+len)` window of an RLE-encoded `dbl` view
+    /// into `out` (appending), walking the runs directly: element order is
+    /// exactly the logical row order, so summing `out` sequentially is
+    /// bit-identical to summing the decoded column's window — but no
+    /// full-column decode is materialized or cached. Returns `false`
+    /// (leaving `out` untouched) when this column is not RLE with `dbl`
+    /// run values.
+    pub fn rle_dbl_window_into(&self, start: usize, len: usize, out: &mut Vec<f64>) -> bool {
+        assert!(start + len <= self.len, "window out of bounds");
+        let ColumnVals::Rle(r) = &self.vals else { return false };
+        let Some(vals) = r.vals.as_dbl_slice() else { return false };
+        let lo = self.off + start;
+        let hi = lo + len;
+        let mut run = r.run_of(lo);
+        let mut at = lo;
+        while at < hi {
+            let end = (r.ends[run] as usize).min(hi);
+            out.resize(out.len() + (end - at), vals[run]);
+            at = end;
+            run += 1;
+        }
+        true
+    }
+
+    /// Whether this RLE view's full-column decode cache is populated
+    /// (`None` for non-RLE columns) — the observability hook for tests
+    /// asserting that run-aware kernels avoided the full materialization.
+    pub fn rle_decode_cached(&self) -> Option<bool> {
+        match &self.vals {
+            ColumnVals::Rle(r) => Some(r.decoded.get().is_some()),
+            _ => None,
+        }
+    }
+
     /// Re-encode this window into a compressed layout when one pays off;
     /// returns a clone unchanged when no encoding applies (already encoded,
     /// unsupported type, or no size win). `sorted` lets callers who *know*
@@ -1786,6 +1820,41 @@ mod tests {
         assert_eq!(sc.str_at(1), "x");
         let vc = Column::void(5, 3).gather(&idx);
         assert_eq!(vc.as_oid_slice().unwrap(), &[7, 5]);
+    }
+
+    #[test]
+    fn concat_all_dict_parts_share_dictionary_or_fall_back() {
+        // Two dict columns from *different* encode calls carry different
+        // dictionaries (here even different vocabularies): splicing their
+        // codes would rebind them through the wrong dictionary, so
+        // `dict_splice` must refuse and `concat_all` must route through
+        // the decoding fallback with the values intact.
+        let a_vals: Vec<String> = (0..64).map(|i| format!("Clerk#{:012}", i % 3)).collect();
+        let b_vals: Vec<String> = (0..64).map(|i| format!("Broker#{:012}", i % 5)).collect();
+        let a = Column::from_strs(&a_vals).encode(false);
+        let b = Column::from_strs(&b_vals).encode(false);
+        assert_eq!(a.encoding(), Enc::Dict);
+        assert_eq!(b.encoding(), Enc::Dict);
+        let c = Column::concat_all(&[a.clone(), b.clone()]);
+        assert_eq!(c.len(), 128);
+        for i in 0..64 {
+            assert_eq!(c.str_at(i), a_vals[i], "row {i}: first part corrupted");
+            assert_eq!(c.str_at(64 + i), b_vals[i], "row {}: second part corrupted", 64 + i);
+        }
+        // Pairwise concat takes the same guard.
+        let c2 = Column::concat(&a, &b);
+        assert_eq!(c2.len(), 128);
+        assert_eq!(c2.str_at(0), a_vals[0]);
+        assert_eq!(c2.str_at(127), b_vals[63]);
+
+        // Windows of ONE encode call share storage: the splice fast path
+        // applies and the result stays dict-encoded.
+        let parts = [a.slice(0, 20), a.slice(20, 30), a.slice(50, 14)];
+        let spliced = Column::concat_all(&parts);
+        assert_eq!(spliced.encoding(), Enc::Dict, "shared-dict parts must splice");
+        for i in 0..64 {
+            assert_eq!(spliced.str_at(i), a_vals[i], "row {i}: spliced part corrupted");
+        }
     }
 
     #[test]

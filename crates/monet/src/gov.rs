@@ -44,6 +44,12 @@ pub mod site {
     /// Before each task of a task-decomposed kernel (per-cluster join
     /// ranges, per-morsel group partials).
     pub const PAR_TASK: &str = "par/task";
+    /// Before each morsel of a fused select stage.
+    pub const FUSE_SELECT: &str = "fuse/select";
+    /// Before each morsel of a fused multiplex stage.
+    pub const FUSE_MULTIPLEX: &str = "fuse/multiplex";
+    /// Before each morsel of a fused aggregate stage.
+    pub const FUSE_AGGR: &str = "fuse/aggr";
 }
 
 /// Microseconds since the process-wide monotonic anchor. Deadlines are

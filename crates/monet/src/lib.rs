@@ -62,6 +62,7 @@ pub mod ctx;
 pub mod db;
 pub mod enc;
 pub mod error;
+pub mod fuse;
 pub mod gov;
 pub mod mil;
 pub mod ops;

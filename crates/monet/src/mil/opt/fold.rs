@@ -120,10 +120,13 @@ fn head_supersets(prog: &MilProgram, bat_valued: &[bool]) -> VarSets {
                     }
                 }
                 // Mirror swaps the column roles; union/concat/zip build
-                // new head sets: no facts beyond self.
+                // new head sets: no facts beyond self. Fused statements
+                // only appear after this pass (fusion runs last), so they
+                // claim nothing.
                 MilOp::Load(_)
                 | MilOp::ConstScalar(_)
                 | MilOp::AggrScalar { .. }
+                | MilOp::Fused { .. }
                 | MilOp::Mirror(_)
                 | MilOp::Union(..)
                 | MilOp::Concat(..)

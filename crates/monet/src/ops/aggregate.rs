@@ -79,8 +79,23 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                 Ok(AtomValue::Lng(parts.into_iter().sum()))
             }
             AtomType::Dbl => {
-                // decoded(): dbl is never dict/FOR-encoded, but RLE can
-                // wrap any type.
+                if t.encoding() == crate::props::Enc::Rle {
+                    // Run-aware per-morsel decode into pooled scratch: the
+                    // element order matches the decoded window exactly, so
+                    // the sum bits are unchanged — but no full-column
+                    // decode is ever materialized (or cached).
+                    let col = t.clone();
+                    let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
+                        let mut buf = crate::typed::take_f64(r.len());
+                        let ok = col.rle_dbl_window_into(r.start, r.len(), &mut buf);
+                        debug_assert!(ok, "RLE dbl tail expected");
+                        let s = buf.iter().sum::<f64>();
+                        crate::typed::put_f64(buf);
+                        s
+                    })?;
+                    return Ok(AtomValue::Dbl(parts.into_iter().sum()));
+                }
+                // decoded(): dbl is never dict/FOR-encoded (a no-op clone).
                 let col = t.decoded();
                 let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
                     col.as_dbl_slice().expect("dbl tail")[r].iter().sum::<f64>()
@@ -98,6 +113,19 @@ pub fn aggr_scalar(ctx: &ExecCtx, ab: &Bat, f: AggFunc) -> Result<AtomValue> {
                     op: "avg",
                     detail: "average of empty BAT".into(),
                 });
+            }
+            if t.atom_type() == AtomType::Dbl && t.encoding() == crate::props::Enc::Rle {
+                // Same run-aware scratch decode as the RLE dbl sum above.
+                let col = t.clone();
+                let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| {
+                    let mut buf = crate::typed::take_f64(r.len());
+                    let ok = col.rle_dbl_window_into(r.start, r.len(), &mut buf);
+                    debug_assert!(ok, "RLE dbl tail expected");
+                    let s = buf.iter().sum::<f64>();
+                    crate::typed::put_f64(buf);
+                    s
+                })?;
+                return Ok(AtomValue::Dbl(parts.into_iter().sum::<f64>() / n as f64));
             }
             let col = t.decoded();
             let parts = crate::par::try_for_each_morsel(&ctx.gov, n, threads, move |r| match col

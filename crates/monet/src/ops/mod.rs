@@ -16,6 +16,7 @@
 //! oracle of the specialized-vs-generic property suite.
 
 pub mod aggregate;
+pub mod fused;
 pub mod group;
 pub mod join;
 pub mod multiplex;

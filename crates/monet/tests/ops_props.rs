@@ -1048,3 +1048,70 @@ fn typed_hashindex_finds_all_positions() {
         }
     }
 }
+
+/// RLE-dbl aggregates must be bit-identical to the raw twin *without*
+/// materializing the full decoded column: both the staged scalar
+/// aggregates (scratch-buffered window decode) and a fused map->sum
+/// pipeline (per-morsel window decode) leave the shared decode cache
+/// cold. A regression here silently doubles the live set of every
+/// aggregate over run-length doubles.
+#[test]
+fn rle_dbl_aggregates_avoid_full_decode_and_match_raw() {
+    use monet::ops::fused::{run_fused, FArg, FusedOut, Stage};
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x22);
+    let ctx = ExecCtx::new();
+    for case in 0..6 {
+        let n = rng.gen_range(32..96usize);
+        let (et, rt) = encoded_pair(&mut rng, AtomType::Dbl, n, true);
+        assert_eq!(et.encoding(), Enc::Rle, "case {case}: fixture must be RLE");
+        let head = random_column(&mut rng, AtomType::Oid, n);
+        let eb = Bat::new(head.clone(), et.clone());
+        let rb = Bat::new(head, rt);
+
+        // Staged scalar aggregates: encoded vs raw, value-for-value.
+        for f in [ops::AggFunc::Sum, ops::AggFunc::Avg] {
+            let g = ops::aggr_scalar(&ctx, &eb, f).unwrap();
+            let e = ops::aggr_scalar(&ctx, &rb, f).unwrap();
+            assert_eq!(g, e, "case {case}: staged {}", f.name());
+        }
+
+        // Fused pipeline over the *encoded* source vs the staged kernels
+        // over the raw twin: map -> sum decodes one window per morsel.
+        let stages = vec![
+            Stage::Map {
+                f: ops::ScalarFunc::Mul,
+                args: vec![FArg::Chain, FArg::Const(AtomValue::Dbl(0.5))],
+            },
+            Stage::Aggr(ops::AggFunc::Sum),
+        ];
+        let fused = match run_fused(&ctx, &eb, &stages).unwrap() {
+            FusedOut::Scalar(v) => v,
+            FusedOut::Bat(_) => panic!("aggregate-terminated chain must yield a scalar"),
+        };
+        let mapped = ops::multiplex(
+            &ctx,
+            ops::ScalarFunc::Mul,
+            &[ops::MultArg::Bat(rb.clone()), ops::MultArg::Const(AtomValue::Dbl(0.5))],
+        )
+        .unwrap();
+        let staged = ops::aggr_scalar(&ctx, &mapped, ops::AggFunc::Sum).unwrap();
+        assert_eq!(fused, staged, "case {case}: fused map->sum vs staged on raw twin");
+
+        // The point of the window paths: nothing above may have populated
+        // the full-column decode cache.
+        assert_eq!(
+            et.rle_decode_cached(),
+            Some(false),
+            "case {case}: aggregation decoded the full RLE column",
+        );
+
+        // Min/max take the generic typed path (which *may* decode); they
+        // still must agree with the raw twin bit-for-bit.
+        for f in [ops::AggFunc::Min, ops::AggFunc::Max] {
+            let g = ops::aggr_scalar(&ctx, &eb, f).unwrap();
+            let e = ops::aggr_scalar(&ctx, &rb, f).unwrap();
+            assert_eq!(g, e, "case {case}: staged {}", f.name());
+        }
+    }
+}
