@@ -1,0 +1,234 @@
+//! `flatalg-store` — build, verify, open and check persistent TPC-D stores.
+//!
+//! ```text
+//! flatalg-store build --sf 1 /data/sf1      # generate + load + serialize
+//! flatalg-store verify /data/sf1            # full checksum verification
+//! flatalg-store open-bench /data/sf1        # O(1) open vs regenerate
+//! flatalg-store check /data/sf1             # all 15 queries vs the oracle
+//! ```
+//!
+//! `check` opens the store, rebuilds the n-ary oracle at the recorded
+//! scale factor, and runs every query on both paths. A fresh `ExecCtx`
+//! per query picks up `FLATALG_MEM_BUDGET` / `FLATALG_SPILL` from the
+//! environment, so a low budget turns the run into the out-of-core
+//! acceptance leg: the report shows how many bytes each query spilled.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bench::{mb, StoreWorld, World, SEED};
+use monet::ctx::ExecCtx;
+use tpcd_queries::all_queries;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flatalg-store <build --sf <sf> | verify | open-bench | check [--eps <e>]> <dir>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let code = match cmd.as_str() {
+        "build" => build(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "open-bench" => open_bench(&args[1..]),
+        "check" => check(&args[1..]),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn dir_arg(args: &[String]) -> PathBuf {
+    // Positionals are what remains after skipping each `--flag value` pair.
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            positional = Some(args[i].clone());
+            i += 1;
+        }
+    }
+    match positional {
+        Some(d) => PathBuf::from(d),
+        None => usage(),
+    }
+}
+
+fn build(args: &[String]) -> i32 {
+    let sf: f64 = flag(args, "--sf").and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let dir = dir_arg(args);
+    println!("# flatalg-store build — SF {sf} -> {}", dir.display());
+    let t0 = Instant::now();
+    let w = World::build(sf);
+    let gen_s = t0.elapsed().as_secs_f64();
+    println!(
+        "generated + loaded in {gen_s:.1} s ({} BATs, {:.1} MB base data)",
+        w.report.bat_count,
+        mb(w.report.base_bytes as u64)
+    );
+    let t1 = Instant::now();
+    match w.save_store(&dir) {
+        Ok(stats) => {
+            println!(
+                "wrote {} files, {:.1} MB in {:.1} s",
+                stats.files,
+                mb(stats.bytes),
+                t1.elapsed().as_secs_f64()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            1
+        }
+    }
+}
+
+fn verify(args: &[String]) -> i32 {
+    let dir = dir_arg(args);
+    let t0 = Instant::now();
+    match monet::store::verify_dir(&dir) {
+        Ok((files, bytes)) => {
+            println!(
+                "ok: {} files, {:.1} MB verified in {:.2} s",
+                files,
+                mb(bytes),
+                t0.elapsed().as_secs_f64()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("verification failed: {e}");
+            1
+        }
+    }
+}
+
+fn open_store(dir: &Path) -> Result<(StoreWorld, f64), i32> {
+    let t0 = Instant::now();
+    match StoreWorld::open(dir) {
+        Ok(sw) => Ok((sw, t0.elapsed().as_secs_f64())),
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            Err(1)
+        }
+    }
+}
+
+fn open_bench(args: &[String]) -> i32 {
+    let dir = dir_arg(args);
+    let (sw, open_s) = match open_store(&dir) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    println!(
+        "open: {:.3} s — SF {}, {} files, {:.1} MB mapped (mmap: {})",
+        open_s,
+        sw.sf,
+        sw.files,
+        mb(sw.mapped_bytes),
+        sw.mmap
+    );
+    let t1 = Instant::now();
+    let data = tpcd::generate(sw.sf, SEED);
+    let (cat, _) = tpcd::load_bats(&data);
+    let gen_s = t1.elapsed().as_secs_f64();
+    println!(
+        "generate+load: {:.3} s ({} BATs) — open is {:.0}x faster",
+        gen_s,
+        cat.db().len(),
+        gen_s / open_s.max(1e-9)
+    );
+    0
+}
+
+fn check(args: &[String]) -> i32 {
+    let eps: f64 = flag(args, "--eps").and_then(|s| s.parse().ok()).unwrap_or(1e-6);
+    let dir = dir_arg(args);
+    let (sw, open_s) = match open_store(&dir) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let budget = std::env::var("FLATALG_MEM_BUDGET").unwrap_or_else(|_| "unlimited".into());
+    println!("# flatalg-store check — SF {}, opened in {:.3} s, budget {}", sw.sf, open_s, budget);
+    let t1 = Instant::now();
+    let data = tpcd::generate(sw.sf, SEED);
+    let rel = tpcd::load_rowstore(&data);
+    println!("oracle rowstore rebuilt in {:.1} s", t1.elapsed().as_secs_f64());
+
+    let mut failed = 0;
+    let mut total_spilled = 0u64;
+    println!(
+        "\n{:>3} {:>10} {:>8} {:>9} {:>12} {:>7}",
+        "Qx", "monet(ms)", "rows", "peak MB", "spilled MB", "match"
+    );
+    for q in all_queries() {
+        let ref_out = (q.run_ref)(&rel, &sw.params, None);
+        let ctx = ExecCtx::new();
+        let t = Instant::now();
+        let res = (q.run_moa)(&sw.cat, &ctx, &sw.params);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let spilled = ctx.mem.spilled_bytes();
+        // Peak of the query's *last* MIL program — multi-statement drivers
+        // (Q8/Q11/Q14) restart the window per program, so this is a floor.
+        let peak = ctx.mem.charged_peak();
+        total_spilled += spilled;
+        match res {
+            Ok(rows) => {
+                let ok = rows.approx_eq(&ref_out.rows, eps);
+                if !ok {
+                    failed += 1;
+                    eprintln!(
+                        "Q{}: MISMATCH ({} rows vs {} oracle rows)\nmonet:\n{}oracle:\n{}",
+                        q.id,
+                        rows.len(),
+                        ref_out.rows.len(),
+                        rows.preview(5),
+                        ref_out.rows.preview(5)
+                    );
+                }
+                println!(
+                    "{:>3} {:>10.1} {:>8} {:>9.1} {:>12.1} {:>7}",
+                    format!("Q{}", q.id),
+                    ms,
+                    rows.len(),
+                    mb(peak),
+                    mb(spilled),
+                    if ok { "ok" } else { "FAIL" }
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "{:>3} {:>10.1} {:>8} {:>9.1} {:>12.1} {:>7}  {e}",
+                    format!("Q{}", q.id),
+                    ms,
+                    "-",
+                    mb(peak),
+                    mb(spilled),
+                    "ERROR"
+                );
+            }
+        }
+    }
+    println!(
+        "\n{} spilled {:.1} MB total across the run",
+        if total_spilled > 0 { "out-of-core:" } else { "in-memory:" },
+        mb(total_spilled)
+    );
+    if failed > 0 {
+        eprintln!("{failed} queries failed");
+        1
+    } else {
+        println!("all 15 queries match the oracle (eps {eps})");
+        0
+    }
+}

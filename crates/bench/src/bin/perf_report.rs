@@ -643,6 +643,56 @@ fn main() {
         }
     }
 
+    // Persistent store: the O(1) mmap open against regenerating the same
+    // world, on a store written from the memoized catalog. The paired
+    // eprintln gives the generate+load wall-clock the open replaces.
+    {
+        let store_dir =
+            std::env::temp_dir().join(format!("flatalg-perf-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        monet::store::write_dir(&store_dir, w.cat.db(), sf).expect("write perf store");
+        let total_rows = w.data.total_rows();
+        recs.push(measure(base.as_ref(), "store/open-vs-generate", total_rows, || {
+            let o = monet::store::open_dir(&store_dir, None, &monet::store::OpenOptions::default())
+                .unwrap();
+            std::hint::black_box(o.mapped_bytes);
+        }));
+        let t = Instant::now();
+        let data = tpcd::generate(sf, bench::SEED);
+        let (cat2, _) = tpcd::load_bats(&data);
+        eprintln!(
+            "store/open-vs-generate           generate+load of the same world: {:.1} ms \
+             ({} BATs)",
+            t.elapsed().as_secs_f64() * 1e3,
+            cat2.db().len()
+        );
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    // Out-of-core join: the same partitioned-join operands through the
+    // in-memory dispatch and through the spill path (a byte budget at half
+    // the cost model's in-memory estimate forces the partition-to-disk
+    // plan; the result BAT stays far below it, so the run completes). The
+    // pair records what going out-of-core costs on this trajectory.
+    {
+        let spill_ctx = ExecCtx::new();
+        let est = monet::costmodel::join_inmem_bytes(part_probe_n, part_build_n);
+        spill_ctx.mem.set_budget(Some(est / 2));
+        recs.push(measure(base.as_ref(), "spill/join-inmem", part_probe_n, || {
+            ctx.mem.reset();
+            ops::join(&ctx, &part_left, &part_right).unwrap();
+        }));
+        recs.push(measure(base.as_ref(), "spill/join-spill", part_probe_n, || {
+            spill_ctx.mem.reset();
+            ops::join(&spill_ctx, &part_left, &part_right).unwrap();
+        }));
+        assert!(
+            spill_ctx.mem.spilled_bytes() > 0,
+            "spill/join-spill must actually take the out-of-core path"
+        );
+        spill_ctx.mem.set_budget(None);
+    }
+
     // Per-table compression of the loaded world: physical (encoded) tail
     // bytes vs decoded bytes, grouped by TPC-D table, plus a string-column
     // total — the acceptance floor for the encoded layouts is >= 1.5x on
@@ -718,4 +768,79 @@ fn main() {
         std::env::var("FLATALG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.local.json".into());
     std::fs::write(&path, &json).expect("write kernel perf report");
     eprintln!("wrote {path}");
+
+    // --- SF 1 out-of-core leg (only when the big store exists) -----------
+    // `FLATALG_SF1_STORE` names a store directory built with
+    // `flatalg-store build --sf 1`. When present, every query runs once
+    // from the opened store — single-shot, not median-of-reps: at SF 1 a
+    // query is seconds of work and the numbers are honest wall-clock —
+    // and BENCH_sf1.json records per-query ms, result rows and spill
+    // volume, with the same threads/cpus/oversubscribed header fields as
+    // the kernel trajectory.
+    let sf1_dir = std::env::var("FLATALG_SF1_STORE").unwrap_or_else(|_| "store-sf1".into());
+    if std::path::Path::new(&sf1_dir).join("store.sb").exists() {
+        let t0 = Instant::now();
+        let sw =
+            bench::StoreWorld::open(std::path::Path::new(&sf1_dir)).expect("open the SF 1 store");
+        let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // `FLATALG_SF1_BUDGET` budgets *only* the SF 1 queries (applied
+        // per-context below), so the kernel section above is free to run
+        // unbudgeted; `FLATALG_MEM_BUDGET` is reported too if that is the
+        // only knob set.
+        let budget = std::env::var("FLATALG_SF1_BUDGET")
+            .or_else(|_| std::env::var("FLATALG_MEM_BUDGET"))
+            .unwrap_or_else(|_| "unlimited".into());
+        let budget_bytes = monet::ctx::parse_mem_budget(&budget);
+        eprintln!(
+            "\nSF {} store: opened {:.1} MB in {open_ms:.1} ms (mmap: {}), budget {budget}",
+            sw.sf,
+            bench::mb(sw.mapped_bytes),
+            sw.mmap
+        );
+        let mut qjson = String::new();
+        qjson.push_str("{\n");
+        qjson.push_str(&format!("  \"sf\": {},\n", sw.sf));
+        qjson.push_str(&format!("  \"threads\": {par_threads},\n"));
+        qjson.push_str(&format!("  \"cpus\": {cpus},\n"));
+        if par_threads > cpus {
+            qjson.push_str("  \"oversubscribed\": true,\n");
+        }
+        qjson.push_str(&format!("  \"budget\": \"{budget}\",\n"));
+        let spill_mode = std::env::var("FLATALG_SPILL").unwrap_or_else(|_| "auto".into());
+        qjson.push_str(&format!("  \"spill\": \"{spill_mode}\",\n"));
+        qjson.push_str(&format!("  \"open_ms\": {open_ms:.1},\n"));
+        qjson.push_str(&format!("  \"mapped_bytes\": {},\n", sw.mapped_bytes));
+        qjson.push_str("  \"queries\": [\n");
+        let queries = tpcd_queries::all_queries();
+        for (i, q) in queries.iter().enumerate() {
+            let qctx = ExecCtx::new();
+            if budget_bytes > 0 {
+                qctx.mem.set_budget(Some(budget_bytes));
+            }
+            let t = Instant::now();
+            let rows = (q.run_moa)(&sw.cat, &qctx, &sw.params)
+                .unwrap_or_else(|e| panic!("SF {} store Q{}: {e}", sw.sf, q.id));
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            let spilled = qctx.mem.spilled_bytes();
+            eprintln!(
+                "sf1/q{:<2} {:>10.1} ms  {:>8} rows  {:>10.1} MB spilled",
+                q.id,
+                ms,
+                rows.len(),
+                bench::mb(spilled)
+            );
+            qjson.push_str(&format!(
+                "    {{\"q\": {}, \"ms\": {ms:.1}, \"rows\": {}, \"spilled_bytes\": \
+                 {spilled}}}{}\n",
+                q.id,
+                rows.len(),
+                if i + 1 < queries.len() { "," } else { "" }
+            ));
+        }
+        qjson.push_str("  ]\n}\n");
+        let sf1_path =
+            std::env::var("FLATALG_BENCH_SF1_OUT").unwrap_or_else(|_| "BENCH_sf1.json".into());
+        std::fs::write(&sf1_path, &qjson).expect("write SF 1 report");
+        eprintln!("wrote {sf1_path}");
+    }
 }

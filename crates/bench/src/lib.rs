@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 
 use moa::catalog::Catalog;
 use relstore::RelDb;
-use tpcd::{generate, load_bats, load_rowstore, LoadReport, TpcdData};
+use tpcd::{generate, load_bats, load_rowstore, LoadReport, TpcdData, TpcdError};
 use tpcd_queries::Params;
 
 /// The seed used by every harness, so numbers are reproducible.
@@ -37,6 +37,46 @@ impl World {
         let rel = load_rowstore(&data);
         let params = Params::for_data(&data);
         World { data, cat, rel, params, report }
+    }
+
+    /// Persist this world's catalog into a store directory
+    /// (see [`tpcd::save_catalog`]).
+    pub fn save_store(&self, dir: &std::path::Path) -> Result<monet::store::WriteStats, TpcdError> {
+        tpcd::save_catalog(dir, &self.cat, self.data.sf)
+    }
+}
+
+/// A benchmark world opened from a persistent store directory: the mmapped
+/// catalog plus the parameter set rebuilt from the recorded scale factor.
+/// No generated rows and no rowstore oracle — build a [`World`] at the
+/// same scale factor when an oracle is needed.
+pub struct StoreWorld {
+    pub cat: Catalog,
+    pub params: Params,
+    pub sf: f64,
+    pub mapped_bytes: u64,
+    pub files: usize,
+    pub mmap: bool,
+}
+
+impl StoreWorld {
+    pub fn open(dir: &std::path::Path) -> Result<StoreWorld, TpcdError> {
+        StoreWorld::open_with(dir, &monet::store::OpenOptions::default())
+    }
+
+    pub fn open_with(
+        dir: &std::path::Path,
+        opts: &monet::store::OpenOptions,
+    ) -> Result<StoreWorld, TpcdError> {
+        let o = tpcd::open_catalog(dir, None, opts)?;
+        Ok(StoreWorld {
+            params: Params::for_sf(o.sf),
+            cat: o.catalog,
+            sf: o.sf,
+            mapped_bytes: o.mapped_bytes,
+            files: o.files,
+            mmap: o.mmap,
+        })
     }
 }
 

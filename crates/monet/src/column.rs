@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
 
 use crate::atom::{AtomType, AtomValue, Date, Oid};
+use crate::buf::Buf;
 use crate::props::Enc;
 use crate::strheap::{StrHeapBuilder, StrVec};
 
@@ -36,14 +37,14 @@ pub enum ColumnVals {
     Void {
         seq: Oid,
     },
-    Oid(Arc<Vec<Oid>>),
-    Bool(Arc<Vec<bool>>),
-    Chr(Arc<Vec<u8>>),
-    Int(Arc<Vec<i32>>),
-    Lng(Arc<Vec<i64>>),
-    Dbl(Arc<Vec<f64>>),
+    Oid(Arc<Buf<Oid>>),
+    Bool(Arc<Buf<bool>>),
+    Chr(Arc<Buf<u8>>),
+    Int(Arc<Buf<i32>>),
+    Lng(Arc<Buf<i64>>),
+    Dbl(Arc<Buf<f64>>),
     Str(StrVec),
-    Date(Arc<Vec<i32>>),
+    Date(Arc<Buf<i32>>),
     /// Order-preserving dictionary codes over a sorted, duplicate-free
     /// string dictionary: code order equals string order.
     DictStr(Arc<DictStrData>),
@@ -60,10 +61,10 @@ pub enum ColumnVals {
 /// whose raw heap is already deduplicated (the loader's): u32 codes would
 /// merely mirror the raw offset array, u8/u16 codes shrink it 4x/2x.
 #[derive(Debug)]
-enum DictCodes {
-    W8(Vec<u8>),
-    W16(Vec<u16>),
-    W32(Vec<u32>),
+pub(crate) enum DictCodes {
+    W8(Buf<u8>),
+    W16(Buf<u16>),
+    W32(Buf<u32>),
 }
 
 impl DictCodes {
@@ -94,7 +95,7 @@ impl DictCodes {
     }
 
     /// Narrowest width able to hold codes `0..dict_len`.
-    fn width_for(dict_len: usize) -> usize {
+    pub(crate) fn width_for(dict_len: usize) -> usize {
         if dict_len <= 1 << 8 {
             1
         } else if dict_len <= 1 << 16 {
@@ -118,6 +119,11 @@ pub struct DictStrData {
 }
 
 impl DictStrData {
+    /// Assemble from pre-built parts (the store's open path).
+    pub(crate) fn from_parts(codes: DictCodes, dict: StrVec) -> DictStrData {
+        DictStrData { codes, dict, decoded: OnceLock::new() }
+    }
+
     #[inline]
     fn code(&self, i: usize) -> usize {
         self.codes.get(i)
@@ -132,9 +138,9 @@ impl DictStrData {
 }
 
 #[derive(Debug)]
-enum ForIntDeltas {
-    W8(Vec<u8>),
-    W16(Vec<u16>),
+pub(crate) enum ForIntDeltas {
+    W8(Buf<u8>),
+    W16(Buf<u16>),
 }
 
 /// Frame-of-reference storage for `int`/`date` columns: the minimum as the
@@ -146,10 +152,15 @@ pub struct ForIntData {
     /// Day-count dates share the `i32` representation (see
     /// [`crate::typed`]: `&[i32]` backs both `int` and `date`).
     date: bool,
-    decoded: OnceLock<Arc<Vec<i32>>>,
+    decoded: OnceLock<Arc<Buf<i32>>>,
 }
 
 impl ForIntData {
+    /// Assemble from pre-built parts (the store's open path).
+    pub(crate) fn from_parts(base: i32, deltas: ForIntDeltas, date: bool) -> ForIntData {
+        ForIntData { base, deltas, date, decoded: OnceLock::new() }
+    }
+
     fn len(&self) -> usize {
         match &self.deltas {
             ForIntDeltas::W8(v) => v.len(),
@@ -172,16 +183,16 @@ impl ForIntData {
         }
     }
 
-    fn decoded(&self) -> &Arc<Vec<i32>> {
+    fn decoded(&self) -> &Arc<Buf<i32>> {
         self.decoded.get_or_init(|| Arc::new((0..self.len()).map(|i| self.value(i)).collect()))
     }
 }
 
 #[derive(Debug)]
-enum ForLngDeltas {
-    W8(Vec<u8>),
-    W16(Vec<u16>),
-    W32(Vec<u32>),
+pub(crate) enum ForLngDeltas {
+    W8(Buf<u8>),
+    W16(Buf<u16>),
+    W32(Buf<u32>),
 }
 
 /// Frame-of-reference storage for `lng` columns.
@@ -189,10 +200,15 @@ enum ForLngDeltas {
 pub struct ForLngData {
     base: i64,
     deltas: ForLngDeltas,
-    decoded: OnceLock<Arc<Vec<i64>>>,
+    decoded: OnceLock<Arc<Buf<i64>>>,
 }
 
 impl ForLngData {
+    /// Assemble from pre-built parts (the store's open path).
+    pub(crate) fn from_parts(base: i64, deltas: ForLngDeltas) -> ForLngData {
+        ForLngData { base, deltas, decoded: OnceLock::new() }
+    }
+
     fn len(&self) -> usize {
         match &self.deltas {
             ForLngDeltas::W8(v) => v.len(),
@@ -218,7 +234,7 @@ impl ForLngData {
         }
     }
 
-    fn decoded(&self) -> &Arc<Vec<i64>> {
+    fn decoded(&self) -> &Arc<Buf<i64>> {
         self.decoded.get_or_init(|| Arc::new((0..self.len()).map(|i| self.value(i)).collect()))
     }
 }
@@ -231,13 +247,20 @@ impl ForLngData {
 #[derive(Debug)]
 pub struct RleData {
     /// Cumulative run ends (exclusive); `ends.last() == total rows`.
-    ends: Vec<u32>,
+    ends: Buf<u32>,
     /// Run values, a raw column (`off == 0`) of the logical atom type.
     vals: Column,
     decoded: OnceLock<Column>,
 }
 
 impl RleData {
+    /// Assemble from pre-built parts (the store's open path). `ends` must
+    /// be non-decreasing and `vals.len()` must equal `ends.len()` — the
+    /// store validates before constructing.
+    pub(crate) fn from_parts(ends: Buf<u32>, vals: Column) -> RleData {
+        RleData { ends, vals, decoded: OnceLock::new() }
+    }
+
     fn rows(&self) -> usize {
         self.ends.last().copied().unwrap_or(0) as usize
     }
@@ -285,7 +308,7 @@ pub struct ColumnIdentity {
 }
 
 impl Column {
-    fn new(vals: ColumnVals, len: usize) -> Column {
+    pub(crate) fn new(vals: ColumnVals, len: usize) -> Column {
         Column { vals, id: fresh_column_id(), off: 0, len }
     }
 
@@ -296,32 +319,32 @@ impl Column {
 
     pub fn from_oids(v: Vec<Oid>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Oid(Arc::new(v)), len)
+        Column::new(ColumnVals::Oid(Arc::new(v.into())), len)
     }
 
     pub fn from_bools(v: Vec<bool>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Bool(Arc::new(v)), len)
+        Column::new(ColumnVals::Bool(Arc::new(v.into())), len)
     }
 
     pub fn from_chrs(v: Vec<u8>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Chr(Arc::new(v)), len)
+        Column::new(ColumnVals::Chr(Arc::new(v.into())), len)
     }
 
     pub fn from_ints(v: Vec<i32>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Int(Arc::new(v)), len)
+        Column::new(ColumnVals::Int(Arc::new(v.into())), len)
     }
 
     pub fn from_lngs(v: Vec<i64>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Lng(Arc::new(v)), len)
+        Column::new(ColumnVals::Lng(Arc::new(v.into())), len)
     }
 
     pub fn from_dbls(v: Vec<f64>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Dbl(Arc::new(v)), len)
+        Column::new(ColumnVals::Dbl(Arc::new(v.into())), len)
     }
 
     pub fn from_dates(v: Vec<Date>) -> Column {
@@ -331,7 +354,7 @@ impl Column {
 
     pub fn from_date_days(v: Vec<i32>) -> Column {
         let len = v.len();
-        Column::new(ColumnVals::Date(Arc::new(v)), len)
+        Column::new(ColumnVals::Date(Arc::new(v.into())), len)
     }
 
     pub fn from_strvec(v: StrVec) -> Column {
@@ -1414,7 +1437,11 @@ impl Column {
         ends.push(n as u32);
         let vals = self.gather(&starts);
         Some(Column::new(
-            ColumnVals::Rle(Arc::new(RleData { ends, vals, decoded: OnceLock::new() })),
+            ColumnVals::Rle(Arc::new(RleData {
+                ends: ends.into(),
+                vals,
+                decoded: OnceLock::new(),
+            })),
             n,
         ))
     }
@@ -1423,6 +1450,97 @@ impl Column {
     pub fn iter(&self) -> impl Iterator<Item = AtomValue> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// Whether this view covers its entire backing storage — the
+    /// precondition of [`Column::storage_repr`]. The store writer compacts
+    /// partial windows (via an identity gather) before serializing.
+    pub(crate) fn is_full_window(&self) -> bool {
+        if self.off != 0 {
+            return false;
+        }
+        let storage_len = match &self.vals {
+            ColumnVals::Void { .. } => return true,
+            ColumnVals::Oid(v) => v.len(),
+            ColumnVals::Bool(v) => v.len(),
+            ColumnVals::Chr(v) => v.len(),
+            ColumnVals::Int(v) => v.len(),
+            ColumnVals::Lng(v) => v.len(),
+            ColumnVals::Dbl(v) => v.len(),
+            ColumnVals::Date(v) => v.len(),
+            ColumnVals::Str(v) => v.len(),
+            ColumnVals::DictStr(d) => d.codes.len(),
+            ColumnVals::ForInt(f) => f.len(),
+            ColumnVals::ForLng(f) => f.len(),
+            ColumnVals::Rle(r) => r.rows(),
+        };
+        self.len == storage_len
+    }
+
+    /// Borrow the full physical storage for the store writer. Panics when
+    /// the view is a partial window (callers compact first, see
+    /// [`Column::is_full_window`]).
+    pub(crate) fn storage_repr(&self) -> StorageRepr<'_> {
+        assert!(self.is_full_window(), "storage_repr on a partial window");
+        match &self.vals {
+            ColumnVals::Void { seq } => StorageRepr::Void { seq: *seq },
+            ColumnVals::Oid(v) => StorageRepr::Oid(v),
+            ColumnVals::Bool(v) => StorageRepr::Bool(v),
+            ColumnVals::Chr(v) => StorageRepr::Chr(v),
+            ColumnVals::Int(v) => StorageRepr::Int(v),
+            ColumnVals::Lng(v) => StorageRepr::Lng(v),
+            ColumnVals::Dbl(v) => StorageRepr::Dbl(v),
+            ColumnVals::Date(v) => StorageRepr::Date(v),
+            ColumnVals::Str(v) => StorageRepr::Str(v),
+            ColumnVals::DictStr(d) => {
+                let codes = match &d.codes {
+                    DictCodes::W8(v) => CodeSlice::W8(v),
+                    DictCodes::W16(v) => CodeSlice::W16(v),
+                    DictCodes::W32(v) => CodeSlice::W32(v),
+                };
+                StorageRepr::DictStr { codes, dict: &d.dict }
+            }
+            ColumnVals::ForInt(f) => {
+                let deltas = match &f.deltas {
+                    ForIntDeltas::W8(v) => CodeSlice::W8(v),
+                    ForIntDeltas::W16(v) => CodeSlice::W16(v),
+                };
+                StorageRepr::ForInt { base: f.base, date: f.date, deltas }
+            }
+            ColumnVals::ForLng(f) => {
+                let deltas = match &f.deltas {
+                    ForLngDeltas::W8(v) => CodeSlice::W8(v),
+                    ForLngDeltas::W16(v) => CodeSlice::W16(v),
+                    ForLngDeltas::W32(v) => CodeSlice::W32(v),
+                };
+                StorageRepr::ForLng { base: f.base, deltas }
+            }
+            ColumnVals::Rle(r) => StorageRepr::Rle { ends: &r.ends, vals: &r.vals },
+        }
+    }
+}
+
+/// Narrow unsigned code/delta slice at its physical width (store writer).
+pub(crate) enum CodeSlice<'a> {
+    W8(&'a [u8]),
+    W16(&'a [u16]),
+    W32(&'a [u32]),
+}
+
+/// The full physical storage of a column, borrowed for serialization.
+pub(crate) enum StorageRepr<'a> {
+    Void { seq: Oid },
+    Oid(&'a [Oid]),
+    Bool(&'a [bool]),
+    Chr(&'a [u8]),
+    Int(&'a [i32]),
+    Lng(&'a [i64]),
+    Dbl(&'a [f64]),
+    Date(&'a [i32]),
+    Str(&'a StrVec),
+    DictStr { codes: CodeSlice<'a>, dict: &'a StrVec },
+    ForInt { base: i32, date: bool, deltas: CodeSlice<'a> },
+    ForLng { base: i64, deltas: CodeSlice<'a> },
+    Rle { ends: &'a [u32], vals: &'a Column },
 }
 
 /// Borrowed view over the string storage of a column window.
@@ -1625,13 +1743,13 @@ fn dict_splice(parts: &[Column], total: usize) -> Option<Column> {
                     _ => return None,
                 }
             }
-            DictCodes::$variant(codes)
+            codes.into()
         }};
     }
     let codes = match &first.codes {
-        DictCodes::W8(_) => splice!(W8),
-        DictCodes::W16(_) => splice!(W16),
-        DictCodes::W32(_) => splice!(W32),
+        DictCodes::W8(_) => DictCodes::W8(splice!(W8)),
+        DictCodes::W16(_) => DictCodes::W16(splice!(W16)),
+        DictCodes::W32(_) => DictCodes::W32(splice!(W32)),
     };
     Some(Column::new(
         ColumnVals::DictStr(Arc::new(DictStrData {

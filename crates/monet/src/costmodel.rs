@@ -86,6 +86,63 @@ pub fn join_prefers_partitioned(probe_rows: usize, build_rows: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Out-of-core strategy: when to spill the radix partitions to disk.
+// ---------------------------------------------------------------------------
+
+/// Transient working-set estimate of the in-memory partitioned join:
+/// both cluster pair buffers at 8 bytes/row plus the counting-free
+/// scatter's 1.5x slack (~12 bytes/row each side), and the match buffer
+/// presized to the probe side (8 bytes/row).
+pub fn join_inmem_bytes(probe_rows: usize, build_rows: usize) -> u64 {
+    12 * (probe_rows as u64 + build_rows as u64) + 8 * probe_rows as u64
+}
+
+/// Transient working-set estimate of the in-memory hash grouping: the
+/// [`crate::typed::GroupTable`] bucket array (2x rows of u32) plus chain
+/// link, representative, and hash per group (worst case one group per
+/// row: 8 + 16 bytes/row).
+pub fn group_inmem_bytes(rows: usize) -> u64 {
+    24 * rows as u64
+}
+
+/// True when the working-set `estimate` does not fit the budget headroom
+/// the tracker has left. No budget (0) means unlimited memory: never
+/// spill on the auto path.
+fn overflows_headroom(mem: &crate::ctx::MemTracker, estimate: u64) -> bool {
+    let budget = mem.budget_bytes();
+    budget != 0 && estimate > budget.saturating_sub(mem.charged_bytes())
+}
+
+/// Spill the radix join's partitions to disk when the in-memory
+/// partitioned working set won't fit what is left of the query's byte
+/// budget (`FLATALG_MEM_BUDGET` / session override), or always/never
+/// under a `FLATALG_SPILL` override. The spilling join is bit-identical
+/// to the in-memory paths, so this is purely a resource decision.
+pub fn join_prefers_spill(
+    mem: &crate::ctx::MemTracker,
+    probe_rows: usize,
+    build_rows: usize,
+) -> bool {
+    match crate::spill::mode() {
+        crate::spill::SpillMode::Never => false,
+        crate::spill::SpillMode::Always => true,
+        crate::spill::SpillMode::Auto => {
+            overflows_headroom(mem, join_inmem_bytes(probe_rows, build_rows))
+        }
+    }
+}
+
+/// Spill hash grouping's partitions to disk (same contract as
+/// [`join_prefers_spill`]: resource decision only, identical results).
+pub fn group_prefers_spill(mem: &crate::ctx::MemTracker, rows: usize) -> bool {
+    match crate::spill::mode() {
+        crate::spill::SpillMode::Never => false,
+        crate::spill::SpillMode::Always => true,
+        crate::spill::SpillMode::Auto => overflows_headroom(mem, group_inmem_bytes(rows)),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Intra-query parallelism: when to cut morsels.
 // ---------------------------------------------------------------------------
 
@@ -273,6 +330,34 @@ mod tests {
             // And one probe row below the build side always stays monolithic.
             assert!(!join_prefers_partitioned(build - 1, build), "build={build}");
         }
+    }
+
+    #[test]
+    fn spill_headroom_rule() {
+        let m = crate::ctx::MemTracker::default();
+        // No budget: unlimited memory, the auto path never spills.
+        assert!(!overflows_headroom(&m, u64::MAX));
+        m.set_budget(Some(1000));
+        assert!(!overflows_headroom(&m, 1000), "exactly fitting the headroom stays in memory");
+        assert!(overflows_headroom(&m, 1001));
+        // Live charges shrink the headroom; releases restore it.
+        m.charge("x", 400).unwrap();
+        assert!(overflows_headroom(&m, 601));
+        assert!(!overflows_headroom(&m, 600));
+        m.release(400);
+        assert!(!overflows_headroom(&m, 1000));
+        // Charged past the budget: zero headroom, anything spills.
+        m.set_budget(Some(10));
+        m.charge("y", 50).ok();
+        assert!(overflows_headroom(&m, 1));
+        m.release(50);
+    }
+
+    #[test]
+    fn spill_estimates_scale_with_rows() {
+        assert_eq!(join_inmem_bytes(0, 0), 0);
+        assert_eq!(join_inmem_bytes(1000, 500), 12 * 1500 + 8 * 1000);
+        assert_eq!(group_inmem_bytes(1000), 24_000);
     }
 
     #[test]

@@ -24,24 +24,27 @@ use crate::pager::Pager;
 /// plain byte count or a `k`/`m`/`g` suffix (powers of 1024).
 fn env_mem_budget() -> u64 {
     static BUDGET: OnceLock<u64> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        let raw = match std::env::var("FLATALG_MEM_BUDGET") {
-            Ok(v) => v,
-            Err(_) => return 0,
-        };
-        let s = raw.trim().to_ascii_lowercase();
-        let (digits, unit) = match s.strip_suffix(['k', 'm', 'g']) {
-            Some(d) => (d, s.as_bytes()[s.len() - 1]),
-            None => (s.as_str(), b' '),
-        };
-        let n: u64 = digits.trim().parse().unwrap_or(0);
-        match unit {
-            b'k' => n << 10,
-            b'm' => n << 20,
-            b'g' => n << 30,
-            _ => n,
-        }
+    *BUDGET.get_or_init(|| match std::env::var("FLATALG_MEM_BUDGET") {
+        Ok(v) => parse_mem_budget(&v),
+        Err(_) => 0,
     })
+}
+
+/// Parse a byte-budget string: a plain count or a `k`/`m`/`g` suffix
+/// (powers of 1024); unparseable input is 0 (= unlimited).
+pub fn parse_mem_budget(raw: &str) -> u64 {
+    let s = raw.trim().to_ascii_lowercase();
+    let (digits, unit) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (d, s.as_bytes()[s.len() - 1]),
+        None => (s.as_str(), b' '),
+    };
+    let n: u64 = digits.trim().parse().unwrap_or(0);
+    match unit {
+        b'k' => n << 10,
+        b'm' => n << 20,
+        b'g' => n << 30,
+        _ => n,
+    }
 }
 
 /// One trace record per executed kernel operation, mirroring the rows of
@@ -85,6 +88,11 @@ pub struct MemTracker {
     charged_peak: AtomicU64,
     /// Enforced budget in bytes; 0 = unlimited.
     budget_bytes: AtomicU64,
+    /// Cumulative bytes written to out-of-core spill files
+    /// ([`crate::spill`]). Observational, like `total_bytes`: spilled
+    /// pairs are on disk precisely so they do *not* count against the
+    /// in-memory budget.
+    spilled_bytes: AtomicU64,
 }
 
 impl MemTracker {
@@ -109,6 +117,17 @@ impl MemTracker {
         self.max_live_bytes.store(0, Ordering::Relaxed);
         self.charged.store(0, Ordering::Relaxed);
         self.charged_peak.store(0, Ordering::Relaxed);
+        self.spilled_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Account bytes written to an out-of-core spill file.
+    pub fn add_spilled(&self, bytes: u64) {
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Cumulative spill-file bytes written through this tracker.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
     }
 
     /// Set (or lift, with `None`/0) the per-query byte budget. Sessions use

@@ -46,6 +46,11 @@ pub enum MonetError {
     /// A statement waited at the service admission gate past the configured
     /// timeout and was shed instead of queueing unboundedly.
     AdmissionTimeout { waited_ms: u64 },
+    /// A persistent-store file failed validation (bad magic/version,
+    /// checksum mismatch, truncation, descriptor inconsistency) or an
+    /// out-of-core spill file could not be written/read. `path` names the
+    /// offending file where one exists.
+    Store { op: &'static str, path: String, detail: String },
 }
 
 impl fmt::Display for MonetError {
@@ -78,6 +83,13 @@ impl fmt::Display for MonetError {
             }
             MonetError::AdmissionTimeout { waited_ms } => {
                 write!(f, "admission timed out after {waited_ms} ms; statement shed")
+            }
+            MonetError::Store { op, path, detail } => {
+                if path.is_empty() {
+                    write!(f, "{op}: {detail}")
+                } else {
+                    write!(f, "{op}: {path}: {detail}")
+                }
             }
         }
     }

@@ -50,6 +50,12 @@ pub mod site {
     pub const FUSE_MULTIPLEX: &str = "fuse/multiplex";
     /// Before each morsel of a fused aggregate stage.
     pub const FUSE_AGGR: &str = "fuse/aggr";
+    /// While opening a persistent store (superblock / per-column files).
+    pub const STORE_OPEN: &str = "store/open";
+    /// Before each partition flush an out-of-core operator writes.
+    pub const SPILL_WRITE: &str = "spill/write";
+    /// Before each spilled partition an out-of-core operator reads back.
+    pub const SPILL_READ: &str = "spill/read";
 }
 
 /// Microseconds since the process-wide monotonic anchor. Deadlines are

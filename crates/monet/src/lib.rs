@@ -56,6 +56,7 @@
 pub mod accel;
 pub mod atom;
 pub mod bat;
+pub mod buf;
 pub mod column;
 pub mod costmodel;
 pub mod ctx;
@@ -69,6 +70,8 @@ pub mod ops;
 pub mod pager;
 pub mod par;
 pub mod props;
+pub mod spill;
+pub mod store;
 pub mod strheap;
 pub(crate) mod sync;
 pub mod typed;

@@ -42,6 +42,11 @@ pub(crate) fn hash_group_column(
     threads: usize,
 ) -> Result<(Vec<u32>, Vec<u32>, &'static str)> {
     let n = col.len();
+    if crate::costmodel::group_prefers_spill(&ctx.mem, n) {
+        // Out-of-core partition-then-process shape (see the function
+        // docs): resource decision only, the numbering is identical.
+        return spill_group_column(ctx, col);
+    }
     if threads <= 1 {
         // Dictionary-encoded tails group by *code*: the dictionary is
         // duplicate-free, so code equality is value equality and a flat
@@ -110,6 +115,65 @@ pub(crate) fn hash_group_column(
         }
         (gid_of, table.reps().to_vec(), "par-hash")
     }))
+}
+
+/// Out-of-core first-occurrence grouping: hash-cluster the rows into
+/// per-cluster regions of a spill file ([`crate::spill::SpilledClusters`]),
+/// group each cluster alone with a cluster-sized [`GroupTable`], then
+/// renumber the per-cluster provisional gids globally. Only one cluster's
+/// table is ever resident, so the transient working set is bounded by the
+/// largest cluster.
+///
+/// The renumbering reproduces the serial first-occurrence numbering
+/// exactly: all rows of a value hash to the same cluster, so groups are
+/// disjoint across clusters and each provisional representative (the
+/// first row of its value within the cluster, in ascending row order
+/// preserved by the stable clustering) is the value's globally first
+/// row. Sorting the representatives by row position therefore ranks the
+/// groups in order of first appearance.
+fn spill_group_column(ctx: &ExecCtx, col: &Column) -> Result<(Vec<u32>, Vec<u32>, &'static str)> {
+    let n = col.len();
+    let bits = crate::typed::radix_bits(n);
+    let mut gid_of: Vec<u32> = vec![0; n];
+    // Representative row per provisional (cluster-local, then offset)
+    // group id, appended cluster by cluster.
+    let mut prov_reps: Vec<u32> = Vec::new();
+    let r: Result<()> = crate::for_each_typed!(col, |t| {
+        let sc = crate::spill::SpilledClusters::build(ctx, t, bits)?;
+        let mut buf: Vec<u64> = Vec::new();
+        for c in 0..sc.num_clusters() {
+            if sc.cluster_len(c) == 0 {
+                continue;
+            }
+            sc.read_cluster(ctx, c, &mut buf)?;
+            let base = prov_reps.len() as u32;
+            let mut table = GroupTable::pooled(buf.len());
+            for &p in &buf {
+                let i = crate::typed::pair_pos(p) as usize;
+                let v = t.value(i);
+                let h = t.hash_one(v);
+                let (g, _) =
+                    table.find_or_insert(h, i as u32, |rep| t.eq_one(t.value(rep as usize), v));
+                gid_of[i] = base + g;
+            }
+            prov_reps.extend_from_slice(table.reps());
+            table.recycle();
+        }
+        Ok(())
+    });
+    r?;
+    let mut order: Vec<u32> = (0..prov_reps.len() as u32).collect();
+    order.sort_unstable_by_key(|&g| prov_reps[g as usize]);
+    let mut new_gid: Vec<u32> = vec![0; order.len()];
+    let mut reps: Vec<u32> = Vec::with_capacity(order.len());
+    for (rank, &g) in order.iter().enumerate() {
+        new_gid[g as usize] = rank as u32;
+        reps.push(prov_reps[g as usize]);
+    }
+    for g in gid_of.iter_mut() {
+        *g = new_gid[*g as usize];
+    }
+    Ok((gid_of, reps, "spill"))
 }
 
 /// First-occurrence grouping over dictionary codes with a flat code→gid
@@ -353,6 +417,51 @@ mod tests {
         let r = group1(&ctx, &b).unwrap();
         assert_eq!(r.tail().oid_at(0), r.tail().oid_at(2));
         assert_ne!(r.tail().oid_at(0), r.tail().oid_at(1));
+    }
+
+    #[test]
+    fn spill_grouping_matches_in_memory_numbering() {
+        let ctx = ExecCtx::new();
+        // Values spread across many clusters with skewed repetition; also
+        // an encoded (dict) string column, which in-memory grouping sends
+        // through the code-group fast path.
+        let ints = Column::from_ints((0..5000).map(|i| ((i * 31) % 613) as i32).collect());
+        let strs = Column::from_strs((0..3000).map(|i| format!("g{}", i % 97)).collect::<Vec<_>>());
+        let dict = strs.encode(false);
+        assert_eq!(dict.encoding(), crate::props::Enc::Dict);
+        for col in [&ints, &strs, &dict] {
+            let (gid_mem, reps_mem, _) = hash_group_column(&ctx, col, 1).unwrap();
+            let (gid_sp, reps_sp, algo) = spill_group_column(&ctx, col).unwrap();
+            assert_eq!(algo, "spill");
+            assert_eq!(gid_mem, gid_sp, "gids diverge on {}", col.atom_type());
+            assert_eq!(reps_mem, reps_sp, "reps diverge on {}", col.atom_type());
+        }
+        // Empty input.
+        let (gid, reps, _) = spill_group_column(&ctx, &Column::from_ints(vec![])).unwrap();
+        assert!(gid.is_empty() && reps.is_empty());
+    }
+
+    #[test]
+    fn group_dispatches_to_spill_under_budget_pressure() {
+        let ctx = ExecCtx::new().with_trace();
+        let b = Bat::new(
+            Column::from_oids((0..4000).collect()),
+            Column::from_ints((0..4000).map(|i| (i % 800) as i32).collect()),
+        );
+        let a = group1(&ctx, &b).unwrap();
+        assert_ne!(ctx.take_trace()[0].algo, "spill");
+        // Budget below the GroupTable estimate but above the result
+        // charge (the gid column is the output either way).
+        ctx.mem.begin();
+        ctx.mem.set_budget(Some(crate::costmodel::group_inmem_bytes(b.len()) - 1));
+        let s = group1(&ctx, &b).unwrap();
+        assert_eq!(ctx.take_trace()[0].algo, "spill");
+        // Same grouping structure: gids are fresh oids per call, so
+        // compare the induced partition, not the raw oids.
+        let rel = |g: &Bat, i: usize| g.tail().oid_at(i) - g.tail().oid_at(0);
+        for i in 0..b.len() {
+            assert_eq!(rel(&a, i), rel(&s, i), "partition diverges at {i}");
+        }
     }
 
     #[test]

@@ -213,6 +213,161 @@ pub fn touch_binary_search(pager: &Pager, col: &Column) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The real pager: read-only file mappings for store-backed columns.
+//
+// The simulated `Pager` above models fault behaviour for anonymous
+// in-memory worlds. Columns opened from `monet::store` do not need the
+// model — they live in actual `mmap`ed files, so the operating system's
+// MMU is the pager and the process fault counters are the oracle. The two
+// coexist: simulated worlds keep their touch accounting, store-backed
+// worlds report through [`process_faults`].
+// ---------------------------------------------------------------------------
+
+/// A read-only mapping of one store file. `mmap` on unix (private,
+/// `PROT_READ`); a heap copy everywhere else (and on empty files, which
+/// cannot be mapped). Dropping unmaps.
+pub struct Mapping {
+    repr: MapRepr,
+}
+
+enum MapRepr {
+    #[cfg(unix)]
+    Mmap { ptr: *mut u8, len: usize },
+    /// Heap fallback: the file read into an 8-byte-aligned buffer, so the
+    /// page-aligned segment offsets of the store format stay aligned for
+    /// every fixed-width element type.
+    Heap(Vec<u64>, usize),
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod mmap_sys {
+    // Minimal libc surface, declared locally: the container builds with no
+    // external crates, and std already links the platform libc.
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+impl Mapping {
+    /// Map `file` read-only in O(1); fall back to reading it into memory
+    /// when mapping is unavailable.
+    pub fn map(file: &std::fs::File) -> std::io::Result<Mapping> {
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            if len > 0 {
+                let ptr = unsafe {
+                    mmap_sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        mmap_sys::PROT_READ,
+                        mmap_sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr as isize != -1 && !ptr.is_null() {
+                    return Ok(Mapping { repr: MapRepr::Mmap { ptr: ptr as *mut u8, len } });
+                }
+            }
+        }
+        Mapping::read_fallback(file, len)
+    }
+
+    fn read_fallback(file: &std::fs::File, len: usize) -> std::io::Result<Mapping> {
+        use std::io::Read;
+        let words = len.div_ceil(8);
+        let mut buf: Vec<u64> = vec![0; words];
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, words * 8) };
+        let mut f = file;
+        let mut at = 0usize;
+        while at < len {
+            let n = f.read(&mut bytes[at..len])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "file shrank while reading",
+                ));
+            }
+            at += n;
+        }
+        Ok(Mapping { repr: MapRepr::Heap(buf, len) })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives
+            // until drop.
+            MapRepr::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapRepr::Heap(buf, len) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    /// True when this is a real `mmap` (not the heap fallback).
+    pub fn is_mmap(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self.repr, MapRepr::Mmap { .. })
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapRepr::Mmap { ptr, len } = self.repr {
+            unsafe { mmap_sys::munmap(ptr as *mut core::ffi::c_void, len) };
+        }
+    }
+}
+
+/// Process-wide `(minor, major)` page-fault counts — the real pager's
+/// fault oracle for store-backed (mmap) columns, read from
+/// `/proc/self/stat` on Linux; `(0, 0)` where unavailable. Diff two
+/// readings around an operation to attribute faults to it (single-threaded
+/// harnesses only; the counters are process-global).
+pub fn process_faults() -> (u64, u64) {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return (0, 0);
+    };
+    // Fields after the parenthesized comm (which may contain spaces):
+    // minflt is field 10, majflt field 12 (1-based over the whole line).
+    let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+        return (0, 0);
+    };
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    let g = |i: usize| f.get(i).and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+    // rest starts at field 3 ("state"), so minflt (field 10) is index 7
+    // and majflt (field 12) is index 9.
+    (g(7), g(9))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

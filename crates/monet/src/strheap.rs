@@ -10,13 +10,19 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::buf::Buf;
+
 /// Immutable string column: `offsets[i]..offsets[i]+lens[i]` addresses the
 /// bytes of value *i* inside the shared byte heap.
+///
+/// All three heaps live in [`Buf`]s, so a `StrVec` is either built in
+/// memory or a zero-copy view of mapped store segments (the store
+/// validates offsets, lengths, and UTF-8 at open).
 #[derive(Debug, Clone)]
 pub struct StrVec {
-    offsets: Arc<Vec<u32>>,
-    lens: Arc<Vec<u32>>,
-    heap: Arc<Vec<u8>>,
+    offsets: Arc<Buf<u32>>,
+    lens: Arc<Buf<u32>>,
+    heap: Arc<Buf<u8>>,
 }
 
 impl StrVec {
@@ -66,13 +72,30 @@ impl StrVec {
             offsets.push(self.offsets[i as usize]);
             lens.push(self.lens[i as usize]);
         }
-        StrVec { offsets: Arc::new(offsets), lens: Arc::new(lens), heap: Arc::clone(&self.heap) }
+        StrVec {
+            offsets: Arc::new(offsets.into()),
+            lens: Arc::new(lens.into()),
+            heap: Arc::clone(&self.heap),
+        }
     }
 
     /// Windowed raw parts `(offsets, lens, heap)` for the typed kernel
     /// layer ([`crate::typed::StrVals`]).
     pub(crate) fn parts(&self, off: usize, len: usize) -> (&[u32], &[u32], &[u8]) {
         (&self.offsets[off..off + len], &self.lens[off..off + len], &self.heap)
+    }
+
+    /// Assemble a column from pre-built heaps — the store's open path
+    /// (mapped segments). The caller vouches that `offsets[i] + lens[i]`
+    /// stays inside the heap and the addressed bytes are valid UTF-8; the
+    /// store checks both before constructing.
+    pub(crate) fn from_heaps(
+        offsets: Arc<Buf<u32>>,
+        lens: Arc<Buf<u32>>,
+        heap: Arc<Buf<u8>>,
+    ) -> StrVec {
+        assert_eq!(offsets.len(), lens.len());
+        StrVec { offsets, lens, heap }
     }
 
     /// True when both columns are views of the *same* allocation (all three
@@ -88,7 +111,11 @@ impl StrVec {
     pub fn slice(&self, start: usize, len: usize) -> StrVec {
         let offsets = self.offsets[start..start + len].to_vec();
         let lens = self.lens[start..start + len].to_vec();
-        StrVec { offsets: Arc::new(offsets), lens: Arc::new(lens), heap: Arc::clone(&self.heap) }
+        StrVec {
+            offsets: Arc::new(offsets.into()),
+            lens: Arc::new(lens.into()),
+            heap: Arc::clone(&self.heap),
+        }
     }
 }
 
@@ -174,9 +201,9 @@ impl StrHeapBuilder {
     /// Freeze into an immutable column.
     pub fn finish(self) -> StrVec {
         StrVec {
-            offsets: Arc::new(self.offsets),
-            lens: Arc::new(self.lens),
-            heap: Arc::new(self.heap),
+            offsets: Arc::new(self.offsets.into()),
+            lens: Arc::new(self.lens.into()),
+            heap: Arc::new(self.heap.into()),
         }
     }
 }

@@ -818,9 +818,12 @@ pub fn pair_pos(p: u64) -> u32 {
     p as u32
 }
 
+/// Pack a full hash and a row position into one cluster pair (keeps hash
+/// bits 32..64). Public for the out-of-core clustering in
+/// [`crate::spill`], which must write bit-identical pairs to disk.
 #[inline]
-fn pack_pair(h: u64, pos: usize) -> u64 {
-    (h & 0xFFFF_FFFF_0000_0000) | pos as u64 // keeps hash bits 32..64
+pub fn pack_pair(h: u64, pos: usize) -> u64 {
+    (h & 0xFFFF_FFFF_0000_0000) | pos as u64
 }
 
 impl RadixClusters {

@@ -111,6 +111,16 @@ pub struct Params {
 impl Params {
     /// The pinned parameter set, adapted to the generated database.
     pub fn for_data(data: &TpcdData) -> Params {
+        let mut p = Params::for_sf(data.sf);
+        p.q11_fraction = 0.0001 / data.sf.max(0.0001);
+        p.q13_clerk = text::clerk_name(88.min(data.clerk_count));
+        p
+    }
+
+    /// The pinned parameter set from the scale factor alone — the same
+    /// values [`Params::for_data`] derives on generated data, rebuildable
+    /// when only a persistent store (which records its `sf`) is at hand.
+    pub fn for_sf(sf: f64) -> Params {
         Params {
             q1_cutoff: Date::from_ymd(1998, 12, 1).add_days(-90),
             q2_region: "EUROPE".into(),
@@ -134,11 +144,11 @@ impl Params {
             q9_color: "blue".into(),
             q10_date: Date::from_ymd(1993, 10, 1),
             q11_nation: "GERMANY".into(),
-            q11_fraction: 0.0001 / data.sf.max(0.0001),
+            q11_fraction: 0.0001 / sf.max(0.0001),
             q12_mode1: "MAIL".into(),
             q12_mode2: "SHIP".into(),
             q12_date: Date::from_ymd(1994, 1, 1),
-            q13_clerk: text::clerk_name(88.min(data.clerk_count)),
+            q13_clerk: text::clerk_name(88.min(tpcd::gen::clerk_count_for_sf(sf))),
             q14_date: Date::from_ymd(1995, 9, 1),
             q15_date: Date::from_ymd(1996, 1, 1),
         }

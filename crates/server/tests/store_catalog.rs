@@ -1,0 +1,89 @@
+//! Store-backed catalogs in the service layer: an opened store mints a
+//! fresh `Db` identity, so a plan cache shared across catalogs can never
+//! serve a plan compiled against a same-named in-memory world — the
+//! store world's plans miss, translate fresh, and produce bit-identical
+//! results.
+
+use std::sync::Arc;
+
+use flatalg_server::{Server, ServerConfig};
+use moa::plancache::{with_plan_cache, PlanCache};
+use monet::ctx::ExecCtx;
+use tpcd_queries::all_queries;
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("flatalg-server-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn shared_plan_cache_never_aliases_store_and_in_memory_worlds() {
+    let w = bench::World::build(0.002);
+    let dir = tmpdir();
+    w.save_store(&dir).expect("save");
+    let sw = bench::StoreWorld::open(&dir).expect("open");
+    assert_ne!(sw.cat.db().id(), w.cat.db().id(), "opened store must mint a fresh Db id");
+
+    let cache = PlanCache::with_capacity(256);
+    let queries = all_queries();
+
+    // Warm the cache with the in-memory world, then re-run: second round
+    // is served from the cache.
+    let warm: Vec<_> = with_plan_cache(Arc::clone(&cache), || {
+        queries.iter().map(|q| (q.run_moa)(&w.cat, &ExecCtx::new(), &w.params).unwrap()).collect()
+    });
+    let s0 = cache.stats();
+    assert!(s0.misses > 0 && s0.hits == 0);
+    let _again: Vec<_> = with_plan_cache(Arc::clone(&cache), || {
+        queries
+            .iter()
+            .map(|q| (q.run_moa)(&w.cat, &ExecCtx::new(), &w.params).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let s1 = cache.stats();
+    assert!(s1.hits > 0, "in-memory re-run must hit its own plans");
+
+    // The store-backed catalog shares the cache but must not hit a single
+    // in-memory plan: same query shapes, different catalog identity.
+    let opened: Vec<_> = with_plan_cache(Arc::clone(&cache), || {
+        queries
+            .iter()
+            .map(|q| (q.run_moa)(&sw.cat, &ExecCtx::new(), &sw.params).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let s2 = cache.stats();
+    assert_eq!(s2.hits, s1.hits, "store-backed catalog must not reuse in-memory plans");
+    assert!(s2.misses > s1.misses, "store-backed plans translate fresh");
+
+    for ((q, a), b) in queries.iter().zip(&warm).zip(&opened) {
+        assert!(b.approx_eq(a, 0.0), "Q{}: store-backed result differs", q.id);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn service_runs_the_workload_on_an_opened_store() {
+    let w = bench::World::build(0.002);
+    let dir = tmpdir_svc();
+    w.save_store(&dir).expect("save");
+    let sw = bench::StoreWorld::open(&dir).expect("open");
+    let server = Server::with_config(
+        &sw.cat,
+        ServerConfig { max_concurrent: 2, plan_cache: Some(64), ..ServerConfig::default() },
+    );
+    let session = server.session();
+    for q in all_queries() {
+        let got = session.run_query(&q, &sw.params).unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
+        let want = (q.run_moa)(&w.cat, &ExecCtx::new(), &w.params).unwrap();
+        assert!(got.approx_eq(&want, 0.0), "Q{}: served store result differs", q.id);
+    }
+    assert_eq!(server.stats().failed, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn tmpdir_svc() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("flatalg-server-store-svc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}

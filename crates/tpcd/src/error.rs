@@ -15,6 +15,11 @@ pub enum TpcdError {
     InvalidScaleFactor { sf: f64 },
     /// The world data violates an invariant the loader depends on.
     Malformed { table: &'static str, detail: String },
+    /// A persistent store directory failed to write, or failed validation
+    /// on open (bad magic/version, checksum mismatch, truncation,
+    /// descriptor inconsistency). Carries the kernel's typed store error;
+    /// nothing is registered into a catalog when this is raised.
+    Store(monet::error::MonetError),
 }
 
 impl fmt::Display for TpcdError {
@@ -26,11 +31,18 @@ impl fmt::Display for TpcdError {
             TpcdError::Malformed { table, detail } => {
                 write!(f, "malformed world: table {table}: {detail}")
             }
+            TpcdError::Store(e) => write!(f, "persistent store: {e}"),
         }
     }
 }
 
 impl std::error::Error for TpcdError {}
+
+impl From<monet::error::MonetError> for TpcdError {
+    fn from(e: monet::error::MonetError) -> TpcdError {
+        TpcdError::Store(e)
+    }
+}
 
 /// Result alias for the tpcd crate.
 pub type Result<T> = std::result::Result<T, TpcdError>;

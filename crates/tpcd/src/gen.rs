@@ -137,6 +137,13 @@ pub fn generate(sf: f64, seed: u64) -> TpcdData {
     try_generate(sf, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Clerks at a scale factor (TPC-D: SF·1000, min 2). Pure in `sf`, so a
+/// parameter set can be rebuilt from the scale factor a persistent store
+/// recorded, without the generated rows.
+pub fn clerk_count_for_sf(sf: f64) -> u32 {
+    ((1_000.0 * sf) as u32).max(2)
+}
+
 /// Generate a database, rejecting malformed scale factors (NaN, infinite,
 /// zero or negative) with a typed error instead of panicking.
 pub fn try_generate(sf: f64, seed: u64) -> crate::error::Result<TpcdData> {
@@ -148,7 +155,7 @@ pub fn try_generate(sf: f64, seed: u64) -> crate::error::Result<TpcdData> {
     let n_suppliers = ((10_000.0 * sf) as usize).max(4);
     let n_customers = ((150_000.0 * sf) as usize).max(6);
     let n_orders = ((1_500_000.0 * sf) as usize).max(12);
-    let clerk_count = ((1_000.0 * sf) as u32).max(2);
+    let clerk_count = clerk_count_for_sf(sf);
 
     let mut next_oid: Oid = 1000;
     let mut take = |n: usize| -> Oid {

@@ -1,0 +1,149 @@
+//! Persisting a loaded TPC-D catalog with `monet::store`.
+//!
+//! [`save_catalog`] serializes a loaded world's BATs (shared columns,
+//! property bits, datavector wiring) into a store directory, so a world
+//! is generated and loaded once (`flatalg-store build`) and every later
+//! run opens it in O(1) via [`open_catalog`], which mmaps the column
+//! files and rebinds them to the MOA schema.
+//!
+//! Opening is all-or-nothing: the kernel fully validates the store
+//! (magic, version, checksums, bounds, descriptor consistency, kernel
+//! safety invariants) *and* this module resolves every schema class
+//! structure before a [`Catalog`] is returned — a corrupt or incomplete
+//! store yields a typed [`TpcdError::Store`] and no catalog at all, never
+//! a partially registered one.
+//!
+//! The opened catalog sits on a fresh [`monet::db::Db`] with a fresh
+//! process-unique id, so plan caches keyed on `(db id, epoch)` can never
+//! confuse it with a same-named in-memory world.
+
+use std::path::Path;
+
+use moa::catalog::Catalog;
+use monet::error::MonetError;
+use monet::gov::Governor;
+use monet::store::{open_dir, write_dir, OpenOptions, WriteStats};
+
+use crate::error::{Result, TpcdError};
+use crate::schema::tpcd_schema;
+
+/// An opened persistent catalog plus the open statistics.
+pub struct OpenedCatalog {
+    pub catalog: Catalog,
+    /// Scale factor recorded when the store was built.
+    pub sf: f64,
+    /// Total bytes of column files mapped.
+    pub mapped_bytes: u64,
+    /// Number of column files mapped.
+    pub files: usize,
+    /// True when every column file is a real `mmap` (false = heap read).
+    pub mmap: bool,
+}
+
+/// Serialize a loaded catalog into `dir` (see [`monet::store::write_dir`]).
+pub fn save_catalog(dir: &Path, cat: &Catalog, sf: f64) -> Result<WriteStats> {
+    write_dir(dir, cat.db(), sf).map_err(TpcdError::from)
+}
+
+/// Open a store directory written by [`save_catalog`] and rebind it to the
+/// TPC-D schema. All-or-nothing: validates the files *and* resolves every
+/// class structure before returning; on any failure no catalog exists.
+pub fn open_catalog(
+    dir: &Path,
+    gov: Option<&Governor>,
+    opts: &OpenOptions,
+) -> Result<OpenedCatalog> {
+    let opened = open_dir(dir, gov, opts)?;
+    let catalog = Catalog::new(tpcd_schema(), opened.db);
+    // The kernel validated the files; now prove the BAT set is complete
+    // for the schema (every extent, attribute, set index and member field
+    // resolves) before handing the catalog out.
+    let classes: Vec<String> = catalog.schema().classes().map(|c| c.name.clone()).collect();
+    for class in &classes {
+        if let Err(e) = catalog.class_structure(class) {
+            return Err(TpcdError::Store(MonetError::Store {
+                op: "store/open",
+                path: dir.display().to_string(),
+                detail: format!("store does not cover class {class}: {e}"),
+            }));
+        }
+    }
+    Ok(OpenedCatalog {
+        catalog,
+        sf: opened.sf,
+        mapped_bytes: opened.mapped_bytes,
+        files: opened.files,
+        mmap: opened.mmap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::load::load_bats;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("flatalg-tpcd-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_open_round_trips_the_catalog() {
+        let data = generate(0.001, 42);
+        let (cat, _) = load_bats(&data);
+        let dir = tmpdir("roundtrip");
+        let stats = save_catalog(&dir, &cat, 0.001).expect("save");
+        assert!(stats.files > 1 && stats.bytes > 0);
+        let opened = open_catalog(&dir, None, &OpenOptions { verify_data: true }).expect("open");
+        assert_eq!(opened.sf, 0.001);
+        assert_eq!(opened.catalog.db().len(), cat.db().len());
+        // Fresh identity: the plan cache must never alias the two worlds.
+        assert_ne!(opened.catalog.db().id(), cat.db().id());
+        for class in ["Region", "Nation", "Part", "Supplier", "Customer", "Order", "Item"] {
+            assert_eq!(
+                opened.catalog.extent(class).unwrap().len(),
+                cat.extent(class).unwrap().len(),
+                "extent {class}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incomplete_store_is_all_or_nothing() {
+        // A store that is *valid* as files but misses schema BATs must be
+        // rejected with a typed error, not returned partially bound.
+        let data = generate(0.001, 42);
+        let (cat, _) = load_bats(&data);
+        let mut db = monet::db::Db::new();
+        // Copy everything except one schema-required attribute BAT.
+        for (name, bat) in cat.db().iter() {
+            if name != "Item_shipdate" {
+                db.register(name, bat.clone());
+            }
+        }
+        let dir = tmpdir("incomplete");
+        monet::store::write_dir(&dir, &db, 0.001).expect("save");
+        let err = open_catalog(&dir, None, &OpenOptions::default()).err().expect("must fail");
+        match err {
+            TpcdError::Store(MonetError::Store { op, detail, .. }) => {
+                assert_eq!(op, "store/open");
+                assert!(detail.contains("Item"), "detail: {detail}");
+            }
+            other => panic!("expected a store error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_a_typed_error() {
+        let err =
+            open_catalog(Path::new("/nonexistent/flatalg-store"), None, &OpenOptions::default())
+                .err()
+                .expect("must fail");
+        assert!(matches!(err, TpcdError::Store(MonetError::Store { .. })), "got {err}");
+    }
+}

@@ -1,0 +1,74 @@
+//! The out-of-core knobs, end to end. Two CI legs run this one-test
+//! binary (the knobs are parsed once per process, so each leg is its own
+//! process, like `governor_env`):
+//!
+//! * `FLATALG_SPILL=force` — every eligible operator takes the disk
+//!   path, and all fifteen query results must stay bit-close to the
+//!   n-ary reference plans (which never touch the spill dispatch);
+//! * `FLATALG_MEM_BUDGET=<low>` — no override: the cost model's
+//!   headroom check must *choose* to spill on its own, and every query
+//!   must either still match the reference or abort with a clean typed
+//!   `BudgetExceeded` from an operator that cannot spill (the budget
+//!   keeps bounding live memory; spilled working sets never count
+//!   against it, which is why spilling queries survive budgets their
+//!   in-memory forms could not).
+//!
+//! Under a bare `cargo test` (neither knob set) the test forces the
+//! spill override itself so it stays meaningful.
+
+use moa::error::MoaError;
+use monet::ctx::ExecCtx;
+use monet::error::MonetError;
+use tpcd_queries::all_queries;
+
+#[test]
+fn out_of_core_execution_reproduces_reference_results() {
+    let budget_leg = std::env::var("FLATALG_MEM_BUDGET").is_ok();
+    if !budget_leg && std::env::var("FLATALG_SPILL").is_err() {
+        std::env::set_var("FLATALG_SPILL", "force");
+    }
+    // The budget leg needs joins whose in-memory working-set estimate
+    // can top the remaining headroom, so it runs at a larger scale.
+    let w = bench::World::build(if budget_leg { 0.02 } else { 0.004 });
+
+    let mut spilled_total = 0u64;
+    let mut spill_ops = 0usize;
+    let mut passed = 0usize;
+    for q in all_queries() {
+        let reference = (q.run_ref)(&w.rel, &w.params, None);
+        let ctx = ExecCtx::new().with_trace();
+        match (q.run_moa)(&w.cat, &ctx, &w.params) {
+            Ok(rows) => {
+                assert!(
+                    rows.approx_eq(&reference.rows, 1e-6),
+                    "Q{}: spilling run diverged from the reference\nspill:\n{}ref:\n{}",
+                    q.id,
+                    rows.preview(5),
+                    reference.rows.preview(5)
+                );
+                passed += 1;
+            }
+            // Only the budget leg may abort, and only with the typed
+            // budget error — anything else (panic, wrong variant) fails.
+            Err(MoaError::Kernel(MonetError::BudgetExceeded { .. })) if budget_leg => {}
+            Err(e) => panic!("Q{}: expected success under spilling, got: {e}", q.id),
+        }
+        spilled_total += ctx.mem.spilled_bytes();
+        spill_ops += ctx.take_trace().iter().filter(|t| t.algo == "spill").count();
+    }
+    assert!(spill_ops > 0, "at least one operator must have dispatched to the spill path");
+    assert!(spilled_total > 0, "spill files must have been written ({spill_ops} spill ops)");
+    assert!(passed > 0, "at least one query must complete under the budget by spilling");
+    if !budget_leg {
+        assert_eq!(passed, 15, "the forced-spill leg must complete every query");
+    }
+
+    // The spill files are transient: nothing of ours may linger.
+    let pid = std::process::id();
+    let leftovers = std::fs::read_dir(std::env::temp_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&format!("flatalg-spill-{pid}-")))
+        .count();
+    assert_eq!(leftovers, 0, "spill files must be deleted when their operator finishes");
+}

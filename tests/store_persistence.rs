@@ -1,0 +1,176 @@
+//! The persistent store end to end: a saved world re-opens into a catalog
+//! whose fifteen query results are *bit-identical* (eps 0.0) to the
+//! generated in-memory world — under whatever thread-count / encoding leg
+//! the process runs — and every corruption mode (flipped data byte,
+//! truncated tail file, version-mismatched header, mangled layout
+//! descriptor) surfaces a typed error with nothing partially registered.
+
+use monet::ctx::ExecCtx;
+use monet::error::MonetError;
+use monet::store::{xxh64, OpenOptions};
+use tpcd::TpcdError;
+use tpcd_queries::all_queries;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("flatalg-storetest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A saved copy of the shared bench world (SF 0.01), one per process.
+fn saved_world() -> (&'static bench::World, &'static std::path::Path) {
+    static SAVED: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+    let w = bench::world();
+    let dir = SAVED.get_or_init(|| {
+        let d = tmpdir("world");
+        w.save_store(&d).expect("save");
+        d
+    });
+    (w, dir)
+}
+
+#[test]
+fn opened_store_queries_are_bit_identical_to_the_generated_world() {
+    let (w, dir) = saved_world();
+    let sw = bench::StoreWorld::open_with(&dir, &OpenOptions { verify_data: true })
+        .expect("open with full verification");
+    assert!(sw.files > 0 && sw.mapped_bytes > 0);
+    // Satellite of the plan-cache satellite: a store-backed catalog must
+    // never share a Db identity with the in-memory world it was saved from.
+    assert_ne!(sw.cat.db().id(), w.cat.db().id());
+    for q in all_queries() {
+        let mem = (q.run_moa)(&w.cat, &ExecCtx::new(), &w.params).expect("in-memory");
+        let opened = (q.run_moa)(&sw.cat, &ExecCtx::new(), &sw.params).expect("opened");
+        assert!(
+            opened.approx_eq(&mem, 0.0),
+            "Q{}: opened-store result differs from the in-memory world\nopened:\n{}in-mem:\n{}",
+            q.id,
+            opened.preview(5),
+            mem.preview(5)
+        );
+    }
+}
+
+/// Copy the saved store into a fresh directory the test may corrupt.
+fn corruptible_copy(tag: &str) -> std::path::PathBuf {
+    let (_, src) = saved_world();
+    let dst = tmpdir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::copy(&p, dst.join(p.file_name().unwrap())).unwrap();
+    }
+    dst
+}
+
+fn a_column_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut cols: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("col-"))
+        .collect();
+    cols.sort();
+    cols.into_iter().next().expect("store has column files")
+}
+
+fn open_err(dir: &std::path::Path, verify_data: bool) -> MonetError {
+    match tpcd::open_catalog(dir, None, &OpenOptions { verify_data }) {
+        Err(TpcdError::Store(e)) => e,
+        Err(other) => panic!("expected a store error, got {other}"),
+        Ok(_) => panic!("corrupted store must not open"),
+    }
+}
+
+#[test]
+fn flipped_data_byte_fails_checksum_verification() {
+    let dir = corruptible_copy("bitflip");
+    let col = a_column_file(&dir);
+    let mut bytes = std::fs::read(&col).unwrap();
+    assert!(bytes.len() > 4096, "need a data page to corrupt");
+    bytes[4096] ^= 0xFF; // first byte of the first data segment
+    std::fs::write(&col, &bytes).unwrap();
+    let e = open_err(&dir, true);
+    match &e {
+        MonetError::Store { op, detail, .. } => {
+            assert_eq!(*op, "store/open");
+            assert!(detail.contains("checksum"), "detail: {detail}");
+        }
+        other => panic!("expected Store, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flipped_header_byte_fails_the_default_open() {
+    let dir = corruptible_copy("hdrflip");
+    let col = a_column_file(&dir);
+    let mut bytes = std::fs::read(&col).unwrap();
+    bytes[16] ^= 0xFF; // row count — header checksum must catch it
+    std::fs::write(&col, &bytes).unwrap();
+    let e = open_err(&dir, false);
+    assert!(matches!(e, MonetError::Store { .. }), "got {e}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_tail_file_is_rejected() {
+    let dir = corruptible_copy("trunc");
+    let col = a_column_file(&dir);
+    let bytes = std::fs::read(&col).unwrap();
+    assert!(bytes.len() > 4096);
+    std::fs::write(&col, &bytes[..4096]).unwrap(); // keep only the header
+    let e = open_err(&dir, false);
+    match &e {
+        MonetError::Store { detail, .. } => {
+            assert!(detail.contains("truncated") || detail.contains("past end"), "{detail}");
+        }
+        other => panic!("expected Store, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn version_mismatch_is_rejected_before_anything_else() {
+    let dir = corruptible_copy("version");
+    let col = a_column_file(&dir);
+    let mut bytes = std::fs::read(&col).unwrap();
+    bytes[8..12].copy_from_slice(&(monet::store::VERSION + 1).to_le_bytes());
+    std::fs::write(&col, &bytes).unwrap();
+    let e = open_err(&dir, false);
+    match &e {
+        MonetError::Store { detail, .. } => {
+            assert!(detail.contains("version mismatch"), "{detail}");
+        }
+        other => panic!("expected Store, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mangled_layout_descriptor_is_rejected_even_with_a_valid_checksum() {
+    // An attacker-grade corruption: change the layout byte *and* restamp
+    // the header checksum, so only the descriptor-consistency validation
+    // can catch it.
+    let dir = corruptible_copy("layout");
+    let col = a_column_file(&dir);
+    let mut bytes = std::fs::read(&col).unwrap();
+    bytes[13] = 99; // no such layout
+    bytes[48..56].fill(0);
+    let sum = xxh64(&bytes[..4096], 0);
+    bytes[48..56].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&col, &bytes).unwrap();
+    let e = open_err(&dir, false);
+    assert!(matches!(e, MonetError::Store { .. }), "got {e}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_column_file_means_no_catalog_at_all() {
+    let dir = corruptible_copy("missing");
+    std::fs::remove_file(a_column_file(&dir)).unwrap();
+    // All-or-nothing: the open fails as a unit; there is no partially
+    // registered catalog to observe, only the typed error.
+    let e = open_err(&dir, false);
+    assert!(matches!(e, MonetError::Store { .. }), "got {e}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
